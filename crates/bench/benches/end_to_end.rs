@@ -1,0 +1,50 @@
+//! End-to-end simulation benchmarks: whole-app runs at reduced footprints,
+//! one group per page-management policy. These measure *simulator*
+//! throughput (the wall-clock cost of reproducing a figure), not simulated
+//! time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oasis_mgpu::{simulate, Policy, SystemConfig};
+use oasis_workloads::{generate, App, WorkloadParams};
+
+fn tiny(app: App) -> WorkloadParams {
+    WorkloadParams {
+        footprint_mb: (app.footprint_mb(4) / 16).max(2),
+        ..WorkloadParams::small(app, 4)
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for app in [App::Mt, App::St] {
+        let trace = generate(app, &tiny(app));
+        for policy in [
+            Policy::OnTouch,
+            Policy::AccessCounter,
+            Policy::Duplication,
+            Policy::oasis(),
+            Policy::oasis_inmem(),
+            Policy::grit(),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), app.abbr()),
+                &trace,
+                |b, trace| b.iter(|| simulate(&SystemConfig::default(), policy.clone(), trace)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    for app in [App::Mm, App::LeNet] {
+        group.bench_function(app.abbr(), |b| b.iter(|| generate(app, &tiny(app))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Microbenchmarks of the policy-engine hot paths: the structures OASIS
+//! claims are cheap (O-Table, pointer tagging, shadow map) and the
+//! simulator substrate they sit on (TLB, cache, event queue, driver).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oasis_core::controller::OasisController;
+use oasis_core::inmem::{OasisInMem, ShadowMap};
+use oasis_core::otable::OTable;
+use oasis_core::tracker::{decode, encode};
+use oasis_engine::{Channel, Duration, EventQueue, Time};
+use oasis_grit::GritEngine;
+use oasis_interconnect::{Fabric, FabricConfig};
+use oasis_mem::cache::Cache;
+use oasis_mem::page::HostEntry;
+use oasis_mem::tlb::Tlb;
+use oasis_mem::types::{AccessKind, DeviceId, GpuId, ObjectId, PageSize, Va, Vpn};
+use oasis_uvm::costs::UvmCosts;
+use oasis_uvm::driver::{MemState, UvmDriver};
+use oasis_uvm::fault::PageFault;
+use oasis_uvm::policy::{OnTouchPolicy, PolicyEngine};
+
+fn bench_structures(c: &mut Criterion) {
+    c.bench_function("otable/lookup_or_insert", |b| {
+        let mut t = OTable::new();
+        let mut i = 0u16;
+        b.iter(|| {
+            i = (i + 1) % 24; // forces some LRU churn past 16 entries
+            black_box(t.lookup_or_insert(i).pf_count)
+        })
+    });
+
+    c.bench_function("tracker/encode_decode", |b| {
+        b.iter(|| {
+            let tagged = encode(black_box(Va(0x1234_5000)), ObjectId(7), 4, true);
+            black_box(decode(tagged, 4))
+        })
+    });
+
+    c.bench_function("shadow_map/lookup", |b| {
+        let mut m = ShadowMap::new();
+        m.set_range(Va(0x1000_0000), 64 << 20, 42);
+        b.iter(|| black_box(m.lookup(Va(0x1200_0040))))
+    });
+
+    c.bench_function("tlb/access_hit", |b| {
+        let mut t = Tlb::new(512, 16);
+        for i in 0..512 {
+            t.fill(Vpn(i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(t.access(Vpn(i)))
+        })
+    });
+
+    c.bench_function("cache/access", |b| {
+        let mut ca = Cache::new(256 * 1024, 16, 64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 64) % (1 << 20);
+            black_box(ca.access(Va(i)))
+        })
+    });
+
+    c.bench_function("engine/event_queue_push_pop", |b| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            q.push(Time::from_ps(t), 1);
+            black_box(q.pop())
+        })
+    });
+
+    c.bench_function("engine/channel_reserve", |b| {
+        let mut ch = Channel::new(300_000_000_000, Duration::from_ns(500));
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            now += Duration::from_ns(100);
+            black_box(ch.reserve(now, 64))
+        })
+    });
+}
+
+fn shared_state() -> MemState {
+    let mut s = MemState::new(4, PageSize::Small4K, None);
+    for i in 0..1024u64 {
+        s.host_table
+            .register(Vpn(i), HostEntry::new_at(DeviceId::Gpu(GpuId(1))));
+    }
+    s
+}
+
+fn bench_engines(c: &mut Criterion) {
+    c.bench_function("oasis/resolve_shared_fault", |b| {
+        let mut engine = OasisController::new();
+        let state = shared_state();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            let f = PageFault::far(
+                GpuId(0),
+                encode(Va(0x1000_0000), ObjectId((i % 8) as u16), 4, true),
+                Vpn(i),
+                AccessKind::Read,
+            );
+            black_box(engine.resolve(&f, &state))
+        })
+    });
+
+    c.bench_function("oasis_inmem/resolve_shared_fault", |b| {
+        let mut engine = OasisInMem::new();
+        engine.on_alloc(ObjectId(0), Va(0), 1024 * 4096);
+        let state = shared_state();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            let f = PageFault::far(GpuId(0), Va(i * 4096), Vpn(i), AccessKind::Read);
+            black_box(engine.resolve(&f, &state))
+        })
+    });
+
+    c.bench_function("grit/resolve_fault", |b| {
+        let mut engine = GritEngine::new();
+        let state = shared_state();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            let f = PageFault::far(GpuId(0), Va(i * 4096), Vpn(i), AccessKind::Read);
+            black_box(engine.resolve(&f, &state))
+        })
+    });
+
+    c.bench_function("driver/handle_fault_migrate", |b| {
+        let mut driver = UvmDriver::new(
+            4,
+            PageSize::Small4K,
+            None,
+            Box::new(OnTouchPolicy),
+            UvmCosts::default(),
+            256,
+        );
+        driver.alloc_object(ObjectId(0), Va(0x1000_0000), 4096 * 4096, |_| DeviceId::Host);
+        let mut fabric = Fabric::new(4, FabricConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            let vpn = Va(0x1000_0000 + i * 4096).vpn(PageSize::Small4K);
+            let f = PageFault::far(
+                GpuId((i % 4) as u8),
+                Va(0x1000_0000 + i * 4096),
+                vpn,
+                AccessKind::Write,
+            );
+            black_box(driver.handle_fault(Time::ZERO, &f, &mut fabric).latency)
+        })
+    });
+}
+
+criterion_group!(benches, bench_structures, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Ablation study of OASIS's design choices (Section V / VI-C):
+//!
+//! * self-correction off (PF-count reset threshold never reached),
+//! * explicit kernel-launch resets off,
+//! * host-page-table private/shared filter off,
+//! * O-Table shrunk to 4 entries,
+//! * GRIT without Neighboring-Aware Prediction.
+//!
+//! All normalized to on-touch, on the phase-heavy / object-heavy apps where
+//! each mechanism matters.
+
+use oasis_bench::runner::{find, run_matrix, MatrixArgs};
+use oasis_bench::{FigureTable, Profile};
+use oasis_core::controller::OasisConfig;
+use oasis_grit::GritConfig;
+use oasis_mgpu::{Policy, SystemConfig};
+use oasis_workloads::App;
+
+fn main() {
+    let profile = Profile::from_env();
+    let apps = vec![App::C2d, App::St, App::Mm, App::LeNet, App::Bfs];
+    let variants: Vec<(&str, Policy)> = vec![
+        ("on-touch", Policy::OnTouch),
+        ("oasis", Policy::oasis()),
+        (
+            "no-self-corr",
+            Policy::Oasis(OasisConfig::default().without_self_correction()),
+        ),
+        (
+            "no-launch-reset",
+            Policy::Oasis(OasisConfig::default().without_explicit_resets()),
+        ),
+        (
+            "no-pt-filter",
+            Policy::Oasis(OasisConfig::default().without_host_pt_filter()),
+        ),
+        (
+            "otable-4",
+            Policy::Oasis(OasisConfig {
+                otable_capacity: 4,
+                ..OasisConfig::default()
+            }),
+        ),
+        ("grit", Policy::grit()),
+        (
+            "grit-no-nap",
+            Policy::Grit(GritConfig {
+                neighbor_window: 0,
+                ..GritConfig::default()
+            }),
+        ),
+    ];
+    let args = MatrixArgs {
+        config: SystemConfig::default(),
+        apps: apps.clone(),
+        policies: variants.iter().map(|(_, p)| p.clone()).collect(),
+        params: Box::new(move |a| profile.params(a, 4)),
+    };
+    let mut cells = run_matrix(&args);
+    // Rename cells (several variants share engine names).
+    for (i, c) in cells.iter_mut().enumerate() {
+        c.policy = variants[i % variants.len()].0.to_string();
+    }
+    let names: Vec<String> = variants[1..].iter().map(|(n, _)| n.to_string()).collect();
+    let mut t = FigureTable::new(
+        "Ablation: OASIS/GRIT design choices (normalized to on-touch)",
+        names.clone(),
+    );
+    for app in &apps {
+        let base = find(&cells, *app, "on-touch");
+        t.push(
+            app.abbr(),
+            names
+                .iter()
+                .map(|n| find(&cells, *app, n).report.speedup_over(&base.report))
+                .collect(),
+        );
+    }
+    t.push_geomean();
+    t.emit("ablation");
+
+    // Substrate ablation: the UVM neighborhood prefetcher (extension), for
+    // the baseline and for OASIS.
+    let prefetch_cfg = SystemConfig {
+        prefetch_group: true,
+        ..SystemConfig::default()
+    };
+    let pf_args = MatrixArgs {
+        config: prefetch_cfg,
+        apps: apps.clone(),
+        policies: vec![Policy::OnTouch, Policy::oasis()],
+        params: Box::new(move |a| profile.params(a, 4)),
+    };
+    let pf_cells = run_matrix(&pf_args);
+    let mut t2 = FigureTable::new(
+        "Ablation: UVM group prefetcher on (speedup vs no-prefetch run)",
+        vec!["on-touch+pf".into(), "oasis+pf".into()],
+    );
+    for app in &apps {
+        let base_plain = find(&cells, *app, "on-touch");
+        let oasis_plain = find(&cells, *app, "oasis");
+        let base_pf = find(&pf_cells, *app, "on-touch");
+        let oasis_pf = find(&pf_cells, *app, "oasis");
+        t2.push(
+            app.abbr(),
+            vec![
+                base_pf.report.speedup_over(&base_plain.report),
+                oasis_pf.report.speedup_over(&oasis_plain.report),
+            ],
+        );
+    }
+    t2.push_geomean();
+    t2.emit("ablation_prefetch");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 2: uniform policies + Ideal vs on-touch.
+fn main() {
+    let p = oasis_bench::Profile::from_env();
+    oasis_bench::motivation::fig02(p).emit("fig02_uniform_policies");
+}

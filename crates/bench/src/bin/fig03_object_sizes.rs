@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3: object size distribution.
+fn main() {
+    oasis_bench::motivation::fig03().emit("fig03_object_sizes");
+}

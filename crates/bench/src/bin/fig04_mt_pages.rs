@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4: MT page access patterns over time.
+fn main() {
+    print!("{}", oasis_bench::motivation::fig04());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5: object behaviour of I2C, MM and ST.
+fn main() {
+    print!("{}", oasis_bench::motivation::fig05());
+}

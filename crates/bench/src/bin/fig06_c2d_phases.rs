@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6: C2D object patterns across explicit phases.
+fn main() {
+    print!("{}", oasis_bench::motivation::fig06());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7: ST buffer alternation across iterations.
+fn main() {
+    print!("{}", oasis_bench::motivation::fig07());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 15: OASIS / OASIS-InMem vs uniform policies.
+fn main() {
+    let p = oasis_bench::Profile::from_env();
+    oasis_bench::evaluation::fig15(p).emit("fig15_overall");
+}

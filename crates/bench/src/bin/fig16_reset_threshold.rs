@@ -1,0 +1,5 @@
+//! Regenerates Fig. 16: reset-threshold sensitivity (4/8/32).
+fn main() {
+    let p = oasis_bench::Profile::from_env();
+    oasis_bench::evaluation::fig16(p).emit("fig16_reset_threshold");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 17: OASIS at 8 and 16 GPUs.
+fn main() {
+    let p = oasis_bench::Profile::from_env();
+    oasis_bench::evaluation::fig17(p).emit("fig17_gpu_count");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 18: large inputs (16-GPU sizes on 4 GPUs).
+fn main() {
+    let p = oasis_bench::Profile::from_env();
+    oasis_bench::evaluation::fig18(p).emit("fig18_input_size");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 19: 2 MB pages.
+fn main() {
+    let p = oasis_bench::Profile::from_env();
+    oasis_bench::evaluation::fig19(p).emit("fig19_large_pages");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 20: page-type mix at 4 KB vs 2 MB pages.
+fn main() {
+    oasis_bench::motivation::fig20().emit("fig20_page_types");
+}

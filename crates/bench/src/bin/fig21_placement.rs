@@ -1,0 +1,5 @@
+//! Regenerates Fig. 21: striped initial placement.
+fn main() {
+    let p = oasis_bench::Profile::from_env();
+    oasis_bench::evaluation::fig21(p).emit("fig21_placement");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 22: OASIS vs GRIT.
+fn main() {
+    let p = oasis_bench::Profile::from_env();
+    oasis_bench::evaluation::fig22(p).emit("fig22_vs_grit");
+}

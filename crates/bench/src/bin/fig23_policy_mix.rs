@@ -1,0 +1,5 @@
+//! Regenerates Fig. 23: policy mix of L2-TLB-miss requests.
+fn main() {
+    let p = oasis_bench::Profile::from_env();
+    oasis_bench::evaluation::fig23(p).emit("fig23_policy_mix");
+}

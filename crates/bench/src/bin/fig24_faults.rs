@@ -1,0 +1,5 @@
+//! Regenerates Fig. 24: GPU page faults, OASIS vs GRIT.
+fn main() {
+    let p = oasis_bench::Profile::from_env();
+    oasis_bench::evaluation::fig24(p).emit("fig24_faults");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 25: 150% memory oversubscription.
+fn main() {
+    let p = oasis_bench::Profile::from_env();
+    oasis_bench::evaluation::fig25(p).emit("fig25_oversubscription");
+}

@@ -1,0 +1,50 @@
+//! Verifies the paper's Observation 2 on the generated traces: "pages
+//! within a single object typically exhibit the same patterns".
+//!
+//! The paper evaluates the 7 single-explicit-phase applications (BFS, FFT,
+//! I2C, MM, MT, PR, ST) and finds only 2 of 26 objects *non-uniform* (at
+//! least one page differing from the rest in both the private/shared and
+//! read/write dimensions), with only ST qualifying as a non-uniform app.
+
+use oasis_bench::Profile;
+use oasis_mem::types::PageSize;
+use oasis_mgpu::characterize::{profile, Scope};
+use oasis_workloads::{generate, App};
+
+fn main() {
+    let single_phase = [
+        App::Bfs,
+        App::Fft,
+        App::I2c,
+        App::Mm,
+        App::Mt,
+        App::Pr,
+        App::St,
+    ];
+    println!("## Observation 2: object uniformity (single-explicit-phase apps)");
+    let mut objects = 0usize;
+    let mut non_uniform_objects = 0usize;
+    let mut non_uniform_apps = 0usize;
+    for app in single_phase {
+        let trace = generate(app, &Profile::Full.params(app, 4));
+        let profiles = profile(&trace, PageSize::Small4K, Scope::Whole);
+        let mut app_non_uniform = false;
+        for p in profiles.iter().filter(|p| p.accesses > 0) {
+            objects += 1;
+            let nu = p.is_non_uniform();
+            if nu {
+                non_uniform_objects += 1;
+                app_non_uniform = true;
+                println!("  {} {:<16} NON-UNIFORM", app.abbr(), p.name);
+            }
+        }
+        if app_non_uniform {
+            non_uniform_apps += 1;
+        }
+    }
+    println!(
+        "{non_uniform_objects} of {objects} touched objects non-uniform \
+         (paper: 2 of 26); {non_uniform_apps} of {} apps non-uniform (paper: 1 of 7)",
+        single_phase.len()
+    );
+}

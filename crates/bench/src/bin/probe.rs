@@ -1,0 +1,84 @@
+//! Calibration probe: prints the normalized-performance matrix for every
+//! app × policy at paper sizes, plus the headline averages. Not a paper
+//! figure — use it to check shapes while tuning the cost model.
+
+use oasis_bench::{geomean, run_matrix, FigureTable, MatrixArgs};
+use oasis_mgpu::{Policy, SystemConfig};
+
+fn main() {
+    let policies = vec![
+        Policy::OnTouch,
+        Policy::AccessCounter,
+        Policy::Duplication,
+        Policy::oasis(),
+        Policy::oasis_inmem(),
+        Policy::grit(),
+        Policy::Ideal,
+    ];
+    let mut config = SystemConfig::default();
+    if let Ok(v) = std::env::var("REMOTE_US") {
+        config.remote_access_overhead =
+            oasis_engine::Duration::from_ns((v.parse::<f64>().unwrap() * 1000.0) as u64);
+    }
+    if let Ok(v) = std::env::var("CTR_WEIGHT") {
+        config.counter_weight = v.parse().unwrap();
+    }
+    if let Ok(v) = std::env::var("FAULT_SVC_US") {
+        config.uvm_costs.fault_service =
+            oasis_engine::Duration::from_ns((v.parse::<f64>().unwrap() * 1000.0) as u64);
+    }
+    let args = MatrixArgs::paper(config, policies.clone());
+    let cells = run_matrix(&args);
+    let names: Vec<String> = policies.iter().map(|p| p.name().to_string()).collect();
+    let mut table = FigureTable::new(
+        "Probe: speedup over on-touch (4 GPUs, Table II sizes)",
+        names.clone(),
+    );
+    for app in &args.apps {
+        let base = oasis_bench::runner::find(&cells, *app, "on-touch");
+        let row: Vec<f64> = names
+            .iter()
+            .map(|p| {
+                oasis_bench::runner::find(&cells, *app, p)
+                    .report
+                    .speedup_over(&base.report)
+            })
+            .collect();
+        table.push(app.abbr(), row);
+    }
+    table.push_geomean();
+    println!("{}", table.render());
+
+    // Headline comparisons.
+    let gm = |target: &str, base: &str| {
+        geomean(
+            &args
+                .apps
+                .iter()
+                .map(|a| {
+                    let t = oasis_bench::runner::find(&cells, *a, target);
+                    let b = oasis_bench::runner::find(&cells, *a, base);
+                    t.report.speedup_over(&b.report)
+                })
+                .collect::<Vec<_>>(),
+        )
+    };
+    println!("oasis vs on-touch      : {:+.1}% (paper +64%)", (gm("oasis", "on-touch") - 1.0) * 100.0);
+    println!("oasis vs access-counter: {:+.1}% (paper +35%)", (gm("oasis", "access-counter") - 1.0) * 100.0);
+    println!("oasis vs duplication   : {:+.1}% (paper +42%)", (gm("oasis", "duplication") - 1.0) * 100.0);
+    println!("oasis vs grit          : {:+.1}% (paper +12%)", (gm("oasis", "grit") - 1.0) * 100.0);
+    println!("inmem vs oasis         : {:+.1}% (paper ~-2%)", (gm("oasis-inmem", "oasis") - 1.0) * 100.0);
+
+    // Fault counts (Fig. 24 shape).
+    let faults = |p: &str| -> u64 {
+        args.apps
+            .iter()
+            .map(|a| oasis_bench::runner::find(&cells, *a, p).report.uvm.total_faults())
+            .sum()
+    };
+    let (fo, fg) = (faults("oasis"), faults("grit"));
+    println!(
+        "faults oasis/grit      : {:.2} (paper ~0.78)",
+        fo as f64 / fg as f64
+    );
+}

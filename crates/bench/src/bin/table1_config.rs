@@ -1,0 +1,4 @@
+//! Prints Table I (the live baseline configuration).
+fn main() {
+    print!("{}", oasis_bench::motivation::table1());
+}

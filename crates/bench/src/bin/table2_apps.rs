@@ -1,0 +1,4 @@
+//! Prints Table II (the application list).
+fn main() {
+    print!("{}", oasis_bench::motivation::table2());
+}

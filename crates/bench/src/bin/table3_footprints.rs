@@ -1,0 +1,4 @@
+//! Prints Table III (footprints at 8/16 GPUs).
+fn main() {
+    oasis_bench::motivation::table3().emit("table3_footprints");
+}

@@ -1,0 +1,140 @@
+//! Sweep runner: (app × policy) matrices executed on all cores.
+
+use std::sync::Mutex;
+
+use oasis_mgpu::{simulate, Policy, RunReport, SystemConfig};
+use oasis_workloads::{generate, App, WorkloadParams, ALL_APPS};
+
+/// The four uniform configurations every figure compares against.
+pub const STANDARD_POLICIES: fn() -> Vec<Policy> = || {
+    vec![
+        Policy::OnTouch,
+        Policy::AccessCounter,
+        Policy::Duplication,
+        Policy::Ideal,
+    ]
+};
+
+/// One completed simulation.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The application.
+    pub app: App,
+    /// The policy's display name.
+    pub policy: String,
+    /// Full counters.
+    pub report: RunReport,
+}
+
+/// What to sweep.
+pub struct MatrixArgs {
+    /// Base platform configuration.
+    pub config: SystemConfig,
+    /// Applications (defaults to all eleven).
+    pub apps: Vec<App>,
+    /// Policies to compare.
+    pub policies: Vec<Policy>,
+    /// Workload parameters per app (defaults to the paper's Table II
+    /// footprints at the configured GPU count).
+    pub params: Box<dyn Fn(App) -> WorkloadParams + Sync>,
+}
+
+impl MatrixArgs {
+    /// The paper's standard setup for a given config and policy list.
+    pub fn paper(config: SystemConfig, policies: Vec<Policy>) -> Self {
+        let gpus = config.gpu_count;
+        MatrixArgs {
+            config,
+            apps: ALL_APPS.to_vec(),
+            policies,
+            params: Box::new(move |app| WorkloadParams::paper(app, gpus)),
+        }
+    }
+
+    /// Scaled-down setup for fast smoke runs.
+    pub fn small(config: SystemConfig, policies: Vec<Policy>) -> Self {
+        let gpus = config.gpu_count;
+        MatrixArgs {
+            config,
+            apps: ALL_APPS.to_vec(),
+            policies,
+            params: Box::new(move |app| WorkloadParams::small(app, gpus)),
+        }
+    }
+}
+
+/// Runs every (app, policy) pair, in parallel across OS threads, and
+/// returns cells ordered by (app, policy) as given in `args`.
+pub fn run_matrix(args: &MatrixArgs) -> Vec<Cell> {
+    let jobs: Vec<(usize, usize)> = (0..args.apps.len())
+        .flat_map(|a| (0..args.policies.len()).map(move |p| (a, p)))
+        .collect();
+    let results: Mutex<Vec<Option<Cell>>> = Mutex::new(vec![None; jobs.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if j >= jobs.len() {
+                    break;
+                }
+                let (ai, pi) = jobs[j];
+                let app = args.apps[ai];
+                let policy = args.policies[pi].clone();
+                let trace = generate(app, &(args.params)(app));
+                let report = simulate(&args.config, policy.clone(), &trace);
+                let cell = Cell {
+                    app,
+                    policy: policy.name().to_string(),
+                    report,
+                };
+                results.lock().expect("poisoned").as_mut_slice()[j] = Some(cell);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("poisoned")
+        .into_iter()
+        .map(|c| c.expect("all jobs completed"))
+        .collect()
+}
+
+/// Finds the cell for `(app, policy)` in a matrix result.
+pub fn find<'a>(cells: &'a [Cell], app: App, policy: &str) -> &'a Cell {
+    cells
+        .iter()
+        .find(|c| c.app == app && c.policy == policy)
+        .unwrap_or_else(|| panic!("missing cell {app}/{policy}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_runs_all_pairs_in_order() {
+        let args = MatrixArgs {
+            config: SystemConfig::default(),
+            apps: vec![App::Mt, App::Mm],
+            policies: vec![Policy::OnTouch, Policy::Ideal],
+            params: Box::new(|app| WorkloadParams {
+                footprint_mb: 4,
+                ..WorkloadParams::small(app, 4)
+            }),
+        };
+        let cells = run_matrix(&args);
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].app, App::Mt);
+        assert_eq!(cells[0].policy, "on-touch");
+        assert_eq!(cells[3].app, App::Mm);
+        assert_eq!(cells[3].policy, "ideal");
+        let c = find(&cells, App::Mm, "ideal");
+        assert!(c.report.total_time.as_us() > 0.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use std::fmt;
+
+use oasis_core::controller::OasisConfig;
+use oasis_grit::GritConfig;
+use oasis_mem::types::PageSize;
+use oasis_mgpu::{Placement, Policy, SystemConfig};
+use oasis_workloads::{App, WorkloadParams, ALL_APPS};
+
+/// Usage text for `oasis-sim help`.
+pub const USAGE: &str = "\
+oasis-sim — OASIS multi-GPU page-management simulator
+
+USAGE:
+    oasis-sim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run           simulate one app under one policy and print the report
+    compare       simulate one app under every policy
+    characterize  print per-object access patterns of an app's trace
+    help          show this text
+
+OPTIONS:
+    --app <ABBR>            application: BFS C2D FFT I2C MM MT PR ST
+                            LeNet VGG16 ResNet18          [default: MT]
+    --policy <NAME>         on-touch | access-counter | duplication |
+                            ideal | oasis | oasis-inmem | grit
+                                                          [default: oasis]
+    --gpus <N>              GPU count                     [default: 4]
+    --footprint-mb <MB>     override the Table II footprint
+    --page-size <4k|2m>     translation granularity       [default: 4k]
+    --placement <host|striped>  initial page placement    [default: host]
+    --oversubscribe <PCT>   cap GPU memory for PCT% oversubscription
+    --reset-threshold <N>   OASIS reset threshold         [default: 8]
+    --seed <N>              workload RNG seed
+    --json                  machine-readable output (run command only)
+
+EXAMPLES:
+    oasis-sim run --app MM --policy duplication
+    oasis-sim compare --app ST --gpus 8
+    oasis-sim characterize --app C2D
+    oasis-sim run --app BFS --policy oasis --oversubscribe 150 --json
+";
+
+/// Subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// One app, one policy.
+    Run,
+    /// One app, every policy.
+    Compare,
+    /// Trace characterization.
+    Characterize,
+    /// Usage text.
+    Help,
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+    /// Application under test.
+    pub app: App,
+    /// Policy for `run`.
+    pub policy: Policy,
+    /// GPU count.
+    pub gpus: usize,
+    /// Footprint override (MB).
+    pub footprint_mb: Option<u64>,
+    /// Page size.
+    pub page_size: PageSize,
+    /// Initial placement.
+    pub placement: Placement,
+    /// Oversubscription percentage (>100) if set.
+    pub oversubscribe: Option<u64>,
+    /// OASIS reset threshold.
+    pub reset_threshold: u8,
+    /// Workload seed override.
+    pub seed: Option<u64>,
+    /// JSON output.
+    pub json: bool,
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Every selectable policy, for `compare`.
+pub fn all_policies() -> Vec<Policy> {
+    vec![
+        Policy::OnTouch,
+        Policy::AccessCounter,
+        Policy::Duplication,
+        Policy::oasis(),
+        Policy::oasis_inmem(),
+        Policy::grit(),
+        Policy::Ideal,
+    ]
+}
+
+fn parse_policy(name: &str, reset_threshold: u8) -> Result<Policy, ParseError> {
+    let oasis_cfg = OasisConfig {
+        reset_threshold,
+        ..OasisConfig::default()
+    };
+    Ok(match name {
+        "on-touch" => Policy::OnTouch,
+        "access-counter" => Policy::AccessCounter,
+        "duplication" => Policy::Duplication,
+        "ideal" => Policy::Ideal,
+        "oasis" => Policy::Oasis(oasis_cfg),
+        "oasis-inmem" => Policy::OasisInMem(oasis_cfg),
+        "grit" => Policy::Grit(GritConfig::default()),
+        other => return Err(ParseError(format!("unknown policy '{other}'"))),
+    })
+}
+
+impl Cli {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first invalid argument.
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Cli, ParseError> {
+        let mut args = argv.into_iter().peekable();
+        let command = match args.next().as_deref() {
+            Some("run") => Command::Run,
+            Some("compare") => Command::Compare,
+            Some("characterize") => Command::Characterize,
+            Some("help") | Some("--help") | Some("-h") | None => Command::Help,
+            Some(other) => return Err(ParseError(format!("unknown command '{other}'"))),
+        };
+        let mut cli = Cli {
+            command,
+            app: App::Mt,
+            policy: Policy::oasis(),
+            gpus: 4,
+            footprint_mb: None,
+            page_size: PageSize::Small4K,
+            placement: Placement::Host,
+            oversubscribe: None,
+            reset_threshold: 8,
+            seed: None,
+            json: false,
+        };
+        let mut policy_name: Option<String> = None;
+        while let Some(flag) = args.next() {
+            let mut value = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+            };
+            match flag.as_str() {
+                "--app" => {
+                    let v = value("--app")?;
+                    cli.app = *ALL_APPS
+                        .iter()
+                        .find(|a| a.abbr().eq_ignore_ascii_case(&v))
+                        .ok_or_else(|| ParseError(format!("unknown app '{v}'")))?;
+                }
+                "--policy" => policy_name = Some(value("--policy")?),
+                "--gpus" => {
+                    cli.gpus = value("--gpus")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--gpus: {e}")))?;
+                    if cli.gpus == 0 {
+                        return Err(ParseError("--gpus must be positive".into()));
+                    }
+                }
+                "--footprint-mb" => {
+                    cli.footprint_mb = Some(
+                        value("--footprint-mb")?
+                            .parse()
+                            .map_err(|e| ParseError(format!("--footprint-mb: {e}")))?,
+                    );
+                }
+                "--page-size" => {
+                    cli.page_size = match value("--page-size")?.as_str() {
+                        "4k" | "4K" | "4096" => PageSize::Small4K,
+                        "2m" | "2M" => PageSize::Large2M,
+                        v => return Err(ParseError(format!("unknown page size '{v}'"))),
+                    };
+                }
+                "--placement" => {
+                    cli.placement = match value("--placement")?.as_str() {
+                        "host" => Placement::Host,
+                        "striped" => Placement::Striped,
+                        v => return Err(ParseError(format!("unknown placement '{v}'"))),
+                    };
+                }
+                "--oversubscribe" => {
+                    let pct: u64 = value("--oversubscribe")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--oversubscribe: {e}")))?;
+                    if pct <= 100 {
+                        return Err(ParseError("--oversubscribe must exceed 100".into()));
+                    }
+                    cli.oversubscribe = Some(pct);
+                }
+                "--reset-threshold" => {
+                    cli.reset_threshold = value("--reset-threshold")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--reset-threshold: {e}")))?;
+                }
+                "--seed" => {
+                    cli.seed = Some(
+                        value("--seed")?
+                            .parse()
+                            .map_err(|e| ParseError(format!("--seed: {e}")))?,
+                    );
+                }
+                "--json" => cli.json = true,
+                other => return Err(ParseError(format!("unknown option '{other}'"))),
+            }
+        }
+        if let Some(name) = policy_name {
+            cli.policy = parse_policy(&name, cli.reset_threshold)?;
+        } else {
+            cli.policy = parse_policy("oasis", cli.reset_threshold)?;
+        }
+        Ok(cli)
+    }
+
+    /// The workload parameters this invocation selects.
+    pub fn workload_params(&self) -> WorkloadParams {
+        let mut p = WorkloadParams::paper(self.app, self.gpus);
+        if let Some(mb) = self.footprint_mb {
+            p.footprint_mb = mb;
+        }
+        if let Some(seed) = self.seed {
+            p.seed = seed;
+        }
+        p
+    }
+
+    /// The system configuration this invocation selects.
+    pub fn system_config(&self) -> SystemConfig {
+        let mut c = SystemConfig {
+            gpu_count: self.gpus,
+            page_size: self.page_size,
+            placement: self.placement,
+            ..SystemConfig::default()
+        };
+        if let Some(pct) = self.oversubscribe {
+            c = c.with_oversubscription(self.workload_params().footprint_bytes(), pct);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Cli, ParseError> {
+        Cli::parse(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse(&["run"]).unwrap();
+        assert_eq!(c.command, Command::Run);
+        assert_eq!(c.app, App::Mt);
+        assert_eq!(c.gpus, 4);
+        assert_eq!(c.policy.name(), "oasis");
+        assert!(!c.json);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let c = parse(&[
+            "run",
+            "--app",
+            "bfs",
+            "--policy",
+            "grit",
+            "--gpus",
+            "8",
+            "--footprint-mb",
+            "12",
+            "--page-size",
+            "2m",
+            "--placement",
+            "striped",
+            "--oversubscribe",
+            "150",
+            "--seed",
+            "7",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(c.app, App::Bfs);
+        assert_eq!(c.policy.name(), "grit");
+        assert_eq!(c.gpus, 8);
+        assert_eq!(c.footprint_mb, Some(12));
+        assert_eq!(c.page_size, PageSize::Large2M);
+        assert_eq!(c.placement, Placement::Striped);
+        assert_eq!(c.oversubscribe, Some(150));
+        assert_eq!(c.seed, Some(7));
+        assert!(c.json);
+        assert!(c.system_config().gpu_capacity_pages.is_some());
+    }
+
+    #[test]
+    fn reset_threshold_feeds_oasis_config() {
+        let c = parse(&["run", "--policy", "oasis", "--reset-threshold", "32"]).unwrap();
+        match c.policy {
+            Policy::Oasis(cfg) => assert_eq!(cfg.reset_threshold, 32),
+            _ => panic!("expected oasis"),
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&["frobnicate"]).unwrap_err().0.contains("command"));
+        assert!(parse(&["run", "--app", "NOPE"]).unwrap_err().0.contains("app"));
+        assert!(parse(&["run", "--policy", "magic"]).unwrap_err().0.contains("policy"));
+        assert!(parse(&["run", "--gpus"]).unwrap_err().0.contains("value"));
+        assert!(parse(&["run", "--gpus", "0"]).unwrap_err().0.contains("positive"));
+        assert!(parse(&["run", "--oversubscribe", "90"])
+            .unwrap_err()
+            .0
+            .contains("exceed 100"));
+    }
+
+    #[test]
+    fn no_args_means_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+    }
+}

@@ -1,0 +1,94 @@
+//! Argument parsing and report formatting for the `oasis-sim` CLI.
+//!
+//! Kept as a library so the parsing and rendering logic is unit-testable;
+//! `main.rs` is a thin shell around [`run`].
+
+pub mod args;
+pub mod render;
+
+use oasis_mgpu::simulate;
+use oasis_workloads::generate;
+
+pub use args::{Cli, Command, ParseError};
+
+/// Executes a parsed invocation, returning the text to print.
+pub fn run(cli: &Cli) -> String {
+    match &cli.command {
+        Command::Run => {
+            let trace = generate(cli.app, &cli.workload_params());
+            let report = simulate(&cli.system_config(), cli.policy.clone(), &trace);
+            if cli.json {
+                render::report_json(&report)
+            } else {
+                render::report_text(&report)
+            }
+        }
+        Command::Compare => {
+            let trace = generate(cli.app, &cli.workload_params());
+            let config = cli.system_config();
+            let policies = args::all_policies();
+            let mut reports = Vec::new();
+            for p in policies {
+                reports.push(simulate(&config, p, &trace));
+            }
+            render::comparison_text(&reports)
+        }
+        Command::Characterize => {
+            let trace = generate(cli.app, &cli.workload_params());
+            render::characterization_text(&trace, cli.system_config().page_size)
+        }
+        Command::Help => args::USAGE.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Cli {
+        Cli::parse(argv.iter().map(|s| s.to_string())).expect("parse")
+    }
+
+    #[test]
+    fn run_produces_report_text() {
+        let out = run(&parse(&["run", "--app", "MT", "--footprint-mb", "4"]));
+        assert!(out.contains("simulated time"));
+        assert!(out.contains("far faults"));
+    }
+
+    #[test]
+    fn run_json_is_wellformed_enough() {
+        let out = run(&parse(&[
+            "run",
+            "--app",
+            "MT",
+            "--footprint-mb",
+            "4",
+            "--json",
+        ]));
+        assert!(out.trim_start().starts_with('{'));
+        assert!(out.contains("\"total_time_us\""));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn compare_lists_all_policies() {
+        let out = run(&parse(&["compare", "--app", "MT", "--footprint-mb", "4"]));
+        for name in ["on-touch", "access-counter", "duplication", "oasis", "grit"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn characterize_lists_objects() {
+        let out = run(&parse(&["characterize", "--app", "MM", "--footprint-mb", "4"]));
+        assert!(out.contains("MM_A"));
+        assert!(out.contains("read-only"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&parse(&["help"]));
+        assert!(out.contains("USAGE"));
+    }
+}

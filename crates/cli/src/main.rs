@@ -1,0 +1,24 @@
+//! `oasis-sim` — command-line front end for the OASIS simulator.
+//!
+//! ```sh
+//! oasis-sim run --app MM --policy duplication
+//! oasis-sim compare --app ST --gpus 8
+//! oasis-sim characterize --app C2D
+//! ```
+
+use std::process::ExitCode;
+
+use oasis_cli::{run, Cli};
+
+fn main() -> ExitCode {
+    match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => {
+            println!("{}", run(&cli));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\nrun `oasis-sim help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

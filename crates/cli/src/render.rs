@@ -1,0 +1,178 @@
+//! Report rendering: aligned text and minimal hand-rolled JSON.
+
+use std::fmt::Write as _;
+
+use oasis_mem::types::PageSize;
+use oasis_mgpu::characterize::{profile, RwPattern, Scope, SharePattern};
+use oasis_mgpu::RunReport;
+use oasis_workloads::Trace;
+
+/// Human-readable single-run report.
+pub fn report_text(r: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} under {}", r.app, r.policy);
+    let _ = writeln!(out, "  simulated time     {:>12.3} ms", r.total_time.as_us() / 1000.0);
+    let _ = writeln!(out, "  kernel launches    {:>12}", r.phases);
+    let _ = writeln!(out, "  transactions       {:>12}", r.accesses);
+    let _ = writeln!(out, "  local / remote     {:>12} / {}", r.local_accesses, r.remote_accesses);
+    let _ = writeln!(out, "  far faults         {:>12}", r.uvm.far_faults);
+    let _ = writeln!(out, "  protection faults  {:>12}", r.uvm.protection_faults);
+    let _ = writeln!(out, "  migrations         {:>12}", r.uvm.migrations);
+    let _ = writeln!(out, "  counter migrations {:>12}", r.uvm.counter_migrations);
+    let _ = writeln!(out, "  duplications       {:>12}", r.uvm.duplications);
+    let _ = writeln!(out, "  collapses          {:>12}", r.uvm.collapses);
+    let _ = writeln!(out, "  remote maps        {:>12}", r.uvm.remote_maps);
+    let _ = writeln!(out, "  evictions          {:>12}", r.uvm.evictions);
+    let _ = writeln!(out, "  thrash pins        {:>12}", r.uvm.thrash_pins);
+    let _ = writeln!(out, "  NVLink / PCIe      {:>9} KB / {} KB", r.nvlink_bytes / 1024, r.pcie_bytes / 1024);
+    let (h1, m1) = r.l1_tlb;
+    let (h2, m2) = r.l2_tlb;
+    let _ = writeln!(
+        out,
+        "  L1 TLB hit rate    {:>11.1}%   L2 TLB hit rate {:>5.1}%",
+        pct(h1, h1 + m1),
+        pct(h2, h2 + m2)
+    );
+    out
+}
+
+fn pct(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64 * 100.0
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Machine-readable single-run report.
+pub fn report_json(r: &RunReport) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"app\": {},", json_str(&r.app));
+    let _ = writeln!(out, "  \"policy\": {},", json_str(&r.policy));
+    let _ = writeln!(out, "  \"total_time_us\": {:.3},", r.total_time.as_us());
+    let _ = writeln!(out, "  \"phases\": {},", r.phases);
+    let _ = writeln!(out, "  \"accesses\": {},", r.accesses);
+    let _ = writeln!(out, "  \"local_accesses\": {},", r.local_accesses);
+    let _ = writeln!(out, "  \"remote_accesses\": {},", r.remote_accesses);
+    let _ = writeln!(out, "  \"far_faults\": {},", r.uvm.far_faults);
+    let _ = writeln!(out, "  \"protection_faults\": {},", r.uvm.protection_faults);
+    let _ = writeln!(out, "  \"migrations\": {},", r.uvm.migrations);
+    let _ = writeln!(out, "  \"counter_migrations\": {},", r.uvm.counter_migrations);
+    let _ = writeln!(out, "  \"duplications\": {},", r.uvm.duplications);
+    let _ = writeln!(out, "  \"collapses\": {},", r.uvm.collapses);
+    let _ = writeln!(out, "  \"remote_maps\": {},", r.uvm.remote_maps);
+    let _ = writeln!(out, "  \"evictions\": {},", r.uvm.evictions);
+    let _ = writeln!(out, "  \"thrash_pins\": {},", r.uvm.thrash_pins);
+    let _ = writeln!(out, "  \"nvlink_bytes\": {},", r.nvlink_bytes);
+    let _ = writeln!(out, "  \"pcie_bytes\": {},", r.pcie_bytes);
+    let _ = writeln!(
+        out,
+        "  \"policy_mix\": [{}, {}, {}]",
+        r.policy_mix[0], r.policy_mix[1], r.policy_mix[2]
+    );
+    out.push('}');
+    out
+}
+
+/// Side-by-side comparison of several runs (same app).
+pub fn comparison_text(reports: &[RunReport]) -> String {
+    let mut out = String::new();
+    let base = reports
+        .iter()
+        .find(|r| r.policy == "on-touch")
+        .or_else(|| reports.first())
+        .expect("at least one report");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>9} {:>12} {:>12}",
+        "policy", "time(ms)", "speedup", "page-faults", "remote-acc"
+    );
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12.3} {:>8.2}x {:>12} {:>12}",
+            r.policy,
+            r.total_time.as_us() / 1000.0,
+            r.speedup_over(base),
+            r.uvm.total_faults(),
+            r.remote_accesses
+        );
+    }
+    out
+}
+
+/// Per-object characterization of a trace.
+pub fn characterization_text(trace: &Trace, page: PageSize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} — {} objects, {} MB, {} launches, {} transactions ({page} pages)",
+        trace.app,
+        trace.objects.len(),
+        trace.footprint_bytes() >> 20,
+        trace.phases.len(),
+        trace.total_accesses()
+    );
+    let profiles = profile(trace, page, Scope::Whole);
+    let total: u64 = profiles.iter().map(|p| p.accesses).sum();
+    for p in profiles.iter().filter(|p| p.accesses > 0) {
+        let share = match p.share_pattern() {
+            Some(SharePattern::Private) => "private",
+            Some(SharePattern::Shared) => "shared",
+            None => "untouched",
+        };
+        let rw = match p.rw_pattern() {
+            Some(RwPattern::ReadOnly) => "read-only",
+            Some(RwPattern::WriteOnly) => "write-only",
+            Some(RwPattern::RwMix) => "rw-mix",
+            None => "untouched",
+        };
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>8} pages  {:<8} {:<10} {:>5.1}% of accesses{}",
+            p.name,
+            p.pages,
+            share,
+            rw,
+            pct(p.accesses, total),
+            if p.is_non_uniform() { "  [non-uniform]" } else { "" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_str("a\nb"), "\"a\\u000ab\"");
+    }
+
+    #[test]
+    fn pct_handles_zero_denominator() {
+        assert_eq!(pct(5, 0), 0.0);
+        assert_eq!(pct(1, 2), 50.0);
+    }
+}

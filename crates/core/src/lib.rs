@@ -1,0 +1,32 @@
+//! OASIS: object-aware page management for multi-GPU systems.
+//!
+//! This crate implements the paper's primary contribution (Section V):
+//!
+//! * the **Object Tracker** ([`tracker`]) — wraps managed allocation and
+//!   encodes a 4-bit object index plus a configuration bit into the unused
+//!   upper pointer bits (Figs. 9–10), relying on TBI/LAM/UAI-style tag
+//!   ignoring on dereference;
+//! * the **O-Table** ([`otable`]) — a 16-entry, LRU-managed on-chip table
+//!   holding each live object's learned policy bit and page-fault count
+//!   (Fig. 11);
+//! * the **Object Policy Controller** ([`controller`]) — uses the host page
+//!   table as a private/shared filter, learns a shared object's policy from
+//!   the first shared fault's W bit, self-corrects via the PF-count reset
+//!   threshold (implicit phases) and kernel-launch resets (explicit phases)
+//!   per the state machine of Fig. 13(b);
+//! * **OASIS-InMem** ([`inmem`]) — the software-only alternative
+//!   (Section V-F): a two-level shadow map in system memory supplies the
+//!   object index, and the O-Table lives in memory, cached in the host LLC.
+//!
+//! Both controllers implement [`oasis_uvm::PolicyEngine`], so they plug
+//! into the same simulated UVM driver as the uniform policies.
+
+pub mod controller;
+pub mod inmem;
+pub mod otable;
+pub mod tracker;
+
+pub use controller::{OasisConfig, OasisController, OasisStats};
+pub use inmem::{OasisInMem, ShadowMap};
+pub use otable::{OTable, OTableEntry, PolicyChoice};
+pub use tracker::{decode, encode, ObjectTracker, DEFAULT_ID_BITS, MAX_ID_BITS};

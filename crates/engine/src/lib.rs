@@ -1,0 +1,27 @@
+//! Discrete-event simulation kernel for the OASIS multi-GPU memory-system
+//! simulator.
+//!
+//! This crate plays the role that the Akita engine plays for MGPUSim: it
+//! provides simulated time ([`Time`], [`Duration`]), a deterministic event
+//! queue ([`EventQueue`]), and bandwidth-serialized transfer channels
+//! ([`Channel`]) from which the rest of the simulator is built.
+//!
+//! # Example
+//!
+//! ```
+//! use oasis_engine::{Duration, EventQueue, Time};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(Time::ZERO + Duration::from_ns(5), "later");
+//! q.push(Time::ZERO, "now");
+//! assert_eq!(q.pop().map(|e| e.payload), Some("now"));
+//! assert_eq!(q.pop().map(|e| e.payload), Some("later"));
+//! ```
+
+pub mod channel;
+pub mod queue;
+pub mod time;
+
+pub use channel::{Channel, Transfer};
+pub use queue::{Event, EventQueue};
+pub use time::{Duration, Time};

@@ -1,0 +1,59 @@
+//! Property-based tests for the simulation kernel.
+
+use oasis_engine::{Channel, Duration, EventQueue, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in nondecreasing time order, with FIFO ties.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(Time::from_ps(*t), i);
+        }
+        let mut last_time = Time::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut last_popped_time = None;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.time >= last_time);
+            if last_popped_time == Some(ev.time) {
+                // FIFO tie-break: payload indices at equal times ascend.
+                prop_assert!(seen_at_time.last().is_none_or(|&p| p < ev.payload));
+            } else {
+                seen_at_time.clear();
+            }
+            seen_at_time.push(ev.payload);
+            last_popped_time = Some(ev.time);
+            last_time = ev.time;
+        }
+    }
+
+    /// A channel never starts a transfer before the previous one departed,
+    /// and occupancy equals the sum of transfer times.
+    #[test]
+    fn channel_serializes(
+        bw in 1u64..10_000_000_000,
+        sizes in proptest::collection::vec(0u64..1_000_000, 1..50),
+    ) {
+        let mut c = Channel::new(bw, Duration::from_ns(123));
+        let mut prev_depart = Time::ZERO;
+        let mut expected_busy = Duration::ZERO;
+        for s in &sizes {
+            let t = c.reserve(Time::ZERO, *s);
+            prop_assert!(t.start >= prev_depart);
+            prop_assert_eq!(t.arrive, t.depart + Duration::from_ns(123));
+            prop_assert!(t.depart >= t.start);
+            prev_depart = t.depart;
+            expected_busy += Duration::for_transfer(*s, bw);
+        }
+        prop_assert_eq!(c.busy_time(), expected_busy);
+        prop_assert_eq!(c.bytes_moved(), sizes.iter().sum::<u64>());
+    }
+
+    /// Transfer duration scales linearly in bytes (within rounding).
+    #[test]
+    fn transfer_duration_is_monotonic(bw in 1u64..1_000_000_000_000, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Duration::for_transfer(lo, bw) <= Duration::for_transfer(hi, bw));
+    }
+}

@@ -1,0 +1,229 @@
+//! Interconnect model: NVLink fabric between GPUs, PCIe to the host.
+//!
+//! Matches the baseline platform of Table I: every GPU has a 300 GB/s
+//! NVLink-v2 port into an all-to-all fabric, and a 32 GB/s PCIe-v4 link to
+//! the host CPU. A transfer occupies both endpoints' ports for its
+//! serialization time, so migration storms toward one GPU congest its
+//! ingress and heavy fault traffic congests PCIe — the effects that make
+//! page ping-ponging and fault-heavy policies expensive in the paper.
+
+use oasis_engine::{Channel, Duration, Time, Transfer};
+use oasis_mem::types::DeviceId;
+
+/// Interconnect configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Per-GPU NVLink port bandwidth in bytes/second (paper: 300 GB/s).
+    pub nvlink_bytes_per_sec: u64,
+    /// NVLink one-way latency.
+    pub nvlink_latency: Duration,
+    /// Per-GPU PCIe link bandwidth in bytes/second (paper: 32 GB/s).
+    pub pcie_bytes_per_sec: u64,
+    /// PCIe one-way latency.
+    pub pcie_latency: Duration,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            nvlink_bytes_per_sec: 300_000_000_000,
+            nvlink_latency: Duration::from_ns(500),
+            pcie_bytes_per_sec: 32_000_000_000,
+            pcie_latency: Duration::from_us(1),
+        }
+    }
+}
+
+/// The system interconnect: per-GPU NVLink ports (all-to-all) plus per-GPU
+/// PCIe links to the host.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    nvlink: Vec<Channel>,
+    pcie: Vec<Channel>,
+    config: FabricConfig,
+}
+
+impl Fabric {
+    /// Builds the fabric for `gpu_count` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_count` is zero.
+    pub fn new(gpu_count: usize, config: FabricConfig) -> Self {
+        assert!(gpu_count > 0, "need at least one GPU");
+        Fabric {
+            nvlink: (0..gpu_count)
+                .map(|_| Channel::new(config.nvlink_bytes_per_sec, config.nvlink_latency))
+                .collect(),
+            pcie: (0..gpu_count)
+                .map(|_| Channel::new(config.pcie_bytes_per_sec, config.pcie_latency))
+                .collect(),
+            config,
+        }
+    }
+
+    /// Number of GPUs attached.
+    pub fn gpu_count(&self) -> usize {
+        self.nvlink.len()
+    }
+
+    /// The configuration the fabric was built with.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Reserves a bulk transfer of `bytes` from `from` to `to` at `now`,
+    /// occupying both endpoints' ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` (no self-transfers) or a GPU index is out of
+    /// range.
+    pub fn transfer(&mut self, now: Time, from: DeviceId, to: DeviceId, bytes: u64) -> Transfer {
+        assert_ne!(from, to, "self-transfer on the fabric");
+        match (from, to) {
+            (DeviceId::Gpu(a), DeviceId::Gpu(b)) => {
+                let (i, j) = (a.index(), b.index());
+                // Joint reservation: the transfer starts when both ports are
+                // free, then occupies both for its serialization time.
+                let hint = now
+                    .max(self.nvlink[i].next_free())
+                    .max(self.nvlink[j].next_free());
+                let t = self.nvlink[i].reserve(hint, bytes);
+                let t2 = self.nvlink[j].reserve(hint, bytes);
+                debug_assert_eq!(t.start, t2.start);
+                t
+            }
+            (DeviceId::Host, DeviceId::Gpu(g)) | (DeviceId::Gpu(g), DeviceId::Host) => {
+                self.pcie[g.index()].reserve(now, bytes)
+            }
+            (DeviceId::Host, DeviceId::Host) => unreachable!("guarded by assert_ne"),
+        }
+    }
+
+    /// One-way latency for a small control message (fault packet,
+    /// invalidation request/ack) between two devices. Control messages are
+    /// assumed not to consume meaningful bandwidth.
+    pub fn control_latency(&self, from: DeviceId, to: DeviceId) -> Duration {
+        match (from, to) {
+            (DeviceId::Gpu(_), DeviceId::Gpu(_)) => self.config.nvlink_latency,
+            (DeviceId::Host, DeviceId::Gpu(_)) | (DeviceId::Gpu(_), DeviceId::Host) => {
+                self.config.pcie_latency
+            }
+            (DeviceId::Host, DeviceId::Host) => Duration::ZERO,
+        }
+    }
+
+    /// Total bytes moved over NVLink ports (each inter-GPU byte counts once
+    /// per endpoint port).
+    pub fn nvlink_bytes(&self) -> u64 {
+        self.nvlink.iter().map(Channel::bytes_moved).sum()
+    }
+
+    /// Total bytes moved over PCIe links.
+    pub fn pcie_bytes(&self) -> u64 {
+        self.pcie.iter().map(Channel::bytes_moved).sum()
+    }
+
+    /// Cumulative busy time of the busiest NVLink port.
+    pub fn max_nvlink_busy(&self) -> Duration {
+        self.nvlink
+            .iter()
+            .map(Channel::busy_time)
+            .fold(Duration::ZERO, Duration::max)
+    }
+
+    /// Resets occupancy and statistics on all links.
+    pub fn reset(&mut self) {
+        for c in self.nvlink.iter_mut().chain(self.pcie.iter_mut()) {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_mem::types::GpuId;
+
+    fn gpu(i: u8) -> DeviceId {
+        DeviceId::Gpu(GpuId(i))
+    }
+
+    #[test]
+    fn gpu_to_gpu_uses_nvlink_latency() {
+        let mut f = Fabric::new(4, FabricConfig::default());
+        let t = f.transfer(Time::ZERO, gpu(0), gpu(1), 4096);
+        let expected = Duration::for_transfer(4096, 300_000_000_000) + Duration::from_ns(500);
+        assert_eq!(t.latency_from(Time::ZERO), expected);
+    }
+
+    #[test]
+    fn host_transfers_use_pcie() {
+        let mut f = Fabric::new(2, FabricConfig::default());
+        let t = f.transfer(Time::ZERO, DeviceId::Host, gpu(1), 4096);
+        let expected = Duration::for_transfer(4096, 32_000_000_000) + Duration::from_us(1);
+        assert_eq!(t.latency_from(Time::ZERO), expected);
+        assert_eq!(f.pcie_bytes(), 4096);
+        assert_eq!(f.nvlink_bytes(), 0);
+    }
+
+    #[test]
+    fn transfers_to_same_gpu_serialize_on_its_port() {
+        let mut f = Fabric::new(4, FabricConfig::default());
+        let a = f.transfer(Time::ZERO, gpu(0), gpu(3), 1 << 20);
+        let b = f.transfer(Time::ZERO, gpu(1), gpu(3), 1 << 20);
+        assert!(b.start >= a.depart, "ingress port must serialize");
+    }
+
+    #[test]
+    fn transfers_between_disjoint_pairs_proceed_in_parallel() {
+        let mut f = Fabric::new(4, FabricConfig::default());
+        let a = f.transfer(Time::ZERO, gpu(0), gpu(1), 1 << 20);
+        let b = f.transfer(Time::ZERO, gpu(2), gpu(3), 1 << 20);
+        assert_eq!(a.start, b.start);
+    }
+
+    #[test]
+    fn pcie_links_are_per_gpu() {
+        let mut f = Fabric::new(2, FabricConfig::default());
+        let a = f.transfer(Time::ZERO, DeviceId::Host, gpu(0), 1 << 20);
+        let b = f.transfer(Time::ZERO, DeviceId::Host, gpu(1), 1 << 20);
+        assert_eq!(a.start, b.start);
+    }
+
+    #[test]
+    fn control_latencies() {
+        let f = Fabric::new(2, FabricConfig::default());
+        assert_eq!(f.control_latency(gpu(0), gpu(1)), Duration::from_ns(500));
+        assert_eq!(
+            f.control_latency(gpu(0), DeviceId::Host),
+            Duration::from_us(1)
+        );
+        assert_eq!(
+            f.control_latency(DeviceId::Host, DeviceId::Host),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let mut f = Fabric::new(2, FabricConfig::default());
+        f.transfer(Time::ZERO, gpu(0), gpu(1), 4096);
+        f.reset();
+        assert_eq!(f.nvlink_bytes(), 0);
+        assert_eq!(f.max_nvlink_busy(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transfer")]
+    fn self_transfer_panics() {
+        let mut f = Fabric::new(2, FabricConfig::default());
+        f.transfer(Time::ZERO, gpu(0), gpu(0), 1);
+    }
+
+    #[test]
+    fn gpu_count_reported() {
+        assert_eq!(Fabric::new(8, FabricConfig::default()).gpu_count(), 8);
+    }
+}

@@ -1,0 +1,251 @@
+//! Set-associative data-cache model (presence only, LRU replacement).
+//!
+//! Models the per-GPU L2 cache of Table I (256 KB, 16-way, 64 B lines).
+//! Like the TLB model, it tracks which line addresses are resident so the
+//! simulator can decide whether an access pays DRAM latency; it does not
+//! hold data. Lines are indexed by their 64-bit line address (VA >> 6),
+//! tagged with the owning memory location epoch so invalidations on page
+//! migration can drop stale lines.
+
+use std::collections::HashMap;
+
+use crate::types::{PageSize, Va, Vpn};
+
+#[derive(Debug, Clone)]
+struct Set {
+    lines: Vec<(u64, u64)>, // (line address, last-use stamp)
+}
+
+/// A set-associative cache over 64-bit line addresses.
+///
+/// # Example
+///
+/// ```
+/// use oasis_mem::{Cache, Va};
+///
+/// let mut l2 = Cache::new(256 * 1024, 16, 64); // Table I's L2
+/// assert!(!l2.access(Va(0x1000))); // miss fills the line
+/// assert!(l2.access(Va(0x1020)));  // same 64 B line: hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Set>,
+    ways: usize,
+    line_shift: u32,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+    where_is: HashMap<u64, usize>,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with `ways` associativity and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometry is degenerate (zero sizes, non-power-of-two line
+    /// size or set count, capacity not divisible by `ways * line_bytes`).
+    pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        assert!(
+            capacity_bytes > 0 && ways > 0 && line_bytes > 0,
+            "cache geometry must be positive"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lines = capacity_bytes / line_bytes;
+        assert!(
+            (lines as usize).is_multiple_of(ways),
+            "line count must be a multiple of associativity"
+        );
+        let num_sets = lines as usize / ways;
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        Cache {
+            sets: (0..num_sets)
+                .map(|_| Set {
+                    lines: Vec::with_capacity(ways),
+                })
+                .collect(),
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+            where_is: HashMap::new(),
+        }
+    }
+
+    fn line_addr(&self, va: Va) -> u64 {
+        va.canonical().0 >> self.line_shift
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line as usize) & (self.sets.len() - 1)
+    }
+
+    /// Accesses the line containing `va`; fills it on a miss. Returns
+    /// whether it hit.
+    pub fn access(&mut self, va: Va) -> bool {
+        let line = self.line_addr(va);
+        self.stamp += 1;
+        let idx = self.set_index(line);
+        let stamp = self.stamp;
+        let ways = self.ways;
+        let set = &mut self.sets[idx];
+        if let Some(l) = set.lines.iter_mut().find(|(a, _)| *a == line) {
+            l.1 = stamp;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if set.lines.len() == ways {
+            let (lru_pos, _) = set
+                .lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, s))| *s)
+                .expect("full set is nonempty");
+            let (old, _) = set.lines.swap_remove(lru_pos);
+            self.where_is.remove(&old);
+        }
+        set.lines.push((line, stamp));
+        self.where_is.insert(line, idx);
+        false
+    }
+
+    /// Drops every line belonging to virtual page `vpn` (done when a page
+    /// migrates away or a duplicate is collapsed). Returns how many lines
+    /// were dropped.
+    pub fn invalidate_page(&mut self, vpn: Vpn, page: PageSize) -> usize {
+        let first_line = (vpn.0 << page.shift()) >> self.line_shift;
+        let lines_per_page = (page.bytes() >> self.line_shift).max(1);
+        let mut dropped = 0;
+        for line in first_line..first_line + lines_per_page {
+            if let Some(idx) = self.where_is.remove(&line) {
+                let set = &mut self.sets[idx];
+                if let Some(pos) = set.lines.iter().position(|(a, _)| *a == line) {
+                    set.lines.swap_remove(pos);
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Drops all contents.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.lines.clear();
+        }
+        self.where_is.clear();
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.where_is.len()
+    }
+
+    /// True if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.where_is.is_empty()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Resets hit/miss counters (contents retained).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = Cache::new(256 * 1024, 16, 64);
+        assert!(!c.access(Va(0x1000)));
+        assert!(c.access(Va(0x1000)));
+        assert!(c.access(Va(0x1038))); // same 64B line region? 0x1038 is line 0x40.. no:
+    }
+
+    #[test]
+    fn same_line_different_bytes_hit() {
+        let mut c = Cache::new(1024, 2, 64);
+        assert!(!c.access(Va(0x100)));
+        assert!(c.access(Va(0x13F))); // 0x100..0x140 is one 64 B line
+        assert!(!c.access(Va(0x140))); // next line
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 2 lines per set, 2 sets (256 B cache, 64 B lines, 2-way).
+        let mut c = Cache::new(256, 2, 64);
+        // Lines 0, 2, 4 all map to set 0.
+        c.access(Va(0)); // line 0
+        c.access(Va(128)); // line 2
+        c.access(Va(0)); // refresh line 0; line 2 is LRU
+        c.access(Va(256)); // line 4 evicts line 2
+        assert!(c.access(Va(0)));
+        assert!(!c.access(Va(128)));
+    }
+
+    #[test]
+    fn invalidate_page_drops_all_its_lines() {
+        let mut c = Cache::new(64 * 1024, 16, 64);
+        let vpn = Vpn(3);
+        let base = vpn.base(PageSize::Small4K).0;
+        for off in (0..4096).step_by(64) {
+            c.access(Va(base + off));
+        }
+        let resident_before = c.len();
+        assert_eq!(resident_before, 64);
+        let dropped = c.invalidate_page(vpn, PageSize::Small4K);
+        assert_eq!(dropped, 64);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_page_spares_other_pages() {
+        let mut c = Cache::new(64 * 1024, 16, 64);
+        c.access(Va(Vpn(1).base(PageSize::Small4K).0));
+        c.access(Va(Vpn(2).base(PageSize::Small4K).0));
+        c.invalidate_page(Vpn(1), PageSize::Small4K);
+        assert!(c.access(Va(Vpn(2).base(PageSize::Small4K).0)));
+    }
+
+    #[test]
+    fn flush_and_stats() {
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(Va(0));
+        c.access(Va(0));
+        assert_eq!(c.stats(), (1, 1));
+        c.flush();
+        assert!(c.is_empty());
+        c.reset_stats();
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        let _ = Cache::new(1024, 2, 60);
+    }
+
+    #[test]
+    fn tagged_va_maps_to_same_line_as_untagged() {
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(Va(0x100));
+        assert!(c.access(Va(0x100 | (0x11u64 << 48))));
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-device physical-frame accounting with LRU residency tracking.
+//!
+//! GPUs have finite local memory (4 GB in Table I). Under oversubscription
+//! (§VI-D of the paper) migrating a page into a full GPU first evicts the
+//! least-recently-used resident page back to the host. This structure tracks
+//! which virtual pages are resident on a device and in what recency order.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::types::Vpn;
+
+/// Tracks the set of pages resident in one device's memory, in LRU order.
+///
+/// # Example
+///
+/// ```
+/// use oasis_mem::{FrameAllocator, Vpn};
+///
+/// let mut frames = FrameAllocator::new(Some(2));
+/// frames.insert(Vpn(1));
+/// frames.insert(Vpn(2));
+/// // The device is full: inserting evicts the LRU page.
+/// assert_eq!(frames.insert(Vpn(3)), Some(Vpn(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    /// Maximum resident pages; `None` = unlimited (the host).
+    capacity_pages: Option<u64>,
+    /// vpn -> recency stamp.
+    stamps: HashMap<Vpn, u64>,
+    /// recency stamp -> vpn (ordered; the smallest stamp is the LRU page).
+    by_stamp: BTreeMap<u64, Vpn>,
+    next_stamp: u64,
+    evictions: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator holding at most `capacity_pages` pages, or
+    /// unlimited if `None`.
+    pub fn new(capacity_pages: Option<u64>) -> Self {
+        FrameAllocator {
+            capacity_pages,
+            stamps: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            next_stamp: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident(&self) -> u64 {
+        self.stamps.len() as u64
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity_pages
+    }
+
+    /// True if `vpn` is resident.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.stamps.contains_key(&vpn)
+    }
+
+    /// True if inserting one more page would exceed capacity.
+    pub fn is_full(&self) -> bool {
+        self.capacity_pages
+            .is_some_and(|cap| self.resident() >= cap)
+    }
+
+    /// Marks `vpn` resident (or refreshes its recency if already resident).
+    ///
+    /// If the device is full, the LRU page is evicted first and returned;
+    /// the caller is responsible for migrating its data and fixing page
+    /// tables.
+    pub fn insert(&mut self, vpn: Vpn) -> Option<Vpn> {
+        if self.stamps.contains_key(&vpn) {
+            self.touch(vpn);
+            return None;
+        }
+        let victim = if self.is_full() {
+            let (&stamp, &victim) = self
+                .by_stamp
+                .iter()
+                .next()
+                .expect("full allocator has at least one page");
+            self.by_stamp.remove(&stamp);
+            self.stamps.remove(&victim);
+            self.evictions += 1;
+            Some(victim)
+        } else {
+            None
+        };
+        let stamp = self.bump();
+        self.stamps.insert(vpn, stamp);
+        self.by_stamp.insert(stamp, vpn);
+        victim
+    }
+
+    /// Refreshes `vpn`'s recency (it was just accessed). No-op if absent.
+    pub fn touch(&mut self, vpn: Vpn) {
+        if let Some(stamp) = self.stamps.get_mut(&vpn) {
+            self.by_stamp.remove(stamp);
+            let new_stamp = self.next_stamp;
+            self.next_stamp += 1;
+            *stamp = new_stamp;
+            self.by_stamp.insert(new_stamp, vpn);
+        }
+    }
+
+    /// Removes `vpn` from residency (migrated away / freed). Returns whether
+    /// it was present.
+    pub fn remove(&mut self, vpn: Vpn) -> bool {
+        if let Some(stamp) = self.stamps.remove(&vpn) {
+            self.by_stamp.remove(&stamp);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current LRU page, if any.
+    pub fn lru(&self) -> Option<Vpn> {
+        self.by_stamp.values().next().copied()
+    }
+
+    /// Number of capacity evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn bump(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_evicts() {
+        let mut f = FrameAllocator::new(None);
+        for i in 0..10_000 {
+            assert_eq!(f.insert(Vpn(i)), None);
+        }
+        assert_eq!(f.resident(), 10_000);
+        assert!(!f.is_full());
+        assert_eq!(f.evictions(), 0);
+    }
+
+    #[test]
+    fn evicts_lru_when_full() {
+        let mut f = FrameAllocator::new(Some(3));
+        f.insert(Vpn(1));
+        f.insert(Vpn(2));
+        f.insert(Vpn(3));
+        assert!(f.is_full());
+        f.touch(Vpn(1)); // 2 is now LRU
+        assert_eq!(f.insert(Vpn(4)), Some(Vpn(2)));
+        assert!(f.contains(Vpn(1)));
+        assert!(!f.contains(Vpn(2)));
+        assert_eq!(f.evictions(), 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut f = FrameAllocator::new(Some(2));
+        f.insert(Vpn(1));
+        f.insert(Vpn(2));
+        assert_eq!(f.insert(Vpn(1)), None); // refresh, no eviction
+        assert_eq!(f.insert(Vpn(3)), Some(Vpn(2))); // 2 was LRU after refresh
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut f = FrameAllocator::new(Some(1));
+        f.insert(Vpn(1));
+        assert!(f.remove(Vpn(1)));
+        assert!(!f.remove(Vpn(1)));
+        assert_eq!(f.insert(Vpn(2)), None);
+    }
+
+    #[test]
+    fn lru_reports_oldest() {
+        let mut f = FrameAllocator::new(Some(10));
+        assert_eq!(f.lru(), None);
+        f.insert(Vpn(5));
+        f.insert(Vpn(6));
+        assert_eq!(f.lru(), Some(Vpn(5)));
+        f.touch(Vpn(5));
+        assert_eq!(f.lru(), Some(Vpn(6)));
+    }
+
+    #[test]
+    fn touch_absent_is_noop() {
+        let mut f = FrameAllocator::new(Some(2));
+        f.touch(Vpn(9));
+        assert_eq!(f.resident(), 0);
+    }
+
+    #[test]
+    fn capacity_accessor() {
+        assert_eq!(FrameAllocator::new(Some(7)).capacity(), Some(7));
+        assert_eq!(FrameAllocator::new(None).capacity(), None);
+    }
+}

@@ -1,0 +1,354 @@
+//! Page tables: per-GPU local tables and the centralized host table.
+//!
+//! The PTE carries two policy bits (Fig. 12 of the paper): `00` on-touch
+//! (default), `01` access-counter migration, `11` duplication. The host
+//! (centralized) table is the UVM driver's source of truth: it records which
+//! device currently owns each page, which GPUs hold read-only duplicates,
+//! and the policy bits mirrored from the O-Table decision.
+
+use std::collections::HashMap;
+
+use crate::types::{DeviceId, GpuId, Vpn};
+
+/// The two policy bits stored in a PTE (Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyBits {
+    /// `00` — on-touch migration (the default).
+    #[default]
+    OnTouch,
+    /// `01` — access counter-based migration.
+    AccessCounter,
+    /// `11` — page duplication.
+    Duplication,
+}
+
+impl PolicyBits {
+    /// Raw two-bit encoding.
+    pub const fn bits(self) -> u8 {
+        match self {
+            PolicyBits::OnTouch => 0b00,
+            PolicyBits::AccessCounter => 0b01,
+            PolicyBits::Duplication => 0b11,
+        }
+    }
+
+    /// Decodes the two-bit encoding. `0b10` is reserved and returns `None`.
+    pub const fn from_bits(bits: u8) -> Option<Self> {
+        match bits {
+            0b00 => Some(PolicyBits::OnTouch),
+            0b01 => Some(PolicyBits::AccessCounter),
+            0b11 => Some(PolicyBits::Duplication),
+            _ => None,
+        }
+    }
+}
+
+/// A local page-table entry as seen by one GPU's GMMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Device whose memory this translation targets. A GPU can map a page
+    /// living in a peer GPU's memory (remote mapping, used by the
+    /// access-counter policy).
+    pub location: DeviceId,
+    /// Whether stores are permitted. Read-only duplicates clear this; a
+    /// store then raises a page-protection fault (write-collapse path).
+    pub writable: bool,
+    /// Policy bits mirrored into the PTE so GMMU/UVM know how to handle
+    /// faults on this page without consulting the O-Table.
+    pub policy: PolicyBits,
+}
+
+/// One GPU's local page table (walked by its GMMU).
+#[derive(Debug, Clone, Default)]
+pub struct LocalPageTable {
+    map: HashMap<Vpn, Pte>,
+}
+
+impl LocalPageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entry for `vpn`, if a valid translation exists.
+    pub fn get(&self, vpn: Vpn) -> Option<&Pte> {
+        self.map.get(&vpn)
+    }
+
+    /// Installs (or replaces) the translation for `vpn`.
+    pub fn insert(&mut self, vpn: Vpn, pte: Pte) {
+        self.map.insert(vpn, pte);
+    }
+
+    /// Invalidates the translation for `vpn`. Returns the removed entry.
+    pub fn invalidate(&mut self, vpn: Vpn) -> Option<Pte> {
+        self.map.remove(&vpn)
+    }
+
+    /// Number of valid translations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no translations are installed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over all valid translations.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &Pte)> {
+        self.map.iter()
+    }
+}
+
+/// Where a page's data lives right now, as a validated view of a
+/// [`HostEntry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Exactly one device holds the page (it may be written there).
+    Exclusive(DeviceId),
+    /// The owner holds the master copy and `copy_mask` GPUs hold read-only
+    /// duplicates; every copy is read-only.
+    ReadShared {
+        /// Device holding the master copy.
+        owner: DeviceId,
+        /// Bitmask of GPUs (bit *i* = GPU *i*) holding duplicates, not
+        /// including the owner.
+        copy_mask: u32,
+    },
+}
+
+/// Centralized (host) page-table entry: the UVM driver's view of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostEntry {
+    /// Device holding the authoritative copy.
+    pub owner: DeviceId,
+    /// GPUs holding read-only duplicates (excluding the owner).
+    pub copy_mask: u32,
+    /// GPUs holding *remote* mappings to the owner's copy (the
+    /// access-counter policy's mode of sharing). These GPUs have a valid
+    /// local PTE pointing at the owner's memory but hold no data.
+    pub mapper_mask: u32,
+    /// Policy bits recorded for the page.
+    pub policy: PolicyBits,
+    /// Historical bitmask of GPUs that ever touched the page (bit per GPU;
+    /// used by the characterization pass, not by hardware).
+    pub touched_by: u32,
+}
+
+impl HostEntry {
+    /// A fresh host-resident page with default policy.
+    pub fn new_on_host() -> Self {
+        HostEntry {
+            owner: DeviceId::Host,
+            copy_mask: 0,
+            mapper_mask: 0,
+            policy: PolicyBits::OnTouch,
+            touched_by: 0,
+        }
+    }
+
+    /// A fresh page initially placed on `dev` (Fig. 21's striped placement).
+    pub fn new_at(dev: DeviceId) -> Self {
+        HostEntry {
+            owner: dev,
+            copy_mask: 0,
+            mapper_mask: 0,
+            policy: PolicyBits::OnTouch,
+            touched_by: 0,
+        }
+    }
+
+    /// Validated residency view.
+    pub fn residency(&self) -> Residency {
+        if self.copy_mask == 0 {
+            Residency::Exclusive(self.owner)
+        } else {
+            Residency::ReadShared {
+                owner: self.owner,
+                copy_mask: self.copy_mask,
+            }
+        }
+    }
+
+    /// True if `gpu` can serve reads locally (owner or duplicate holder).
+    pub fn readable_at(&self, gpu: GpuId) -> bool {
+        self.owner == DeviceId::Gpu(gpu) || self.copy_mask & (1 << gpu.0) != 0
+    }
+
+    /// GPUs holding duplicates (excluding the owner).
+    pub fn duplicate_holders(&self) -> impl Iterator<Item = GpuId> + '_ {
+        (0..32u8).filter(move |g| self.copy_mask & (1 << g) != 0).map(GpuId)
+    }
+
+    /// Number of duplicate copies.
+    pub fn duplicate_count(&self) -> u32 {
+        self.copy_mask.count_ones()
+    }
+
+    /// GPUs holding remote mappings to the owner's copy.
+    pub fn remote_mappers(&self) -> impl Iterator<Item = GpuId> + '_ {
+        (0..32u8)
+            .filter(move |g| self.mapper_mask & (1 << g) != 0)
+            .map(GpuId)
+    }
+
+    /// True if `gpu` holds a remote mapping to this page.
+    pub fn maps_remotely(&self, gpu: GpuId) -> bool {
+        self.mapper_mask & (1 << gpu.0) != 0
+    }
+
+    /// Records that `gpu` touched the page (characterization metadata).
+    pub fn mark_touched(&mut self, gpu: GpuId) {
+        self.touched_by |= 1 << gpu.0;
+    }
+
+    /// True if more than one GPU has ever touched the page.
+    pub fn touched_by_multiple(&self) -> bool {
+        self.touched_by.count_ones() > 1
+    }
+}
+
+/// The centralized page table maintained by the UVM driver on the host.
+#[derive(Debug, Clone, Default)]
+pub struct HostPageTable {
+    map: HashMap<Vpn, HostEntry>,
+}
+
+impl HostPageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entry for `vpn`, if the page has been allocated.
+    pub fn get(&self, vpn: Vpn) -> Option<&HostEntry> {
+        self.map.get(&vpn)
+    }
+
+    /// Mutable access to the entry for `vpn`.
+    pub fn get_mut(&mut self, vpn: Vpn) -> Option<&mut HostEntry> {
+        self.map.get_mut(&vpn)
+    }
+
+    /// Registers a freshly allocated page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was already registered (double allocation).
+    pub fn register(&mut self, vpn: Vpn, entry: HostEntry) {
+        let prev = self.map.insert(vpn, entry);
+        assert!(prev.is_none(), "page {vpn} registered twice");
+    }
+
+    /// Removes a page (object freed). Returns its final entry.
+    pub fn unregister(&mut self, vpn: Vpn) -> Option<HostEntry> {
+        self.map.remove(&vpn)
+    }
+
+    /// Number of registered pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no pages are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over all registered pages.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &HostEntry)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_bits_round_trip() {
+        for p in [
+            PolicyBits::OnTouch,
+            PolicyBits::AccessCounter,
+            PolicyBits::Duplication,
+        ] {
+            assert_eq!(PolicyBits::from_bits(p.bits()), Some(p));
+        }
+        assert_eq!(PolicyBits::from_bits(0b10), None);
+        assert_eq!(PolicyBits::default(), PolicyBits::OnTouch);
+    }
+
+    #[test]
+    fn local_table_insert_get_invalidate() {
+        let mut pt = LocalPageTable::new();
+        let pte = Pte {
+            location: DeviceId::Gpu(GpuId(1)),
+            writable: true,
+            policy: PolicyBits::OnTouch,
+        };
+        assert!(pt.get(Vpn(9)).is_none());
+        pt.insert(Vpn(9), pte);
+        assert_eq!(pt.get(Vpn(9)), Some(&pte));
+        assert_eq!(pt.len(), 1);
+        assert_eq!(pt.invalidate(Vpn(9)), Some(pte));
+        assert!(pt.is_empty());
+        assert_eq!(pt.invalidate(Vpn(9)), None);
+    }
+
+    #[test]
+    fn residency_views() {
+        let mut e = HostEntry::new_on_host();
+        assert_eq!(e.residency(), Residency::Exclusive(DeviceId::Host));
+        e.owner = DeviceId::Gpu(GpuId(0));
+        e.copy_mask = 0b0110;
+        assert_eq!(
+            e.residency(),
+            Residency::ReadShared {
+                owner: DeviceId::Gpu(GpuId(0)),
+                copy_mask: 0b0110
+            }
+        );
+        assert!(e.readable_at(GpuId(0))); // owner
+        assert!(e.readable_at(GpuId(1))); // duplicate
+        assert!(e.readable_at(GpuId(2))); // duplicate
+        assert!(!e.readable_at(GpuId(3)));
+        assert_eq!(e.duplicate_count(), 2);
+        let holders: Vec<_> = e.duplicate_holders().collect();
+        assert_eq!(holders, vec![GpuId(1), GpuId(2)]);
+    }
+
+    #[test]
+    fn touched_tracking() {
+        let mut e = HostEntry::new_on_host();
+        assert!(!e.touched_by_multiple());
+        e.mark_touched(GpuId(0));
+        assert!(!e.touched_by_multiple());
+        e.mark_touched(GpuId(0));
+        assert!(!e.touched_by_multiple());
+        e.mark_touched(GpuId(3));
+        assert!(e.touched_by_multiple());
+    }
+
+    #[test]
+    fn host_table_register_and_lookup() {
+        let mut ht = HostPageTable::new();
+        ht.register(Vpn(1), HostEntry::new_on_host());
+        ht.register(Vpn(2), HostEntry::new_at(DeviceId::Gpu(GpuId(2))));
+        assert_eq!(ht.len(), 2);
+        assert_eq!(ht.get(Vpn(2)).unwrap().owner, DeviceId::Gpu(GpuId(2)));
+        ht.get_mut(Vpn(1)).unwrap().policy = PolicyBits::Duplication;
+        assert_eq!(ht.get(Vpn(1)).unwrap().policy, PolicyBits::Duplication);
+        assert!(ht.unregister(Vpn(1)).is_some());
+        assert!(ht.get(Vpn(1)).is_none());
+        assert!(!ht.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_register_panics() {
+        let mut ht = HostPageTable::new();
+        ht.register(Vpn(1), HostEntry::new_on_host());
+        ht.register(Vpn(1), HostEntry::new_on_host());
+    }
+}

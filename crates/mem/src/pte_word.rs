@@ -1,0 +1,161 @@
+//! Bit-exact PTE word encoding (Fig. 12 of the paper).
+//!
+//! The simulator's working representation is [`Pte`](crate::page::Pte);
+//! this module provides the packed 64-bit form a real page-table walker
+//! would read, for fidelity and for tests that check the paper's layout:
+//!
+//! ```text
+//!  63 |  62:52  | 51:12 |  11    | 10:9        | 8:0
+//!  XD | Unused  |  PFN  | Unused | Policy Bits | Flags
+//! ```
+
+use crate::page::PolicyBits;
+
+/// Bit positions of Fig. 12.
+const XD_BIT: u64 = 1 << 63;
+const PFN_SHIFT: u32 = 12;
+const PFN_MASK: u64 = ((1u64 << 40) - 1) << PFN_SHIFT; // bits 51:12
+const POLICY_SHIFT: u32 = 9;
+const POLICY_MASK: u64 = 0b11 << POLICY_SHIFT; // bits 10:9
+const FLAGS_MASK: u64 = (1 << 9) - 1; // bits 8:0
+
+/// x86-style flag bits within the 9-bit flags field.
+pub mod flags {
+    /// Translation valid.
+    pub const PRESENT: u16 = 1 << 0;
+    /// Writes permitted.
+    pub const WRITABLE: u16 = 1 << 1;
+    /// Page has been accessed.
+    pub const ACCESSED: u16 = 1 << 5;
+    /// Page has been written.
+    pub const DIRTY: u16 = 1 << 6;
+}
+
+/// A packed 64-bit PTE word per Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PteWord(pub u64);
+
+impl PteWord {
+    /// Builds a word from its fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` exceeds 40 bits or `pol_flags` exceeds 9 bits.
+    pub fn new(pfn: u64, policy: PolicyBits, pte_flags: u16, execute_disable: bool) -> Self {
+        assert!(pfn < (1 << 40), "PFN exceeds 40 bits");
+        assert!(u64::from(pte_flags) <= FLAGS_MASK, "flags exceed 9 bits");
+        let mut w = (pfn << PFN_SHIFT) & PFN_MASK;
+        w |= u64::from(policy.bits()) << POLICY_SHIFT;
+        w |= u64::from(pte_flags);
+        if execute_disable {
+            w |= XD_BIT;
+        }
+        PteWord(w)
+    }
+
+    /// The physical frame number (bits 51:12).
+    pub fn pfn(self) -> u64 {
+        (self.0 & PFN_MASK) >> PFN_SHIFT
+    }
+
+    /// The two policy bits (bits 10:9). Returns `None` for the reserved
+    /// `0b10` encoding.
+    pub fn policy(self) -> Option<PolicyBits> {
+        PolicyBits::from_bits(((self.0 & POLICY_MASK) >> POLICY_SHIFT) as u8)
+    }
+
+    /// Replaces the policy bits, leaving everything else untouched — the
+    /// in-place update the OP-Controller performs on a policy change.
+    pub fn with_policy(self, policy: PolicyBits) -> Self {
+        PteWord((self.0 & !POLICY_MASK) | (u64::from(policy.bits()) << POLICY_SHIFT))
+    }
+
+    /// The 9 flag bits (bits 8:0).
+    pub fn pte_flags(self) -> u16 {
+        (self.0 & FLAGS_MASK) as u16
+    }
+
+    /// The execute-disable bit (bit 63).
+    pub fn execute_disable(self) -> bool {
+        self.0 & XD_BIT != 0
+    }
+
+    /// True if the PRESENT flag is set.
+    pub fn present(self) -> bool {
+        self.pte_flags() & flags::PRESENT != 0
+    }
+
+    /// True if the WRITABLE flag is set.
+    pub fn writable(self) -> bool {
+        self.pte_flags() & flags::WRITABLE != 0
+    }
+
+    /// The bits Fig. 12 marks unused (62:52 and 11) — always zero in
+    /// well-formed words.
+    pub fn unused_bits(self) -> u64 {
+        self.0 & !(XD_BIT | PFN_MASK | POLICY_MASK | FLAGS_MASK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_fields() {
+        for policy in [
+            PolicyBits::OnTouch,
+            PolicyBits::AccessCounter,
+            PolicyBits::Duplication,
+        ] {
+            let w = PteWord::new(
+                0xAB_CDEF_0123,
+                policy,
+                flags::PRESENT | flags::WRITABLE | flags::DIRTY,
+                true,
+            );
+            assert_eq!(w.pfn(), 0xAB_CDEF_0123);
+            assert_eq!(w.policy(), Some(policy));
+            assert!(w.present());
+            assert!(w.writable());
+            assert!(w.execute_disable());
+            assert_eq!(w.unused_bits(), 0);
+        }
+    }
+
+    #[test]
+    fn layout_matches_fig12() {
+        let w = PteWord::new(1, PolicyBits::Duplication, flags::PRESENT, false);
+        // PFN = 1 lands at bit 12; duplication = 0b11 at bits 10:9;
+        // present at bit 0.
+        assert_eq!(w.0, (1 << 12) | (0b11 << 9) | 1);
+    }
+
+    #[test]
+    fn with_policy_only_touches_bits_10_9() {
+        let w = PteWord::new(0xFFFF, PolicyBits::OnTouch, flags::PRESENT, true);
+        let w2 = w.with_policy(PolicyBits::AccessCounter);
+        assert_eq!(w2.policy(), Some(PolicyBits::AccessCounter));
+        assert_eq!(w2.pfn(), w.pfn());
+        assert_eq!(w2.pte_flags(), w.pte_flags());
+        assert_eq!(w2.execute_disable(), w.execute_disable());
+    }
+
+    #[test]
+    fn reserved_policy_encoding_is_none() {
+        let w = PteWord(0b10 << 9);
+        assert_eq!(w.policy(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "PFN exceeds 40 bits")]
+    fn oversized_pfn_rejected() {
+        PteWord::new(1 << 40, PolicyBits::OnTouch, 0, false);
+    }
+
+    #[test]
+    fn default_word_is_not_present() {
+        assert!(!PteWord::default().present());
+        assert!(!PteWord::default().writable());
+    }
+}

@@ -1,0 +1,268 @@
+//! Set-associative TLB model with true-LRU replacement.
+//!
+//! Used for both the per-CU-cluster L1 TLB (32-entry) and the GPU-shared
+//! L2 TLB (512-entry, 16-way) of Table I. Only presence is modelled — the
+//! actual translation lives in the page tables — so a TLB entry is just a
+//! cached VPN plus LRU state.
+
+use std::collections::HashMap;
+
+use crate::types::Vpn;
+
+#[derive(Debug, Clone)]
+struct Set {
+    /// (vpn, last-use stamp) pairs; at most `ways` of them.
+    lines: Vec<(Vpn, u64)>,
+}
+
+/// A set-associative TLB.
+///
+/// # Example
+///
+/// ```
+/// use oasis_mem::{Tlb, Vpn};
+///
+/// let mut tlb = Tlb::new(32, 32); // Table I's L1 TLB
+/// assert!(!tlb.access(Vpn(7)));   // cold miss
+/// tlb.fill(Vpn(7));
+/// assert!(tlb.access(Vpn(7)));    // hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: Vec<Set>,
+    ways: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+    /// Reverse index so global invalidations don't scan every set.
+    where_is: HashMap<Vpn, usize>,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries organized as `ways`-way
+    /// sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways`, or if the
+    /// resulting set count is not a power of two (required for indexing).
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries > 0, "TLB geometry must be positive");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries ({entries}) must be a multiple of ways ({ways})"
+        );
+        let num_sets = entries / ways;
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count ({num_sets}) must be a power of two"
+        );
+        Tlb {
+            sets: (0..num_sets)
+                .map(|_| Set {
+                    lines: Vec::with_capacity(ways),
+                })
+                .collect(),
+            ways,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+            where_is: HashMap::new(),
+        }
+    }
+
+    fn set_index(&self, vpn: Vpn) -> usize {
+        (vpn.0 as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up `vpn`; on a hit, refreshes its LRU position. Returns whether
+    /// it hit.
+    pub fn access(&mut self, vpn: Vpn) -> bool {
+        self.stamp += 1;
+        let idx = self.set_index(vpn);
+        let set = &mut self.sets[idx];
+        if let Some(line) = set.lines.iter_mut().find(|(v, _)| *v == vpn) {
+            line.1 = self.stamp;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Installs a translation for `vpn`, evicting the LRU entry of its set
+    /// if the set is full. Returns the evicted VPN, if any.
+    pub fn fill(&mut self, vpn: Vpn) -> Option<Vpn> {
+        self.stamp += 1;
+        let idx = self.set_index(vpn);
+        let ways = self.ways;
+        let stamp = self.stamp;
+        let set = &mut self.sets[idx];
+        if let Some(line) = set.lines.iter_mut().find(|(v, _)| *v == vpn) {
+            line.1 = stamp;
+            return None;
+        }
+        let evicted = if set.lines.len() == ways {
+            let (lru_pos, _) = set
+                .lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, s))| *s)
+                .expect("full set is nonempty");
+            let (old, _) = set.lines.swap_remove(lru_pos);
+            self.where_is.remove(&old);
+            Some(old)
+        } else {
+            None
+        };
+        set.lines.push((vpn, stamp));
+        self.where_is.insert(vpn, idx);
+        evicted
+    }
+
+    /// Invalidates the entry for `vpn` (a TLB shootdown). Returns whether an
+    /// entry was present.
+    pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+        if let Some(idx) = self.where_is.remove(&vpn) {
+            let set = &mut self.sets[idx];
+            if let Some(pos) = set.lines.iter().position(|(v, _)| *v == vpn) {
+                set.lines.swap_remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drops every entry (full flush).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.lines.clear();
+        }
+        self.where_is.clear();
+    }
+
+    /// True if `vpn` is currently cached (does not touch LRU state).
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.where_is.contains_key(&vpn)
+    }
+
+    /// Number of cached translations.
+    pub fn len(&self) -> usize {
+        self.where_is.len()
+    }
+
+    /// True if the TLB caches nothing.
+    pub fn is_empty(&self) -> bool {
+        self.where_is.is_empty()
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Resets hit/miss counters (contents retained).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut tlb = Tlb::new(32, 32);
+        assert!(!tlb.access(Vpn(5)));
+        assert_eq!(tlb.fill(Vpn(5)), None);
+        assert!(tlb.access(Vpn(5)));
+        assert_eq!(tlb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // Fully associative 4-entry TLB.
+        let mut tlb = Tlb::new(4, 4);
+        for i in 0..4 {
+            tlb.fill(Vpn(i));
+        }
+        tlb.access(Vpn(0)); // 0 most recent; 1 is now LRU
+        let evicted = tlb.fill(Vpn(99));
+        assert_eq!(evicted, Some(Vpn(1)));
+        assert!(tlb.contains(Vpn(0)));
+        assert!(tlb.contains(Vpn(99)));
+    }
+
+    #[test]
+    fn set_indexing_isolates_sets() {
+        // 2 sets, 1 way: vpns with equal parity collide.
+        let mut tlb = Tlb::new(2, 1);
+        tlb.fill(Vpn(0));
+        tlb.fill(Vpn(1));
+        assert!(tlb.contains(Vpn(0)));
+        assert!(tlb.contains(Vpn(1)));
+        // Filling vpn 2 (even) evicts vpn 0, not vpn 1.
+        assert_eq!(tlb.fill(Vpn(2)), Some(Vpn(0)));
+        assert!(tlb.contains(Vpn(1)));
+    }
+
+    #[test]
+    fn invalidate_removes_exactly_one() {
+        let mut tlb = Tlb::new(8, 4);
+        tlb.fill(Vpn(1));
+        tlb.fill(Vpn(2));
+        assert!(tlb.invalidate(Vpn(1)));
+        assert!(!tlb.invalidate(Vpn(1)));
+        assert!(!tlb.contains(Vpn(1)));
+        assert!(tlb.contains(Vpn(2)));
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut tlb = Tlb::new(8, 4);
+        for i in 0..8 {
+            tlb.fill(Vpn(i));
+        }
+        tlb.flush();
+        assert!(tlb.is_empty());
+        assert!(!tlb.access(Vpn(0)));
+    }
+
+    #[test]
+    fn refill_refreshes_instead_of_duplicating() {
+        let mut tlb = Tlb::new(2, 2);
+        tlb.fill(Vpn(0));
+        tlb.fill(Vpn(0));
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn capacity_reported() {
+        assert_eq!(Tlb::new(512, 16).capacity(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a multiple")]
+    fn bad_geometry_rejected() {
+        let _ = Tlb::new(10, 4);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut tlb = Tlb::new(4, 4);
+        tlb.fill(Vpn(1));
+        tlb.access(Vpn(1));
+        tlb.reset_stats();
+        assert_eq!(tlb.stats(), (0, 0));
+        assert!(tlb.contains(Vpn(1)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the memory-hierarchy building blocks.
+
+use oasis_mem::cache::Cache;
+use oasis_mem::frames::FrameAllocator;
+use oasis_mem::layout::AddressSpace;
+use oasis_mem::tlb::Tlb;
+use oasis_mem::types::{PageSize, Va, Vpn};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// The TLB never exceeds capacity and `contains` agrees with
+    /// access-hit behaviour under arbitrary fill/invalidate sequences.
+    #[test]
+    fn tlb_capacity_and_consistency(
+        ops in proptest::collection::vec((0u8..3, 0u64..64), 1..300)
+    ) {
+        let mut tlb = Tlb::new(16, 4);
+        let mut shadow: HashSet<u64> = HashSet::new();
+        for (op, vpn) in ops {
+            match op {
+                0 => {
+                    let evicted = tlb.fill(Vpn(vpn));
+                    shadow.insert(vpn);
+                    if let Some(e) = evicted {
+                        shadow.remove(&e.0);
+                    }
+                }
+                1 => {
+                    let hit = tlb.access(Vpn(vpn));
+                    prop_assert_eq!(hit, shadow.contains(&vpn));
+                }
+                _ => {
+                    tlb.invalidate(Vpn(vpn));
+                    shadow.remove(&vpn);
+                }
+            }
+            prop_assert!(tlb.len() <= tlb.capacity());
+            prop_assert_eq!(tlb.len(), shadow.len());
+        }
+    }
+
+    /// A full TLB set always evicts its least-recently-used entry.
+    #[test]
+    fn tlb_evicts_lru(extra in 0u64..1000) {
+        // Fully associative 8-entry TLB.
+        let mut tlb = Tlb::new(8, 8);
+        for i in 0..8u64 {
+            tlb.fill(Vpn(i));
+        }
+        // Touch everything except `victim`.
+        let victim = extra % 8;
+        for i in 0..8u64 {
+            if i != victim {
+                tlb.access(Vpn(i));
+            }
+        }
+        let evicted = tlb.fill(Vpn(1000 + extra));
+        prop_assert_eq!(evicted, Some(Vpn(victim)));
+    }
+
+    /// Frame allocator: capacity is never exceeded; eviction only happens
+    /// at capacity; LRU victim is correct.
+    #[test]
+    fn frames_respect_capacity(
+        cap in 1u64..16,
+        inserts in proptest::collection::vec(0u64..64, 1..200)
+    ) {
+        let mut f = FrameAllocator::new(Some(cap));
+        for vpn in inserts {
+            let victim = f.insert(Vpn(vpn));
+            prop_assert!(f.resident() <= cap);
+            if let Some(v) = victim {
+                prop_assert_ne!(v.0, vpn, "never evicts what it inserts");
+                prop_assert!(!f.contains(v));
+            }
+            prop_assert!(f.contains(Vpn(vpn)));
+        }
+    }
+
+    /// Cache: line residency is idempotent — a hit right after any access
+    /// to the same address is guaranteed.
+    #[test]
+    fn cache_access_then_hit(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut c = Cache::new(16 * 1024, 4, 64);
+        for a in addrs {
+            c.access(Va(a));
+            prop_assert!(c.access(Va(a)), "immediate re-access must hit");
+        }
+    }
+
+    /// Address space: objects never overlap and reverse lookup returns the
+    /// allocation that contains the address.
+    #[test]
+    fn address_space_objects_disjoint(sizes in proptest::collection::vec(1u64..8_000_000, 1..40)) {
+        let mut space = AddressSpace::new();
+        let ids: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| space.alloc(format!("o{i}"), *s))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            let o = space.object(*id).clone();
+            // First and last byte resolve back to this object.
+            prop_assert_eq!(space.object_containing(o.base).expect("base").id, *id);
+            let last = Va(o.base.0 + o.size - 1);
+            prop_assert_eq!(space.object_containing(last).expect("last").id, *id);
+            // No overlap with the next object.
+            if i + 1 < ids.len() {
+                let next = space.object(ids[i + 1]);
+                prop_assert!(o.base.0 + o.size <= next.base.0);
+            }
+            // Page counts consistent across page sizes.
+            prop_assert!(o.page_count(PageSize::Small4K) >= o.page_count(PageSize::Large2M));
+        }
+        prop_assert_eq!(space.live_bytes(), sizes.iter().sum::<u64>());
+    }
+
+    /// VPN round-trip: va -> vpn -> base covers va's page for both sizes.
+    #[test]
+    fn vpn_round_trip(raw in 0u64..(1u64 << 48)) {
+        for size in [PageSize::Small4K, PageSize::Large2M] {
+            let va = Va(raw);
+            let vpn = va.vpn(size);
+            let base = vpn.base(size);
+            prop_assert!(base.0 <= va.canonical().0);
+            prop_assert!(va.canonical().0 - base.0 < size.bytes());
+            prop_assert_eq!(base.0 % size.bytes(), 0);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! System configuration (Table I) and policy selection.
+
+use oasis_core::controller::{OasisConfig, OasisController};
+use oasis_core::inmem::{InMemCosts, OasisInMem};
+use oasis_core::tracker::ObjectTracker;
+use oasis_engine::Duration;
+use oasis_grit::{GritConfig, GritEngine};
+use oasis_interconnect::FabricConfig;
+use oasis_mem::types::PageSize;
+use oasis_uvm::costs::UvmCosts;
+use oasis_uvm::policy::{
+    AccessCounterPolicy, DuplicationPolicy, IdealPolicy, OnTouchPolicy, PolicyEngine,
+};
+
+/// Where managed pages start out (Fig. 21's sensitivity study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// All pages begin in host memory (the baseline).
+    #[default]
+    Host,
+    /// Pages are distributed round-robin across the GPUs.
+    Striped,
+}
+
+/// The page-management policy a run uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// Uniform on-touch migration (the baseline of every figure).
+    OnTouch,
+    /// Uniform access counter-based migration.
+    AccessCounter,
+    /// Uniform page duplication.
+    Duplication,
+    /// The hypothetical Ideal configuration of Section IV-A.
+    Ideal,
+    /// Hardware OASIS.
+    Oasis(OasisConfig),
+    /// OASIS-InMem (software-only).
+    OasisInMem(OasisConfig),
+    /// The GRIT baseline.
+    Grit(GritConfig),
+}
+
+impl Policy {
+    /// OASIS with default parameters.
+    pub fn oasis() -> Self {
+        Policy::Oasis(OasisConfig::default())
+    }
+
+    /// OASIS-InMem with default parameters.
+    pub fn oasis_inmem() -> Self {
+        Policy::OasisInMem(OasisConfig::default())
+    }
+
+    /// GRIT with default parameters.
+    pub fn grit() -> Self {
+        Policy::Grit(GritConfig::default())
+    }
+
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::OnTouch => "on-touch",
+            Policy::AccessCounter => "access-counter",
+            Policy::Duplication => "duplication",
+            Policy::Ideal => "ideal",
+            Policy::Oasis(_) => "oasis",
+            Policy::OasisInMem(_) => "oasis-inmem",
+            Policy::Grit(_) => "grit",
+        }
+    }
+
+    /// Instantiates the policy engine.
+    pub fn build(&self) -> Box<dyn PolicyEngine> {
+        match self {
+            Policy::OnTouch => Box::new(OnTouchPolicy),
+            Policy::AccessCounter => Box::new(AccessCounterPolicy),
+            Policy::Duplication => Box::new(DuplicationPolicy),
+            Policy::Ideal => Box::new(IdealPolicy),
+            Policy::Oasis(c) => Box::new(OasisController::with_config(*c)),
+            Policy::OasisInMem(c) => Box::new(OasisInMem::with_config(*c, InMemCosts::default())),
+            Policy::Grit(c) => Box::new(GritEngine::with_config(*c)),
+        }
+    }
+
+    /// The pointer tracker matching this policy's tagging mode.
+    pub fn tracker(&self) -> ObjectTracker {
+        match self {
+            Policy::Oasis(c) => ObjectTracker::hardware().with_id_bits(c.id_bits),
+            Policy::OasisInMem(_) => ObjectTracker::in_mem(),
+            // Non-OASIS policies don't tag pointers; the InMem tracker
+            // leaves the address bits untouched except the (ignored)
+            // config bit, so reuse it with hardware mode off.
+            _ => ObjectTracker::in_mem(),
+        }
+    }
+}
+
+/// The simulated platform (Table I defaults).
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of GPUs (4 in the baseline; 8/16 in Fig. 17).
+    pub gpu_count: usize,
+    /// Translation granularity (4 KiB baseline; 2 MiB in Fig. 19).
+    pub page_size: PageSize,
+    /// Concurrent outstanding accesses per GPU (models the 64 CUs' memory
+    /// parallelism at trace granularity).
+    pub lanes_per_gpu: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// L1 TLB geometry: (entries, ways). Table I: 32-entry, 32-way.
+    pub l1_tlb: (usize, usize),
+    /// L2 TLB geometry: (entries, ways). Table I: 512-entry, 16-way.
+    pub l2_tlb: (usize, usize),
+    /// L2 cache geometry: (bytes, ways, line bytes). Table I: 256 KB,
+    /// 16-way.
+    pub l2_cache: (u64, usize, u64),
+    /// L1 TLB hit latency (cycles).
+    pub l1_tlb_cycles: u64,
+    /// L2 TLB lookup latency (cycles).
+    pub l2_tlb_cycles: u64,
+    /// GMMU page-walk latency (cycles).
+    pub page_walk_cycles: u64,
+    /// L2 cache hit latency.
+    pub l2_cache_latency: Duration,
+    /// Local DRAM access latency.
+    pub dram_latency: Duration,
+    /// Extra per-transaction overhead for accesses served from a peer
+    /// GPU's memory over NVLink (request serialization at the remote port,
+    /// protocol turnaround). This is the exposed cost of *not*
+    /// migrating/duplicating data.
+    pub remote_access_overhead: Duration,
+    /// Same, for accesses served from host memory over PCIe (higher:
+    /// longer path, no peer caching).
+    pub host_access_overhead: Duration,
+    /// Local DRAM bandwidth (bytes/second).
+    pub dram_bytes_per_sec: u64,
+    /// Interconnect parameters (NVLink 300 GB/s, PCIe 32 GB/s).
+    pub fabric: FabricConfig,
+    /// UVM driver latency parameters.
+    pub uvm_costs: UvmCosts,
+    /// Remote accesses per 64 KiB group before a counter migration
+    /// (Table I: 256).
+    pub counter_threshold: u32,
+    /// Real coalesced accesses each sampled trace transaction stands for
+    /// (counter increments by this, keeping the effective threshold
+    /// faithful despite trace sampling).
+    pub counter_weight: u32,
+    /// GPU memory capacity in pages (`None` = enough for the workload;
+    /// set for the Fig. 25 oversubscription study).
+    pub gpu_capacity_pages: Option<u64>,
+    /// Initial page placement.
+    pub placement: Placement,
+    /// Enable the driver's neighborhood group prefetcher (extension; the
+    /// paper-faithful baseline leaves it off).
+    pub prefetch_group: bool,
+    /// Host-side overhead per kernel launch.
+    pub kernel_launch_overhead: Duration,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            gpu_count: 4,
+            page_size: PageSize::Small4K,
+            lanes_per_gpu: 16,
+            clock_ghz: 1.0,
+            l1_tlb: (32, 32),
+            l2_tlb: (512, 16),
+            l2_cache: (256 * 1024, 16, 64),
+            l1_tlb_cycles: 1,
+            l2_tlb_cycles: 10,
+            page_walk_cycles: 500,
+            l2_cache_latency: Duration::from_ns(150),
+            dram_latency: Duration::from_ns(250),
+            remote_access_overhead: Duration::from_us(1),
+            host_access_overhead: Duration::from_us(3),
+            dram_bytes_per_sec: 512_000_000_000,
+            fabric: FabricConfig::default(),
+            uvm_costs: UvmCosts::default(),
+            counter_threshold: 256,
+            counter_weight: 2,
+            gpu_capacity_pages: None,
+            placement: Placement::Host,
+            prefetch_group: false,
+            kernel_launch_overhead: Duration::from_us(5),
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The baseline with a different GPU count (Fig. 17).
+    pub fn with_gpus(gpu_count: usize) -> Self {
+        SystemConfig {
+            gpu_count,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// The baseline with 2 MiB pages (Fig. 19).
+    pub fn with_large_pages() -> Self {
+        SystemConfig {
+            page_size: PageSize::Large2M,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Caps each GPU's memory so that the given workload footprint
+    /// oversubscribes it by `percent` (e.g. 150 for Fig. 25): total GPU
+    /// memory = footprint / (percent/100), split evenly.
+    pub fn with_oversubscription(mut self, footprint_bytes: u64, percent: u64) -> Self {
+        assert!(percent > 100, "oversubscription needs percent > 100");
+        let total_pages = self.page_size.pages_for(footprint_bytes * 100 / percent);
+        self.gpu_capacity_pages = Some((total_pages / self.gpu_count as u64).max(1));
+        self
+    }
+
+    /// L1 TLB hit latency as a duration.
+    pub fn l1_tlb_latency(&self) -> Duration {
+        Duration::from_cycles(self.l1_tlb_cycles, self.clock_ghz)
+    }
+
+    /// L2 TLB lookup latency as a duration.
+    pub fn l2_tlb_latency(&self) -> Duration {
+        Duration::from_cycles(self.l2_tlb_cycles, self.clock_ghz)
+    }
+
+    /// Page-walk latency as a duration.
+    pub fn page_walk_latency(&self) -> Duration {
+        Duration::from_cycles(self.page_walk_cycles, self.clock_ghz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = SystemConfig::default();
+        assert_eq!(c.gpu_count, 4);
+        assert_eq!(c.l1_tlb, (32, 32));
+        assert_eq!(c.l2_tlb, (512, 16));
+        assert_eq!(c.l2_cache.0, 256 * 1024);
+        assert_eq!(c.counter_threshold, 256);
+        assert_eq!(c.fabric.nvlink_bytes_per_sec, 300_000_000_000);
+        assert_eq!(c.fabric.pcie_bytes_per_sec, 32_000_000_000);
+        assert_eq!(c.page_size, PageSize::Small4K);
+    }
+
+    #[test]
+    fn latency_helpers_use_clock() {
+        let c = SystemConfig::default();
+        assert_eq!(c.l1_tlb_latency(), Duration::from_ns(1));
+        assert_eq!(c.l2_tlb_latency(), Duration::from_ns(10));
+        assert_eq!(c.page_walk_latency(), Duration::from_ns(500));
+    }
+
+    #[test]
+    fn oversubscription_caps_capacity() {
+        let footprint = 32u64 << 20; // 8192 pages
+        let c = SystemConfig::default().with_oversubscription(footprint, 150);
+        // 150% oversubscription: capacity = 8192/1.5 ≈ 5461 pages total,
+        // ~1365 per GPU.
+        let per_gpu = c.gpu_capacity_pages.unwrap();
+        assert!((1300..=1400).contains(&per_gpu), "{per_gpu}");
+    }
+
+    #[test]
+    fn policy_factories() {
+        for p in [
+            Policy::OnTouch,
+            Policy::AccessCounter,
+            Policy::Duplication,
+            Policy::Ideal,
+            Policy::oasis(),
+            Policy::oasis_inmem(),
+            Policy::grit(),
+        ] {
+            let engine = p.build();
+            assert_eq!(engine.name(), p.name());
+        }
+    }
+
+    #[test]
+    fn trackers_match_policy_modes() {
+        assert!(Policy::oasis().tracker().is_hardware());
+        assert!(!Policy::oasis_inmem().tracker().is_hardware());
+        assert!(!Policy::OnTouch.tracker().is_hardware());
+    }
+
+    #[test]
+    fn variant_constructors() {
+        assert_eq!(SystemConfig::with_gpus(8).gpu_count, 8);
+        assert_eq!(
+            SystemConfig::with_large_pages().page_size,
+            PageSize::Large2M
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Simulation results.
+
+use oasis_engine::Duration;
+use oasis_mem::page::PolicyBits;
+use oasis_uvm::stats::UvmStats;
+
+/// Everything a run produces; the raw material of every figure.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Application abbreviation.
+    pub app: String,
+    /// Policy name.
+    pub policy: String,
+    /// Simulated end-to-end execution time (the performance metric; all
+    /// figures report its inverse normalized to on-touch).
+    pub total_time: Duration,
+    /// Kernel launches executed.
+    pub phases: usize,
+    /// Total memory transactions issued.
+    pub accesses: u64,
+    /// Transactions served from the issuing GPU's local memory/cache.
+    pub local_accesses: u64,
+    /// Transactions served from a remote device.
+    pub remote_accesses: u64,
+    /// Aggregated (hits, misses) over all L1 TLBs.
+    pub l1_tlb: (u64, u64),
+    /// Aggregated (hits, misses) over all L2 TLBs.
+    pub l2_tlb: (u64, u64),
+    /// Aggregated (hits, misses) over all L2 caches.
+    pub l2_cache: (u64, u64),
+    /// UVM driver event counters (faults, migrations, ...).
+    pub uvm: UvmStats,
+    /// Policy bits in force for each L2-TLB-miss request, indexed
+    /// `[on-touch, access-counter, duplication]` (Fig. 23).
+    pub policy_mix: [u64; 3],
+    /// Bytes moved over NVLink ports.
+    pub nvlink_bytes: u64,
+    /// Bytes moved over PCIe.
+    pub pcie_bytes: u64,
+}
+
+impl RunReport {
+    /// Speedup of this run over `baseline` (>1 means faster).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.total_time.as_ps() as f64 / self.total_time.as_ps().max(1) as f64
+    }
+
+    /// Fraction of L2-TLB-miss requests governed by `bits`.
+    pub fn policy_share(&self, bits: PolicyBits) -> f64 {
+        let total: u64 = self.policy_mix.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let idx = match bits {
+            PolicyBits::OnTouch => 0,
+            PolicyBits::AccessCounter => 1,
+            PolicyBits::Duplication => 2,
+        };
+        self.policy_mix[idx] as f64 / total as f64
+    }
+
+    /// Index into [`RunReport::policy_mix`] for `bits`.
+    pub fn mix_index(bits: PolicyBits) -> usize {
+        match bits {
+            PolicyBits::OnTouch => 0,
+            PolicyBits::AccessCounter => 1,
+            PolicyBits::Duplication => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(us: u64) -> RunReport {
+        RunReport {
+            app: "X".into(),
+            policy: "p".into(),
+            total_time: Duration::from_us(us),
+            phases: 1,
+            accesses: 0,
+            local_accesses: 0,
+            remote_accesses: 0,
+            l1_tlb: (0, 0),
+            l2_tlb: (0, 0),
+            l2_cache: (0, 0),
+            uvm: UvmStats::default(),
+            policy_mix: [0; 3],
+            nvlink_bytes: 0,
+            pcie_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let base = report(200);
+        let fast = report(100);
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-9);
+        assert!((base.speedup_over(&fast) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_share_sums_to_one() {
+        let mut r = report(1);
+        r.policy_mix = [1, 2, 7];
+        let total: f64 = [
+            PolicyBits::OnTouch,
+            PolicyBits::AccessCounter,
+            PolicyBits::Duplication,
+        ]
+        .into_iter()
+        .map(|b| r.policy_share(b))
+        .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((r.policy_share(PolicyBits::Duplication) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mix_has_zero_share() {
+        assert_eq!(report(1).policy_share(PolicyBits::OnTouch), 0.0);
+    }
+}

@@ -1,0 +1,384 @@
+//! The assembled system and its trace-driven simulation loop.
+
+use oasis_core::tracker::ObjectTracker;
+use oasis_engine::{Duration, EventQueue, Time};
+use oasis_interconnect::Fabric;
+use oasis_mem::layout::AddressSpace;
+use oasis_mem::types::{DeviceId, GpuId, ObjectId, Va};
+use oasis_uvm::driver::{Outcome, UvmDriver};
+use oasis_uvm::fault::PageFault;
+use oasis_workloads::trace::{Access, Trace};
+
+use crate::config::{Placement, Policy, SystemConfig};
+use crate::gpu::GpuModel;
+use crate::report::RunReport;
+
+/// A fully assembled multi-GPU platform ready to execute traces.
+pub struct System {
+    config: SystemConfig,
+    gpus: Vec<GpuModel>,
+    fabric: Fabric,
+    driver: UvmDriver,
+    space: AddressSpace,
+    tracker: ObjectTracker,
+    tagged_bases: Vec<Va>,
+    policy_name: String,
+    policy_mix: [u64; 3],
+    local_accesses: u64,
+    remote_accesses: u64,
+    accesses: u64,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("policy", &self.policy_name)
+            .field("gpus", &self.gpus.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Builds a system with the given configuration and policy.
+    pub fn new(config: SystemConfig, policy: &Policy) -> Self {
+        let gpus = (0..config.gpu_count).map(|_| GpuModel::new(&config)).collect();
+        let fabric = Fabric::new(config.gpu_count, config.fabric);
+        let mut driver = UvmDriver::new(
+            config.gpu_count,
+            config.page_size,
+            config.gpu_capacity_pages,
+            policy.build(),
+            config.uvm_costs,
+            config.counter_threshold,
+        );
+        driver.counter_weight = config.counter_weight;
+        driver.prefetch_group = config.prefetch_group;
+        System {
+            gpus,
+            fabric,
+            driver,
+            space: AddressSpace::new(),
+            tracker: policy.tracker(),
+            tagged_bases: Vec::new(),
+            policy_name: policy.name().to_string(),
+            policy_mix: [0; 3],
+            local_accesses: 0,
+            remote_accesses: 0,
+            accesses: 0,
+            config,
+        }
+    }
+
+    /// Allocates the trace's objects: VA ranges, pointer tags, page
+    /// registration with the configured initial placement.
+    fn load(&mut self, trace: &Trace) {
+        assert!(
+            self.space.is_empty(),
+            "System::run consumed; build a fresh System per trace"
+        );
+        let gpus = self.config.gpu_count as u64;
+        for (i, obj) in trace.objects.iter().enumerate() {
+            let id = self.space.alloc(obj.name.clone(), obj.bytes);
+            debug_assert_eq!(id, ObjectId(i as u16));
+            let base = self.space.object(id).base;
+            let tagged = self.tracker.tag(id, base);
+            self.tagged_bases.push(tagged);
+            let placement = self.config.placement;
+            self.driver.alloc_object(id, base, obj.bytes, |vpn| match placement {
+                Placement::Host => DeviceId::Host,
+                Placement::Striped => DeviceId::Gpu(GpuId((vpn.0 % gpus) as u8)),
+            });
+        }
+    }
+
+    fn apply_invalidations(&mut self, out: &Outcome) {
+        for (g, vpn) in &out.invalidations {
+            self.gpus[g.index()].invalidate(*vpn, self.config.page_size);
+        }
+    }
+
+    /// Executes one memory transaction, returning its total latency.
+    fn process_access(&mut self, now: Time, g: usize, a: &Access) -> Duration {
+        self.accesses += 1;
+        let va = Va(self.tagged_bases[a.obj.0 as usize].0 + a.offset);
+        let page = self.config.page_size;
+        let vpn = va.vpn(page);
+        let gpu_id = GpuId(g as u8);
+
+        let tlb = self.gpus[g].translate(vpn, &self.config);
+        let mut latency = tlb.latency;
+
+        // The local PTE is the source of truth for location and
+        // permissions (the TLB models timing only); faults are resolved by
+        // the driver until a usable translation exists.
+        let mut rounds = 0;
+        loop {
+            let pte = self.driver.state.local_tables[g].get(vpn).copied();
+            let fault = match pte {
+                None => PageFault::far(gpu_id, va, vpn, a.kind),
+                Some(p) if a.kind.is_write() && !p.writable => {
+                    PageFault::protection(gpu_id, va, vpn)
+                }
+                Some(_) => break,
+            };
+            let out = self
+                .driver
+                .handle_fault(now + latency, &fault, &mut self.fabric);
+            latency += out.latency;
+            self.apply_invalidations(&out);
+            rounds += 1;
+            assert!(rounds < 4, "fault resolution did not converge for {vpn}");
+        }
+        let pte = *self
+            .driver
+            .state
+            .local_tables[g]
+            .get(vpn)
+            .expect("translation resolved above");
+        if tlb.l2_miss {
+            self.policy_mix[RunReport::mix_index(pte.policy)] += 1;
+        }
+
+        if pte.location == DeviceId::Gpu(gpu_id) {
+            self.local_accesses += 1;
+            latency +=
+                self.gpus[g].local_access(now + latency, va, u64::from(a.bytes), &self.config);
+            self.driver.state.frames[g].touch(vpn);
+        } else {
+            self.remote_accesses += 1;
+            // Request to the remote device, data back over the fabric.
+            let t = self
+                .fabric
+                .transfer(now + latency, pte.location, DeviceId::Gpu(gpu_id), u64::from(a.bytes));
+            let overhead = if pte.location.is_host() {
+                self.config.host_access_overhead
+            } else {
+                self.config.remote_access_overhead
+            };
+            latency += t.latency_from(now + latency) + self.config.dram_latency + overhead;
+            if let Some(out) =
+                self.driver
+                    .note_remote_access(now + latency, gpu_id, vpn, &mut self.fabric)
+            {
+                latency += out.latency;
+                self.apply_invalidations(&out);
+            }
+        }
+        if std::env::var_os("OASIS_TRACE_SLOW").is_some() && latency > Duration::from_ms(20) {
+            eprintln!(
+                "slow access: {latency} at {now} gpu{g} vpn {vpn} kind {:?} pte {:?}",
+                a.kind,
+                self.driver.state.local_tables[g].get(vpn)
+            );
+        }
+        debug_assert!(
+            latency < Duration::from_ms(10_000),
+            "implausible access latency {latency} at {now} (vpn {vpn})"
+        );
+        latency
+    }
+
+    /// Runs the whole trace and produces the report.
+    pub fn run(&mut self, trace: &Trace) -> RunReport {
+        self.load(trace);
+        let mut global = Time::ZERO;
+        for phase in &trace.phases {
+            self.driver.kernel_launch();
+            global += self.config.kernel_launch_overhead;
+            // Grid-wide barriers split the kernel into synchronized
+            // segments (in-kernel iteration boundaries). Unlike kernel
+            // launches, barriers do not notify the policy engine.
+            let n_barriers = phase.barriers.first().map(Vec::len).unwrap_or(0);
+            for seg in 0..=n_barriers {
+                let slices: Vec<&[oasis_workloads::trace::Access]> = (0..self.config.gpu_count)
+                    .map(|g| {
+                        let start = if seg == 0 { 0 } else { phase.barriers[g][seg - 1] };
+                        let end = if seg == n_barriers {
+                            phase.per_gpu[g].len()
+                        } else {
+                            phase.barriers[g][seg]
+                        };
+                        &phase.per_gpu[g][start..end]
+                    })
+                    .collect();
+                let seg_start = global;
+                global = self.run_segment(global, &slices);
+                if std::env::var_os("OASIS_SEG_DEBUG").is_some() {
+                    let n: usize = slices.iter().map(|s| s.len()).sum();
+                    eprintln!(
+                        "[seg {seg}/{n_barriers} of {}] {n} accesses in {:.3} ms",
+                        phase.name,
+                        (global - seg_start).as_us() / 1000.0
+                    );
+                }
+            }
+        }
+        self.report(trace, global)
+    }
+
+    /// Runs one synchronized segment of per-GPU streams starting at
+    /// `start`, returning the time all GPUs completed it.
+    fn run_segment(&mut self, start: Time, work: &[&[Access]]) -> Time {
+        let lanes = self.config.lanes_per_gpu.max(1);
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let mut next = vec![0usize; work.len()];
+        for (g, stream) in work.iter().enumerate() {
+            for _ in 0..lanes.min(stream.len().max(1)) {
+                queue.push(start, g);
+            }
+        }
+        let mut end = start;
+        while let Some(ev) = queue.pop() {
+            let g = ev.payload;
+            let idx = next[g];
+            if idx >= work[g].len() {
+                continue; // this lane retires
+            }
+            next[g] = idx + 1;
+            let latency = self.process_access(ev.time, g, &work[g][idx]);
+            let done = ev.time + latency;
+            end = end.max(done);
+            queue.push(done, g);
+        }
+        end
+    }
+
+    fn report(&self, trace: &Trace, total_time: Time) -> RunReport {
+        let sum2 = |f: &dyn Fn(&GpuModel) -> (u64, u64)| {
+            self.gpus.iter().map(f).fold((0, 0), |(a, b), (h, m)| (a + h, b + m))
+        };
+        RunReport {
+            app: trace.app.to_string(),
+            policy: self.policy_name.clone(),
+            total_time: total_time - Time::ZERO,
+            phases: trace.phases.len(),
+            accesses: self.accesses,
+            local_accesses: self.local_accesses,
+            remote_accesses: self.remote_accesses,
+            l1_tlb: sum2(&|g: &GpuModel| g.l1_tlb.stats()),
+            l2_tlb: sum2(&|g: &GpuModel| g.l2_tlb.stats()),
+            l2_cache: sum2(&|g: &GpuModel| g.l2_cache.stats()),
+            uvm: self.driver.stats,
+            policy_mix: self.policy_mix,
+            nvlink_bytes: self.fabric.nvlink_bytes(),
+            pcie_bytes: self.fabric.pcie_bytes(),
+        }
+    }
+
+    /// The UVM driver (tests, characterization).
+    pub fn driver(&self) -> &UvmDriver {
+        &self.driver
+    }
+
+    /// The address space built from the trace's allocations.
+    pub fn address_space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+}
+
+/// Builds a system, runs `trace`, and returns the report.
+pub fn simulate(config: &SystemConfig, policy: Policy, trace: &Trace) -> RunReport {
+    System::new(config.clone(), &policy).run(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_workloads::{generate, App, WorkloadParams};
+
+    fn small(app: App) -> oasis_workloads::Trace {
+        generate(app, &WorkloadParams::small(app, 4))
+    }
+
+    #[test]
+    fn on_touch_run_produces_consistent_counters() {
+        let trace = small(App::Mt);
+        let r = simulate(&SystemConfig::default(), Policy::OnTouch, &trace);
+        assert_eq!(r.accesses as usize, trace.total_accesses());
+        assert_eq!(r.accesses, r.local_accesses + r.remote_accesses);
+        assert!(r.total_time > Duration::ZERO);
+        assert!(r.uvm.far_faults > 0);
+        // On-touch never duplicates or remote-maps.
+        assert_eq!(r.uvm.duplications, 0);
+        assert_eq!(r.uvm.remote_maps, 0);
+        assert_eq!(r.remote_accesses, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = small(App::Bfs);
+        let a = simulate(&SystemConfig::default(), Policy::oasis(), &trace);
+        let b = simulate(&SystemConfig::default(), Policy::oasis(), &trace);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.uvm, b.uvm);
+        assert_eq!(a.policy_mix, b.policy_mix);
+    }
+
+    #[test]
+    fn duplication_policy_duplicates_shared_reads() {
+        let trace = small(App::Mm);
+        let r = simulate(&SystemConfig::default(), Policy::Duplication, &trace);
+        assert!(r.uvm.duplications > 0);
+    }
+
+    #[test]
+    fn access_counter_policy_serves_remotely() {
+        let trace = small(App::Mm);
+        let r = simulate(&SystemConfig::default(), Policy::AccessCounter, &trace);
+        assert!(r.uvm.remote_maps > 0);
+        assert!(r.remote_accesses > 0);
+    }
+
+    #[test]
+    fn ideal_beats_on_touch_on_shared_workloads() {
+        let trace = small(App::Mm);
+        let base = simulate(&SystemConfig::default(), Policy::OnTouch, &trace);
+        let ideal = simulate(&SystemConfig::default(), Policy::Ideal, &trace);
+        assert!(
+            ideal.speedup_over(&base) > 1.0,
+            "ideal {:.2}x",
+            ideal.speedup_over(&base)
+        );
+    }
+
+    #[test]
+    fn striped_placement_runs() {
+        let trace = small(App::St);
+        let cfg = SystemConfig {
+            placement: Placement::Striped,
+            ..SystemConfig::default()
+        };
+        let r = simulate(&cfg, Policy::oasis(), &trace);
+        assert!(r.total_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn oversubscription_evicts() {
+        let trace = small(App::Mt);
+        let cfg = SystemConfig::default()
+            .with_oversubscription(trace.footprint_bytes(), 150);
+        let r = simulate(&cfg, Policy::OnTouch, &trace);
+        assert!(r.uvm.evictions > 0, "capacity pressure must evict");
+    }
+
+    #[test]
+    fn large_pages_reduce_fault_count() {
+        let trace = small(App::Mt);
+        let small_pages = simulate(&SystemConfig::default(), Policy::OnTouch, &trace);
+        let large_pages = simulate(&SystemConfig::with_large_pages(), Policy::OnTouch, &trace);
+        assert!(large_pages.uvm.far_faults < small_pages.uvm.far_faults);
+    }
+
+    #[test]
+    fn policy_mix_counts_l2_misses_only() {
+        let trace = small(App::Mt);
+        let r = simulate(&SystemConfig::default(), Policy::oasis(), &trace);
+        let mix_total: u64 = r.policy_mix.iter().sum();
+        assert_eq!(mix_total, r.l2_tlb.1, "one mix sample per L2 TLB miss");
+    }
+}

@@ -1,0 +1,84 @@
+//! Latency parameters of the UVM driver's fault-resolution path.
+
+use oasis_engine::Duration;
+
+/// Fixed latencies charged by the driver model, on top of the interconnect
+/// transfer times computed by the fabric.
+///
+/// Defaults follow published UVM measurements (tens of microseconds per
+/// replayable fault) scaled to the paper's platform; everything is
+/// configurable for sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UvmCosts {
+    /// GPU-side fault delivery + host driver processing for a far fault
+    /// (translation miss), excluding data movement.
+    pub far_fault_base: Duration,
+    /// Same, for a page-protection fault (write to a read-only copy).
+    pub protection_fault_base: Duration,
+    /// Installing or updating one PTE (runs largely in parallel with fault
+    /// resolution; kept small).
+    pub pte_update: Duration,
+    /// Broadcasting a TLB shootdown / PTE invalidation to the first remote
+    /// device.
+    pub invalidation_base: Duration,
+    /// Incremental cost per additional device invalidated in the same
+    /// operation (acks return mostly in parallel).
+    pub invalidation_extra: Duration,
+    /// Driver-side cost of a hardware access-counter notification that
+    /// triggers a migration (cheaper than a fault: no warp stall replay,
+    /// notifications are batched).
+    pub counter_migration_base: Duration,
+    /// Driver *occupancy* per fault: the host fault-handling pipeline is
+    /// serialized, so concurrent faults queue behind each other at this
+    /// service rate (~hundreds of thousands of faults/second on real UVM
+    /// stacks). This is what makes fault-heavy policies slow at scale —
+    /// the effect behind the paper's Fig. 24.
+    pub fault_service: Duration,
+}
+
+impl Default for UvmCosts {
+    fn default() -> Self {
+        UvmCosts {
+            far_fault_base: Duration::from_us(20),
+            protection_fault_base: Duration::from_us(20),
+            pte_update: Duration::from_ns(200),
+            invalidation_base: Duration::from_us(3),
+            invalidation_extra: Duration::from_ns(500),
+            counter_migration_base: Duration::from_us(10),
+            fault_service: Duration::from_us(2),
+        }
+    }
+}
+
+impl UvmCosts {
+    /// Cost of invalidating `devices` remote translations (0 is free).
+    pub fn invalidation(&self, devices: usize) -> Duration {
+        match devices {
+            0 => Duration::ZERO,
+            n => self.invalidation_base + self.invalidation_extra * (n as u64 - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalidation_scales_with_device_count() {
+        let c = UvmCosts::default();
+        assert_eq!(c.invalidation(0), Duration::ZERO);
+        assert_eq!(c.invalidation(1), c.invalidation_base);
+        assert_eq!(
+            c.invalidation(3),
+            c.invalidation_base + c.invalidation_extra * 2
+        );
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = UvmCosts::default();
+        assert!(c.far_fault_base > c.counter_migration_base);
+        assert!(c.pte_update < c.invalidation_base);
+    }
+}

@@ -1,0 +1,1213 @@
+//! The UVM driver: centralized state plus fault-resolution mechanics.
+//!
+//! The driver owns the system's memory state (centralized host page table,
+//! per-GPU local page tables, per-GPU frame residency) and implements the
+//! mechanics every policy is built from: page migration, read duplication,
+//! write-collapse, remote mapping with hardware access counters, and LRU
+//! eviction to the host under oversubscription. *Which* mechanic resolves a
+//! given fault is delegated to the configured [`PolicyEngine`].
+
+use std::collections::HashMap;
+
+use oasis_engine::{Duration, Time};
+use oasis_interconnect::Fabric;
+use oasis_mem::frames::FrameAllocator;
+use oasis_mem::page::{HostEntry, HostPageTable, LocalPageTable, PolicyBits, Pte};
+use oasis_mem::types::{DeviceId, GpuId, ObjectId, PageSize, Va, Vpn};
+
+use crate::costs::UvmCosts;
+use crate::fault::{FaultType, PageFault};
+use crate::policy::{PolicyEngine, Resolution};
+use crate::stats::UvmStats;
+
+/// Pages per 64 KiB access-counter group for 4 KiB pages (the NVIDIA
+/// driver's counter granularity, Table I).
+const GROUP_BYTES: u64 = 64 * 1024;
+
+/// The memory state shared between the driver and policy engines.
+#[derive(Debug)]
+pub struct MemState {
+    /// Translation granularity of this run.
+    pub page_size: PageSize,
+    /// The centralized page table on the host (the driver's ground truth).
+    pub host_table: HostPageTable,
+    /// Per-GPU local page tables (walked by each GMMU).
+    pub local_tables: Vec<LocalPageTable>,
+    /// Per-GPU physical-frame residency (finite under oversubscription).
+    pub frames: Vec<FrameAllocator>,
+}
+
+impl MemState {
+    /// Creates state for `gpu_count` GPUs, each with `capacity_pages`
+    /// local frames (`None` = unbounded, the non-oversubscribed setup).
+    pub fn new(gpu_count: usize, page_size: PageSize, capacity_pages: Option<u64>) -> Self {
+        assert!(gpu_count > 0, "need at least one GPU");
+        MemState {
+            page_size,
+            host_table: HostPageTable::new(),
+            local_tables: (0..gpu_count).map(|_| LocalPageTable::new()).collect(),
+            frames: (0..gpu_count)
+                .map(|_| FrameAllocator::new(capacity_pages))
+                .collect(),
+        }
+    }
+
+    /// Number of GPUs in the system.
+    pub fn gpu_count(&self) -> usize {
+        self.local_tables.len()
+    }
+}
+
+/// What a fault resolution (or counter notification) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Page migrated to the requester.
+    Migrated,
+    /// Read-only duplicate created on the requester.
+    Duplicated,
+    /// Write far fault under duplication: duplicate, then immediate
+    /// protection fault and collapse (Section IV-B's private-write
+    /// pathology).
+    DuplicatedAndCollapsed,
+    /// Protection fault resolved by collapsing all copies to the writer.
+    /// Under access-counter policy bits, later sharers then remote-map
+    /// instead of re-duplicating.
+    CollapsedToWriter,
+    /// Remote mapping installed; no data moved.
+    RemoteMapped,
+    /// Writable ideal copy created (hypothetical Ideal policy).
+    IdealCopied,
+    /// A hardware access counter hit its threshold and migrated `pages`
+    /// pages of its 64 KiB group.
+    CounterMigrated {
+        /// How many pages of the group moved.
+        pages: u32,
+    },
+}
+
+/// The result of a driver operation, consumed by the GPU-side model.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// What happened.
+    pub kind: OutcomeKind,
+    /// Total latency charged to the triggering access.
+    pub latency: Duration,
+    /// `(gpu, vpn)` translations invalidated; the GPU model must drop the
+    /// corresponding TLB entries and cache lines.
+    pub invalidations: Vec<(GpuId, Vpn)>,
+}
+
+impl Outcome {
+    fn new(kind: OutcomeKind) -> Self {
+        Outcome {
+            kind,
+            latency: Duration::ZERO,
+            invalidations: Vec::new(),
+        }
+    }
+}
+
+/// The UVM driver.
+pub struct UvmDriver {
+    /// Centralized memory state.
+    pub state: MemState,
+    /// The active page-management policy.
+    pub policy: Box<dyn PolicyEngine>,
+    /// Latency parameters.
+    pub costs: UvmCosts,
+    /// Remote accesses per 64 KiB group before a counter migration
+    /// (Table I: 256).
+    pub counter_threshold: u32,
+    /// Counter increment per observed transaction. Trace transactions are
+    /// sampled (one stands for several coalesced warp accesses), so the
+    /// platform sets this to the sampling factor to keep the *effective*
+    /// threshold faithful to real access volumes. Default 1.
+    pub counter_weight: u32,
+    /// Event counters.
+    pub stats: UvmStats,
+    /// Fault-driven migrations of one page within [`Self::thrash_window`]
+    /// before the driver pins it (serves it remotely instead of
+    /// migrating), mirroring the real UVM driver's thrashing mitigation.
+    pub thrash_threshold: u32,
+    /// Sliding window for thrash detection.
+    pub thrash_window: Duration,
+    /// When true, resolving a far fault by migration from *host* memory
+    /// also pulls in the untouched remainder of the page's 64 KiB group —
+    /// a simplified form of the real UVM driver's density/tree-based
+    /// neighborhood prefetcher. Off by default (the paper's baseline does
+    /// not isolate it); exposed for the ablation study.
+    pub prefetch_group: bool,
+    group_shift: u32,
+    counters: HashMap<(u8, u64), u32>,
+    /// Per-page (migration count in window, window start) for thrash
+    /// detection.
+    thrash: HashMap<Vpn, (u32, Time)>,
+    /// When the serialized host fault-handling pipeline frees up.
+    driver_free: Time,
+}
+
+impl std::fmt::Debug for UvmDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UvmDriver")
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl UvmDriver {
+    /// Creates a driver for `gpu_count` GPUs using `policy`.
+    pub fn new(
+        gpu_count: usize,
+        page_size: PageSize,
+        capacity_pages: Option<u64>,
+        policy: Box<dyn PolicyEngine>,
+        costs: UvmCosts,
+        counter_threshold: u32,
+    ) -> Self {
+        let pages_per_group = (GROUP_BYTES / page_size.bytes()).max(1);
+        UvmDriver {
+            state: MemState::new(gpu_count, page_size, capacity_pages),
+            policy,
+            costs,
+            counter_threshold,
+            counter_weight: 1,
+            thrash_threshold: 4,
+            thrash_window: Duration::from_ms(1),
+            prefetch_group: false,
+            thrash: HashMap::new(),
+            stats: UvmStats::default(),
+            group_shift: pages_per_group.trailing_zeros(),
+            counters: HashMap::new(),
+            driver_free: Time::ZERO,
+        }
+    }
+
+    /// Records a data-moving fault for `vpn` in the sliding thrash window
+    /// and reports whether the page is now considered thrashing.
+    fn thrash_check(&mut self, now: Time, vpn: Vpn) -> bool {
+        let window = self.thrash_window;
+        let e = self.thrash.entry(vpn).or_insert((0, now));
+        if now.since(e.1.min(now)) > window {
+            *e = (0, now);
+        }
+        e.0 += 1;
+        e.0 > self.thrash_threshold
+    }
+
+    /// Reserves the serialized driver pipeline at `now`, returning the
+    /// queueing delay incurred. Faults that arrive while the pipeline is
+    /// busy are *batched*: real UVM drains its fault buffer in groups, so
+    /// back-to-back faults amortize to roughly half the isolated service
+    /// time.
+    fn reserve_driver(&mut self, now: Time, service: Duration) -> Duration {
+        let busy = now < self.driver_free;
+        let start = now.max(self.driver_free);
+        let effective = if busy { service / 2 } else { service };
+        self.driver_free = start + effective;
+        start.since(now)
+    }
+
+    /// Registers all pages of a new object, placing them at `placement`,
+    /// and notifies the policy engine of the allocation.
+    pub fn alloc_object(
+        &mut self,
+        obj: ObjectId,
+        base: Va,
+        bytes: u64,
+        placement: impl Fn(Vpn) -> DeviceId,
+    ) {
+        let first = base.vpn(self.state.page_size).0;
+        let last = Va(base.canonical().0 + bytes.max(1) - 1)
+            .vpn(self.state.page_size)
+            .0;
+        for p in first..=last {
+            let dev = placement(Vpn(p));
+            let entry = match dev {
+                DeviceId::Host => HostEntry::new_on_host(),
+                DeviceId::Gpu(g) => {
+                    // Initially-striped pages are resident and mapped on
+                    // their GPU from the start (Fig. 21).
+                    self.state.frames[g.index()].insert(Vpn(p));
+                    self.state.local_tables[g.index()].insert(
+                        Vpn(p),
+                        Pte {
+                            location: dev,
+                            writable: true,
+                            policy: PolicyBits::OnTouch,
+                        },
+                    );
+                    HostEntry::new_at(dev)
+                }
+            };
+            self.state.host_table.register(Vpn(p), entry);
+        }
+        self.policy.on_alloc(obj, base, bytes);
+    }
+
+    /// Unregisters all pages of a freed object and notifies the policy.
+    pub fn free_object(&mut self, obj: ObjectId, base: Va, bytes: u64) {
+        let first = base.vpn(self.state.page_size).0;
+        let last = Va(base.canonical().0 + bytes.max(1) - 1)
+            .vpn(self.state.page_size)
+            .0;
+        for p in first..=last {
+            let vpn = Vpn(p);
+            if self.state.host_table.unregister(vpn).is_some() {
+                for g in 0..self.state.gpu_count() {
+                    self.state.local_tables[g].invalidate(vpn);
+                    self.state.frames[g].remove(vpn);
+                }
+            }
+        }
+        self.policy.on_free(obj);
+    }
+
+    /// Notifies the policy of an explicit phase boundary (kernel launch).
+    pub fn kernel_launch(&mut self) {
+        self.policy.on_kernel_launch();
+    }
+
+    /// Resolves a page fault at simulated time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the faulting page was never registered.
+    pub fn handle_fault(&mut self, now: Time, fault: &PageFault, fabric: &mut Fabric) -> Outcome {
+        match fault.fault_type {
+            FaultType::Far => self.stats.far_faults += 1,
+            FaultType::Protection => self.stats.protection_faults += 1,
+        }
+        self.state
+            .host_table
+            .get_mut(fault.vpn)
+            .unwrap_or_else(|| panic!("fault on unregistered page {}", fault.vpn))
+            .mark_touched(fault.gpu);
+
+        let decision = self.policy.resolve(fault, &self.state);
+        let base = match fault.fault_type {
+            FaultType::Far => self.costs.far_fault_base,
+            FaultType::Protection => self.costs.protection_fault_base,
+        };
+        // Fault packet to the host and resolution reply back to the GPU.
+        let rtt = self.costs.pte_update
+            + fabric.control_latency(DeviceId::Gpu(fault.gpu), DeviceId::Host) * 2;
+        // The host fault pipeline is serialized: queue behind in-flight
+        // fault work. The wait is charged to the fault's total latency, but
+        // data transfers are reserved from the arrival time: pushing them
+        // past the queue delay would let one backlogged fault poison the
+        // interconnect for unrelated earlier requesters.
+        let queue_wait = self.reserve_driver(now, self.costs.fault_service);
+
+        // Thrashing mitigation (as in the real UVM driver): a page that
+        // keeps bouncing between processors gets *pinned* — served through
+        // a remote mapping instead of moved again.
+        let owner = self
+            .state
+            .host_table
+            .get(fault.vpn)
+            .map(|e| e.owner)
+            .unwrap_or(DeviceId::Host);
+        let moves_data = matches!(
+            (fault.fault_type, decision.resolution),
+            (FaultType::Far, Resolution::Migrate | Resolution::Duplicate)
+                | (FaultType::Protection, _)
+        );
+        let pinnable = owner != DeviceId::Gpu(fault.gpu)
+            && fault.fault_type == FaultType::Far
+            && matches!(decision.resolution, Resolution::Migrate | Resolution::Duplicate);
+        let thrashing = moves_data && self.thrash_check(now, fault.vpn);
+
+        let mut out;
+        if thrashing && pinnable {
+            out = Outcome::new(OutcomeKind::RemoteMapped);
+            self.do_remote_map(fault.gpu, fault.vpn, &mut out);
+            self.stats.thrash_pins += 1;
+            out.latency += base + rtt + decision.metadata_latency + queue_wait;
+            return out;
+        }
+        match (fault.fault_type, decision.resolution) {
+            (FaultType::Far, Resolution::Migrate) => {
+                out = Outcome::new(OutcomeKind::Migrated);
+                self.do_migrate(now, fault.gpu, fault.vpn, PolicyBits::OnTouch, fabric, &mut out);
+                self.stats.migrations += 1;
+                if self.prefetch_group && owner == DeviceId::Host {
+                    self.do_group_prefetch(now, fault.gpu, fault.vpn, fabric, &mut out);
+                }
+            }
+            (FaultType::Far, Resolution::RemoteMap) => {
+                out = Outcome::new(OutcomeKind::RemoteMapped);
+                self.do_remote_map(fault.gpu, fault.vpn, &mut out);
+            }
+            (FaultType::Far, Resolution::Duplicate) => {
+                if fault.is_write() {
+                    // Duplicate read-only, then the store immediately raises
+                    // a protection fault and collapses to the writer. The
+                    // driver resolves the replayed fault within the same
+                    // pipeline occupancy, but the requester eats the extra
+                    // protection-fault latency.
+                    out = Outcome::new(OutcomeKind::DuplicatedAndCollapsed);
+                    self.do_duplicate(now, fault.gpu, fault.vpn, fabric, &mut out);
+                    out.latency += self.costs.protection_fault_base;
+                    self.stats.protection_faults += 1;
+                    self.do_collapse_to_writer(now, fault.gpu, fault.vpn, fabric, &mut out);
+                } else {
+                    out = Outcome::new(OutcomeKind::Duplicated);
+                    self.do_duplicate(now, fault.gpu, fault.vpn, fabric, &mut out);
+                }
+            }
+            (FaultType::Far, Resolution::IdealCopy) => {
+                out = Outcome::new(OutcomeKind::IdealCopied);
+                self.do_ideal_copy(now, fault.gpu, fault.vpn, fabric, &mut out);
+            }
+            (FaultType::Protection, Resolution::RemoteMap) => {
+                // Access-counter handling of a write to a duplicated page:
+                // the copies collapse to the writer, and the page's policy
+                // bits switch to access-counter so *later* sharers get
+                // remote mappings instead of new duplicates.
+                out = Outcome::new(OutcomeKind::CollapsedToWriter);
+                self.state
+                    .host_table
+                    .get_mut(fault.vpn)
+                    .expect("checked above")
+                    .policy = PolicyBits::AccessCounter;
+                self.do_collapse_to_writer(now, fault.gpu, fault.vpn, fabric, &mut out);
+            }
+            (FaultType::Protection, _) => {
+                out = Outcome::new(OutcomeKind::CollapsedToWriter);
+                self.do_collapse_to_writer(now, fault.gpu, fault.vpn, fabric, &mut out);
+            }
+        }
+        out.latency += base + rtt + decision.metadata_latency + queue_wait;
+        out
+    }
+
+    /// Records a remote access by `gpu` to `vpn` (which it maps remotely).
+    /// Returns a migration outcome when the 64 KiB group's counter reaches
+    /// the threshold.
+    pub fn note_remote_access(
+        &mut self,
+        now: Time,
+        gpu: GpuId,
+        vpn: Vpn,
+        fabric: &mut Fabric,
+    ) -> Option<Outcome> {
+        let group = vpn.0 >> self.group_shift;
+        let c = self.counters.entry((gpu.0, group)).or_insert(0);
+        *c += self.counter_weight;
+        if *c < self.counter_threshold {
+            return None;
+        }
+        *c = 0;
+        let mut out = Outcome::new(OutcomeKind::CounterMigrated { pages: 0 });
+        // Counter notifications go through the same serialized driver
+        // pipeline as faults.
+        let queue_wait = self.reserve_driver(now, self.costs.fault_service);
+        out.latency += self.costs.counter_migration_base + queue_wait;
+        // The hardware counter covers a 64 KiB region: once it trips, the
+        // driver migrates the *whole group* from the triggering page's
+        // source, not just the pages this GPU happens to map already
+        // (matching the region-granular migration of real UVM stacks).
+        let source = self
+            .state
+            .host_table
+            .get(vpn)
+            .map(|e| e.owner)
+            .unwrap_or(DeviceId::Host);
+        let first = group << self.group_shift;
+        let mut moved = 0u32;
+        for p in first..first + (1 << self.group_shift) {
+            let vpn = Vpn(p);
+            let migrate = self.state.host_table.get(vpn).is_some_and(|e| {
+                e.owner != DeviceId::Gpu(gpu) && (e.maps_remotely(gpu) || e.owner == source)
+            });
+            if migrate {
+                let keep_policy = self.state.host_table.get(vpn).expect("checked").policy;
+                self.do_migrate(now, gpu, vpn, keep_policy, fabric, &mut out);
+                self.stats.counter_migrations += 1;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            return None;
+        }
+        // A migration resets *every* GPU's counter for the group: the next
+        // contender must accumulate a full threshold of remote accesses
+        // before stealing it back, which paces ping-ponging at the
+        // threshold period (as the real counter clear-on-migrate does).
+        for g in 0..self.state.gpu_count() as u8 {
+            self.counters.remove(&(g, group));
+        }
+        out.kind = OutcomeKind::CounterMigrated { pages: moved };
+        // Counter migrations are asynchronous: the notification is handled
+        // by the driver in the background while the triggering access
+        // completes remotely. The work still occupies the driver pipeline
+        // and the interconnect (reserved above); only the triggering lane
+        // is spared the stall.
+        out.latency = Duration::ZERO;
+        Some(out)
+    }
+
+    /// The page size this driver operates at.
+    pub fn page_size(&self) -> PageSize {
+        self.state.page_size
+    }
+
+    // ------------------------------------------------------------------
+    // Mechanics
+    // ------------------------------------------------------------------
+
+    fn invalidate_at(&mut self, g: GpuId, vpn: Vpn, drop_frame: bool, out: &mut Outcome) {
+        if self.state.local_tables[g.index()].invalidate(vpn).is_some() {
+            out.invalidations.push((g, vpn));
+            self.stats.invalidations += 1;
+        }
+        if drop_frame {
+            self.state.frames[g.index()].remove(vpn);
+        }
+    }
+
+    /// Migrates `vpn` into `to`'s memory, invalidating every other holder.
+    fn do_migrate(
+        &mut self,
+        now: Time,
+        to: GpuId,
+        vpn: Vpn,
+        bits: PolicyBits,
+        fabric: &mut Fabric,
+        out: &mut Outcome,
+    ) {
+        let entry = *self.state.host_table.get(vpn).expect("migrate unregistered page");
+        let from = entry.owner;
+        let mut victims: Vec<GpuId> = Vec::new();
+        for g in entry.duplicate_holders().chain(entry.remote_mappers()) {
+            if !victims.contains(&g) {
+                victims.push(g);
+            }
+        }
+        if let Some(og) = from.gpu() {
+            if !victims.contains(&og) {
+                victims.push(og);
+            }
+        }
+        let mut inv_count = 0usize;
+        for g in victims {
+            if g == to {
+                // The requester's own stale mapping (e.g. a remote map being
+                // upgraded by a counter migration) is replaced below, but its
+                // TLB entry must still be refreshed.
+                self.invalidate_at(g, vpn, true, out);
+                continue;
+            }
+            self.invalidate_at(g, vpn, true, out);
+            inv_count += 1;
+        }
+        out.latency += self.costs.invalidation(inv_count);
+
+        if from != DeviceId::Gpu(to) {
+            let t = fabric.transfer(now + out.latency, from, DeviceId::Gpu(to), self.page_bytes());
+            out.latency += t.latency_from(now + out.latency);
+        }
+        if let Some(victim) = self.state.frames[to.index()].insert(vpn) {
+            self.do_evict(now, to, victim, fabric, out);
+        }
+        let e = self.state.host_table.get_mut(vpn).expect("checked");
+        e.owner = DeviceId::Gpu(to);
+        e.copy_mask = 0;
+        e.mapper_mask = 0;
+        e.policy = bits;
+        self.state.local_tables[to.index()].insert(
+            vpn,
+            Pte {
+                location: DeviceId::Gpu(to),
+                writable: true,
+                policy: bits,
+            },
+        );
+        out.latency += self.costs.pte_update;
+    }
+
+    /// Installs a remote mapping for `gpu` to the page's current owner.
+    fn do_remote_map(&mut self, gpu: GpuId, vpn: Vpn, out: &mut Outcome) {
+        // Read-only duplicates cannot coexist with a writable remote
+        // mapping: collapse them back to the owner first.
+        let entry = *self.state.host_table.get(vpn).expect("map unregistered page");
+        if entry.copy_mask != 0 {
+            let mut inv = 0usize;
+            for g in entry.duplicate_holders() {
+                self.invalidate_at(g, vpn, true, out);
+                inv += 1;
+            }
+            out.latency += self.costs.invalidation(inv);
+            let e = self.state.host_table.get_mut(vpn).expect("checked");
+            e.copy_mask = 0;
+        }
+        let entry = *self.state.host_table.get(vpn).expect("checked");
+        let owner = entry.owner;
+        if owner == DeviceId::Gpu(gpu) {
+            // Degenerate case (e.g. a re-fault on a self-owned page with
+            // the host-PT filter ablated): just reinstall the local
+            // translation.
+            self.state.frames[gpu.index()].insert(vpn);
+            self.state.local_tables[gpu.index()].insert(
+                vpn,
+                Pte {
+                    location: owner,
+                    writable: true,
+                    policy: PolicyBits::AccessCounter,
+                },
+            );
+            out.latency += self.costs.pte_update;
+            return;
+        }
+        // Restore the owner's writable mapping (it may have been downgraded
+        // while duplicated).
+        if let Some(og) = owner.gpu() {
+            self.state.local_tables[og.index()].insert(
+                vpn,
+                Pte {
+                    location: owner,
+                    writable: true,
+                    policy: PolicyBits::AccessCounter,
+                },
+            );
+        }
+        let e = self.state.host_table.get_mut(vpn).expect("checked");
+        e.mapper_mask |= 1 << gpu.0;
+        e.policy = PolicyBits::AccessCounter;
+        self.state.local_tables[gpu.index()].insert(
+            vpn,
+            Pte {
+                location: owner,
+                writable: true,
+                policy: PolicyBits::AccessCounter,
+            },
+        );
+        out.latency += self.costs.pte_update;
+        self.stats.remote_maps += 1;
+    }
+
+    /// Creates a read-only duplicate of `vpn` on `gpu`.
+    fn do_duplicate(&mut self, now: Time, gpu: GpuId, vpn: Vpn, fabric: &mut Fabric, out: &mut Outcome) {
+        let entry = *self.state.host_table.get(vpn).expect("duplicate unregistered page");
+        // Writable remote mappings cannot coexist with read-only copies.
+        let mut inv = 0usize;
+        for g in entry.remote_mappers() {
+            if g != gpu {
+                self.invalidate_at(g, vpn, false, out);
+                inv += 1;
+            }
+        }
+        let owner = entry.owner;
+        // Downgrade the owner's mapping to read-only.
+        if let Some(og) = owner.gpu() {
+            if let Some(pte) = self.state.local_tables[og.index()].get(vpn).copied() {
+                if pte.writable {
+                    self.state.local_tables[og.index()].insert(
+                        vpn,
+                        Pte {
+                            writable: false,
+                            policy: PolicyBits::Duplication,
+                            ..pte
+                        },
+                    );
+                    out.invalidations.push((og, vpn));
+                    self.stats.invalidations += 1;
+                    inv += 1;
+                }
+            }
+        }
+        out.latency += self.costs.invalidation(inv);
+        let t = fabric.transfer(now + out.latency, owner, DeviceId::Gpu(gpu), self.page_bytes());
+        out.latency += t.latency_from(now + out.latency);
+        if let Some(victim) = self.state.frames[gpu.index()].insert(vpn) {
+            self.do_evict(now, gpu, victim, fabric, out);
+        }
+        let e = self.state.host_table.get_mut(vpn).expect("checked");
+        e.mapper_mask = 0;
+        e.copy_mask |= 1 << gpu.0;
+        e.policy = PolicyBits::Duplication;
+        self.state.local_tables[gpu.index()].insert(
+            vpn,
+            Pte {
+                location: DeviceId::Gpu(gpu),
+                writable: false,
+                policy: PolicyBits::Duplication,
+            },
+        );
+        out.latency += self.costs.pte_update;
+        self.stats.duplications += 1;
+    }
+
+    /// Write-collapse: invalidate every copy and make the writer the
+    /// exclusive owner.
+    fn do_collapse_to_writer(
+        &mut self,
+        now: Time,
+        writer: GpuId,
+        vpn: Vpn,
+        fabric: &mut Fabric,
+        out: &mut Outcome,
+    ) {
+        let entry = *self.state.host_table.get(vpn).expect("collapse unregistered page");
+        let writer_has_data =
+            entry.owner == DeviceId::Gpu(writer) || entry.copy_mask & (1 << writer.0) != 0;
+        let mut inv = 0usize;
+        for g in entry.duplicate_holders().chain(entry.remote_mappers()) {
+            if g != writer {
+                self.invalidate_at(g, vpn, true, out);
+                inv += 1;
+            }
+        }
+        if let Some(og) = entry.owner.gpu() {
+            if og != writer {
+                self.invalidate_at(og, vpn, true, out);
+                inv += 1;
+            }
+        }
+        out.latency += self.costs.invalidation(inv);
+        if !writer_has_data {
+            let t = fabric.transfer(
+                now + out.latency,
+                entry.owner,
+                DeviceId::Gpu(writer),
+                self.page_bytes(),
+            );
+            out.latency += t.latency_from(now + out.latency);
+        }
+        if let Some(victim) = self.state.frames[writer.index()].insert(vpn) {
+            self.do_evict(now, writer, victim, fabric, out);
+        }
+        let e = self.state.host_table.get_mut(vpn).expect("checked");
+        let bits = e.policy;
+        e.owner = DeviceId::Gpu(writer);
+        e.copy_mask = 0;
+        e.mapper_mask = 0;
+        self.state.local_tables[writer.index()].insert(
+            vpn,
+            Pte {
+                location: DeviceId::Gpu(writer),
+                writable: true,
+                policy: bits,
+            },
+        );
+        out.latency += self.costs.pte_update;
+        self.stats.collapses += 1;
+    }
+
+    /// Gives `gpu` its own writable copy with no consistency bookkeeping
+    /// (the hypothetical Ideal policy).
+    fn do_ideal_copy(&mut self, now: Time, gpu: GpuId, vpn: Vpn, fabric: &mut Fabric, out: &mut Outcome) {
+        let entry = *self.state.host_table.get(vpn).expect("copy unregistered page");
+        let t = fabric.transfer(now + out.latency, entry.owner, DeviceId::Gpu(gpu), self.page_bytes());
+        out.latency += t.latency_from(now + out.latency);
+        if let Some(victim) = self.state.frames[gpu.index()].insert(vpn) {
+            self.do_evict(now, gpu, victim, fabric, out);
+        }
+        let e = self.state.host_table.get_mut(vpn).expect("checked");
+        e.copy_mask |= 1 << gpu.0;
+        self.state.local_tables[gpu.index()].insert(
+            vpn,
+            Pte {
+                location: DeviceId::Gpu(gpu),
+                writable: true,
+                policy: PolicyBits::OnTouch,
+            },
+        );
+        out.latency += self.costs.pte_update;
+        self.stats.ideal_copies += 1;
+    }
+
+    /// Neighborhood prefetch: after a host→GPU on-touch migration, pull in
+    /// the rest of the faulting page's 64 KiB group that is still
+    /// host-resident and untouched. Transfers ride along with the fault's
+    /// resolution (no additional fault service); PTEs are installed so the
+    /// prefetched pages never fault.
+    fn do_group_prefetch(
+        &mut self,
+        now: Time,
+        gpu: GpuId,
+        vpn: Vpn,
+        fabric: &mut Fabric,
+        out: &mut Outcome,
+    ) {
+        let group = vpn.0 >> self.group_shift;
+        let first = group << self.group_shift;
+        for p in first..first + (1 << self.group_shift) {
+            let candidate = Vpn(p);
+            if candidate == vpn {
+                continue;
+            }
+            let eligible = self.state.host_table.get(candidate).is_some_and(|e| {
+                e.owner == DeviceId::Host && e.copy_mask == 0 && e.mapper_mask == 0 && e.touched_by == 0
+            });
+            if !eligible {
+                continue;
+            }
+            let t = fabric.transfer(
+                now + out.latency,
+                DeviceId::Host,
+                DeviceId::Gpu(gpu),
+                self.page_bytes(),
+            );
+            // Prefetch transfers consume bandwidth but resolve in the
+            // background; only the transfer pipeline extends the fault.
+            let _ = t;
+            if let Some(victim) = self.state.frames[gpu.index()].insert(candidate) {
+                self.do_evict(now, gpu, victim, fabric, out);
+            }
+            let e = self.state.host_table.get_mut(candidate).expect("checked");
+            e.owner = DeviceId::Gpu(gpu);
+            self.state.local_tables[gpu.index()].insert(
+                candidate,
+                Pte {
+                    location: DeviceId::Gpu(gpu),
+                    writable: true,
+                    policy: PolicyBits::OnTouch,
+                },
+            );
+            self.stats.prefetches += 1;
+        }
+    }
+
+    /// Evicts `victim` from `gpu` (its frame was just reclaimed): duplicate
+    /// copies are simply dropped; owned pages are written back to the host,
+    /// which keeps their learned policy bits (the paper's oversubscription
+    /// fix in Section VI-D).
+    fn do_evict(&mut self, now: Time, gpu: GpuId, victim: Vpn, fabric: &mut Fabric, out: &mut Outcome) {
+        let entry = *self
+            .state
+            .host_table
+            .get(victim)
+            .expect("evicting unregistered page");
+        self.stats.evictions += 1;
+        if entry.owner != DeviceId::Gpu(gpu) {
+            // The victim frame held a read-only duplicate (or ideal copy):
+            // drop it, no data movement needed.
+            self.invalidate_at(gpu, victim, false, out);
+            out.latency += self.costs.invalidation(1);
+            let e = self.state.host_table.get_mut(victim).expect("checked");
+            e.copy_mask &= !(1 << gpu.0);
+            return;
+        }
+        // Full eviction of an owned page: every holder is invalidated and
+        // the data moves back to host memory.
+        let mut inv = 0usize;
+        for g in entry.duplicate_holders().chain(entry.remote_mappers()) {
+            if g != gpu {
+                self.invalidate_at(g, victim, true, out);
+                inv += 1;
+            }
+        }
+        self.invalidate_at(gpu, victim, false, out);
+        inv += 1;
+        out.latency += self.costs.invalidation(inv);
+        // The write-back to host is asynchronous (the driver evicts in the
+        // background): it consumes PCIe bandwidth but does not stall the
+        // lane whose fault triggered the eviction.
+        let _ = fabric.transfer(
+            now + out.latency,
+            DeviceId::Gpu(gpu),
+            DeviceId::Host,
+            self.page_bytes(),
+        );
+        let e = self.state.host_table.get_mut(victim).expect("checked");
+        e.owner = DeviceId::Host;
+        e.copy_mask = 0;
+        e.mapper_mask = 0;
+        // e.policy intentionally retained (Section VI-D).
+    }
+
+    fn page_bytes(&self) -> u64 {
+        self.state.page_size.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{
+        AccessCounterPolicy, DuplicationPolicy, IdealPolicy, OnTouchPolicy,
+    };
+    use oasis_interconnect::FabricConfig;
+    use oasis_mem::types::AccessKind;
+
+    fn driver(policy: Box<dyn PolicyEngine>, capacity: Option<u64>) -> (UvmDriver, Fabric) {
+        let mut d = UvmDriver::new(
+            4,
+            PageSize::Small4K,
+            capacity,
+            policy,
+            UvmCosts::default(),
+            4, // low threshold for tests
+        );
+        d.alloc_object(ObjectId(0), Va(0x1000_0000), 64 * 4096, |_| DeviceId::Host);
+        (d, Fabric::new(4, FabricConfig::default()))
+    }
+
+    fn vpn(i: u64) -> Vpn {
+        Va(0x1000_0000 + i * 4096).vpn(PageSize::Small4K)
+    }
+
+    fn far(gpu: u8, page: u64, kind: AccessKind) -> PageFault {
+        PageFault::far(GpuId(gpu), Va(0x1000_0000 + page * 4096), vpn(page), kind)
+    }
+
+    #[test]
+    fn on_touch_migrates_from_host_then_between_gpus() {
+        let (mut d, mut f) = driver(Box::new(OnTouchPolicy), None);
+        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Read), &mut f);
+        assert_eq!(o.kind, OutcomeKind::Migrated);
+        assert_eq!(
+            d.state.host_table.get(vpn(0)).unwrap().owner,
+            DeviceId::Gpu(GpuId(0))
+        );
+        assert!(d.state.frames[0].contains(vpn(0)));
+        // GPU1 touches the same page: ping-pong migration, GPU0 invalidated.
+        let o = d.handle_fault(Time::ZERO, &far(1, 0, AccessKind::Write), &mut f);
+        assert_eq!(o.kind, OutcomeKind::Migrated);
+        assert!(o.invalidations.contains(&(GpuId(0), vpn(0))));
+        assert!(d.state.local_tables[0].get(vpn(0)).is_none());
+        assert!(!d.state.frames[0].contains(vpn(0)));
+        assert!(d.state.frames[1].contains(vpn(0)));
+        assert_eq!(d.stats.migrations, 2);
+        assert_eq!(d.stats.far_faults, 2);
+    }
+
+    #[test]
+    fn access_counter_maps_then_migrates_at_threshold() {
+        let (mut d, mut f) = driver(Box::new(AccessCounterPolicy), None);
+        // GPU0 touches first: remote map to host (deferred migration).
+        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Write), &mut f);
+        assert_eq!(o.kind, OutcomeKind::RemoteMapped);
+        assert_eq!(d.state.host_table.get(vpn(0)).unwrap().owner, DeviceId::Host);
+        // GPU0's counter reaches the threshold: the 64 KiB group migrates
+        // to it from the host (region-granular migration).
+        for _ in 0..3 {
+            d.note_remote_access(Time::ZERO, GpuId(0), vpn(0), &mut f);
+        }
+        let o = d
+            .note_remote_access(Time::ZERO, GpuId(0), vpn(0), &mut f)
+            .expect("host group migrates at threshold");
+        assert!(matches!(o.kind, OutcomeKind::CounterMigrated { pages: 16 }));
+        assert_eq!(
+            d.state.host_table.get(vpn(0)).unwrap().owner,
+            DeviceId::Gpu(GpuId(0))
+        );
+        // Unmapped same-source neighbors moved too.
+        assert_eq!(
+            d.state.host_table.get(vpn(5)).unwrap().owner,
+            DeviceId::Gpu(GpuId(0))
+        );
+        d.stats.counter_migrations = 0;
+        // GPU1 then faults: remote map, data stays at GPU0.
+        let o = d.handle_fault(Time::ZERO, &far(1, 0, AccessKind::Write), &mut f);
+        assert_eq!(o.kind, OutcomeKind::RemoteMapped);
+        let e = d.state.host_table.get(vpn(0)).unwrap();
+        assert_eq!(e.owner, DeviceId::Gpu(GpuId(0)));
+        assert!(e.maps_remotely(GpuId(1)));
+        let pte = d.state.local_tables[1].get(vpn(0)).unwrap();
+        assert_eq!(pte.location, DeviceId::Gpu(GpuId(0)));
+        assert_eq!(pte.policy, PolicyBits::AccessCounter);
+        // Remote accesses below the threshold don't migrate.
+        for _ in 0..3 {
+            assert!(d
+                .note_remote_access(Time::ZERO, GpuId(1), vpn(0), &mut f)
+                .is_none());
+        }
+        // The 4th access hits the threshold and migrates the group (all 16
+        // pages now live at GPU0, the triggering page's source) to GPU1.
+        let o = d
+            .note_remote_access(Time::ZERO, GpuId(1), vpn(0), &mut f)
+            .expect("counter migration");
+        assert!(matches!(o.kind, OutcomeKind::CounterMigrated { pages: 16 }));
+        assert_eq!(
+            d.state.host_table.get(vpn(0)).unwrap().owner,
+            DeviceId::Gpu(GpuId(1))
+        );
+        assert!(o.invalidations.contains(&(GpuId(0), vpn(0))));
+        assert_eq!(d.stats.counter_migrations, 16);
+        // Counter migration keeps the access-counter policy bits.
+        assert_eq!(
+            d.state.host_table.get(vpn(0)).unwrap().policy,
+            PolicyBits::AccessCounter
+        );
+    }
+
+    #[test]
+    fn counter_migration_moves_whole_group_mapped_remotely() {
+        let (mut d, mut f) = driver(Box::new(AccessCounterPolicy), None);
+        // GPU1 remote-maps host pages 0 and 1 (same 64 KiB group).
+        d.handle_fault(Time::ZERO, &far(1, 0, AccessKind::Read), &mut f);
+        d.handle_fault(Time::ZERO, &far(1, 1, AccessKind::Read), &mut f);
+        for _ in 0..3 {
+            assert!(d
+                .note_remote_access(Time::ZERO, GpuId(1), vpn(0), &mut f)
+                .is_none());
+        }
+        let o = d
+            .note_remote_access(Time::ZERO, GpuId(1), vpn(0), &mut f)
+            .unwrap();
+        // The whole same-source 64 KiB group migrates together (16 pages
+        // registered in the test object's first group).
+        assert!(matches!(o.kind, OutcomeKind::CounterMigrated { pages: 16 }));
+        assert_eq!(
+            d.state.host_table.get(vpn(0)).unwrap().owner,
+            DeviceId::Gpu(GpuId(1))
+        );
+        assert_eq!(
+            d.state.host_table.get(vpn(1)).unwrap().owner,
+            DeviceId::Gpu(GpuId(1))
+        );
+    }
+
+    #[test]
+    fn duplication_read_shares_then_write_collapses() {
+        let (mut d, mut f) = driver(Box::new(DuplicationPolicy), None);
+        // GPU0 reads: duplicate from host (host stays owner).
+        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Read), &mut f);
+        assert_eq!(o.kind, OutcomeKind::Duplicated);
+        let e = d.state.host_table.get(vpn(0)).unwrap();
+        assert_eq!(e.owner, DeviceId::Host);
+        assert!(e.readable_at(GpuId(0)));
+        assert!(!d.state.local_tables[0].get(vpn(0)).unwrap().writable);
+        // GPU1 and GPU2 also read.
+        d.handle_fault(Time::ZERO, &far(1, 0, AccessKind::Read), &mut f);
+        d.handle_fault(Time::ZERO, &far(2, 0, AccessKind::Read), &mut f);
+        assert_eq!(
+            d.state.host_table.get(vpn(0)).unwrap().duplicate_count(),
+            3
+        );
+        assert_eq!(d.stats.duplications, 3);
+        // GPU0 writes its read-only copy: protection fault, collapse.
+        let pf = PageFault::protection(GpuId(0), Va(0x1000_0000), vpn(0));
+        let o = d.handle_fault(Time::ZERO, &pf, &mut f);
+        assert_eq!(o.kind, OutcomeKind::CollapsedToWriter);
+        let e = d.state.host_table.get(vpn(0)).unwrap();
+        assert_eq!(e.owner, DeviceId::Gpu(GpuId(0)));
+        assert_eq!(e.copy_mask, 0);
+        assert!(d.state.local_tables[0].get(vpn(0)).unwrap().writable);
+        assert!(d.state.local_tables[1].get(vpn(0)).is_none());
+        assert!(d.state.local_tables[2].get(vpn(0)).is_none());
+        assert_eq!(d.stats.collapses, 1);
+        assert!(!d.state.frames[1].contains(vpn(0)));
+    }
+
+    #[test]
+    fn write_far_fault_under_duplication_pays_double() {
+        let (mut d, mut f) = driver(Box::new(DuplicationPolicy), None);
+        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Write), &mut f);
+        assert_eq!(o.kind, OutcomeKind::DuplicatedAndCollapsed);
+        // Ends exclusive-writable at the writer.
+        let e = d.state.host_table.get(vpn(0)).unwrap();
+        assert_eq!(e.owner, DeviceId::Gpu(GpuId(0)));
+        assert!(d.state.local_tables[0].get(vpn(0)).unwrap().writable);
+        // It cost a far fault AND a protection fault.
+        assert_eq!(d.stats.far_faults, 1);
+        assert_eq!(d.stats.protection_faults, 1);
+        let single_fault_floor = UvmCosts::default().far_fault_base
+            + UvmCosts::default().protection_fault_base;
+        assert!(o.latency > single_fault_floor);
+    }
+
+    #[test]
+    fn ideal_copies_are_writable_and_never_invalidated() {
+        let (mut d, mut f) = driver(Box::new(IdealPolicy), None);
+        for g in 0..4 {
+            let o = d.handle_fault(Time::ZERO, &far(g, 0, AccessKind::Write), &mut f);
+            assert_eq!(o.kind, OutcomeKind::IdealCopied);
+            assert!(o.invalidations.is_empty());
+        }
+        for g in 0..4usize {
+            let pte = d.state.local_tables[g].get(vpn(0)).unwrap();
+            assert!(pte.writable);
+            assert_eq!(pte.location, DeviceId::Gpu(GpuId(g as u8)));
+        }
+        assert_eq!(d.stats.ideal_copies, 4);
+        assert_eq!(d.stats.collapses, 0);
+    }
+
+    #[test]
+    fn oversubscription_evicts_lru_to_host_and_keeps_policy_bits() {
+        // Capacity of 2 pages per GPU.
+        let (mut d, mut f) = driver(Box::new(OnTouchPolicy), Some(2));
+        d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Write), &mut f);
+        d.handle_fault(Time::ZERO, &far(0, 1, AccessKind::Write), &mut f);
+        // Mark page 0's learned policy so we can check it survives eviction.
+        d.state.host_table.get_mut(vpn(0)).unwrap().policy = PolicyBits::Duplication;
+        // Third page evicts page 0 (LRU).
+        let o = d.handle_fault(Time::ZERO, &far(0, 2, AccessKind::Write), &mut f);
+        assert!(o.invalidations.contains(&(GpuId(0), vpn(0))));
+        let e = d.state.host_table.get(vpn(0)).unwrap();
+        assert_eq!(e.owner, DeviceId::Host);
+        assert_eq!(e.policy, PolicyBits::Duplication);
+        assert!(!d.state.frames[0].contains(vpn(0)));
+        assert!(d.state.frames[0].contains(vpn(1)));
+        assert!(d.state.frames[0].contains(vpn(2)));
+        assert_eq!(d.stats.evictions, 1);
+    }
+
+    #[test]
+    fn evicting_a_duplicate_copy_drops_it_without_writeback() {
+        let (mut d, mut f) = driver(Box::new(DuplicationPolicy), Some(2));
+        // Two duplicates on GPU0 (owner stays host), then a third fills it.
+        d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Read), &mut f);
+        d.handle_fault(Time::ZERO, &far(0, 1, AccessKind::Read), &mut f);
+        let before = f.pcie_bytes();
+        d.handle_fault(Time::ZERO, &far(0, 2, AccessKind::Read), &mut f);
+        // Page 0's copy dropped from GPU0; host entry no longer lists it.
+        assert!(!d.state.host_table.get(vpn(0)).unwrap().readable_at(GpuId(0)));
+        assert!(d.state.local_tables[0].get(vpn(0)).is_none());
+        // Only the new duplicate's transfer hit PCIe (no write-back).
+        assert_eq!(f.pcie_bytes() - before, 4096);
+        assert_eq!(d.stats.evictions, 1);
+    }
+
+    #[test]
+    fn protection_fault_with_remote_map_policy_collapses_to_writer_as_acctr() {
+        let (mut d, mut f) = driver(Box::new(AccessCounterPolicy), None);
+        // GPU0 owns the page; GPU1 and GPU2 hold duplicates (hand-built,
+        // as OASIS can produce after a policy change).
+        {
+            let e = d.state.host_table.get_mut(vpn(0)).unwrap();
+            e.owner = DeviceId::Gpu(GpuId(0));
+            e.copy_mask = 0b0110;
+        }
+        d.state.frames[0].insert(vpn(0));
+        d.state.local_tables[0].insert(
+            vpn(0),
+            Pte {
+                location: DeviceId::Gpu(GpuId(0)),
+                writable: false,
+                policy: PolicyBits::Duplication,
+            },
+        );
+        for g in [1u8, 2u8] {
+            d.state.frames[g as usize].insert(vpn(0));
+            d.state.local_tables[g as usize].insert(
+                vpn(0),
+                Pte {
+                    location: DeviceId::Gpu(GpuId(g)),
+                    writable: false,
+                    policy: PolicyBits::Duplication,
+                },
+            );
+        }
+        let pf = PageFault::protection(GpuId(1), Va(0x1000_0000), vpn(0));
+        let o = d.handle_fault(Time::ZERO, &pf, &mut f);
+        assert_eq!(o.kind, OutcomeKind::CollapsedToWriter);
+        let e = d.state.host_table.get(vpn(0)).unwrap();
+        // The writer becomes the exclusive owner with access-counter
+        // policy bits: later sharers remote-map instead of duplicating.
+        assert_eq!(e.owner, DeviceId::Gpu(GpuId(1)));
+        assert_eq!(e.copy_mask, 0);
+        assert_eq!(e.policy, PolicyBits::AccessCounter);
+        assert!(d.state.local_tables[1].get(vpn(0)).unwrap().writable);
+        assert!(d.state.local_tables[0].get(vpn(0)).is_none());
+        assert!(d.state.local_tables[2].get(vpn(0)).is_none());
+    }
+
+    #[test]
+    fn group_prefetch_pulls_untouched_neighbors() {
+        let (mut d, mut f) = driver(Box::new(OnTouchPolicy), None);
+        d.prefetch_group = true;
+        // One fault on page 0 migrates it AND prefetches the rest of its
+        // 64 KiB group (pages 1..16) from the host.
+        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Read), &mut f);
+        assert_eq!(o.kind, OutcomeKind::Migrated);
+        assert_eq!(d.stats.prefetches, 15);
+        for p in 0..16u64 {
+            assert_eq!(
+                d.state.host_table.get(vpn(p)).unwrap().owner,
+                DeviceId::Gpu(GpuId(0)),
+                "page {p} should be resident after prefetch"
+            );
+            assert!(d.state.local_tables[0].get(vpn(p)).is_some());
+        }
+        // Subsequent accesses to the group fault no more.
+        let faults_before = d.stats.far_faults;
+        assert!(d.state.local_tables[0].get(vpn(5)).is_some());
+        assert_eq!(d.stats.far_faults, faults_before);
+        // Pages already touched by another GPU are not stolen by prefetch.
+        d.handle_fault(Time::ZERO, &far(1, 17, AccessKind::Read), &mut f);
+        let o = d.handle_fault(Time::ZERO, &far(0, 16, AccessKind::Read), &mut f);
+        assert_eq!(o.kind, OutcomeKind::Migrated);
+        assert_eq!(
+            d.state.host_table.get(vpn(17)).unwrap().owner,
+            DeviceId::Gpu(GpuId(1)),
+            "prefetch must not steal touched pages"
+        );
+    }
+
+    #[test]
+    fn striped_placement_premaps_pages() {
+        let mut d = UvmDriver::new(
+            4,
+            PageSize::Small4K,
+            None,
+            Box::new(OnTouchPolicy),
+            UvmCosts::default(),
+            256,
+        );
+        d.alloc_object(ObjectId(0), Va(0x1000_0000), 4 * 4096, |v| {
+            DeviceId::Gpu(GpuId((v.0 % 4) as u8))
+        });
+        let mut owners: Vec<DeviceId> = (0..4)
+            .map(|i| d.state.host_table.get(vpn(i)).unwrap().owner)
+            .collect();
+        owners.sort();
+        owners.dedup();
+        assert_eq!(owners.len(), 4, "pages striped across all four GPUs");
+        // Each owning GPU already has a valid local translation.
+        for i in 0..4u64 {
+            let g = d.state.host_table.get(vpn(i)).unwrap().owner.gpu().unwrap();
+            assert!(d.state.local_tables[g.index()].get(vpn(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn free_object_unmaps_everywhere() {
+        let (mut d, mut f) = driver(Box::new(OnTouchPolicy), None);
+        d.handle_fault(Time::ZERO, &far(2, 0, AccessKind::Write), &mut f);
+        d.free_object(ObjectId(0), Va(0x1000_0000), 64 * 4096);
+        assert!(d.state.host_table.get(vpn(0)).is_none());
+        assert!(d.state.local_tables[2].get(vpn(0)).is_none());
+        assert!(!d.state.frames[2].contains(vpn(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault on unregistered page")]
+    fn fault_on_unregistered_page_panics() {
+        let (mut d, mut f) = driver(Box::new(OnTouchPolicy), None);
+        let bogus = PageFault::far(GpuId(0), Va(0x9999_0000), Va(0x9999_0000).vpn(PageSize::Small4K), AccessKind::Read);
+        d.handle_fault(Time::ZERO, &bogus, &mut f);
+    }
+
+    #[test]
+    fn remote_map_collapses_existing_duplicates_first() {
+        let (mut d, mut f) = driver(Box::new(DuplicationPolicy), None);
+        // GPU0 writes (becomes owner), GPU1 reads (duplicate).
+        d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Write), &mut f);
+        d.handle_fault(Time::ZERO, &far(1, 0, AccessKind::Read), &mut f);
+        assert_eq!(d.state.host_table.get(vpn(0)).unwrap().duplicate_count(), 1);
+        // Switch policy semantics: hand GPU2 a remote map via the driver.
+        let mut out = Outcome::new(OutcomeKind::RemoteMapped);
+        d.do_remote_map(GpuId(2), vpn(0), &mut out);
+        let e = d.state.host_table.get(vpn(0)).unwrap();
+        assert_eq!(e.copy_mask, 0, "duplicates collapsed");
+        assert!(e.maps_remotely(GpuId(2)));
+        // The owner's mapping is writable again.
+        assert!(d.state.local_tables[0].get(vpn(0)).unwrap().writable);
+    }
+
+    #[test]
+    fn migration_latency_includes_transfer_and_fault_overhead() {
+        let (mut d, mut f) = driver(Box::new(OnTouchPolicy), None);
+        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Read), &mut f);
+        let floor = UvmCosts::default().far_fault_base;
+        assert!(o.latency > floor);
+        // 4 KiB over 32 GB/s PCIe = 128 ns, plus 2 us latency, plus fault.
+        assert!(o.latency.as_us() > 22.0);
+        assert!(o.latency.as_us() < 30.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Page-fault descriptors delivered to the UVM driver.
+
+use oasis_mem::types::{AccessKind, GpuId, Va, Vpn};
+
+/// The two fault classes the driver distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultType {
+    /// No valid translation in the GPU's local page table ("far fault").
+    Far,
+    /// A store hit a valid but read-only translation (a duplicated page);
+    /// resolving it requires a write-collapse.
+    Protection,
+}
+
+/// One page fault as delivered from a GPU to the host driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFault {
+    /// The faulting GPU.
+    pub gpu: GpuId,
+    /// The faulting virtual address, *including* any OASIS tag bits in the
+    /// upper pointer bits (the driver may decode them).
+    pub va: Va,
+    /// The faulting virtual page.
+    pub vpn: Vpn,
+    /// Read or write — the "W" bit of the fault error code that the
+    /// OP-Controller uses to learn an object's policy.
+    pub kind: AccessKind,
+    /// Far fault vs protection fault.
+    pub fault_type: FaultType,
+}
+
+impl PageFault {
+    /// Convenience constructor for a far fault.
+    pub fn far(gpu: GpuId, va: Va, vpn: Vpn, kind: AccessKind) -> Self {
+        PageFault {
+            gpu,
+            va,
+            vpn,
+            kind,
+            fault_type: FaultType::Far,
+        }
+    }
+
+    /// Convenience constructor for a protection (write) fault.
+    pub fn protection(gpu: GpuId, va: Va, vpn: Vpn) -> Self {
+        PageFault {
+            gpu,
+            va,
+            vpn,
+            kind: AccessKind::Write,
+            fault_type: FaultType::Protection,
+        }
+    }
+
+    /// The W bit of the fault error code.
+    pub fn is_write(&self) -> bool {
+        self.kind.is_write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let f = PageFault::far(GpuId(1), Va(0x5000), Vpn(5), AccessKind::Read);
+        assert_eq!(f.fault_type, FaultType::Far);
+        assert!(!f.is_write());
+        let p = PageFault::protection(GpuId(2), Va(0x6000), Vpn(6));
+        assert_eq!(p.fault_type, FaultType::Protection);
+        assert!(p.is_write());
+    }
+}

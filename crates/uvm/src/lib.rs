@@ -1,0 +1,27 @@
+//! Unified Virtual Memory (UVM) driver model for multi-GPU systems.
+//!
+//! This crate models the piece of the stack that NVIDIA's UVM driver plays
+//! in the paper's baseline (Section II): a centralized page table on the
+//! host, replayable far faults and page-protection faults arriving over
+//! PCIe, and the mechanics that resolve them — page migration, read
+//! duplication, write-collapse, remote mappings with hardware access
+//! counters, TLB shootdowns, and LRU eviction under memory
+//! oversubscription.
+//!
+//! Which mechanic a fault triggers is decided by a [`PolicyEngine`]. The
+//! three uniform policies of Section II-B ([`policy::OnTouchPolicy`],
+//! [`policy::AccessCounterPolicy`], [`policy::DuplicationPolicy`]) and the
+//! hypothetical [`policy::IdealPolicy`] live here; OASIS itself
+//! (`oasis-core`) and GRIT (`oasis-grit`) implement the same trait.
+
+pub mod costs;
+pub mod driver;
+pub mod fault;
+pub mod policy;
+pub mod stats;
+
+pub use costs::UvmCosts;
+pub use driver::{MemState, Outcome, OutcomeKind, UvmDriver};
+pub use fault::{FaultType, PageFault};
+pub use policy::{Decision, PolicyEngine, Resolution};
+pub use stats::UvmStats;

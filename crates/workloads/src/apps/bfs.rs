@@ -1,0 +1,120 @@
+//! BFS — Breadth-First Search (SHOC). Random; 5 objects; 32 MB.
+//!
+//! Level-synchronous BFS inside a single kernel: every level, each GPU
+//! expands its share of the frontier, chasing edges into arbitrary
+//! partitions — reads and writes land on random pages of other GPUs
+//! (Table II's "Random" pattern). The cost and frontier arrays are
+//! shared-rw-mix; the CSR structure (nodes, edges) is shared-read-only.
+
+use oasis_mem::types::AccessKind;
+
+use crate::apps::{alloc_small, part};
+use crate::spec::WorkloadParams;
+use crate::trace::{block, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// BFS levels executed inside the kernel (implicit phases).
+pub const LEVELS: usize = 8;
+
+/// Generates the BFS trace.
+pub fn generate(params: &WorkloadParams) -> Trace {
+    let g = params.gpu_count;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = TraceBuilder::new("BFS", g);
+    let nodes = b.alloc("BFS_Nodes", part(params, 130));
+    let edges = b.alloc("BFS_Edges", part(params, 520));
+    let cost = b.alloc("BFS_Cost", part(params, 130));
+    let frontier = b.alloc("BFS_Frontier", part(params, 130));
+    let _pars = alloc_small(&mut b, "BFS_Params");
+    let node_pages = b.pages_of(nodes);
+    let edge_pages = b.pages_of(edges);
+    let cost_pages = b.pages_of(cost);
+    let frontier_pages = b.pages_of(frontier);
+
+    b.begin_phase("BFS_kernel");
+    for level in 0..LEVELS {
+        // Frontier size grows then shrinks across levels.
+        let activity = match level {
+            0 | 7 => 1u64,
+            1 | 6 => 2,
+            _ => 4,
+        };
+        for gpu in 0..g {
+            let t = activity;
+            b.random(gpu, frontier, 0..frontier_pages, 40 * t, AccessKind::Read, 1, &mut rng);
+            b.random(gpu, nodes, 0..node_pages, 100 * t, AccessKind::Read, 3, &mut rng);
+            b.random(gpu, edges, 0..edge_pages, 400 * t, AccessKind::Read, 3, &mut rng);
+            // Level-synchronous scan of the GPU's own cost partition.
+            b.seq(gpu, cost, block(cost_pages, g, gpu), AccessKind::Read, 2);
+            b.random(gpu, cost, 0..cost_pages, 80 * t, AccessKind::Read, 2, &mut rng);
+            b.random(gpu, cost, 0..cost_pages, 50 * t, AccessKind::Write, 1, &mut rng);
+            b.random(gpu, frontier, 0..frontier_pages, 30 * t, AccessKind::Write, 1, &mut rng);
+            b.shuffle_stream(gpu, &mut rng);
+        }
+        // Level-synchronous BFS: the frontier for the next level is only
+        // valid once every GPU finishes the current one.
+        b.barrier();
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil::check_table2_invariants;
+    use crate::spec::App;
+
+    fn paper_trace() -> Trace {
+        generate(&WorkloadParams::paper(App::Bfs, 4))
+    }
+
+    #[test]
+    fn matches_table2() {
+        check_table2_invariants(App::Bfs, &paper_trace());
+    }
+
+    #[test]
+    fn single_explicit_phase() {
+        assert_eq!(paper_trace().phases.len(), 1);
+    }
+
+    #[test]
+    fn structure_arrays_are_read_only() {
+        let t = paper_trace();
+        for stream in &t.phases[0].per_gpu {
+            for a in stream {
+                if a.obj.0 <= 1 {
+                    assert!(!a.kind.is_write(), "CSR arrays must be read-only");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_and_frontier_are_rw_mix_shared() {
+        let t = paper_trace();
+        for obj in [2u16, 3] {
+            let mut readers = 0u32;
+            let mut writers = 0u32;
+            for (g, stream) in t.phases[0].per_gpu.iter().enumerate() {
+                for a in stream.iter().filter(|a| a.obj.0 == obj) {
+                    if a.kind.is_write() {
+                        writers |= 1 << g;
+                    } else {
+                        readers |= 1 << g;
+                    }
+                }
+            }
+            assert_eq!(readers.count_ones(), 4, "all GPUs read obj {obj}");
+            assert_eq!(writers.count_ones(), 4, "all GPUs write obj {obj}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&WorkloadParams::paper(App::Bfs, 4));
+        let b = generate(&WorkloadParams::paper(App::Bfs, 4));
+        assert_eq!(a, b);
+    }
+}

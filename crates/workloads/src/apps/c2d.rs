@@ -1,0 +1,151 @@
+//! C2D — Convolution 2D (DNN-Mark). Adjacent; 10 objects; 92 MB.
+//!
+//! The explicit-phase showcase of Fig. 6: each convolution round runs three
+//! kernels — Image-to-Column, GEMM, Matrix-Transpose — and the block
+//! assignment rotates between phases, so intermediate tensors
+//! (`Im2col_Output`, `GEMM_Output`) look private *within* a phase but
+//! shared *across* phases: written by one GPU, then read by a different
+//! one. `Parameters` is shared-read in every GEMM. Three rounds yield the
+//! paper's "8 explicit phase changes".
+
+use oasis_mem::types::AccessKind;
+
+use crate::apps::{alloc_small, part};
+use crate::spec::WorkloadParams;
+use crate::trace::{block, Trace, TraceBuilder};
+
+/// Convolution rounds (filter groups); 3 rounds × 3 kernels = 9 launches =
+/// 8 phase *changes*.
+pub const ROUNDS: usize = 3;
+
+/// Generates the C2D trace.
+pub fn generate(params: &WorkloadParams) -> Trace {
+    let g = params.gpu_count;
+    let mut b = TraceBuilder::new("C2D", g);
+    let input = b.alloc("Im2col_Input", part(params, 200));
+    let im2col_out = b.alloc("Im2col_Output", part(params, 250));
+    let gemm_out = b.alloc("GEMM_Output", part(params, 190));
+    let mt_out = b.alloc("MT_Output", part(params, 140));
+    let pars = b.alloc("Parameters", part(params, 140));
+    let bias = alloc_small(&mut b, "Bias");
+    let _ws1 = alloc_small(&mut b, "Workspace1");
+    let _ws2 = alloc_small(&mut b, "Workspace2");
+    let _cfg = alloc_small(&mut b, "ConvConfig");
+    let _scr = alloc_small(&mut b, "Scratch");
+    let in_pages = b.pages_of(input);
+    let i2c_pages = b.pages_of(im2col_out);
+    let gemm_pages = b.pages_of(gemm_out);
+    let mt_pages = b.pages_of(mt_out);
+    let par_pages = b.pages_of(pars);
+    let bias_pages = b.pages_of(bias);
+
+    for round in 0..ROUNDS {
+        b.begin_phase(format!("im2col_r{round}"));
+        for gpu in 0..g {
+            let blk = (gpu + round) % g;
+            // Adjacent pattern: own block plus a halo into the neighbor.
+            b.seq(gpu, input, block(in_pages, g, blk), AccessKind::Read, 4);
+            let next = block(in_pages, g, (blk + 1) % g);
+            let halo = ((next.end - next.start) / 8).max(1);
+            b.seq(gpu, input, next.start..next.start + halo, AccessKind::Read, 4);
+            b.seq(gpu, im2col_out, block(i2c_pages, g, blk), AccessKind::Write, 16);
+        }
+
+        b.begin_phase(format!("gemm_r{round}"));
+        for gpu in 0..g {
+            // The same GPU carries its block through the round's three
+            // kernels (data locality); the *round* rotation above is what
+            // makes the intermediates shared across phases.
+            let blk = (gpu + round) % g;
+            b.seq(gpu, im2col_out, block(i2c_pages, g, blk), AccessKind::Read, 8);
+            b.sweep_rotated(gpu, pars, 0..par_pages, AccessKind::Read, 8);
+            b.seq(gpu, bias, 0..bias_pages, AccessKind::Read, 1);
+            b.seq(gpu, gemm_out, block(gemm_pages, g, blk), AccessKind::Write, 16);
+        }
+
+        b.begin_phase(format!("transpose_r{round}"));
+        for gpu in 0..g {
+            let blk = (gpu + round) % g;
+            b.seq(gpu, gemm_out, block(gemm_pages, g, blk), AccessKind::Read, 8);
+            b.seq(gpu, mt_out, block(mt_pages, g, blk), AccessKind::Write, 16);
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil::check_table2_invariants;
+    use crate::spec::App;
+
+    fn paper_trace() -> Trace {
+        generate(&WorkloadParams::paper(App::C2d, 4))
+    }
+
+    #[test]
+    fn matches_table2() {
+        check_table2_invariants(App::C2d, &paper_trace());
+    }
+
+    #[test]
+    fn nine_launches_eight_phase_changes() {
+        let t = paper_trace();
+        assert_eq!(t.phases.len(), ROUNDS * 3);
+        assert_eq!(t.phases.len() - 1, 8, "8 explicit phase changes");
+    }
+
+    #[test]
+    fn intermediates_are_private_per_phase_shared_across() {
+        let t = paper_trace();
+        // Within gemm_r0, each GPU reads a disjoint Im2col_Output block...
+        let gemm0 = t.phases.iter().find(|p| p.name == "gemm_r0").unwrap();
+        let mut seen: Vec<std::collections::HashSet<u64>> = Vec::new();
+        for stream in &gemm0.per_gpu {
+            let pages: std::collections::HashSet<u64> = stream
+                .iter()
+                .filter(|a| a.obj.0 == 1)
+                .map(|a| a.offset / 4096)
+                .collect();
+            for earlier in &seen {
+                assert!(earlier.is_disjoint(&pages));
+            }
+            seen.push(pages);
+        }
+        // ...and the round rotation hands each block to a different GPU in
+        // the next round: GPU0 writes disjoint Im2col_Output blocks in
+        // round 0 and round 1, so over the whole run the object is shared.
+        let im2col0 = t.phases.iter().find(|p| p.name == "im2col_r0").unwrap();
+        let im2col1 = t.phases.iter().find(|p| p.name == "im2col_r1").unwrap();
+        let wrote_r0: std::collections::HashSet<u64> = im2col0.per_gpu[0]
+            .iter()
+            .filter(|a| a.obj.0 == 1)
+            .map(|a| a.offset / 4096)
+            .collect();
+        let wrote_r1: std::collections::HashSet<u64> = im2col1.per_gpu[0]
+            .iter()
+            .filter(|a| a.obj.0 == 1)
+            .map(|a| a.offset / 4096)
+            .collect();
+        assert!(wrote_r0.is_disjoint(&wrote_r1), "handoff must cross rounds");
+        // Within the round, the writer keeps its block for the gemm read.
+        let read_gemm0: std::collections::HashSet<u64> = gemm0.per_gpu[0]
+            .iter()
+            .filter(|a| a.obj.0 == 1)
+            .map(|a| a.offset / 4096)
+            .collect();
+        assert_eq!(wrote_r0, read_gemm0, "same GPU carries its block");
+    }
+
+    #[test]
+    fn parameters_shared_read_only_in_gemm() {
+        let t = paper_trace();
+        for p in t.phases.iter().filter(|p| p.name.starts_with("gemm")) {
+            for stream in &p.per_gpu {
+                let par_accesses: Vec<_> = stream.iter().filter(|a| a.obj.0 == 4).collect();
+                assert!(!par_accesses.is_empty());
+                assert!(par_accesses.iter().all(|a| !a.kind.is_write()));
+            }
+        }
+    }
+}

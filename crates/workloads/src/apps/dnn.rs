@@ -1,0 +1,312 @@
+//! DNN training workloads (DNN-Mark): LeNet, VGG-16, ResNet-18.
+//!
+//! Data-parallel training across GPUs, mirroring the paper's setup (MNIST
+//! for LeNet, Tiny-ImageNet-200 for VGG16/ResNet18 — dataset *contents*
+//! are irrelevant to page management; tensor shapes and the data-parallel
+//! partitioning are what matter):
+//!
+//! * **weights** are read by every GPU each forward/backward pass
+//!   (shared-read-only — duplication territory);
+//! * **activations** are sharded by batch (private per GPU — on-touch
+//!   territory);
+//! * **weight gradients** are accumulated by every GPU
+//!   (shared-write — access-counter territory);
+//! * every layer's forward and backward is a separate kernel launch, so
+//!   these apps stress OASIS's explicit-phase resets (LeNet: 129 launches,
+//!   the paper's "129 explicit phase changes").
+
+use oasis_mem::types::{AccessKind, ObjectId};
+
+use crate::spec::WorkloadParams;
+use crate::trace::{block, Trace, TraceBuilder};
+
+/// Small per-layer tensors (biases, momenta, workspaces).
+const SMALL_TENSOR: u64 = 16 * 1024;
+
+/// Architecture description driving the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct DnnSpec {
+    /// Abbreviation used in reports.
+    pub name: &'static str,
+    /// Layer count.
+    pub layers: usize,
+    /// Mini-batches trained (each is a full fwd+bwd sweep of launches).
+    pub batches: usize,
+    /// Extra miscellaneous objects beyond `layers * 14 + 3`, to match the
+    /// paper's Table II object counts.
+    pub extra_misc: usize,
+    /// Per-mille of the footprint held by weights (and the same again by
+    /// weight gradients). LeNet's weights are tiny relative to its
+    /// activations; VGG-16's dominate.
+    pub weight_per_mille: u64,
+}
+
+/// LeNet: 8 layers × 8 batches → 129 launches, 115 objects.
+pub const LENET: DnnSpec = DnnSpec {
+    name: "LeNet",
+    layers: 8,
+    batches: 8,
+    extra_misc: 0,
+    weight_per_mille: 30,
+};
+
+/// VGG-16: 16 layers × 2 batches → 65 launches, 240 objects.
+pub const VGG16: DnnSpec = DnnSpec {
+    name: "VGG16",
+    layers: 16,
+    batches: 2,
+    extra_misc: 13,
+    weight_per_mille: 180,
+};
+
+/// ResNet-18: 18 layers × 2 batches → 73 launches, 263 objects.
+pub const RESNET18: DnnSpec = DnnSpec {
+    name: "ResNet18",
+    layers: 18,
+    batches: 2,
+    extra_misc: 8,
+    weight_per_mille: 110,
+};
+
+/// Per-layer tensor handles.
+#[derive(Debug, Clone, Copy)]
+struct Layer {
+    w: ObjectId,
+    b: ObjectId,
+    z: ObjectId,
+    a: ObjectId,
+    dw: ObjectId,
+    db: ObjectId,
+    dz: ObjectId,
+    da: ObjectId,
+    mw: ObjectId,
+    mb: ObjectId,
+    ws_fwd: ObjectId,
+    ws_bwd: ObjectId,
+    bn_scale: ObjectId,
+    bn_shift: ObjectId,
+}
+
+/// Generates the LeNet trace.
+pub fn generate_lenet(params: &WorkloadParams) -> Trace {
+    generate(LENET, params)
+}
+
+/// Generates the VGG-16 trace.
+pub fn generate_vgg16(params: &WorkloadParams) -> Trace {
+    generate(VGG16, params)
+}
+
+/// Generates the ResNet-18 trace.
+pub fn generate_resnet18(params: &WorkloadParams) -> Trace {
+    generate(RESNET18, params)
+}
+
+/// Generates a training trace for an arbitrary [`DnnSpec`].
+pub fn generate(spec: DnnSpec, params: &WorkloadParams) -> Trace {
+    let g = params.gpu_count;
+    let f = params.footprint_bytes();
+    let l = spec.layers as u64;
+    let mut b = TraceBuilder::new(spec.name, g);
+
+    // Big tensors get per-layer slices of the footprint fractions; small
+    // tensors are fixed-size.
+    let per_layer = |per_mille: u64| (f * per_mille / 1000 / l).max(4096);
+    // Big-tensor budget: weights and gradients take `weight_per_mille`
+    // each; the remainder splits across activations and deltas.
+    let wpm = spec.weight_per_mille;
+    let rest = 900u64.saturating_sub(2 * wpm).max(100);
+    let layers: Vec<Layer> = (0..spec.layers)
+        .map(|i| Layer {
+            w: b.alloc(format!("W{i}"), per_layer(wpm)),
+            b: b.alloc(format!("b{i}"), SMALL_TENSOR),
+            z: b.alloc(format!("Z{i}"), per_layer(rest * 20 / 100)),
+            a: b.alloc(format!("A{i}"), per_layer(rest * 50 / 100)),
+            dw: b.alloc(format!("dW{i}"), per_layer(wpm)),
+            db: b.alloc(format!("db{i}"), SMALL_TENSOR),
+            dz: b.alloc(format!("dZ{i}"), per_layer(rest * 12 / 100)),
+            da: b.alloc(format!("dA{i}"), per_layer(rest * 18 / 100)),
+            mw: b.alloc(format!("mW{i}"), SMALL_TENSOR),
+            mb: b.alloc(format!("mb{i}"), SMALL_TENSOR),
+            ws_fwd: b.alloc(format!("wsF{i}"), SMALL_TENSOR),
+            ws_bwd: b.alloc(format!("wsB{i}"), SMALL_TENSOR),
+            bn_scale: b.alloc(format!("bnS{i}"), SMALL_TENSOR),
+            bn_shift: b.alloc(format!("bnB{i}"), SMALL_TENSOR),
+        })
+        .collect();
+    let input = b.alloc("Input", (f * 60 / 1000).max(4096));
+    let labels = b.alloc("Labels", SMALL_TENSOR);
+    let loss = b.alloc("Loss", SMALL_TENSOR);
+    let misc: Vec<ObjectId> = (0..spec.extra_misc)
+        .map(|i| b.alloc(format!("misc{i}"), SMALL_TENSOR))
+        .collect();
+
+    let pages = |b: &TraceBuilder, o: ObjectId| b.pages_of(o);
+
+    for _batch in 0..spec.batches {
+        // Forward pass: one launch per layer.
+        for (i, lay) in layers.iter().enumerate() {
+            b.begin_phase(format!("fwd_l{i}"));
+            let w_pages = pages(&b, lay.w);
+            let b_pages = pages(&b, lay.b);
+            let prev_a = if i == 0 { input } else { layers[i - 1].a };
+            let prev_pages = pages(&b, prev_a);
+            let z_pages = pages(&b, lay.z);
+            let a_pages = pages(&b, lay.a);
+            let bn_pages = pages(&b, lay.bn_scale);
+            for gpu in 0..g {
+                b.sweep_rotated(gpu, lay.w, 0..w_pages, AccessKind::Read, 2);
+                b.seq(gpu, lay.b, 0..b_pages, AccessKind::Read, 1);
+                b.seq(gpu, lay.bn_scale, 0..bn_pages, AccessKind::Read, 1);
+                b.seq(gpu, lay.bn_shift, 0..pages(&b, lay.bn_shift), AccessKind::Read, 1);
+                b.seq(gpu, prev_a, block(prev_pages, g, gpu), AccessKind::Read, 2);
+                b.seq(gpu, lay.z, block(z_pages, g, gpu), AccessKind::Write, 2);
+                b.seq(gpu, lay.a, block(a_pages, g, gpu), AccessKind::Write, 2);
+                let ws = pages(&b, lay.ws_fwd);
+                b.seq(gpu, lay.ws_fwd, block(ws, g, gpu), AccessKind::Write, 1);
+            }
+        }
+        // Backward pass: one launch per layer, reverse order.
+        for (i, lay) in layers.iter().enumerate().rev() {
+            b.begin_phase(format!("bwd_l{i}"));
+            let w_pages = pages(&b, lay.w);
+            let z_pages = pages(&b, lay.z);
+            let dw_pages = pages(&b, lay.dw);
+            let db_pages = pages(&b, lay.db);
+            let dz_pages = pages(&b, lay.dz);
+            let da_pages = pages(&b, lay.da);
+            let prev_a = if i == 0 { input } else { layers[i - 1].a };
+            let prev_pages = pages(&b, prev_a);
+            for gpu in 0..g {
+                if i == spec.layers - 1 {
+                    let lp = pages(&b, labels);
+                    b.seq(gpu, labels, 0..lp, AccessKind::Read, 1);
+                    let lo = pages(&b, loss);
+                    b.seq(gpu, loss, 0..lo, AccessKind::Write, 1);
+                }
+                b.seq(gpu, lay.z, block(z_pages, g, gpu), AccessKind::Read, 2);
+                b.seq(gpu, prev_a, block(prev_pages, g, gpu), AccessKind::Read, 2);
+                b.sweep_rotated(gpu, lay.w, 0..w_pages, AccessKind::Read, 2);
+                b.seq(gpu, lay.da, block(da_pages, g, gpu), AccessKind::Read, 2);
+                b.seq(gpu, lay.dz, block(dz_pages, g, gpu), AccessKind::Write, 2);
+                if i > 0 {
+                    let pda = pages(&b, layers[i - 1].da);
+                    b.seq(gpu, layers[i - 1].da, block(pda, g, gpu), AccessKind::Write, 2);
+                }
+                // Gradient accumulation: every GPU writes the whole dW/db
+                // (shared-write).
+                b.sweep_rotated(gpu, lay.dw, 0..dw_pages, AccessKind::Write, 1);
+                b.seq(gpu, lay.db, 0..db_pages, AccessKind::Write, 1);
+                let ws = pages(&b, lay.ws_bwd);
+                b.seq(gpu, lay.ws_bwd, block(ws, g, gpu), AccessKind::Write, 1);
+            }
+        }
+    }
+
+    // Final sharded weight update.
+    b.begin_phase("weight_update");
+    for gpu in 0..g {
+        for lay in &layers {
+            let w_pages = pages(&b, lay.w);
+            let dw_pages = pages(&b, lay.dw);
+            let m_pages = pages(&b, lay.mw);
+            b.seq(gpu, lay.dw, block(dw_pages, g, gpu), AccessKind::Read, 1);
+            b.seq(gpu, lay.mw, block(m_pages, g, gpu), AccessKind::Write, 1);
+            b.seq(gpu, lay.mb, block(pages(&b, lay.mb), g, gpu), AccessKind::Write, 1);
+            b.seq(gpu, lay.w, block(w_pages, g, gpu), AccessKind::Write, 2);
+        }
+        for &m in &misc {
+            let mp = pages(&b, m);
+            b.seq(gpu, m, block(mp, g, gpu), AccessKind::Read, 1);
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil::check_table2_invariants;
+    use crate::spec::App;
+
+    #[test]
+    fn lenet_matches_table2_and_has_129_launches() {
+        let t = generate_lenet(&WorkloadParams::paper(App::LeNet, 4));
+        check_table2_invariants(App::LeNet, &t);
+        assert_eq!(t.phases.len(), 129, "the paper reports 129 launches");
+    }
+
+    #[test]
+    fn vgg16_matches_table2() {
+        let t = generate_vgg16(&WorkloadParams::small(App::Vgg16, 4));
+        assert_eq!(t.objects.len(), App::Vgg16.object_count());
+        assert_eq!(t.phases.len(), 65);
+    }
+
+    #[test]
+    fn resnet18_matches_table2() {
+        let t = generate_resnet18(&WorkloadParams::small(App::ResNet18, 4));
+        assert_eq!(t.objects.len(), App::ResNet18.object_count());
+        assert_eq!(t.phases.len(), 73);
+    }
+
+    #[test]
+    fn weights_shared_read_in_forward_phases() {
+        let t = generate_lenet(&WorkloadParams::small(App::LeNet, 4));
+        let fwd0 = t.phases.iter().find(|p| p.name == "fwd_l0").unwrap();
+        for stream in &fwd0.per_gpu {
+            // Object 0 is W0: read by every GPU, never written here.
+            let w: Vec<_> = stream.iter().filter(|a| a.obj.0 == 0).collect();
+            assert!(!w.is_empty());
+            assert!(w.iter().all(|a| !a.kind.is_write()));
+        }
+    }
+
+    #[test]
+    fn gradients_shared_written_in_backward_phases() {
+        let t = generate_lenet(&WorkloadParams::small(App::LeNet, 4));
+        let bwd0 = t.phases.iter().find(|p| p.name == "bwd_l0").unwrap();
+        // Object 4 is dW0: all GPUs write all of it.
+        let dw_pages: std::collections::HashSet<u64> = bwd0.per_gpu[0]
+            .iter()
+            .filter(|a| a.obj.0 == 4 && a.kind.is_write())
+            .map(|a| a.offset / 4096)
+            .collect();
+        assert!(!dw_pages.is_empty());
+        for stream in &bwd0.per_gpu[1..] {
+            let pages: std::collections::HashSet<u64> = stream
+                .iter()
+                .filter(|a| a.obj.0 == 4 && a.kind.is_write())
+                .map(|a| a.offset / 4096)
+                .collect();
+            assert_eq!(pages, dw_pages, "gradient accumulation overlaps fully");
+        }
+    }
+
+    #[test]
+    fn activations_are_private_per_gpu() {
+        let t = generate_lenet(&WorkloadParams::small(App::LeNet, 4));
+        let fwd0 = t.phases.iter().find(|p| p.name == "fwd_l0").unwrap();
+        // Object 3 is A0: written in disjoint blocks.
+        let mut seen: Vec<std::collections::HashSet<u64>> = Vec::new();
+        for stream in &fwd0.per_gpu {
+            let pages: std::collections::HashSet<u64> = stream
+                .iter()
+                .filter(|a| a.obj.0 == 3)
+                .map(|a| a.offset / 4096)
+                .collect();
+            for earlier in &seen {
+                assert!(earlier.is_disjoint(&pages));
+            }
+            seen.push(pages);
+        }
+    }
+
+    #[test]
+    fn phase_counts_scale_with_batches() {
+        // launches = batches * 2 * layers + 1
+        assert_eq!(LENET.batches * 2 * LENET.layers + 1, 129);
+        assert_eq!(VGG16.batches * 2 * VGG16.layers + 1, 65);
+        assert_eq!(RESNET18.batches * 2 * RESNET18.layers + 1, 73);
+    }
+}

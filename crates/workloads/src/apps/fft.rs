@@ -1,0 +1,118 @@
+//! FFT — Fast Fourier Transform (SHOC). Scatter-gather; 2 objects; 48 MB.
+//!
+//! SHOC's `fft1D_512` runs batches of independent 512-point transforms.
+//! Each GPU computes the transforms of its own contiguous block in place
+//! (private-rw), but between the forward and inverse passes the batch is
+//! reshuffled: every GPU gathers a strided slice of the whole signal —
+//! elements held by remote GPUs — before scattering results back into its
+//! own block. That gather is the Table II "scatter-gather" sharing: each
+//! data page has one heavy local owner plus a remote strided reader.
+
+use oasis_mem::types::AccessKind;
+
+use crate::apps::part;
+use crate::spec::WorkloadParams;
+use crate::trace::{block, Trace, TraceBuilder};
+
+/// Sweeps over the signal (forward FFT + inverse FFT check).
+pub const PASSES: usize = 2;
+
+/// Generates the FFT trace.
+pub fn generate(params: &WorkloadParams) -> Trace {
+    let g = params.gpu_count;
+    let mut b = TraceBuilder::new("FFT", g);
+    let data = b.alloc("FFT_Data", part(params, 960));
+    let twiddle = b.alloc("FFT_Twiddle", part(params, 30));
+    let data_pages = b.pages_of(data);
+    let tw_pages = b.pages_of(twiddle);
+
+    b.begin_phase("fft1D_512");
+    for _pass in 0..PASSES {
+        for gpu in 0..g {
+            // Twiddle factors: shared-read-only by everyone.
+            b.seq(gpu, twiddle, 0..tw_pages, AccessKind::Read, 4);
+            // In-place butterfly over the GPU's own transform block.
+            b.seq_rw(gpu, data, block(data_pages, g, gpu), 4, 4);
+            // Batch reshuffle: gather a strided slice spanning every
+            // block (pages owned by remote GPUs), ...
+            b.strided(gpu, data, 0..data_pages, g as u64, gpu as u64, AccessKind::Read, 2);
+            // ... then scatter the reordered results into the own block.
+            b.seq(gpu, data, block(data_pages, g, gpu), AccessKind::Write, 2);
+        }
+        // The reshuffle between passes is a global synchronization.
+        b.barrier();
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil::check_table2_invariants;
+    use crate::spec::App;
+
+    fn paper_trace() -> Trace {
+        generate(&WorkloadParams::paper(App::Fft, 4))
+    }
+
+    #[test]
+    fn matches_table2() {
+        check_table2_invariants(App::Fft, &paper_trace());
+    }
+
+    #[test]
+    fn single_explicit_phase() {
+        assert_eq!(paper_trace().phases.len(), 1);
+    }
+
+    #[test]
+    fn twiddle_is_shared_read_only() {
+        let t = paper_trace();
+        for stream in &t.phases[0].per_gpu {
+            let twiddle_accesses: Vec<_> = stream.iter().filter(|a| a.obj.0 == 1).collect();
+            assert!(!twiddle_accesses.is_empty());
+            assert!(twiddle_accesses.iter().all(|a| !a.kind.is_write()));
+        }
+    }
+
+    #[test]
+    fn gather_reaches_remote_blocks_writes_stay_home() {
+        let t = paper_trace();
+        let pages = t.objects[0].bytes.div_ceil(4096);
+        let own = block(pages, 4, 0);
+        let s = &t.phases[0].per_gpu[0];
+        // GPU0 reads pages in every other GPU's block...
+        let read_foreign = s
+            .iter()
+            .filter(|a| a.obj.0 == 0 && !a.kind.is_write())
+            .any(|a| !own.contains(&(a.offset / 4096)));
+        assert!(read_foreign, "strided gather must cross blocks");
+        // ...but only ever writes its own block.
+        for a in s.iter().filter(|a| a.obj.0 == 0 && a.kind.is_write()) {
+            assert!(own.contains(&(a.offset / 4096)));
+        }
+    }
+
+    #[test]
+    fn strided_readers_are_disjoint_per_page() {
+        // Stride G with offset g partitions the gather: each page has at
+        // most one foreign reader.
+        let t = paper_trace();
+        let mut readers: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        let pages = t.objects[0].bytes.div_ceil(4096);
+        for (g, stream) in t.phases[0].per_gpu.iter().enumerate() {
+            let own = block(pages, 4, g);
+            for a in stream.iter().filter(|a| a.obj.0 == 0 && !a.kind.is_write()) {
+                let p = a.offset / 4096;
+                if !own.contains(&p) {
+                    let r = readers.entry(p).or_default();
+                    if !r.contains(&g) {
+                        r.push(g);
+                    }
+                }
+            }
+        }
+        assert!(readers.values().all(|v| v.len() == 1));
+    }
+}

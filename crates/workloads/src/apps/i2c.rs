@@ -1,0 +1,100 @@
+//! I2C — Image to Column (DNN-Mark). Scatter-gather; 3 objects; 80 MB.
+//!
+//! Fig. 5's on-touch showcase: `I2C_Output` is a private(-per-GPU)
+//! write-only object receiving ~75% of all accesses, so promptly migrating
+//! pages to their single writer (on-touch) is optimal. `I2C_Input` is the
+//! smaller shared-read gather source.
+
+use oasis_mem::types::AccessKind;
+
+use crate::apps::{alloc_small, part};
+use crate::spec::WorkloadParams;
+use crate::trace::{block, Trace, TraceBuilder};
+
+/// Generates the I2C trace.
+pub fn generate(params: &WorkloadParams) -> Trace {
+    let g = params.gpu_count;
+    let mut b = TraceBuilder::new("I2C", g);
+    let input = b.alloc("I2C_Input", part(params, 240));
+    let output = b.alloc("I2C_Output", part(params, 720));
+    let _pars = alloc_small(&mut b, "I2C_Params");
+    let in_pages = b.pages_of(input);
+    let out_pages = b.pages_of(output);
+
+    b.begin_phase("im2col");
+    for gpu in 0..g {
+        // Gather: overlapping column windows make every GPU read the whole
+        // image (shared-read), lightly.
+        b.sweep_rotated(gpu, input, 0..in_pages, AccessKind::Read, 3);
+        // The unrolled column matrix is written privately, heavily (two
+        // sweeps model the multi-channel unroll).
+        let blk = block(out_pages, g, gpu);
+        b.seq(gpu, output, blk.clone(), AccessKind::Write, 6);
+        b.seq(gpu, output, blk, AccessKind::Write, 6);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil::check_table2_invariants;
+    use crate::spec::App;
+
+    fn paper_trace() -> Trace {
+        generate(&WorkloadParams::paper(App::I2c, 4))
+    }
+
+    #[test]
+    fn matches_table2() {
+        check_table2_invariants(App::I2c, &paper_trace());
+    }
+
+    #[test]
+    fn output_draws_about_three_quarters_of_accesses() {
+        let t = paper_trace();
+        let mut out = 0usize;
+        let mut total = 0usize;
+        for stream in &t.phases[0].per_gpu {
+            for a in stream {
+                total += 1;
+                if a.obj.0 == 1 {
+                    out += 1;
+                }
+            }
+        }
+        let share = out as f64 / total as f64;
+        assert!((0.62..=0.85).contains(&share), "output share {share}");
+    }
+
+    #[test]
+    fn output_blocks_are_private() {
+        let t = paper_trace();
+        let mut seen: Vec<std::collections::HashSet<u64>> = Vec::new();
+        for stream in &t.phases[0].per_gpu {
+            let pages: std::collections::HashSet<u64> = stream
+                .iter()
+                .filter(|a| a.obj.0 == 1)
+                .map(|a| a.offset / 4096)
+                .collect();
+            for earlier in &seen {
+                assert!(earlier.is_disjoint(&pages));
+            }
+            seen.push(pages);
+        }
+    }
+
+    #[test]
+    fn output_is_write_only_input_read_only() {
+        let t = paper_trace();
+        for stream in &t.phases[0].per_gpu {
+            for a in stream {
+                match a.obj.0 {
+                    0 => assert!(!a.kind.is_write()),
+                    1 => assert!(a.kind.is_write()),
+                    _ => {}
+                }
+            }
+        }
+    }
+}

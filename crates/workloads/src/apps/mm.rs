@@ -1,0 +1,108 @@
+//! MM — Matrix Multiplication (AMDAPPSDK). Scatter-gather; 4 objects; 32 MB.
+//!
+//! Fig. 5's duplication showcase: `MM_A` and `MM_B` are shared-read-only and
+//! draw ~80% of all accesses (every GPU streams both operands repeatedly
+//! for its C tile); `MM_C` is private-write-only.
+
+use oasis_mem::types::AccessKind;
+
+use crate::apps::{alloc_small, part};
+use crate::spec::WorkloadParams;
+use crate::trace::{block, Trace, TraceBuilder};
+
+/// GEMM operand reuse: passes each GPU makes over A and B.
+const OPERAND_PASSES: u32 = 3;
+
+/// Generates the MM trace.
+pub fn generate(params: &WorkloadParams) -> Trace {
+    let g = params.gpu_count;
+    let mut b = TraceBuilder::new("MM", g);
+    let a = b.alloc("MM_A", part(params, 375));
+    let bb = b.alloc("MM_B", part(params, 375));
+    let c = b.alloc("MM_C", part(params, 230));
+    let _pars = alloc_small(&mut b, "MM_Params");
+    let a_pages = b.pages_of(a);
+    let b_pages = b.pages_of(bb);
+    let c_pages = b.pages_of(c);
+
+    b.begin_phase("gemm");
+    for gpu in 0..g {
+        for pass in 0..OPERAND_PASSES {
+            // Rotated sweeps: at any instant the GPUs stream different
+            // tiles of the shared operands (thread blocks partition the
+            // output), so page visits by different GPUs are separated in
+            // time.
+            let _ = pass;
+            b.sweep_rotated(gpu, a, 0..a_pages, AccessKind::Read, 4);
+            b.sweep_rotated(gpu, bb, 0..b_pages, AccessKind::Read, 4);
+        }
+        b.seq(gpu, c, block(c_pages, g, gpu), AccessKind::Write, 16);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil::check_table2_invariants;
+    use crate::spec::App;
+
+    fn paper_trace() -> Trace {
+        generate(&WorkloadParams::paper(App::Mm, 4))
+    }
+
+    #[test]
+    fn matches_table2() {
+        check_table2_invariants(App::Mm, &paper_trace());
+    }
+
+    #[test]
+    fn operands_dominate_accesses() {
+        // Fig. 5(b): MM_A + MM_B ≈ 80% of total accesses.
+        let t = paper_trace();
+        let mut operand = 0usize;
+        let mut total = 0usize;
+        for stream in &t.phases[0].per_gpu {
+            for a in stream {
+                total += 1;
+                if a.obj.0 <= 1 {
+                    operand += 1;
+                }
+            }
+        }
+        let share = operand as f64 / total as f64;
+        assert!((0.70..=0.92).contains(&share), "operand share {share}");
+    }
+
+    #[test]
+    fn operands_read_only_c_write_only() {
+        let t = paper_trace();
+        for stream in &t.phases[0].per_gpu {
+            for a in stream {
+                match a.obj.0 {
+                    0 | 1 => assert!(!a.kind.is_write()),
+                    2 => assert!(a.kind.is_write()),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn operands_shared_by_all_gpus() {
+        let t = paper_trace();
+        for stream in &t.phases[0].per_gpu {
+            assert!(stream.iter().any(|a| a.obj.0 == 0));
+            assert!(stream.iter().any(|a| a.obj.0 == 1));
+        }
+    }
+
+    #[test]
+    fn works_at_other_gpu_counts() {
+        for g in [1usize, 2, 8, 16] {
+            let t = generate(&WorkloadParams::small(App::Mm, g));
+            assert_eq!(t.gpu_count, g);
+            assert_eq!(t.phases[0].per_gpu.len(), g);
+        }
+    }
+}

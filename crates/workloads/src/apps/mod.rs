@@ -1,0 +1,76 @@
+//! One module per evaluated application (Table II).
+//!
+//! Shared conventions:
+//!
+//! * object sizes are fractions of the configured footprint, so Table III's
+//!   scaled inputs and the `small` test profiles reuse the same generators;
+//! * data is partitioned owner-computes: GPU *g* owns contiguous page block
+//!   *g* of each partitioned object ([`crate::trace::block`]);
+//! * one [`Phase`](crate::trace::Phase) = one kernel launch (an *explicit*
+//!   phase); iterative algorithms whose iterations live inside one kernel
+//!   (BFS, PR, ST, FFT) embed their *implicit* phases in a single stream.
+
+pub mod bfs;
+pub mod c2d;
+pub mod dnn;
+pub mod fft;
+pub mod i2c;
+pub mod mm;
+pub mod mt;
+pub mod pr;
+pub mod st;
+
+use oasis_mem::types::ObjectId;
+
+use crate::spec::WorkloadParams;
+use crate::trace::TraceBuilder;
+
+/// Minimum object size (one 4 KiB page, padded to 64 KiB for realism of
+/// small parameter buffers).
+pub(crate) const SMALL_OBJECT: u64 = 64 * 1024;
+
+/// `frac` (per mille) of the configured footprint, at least one page.
+pub(crate) fn part(params: &WorkloadParams, per_mille: u64) -> u64 {
+    (params.footprint_bytes() * per_mille / 1000).max(4096)
+}
+
+/// Allocates a small parameter/scratch object.
+pub(crate) fn alloc_small(b: &mut TraceBuilder, name: &str) -> ObjectId {
+    b.alloc(name, SMALL_OBJECT)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::spec::{App, WorkloadParams};
+    use crate::trace::Trace;
+
+    /// Common sanity checks every generator's test applies.
+    pub fn check_table2_invariants(app: App, trace: &Trace) {
+        assert_eq!(
+            trace.objects.len(),
+            app.object_count(),
+            "{app}: object count must match Table II"
+        );
+        assert_eq!(trace.gpu_count, 4);
+        let footprint = trace.footprint_bytes();
+        let target = WorkloadParams::paper(app, 4).footprint_bytes();
+        assert!(
+            footprint <= target + (app.object_count() as u64) * 64 * 1024,
+            "{app}: footprint {footprint} exceeds Table II target {target}"
+        );
+        assert!(
+            footprint * 10 >= target * 8,
+            "{app}: footprint {footprint} far below Table II target {target}"
+        );
+        assert!(trace.total_accesses() > 0);
+        // Every phase stream references valid objects and offsets.
+        for ph in &trace.phases {
+            for stream in &ph.per_gpu {
+                for a in stream {
+                    let obj = &trace.objects[a.obj.0 as usize];
+                    assert!(a.offset < obj.bytes, "{app}: offset out of bounds");
+                }
+            }
+        }
+    }
+}

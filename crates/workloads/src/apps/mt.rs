@@ -1,0 +1,113 @@
+//! MT — Matrix Transpose (AMDAPPSDK). Scatter-gather; 3 objects; 64 MB.
+//!
+//! The archetype of Fig. 4: `MT_Input` is entirely read-only, `MT_Output`
+//! entirely write-only, and both keep that pattern through the whole (single)
+//! kernel. Output tiles are partitioned per GPU (private writes); gathering
+//! a column slice makes every GPU touch every input page, so the input is
+//! shared-read-only.
+
+use oasis_mem::types::AccessKind;
+
+use crate::apps::{alloc_small, part};
+use crate::spec::WorkloadParams;
+use crate::trace::{block, Trace, TraceBuilder};
+
+/// Transactions each GPU issues per input page (its 1/G column slice of
+/// the page's elements, coalesced).
+fn input_burst(gpu_count: usize) -> u32 {
+    (64 / gpu_count as u32).max(2)
+}
+
+/// Generates the MT trace.
+pub fn generate(params: &WorkloadParams) -> Trace {
+    let g = params.gpu_count;
+    let mut b = TraceBuilder::new("MT", g);
+    let input = b.alloc("MT_Input", part(params, 470));
+    let output = b.alloc("MT_Output", part(params, 470));
+    let _pars = alloc_small(&mut b, "MT_Params");
+    let in_pages = b.pages_of(input);
+    let out_pages = b.pages_of(output);
+
+    b.begin_phase("matrixTranspose");
+    for gpu in 0..g {
+        // Gather: every GPU reads a column slice of every input page. The
+        // tile walk revisits each page once per output tile row, so the
+        // sweep happens in two separated passes, interleaving the sharing
+        // across GPUs over time.
+        let burst = (input_burst(g) / 2).max(1);
+        b.sweep_rotated(gpu, input, 0..in_pages, AccessKind::Read, burst);
+        b.sweep_rotated(gpu, input, 0..in_pages, AccessKind::Read, burst);
+        // Scatter: each GPU writes only its own output tile.
+        b.seq(gpu, output, block(out_pages, g, gpu), AccessKind::Write, 16);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil::check_table2_invariants;
+    use crate::spec::App;
+
+    fn paper_trace() -> Trace {
+        generate(&WorkloadParams::paper(App::Mt, 4))
+    }
+
+    #[test]
+    fn matches_table2() {
+        check_table2_invariants(App::Mt, &paper_trace());
+    }
+
+    #[test]
+    fn single_explicit_phase() {
+        assert_eq!(paper_trace().phases.len(), 1);
+    }
+
+    #[test]
+    fn input_is_read_only_output_write_only() {
+        let t = paper_trace();
+        for stream in &t.phases[0].per_gpu {
+            for a in stream {
+                match t.objects[a.obj.0 as usize].name.as_str() {
+                    "MT_Input" => assert!(!a.kind.is_write()),
+                    "MT_Output" => assert!(a.kind.is_write()),
+                    "MT_Params" => {}
+                    other => panic!("unexpected object {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn input_shared_by_all_output_private() {
+        let t = paper_trace();
+        // Every GPU touches input page 0.
+        for stream in &t.phases[0].per_gpu {
+            assert!(stream
+                .iter()
+                .any(|a| a.obj.0 == 0 && a.offset < 4096));
+        }
+        // Output page blocks are disjoint across GPUs.
+        let mut seen: Vec<std::collections::HashSet<u64>> = Vec::new();
+        for stream in &t.phases[0].per_gpu {
+            let pages: std::collections::HashSet<u64> = stream
+                .iter()
+                .filter(|a| a.obj.0 == 1)
+                .map(|a| a.offset / 4096)
+                .collect();
+            for earlier in &seen {
+                assert!(earlier.is_disjoint(&pages), "output blocks overlap");
+            }
+            seen.push(pages);
+        }
+    }
+
+    #[test]
+    fn scaling_input_size_preserves_pattern() {
+        // Section IV-B: scaling MT does not change object count or pattern.
+        let small = generate(&WorkloadParams::small(App::Mt, 4));
+        let big = paper_trace();
+        assert_eq!(small.objects.len(), big.objects.len());
+        assert!(small.total_accesses() < big.total_accesses());
+    }
+}

@@ -1,0 +1,120 @@
+//! PR — Page Rank (Hetero-Mark). Random; 6 objects; 32 MB.
+//!
+//! Pull-style PageRank: each iteration, every GPU updates its own
+//! destination-rank block (private-write) by gathering source ranks of
+//! random in-neighbors spread across all partitions (shared-read, random).
+//! Rank buffers swap every iteration — the same src-then-dst alternation
+//! that gives ST its implicit phases, under a random sharing pattern.
+
+use oasis_mem::types::{AccessKind, ObjectId};
+
+use crate::apps::{alloc_small, part};
+use crate::spec::WorkloadParams;
+use crate::trace::{block, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// PageRank iterations inside the kernel.
+pub const ITERATIONS: usize = 10;
+
+/// Generates the PR trace.
+pub fn generate(params: &WorkloadParams) -> Trace {
+    let g = params.gpu_count;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = TraceBuilder::new("PR", g);
+    let rank_a = b.alloc("PR_RankA", part(params, 140));
+    let rank_b = b.alloc("PR_RankB", part(params, 140));
+    let edges = b.alloc("PR_Edges", part(params, 430));
+    let offsets = b.alloc("PR_Offsets", part(params, 120));
+    let degrees = b.alloc("PR_Degrees", part(params, 120));
+    let _pars = alloc_small(&mut b, "PR_Params");
+    let rank_pages = b.pages_of(rank_a).min(b.pages_of(rank_b));
+    let edge_pages = b.pages_of(edges);
+    let off_pages = b.pages_of(offsets);
+    let deg_pages = b.pages_of(degrees);
+
+    b.begin_phase("PageRankUpdateGpu");
+    for iter in 0..ITERATIONS {
+        let (src, dst): (ObjectId, ObjectId) = if iter % 2 == 0 {
+            (rank_a, rank_b)
+        } else {
+            (rank_b, rank_a)
+        };
+        for gpu in 0..g {
+            // CSR walk over the GPU's own vertex range (private-read).
+            b.seq(gpu, offsets, block(off_pages, g, gpu), AccessKind::Read, 2);
+            b.seq(gpu, edges, block(edge_pages, g, gpu), AccessKind::Read, 3);
+            b.seq(gpu, degrees, block(deg_pages, g, gpu), AccessKind::Read, 1);
+            // Random gather of in-neighbor ranks across every partition.
+            b.random(gpu, src, 0..rank_pages, 900, AccessKind::Read, 4, &mut rng);
+            // Private write of the new ranks.
+            b.seq(gpu, dst, block(rank_pages, g, gpu), AccessKind::Write, 4);
+        }
+        // Ranks swap only after every GPU finishes the iteration.
+        b.barrier();
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil::check_table2_invariants;
+    use crate::spec::App;
+
+    fn paper_trace() -> Trace {
+        generate(&WorkloadParams::paper(App::Pr, 4))
+    }
+
+    #[test]
+    fn matches_table2() {
+        check_table2_invariants(App::Pr, &paper_trace());
+    }
+
+    #[test]
+    fn rank_buffers_alternate_direction() {
+        let t = paper_trace();
+        // RankA is read in even iterations, written in odd ones.
+        let s = &t.phases[0].per_gpu[0];
+        let mut directions = Vec::new();
+        let mut cur = None;
+        for a in s.iter().filter(|a| a.obj.0 == 0) {
+            let is_read = !a.kind.is_write();
+            if cur != Some(is_read) {
+                directions.push(is_read);
+                cur = Some(is_read);
+            }
+        }
+        assert!(directions.len() >= ITERATIONS - 1);
+    }
+
+    #[test]
+    fn edges_partitioned_privately() {
+        let t = paper_trace();
+        let mut seen: Vec<std::collections::HashSet<u64>> = Vec::new();
+        for stream in &t.phases[0].per_gpu {
+            let pages: std::collections::HashSet<u64> = stream
+                .iter()
+                .filter(|a| a.obj.0 == 2)
+                .map(|a| a.offset / 4096)
+                .collect();
+            for earlier in &seen {
+                assert!(earlier.is_disjoint(&pages), "edge blocks overlap");
+            }
+            seen.push(pages);
+        }
+    }
+
+    #[test]
+    fn rank_gather_reaches_remote_partitions() {
+        let t = paper_trace();
+        // GPU0 reads RankA pages outside its own block in iteration 0.
+        let pages = 140 * 32 * 1024 * 1024 / 1000 / 4096;
+        let own = block(pages, 4, 0);
+        let hits_remote = t.phases[0].per_gpu[0]
+            .iter()
+            .filter(|a| a.obj.0 == 0 && !a.kind.is_write())
+            .any(|a| !own.contains(&(a.offset / 4096)));
+        assert!(hits_remote);
+    }
+}

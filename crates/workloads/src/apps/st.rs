@@ -1,0 +1,141 @@
+//! ST — Stencil 2D (SHOC). Adjacent; 3 objects; 32 MB.
+//!
+//! The implicit-phase showcase of Fig. 7: a single `Stencil2D` kernel runs
+//! 20 iterations; each iteration reads `currData` and writes `newData`,
+//! then the buffers swap. Interior rows are private to their owning GPU;
+//! deep halo regions at block boundaries are gathered by the neighbor,
+//! making both buffers shared-rw-mix over the whole run but cleanly
+//! read-only/write-only within each iteration.
+
+use oasis_mem::types::{AccessKind, ObjectId};
+
+use crate::apps::{alloc_small, part};
+use crate::spec::WorkloadParams;
+use crate::trace::{block, Trace, TraceBuilder};
+
+/// Iterations inside the single explicit kernel (the paper counts 20
+/// implicit phases for ST).
+pub const ITERATIONS: usize = 20;
+
+/// Generates the ST trace.
+pub fn generate(params: &WorkloadParams) -> Trace {
+    let g = params.gpu_count;
+    let mut b = TraceBuilder::new("ST", g);
+    let data1 = b.alloc("ST_Data1", part(params, 470));
+    let data2 = b.alloc("ST_Data2", part(params, 470));
+    let _pars = alloc_small(&mut b, "ST_Params");
+    let pages = b.pages_of(data1).min(b.pages_of(data2));
+
+    b.begin_phase("Stencil2D");
+    for iter in 0..ITERATIONS {
+        let (src, dst): (ObjectId, ObjectId) = if iter % 2 == 0 {
+            (data1, data2)
+        } else {
+            (data2, data1)
+        };
+        for gpu in 0..g {
+            let own = block(pages, g, gpu);
+            let halo = ((own.end - own.start) / 8).max(1);
+            // Interior pass: read own rows of src (private-read).
+            b.seq(gpu, src, own.clone(), AccessKind::Read, 2);
+            // Halo gather from the neighbors' src blocks (shared-read).
+            if gpu > 0 {
+                let left = block(pages, g, gpu - 1);
+                b.seq(gpu, src, left.end - halo..left.end, AccessKind::Read, 24);
+            }
+            if gpu + 1 < g {
+                let right = block(pages, g, gpu + 1);
+                b.seq(
+                    gpu,
+                    src,
+                    right.start..right.start + halo,
+                    AccessKind::Read,
+                    24,
+                );
+            }
+            // Write own rows of dst (private-write; halo rows included, so
+            // the neighbor's next-iteration read makes them shared-rw-mix).
+            b.seq(gpu, dst, own, AccessKind::Write, 3);
+        }
+        // The in-kernel iteration ends with a grid-wide sync before the
+        // buffers swap.
+        b.barrier();
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testutil::check_table2_invariants;
+    use crate::spec::App;
+
+    fn paper_trace() -> Trace {
+        generate(&WorkloadParams::paper(App::St, 4))
+    }
+
+    #[test]
+    fn matches_table2() {
+        check_table2_invariants(App::St, &paper_trace());
+    }
+
+    #[test]
+    fn single_explicit_phase_with_swapped_buffers() {
+        let t = paper_trace();
+        assert_eq!(t.phases.len(), 1, "ST has one explicit kernel");
+        // Both data buffers are read AND written over the run (rw-mix
+        // overall)...
+        for obj in [0u16, 1] {
+            let mut reads = false;
+            let mut writes = false;
+            for stream in &t.phases[0].per_gpu {
+                for a in stream.iter().filter(|a| a.obj.0 == obj) {
+                    if a.kind.is_write() {
+                        writes = true;
+                    } else {
+                        reads = true;
+                    }
+                }
+            }
+            assert!(reads && writes, "obj {obj} must be rw-mix overall");
+        }
+    }
+
+    #[test]
+    fn within_iteration_buffers_are_read_xor_write() {
+        // Fig. 7: in even iterations Data1 is only read and Data2 only
+        // written; odd iterations flip. Verify on GPU0's stream by walking
+        // iteration groups: a write to Data1 never precedes a read of
+        // Data1 within the same direction window.
+        let t = paper_trace();
+        let s = &t.phases[0].per_gpu[0];
+        // Split the stream at points where the src object flips.
+        let mut direction_of_data1_read = Vec::new();
+        let mut cur: Option<bool> = None;
+        for a in s.iter().filter(|a| a.obj.0 == 0) {
+            let is_read = !a.kind.is_write();
+            if cur != Some(is_read) {
+                direction_of_data1_read.push(is_read);
+                cur = Some(is_read);
+            }
+        }
+        // Data1 alternates read-phase / write-phase repeatedly.
+        assert!(direction_of_data1_read.len() >= ITERATIONS - 2);
+        for w in direction_of_data1_read.windows(2) {
+            assert_ne!(w[0], w[1], "direction must alternate");
+        }
+    }
+
+    #[test]
+    fn halo_pages_are_shared_between_neighbors() {
+        let t = paper_trace();
+        // GPU1 reads some pages of GPU0's block (the halo).
+        let pages = 470 * 32 * 1024 * 1024 / 1000 / 4096;
+        let gpu0_block = block(pages, 4, 0);
+        let gpu1_reads_gpu0: bool = t.phases[0].per_gpu[1]
+            .iter()
+            .filter(|a| a.obj.0 == 0 && !a.kind.is_write())
+            .any(|a| gpu0_block.contains(&(a.offset / 4096)));
+        assert!(gpu1_reads_gpu0, "neighbor halo gather missing");
+    }
+}

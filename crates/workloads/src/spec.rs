@@ -1,0 +1,273 @@
+//! Application metadata: Table II (apps, patterns, objects, footprints)
+//! and Table III (scaled footprints for 8- and 16-GPU runs).
+
+use std::fmt;
+
+/// The multi-GPU sharing pattern of an application (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// GPUs read/write pages of other GPUs unpredictably (BFS, PR).
+    Random,
+    /// Data is batched and shared among neighboring GPUs (C2D, ST, DNNs).
+    Adjacent,
+    /// Each GPU handles data gathered from local or remote GPUs
+    /// (I2C, FFT, MM, MT).
+    ScatterGather,
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Random => write!(f, "Random"),
+            Pattern::Adjacent => write!(f, "Adjacent"),
+            Pattern::ScatterGather => write!(f, "Scatter-Gather"),
+        }
+    }
+}
+
+/// The eleven evaluated applications (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum App {
+    /// Breadth-First Search (SHOC).
+    Bfs,
+    /// Convolution 2D (DNN-Mark).
+    C2d,
+    /// Fast Fourier Transform (SHOC).
+    Fft,
+    /// Image to Column (DNN-Mark).
+    I2c,
+    /// Matrix Multiplication (AMDAPPSDK).
+    Mm,
+    /// Matrix Transpose (AMDAPPSDK).
+    Mt,
+    /// Page Rank (Hetero-Mark).
+    Pr,
+    /// Stencil 2D (SHOC).
+    St,
+    /// LeNet training (DNN-Mark, MNIST).
+    LeNet,
+    /// VGG-16 training (DNN-Mark, Tiny-ImageNet-200).
+    Vgg16,
+    /// ResNet-18 training (DNN-Mark, Tiny-ImageNet-200).
+    ResNet18,
+}
+
+/// All apps in Table II order.
+pub const ALL_APPS: [App; 11] = [
+    App::Bfs,
+    App::C2d,
+    App::Fft,
+    App::I2c,
+    App::Mm,
+    App::Mt,
+    App::Pr,
+    App::St,
+    App::LeNet,
+    App::Vgg16,
+    App::ResNet18,
+];
+
+impl App {
+    /// Table II abbreviation.
+    pub fn abbr(self) -> &'static str {
+        match self {
+            App::Bfs => "BFS",
+            App::C2d => "C2D",
+            App::Fft => "FFT",
+            App::I2c => "I2C",
+            App::Mm => "MM",
+            App::Mt => "MT",
+            App::Pr => "PR",
+            App::St => "ST",
+            App::LeNet => "LeNet",
+            App::Vgg16 => "VGG16",
+            App::ResNet18 => "ResNet18",
+        }
+    }
+
+    /// Full application name.
+    pub fn full_name(self) -> &'static str {
+        match self {
+            App::Bfs => "Breadth-First Search",
+            App::C2d => "Convolution 2D",
+            App::Fft => "Fast Fourier Transform",
+            App::I2c => "Image to Column",
+            App::Mm => "Matrix Multiplication",
+            App::Mt => "Matrix Transpose",
+            App::Pr => "Page Rank",
+            App::St => "Stencil 2D",
+            App::LeNet => "LeNet",
+            App::Vgg16 => "Visual Geometry Group 16-layer",
+            App::ResNet18 => "Residual Network 18-layer",
+        }
+    }
+
+    /// Benchmark suite of origin.
+    pub fn suite(self) -> &'static str {
+        match self {
+            App::Bfs | App::Fft | App::St => "SHOC",
+            App::C2d | App::I2c | App::LeNet | App::Vgg16 | App::ResNet18 => "DNN-Mark",
+            App::Mm | App::Mt => "AMDAPPSDK",
+            App::Pr => "Hetero-Mark",
+        }
+    }
+
+    /// Multi-GPU access pattern (Table II).
+    pub fn pattern(self) -> Pattern {
+        match self {
+            App::Bfs | App::Pr => Pattern::Random,
+            App::C2d | App::St | App::LeNet | App::Vgg16 | App::ResNet18 => Pattern::Adjacent,
+            App::Fft | App::I2c | App::Mm | App::Mt => Pattern::ScatterGather,
+        }
+    }
+
+    /// Maximum number of objects allocated through execution (Table II).
+    pub fn object_count(self) -> usize {
+        match self {
+            App::Bfs => 5,
+            App::C2d => 10,
+            App::Fft => 2,
+            App::I2c => 3,
+            App::Mm => 4,
+            App::Mt => 3,
+            App::Pr => 6,
+            App::St => 3,
+            App::LeNet => 115,
+            App::Vgg16 => 240,
+            App::ResNet18 => 263,
+        }
+    }
+
+    /// Memory footprint in MB for a given GPU count: Table II for 4 GPUs,
+    /// Table III for 8 and 16; other counts interpolate linearly between
+    /// the nearest rows.
+    pub fn footprint_mb(self, gpu_count: usize) -> u64 {
+        let (f4, f8, f16) = match self {
+            App::Bfs => (32, 64, 128),
+            App::C2d => (92, 200, 308),
+            App::Fft => (48, 96, 192),
+            App::I2c => (80, 175, 264),
+            App::Mm => (32, 128, 192),
+            App::Mt => (64, 160, 320),
+            App::Pr => (32, 74, 132),
+            App::St => (32, 65, 129),
+            App::LeNet => (24, 64, 170),
+            App::Vgg16 => (220, 358, 718),
+            App::ResNet18 => (297, 508, 1167),
+        };
+        match gpu_count {
+            0..=4 => f4,
+            5..=8 => f4 + (f8 - f4) * (gpu_count as u64 - 4) / 4,
+            9..=16 => f8 + (f16 - f8) * (gpu_count as u64 - 8) / 8,
+            n => f16 * n as u64 / 16,
+        }
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abbr())
+    }
+}
+
+/// Parameters controlling trace generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Number of GPUs the workload is partitioned across.
+    pub gpu_count: usize,
+    /// Total managed footprint in MB (object sizes scale proportionally).
+    pub footprint_mb: u64,
+    /// RNG seed for the random-pattern apps (traces are deterministic
+    /// given a seed).
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// The paper's configuration for `app` at `gpu_count` GPUs
+    /// (Tables II/III footprints, fixed seed).
+    pub fn paper(app: App, gpu_count: usize) -> Self {
+        WorkloadParams {
+            gpu_count,
+            footprint_mb: app.footprint_mb(gpu_count),
+            seed: 0xA515_0000 + app as u64,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests and Criterion benches.
+    pub fn small(app: App, gpu_count: usize) -> Self {
+        WorkloadParams {
+            gpu_count,
+            footprint_mb: (app.footprint_mb(gpu_count) / 8).max(2),
+            seed: 0x5EED_0000 + app as u64,
+        }
+    }
+
+    /// Footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_mb * 1024 * 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_object_counts() {
+        assert_eq!(App::Bfs.object_count(), 5);
+        assert_eq!(App::C2d.object_count(), 10);
+        assert_eq!(App::Fft.object_count(), 2);
+        assert_eq!(App::LeNet.object_count(), 115);
+        assert_eq!(App::Vgg16.object_count(), 240);
+        assert_eq!(App::ResNet18.object_count(), 263);
+    }
+
+    #[test]
+    fn table2_and_table3_footprints() {
+        assert_eq!(App::Mt.footprint_mb(4), 64);
+        assert_eq!(App::Mt.footprint_mb(8), 160);
+        assert_eq!(App::Mt.footprint_mb(16), 320);
+        assert_eq!(App::ResNet18.footprint_mb(16), 1167);
+        // Interpolation between rows.
+        assert!(App::Mm.footprint_mb(6) > 32 && App::Mm.footprint_mb(6) < 128);
+        // Extrapolation beyond 16 GPUs.
+        assert_eq!(App::Bfs.footprint_mb(32), 256);
+    }
+
+    #[test]
+    fn patterns_match_table2() {
+        assert_eq!(App::Bfs.pattern(), Pattern::Random);
+        assert_eq!(App::Pr.pattern(), Pattern::Random);
+        assert_eq!(App::St.pattern(), Pattern::Adjacent);
+        assert_eq!(App::Mm.pattern(), Pattern::ScatterGather);
+        assert_eq!(App::Vgg16.pattern(), Pattern::Adjacent);
+    }
+
+    #[test]
+    fn suites_match_table2() {
+        assert_eq!(App::Bfs.suite(), "SHOC");
+        assert_eq!(App::Pr.suite(), "Hetero-Mark");
+        assert_eq!(App::Mm.suite(), "AMDAPPSDK");
+        assert_eq!(App::ResNet18.suite(), "DNN-Mark");
+    }
+
+    #[test]
+    fn params_constructors() {
+        let p = WorkloadParams::paper(App::Mm, 4);
+        assert_eq!(p.footprint_mb, 32);
+        assert_eq!(p.footprint_bytes(), 32 << 20);
+        let s = WorkloadParams::small(App::Mm, 4);
+        assert!(s.footprint_mb < p.footprint_mb);
+        assert_ne!(
+            WorkloadParams::paper(App::Mm, 4).seed,
+            WorkloadParams::paper(App::Mt, 4).seed
+        );
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(App::I2c.to_string(), "I2C");
+        assert_eq!(Pattern::ScatterGather.to_string(), "Scatter-Gather");
+        assert_eq!(ALL_APPS.len(), 11);
+    }
+}

@@ -1,0 +1,449 @@
+//! Trace representation and the builder used by the app generators.
+
+use oasis_mem::types::{AccessKind, ObjectId, PageSize};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Bytes per coalesced memory transaction.
+pub const TRANSACTION_BYTES: u32 = 64;
+
+/// Page granularity traces are generated at. Runs with 2 MiB pages
+/// reinterpret the same byte offsets; generators never need to know.
+const GEN_PAGE: PageSize = PageSize::Small4K;
+
+/// One coalesced memory transaction by one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The object accessed.
+    pub obj: ObjectId,
+    /// Byte offset within the object.
+    pub offset: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Transaction size in bytes.
+    pub bytes: u32,
+}
+
+/// One allocation in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectSpec {
+    /// Human-readable name (used in figures, e.g. `"MT_Input"`).
+    pub name: String,
+    /// Allocation size in bytes.
+    pub bytes: u64,
+}
+
+/// One explicit phase (kernel launch): per-GPU streams of transactions.
+/// Implicit phases (e.g. ST's iterations) are embedded in the stream of a
+/// single explicit phase, separated by grid-wide [`Phase::barriers`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Kernel name.
+    pub name: String,
+    /// `per_gpu[g]` is GPU *g*'s transaction stream for this kernel.
+    pub per_gpu: Vec<Vec<Access>>,
+    /// Grid-wide synchronization points *inside* the kernel (iteration
+    /// boundaries of in-kernel loops): `barriers[g]` holds, per GPU, the
+    /// stream positions at which the GPU waits for all others. All GPUs
+    /// have the same number of barriers. Unlike kernel launches these do
+    /// NOT reset the OASIS O-Table — they are what makes phases
+    /// *implicit*.
+    pub barriers: Vec<Vec<usize>>,
+}
+
+impl Phase {
+    /// Total transactions across all GPUs.
+    pub fn len(&self) -> usize {
+        self.per_gpu.iter().map(Vec::len).sum()
+    }
+
+    /// True if no GPU issues anything in this phase.
+    pub fn is_empty(&self) -> bool {
+        self.per_gpu.iter().all(Vec::is_empty)
+    }
+}
+
+/// A complete application trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Application abbreviation ("MM", "ST", ...).
+    pub app: &'static str,
+    /// GPUs the workload is partitioned across.
+    pub gpu_count: usize,
+    /// Allocations, in allocation order (index = `ObjectId`).
+    pub objects: Vec<ObjectSpec>,
+    /// Explicit phases in launch order.
+    pub phases: Vec<Phase>,
+}
+
+impl Trace {
+    /// Total transactions in the trace.
+    pub fn total_accesses(&self) -> usize {
+        self.phases.iter().map(Phase::len).sum()
+    }
+
+    /// Total allocated bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.objects.iter().map(|o| o.bytes).sum()
+    }
+}
+
+/// Helper for assembling traces: tracks objects and the phase under
+/// construction, and provides the access-emission idioms (sequential
+/// sweeps, strided sweeps, random touches) the generators are written in.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    app: &'static str,
+    gpu_count: usize,
+    objects: Vec<ObjectSpec>,
+    phases: Vec<Phase>,
+    current: Option<Phase>,
+}
+
+impl TraceBuilder {
+    /// Starts a trace for `app` on `gpu_count` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_count` is zero.
+    pub fn new(app: &'static str, gpu_count: usize) -> Self {
+        assert!(gpu_count > 0, "need at least one GPU");
+        TraceBuilder {
+            app,
+            gpu_count,
+            objects: Vec::new(),
+            phases: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Number of GPUs.
+    pub fn gpu_count(&self) -> usize {
+        self.gpu_count
+    }
+
+    /// Allocates an object. Must be called before any phase references it.
+    pub fn alloc(&mut self, name: impl Into<String>, bytes: u64) -> ObjectId {
+        assert!(bytes > 0, "zero-sized object");
+        let id = ObjectId(u16::try_from(self.objects.len()).expect("too many objects"));
+        self.objects.push(ObjectSpec {
+            name: name.into(),
+            bytes,
+        });
+        id
+    }
+
+    /// Number of 4 KiB pages object `obj` spans.
+    pub fn pages_of(&self, obj: ObjectId) -> u64 {
+        GEN_PAGE.pages_for(self.objects[obj.0 as usize].bytes)
+    }
+
+    /// Opens a new explicit phase (kernel launch), closing any open one.
+    pub fn begin_phase(&mut self, name: impl Into<String>) {
+        self.flush_phase();
+        self.current = Some(Phase {
+            name: name.into(),
+            per_gpu: vec![Vec::new(); self.gpu_count],
+            barriers: vec![Vec::new(); self.gpu_count],
+        });
+    }
+
+    /// Inserts a grid-wide barrier at the current position of every GPU's
+    /// stream (an in-kernel iteration boundary). No-op barriers at the
+    /// very start are permitted but pointless.
+    pub fn barrier(&mut self) {
+        let phase = self
+            .current
+            .as_mut()
+            .expect("no open phase; call begin_phase first");
+        for g in 0..phase.per_gpu.len() {
+            let pos = phase.per_gpu[g].len();
+            phase.barriers[g].push(pos);
+        }
+    }
+
+    fn flush_phase(&mut self) {
+        if let Some(p) = self.current.take() {
+            self.phases.push(p);
+        }
+    }
+
+    fn stream(&mut self, gpu: usize) -> &mut Vec<Access> {
+        &mut self
+            .current
+            .as_mut()
+            .expect("no open phase; call begin_phase first")
+            .per_gpu[gpu]
+    }
+
+    fn emit_burst(&mut self, gpu: usize, obj: ObjectId, page: u64, kind: AccessKind, burst: u32) {
+        let obj_bytes = self.objects[obj.0 as usize].bytes;
+        let page_base = page * GEN_PAGE.bytes();
+        debug_assert!(page_base < obj_bytes, "page {page} outside {obj}");
+        let stream = self.stream(gpu);
+        for i in 0..burst {
+            let within = (u64::from(i) * u64::from(TRANSACTION_BYTES)) % GEN_PAGE.bytes();
+            let offset = (page_base + within).min(obj_bytes.saturating_sub(1));
+            stream.push(Access {
+                obj,
+                offset,
+                kind,
+                bytes: TRANSACTION_BYTES,
+            });
+        }
+    }
+
+    /// GPU `gpu` sweeps `pages` of `obj` in order, issuing `burst`
+    /// transactions per page.
+    pub fn seq(
+        &mut self,
+        gpu: usize,
+        obj: ObjectId,
+        pages: std::ops::Range<u64>,
+        kind: AccessKind,
+        burst: u32,
+    ) {
+        for p in pages {
+            self.emit_burst(gpu, obj, p, kind, burst);
+        }
+    }
+
+    /// GPU `gpu` sweeps all of `pages` starting at block `gpu` of `parts`
+    /// and wrapping around — the idiom for objects read by every GPU:
+    /// thread blocks of different GPUs work on different tiles at any
+    /// instant, so visits to a given page by different GPUs are separated
+    /// in time rather than colliding burst-by-burst.
+    pub fn sweep_rotated(
+        &mut self,
+        gpu: usize,
+        obj: ObjectId,
+        pages: std::ops::Range<u64>,
+        kind: AccessKind,
+        burst: u32,
+    ) {
+        let parts = self.gpu_count;
+        let start = crate::trace::block(pages.end - pages.start, parts, gpu % parts).start
+            + pages.start;
+        self.seq(gpu, obj, start..pages.end, kind, burst);
+        self.seq(gpu, obj, pages.start..start, kind, burst);
+    }
+
+    /// GPU `gpu` sweeps `pages` of `obj` performing an in-place
+    /// read-modify-write per page: `read_burst` reads immediately followed
+    /// by `write_burst` writes before moving on (the FFT butterfly idiom —
+    /// unlike separate [`TraceBuilder::seq`] sweeps, a page's reads and
+    /// writes stay adjacent in time).
+    #[allow(clippy::too_many_arguments)]
+    pub fn seq_rw(
+        &mut self,
+        gpu: usize,
+        obj: ObjectId,
+        pages: std::ops::Range<u64>,
+        read_burst: u32,
+        write_burst: u32,
+    ) {
+        for p in pages {
+            self.emit_burst(gpu, obj, p, AccessKind::Read, read_burst);
+            self.emit_burst(gpu, obj, p, AccessKind::Write, write_burst);
+        }
+    }
+
+    /// Like [`TraceBuilder::seq`] but visiting every `stride`-th page
+    /// starting at `pages.start + phase_offset` (scatter-gather idiom).
+    #[allow(clippy::too_many_arguments)]
+    pub fn strided(
+        &mut self,
+        gpu: usize,
+        obj: ObjectId,
+        pages: std::ops::Range<u64>,
+        stride: u64,
+        phase_offset: u64,
+        kind: AccessKind,
+        burst: u32,
+    ) {
+        assert!(stride > 0, "stride must be positive");
+        let mut p = pages.start + phase_offset;
+        while p < pages.end {
+            self.emit_burst(gpu, obj, p, kind, burst);
+            p += stride;
+        }
+    }
+
+    /// GPU `gpu` touches `touches` pages of `obj` chosen uniformly at
+    /// random within `pages`, issuing `burst` transactions per touch
+    /// (random-pattern idiom).
+    #[allow(clippy::too_many_arguments)]
+    pub fn random(
+        &mut self,
+        gpu: usize,
+        obj: ObjectId,
+        pages: std::ops::Range<u64>,
+        touches: u64,
+        kind: AccessKind,
+        burst: u32,
+        rng: &mut StdRng,
+    ) {
+        assert!(!pages.is_empty(), "empty page range");
+        for _ in 0..touches {
+            let p = rng.gen_range(pages.clone());
+            self.emit_burst(gpu, obj, p, kind, burst);
+        }
+    }
+
+    /// Shuffles GPU `gpu`'s stream of the current phase (models unordered
+    /// thread-block scheduling for random-pattern apps).
+    pub fn shuffle_stream(&mut self, gpu: usize, rng: &mut StdRng) {
+        self.stream(gpu).shuffle(rng);
+    }
+
+    /// Finishes the trace.
+    pub fn finish(mut self) -> Trace {
+        self.flush_phase();
+        Trace {
+            app: self.app,
+            gpu_count: self.gpu_count,
+            objects: self.objects,
+            phases: self.phases,
+        }
+    }
+}
+
+/// Splits `pages` pages into `parts` contiguous blocks and returns block
+/// `idx` (the standard owner-computes partitioning).
+pub fn block(pages: u64, parts: usize, idx: usize) -> std::ops::Range<u64> {
+    assert!(idx < parts, "block index out of range");
+    let parts = parts as u64;
+    let idx = idx as u64;
+    let base = pages / parts;
+    let rem = pages % parts;
+    let start = idx * base + idx.min(rem);
+    let len = base + u64::from(idx < rem);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_partition_covers_everything_once() {
+        for pages in [1u64, 7, 16, 8192, 8191] {
+            for parts in [1usize, 2, 3, 4, 8, 16] {
+                let mut covered = 0;
+                let mut next = 0;
+                for i in 0..parts {
+                    let b = block(pages, parts, i);
+                    assert_eq!(b.start, next, "blocks must be contiguous");
+                    next = b.end;
+                    covered += b.end - b.start;
+                }
+                assert_eq!(covered, pages);
+                assert_eq!(next, pages);
+            }
+        }
+    }
+
+    #[test]
+    fn seq_emits_bursts_within_pages() {
+        let mut b = TraceBuilder::new("T", 2);
+        let o = b.alloc("buf", 3 * 4096);
+        b.begin_phase("k");
+        b.seq(0, o, 0..3, AccessKind::Read, 4);
+        let t = b.finish();
+        let s = &t.phases[0].per_gpu[0];
+        assert_eq!(s.len(), 12);
+        // First page's burst: offsets 0, 64, 128, 192.
+        assert_eq!(s[0].offset, 0);
+        assert_eq!(s[1].offset, 64);
+        assert_eq!(s[3].offset, 192);
+        // Second page starts at 4096.
+        assert_eq!(s[4].offset, 4096);
+        assert!(t.phases[0].per_gpu[1].is_empty());
+    }
+
+    #[test]
+    fn strided_visits_every_nth_page() {
+        let mut b = TraceBuilder::new("T", 1);
+        let o = b.alloc("buf", 8 * 4096);
+        b.begin_phase("k");
+        b.strided(0, o, 0..8, 4, 1, AccessKind::Write, 1);
+        let t = b.finish();
+        let pages: Vec<u64> = t.phases[0].per_gpu[0]
+            .iter()
+            .map(|a| a.offset / 4096)
+            .collect();
+        assert_eq!(pages, vec![1, 5]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut b = TraceBuilder::new("T", 1);
+            let o = b.alloc("buf", 64 * 4096);
+            b.begin_phase("k");
+            b.random(0, o, 0..64, 20, AccessKind::Read, 2, &mut rng);
+            b.finish()
+        };
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+
+    #[test]
+    fn random_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = TraceBuilder::new("T", 1);
+        let o = b.alloc("buf", 64 * 4096);
+        b.begin_phase("k");
+        b.random(0, o, 16..32, 100, AccessKind::Read, 1, &mut rng);
+        let t = b.finish();
+        for a in &t.phases[0].per_gpu[0] {
+            let page = a.offset / 4096;
+            assert!((16..32).contains(&page));
+        }
+    }
+
+    #[test]
+    fn phases_close_automatically() {
+        let mut b = TraceBuilder::new("T", 1);
+        let o = b.alloc("buf", 4096);
+        b.begin_phase("k1");
+        b.seq(0, o, 0..1, AccessKind::Read, 1);
+        b.begin_phase("k2");
+        b.seq(0, o, 0..1, AccessKind::Write, 1);
+        let t = b.finish();
+        assert_eq!(t.phases.len(), 2);
+        assert_eq!(t.phases[0].name, "k1");
+        assert_eq!(t.phases[1].name, "k2");
+        assert_eq!(t.total_accesses(), 2);
+    }
+
+    #[test]
+    fn offsets_never_exceed_object_size() {
+        let mut b = TraceBuilder::new("T", 1);
+        let o = b.alloc("odd", 4096 + 100); // 2 pages, second mostly absent
+        b.begin_phase("k");
+        b.seq(0, o, 0..2, AccessKind::Write, 8);
+        let t = b.finish();
+        for a in &t.phases[0].per_gpu[0] {
+            assert!(a.offset < 4096 + 100);
+        }
+    }
+
+    #[test]
+    fn footprint_accounts_all_objects() {
+        let mut b = TraceBuilder::new("T", 1);
+        b.alloc("a", 1000);
+        b.alloc("b", 2000);
+        assert_eq!(b.finish().footprint_bytes(), 3000);
+    }
+
+    #[test]
+    fn pages_of_rounds_up() {
+        let mut b = TraceBuilder::new("T", 1);
+        let o = b.alloc("a", 4097);
+        assert_eq!(b.pages_of(o), 2);
+    }
+}

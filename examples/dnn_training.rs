@@ -1,0 +1,55 @@
+//! Data-parallel DNN training over UVM: the explicit-phase stress test.
+//!
+//! LeNet launches 129 kernels (8 batches x 8 layers, forward + backward,
+//! plus the weight update); every launch is an explicit phase boundary
+//! where OASIS resets its PF counts and relearns per-object policies.
+//! Weights are shared-read (duplication), activations private (on-touch),
+//! weight gradients shared-write (access-counter) — no uniform policy fits
+//! all three.
+//!
+//! ```sh
+//! cargo run --release --example dnn_training
+//! ```
+
+use oasis::mgpu::characterize::{profile, Scope};
+use oasis::prelude::*;
+
+fn main() {
+    let config = SystemConfig::default();
+    for app in [App::LeNet, App::Vgg16, App::ResNet18] {
+        let trace = generate(app, &WorkloadParams::paper(app, 4));
+        println!(
+            "=== {} === {} objects, {} kernel launches, {} MB",
+            app.abbr(),
+            trace.objects.len(),
+            trace.phases.len(),
+            trace.footprint_bytes() >> 20
+        );
+
+        // Characterize the first forward layer's tensors.
+        let profiles = profile(&trace, PageSize::Small4K, Scope::Whole);
+        for name in ["W0", "A0", "dW0"] {
+            if let Some(p) = profiles.iter().find(|p| p.name == name) {
+                println!(
+                    "  {:<4} {:>6} pages, shared={:?}, rw={:?}",
+                    p.name,
+                    p.pages,
+                    p.share_pattern(),
+                    p.rw_pattern()
+                );
+            }
+        }
+
+        let baseline = simulate(&config, Policy::OnTouch, &trace);
+        let oasis = simulate(&config, Policy::oasis(), &trace);
+        let dup = simulate(&config, Policy::Duplication, &trace);
+        let acctr = simulate(&config, Policy::AccessCounter, &trace);
+        println!(
+            "  on-touch {:.1} ms | duplication {:.2}x | access-counter {:.2}x | OASIS {:.2}x\n",
+            baseline.total_time.as_us() / 1000.0,
+            dup.speedup_over(&baseline),
+            acctr.speedup_over(&baseline),
+            oasis.speedup_over(&baseline),
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: run one workload under every page-management policy and
+//! compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use oasis::prelude::*;
+
+fn main() {
+    // The paper's 4-GPU baseline platform (Table I).
+    let config = SystemConfig::default();
+
+    // Matrix Transpose with its Table II footprint (64 MB, 3 objects).
+    let trace = generate(App::Mt, &WorkloadParams::paper(App::Mt, 4));
+    println!(
+        "MT: {} objects, {:.0} MB, {} memory transactions\n",
+        trace.objects.len(),
+        trace.footprint_bytes() as f64 / (1024.0 * 1024.0),
+        trace.total_accesses()
+    );
+
+    let policies = [
+        Policy::OnTouch,
+        Policy::AccessCounter,
+        Policy::Duplication,
+        Policy::oasis(),
+        Policy::oasis_inmem(),
+        Policy::grit(),
+        Policy::Ideal,
+    ];
+    let baseline = simulate(&config, Policy::OnTouch, &trace);
+    println!(
+        "{:<16} {:>10} {:>9} {:>11} {:>11}",
+        "policy", "time(ms)", "speedup", "page-faults", "migrations"
+    );
+    for policy in policies {
+        let report = simulate(&config, policy, &trace);
+        println!(
+            "{:<16} {:>10.2} {:>8.2}x {:>11} {:>11}",
+            report.policy,
+            report.total_time.as_us() / 1000.0,
+            report.speedup_over(&baseline),
+            report.uvm.total_faults(),
+            report.uvm.migrations + report.uvm.counter_migrations,
+        );
+    }
+}

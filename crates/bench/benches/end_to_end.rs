@@ -1,9 +1,13 @@
 //! End-to-end simulation benchmarks: whole-app runs at reduced footprints,
-//! one group per page-management policy. These measure *simulator*
+//! one measurement per page-management policy. These measure *simulator*
 //! throughput (the wall-clock cost of reproducing a figure), not simulated
 //! time.
+//!
+//! Timing uses the in-tree [`oasis_bench::timing`] harness (the build
+//! environment is offline, so no criterion). Run with
+//! `cargo bench --features bench-harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oasis_bench::timing::{bench, black_box};
 use oasis_mgpu::{simulate, Policy, SystemConfig};
 use oasis_workloads::{generate, App, WorkloadParams};
 
@@ -14,9 +18,7 @@ fn tiny(app: App) -> WorkloadParams {
     }
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
+fn bench_policies() {
     for app in [App::Mt, App::St] {
         let trace = generate(app, &tiny(app));
         for policy in [
@@ -27,24 +29,23 @@ fn bench_policies(c: &mut Criterion) {
             Policy::oasis_inmem(),
             Policy::grit(),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(policy.name(), app.abbr()),
-                &trace,
-                |b, trace| b.iter(|| simulate(&SystemConfig::default(), policy.clone(), trace)),
+            bench(
+                &format!("end_to_end/{}/{}", policy.name(), app.abbr()),
+                || black_box(simulate(&SystemConfig::default(), policy.clone(), &trace)),
             );
         }
     }
-    group.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
-    group.sample_size(10);
+fn bench_trace_generation() {
     for app in [App::Mm, App::LeNet] {
-        group.bench_function(app.abbr(), |b| b.iter(|| generate(app, &tiny(app))));
+        bench(&format!("trace_generation/{}", app.abbr()), || {
+            black_box(generate(app, &tiny(app)))
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_trace_generation);
-criterion_main!(benches);
+fn main() {
+    bench_policies();
+    bench_trace_generation();
+}

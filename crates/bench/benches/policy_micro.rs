@@ -1,8 +1,12 @@
 //! Microbenchmarks of the policy-engine hot paths: the structures OASIS
 //! claims are cheap (O-Table, pointer tagging, shadow map) and the
 //! simulator substrate they sit on (TLB, cache, event queue, driver).
+//!
+//! Timing uses the in-tree [`oasis_bench::timing`] harness (the build
+//! environment is offline, so no criterion). Run with
+//! `cargo bench --features bench-harness`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oasis_bench::timing::{bench, black_box};
 use oasis_core::controller::OasisController;
 use oasis_core::inmem::{OasisInMem, ShadowMap};
 use oasis_core::otable::OTable;
@@ -19,85 +23,84 @@ use oasis_uvm::driver::{MemState, UvmDriver};
 use oasis_uvm::fault::PageFault;
 use oasis_uvm::policy::{OnTouchPolicy, PolicyEngine};
 
-fn bench_structures(c: &mut Criterion) {
-    c.bench_function("otable/lookup_or_insert", |b| {
+fn bench_structures() {
+    {
         let mut t = OTable::new();
         let mut i = 0u16;
-        b.iter(|| {
+        bench("otable/lookup_or_insert", || {
             i = (i + 1) % 24; // forces some LRU churn past 16 entries
             black_box(t.lookup_or_insert(i).pf_count)
-        })
+        });
+    }
+
+    bench("tracker/encode_decode", || {
+        let tagged = encode(black_box(Va(0x1234_5000)), ObjectId(7), 4, true);
+        black_box(decode(tagged, 4))
     });
 
-    c.bench_function("tracker/encode_decode", |b| {
-        b.iter(|| {
-            let tagged = encode(black_box(Va(0x1234_5000)), ObjectId(7), 4, true);
-            black_box(decode(tagged, 4))
-        })
-    });
-
-    c.bench_function("shadow_map/lookup", |b| {
+    {
         let mut m = ShadowMap::new();
         m.set_range(Va(0x1000_0000), 64 << 20, 42);
-        b.iter(|| black_box(m.lookup(Va(0x1200_0040))))
-    });
+        bench("shadow_map/lookup", || black_box(m.lookup(Va(0x1200_0040))));
+    }
 
-    c.bench_function("tlb/access_hit", |b| {
+    {
         let mut t = Tlb::new(512, 16);
         for i in 0..512 {
             t.fill(Vpn(i));
         }
         let mut i = 0u64;
-        b.iter(|| {
+        bench("tlb/access_hit", || {
             i = (i + 1) % 512;
             black_box(t.access(Vpn(i)))
-        })
-    });
+        });
+    }
 
-    c.bench_function("cache/access", |b| {
+    {
         let mut ca = Cache::new(256 * 1024, 16, 64);
         let mut i = 0u64;
-        b.iter(|| {
+        bench("cache/access", || {
             i = (i + 64) % (1 << 20);
             black_box(ca.access(Va(i)))
-        })
-    });
+        });
+    }
 
-    c.bench_function("engine/event_queue_push_pop", |b| {
+    {
         let mut q: EventQueue<u32> = EventQueue::new();
         let mut t = 0u64;
-        b.iter(|| {
+        bench("engine/event_queue_push_pop", || {
             t += 10;
             q.push(Time::from_ps(t), 1);
             black_box(q.pop())
-        })
-    });
+        });
+    }
 
-    c.bench_function("engine/channel_reserve", |b| {
+    {
         let mut ch = Channel::new(300_000_000_000, Duration::from_ns(500));
         let mut now = Time::ZERO;
-        b.iter(|| {
+        bench("engine/channel_reserve", || {
             now += Duration::from_ns(100);
             black_box(ch.reserve(now, 64))
-        })
-    });
+        });
+    }
 }
 
 fn shared_state() -> MemState {
     let mut s = MemState::new(4, PageSize::Small4K, None);
     for i in 0..1024u64 {
         s.host_table
-            .register(Vpn(i), HostEntry::new_at(DeviceId::Gpu(GpuId(1))));
+            .register(Vpn(i), HostEntry::new_at(DeviceId::Gpu(GpuId(1))))
+            .expect("fresh page");
     }
     s
 }
 
-fn bench_engines(c: &mut Criterion) {
-    c.bench_function("oasis/resolve_shared_fault", |b| {
+fn bench_engines() {
+    {
         let mut engine = OasisController::new();
         let state = shared_state();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("oasis/resolve_shared_fault", || {
             i = (i + 1) % 1024;
             let f = PageFault::far(
                 GpuId(0),
@@ -106,33 +109,33 @@ fn bench_engines(c: &mut Criterion) {
                 AccessKind::Read,
             );
             black_box(engine.resolve(&f, &state))
-        })
-    });
+        });
+    }
 
-    c.bench_function("oasis_inmem/resolve_shared_fault", |b| {
+    {
         let mut engine = OasisInMem::new();
         engine.on_alloc(ObjectId(0), Va(0), 1024 * 4096);
         let state = shared_state();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("oasis_inmem/resolve_shared_fault", || {
             i = (i + 1) % 1024;
             let f = PageFault::far(GpuId(0), Va(i * 4096), Vpn(i), AccessKind::Read);
             black_box(engine.resolve(&f, &state))
-        })
-    });
+        });
+    }
 
-    c.bench_function("grit/resolve_fault", |b| {
+    {
         let mut engine = GritEngine::new();
         let state = shared_state();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("grit/resolve_fault", || {
             i = (i + 1) % 1024;
             let f = PageFault::far(GpuId(0), Va(i * 4096), Vpn(i), AccessKind::Read);
             black_box(engine.resolve(&f, &state))
-        })
-    });
+        });
+    }
 
-    c.bench_function("driver/handle_fault_migrate", |b| {
+    {
         let mut driver = UvmDriver::new(
             4,
             PageSize::Small4K,
@@ -141,10 +144,14 @@ fn bench_engines(c: &mut Criterion) {
             UvmCosts::default(),
             256,
         );
-        driver.alloc_object(ObjectId(0), Va(0x1000_0000), 4096 * 4096, |_| DeviceId::Host);
+        driver
+            .alloc_object(ObjectId(0), Va(0x1000_0000), 4096 * 4096, |_| {
+                DeviceId::Host
+            })
+            .expect("fresh allocation");
         let mut fabric = Fabric::new(4, FabricConfig::default());
         let mut i = 0u64;
-        b.iter(|| {
+        bench("driver/handle_fault_migrate", || {
             i = (i + 1) % 4096;
             let vpn = Va(0x1000_0000 + i * 4096).vpn(PageSize::Small4K);
             let f = PageFault::far(
@@ -153,10 +160,17 @@ fn bench_engines(c: &mut Criterion) {
                 vpn,
                 AccessKind::Write,
             );
-            black_box(driver.handle_fault(Time::ZERO, &f, &mut fabric).latency)
-        })
-    });
+            black_box(
+                driver
+                    .handle_fault(Time::ZERO, &f, &mut fabric)
+                    .expect("fault resolves")
+                    .latency,
+            )
+        });
+    }
 }
 
-criterion_group!(benches, bench_structures, bench_engines);
-criterion_main!(benches);
+fn main() {
+    bench_structures();
+    bench_engines();
+}

@@ -8,7 +8,9 @@ use oasis_workloads::{WorkloadParams, ALL_APPS};
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "FFT".into());
     let small = std::env::args().nth(2).is_some();
-    let fp_override: Option<u64> = std::env::var("FOOTPRINT_MB").ok().and_then(|v| v.parse().ok());
+    let fp_override: Option<u64> = std::env::var("FOOTPRINT_MB")
+        .ok()
+        .and_then(|v| v.parse().ok());
     let app = *ALL_APPS
         .iter()
         .find(|a| a.abbr().eq_ignore_ascii_case(&name))
@@ -45,7 +47,17 @@ fn main() {
     let cells = run_matrix(&args);
     println!(
         "{:<16} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
-        "policy", "time(ms)", "farF", "protF", "migr", "ctrMigr", "dup", "collapse", "rmaps", "remoteAcc", "localAcc"
+        "policy",
+        "time(ms)",
+        "farF",
+        "protF",
+        "migr",
+        "ctrMigr",
+        "dup",
+        "collapse",
+        "rmaps",
+        "remoteAcc",
+        "localAcc"
     );
     for c in &cells {
         let r = &c.report;

@@ -63,17 +63,37 @@ fn main() {
                 .collect::<Vec<_>>(),
         )
     };
-    println!("oasis vs on-touch      : {:+.1}% (paper +64%)", (gm("oasis", "on-touch") - 1.0) * 100.0);
-    println!("oasis vs access-counter: {:+.1}% (paper +35%)", (gm("oasis", "access-counter") - 1.0) * 100.0);
-    println!("oasis vs duplication   : {:+.1}% (paper +42%)", (gm("oasis", "duplication") - 1.0) * 100.0);
-    println!("oasis vs grit          : {:+.1}% (paper +12%)", (gm("oasis", "grit") - 1.0) * 100.0);
-    println!("inmem vs oasis         : {:+.1}% (paper ~-2%)", (gm("oasis-inmem", "oasis") - 1.0) * 100.0);
+    println!(
+        "oasis vs on-touch      : {:+.1}% (paper +64%)",
+        (gm("oasis", "on-touch") - 1.0) * 100.0
+    );
+    println!(
+        "oasis vs access-counter: {:+.1}% (paper +35%)",
+        (gm("oasis", "access-counter") - 1.0) * 100.0
+    );
+    println!(
+        "oasis vs duplication   : {:+.1}% (paper +42%)",
+        (gm("oasis", "duplication") - 1.0) * 100.0
+    );
+    println!(
+        "oasis vs grit          : {:+.1}% (paper +12%)",
+        (gm("oasis", "grit") - 1.0) * 100.0
+    );
+    println!(
+        "inmem vs oasis         : {:+.1}% (paper ~-2%)",
+        (gm("oasis-inmem", "oasis") - 1.0) * 100.0
+    );
 
     // Fault counts (Fig. 24 shape).
     let faults = |p: &str| -> u64 {
         args.apps
             .iter()
-            .map(|a| oasis_bench::runner::find(&cells, *a, p).report.uvm.total_faults())
+            .map(|a| {
+                oasis_bench::runner::find(&cells, *a, p)
+                    .report
+                    .uvm
+                    .total_faults()
+            })
             .sum()
     };
     let (fo, fg) = (faults("oasis"), faults("grit"));

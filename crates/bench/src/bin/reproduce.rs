@@ -19,24 +19,52 @@ fn main() {
 
     step("table1", &mut || println!("{}", motivation::table1()));
     step("table2", &mut || println!("{}", motivation::table2()));
-    step("table3", &mut || motivation::table3().emit("table3_footprints"));
-    step("fig02", &mut || motivation::fig02(profile).emit("fig02_uniform_policies"));
-    step("fig03", &mut || motivation::fig03().emit("fig03_object_sizes"));
+    step("table3", &mut || {
+        motivation::table3().emit("table3_footprints")
+    });
+    step("fig02", &mut || {
+        motivation::fig02(profile).emit("fig02_uniform_policies")
+    });
+    step("fig03", &mut || {
+        motivation::fig03().emit("fig03_object_sizes")
+    });
     step("fig04", &mut || println!("{}", motivation::fig04()));
     step("fig05", &mut || println!("{}", motivation::fig05()));
     step("fig06", &mut || println!("{}", motivation::fig06()));
     step("fig07", &mut || println!("{}", motivation::fig07()));
-    step("fig15", &mut || evaluation::fig15(profile).emit("fig15_overall"));
-    step("fig16", &mut || evaluation::fig16(profile).emit("fig16_reset_threshold"));
-    step("fig17", &mut || evaluation::fig17(profile).emit("fig17_gpu_count"));
-    step("fig18", &mut || evaluation::fig18(profile).emit("fig18_input_size"));
-    step("fig19", &mut || evaluation::fig19(profile).emit("fig19_large_pages"));
-    step("fig20", &mut || motivation::fig20().emit("fig20_page_types"));
-    step("fig21", &mut || evaluation::fig21(profile).emit("fig21_placement"));
-    step("fig22", &mut || evaluation::fig22(profile).emit("fig22_vs_grit"));
-    step("fig23", &mut || evaluation::fig23(profile).emit("fig23_policy_mix"));
-    step("fig24", &mut || evaluation::fig24(profile).emit("fig24_faults"));
-    step("fig25", &mut || evaluation::fig25(profile).emit("fig25_oversubscription"));
+    step("fig15", &mut || {
+        evaluation::fig15(profile).emit("fig15_overall")
+    });
+    step("fig16", &mut || {
+        evaluation::fig16(profile).emit("fig16_reset_threshold")
+    });
+    step("fig17", &mut || {
+        evaluation::fig17(profile).emit("fig17_gpu_count")
+    });
+    step("fig18", &mut || {
+        evaluation::fig18(profile).emit("fig18_input_size")
+    });
+    step("fig19", &mut || {
+        evaluation::fig19(profile).emit("fig19_large_pages")
+    });
+    step("fig20", &mut || {
+        motivation::fig20().emit("fig20_page_types")
+    });
+    step("fig21", &mut || {
+        evaluation::fig21(profile).emit("fig21_placement")
+    });
+    step("fig22", &mut || {
+        evaluation::fig22(profile).emit("fig22_vs_grit")
+    });
+    step("fig23", &mut || {
+        evaluation::fig23(profile).emit("fig23_policy_mix")
+    });
+    step("fig24", &mut || {
+        evaluation::fig24(profile).emit("fig24_faults")
+    });
+    step("fig25", &mut || {
+        evaluation::fig25(profile).emit("fig25_oversubscription")
+    });
 
     eprintln!(
         "All experiments reproduced in {:.1}s; CSVs in results/",

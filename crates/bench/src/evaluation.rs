@@ -283,8 +283,7 @@ pub fn fig25(profile: Profile) -> FigureTable {
     );
     for app in ALL_APPS {
         let params: WorkloadParams = profile.params(app, 4);
-        let config = SystemConfig::default()
-            .with_oversubscription(params.footprint_bytes(), 150);
+        let config = SystemConfig::default().with_oversubscription(params.footprint_bytes(), 150);
         let args = MatrixArgs {
             config,
             apps: vec![app],

@@ -1,7 +1,7 @@
 //! Motivation & characterization experiments: Tables I–III, Figs. 2–7, 20.
 
 use oasis_mem::types::PageSize;
-use oasis_mgpu::characterize::{profile, page_type_mix, RwPattern, Scope, SharePattern};
+use oasis_mgpu::characterize::{page_type_mix, profile, RwPattern, Scope, SharePattern};
 use oasis_mgpu::{Policy, SystemConfig};
 use oasis_workloads::{generate, App, ALL_APPS};
 
@@ -15,17 +15,80 @@ pub fn table1() -> String {
     let c = SystemConfig::default();
     let mut out = String::from("## Table I: baseline multi-GPU configuration\n");
     let rows = [
-        ("Compute model".to_string(), format!("{} GHz, {} lanes/GPU (trace-level)", c.clock_ghz, c.lanes_per_gpu)),
+        (
+            "Compute model".to_string(),
+            format!(
+                "{} GHz, {} lanes/GPU (trace-level)",
+                c.clock_ghz, c.lanes_per_gpu
+            ),
+        ),
         ("GPUs".to_string(), format!("{}", c.gpu_count)),
-        ("L1 TLB".to_string(), format!("{} entries, {}-way, {} cy", c.l1_tlb.0, c.l1_tlb.1, c.l1_tlb_cycles)),
-        ("L2 TLB".to_string(), format!("{} entries, {}-way, {} cy", c.l2_tlb.0, c.l2_tlb.1, c.l2_tlb_cycles)),
-        ("GMMU page walk".to_string(), format!("{} cy", c.page_walk_cycles)),
-        ("L2 cache".to_string(), format!("{} KB, {}-way, {} B lines", c.l2_cache.0 / 1024, c.l2_cache.1, c.l2_cache.2)),
-        ("DRAM".to_string(), format!("{} ns, {} GB/s", c.dram_latency.as_ns(), c.dram_bytes_per_sec / 1_000_000_000)),
-        ("Inter-GPU network".to_string(), format!("{} GB/s NVLink-v2, {} ns", c.fabric.nvlink_bytes_per_sec / 1_000_000_000, c.fabric.nvlink_latency.as_ns())),
-        ("CPU-GPU network".to_string(), format!("{} GB/s PCIe-v4, {:.1} us", c.fabric.pcie_bytes_per_sec / 1_000_000_000, c.fabric.pcie_latency.as_us())),
-        ("Access counter threshold".to_string(), format!("{} per 64 KB group (x{} sampling weight)", c.counter_threshold, c.counter_weight)),
-        ("Far fault".to_string(), format!("{:.0} us base, {:.1} us service", c.uvm_costs.far_fault_base.as_us(), c.uvm_costs.fault_service.as_us())),
+        (
+            "L1 TLB".to_string(),
+            format!(
+                "{} entries, {}-way, {} cy",
+                c.l1_tlb.0, c.l1_tlb.1, c.l1_tlb_cycles
+            ),
+        ),
+        (
+            "L2 TLB".to_string(),
+            format!(
+                "{} entries, {}-way, {} cy",
+                c.l2_tlb.0, c.l2_tlb.1, c.l2_tlb_cycles
+            ),
+        ),
+        (
+            "GMMU page walk".to_string(),
+            format!("{} cy", c.page_walk_cycles),
+        ),
+        (
+            "L2 cache".to_string(),
+            format!(
+                "{} KB, {}-way, {} B lines",
+                c.l2_cache.0 / 1024,
+                c.l2_cache.1,
+                c.l2_cache.2
+            ),
+        ),
+        (
+            "DRAM".to_string(),
+            format!(
+                "{} ns, {} GB/s",
+                c.dram_latency.as_ns(),
+                c.dram_bytes_per_sec / 1_000_000_000
+            ),
+        ),
+        (
+            "Inter-GPU network".to_string(),
+            format!(
+                "{} GB/s NVLink-v2, {} ns",
+                c.fabric.nvlink_bytes_per_sec / 1_000_000_000,
+                c.fabric.nvlink_latency.as_ns()
+            ),
+        ),
+        (
+            "CPU-GPU network".to_string(),
+            format!(
+                "{} GB/s PCIe-v4, {:.1} us",
+                c.fabric.pcie_bytes_per_sec / 1_000_000_000,
+                c.fabric.pcie_latency.as_us()
+            ),
+        ),
+        (
+            "Access counter threshold".to_string(),
+            format!(
+                "{} per 64 KB group (x{} sampling weight)",
+                c.counter_threshold, c.counter_weight
+            ),
+        ),
+        (
+            "Far fault".to_string(),
+            format!(
+                "{:.0} us base, {:.1} us service",
+                c.uvm_costs.far_fault_base.as_us(),
+                c.uvm_costs.fault_service.as_us()
+            ),
+        ),
         ("Page size".to_string(), format!("{}", c.page_size)),
     ];
     for (k, v) in rows {
@@ -113,7 +176,12 @@ pub fn fig02(profile: Profile) -> FigureTable {
 pub fn fig03() -> FigureTable {
     let mut t = FigureTable::new(
         "Fig. 3: object size distribution (4 KiB pages per object)",
-        vec!["min".into(), "median".into(), "max".into(), "%1-page".into()],
+        vec![
+            "min".into(),
+            "median".into(),
+            "max".into(),
+            "%1-page".into(),
+        ],
     );
     t.decimals = 1;
     for app in ALL_APPS {
@@ -176,7 +244,11 @@ pub fn fig04() -> String {
     }
     out.push('\n');
     for i in 0..8 {
-        let iv = profile(&trace, PageSize::Small4K, Scope::Interval { index: i, of: 8 });
+        let iv = profile(
+            &trace,
+            PageSize::Small4K,
+            Scope::Interval { index: i, of: 8 },
+        );
         out.push_str(&format!("{i:<10}"));
         for (idx, p) in whole.iter().enumerate() {
             if p.accesses == 0 {
@@ -191,8 +263,7 @@ pub fn fig04() -> String {
 
 /// Fig. 5: object behaviour and access share for I2C, MM, ST.
 pub fn fig05() -> String {
-    let mut out =
-        String::from("## Fig. 5: object behaviour (pattern, pages, % of accesses)\n");
+    let mut out = String::from("## Fig. 5: object behaviour (pattern, pages, % of accesses)\n");
     for app in [App::I2c, App::Mm, App::St] {
         let trace = generate(app, &Profile::Full.params(app, 4));
         let profiles = profile(&trace, PageSize::Small4K, Scope::Whole);
@@ -264,15 +335,19 @@ pub fn fig06() -> String {
 pub fn fig07() -> String {
     let trace = generate(App::St, &Profile::Full.params(App::St, 4));
     let iters = oasis_workloads::apps::st::ITERATIONS;
-    let mut out = String::from(
-        "## Fig. 7: ST buffer read/write alternation across iterations\n",
-    );
-    out.push_str(&format!("{:<10} {:>12} {:>12}\n", "interval", "ST_Data1", "ST_Data2"));
+    let mut out = String::from("## Fig. 7: ST buffer read/write alternation across iterations\n");
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>12}\n",
+        "interval", "ST_Data1", "ST_Data2"
+    ));
     for i in 0..iters {
         let iv = profile(
             &trace,
             PageSize::Small4K,
-            Scope::Interval { index: i, of: iters },
+            Scope::Interval {
+                index: i,
+                of: iters,
+            },
         );
         out.push_str(&format!(
             "{:<10} {:>12} {:>12}\n",

@@ -1,0 +1,110 @@
+//! Minimal wall-clock timing harness for the `cargo bench` targets.
+//!
+//! The build environment is offline, so instead of criterion the bench
+//! targets use this ~80-line harness: auto-calibrated batch sizes, a few
+//! samples, median-of-samples reporting. It measures honestly but makes no
+//! statistical claims beyond that — for publication-grade numbers, rerun
+//! the same closures under a full harness.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target duration for one measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(10);
+/// Samples taken per benchmark (median reported).
+const SAMPLES: usize = 7;
+
+/// One benchmark's result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub best_ns: f64,
+    /// Iterations per measured batch (after calibration).
+    pub batch: u64,
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<40} {:>12.1} ns/iter (best {:>10.1}, {} iters/batch)",
+            self.name, self.median_ns, self.best_ns, self.batch
+        )
+    }
+}
+
+/// Times `f`, printing and returning the measurement.
+///
+/// Calibrates a batch size so one batch runs for roughly
+/// [`BATCH_TARGET`], then takes [`SAMPLES`] batches and reports the
+/// median per-iteration time.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    // Calibrate: double the batch until it takes long enough to time.
+    let mut batch = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= BATCH_TARGET || batch >= 1 << 28 {
+            break;
+        }
+        // Jump close to the target, never more than 16x at once.
+        let factor = (BATCH_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+        batch = (batch * (factor as u64).clamp(2, 16)).min(1 << 28);
+    }
+
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            start.elapsed().as_secs_f64() * 1e9 / batch as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+
+    let m = Measurement {
+        name: name.to_string(),
+        median_ns: per_iter[SAMPLES / 2],
+        best_ns: per_iter[0],
+        batch,
+    };
+    println!("{m}");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut acc = 0u64;
+        let m = bench("test/add", || {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        assert!(m.median_ns > 0.0);
+        assert!(m.best_ns <= m.median_ns);
+        assert!(m.batch >= 1);
+    }
+
+    #[test]
+    fn display_carries_the_name() {
+        let m = Measurement {
+            name: "x/y".into(),
+            median_ns: 12.5,
+            best_ns: 10.0,
+            batch: 1024,
+        };
+        assert!(m.to_string().contains("x/y"));
+    }
+}

@@ -19,6 +19,7 @@ COMMANDS:
     run           simulate one app under one policy and print the report
     compare       simulate one app under every policy
     characterize  print per-object access patterns of an app's trace
+    inject        run the deterministic fault-injection campaign
     help          show this text
 
 OPTIONS:
@@ -33,7 +34,8 @@ OPTIONS:
     --placement <host|striped>  initial page placement    [default: host]
     --oversubscribe <PCT>   cap GPU memory for PCT% oversubscription
     --reset-threshold <N>   OASIS reset threshold         [default: 8]
-    --seed <N>              workload RNG seed
+    --seed <N>              workload RNG seed; for inject, the campaign's
+                            master seed (same seed, same output)
     --json                  machine-readable output (run command only)
 
 EXAMPLES:
@@ -41,6 +43,7 @@ EXAMPLES:
     oasis-sim compare --app ST --gpus 8
     oasis-sim characterize --app C2D
     oasis-sim run --app BFS --policy oasis --oversubscribe 150 --json
+    oasis-sim inject --seed 42
 ";
 
 /// Subcommand.
@@ -52,6 +55,8 @@ pub enum Command {
     Compare,
     /// Trace characterization.
     Characterize,
+    /// Deterministic fault-injection campaign.
+    Inject,
     /// Usage text.
     Help,
 }
@@ -137,6 +142,7 @@ impl Cli {
             Some("run") => Command::Run,
             Some("compare") => Command::Compare,
             Some("characterize") => Command::Characterize,
+            Some("inject") => Command::Inject,
             Some("help") | Some("--help") | Some("-h") | None => Command::Help,
             Some(other) => return Err(ParseError(format!("unknown command '{other}'"))),
         };
@@ -322,10 +328,19 @@ mod tests {
     #[test]
     fn errors_are_descriptive() {
         assert!(parse(&["frobnicate"]).unwrap_err().0.contains("command"));
-        assert!(parse(&["run", "--app", "NOPE"]).unwrap_err().0.contains("app"));
-        assert!(parse(&["run", "--policy", "magic"]).unwrap_err().0.contains("policy"));
+        assert!(parse(&["run", "--app", "NOPE"])
+            .unwrap_err()
+            .0
+            .contains("app"));
+        assert!(parse(&["run", "--policy", "magic"])
+            .unwrap_err()
+            .0
+            .contains("policy"));
         assert!(parse(&["run", "--gpus"]).unwrap_err().0.contains("value"));
-        assert!(parse(&["run", "--gpus", "0"]).unwrap_err().0.contains("positive"));
+        assert!(parse(&["run", "--gpus", "0"])
+            .unwrap_err()
+            .0
+            .contains("positive"));
         assert!(parse(&["run", "--oversubscribe", "90"])
             .unwrap_err()
             .0

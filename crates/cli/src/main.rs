@@ -4,8 +4,10 @@
 //! oasis-sim run --app MM --policy duplication
 //! oasis-sim compare --app ST --gpus 8
 //! oasis-sim characterize --app C2D
+//! oasis-sim inject --seed 42
 //! ```
 
+use std::io::Write;
 use std::process::ExitCode;
 
 use oasis_cli::{run, Cli};
@@ -13,7 +15,11 @@ use oasis_cli::{run, Cli};
 fn main() -> ExitCode {
     match Cli::parse(std::env::args().skip(1)) {
         Ok(cli) => {
-            println!("{}", run(&cli));
+            // A closed pipe (`oasis-sim ... | head`) is a normal way to
+            // consume the output, not an error worth panicking over.
+            if writeln!(std::io::stdout(), "{}", run(&cli)).is_err() {
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

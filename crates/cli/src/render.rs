@@ -11,10 +11,18 @@ use oasis_workloads::Trace;
 pub fn report_text(r: &RunReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{} under {}", r.app, r.policy);
-    let _ = writeln!(out, "  simulated time     {:>12.3} ms", r.total_time.as_us() / 1000.0);
+    let _ = writeln!(
+        out,
+        "  simulated time     {:>12.3} ms",
+        r.total_time.as_us() / 1000.0
+    );
     let _ = writeln!(out, "  kernel launches    {:>12}", r.phases);
     let _ = writeln!(out, "  transactions       {:>12}", r.accesses);
-    let _ = writeln!(out, "  local / remote     {:>12} / {}", r.local_accesses, r.remote_accesses);
+    let _ = writeln!(
+        out,
+        "  local / remote     {:>12} / {}",
+        r.local_accesses, r.remote_accesses
+    );
     let _ = writeln!(out, "  far faults         {:>12}", r.uvm.far_faults);
     let _ = writeln!(out, "  protection faults  {:>12}", r.uvm.protection_faults);
     let _ = writeln!(out, "  migrations         {:>12}", r.uvm.migrations);
@@ -24,7 +32,12 @@ pub fn report_text(r: &RunReport) -> String {
     let _ = writeln!(out, "  remote maps        {:>12}", r.uvm.remote_maps);
     let _ = writeln!(out, "  evictions          {:>12}", r.uvm.evictions);
     let _ = writeln!(out, "  thrash pins        {:>12}", r.uvm.thrash_pins);
-    let _ = writeln!(out, "  NVLink / PCIe      {:>9} KB / {} KB", r.nvlink_bytes / 1024, r.pcie_bytes / 1024);
+    let _ = writeln!(
+        out,
+        "  NVLink / PCIe      {:>9} KB / {} KB",
+        r.nvlink_bytes / 1024,
+        r.pcie_bytes / 1024
+    );
     let (h1, m1) = r.l1_tlb;
     let (h2, m2) = r.l2_tlb;
     let _ = writeln!(
@@ -74,7 +87,11 @@ pub fn report_json(r: &RunReport) -> String {
     let _ = writeln!(out, "  \"far_faults\": {},", r.uvm.far_faults);
     let _ = writeln!(out, "  \"protection_faults\": {},", r.uvm.protection_faults);
     let _ = writeln!(out, "  \"migrations\": {},", r.uvm.migrations);
-    let _ = writeln!(out, "  \"counter_migrations\": {},", r.uvm.counter_migrations);
+    let _ = writeln!(
+        out,
+        "  \"counter_migrations\": {},",
+        r.uvm.counter_migrations
+    );
     let _ = writeln!(out, "  \"duplications\": {},", r.uvm.duplications);
     let _ = writeln!(out, "  \"collapses\": {},", r.uvm.collapses);
     let _ = writeln!(out, "  \"remote_maps\": {},", r.uvm.remote_maps);
@@ -152,7 +169,11 @@ pub fn characterization_text(trace: &Trace, page: PageSize) -> String {
             share,
             rw,
             pct(p.accesses, total),
-            if p.is_non_uniform() { "  [non-uniform]" } else { "" }
+            if p.is_non_uniform() {
+                "  [non-uniform]"
+            } else {
+                ""
+            }
         );
     }
     out

@@ -21,6 +21,7 @@
 //! fault, oscillate between those two as relearning dictates, and never
 //! return to on-touch.
 
+use oasis_engine::error::SimResult;
 use oasis_engine::Duration;
 use oasis_mem::page::PolicyBits;
 use oasis_mem::types::{DeviceId, ObjectId, Va};
@@ -261,6 +262,10 @@ impl PolicyEngine for OasisController {
         let mask = (1u32 << self.core.config.id_bits) - 1;
         self.core.otable.remove(obj.0 & mask as u16);
     }
+
+    fn check_invariants(&self) -> SimResult<()> {
+        self.core.otable.check_invariants()
+    }
 }
 
 #[cfg(test)]
@@ -272,7 +277,9 @@ mod tests {
 
     fn state_with(owner: DeviceId, vpn: Vpn) -> MemState {
         let mut s = MemState::new(4, PageSize::Small4K, None);
-        s.host_table.register(vpn, HostEntry::new_at(owner));
+        s.host_table
+            .register(vpn, HostEntry::new_at(owner))
+            .expect("fresh page");
         s
     }
 
@@ -302,7 +309,10 @@ mod tests {
         let s = state_with(DeviceId::Gpu(GpuId(1)), Vpn(5));
         let d = c.resolve(&far(0, 2, 5, AccessKind::Read), &s);
         assert_eq!(d.resolution, Resolution::Duplicate);
-        assert_eq!(c.otable().peek(2).unwrap().policy, PolicyChoice::Duplication);
+        assert_eq!(
+            c.otable().peek(2).unwrap().policy,
+            PolicyChoice::Duplication
+        );
         assert_eq!(c.stats().policy_learns, 1);
     }
 
@@ -418,7 +428,10 @@ mod tests {
         let s = state_with(DeviceId::Gpu(GpuId(1)), Vpn(5));
         c.resolve(&far(0, 1, 5, AccessKind::Read), &s);
         c.resolve(&far(0, 2, 5, AccessKind::Write), &s);
-        assert_eq!(c.otable().peek(1).unwrap().policy, PolicyChoice::Duplication);
+        assert_eq!(
+            c.otable().peek(1).unwrap().policy,
+            PolicyChoice::Duplication
+        );
         assert_eq!(
             c.otable().peek(2).unwrap().policy,
             PolicyChoice::AccessCounter

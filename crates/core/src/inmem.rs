@@ -17,6 +17,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use oasis_engine::error::SimResult;
 use oasis_engine::Duration;
 use oasis_mem::types::{ObjectId, Va};
 use oasis_uvm::driver::MemState;
@@ -85,11 +86,7 @@ impl ShadowMap {
     /// slot was traversed (for the LLC warmth model).
     pub fn lookup(&self, va: Va) -> (Option<u16>, u64) {
         let (l1, l2) = Self::indices(va);
-        let id = self
-            .l1
-            .get(&l1)
-            .map(|t| t[l2])
-            .filter(|&id| id != NO_OBJ);
+        let id = self.l1.get(&l1).map(|t| t[l2]).filter(|&id| id != NO_OBJ);
         (id, l1)
     }
 
@@ -255,6 +252,10 @@ impl PolicyEngine for OasisInMem {
         }
         self.core.otable.remove(obj.0);
     }
+
+    fn check_invariants(&self) -> SimResult<()> {
+        self.core.otable.check_invariants()
+    }
 }
 
 #[cfg(test)]
@@ -299,23 +300,21 @@ mod tests {
         assert_eq!(m.l2_tables(), 0);
         m.set_range(Va(0x1000_0000), 4096, 1);
         assert_eq!(m.l2_tables(), 1);
-        assert_eq!(
-            m.modelled_bytes(),
-            128 * 1024 * 1024 + (1 << 12) * 2
-        );
+        assert_eq!(m.modelled_bytes(), 128 * 1024 * 1024 + (1 << 12) * 2);
     }
 
     fn shared_state(vpn: Vpn) -> MemState {
         let mut s = MemState::new(4, PageSize::Small4K, None);
         s.host_table
-            .register(vpn, HostEntry::new_at(DeviceId::Gpu(GpuId(1))));
+            .register(vpn, HostEntry::new_at(DeviceId::Gpu(GpuId(1))))
+            .expect("fresh page");
         s
     }
 
     #[test]
     fn inmem_learns_like_hardware_but_charges_latency() {
         let mut c = OasisInMem::new();
-        c.on_alloc(ObjectId(300), Va(0x1000_0000), 64 * 4096, );
+        c.on_alloc(ObjectId(300), Va(0x1000_0000), 64 * 4096);
         let s = shared_state(Vpn(0x1000_0000 >> 12));
         let f = PageFault::far(
             GpuId(0),
@@ -339,11 +338,7 @@ mod tests {
         let mut c = OasisInMem::new();
         // 300 objects — far beyond the 4-bit pointer encoding.
         for i in 0..300u16 {
-            c.on_alloc(
-                ObjectId(i),
-                Va(0x1000_0000 + i as u64 * 0x20_0000),
-                4096,
-            );
+            c.on_alloc(ObjectId(i), Va(0x1000_0000 + i as u64 * 0x20_0000), 4096);
         }
         let s = shared_state(Vpn((0x1000_0000 + 299 * 0x20_0000) >> 12));
         let f = PageFault::far(
@@ -363,7 +358,8 @@ mod tests {
         c.on_alloc(ObjectId(0), Va(0x1000_0000), 4096);
         let mut s = MemState::new(4, PageSize::Small4K, None);
         s.host_table
-            .register(Vpn(0x1000_0000 >> 12), HostEntry::new_on_host());
+            .register(Vpn(0x1000_0000 >> 12), HostEntry::new_on_host())
+            .expect("fresh page");
         let f = PageFault::far(
             GpuId(0),
             Va(0x1000_0000),

@@ -8,6 +8,8 @@
 //! because it is the default policy handled by the host-page-table filter;
 //! the O-Table only ever chooses between duplication and access-counter.
 
+use oasis_engine::error::{SimError, SimResult};
+
 /// The single policy bit of an O-Table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PolicyChoice {
@@ -119,14 +121,16 @@ impl OTable {
             return &mut self.entries[pos];
         }
         if self.entries.len() == self.capacity {
-            let (lru_pos, _) = self
+            // Capacity is validated > 0, so a full table has a minimum.
+            if let Some((lru_pos, _)) = self
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.lru_stamp)
-                .expect("full table is nonempty");
-            self.entries.swap_remove(lru_pos);
-            self.evictions += 1;
+            {
+                self.entries.swap_remove(lru_pos);
+                self.evictions += 1;
+            }
         }
         self.entries.push(OTableEntry::new(obj, stamp));
         let last = self.entries.len() - 1;
@@ -191,6 +195,51 @@ impl OTable {
     /// accounting (4 Obj_ID + 1 policy + 3 PF + 4 LRU).
     pub fn storage_bits(&self) -> usize {
         self.capacity * 12
+    }
+
+    /// Validates the table's LRU well-formedness for the sim-guard runtime
+    /// checker: occupancy within capacity, no duplicate object ids, no
+    /// duplicate LRU stamps, and no stamp from the future.
+    pub fn check_invariants(&self) -> SimResult<()> {
+        if self.entries.len() > self.capacity {
+            return Err(SimError::invariant(
+                "otable-capacity",
+                format!(
+                    "{} entries exceed capacity {}",
+                    self.entries.len(),
+                    self.capacity
+                ),
+            ));
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.lru_stamp > self.stamp {
+                return Err(SimError::invariant(
+                    "otable-lru",
+                    format!(
+                        "entry for obj {} stamped {} > clock {}",
+                        e.obj, e.lru_stamp, self.stamp
+                    ),
+                ));
+            }
+            for other in &self.entries[i + 1..] {
+                if other.obj == e.obj {
+                    return Err(SimError::invariant(
+                        "otable-lru",
+                        format!("obj {} appears in two entries", e.obj),
+                    ));
+                }
+                if other.lru_stamp == e.lru_stamp {
+                    return Err(SimError::invariant(
+                        "otable-lru",
+                        format!(
+                            "objs {} and {} share LRU stamp {} (victim selection ambiguous)",
+                            e.obj, other.obj, e.lru_stamp
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -300,5 +349,19 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         OTable::with_capacity(0);
+    }
+
+    #[test]
+    fn invariants_hold_through_churn_and_catch_corruption() {
+        let mut t = OTable::with_capacity(4);
+        for i in 0..40 {
+            t.lookup_or_insert(i % 7);
+            t.check_invariants().expect("well-formed through churn");
+        }
+        // Corrupt: duplicate object id.
+        let mut bad = t.clone();
+        let obj = bad.lookup_or_insert(0).obj;
+        bad.entries.push(OTableEntry::new(obj, 1));
+        assert!(bad.check_invariants().is_err());
     }
 }

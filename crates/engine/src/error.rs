@@ -1,0 +1,318 @@
+//! Typed error taxonomy for the whole simulator.
+//!
+//! Every layer of the stack reports failures through [`SimError`] rather than
+//! aborting the process: the memory subsystem raises [`TableError`]s, the UVM
+//! driver raises [`FaultError`]/[`MigrationError`]/[`EvictionError`]s, trace
+//! loading raises [`TraceError`]s, and the sim-guard invariant checker raises
+//! [`InvariantViolation`]s. The taxonomy lives in the engine crate — the one
+//! crate everything else depends on — so variants carry primitive payloads
+//! (raw VPNs, GPU indices) instead of higher-layer types.
+//!
+//! At the driver boundary an [`ErrorPolicy`] decides what a failure does to
+//! the run: `FailFast` propagates it (the right mode for tests and
+//! debugging), `RecordAndContinue` logs it and keeps simulating (the right
+//! mode for long batch runs where one malformed access should not burn the
+//! whole experiment).
+
+use std::fmt;
+
+/// Shorthand for a fallible simulator operation.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// What the simulation boundary does when a [`SimError`] surfaces mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Abort the run and return the error to the caller. Default; the mode
+    /// tests and fault-injection campaigns want.
+    #[default]
+    FailFast,
+    /// Record the error (counted, first few kept verbatim), skip the
+    /// offending access, and keep simulating.
+    RecordAndContinue,
+}
+
+/// Top-level simulator error: one variant per layer of the stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Page-fault handling failed.
+    Fault(FaultError),
+    /// A migration / duplication / collapse mechanic failed.
+    Migration(MigrationError),
+    /// Oversubscription eviction failed.
+    Eviction(EvictionError),
+    /// A page-table or O-Table operation failed.
+    Table(TableError),
+    /// The input trace is malformed.
+    Trace(TraceError),
+    /// The sim-guard runtime invariant checker found divergent state.
+    Invariant(InvariantViolation),
+}
+
+/// Errors raised while servicing a page fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A GPU faulted on a page the host driver has no registration for
+    /// (e.g. a trace touching freed or never-allocated memory).
+    UnregisteredPage {
+        /// Faulting virtual page number.
+        vpn: u64,
+        /// Faulting GPU index.
+        gpu: u8,
+    },
+    /// Repeated fault-and-retry on one access never produced a valid
+    /// translation.
+    Unresolvable {
+        /// Faulting virtual page number.
+        vpn: u64,
+        /// Faulting GPU index.
+        gpu: u8,
+        /// How many service rounds were attempted.
+        rounds: u32,
+    },
+    /// A fault named a GPU outside the system.
+    NoSuchGpu {
+        /// The out-of-range GPU index.
+        gpu: u8,
+        /// Number of GPUs actually present.
+        gpu_count: usize,
+    },
+}
+
+/// Errors raised by the migration / duplication / collapse mechanics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationError {
+    /// The host-table entry for a page vanished mid-mechanic.
+    SourceMissing {
+        /// The page being moved.
+        vpn: u64,
+    },
+    /// A mechanic needed the page resident on a specific GPU but the local
+    /// page table disagrees.
+    ResidencyMismatch {
+        /// The page in question.
+        vpn: u64,
+        /// The GPU expected to hold it.
+        gpu: u8,
+    },
+}
+
+/// Errors raised by oversubscription eviction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvictionError {
+    /// The LRU victim chosen by the frame allocator has no host-table
+    /// registration — allocator and host table have diverged.
+    VictimUnregistered {
+        /// The victim page.
+        vpn: u64,
+        /// The GPU evicting it.
+        gpu: u8,
+    },
+}
+
+/// Errors raised by page-table / O-Table bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// `register` called twice for the same page (overlapping allocations).
+    DoubleRegistration {
+        /// The page registered twice.
+        vpn: u64,
+    },
+    /// A lookup expected an entry that is not there.
+    MissingEntry {
+        /// The missing page.
+        vpn: u64,
+    },
+}
+
+/// Errors raised while loading or replaying a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// An access named an object id that was never allocated.
+    UnknownObject {
+        /// The unknown object id.
+        object: u16,
+    },
+    /// An access offset falls outside its object.
+    OffsetOutOfRange {
+        /// The object accessed.
+        object: u16,
+        /// The out-of-range byte offset.
+        offset: u64,
+        /// The object's size in bytes.
+        size: u64,
+    },
+    /// An access named a GPU outside the configured system.
+    GpuOutOfRange {
+        /// The out-of-range GPU index.
+        gpu: usize,
+        /// Number of GPUs configured.
+        gpu_count: usize,
+    },
+}
+
+/// A failed sim-guard check: which invariant, and what state broke it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Short name of the invariant (e.g. `"owner-holds-frame"`).
+    pub check: &'static str,
+    /// Human-readable description of the divergent state.
+    pub detail: String,
+}
+
+impl SimError {
+    /// Convenience constructor for an invariant violation.
+    pub fn invariant(check: &'static str, detail: impl Into<String>) -> Self {
+        SimError::Invariant(InvariantViolation {
+            check,
+            detail: detail.into(),
+        })
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Fault(e) => write!(f, "fault error: {e}"),
+            SimError::Migration(e) => write!(f, "migration error: {e}"),
+            SimError::Eviction(e) => write!(f, "eviction error: {e}"),
+            SimError::Table(e) => write!(f, "table error: {e}"),
+            SimError::Trace(e) => write!(f, "trace error: {e}"),
+            SimError::Invariant(v) => write!(f, "invariant violated: {v}"),
+        }
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::UnregisteredPage { vpn, gpu } => {
+                write!(f, "GPU {gpu} faulted on unregistered page {vpn:#x}")
+            }
+            FaultError::Unresolvable { vpn, gpu, rounds } => write!(
+                f,
+                "GPU {gpu} fault on page {vpn:#x} unresolved after {rounds} rounds"
+            ),
+            FaultError::NoSuchGpu { gpu, gpu_count } => {
+                write!(f, "fault names GPU {gpu} but only {gpu_count} exist")
+            }
+        }
+    }
+}
+
+impl fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationError::SourceMissing { vpn } => {
+                write!(f, "page {vpn:#x} disappeared from the host table mid-move")
+            }
+            MigrationError::ResidencyMismatch { vpn, gpu } => {
+                write!(f, "page {vpn:#x} not resident on GPU {gpu} as required")
+            }
+        }
+    }
+}
+
+impl fmt::Display for EvictionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvictionError::VictimUnregistered { vpn, gpu } => write!(
+                f,
+                "eviction victim {vpn:#x} on GPU {gpu} has no host-table entry"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::DoubleRegistration { vpn } => {
+                write!(f, "page {vpn:#x} registered twice")
+            }
+            TableError::MissingEntry { vpn } => {
+                write!(f, "no host-table entry for page {vpn:#x}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnknownObject { object } => {
+                write!(f, "access names unallocated object {object}")
+            }
+            TraceError::OffsetOutOfRange {
+                object,
+                offset,
+                size,
+            } => write!(f, "offset {offset} outside object {object} of {size} bytes"),
+            TraceError::GpuOutOfRange { gpu, gpu_count } => {
+                write!(f, "access names GPU {gpu} but only {gpu_count} configured")
+            }
+        }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<FaultError> for SimError {
+    fn from(e: FaultError) -> Self {
+        SimError::Fault(e)
+    }
+}
+impl From<MigrationError> for SimError {
+    fn from(e: MigrationError) -> Self {
+        SimError::Migration(e)
+    }
+}
+impl From<EvictionError> for SimError {
+    fn from(e: EvictionError) -> Self {
+        SimError::Eviction(e)
+    }
+}
+impl From<TableError> for SimError {
+    fn from(e: TableError) -> Self {
+        SimError::Table(e)
+    }
+}
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+impl From<InvariantViolation> for SimError {
+    fn from(v: InvariantViolation) -> Self {
+        SimError::Invariant(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_layer() {
+        let e = SimError::from(FaultError::UnregisteredPage { vpn: 0x42, gpu: 1 });
+        let s = e.to_string();
+        assert!(s.contains("fault error"), "{s}");
+        assert!(s.contains("0x42"), "{s}");
+
+        let e = SimError::from(TableError::DoubleRegistration { vpn: 7 });
+        assert!(e.to_string().contains("registered twice"));
+
+        let e = SimError::invariant("owner-holds-frame", "page 0x9 owner GPU 2 frame absent");
+        assert!(e.to_string().contains("owner-holds-frame"));
+    }
+
+    #[test]
+    fn error_policy_defaults_to_fail_fast() {
+        assert_eq!(ErrorPolicy::default(), ErrorPolicy::FailFast);
+    }
+}

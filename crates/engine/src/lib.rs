@@ -19,9 +19,16 @@
 //! ```
 
 pub mod channel;
+pub mod error;
 pub mod queue;
+pub mod rng;
 pub mod time;
 
 pub use channel::{Channel, Transfer};
+pub use error::{
+    ErrorPolicy, EvictionError, FaultError, InvariantViolation, MigrationError, SimError,
+    SimResult, TableError, TraceError,
+};
 pub use queue::{Event, EventQueue};
+pub use rng::SimRng;
 pub use time::{Duration, Time};

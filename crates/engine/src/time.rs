@@ -249,10 +249,7 @@ mod tests {
 
     #[test]
     fn transfer_time_zero_bytes_is_zero() {
-        assert_eq!(
-            Duration::for_transfer(0, 1_000_000),
-            Duration::ZERO
-        );
+        assert_eq!(Duration::for_transfer(0, 1_000_000), Duration::ZERO);
     }
 
     #[test]

@@ -1,12 +1,21 @@
-//! Property-based tests for the simulation kernel.
+//! Randomized property tests for the simulation kernel, driven by the
+//! in-tree deterministic [`SimRng`] (the build environment is offline, so no
+//! external property-testing framework is available). Each test sweeps many
+//! seeded cases; a failure message includes the case index so the exact
+//! input can be regenerated.
 
-use oasis_engine::{Channel, Duration, EventQueue, Time};
-use proptest::prelude::*;
+use oasis_engine::{Channel, Duration, EventQueue, SimRng, Time};
 
-proptest! {
-    /// Events always pop in nondecreasing time order, with FIFO ties.
-    #[test]
-    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+const CASES: u64 = 64;
+
+/// Events always pop in nondecreasing time order, with FIFO ties.
+#[test]
+fn event_queue_is_time_ordered() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0xE0E0 + case);
+        let n = rng.gen_range(1..200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+
         let mut q = EventQueue::new();
         for (i, t) in times.iter().enumerate() {
             q.push(Time::from_ps(*t), i);
@@ -15,10 +24,13 @@ proptest! {
         let mut seen_at_time: Vec<usize> = Vec::new();
         let mut last_popped_time = None;
         while let Some(ev) = q.pop() {
-            prop_assert!(ev.time >= last_time);
+            assert!(ev.time >= last_time, "case {case}: time went backwards");
             if last_popped_time == Some(ev.time) {
                 // FIFO tie-break: payload indices at equal times ascend.
-                prop_assert!(seen_at_time.last().is_none_or(|&p| p < ev.payload));
+                assert!(
+                    seen_at_time.last().is_none_or(|&p| p < ev.payload),
+                    "case {case}: FIFO tie-break violated"
+                );
             } else {
                 seen_at_time.clear();
             }
@@ -27,33 +39,46 @@ proptest! {
             last_time = ev.time;
         }
     }
+}
 
-    /// A channel never starts a transfer before the previous one departed,
-    /// and occupancy equals the sum of transfer times.
-    #[test]
-    fn channel_serializes(
-        bw in 1u64..10_000_000_000,
-        sizes in proptest::collection::vec(0u64..1_000_000, 1..50),
-    ) {
+/// A channel never starts a transfer before the previous one departed,
+/// and occupancy equals the sum of transfer times.
+#[test]
+fn channel_serializes() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0xC4A7 + case);
+        let bw = rng.gen_range(1..10_000_000_000);
+        let n = rng.gen_range(1..50) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+
         let mut c = Channel::new(bw, Duration::from_ns(123));
         let mut prev_depart = Time::ZERO;
         let mut expected_busy = Duration::ZERO;
         for s in &sizes {
             let t = c.reserve(Time::ZERO, *s);
-            prop_assert!(t.start >= prev_depart);
-            prop_assert_eq!(t.arrive, t.depart + Duration::from_ns(123));
-            prop_assert!(t.depart >= t.start);
+            assert!(t.start >= prev_depart, "case {case}: overlapping transfers");
+            assert_eq!(t.arrive, t.depart + Duration::from_ns(123), "case {case}");
+            assert!(t.depart >= t.start, "case {case}");
             prev_depart = t.depart;
             expected_busy += Duration::for_transfer(*s, bw);
         }
-        prop_assert_eq!(c.busy_time(), expected_busy);
-        prop_assert_eq!(c.bytes_moved(), sizes.iter().sum::<u64>());
+        assert_eq!(c.busy_time(), expected_busy, "case {case}");
+        assert_eq!(c.bytes_moved(), sizes.iter().sum::<u64>(), "case {case}");
     }
+}
 
-    /// Transfer duration scales linearly in bytes (within rounding).
-    #[test]
-    fn transfer_duration_is_monotonic(bw in 1u64..1_000_000_000_000, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+/// Transfer duration scales monotonically in bytes (within rounding).
+#[test]
+fn transfer_duration_is_monotonic() {
+    for case in 0..CASES * 4 {
+        let mut rng = SimRng::seed_from_u64(0x7D07 + case);
+        let bw = rng.gen_range(1..1_000_000_000_000);
+        let a = rng.gen_range(0..1_000_000);
+        let b = rng.gen_range(0..1_000_000);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(Duration::for_transfer(lo, bw) <= Duration::for_transfer(hi, bw));
+        assert!(
+            Duration::for_transfer(lo, bw) <= Duration::for_transfer(hi, bw),
+            "case {case}: duration not monotonic in size"
+        );
     }
 }

@@ -266,7 +266,9 @@ mod tests {
 
     fn state_with_owner(vpn: Vpn, owner: DeviceId) -> MemState {
         let mut s = MemState::new(4, PageSize::Small4K, None);
-        s.host_table.register(vpn, HostEntry::new_at(owner));
+        s.host_table
+            .register(vpn, HostEntry::new_at(owner))
+            .expect("fresh page");
         s
     }
 
@@ -365,7 +367,9 @@ mod tests {
         let mut g = GritEngine::new();
         let mut s = MemState::new(4, PageSize::Small4K, None);
         for i in 0..100 {
-            s.host_table.register(Vpn(i), HostEntry::new_on_host());
+            s.host_table
+                .register(Vpn(i), HostEntry::new_on_host())
+                .expect("fresh page");
         }
         for i in 0..50 {
             g.resolve(&far(0, i, AccessKind::Read), &s);

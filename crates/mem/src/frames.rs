@@ -79,15 +79,13 @@ impl FrameAllocator {
             return None;
         }
         let victim = if self.is_full() {
-            let (&stamp, &victim) = self
-                .by_stamp
-                .iter()
-                .next()
-                .expect("full allocator has at least one page");
-            self.by_stamp.remove(&stamp);
-            self.stamps.remove(&victim);
-            self.evictions += 1;
-            Some(victim)
+            // `is_full` implies at least one resident page, but fall through
+            // gracefully rather than assert if the maps ever diverge.
+            self.by_stamp.pop_first().map(|(_, victim)| {
+                self.stamps.remove(&victim);
+                self.evictions += 1;
+                victim
+            })
         } else {
             None
         };
@@ -127,6 +125,12 @@ impl FrameAllocator {
     /// Number of capacity evictions performed so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Iterates over all resident pages (arbitrary order). Used by the
+    /// sim-guard checker to reconcile allocator state with page tables.
+    pub fn pages(&self) -> impl Iterator<Item = Vpn> + '_ {
+        self.stamps.keys().copied()
     }
 
     fn bump(&mut self) -> u64 {

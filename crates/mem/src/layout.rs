@@ -89,9 +89,8 @@ impl AddressSpace {
     /// addressable range.
     pub fn alloc(&mut self, name: impl Into<String>, bytes: u64) -> ObjectId {
         assert!(bytes > 0, "zero-sized allocation");
-        let id = ObjectId(
-            u16::try_from(self.objects.len()).expect("more than 2^16 objects allocated"),
-        );
+        let id =
+            ObjectId(u16::try_from(self.objects.len()).expect("more than 2^16 objects allocated"));
         let base = self.next_base;
         let padded = bytes.div_ceil(OBJECT_ALIGN) * OBJECT_ALIGN;
         self.next_base = base + padded;
@@ -212,7 +211,9 @@ mod tests {
         let xo = a.object(x).clone();
         assert_eq!(a.object_containing(xo.base).unwrap().id, x);
         assert_eq!(
-            a.object_containing(Va(xo.base.0 + 4096 * 4 - 1)).unwrap().id,
+            a.object_containing(Va(xo.base.0 + 4096 * 4 - 1))
+                .unwrap()
+                .id,
             x
         );
         // Gap between objects (alignment padding) belongs to nobody.

@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use oasis_engine::error::TableError;
+
 use crate::types::{DeviceId, GpuId, Vpn};
 
 /// The two policy bits stored in a PTE (Fig. 12).
@@ -178,7 +180,9 @@ impl HostEntry {
 
     /// GPUs holding duplicates (excluding the owner).
     pub fn duplicate_holders(&self) -> impl Iterator<Item = GpuId> + '_ {
-        (0..32u8).filter(move |g| self.copy_mask & (1 << g) != 0).map(GpuId)
+        (0..32u8)
+            .filter(move |g| self.copy_mask & (1 << g) != 0)
+            .map(GpuId)
     }
 
     /// Number of duplicate copies.
@@ -233,12 +237,14 @@ impl HostPageTable {
 
     /// Registers a freshly allocated page.
     ///
-    /// # Panics
-    ///
-    /// Panics if the page was already registered (double allocation).
-    pub fn register(&mut self, vpn: Vpn, entry: HostEntry) {
-        let prev = self.map.insert(vpn, entry);
-        assert!(prev.is_none(), "page {vpn} registered twice");
+    /// Refuses a page that is already registered (overlapping allocation)
+    /// without modifying the existing entry.
+    pub fn register(&mut self, vpn: Vpn, entry: HostEntry) -> Result<(), TableError> {
+        if self.map.contains_key(&vpn) {
+            return Err(TableError::DoubleRegistration { vpn: vpn.0 });
+        }
+        self.map.insert(vpn, entry);
+        Ok(())
     }
 
     /// Removes a page (object freed). Returns its final entry.
@@ -333,8 +339,9 @@ mod tests {
     #[test]
     fn host_table_register_and_lookup() {
         let mut ht = HostPageTable::new();
-        ht.register(Vpn(1), HostEntry::new_on_host());
-        ht.register(Vpn(2), HostEntry::new_at(DeviceId::Gpu(GpuId(2))));
+        ht.register(Vpn(1), HostEntry::new_on_host()).unwrap();
+        ht.register(Vpn(2), HostEntry::new_at(DeviceId::Gpu(GpuId(2))))
+            .unwrap();
         assert_eq!(ht.len(), 2);
         assert_eq!(ht.get(Vpn(2)).unwrap().owner, DeviceId::Gpu(GpuId(2)));
         ht.get_mut(Vpn(1)).unwrap().policy = PolicyBits::Duplication;
@@ -345,10 +352,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "registered twice")]
-    fn double_register_panics() {
+    fn double_register_is_a_typed_error() {
         let mut ht = HostPageTable::new();
-        ht.register(Vpn(1), HostEntry::new_on_host());
-        ht.register(Vpn(1), HostEntry::new_on_host());
+        ht.register(Vpn(1), HostEntry::new_on_host()).unwrap();
+        assert_eq!(
+            ht.register(Vpn(1), HostEntry::new_on_host()),
+            Err(TableError::DoubleRegistration { vpn: 1 })
+        );
+        assert_eq!(ht.len(), 1, "failed registration must not clobber");
     }
 }

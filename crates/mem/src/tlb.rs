@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use oasis_engine::error::SimError;
+
 use crate::types::Vpn;
 
 #[derive(Debug, Clone)]
@@ -46,18 +48,36 @@ impl Tlb {
     ///
     /// Panics if `entries` is not a positive multiple of `ways`, or if the
     /// resulting set count is not a power of two (required for indexing).
+    /// Use [`Tlb::try_new`] for a fallible variant.
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(ways > 0 && entries > 0, "TLB geometry must be positive");
-        assert!(
-            entries.is_multiple_of(ways),
-            "entries ({entries}) must be a multiple of ways ({ways})"
-        );
+        match Self::try_new(entries, ways) {
+            Ok(tlb) => tlb,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: validates the geometry instead of panicking.
+    pub fn try_new(entries: usize, ways: usize) -> Result<Self, SimError> {
+        if ways == 0 || entries == 0 {
+            return Err(SimError::invariant(
+                "tlb-geometry",
+                format!("TLB geometry must be positive (entries={entries}, ways={ways})"),
+            ));
+        }
+        if !entries.is_multiple_of(ways) {
+            return Err(SimError::invariant(
+                "tlb-geometry",
+                format!("entries ({entries}) must be a multiple of ways ({ways})"),
+            ));
+        }
         let num_sets = entries / ways;
-        assert!(
-            num_sets.is_power_of_two(),
-            "set count ({num_sets}) must be a power of two"
-        );
-        Tlb {
+        if !num_sets.is_power_of_two() {
+            return Err(SimError::invariant(
+                "tlb-geometry",
+                format!("set count ({num_sets}) must be a power of two"),
+            ));
+        }
+        Ok(Tlb {
             sets: (0..num_sets)
                 .map(|_| Set {
                     lines: Vec::with_capacity(ways),
@@ -68,7 +88,7 @@ impl Tlb {
             hits: 0,
             misses: 0,
             where_is: HashMap::new(),
-        }
+        })
     }
 
     fn set_index(&self, vpn: Vpn) -> usize {
@@ -104,15 +124,19 @@ impl Tlb {
             return None;
         }
         let evicted = if set.lines.len() == ways {
-            let (lru_pos, _) = set
+            // A full set is necessarily nonempty (ways > 0), so the min
+            // always exists; map instead of unwrapping all the same.
+            let lru_pos = set
                 .lines
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, (_, s))| *s)
-                .expect("full set is nonempty");
-            let (old, _) = set.lines.swap_remove(lru_pos);
-            self.where_is.remove(&old);
-            Some(old)
+                .map(|(pos, _)| pos);
+            lru_pos.map(|pos| {
+                let (old, _) = set.lines.swap_remove(pos);
+                self.where_is.remove(&old);
+                old
+            })
         } else {
             None
         };
@@ -160,6 +184,12 @@ impl Tlb {
     /// Total capacity in entries.
     pub fn capacity(&self) -> usize {
         self.sets.len() * self.ways
+    }
+
+    /// Iterates over every cached VPN (arbitrary order). Used by the
+    /// sim-guard checker to assert TLB entries only exist for mapped pages.
+    pub fn cached_vpns(&self) -> impl Iterator<Item = Vpn> + '_ {
+        self.where_is.keys().copied()
     }
 
     /// (hits, misses) counters.
@@ -254,6 +284,24 @@ mod tests {
     #[should_panic(expected = "must be a multiple")]
     fn bad_geometry_rejected() {
         let _ = Tlb::new(10, 4);
+    }
+
+    #[test]
+    fn try_new_reports_bad_geometry() {
+        assert!(Tlb::try_new(0, 4).is_err());
+        assert!(Tlb::try_new(10, 4).is_err());
+        assert!(Tlb::try_new(24, 4).is_err()); // 6 sets: not a power of two
+        assert!(Tlb::try_new(32, 4).is_ok());
+    }
+
+    #[test]
+    fn cached_vpns_lists_contents() {
+        let mut tlb = Tlb::new(8, 4);
+        tlb.fill(Vpn(3));
+        tlb.fill(Vpn(4));
+        let mut vpns: Vec<_> = tlb.cached_vpns().collect();
+        vpns.sort();
+        assert_eq!(vpns, vec![Vpn(3), Vpn(4)]);
     }
 
     #[test]

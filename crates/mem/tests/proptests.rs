@@ -1,23 +1,30 @@
-//! Property-based tests for the memory-hierarchy building blocks.
+//! Randomized property tests for the memory-hierarchy building blocks,
+//! driven by the in-tree deterministic [`SimRng`] (the build environment is
+//! offline, so no external property-testing framework is available). Each
+//! test sweeps many seeded cases; a failing case index pins the exact input.
 
+use oasis_engine::SimRng;
 use oasis_mem::cache::Cache;
 use oasis_mem::frames::FrameAllocator;
 use oasis_mem::layout::AddressSpace;
 use oasis_mem::tlb::Tlb;
 use oasis_mem::types::{PageSize, Va, Vpn};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    /// The TLB never exceeds capacity and `contains` agrees with
-    /// access-hit behaviour under arbitrary fill/invalidate sequences.
-    #[test]
-    fn tlb_capacity_and_consistency(
-        ops in proptest::collection::vec((0u8..3, 0u64..64), 1..300)
-    ) {
+const CASES: u64 = 48;
+
+/// The TLB never exceeds capacity and `contains` agrees with
+/// access-hit behaviour under arbitrary fill/invalidate sequences.
+#[test]
+fn tlb_capacity_and_consistency() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x71B0 + case);
+        let n = rng.gen_range(1..300) as usize;
         let mut tlb = Tlb::new(16, 4);
         let mut shadow: HashSet<u64> = HashSet::new();
-        for (op, vpn) in ops {
+        for _ in 0..n {
+            let op = rng.gen_range(0..3);
+            let vpn = rng.gen_range(0..64);
             match op {
                 0 => {
                     let evicted = tlb.fill(Vpn(vpn));
@@ -28,21 +35,25 @@ proptest! {
                 }
                 1 => {
                     let hit = tlb.access(Vpn(vpn));
-                    prop_assert_eq!(hit, shadow.contains(&vpn));
+                    assert_eq!(hit, shadow.contains(&vpn), "case {case}");
                 }
                 _ => {
                     tlb.invalidate(Vpn(vpn));
                     shadow.remove(&vpn);
                 }
             }
-            prop_assert!(tlb.len() <= tlb.capacity());
-            prop_assert_eq!(tlb.len(), shadow.len());
+            assert!(tlb.len() <= tlb.capacity(), "case {case}");
+            assert_eq!(tlb.len(), shadow.len(), "case {case}");
         }
     }
+}
 
-    /// A full TLB set always evicts its least-recently-used entry.
-    #[test]
-    fn tlb_evicts_lru(extra in 0u64..1000) {
+/// A full TLB set always evicts its least-recently-used entry.
+#[test]
+fn tlb_evicts_lru() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x1B0E + case);
+        let extra = rng.gen_range(0..1000);
         // Fully associative 8-entry TLB.
         let mut tlb = Tlb::new(8, 8);
         for i in 0..8u64 {
@@ -56,43 +67,111 @@ proptest! {
             }
         }
         let evicted = tlb.fill(Vpn(1000 + extra));
-        prop_assert_eq!(evicted, Some(Vpn(victim)));
+        assert_eq!(evicted, Some(Vpn(victim)), "case {case}");
     }
+}
 
-    /// Frame allocator: capacity is never exceeded; eviction only happens
-    /// at capacity; LRU victim is correct.
-    #[test]
-    fn frames_respect_capacity(
-        cap in 1u64..16,
-        inserts in proptest::collection::vec(0u64..64, 1..200)
-    ) {
+/// Frame allocator: capacity is never exceeded; eviction only happens
+/// at capacity; LRU victim is correct.
+#[test]
+fn frames_respect_capacity() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0xF4A3 + case);
+        let cap = rng.gen_range(1..16);
+        let n = rng.gen_range(1..200) as usize;
         let mut f = FrameAllocator::new(Some(cap));
-        for vpn in inserts {
+        for _ in 0..n {
+            let vpn = rng.gen_range(0..64);
             let victim = f.insert(Vpn(vpn));
-            prop_assert!(f.resident() <= cap);
+            assert!(f.resident() <= cap, "case {case}");
             if let Some(v) = victim {
-                prop_assert_ne!(v.0, vpn, "never evicts what it inserts");
-                prop_assert!(!f.contains(v));
+                assert_ne!(v.0, vpn, "case {case}: never evicts what it inserts");
+                assert!(!f.contains(v), "case {case}");
             }
-            prop_assert!(f.contains(Vpn(vpn)));
+            assert!(f.contains(Vpn(vpn)), "case {case}");
         }
     }
+}
 
-    /// Cache: line residency is idempotent — a hit right after any access
-    /// to the same address is guaranteed.
-    #[test]
-    fn cache_access_then_hit(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// Frame allocator under sustained pressure: with a working set far larger
+/// than capacity, every insert past the warm-up evicts exactly the LRU
+/// page, the eviction counter advances in lockstep, and the resident set
+/// always matches the most-recently-used window.
+#[test]
+fn frames_under_pressure_evict_strict_lru() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x9E55 + case);
+        let cap = rng.gen_range(2..8);
+        let mut f = FrameAllocator::new(Some(cap));
+        let mut lru_shadow: Vec<u64> = Vec::new(); // front = LRU
+        let mut expected_evictions = 0u64;
+        for step in 0..400u64 {
+            // Skew toward new pages so the allocator is always saturated.
+            let vpn = rng.gen_range(0..1_000_000);
+            let already = lru_shadow.contains(&vpn);
+            let victim = f.insert(Vpn(vpn));
+            if already {
+                lru_shadow.retain(|&v| v != vpn);
+                lru_shadow.push(vpn);
+                assert_eq!(
+                    victim, None,
+                    "case {case} step {step}: refresh must not evict"
+                );
+            } else {
+                if lru_shadow.len() as u64 == cap {
+                    let expect_victim = lru_shadow.remove(0);
+                    expected_evictions += 1;
+                    assert_eq!(
+                        victim,
+                        Some(Vpn(expect_victim)),
+                        "case {case} step {step}: wrong LRU victim"
+                    );
+                } else {
+                    assert_eq!(victim, None, "case {case} step {step}");
+                }
+                lru_shadow.push(vpn);
+            }
+            assert_eq!(
+                f.resident(),
+                lru_shadow.len() as u64,
+                "case {case} step {step}"
+            );
+            assert_eq!(f.evictions(), expected_evictions, "case {case} step {step}");
+            assert_eq!(f.lru(), lru_shadow.first().map(|&v| Vpn(v)), "case {case}");
+        }
+        // The whole resident set is enumerable and consistent.
+        let mut resident: Vec<u64> = f.pages().map(|v| v.0).collect();
+        resident.sort_unstable();
+        let mut expected = lru_shadow.clone();
+        expected.sort_unstable();
+        assert_eq!(resident, expected, "case {case}");
+    }
+}
+
+/// Cache: line residency is idempotent — a hit right after any access
+/// to the same address is guaranteed.
+#[test]
+fn cache_access_then_hit() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0xCAC4 + case);
+        let n = rng.gen_range(1..200) as usize;
         let mut c = Cache::new(16 * 1024, 4, 64);
-        for a in addrs {
+        for _ in 0..n {
+            let a = rng.gen_range(0..1_000_000);
             c.access(Va(a));
-            prop_assert!(c.access(Va(a)), "immediate re-access must hit");
+            assert!(c.access(Va(a)), "case {case}: immediate re-access must hit");
         }
     }
+}
 
-    /// Address space: objects never overlap and reverse lookup returns the
-    /// allocation that contains the address.
-    #[test]
-    fn address_space_objects_disjoint(sizes in proptest::collection::vec(1u64..8_000_000, 1..40)) {
+/// Address space: objects never overlap and reverse lookup returns the
+/// allocation that contains the address.
+#[test]
+fn address_space_objects_disjoint() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0xAD52 + case);
+        let n = rng.gen_range(1..40) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..8_000_000)).collect();
         let mut space = AddressSpace::new();
         let ids: Vec<_> = sizes
             .iter()
@@ -102,30 +181,37 @@ proptest! {
         for (i, id) in ids.iter().enumerate() {
             let o = space.object(*id).clone();
             // First and last byte resolve back to this object.
-            prop_assert_eq!(space.object_containing(o.base).expect("base").id, *id);
+            assert_eq!(space.object_containing(o.base).expect("base").id, *id);
             let last = Va(o.base.0 + o.size - 1);
-            prop_assert_eq!(space.object_containing(last).expect("last").id, *id);
+            assert_eq!(space.object_containing(last).expect("last").id, *id);
             // No overlap with the next object.
             if i + 1 < ids.len() {
                 let next = space.object(ids[i + 1]);
-                prop_assert!(o.base.0 + o.size <= next.base.0);
+                assert!(o.base.0 + o.size <= next.base.0, "case {case}");
             }
             // Page counts consistent across page sizes.
-            prop_assert!(o.page_count(PageSize::Small4K) >= o.page_count(PageSize::Large2M));
+            assert!(
+                o.page_count(PageSize::Small4K) >= o.page_count(PageSize::Large2M),
+                "case {case}"
+            );
         }
-        prop_assert_eq!(space.live_bytes(), sizes.iter().sum::<u64>());
+        assert_eq!(space.live_bytes(), sizes.iter().sum::<u64>(), "case {case}");
     }
+}
 
-    /// VPN round-trip: va -> vpn -> base covers va's page for both sizes.
-    #[test]
-    fn vpn_round_trip(raw in 0u64..(1u64 << 48)) {
+/// VPN round-trip: va -> vpn -> base covers va's page for both sizes.
+#[test]
+fn vpn_round_trip() {
+    for case in 0..CASES * 4 {
+        let mut rng = SimRng::seed_from_u64(0x4B17 + case);
+        let raw = rng.gen_range(0..(1u64 << 48));
         for size in [PageSize::Small4K, PageSize::Large2M] {
             let va = Va(raw);
             let vpn = va.vpn(size);
             let base = vpn.base(size);
-            prop_assert!(base.0 <= va.canonical().0);
-            prop_assert!(va.canonical().0 - base.0 < size.bytes());
-            prop_assert_eq!(base.0 % size.bytes(), 0);
+            assert!(base.0 <= va.canonical().0, "case {case}");
+            assert!(va.canonical().0 - base.0 < size.bytes(), "case {case}");
+            assert_eq!(base.0 % size.bytes(), 0, "case {case}");
         }
     }
 }

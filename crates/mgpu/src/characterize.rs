@@ -109,8 +109,7 @@ impl ObjectProfile {
     /// Dominant read/write pattern under the 90 % rule; `None` if the
     /// object was untouched, `Some(RwMix)` if no pattern dominates.
     pub fn rw_pattern(&self) -> Option<RwPattern> {
-        let touched: Vec<RwPattern> =
-            self.page_stats.iter().filter_map(PageStats::rw).collect();
+        let touched: Vec<RwPattern> = self.page_stats.iter().filter_map(PageStats::rw).collect();
         if touched.is_empty() {
             return None;
         }
@@ -126,8 +125,11 @@ impl ObjectProfile {
     /// Dominant sharing pattern under the 90 % rule; `None` if untouched.
     /// A mixed object ("private-shared-mix") reports `Shared`.
     pub fn share_pattern(&self) -> Option<SharePattern> {
-        let touched: Vec<SharePattern> =
-            self.page_stats.iter().filter_map(PageStats::share).collect();
+        let touched: Vec<SharePattern> = self
+            .page_stats
+            .iter()
+            .filter_map(PageStats::share)
+            .collect();
         if touched.is_empty() {
             return None;
         }
@@ -157,8 +159,7 @@ impl ObjectProfile {
         if self.page_stats.is_empty() {
             return 0.0;
         }
-        self.page_stats.iter().filter(|p| p.touched()).count() as f64
-            / self.page_stats.len() as f64
+        self.page_stats.iter().filter(|p| p.touched()).count() as f64 / self.page_stats.len() as f64
     }
 }
 

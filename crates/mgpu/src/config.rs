@@ -3,7 +3,7 @@
 use oasis_core::controller::{OasisConfig, OasisController};
 use oasis_core::inmem::{InMemCosts, OasisInMem};
 use oasis_core::tracker::ObjectTracker;
-use oasis_engine::Duration;
+use oasis_engine::{Duration, ErrorPolicy};
 use oasis_grit::{GritConfig, GritEngine};
 use oasis_interconnect::FabricConfig;
 use oasis_mem::types::PageSize;
@@ -20,6 +20,23 @@ pub enum Placement {
     Host,
     /// Pages are distributed round-robin across the GPUs.
     Striped,
+}
+
+/// When the sim-guard runtime invariant checker runs during a simulation.
+///
+/// The checker ([`oasis_uvm::check_mem_state`] plus the policy engine's
+/// [`check_invariants`](oasis_uvm::policy::PolicyEngine::check_invariants)
+/// and a TLB-vs-page-table sweep) walks the whole memory state, so its cost
+/// scales with footprint; pick the granularity the run can afford.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuardMode {
+    /// Never check (fastest; normal performance sweeps).
+    #[default]
+    Off,
+    /// Check at every epoch boundary (kernel launch) and at end of run.
+    Epoch,
+    /// Check after every memory transaction (slow; fault-injection runs).
+    Step,
 }
 
 /// The page-management policy a run uses.
@@ -156,6 +173,12 @@ pub struct SystemConfig {
     pub prefetch_group: bool,
     /// Host-side overhead per kernel launch.
     pub kernel_launch_overhead: Duration,
+    /// What [`System::run`](crate::System::run) does when an access fails
+    /// with a typed error: abort the run (tests, debugging) or record it
+    /// and keep simulating (long sweeps).
+    pub error_policy: ErrorPolicy,
+    /// When the sim-guard invariant checker runs.
+    pub guard: GuardMode,
 }
 
 impl Default for SystemConfig {
@@ -184,6 +207,8 @@ impl Default for SystemConfig {
             placement: Placement::Host,
             prefetch_group: false,
             kernel_launch_overhead: Duration::from_us(5),
+            error_policy: ErrorPolicy::FailFast,
+            guard: GuardMode::Off,
         }
     }
 }

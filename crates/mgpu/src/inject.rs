@@ -1,0 +1,269 @@
+//! Deterministic fault-injection harness: sim-guard's adversary.
+//!
+//! Each campaign perturbs small but complete simulations in ways the
+//! robust core must survive — malformed traces, out-of-range accesses,
+//! forced oversubscription, corrupted access counters, mid-run policy
+//! flips — and records, per scenario, either a clean completion (with the
+//! invariant checker enabled throughout) or the typed error and the step
+//! at which it struck. Every random choice derives from a caller-supplied
+//! master seed through the in-tree [`SimRng`], so a campaign's full output
+//! is a pure function of that seed: any failure replays exactly.
+
+use oasis_engine::SimRng;
+use oasis_mem::layout::AddressSpace;
+use oasis_mem::page::PolicyBits;
+use oasis_mem::types::{GpuId, PageSize, Vpn};
+use oasis_workloads::trace::Trace;
+use oasis_workloads::{generate, App, WorkloadParams};
+
+use crate::config::{GuardMode, Policy, SystemConfig};
+use crate::system::System;
+
+/// The perturbation kinds a campaign injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Perturbation {
+    /// Cut every GPU's stream short mid-phase (a truncated trace file).
+    TruncateTrace,
+    /// Point one access beyond its object's extent (a malformed trace).
+    OutOfRangeAccess,
+    /// Shrink GPU memory far below the footprint (forced eviction storm).
+    CapacityCrunch,
+    /// Overwrite hardware access counters with junk at every epoch.
+    CorruptCounters,
+    /// Rewrite per-page policy bits mid-run at every epoch.
+    PolicyFlip,
+}
+
+impl Perturbation {
+    /// Every kind, in campaign order.
+    pub const ALL: [Perturbation; 5] = [
+        Perturbation::TruncateTrace,
+        Perturbation::OutOfRangeAccess,
+        Perturbation::CapacityCrunch,
+        Perturbation::CorruptCounters,
+        Perturbation::PolicyFlip,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Perturbation::TruncateTrace => "truncate-trace",
+            Perturbation::OutOfRangeAccess => "out-of-range-access",
+            Perturbation::CapacityCrunch => "capacity-crunch",
+            Perturbation::CorruptCounters => "corrupt-counters",
+            Perturbation::PolicyFlip => "policy-flip",
+        }
+    }
+}
+
+/// What one injected scenario did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionOutcome {
+    /// The perturbation injected.
+    pub kind: Perturbation,
+    /// The scenario's derived seed (replay coordinate).
+    pub seed: u64,
+    /// Whether the run completed (with the invariant checker passing).
+    pub ok: bool,
+    /// One deterministic, human-readable result line.
+    pub line: String,
+}
+
+/// The pages the driver will register for `trace`, reconstructed from the
+/// deterministic allocator layout (used to aim counter/policy
+/// perturbations without iterating hash maps, whose order is not stable).
+fn page_candidates(trace: &Trace, page: PageSize) -> Vec<Vpn> {
+    let mut space = AddressSpace::new();
+    let mut vpns = Vec::new();
+    for obj in &trace.objects {
+        let id = space.alloc(obj.name.clone(), obj.bytes);
+        let o = space.object(id);
+        let first = o.base.vpn(page).0;
+        let pages = page.pages_for(o.size);
+        // A handful per object is plenty of attack surface.
+        for i in 0..pages.min(8) {
+            vpns.push(Vpn(first + i));
+        }
+    }
+    vpns
+}
+
+fn base_config() -> SystemConfig {
+    SystemConfig {
+        guard: GuardMode::Epoch,
+        ..SystemConfig::default()
+    }
+}
+
+fn small_trace(seed_app: App) -> Trace {
+    let mut params = WorkloadParams::small(seed_app, 4);
+    params.footprint_mb = 2; // hundreds of pages: fast yet evictable
+    generate(seed_app, &params)
+}
+
+fn run_one(kind: Perturbation, seed: u64) -> InjectionOutcome {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let name = kind.name();
+    let mut cfg = base_config();
+    let mut trace = small_trace(App::Mt);
+    let mut policy = Policy::oasis();
+
+    match kind {
+        Perturbation::TruncateTrace => {
+            // Chop every stream at an arbitrary point and drop the now
+            // inconsistent barrier positions: the run must still complete.
+            for phase in &mut trace.phases {
+                for stream in &mut phase.per_gpu {
+                    let keep = rng.gen_below(stream.len() + 1);
+                    stream.truncate(keep);
+                }
+                for b in &mut phase.barriers {
+                    b.clear();
+                }
+            }
+        }
+        Perturbation::OutOfRangeAccess => {
+            // One access reaches past its object's last byte: the run must
+            // stop with a typed trace error naming the step.
+            policy = Policy::OnTouch;
+            let phase = rng.gen_below(trace.phases.len());
+            let gpu = rng.gen_below(trace.phases[phase].per_gpu.len());
+            let stream = &mut trace.phases[phase].per_gpu[gpu];
+            let idx = rng.gen_below(stream.len());
+            let bytes = trace.objects[stream[idx].obj.0 as usize].bytes;
+            stream[idx].offset = bytes + 4096 * (1 + rng.gen_range(0..16));
+        }
+        Perturbation::CapacityCrunch => {
+            // Far fewer frames than pages: sustained eviction pressure.
+            policy = Policy::OnTouch;
+            cfg.gpu_capacity_pages = Some(rng.gen_range(8..32));
+        }
+        Perturbation::CorruptCounters | Perturbation::PolicyFlip => {
+            if kind == Perturbation::CorruptCounters {
+                // Access counters only steer the counter-based policy.
+                policy = Policy::AccessCounter;
+            }
+        }
+    }
+
+    let mut sys = System::new(cfg, &policy);
+    match kind {
+        Perturbation::CorruptCounters => {
+            let candidates = page_candidates(&trace, sys.config().page_size);
+            let mut hook_rng = SimRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+            sys.set_epoch_hook(move |_epoch, driver| {
+                for _ in 0..8 {
+                    let vpn = candidates[hook_rng.gen_below(candidates.len())];
+                    let gpu = GpuId(hook_rng.gen_range(0..4) as u8);
+                    let junk = hook_rng.gen_range(0..u32::MAX as u64) as u32;
+                    driver.poke_counter(gpu, vpn, junk);
+                }
+            });
+        }
+        Perturbation::PolicyFlip => {
+            let candidates = page_candidates(&trace, sys.config().page_size);
+            let mut hook_rng = SimRng::seed_from_u64(seed ^ 0xF11B_0000);
+            sys.set_epoch_hook(move |_epoch, driver| {
+                for _ in 0..8 {
+                    let vpn = candidates[hook_rng.gen_below(candidates.len())];
+                    let bits = match hook_rng.gen_range(0..3) {
+                        0 => PolicyBits::OnTouch,
+                        1 => PolicyBits::AccessCounter,
+                        _ => PolicyBits::Duplication,
+                    };
+                    let _ = driver.set_page_policy(vpn, bits);
+                }
+            });
+        }
+        _ => {}
+    }
+
+    match sys.run(&trace) {
+        Ok(report) => {
+            let guard = match sys.validate() {
+                Ok(()) => "ok".to_string(),
+                Err(e) => format!("VIOLATED ({e})"),
+            };
+            let ok = guard == "ok";
+            InjectionOutcome {
+                kind,
+                seed,
+                ok,
+                line: format!(
+                    "{name} seed={seed:#018x}: completed accesses={} evictions={} \
+                     recorded-errors={} guard={guard}",
+                    report.accesses, report.uvm.evictions, report.errors_recorded
+                ),
+            }
+        }
+        Err(e) => InjectionOutcome {
+            kind,
+            seed,
+            ok: false,
+            line: format!("{name} seed={seed:#018x}: aborted {e}"),
+        },
+    }
+}
+
+/// Runs the full campaign — one scenario per [`Perturbation`] kind — with
+/// every random choice derived from `master_seed`. The returned outcomes
+/// (including their formatted lines) are a deterministic function of the
+/// seed: run it twice, diff nothing.
+pub fn run_campaign(master_seed: u64) -> Vec<InjectionOutcome> {
+    Perturbation::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| {
+            let seed = master_seed ^ 0xD6E8_FEB8_6659_FD93u64.wrapping_mul(i as u64 + 1);
+            run_one(kind, seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_covers_every_kind_once() {
+        let outcomes = run_campaign(7);
+        assert_eq!(outcomes.len(), Perturbation::ALL.len());
+        for (o, kind) in outcomes.iter().zip(Perturbation::ALL) {
+            assert_eq!(o.kind, kind);
+            assert!(o.line.starts_with(kind.name()), "{}", o.line);
+        }
+    }
+
+    #[test]
+    fn out_of_range_scenario_yields_a_typed_error() {
+        let outcomes = run_campaign(0xBAD_5EED);
+        let oor = &outcomes[1];
+        assert_eq!(oor.kind, Perturbation::OutOfRangeAccess);
+        assert!(!oor.ok);
+        assert!(oor.line.contains("at step"), "{}", oor.line);
+        assert!(oor.line.contains("outside object"), "{}", oor.line);
+    }
+
+    #[test]
+    fn survivors_keep_invariants() {
+        for o in run_campaign(42) {
+            if o.kind != Perturbation::OutOfRangeAccess {
+                assert!(o.ok, "{}", o.line);
+                assert!(o.line.contains("guard=ok"), "{}", o.line);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_crunch_actually_evicts() {
+        let outcomes = run_campaign(3);
+        let crunch = &outcomes[2];
+        assert_eq!(crunch.kind, Perturbation::CapacityCrunch);
+        assert!(!crunch.line.contains("evictions=0"), "{}", crunch.line);
+    }
+
+    #[test]
+    fn scenarios_run_with_the_epoch_guard() {
+        assert_eq!(base_config().guard, GuardMode::Epoch);
+    }
+}

@@ -19,9 +19,11 @@
 pub mod characterize;
 pub mod config;
 pub mod gpu;
+pub mod inject;
 pub mod report;
 pub mod system;
 
-pub use config::{Placement, Policy, SystemConfig};
+pub use config::{GuardMode, Placement, Policy, SystemConfig};
+pub use inject::{run_campaign, InjectionOutcome, Perturbation};
 pub use report::RunReport;
-pub use system::{simulate, System};
+pub use system::{simulate, try_simulate, RunError, System};

@@ -37,6 +37,13 @@ pub struct RunReport {
     pub nvlink_bytes: u64,
     /// Bytes moved over PCIe.
     pub pcie_bytes: u64,
+    /// Typed errors absorbed under
+    /// [`ErrorPolicy::RecordAndContinue`](oasis_engine::ErrorPolicy) (0 in
+    /// fail-fast runs, which abort instead).
+    pub errors_recorded: u64,
+    /// The first few recorded errors, verbatim, each prefixed with its
+    /// step number for replay.
+    pub error_samples: Vec<String>,
 }
 
 impl RunReport {
@@ -89,6 +96,8 @@ mod tests {
             policy_mix: [0; 3],
             nvlink_bytes: 0,
             pcie_bytes: 0,
+            errors_recorded: 0,
+            error_samples: Vec::new(),
         }
     }
 

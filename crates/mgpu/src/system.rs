@@ -1,17 +1,53 @@
 //! The assembled system and its trace-driven simulation loop.
 
 use oasis_core::tracker::ObjectTracker;
+use oasis_engine::error::{ErrorPolicy, FaultError, SimError, SimResult, TraceError};
 use oasis_engine::{Duration, EventQueue, Time};
 use oasis_interconnect::Fabric;
 use oasis_mem::layout::AddressSpace;
 use oasis_mem::types::{DeviceId, GpuId, ObjectId, Va};
 use oasis_uvm::driver::{Outcome, UvmDriver};
 use oasis_uvm::fault::PageFault;
+use oasis_uvm::guard::check_mem_state;
 use oasis_workloads::trace::{Access, Trace};
 
-use crate::config::{Placement, Policy, SystemConfig};
+use crate::config::{GuardMode, Placement, Policy, SystemConfig};
 use crate::gpu::GpuModel;
 use crate::report::RunReport;
+
+/// How many recorded-error descriptions a report keeps verbatim.
+const ERROR_SAMPLE_CAP: usize = 8;
+
+/// A simulation abort: the typed error plus the 1-based global access
+/// number at which it struck. Together with the run's configuration and
+/// trace seed this replays exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// 1-based index of the memory transaction being processed when the
+    /// error occurred (0 = during trace load, before any access).
+    pub step: u64,
+    /// The underlying typed error.
+    pub error: SimError,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.step == 0 {
+            write!(f, "during trace load: {}", self.error)
+        } else {
+            write!(f, "at step {}: {}", self.step, self.error)
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// A hook invoked at each epoch boundary with the epoch index and driver.
+type EpochHook = Box<dyn FnMut(u64, &mut UvmDriver)>;
 
 /// A fully assembled multi-GPU platform ready to execute traces.
 pub struct System {
@@ -27,6 +63,12 @@ pub struct System {
     local_accesses: u64,
     remote_accesses: u64,
     accesses: u64,
+    /// Global 1-based access counter (the replay coordinate of errors).
+    step: u64,
+    /// Errors recorded under [`ErrorPolicy::RecordAndContinue`].
+    errors_recorded: u64,
+    error_samples: Vec<String>,
+    epoch_hook: Option<EpochHook>,
 }
 
 impl std::fmt::Debug for System {
@@ -41,7 +83,9 @@ impl std::fmt::Debug for System {
 impl System {
     /// Builds a system with the given configuration and policy.
     pub fn new(config: SystemConfig, policy: &Policy) -> Self {
-        let gpus = (0..config.gpu_count).map(|_| GpuModel::new(&config)).collect();
+        let gpus = (0..config.gpu_count)
+            .map(|_| GpuModel::new(&config))
+            .collect();
         let fabric = Fabric::new(config.gpu_count, config.fabric);
         let mut driver = UvmDriver::new(
             config.gpu_count,
@@ -65,17 +109,40 @@ impl System {
             local_accesses: 0,
             remote_accesses: 0,
             accesses: 0,
+            step: 0,
+            errors_recorded: 0,
+            error_samples: Vec::new(),
+            epoch_hook: None,
             config,
         }
     }
 
+    /// Installs a hook called at every epoch boundary (kernel launch, after
+    /// the policy engine is notified) with the 0-based epoch index and
+    /// mutable driver access. Fault-injection campaigns use this for
+    /// mid-run perturbations (counter corruption, policy flips).
+    pub fn set_epoch_hook(&mut self, hook: impl FnMut(u64, &mut UvmDriver) + 'static) {
+        self.epoch_hook = Some(Box::new(hook));
+    }
+
     /// Allocates the trace's objects: VA ranges, pointer tags, page
     /// registration with the configured initial placement.
-    fn load(&mut self, trace: &Trace) {
+    fn load(&mut self, trace: &Trace) -> SimResult<()> {
         assert!(
             self.space.is_empty(),
             "System::run consumed; build a fresh System per trace"
         );
+        for phase in &trace.phases {
+            // A stream for a GPU the system doesn't have can never be
+            // scheduled; surface it as a typed trace error up front.
+            if phase.per_gpu.len() != self.config.gpu_count {
+                return Err(TraceError::GpuOutOfRange {
+                    gpu: phase.per_gpu.len(),
+                    gpu_count: self.config.gpu_count,
+                }
+                .into());
+            }
+        }
         let gpus = self.config.gpu_count as u64;
         for (i, obj) in trace.objects.iter().enumerate() {
             let id = self.space.alloc(obj.name.clone(), obj.bytes);
@@ -84,11 +151,13 @@ impl System {
             let tagged = self.tracker.tag(id, base);
             self.tagged_bases.push(tagged);
             let placement = self.config.placement;
-            self.driver.alloc_object(id, base, obj.bytes, |vpn| match placement {
-                Placement::Host => DeviceId::Host,
-                Placement::Striped => DeviceId::Gpu(GpuId((vpn.0 % gpus) as u8)),
-            });
+            self.driver
+                .alloc_object(id, base, obj.bytes, |vpn| match placement {
+                    Placement::Host => DeviceId::Host,
+                    Placement::Striped => DeviceId::Gpu(GpuId((vpn.0 % gpus) as u8)),
+                })?;
         }
+        Ok(())
     }
 
     fn apply_invalidations(&mut self, out: &Outcome) {
@@ -98,9 +167,26 @@ impl System {
     }
 
     /// Executes one memory transaction, returning its total latency.
-    fn process_access(&mut self, now: Time, g: usize, a: &Access) -> Duration {
+    ///
+    /// Trace-level validation (known object, in-range offset) happens
+    /// before any state is touched, so a rejected access leaves no residue;
+    /// a fault-resolution failure cleans up the TLB fill it caused.
+    fn process_access(&mut self, now: Time, g: usize, a: &Access) -> SimResult<Duration> {
+        let obj = a.obj.0 as usize;
+        let Some(tagged_base) = self.tagged_bases.get(obj).copied() else {
+            return Err(TraceError::UnknownObject { object: a.obj.0 }.into());
+        };
+        let size = self.space.object(a.obj).size;
+        if a.offset >= size {
+            return Err(TraceError::OffsetOutOfRange {
+                object: a.obj.0,
+                offset: a.offset,
+                size,
+            }
+            .into());
+        }
         self.accesses += 1;
-        let va = Va(self.tagged_bases[a.obj.0 as usize].0 + a.offset);
+        let va = Va(tagged_base.0 + a.offset);
         let page = self.config.page_size;
         let vpn = va.vpn(page);
         let gpu_id = GpuId(g as u8);
@@ -111,30 +197,41 @@ impl System {
         // The local PTE is the source of truth for location and
         // permissions (the TLB models timing only); faults are resolved by
         // the driver until a usable translation exists.
-        let mut rounds = 0;
-        loop {
+        let mut rounds = 0u32;
+        let pte = loop {
             let pte = self.driver.state.local_tables[g].get(vpn).copied();
             let fault = match pte {
                 None => PageFault::far(gpu_id, va, vpn, a.kind),
                 Some(p) if a.kind.is_write() && !p.writable => {
                     PageFault::protection(gpu_id, va, vpn)
                 }
-                Some(_) => break,
+                Some(p) => break p,
             };
-            let out = self
+            if rounds >= 4 {
+                // The speculative TLB fill from translate() must not
+                // outlive the failed access.
+                self.gpus[g].invalidate(vpn, page);
+                return Err(FaultError::Unresolvable {
+                    vpn: vpn.0,
+                    gpu: g as u8,
+                    rounds,
+                }
+                .into());
+            }
+            let out = match self
                 .driver
-                .handle_fault(now + latency, &fault, &mut self.fabric);
+                .handle_fault(now + latency, &fault, &mut self.fabric)
+            {
+                Ok(out) => out,
+                Err(e) => {
+                    self.gpus[g].invalidate(vpn, page);
+                    return Err(e);
+                }
+            };
             latency += out.latency;
             self.apply_invalidations(&out);
             rounds += 1;
-            assert!(rounds < 4, "fault resolution did not converge for {vpn}");
-        }
-        let pte = *self
-            .driver
-            .state
-            .local_tables[g]
-            .get(vpn)
-            .expect("translation resolved above");
+        };
         if tlb.l2_miss {
             self.policy_mix[RunReport::mix_index(pte.policy)] += 1;
         }
@@ -147,9 +244,12 @@ impl System {
         } else {
             self.remote_accesses += 1;
             // Request to the remote device, data back over the fabric.
-            let t = self
-                .fabric
-                .transfer(now + latency, pte.location, DeviceId::Gpu(gpu_id), u64::from(a.bytes));
+            let t = self.fabric.transfer(
+                now + latency,
+                pte.location,
+                DeviceId::Gpu(gpu_id),
+                u64::from(a.bytes),
+            );
             let overhead = if pte.location.is_host() {
                 self.config.host_access_overhead
             } else {
@@ -158,7 +258,7 @@ impl System {
             latency += t.latency_from(now + latency) + self.config.dram_latency + overhead;
             if let Some(out) =
                 self.driver
-                    .note_remote_access(now + latency, gpu_id, vpn, &mut self.fabric)
+                    .note_remote_access(now + latency, gpu_id, vpn, &mut self.fabric)?
             {
                 latency += out.latency;
                 self.apply_invalidations(&out);
@@ -175,15 +275,68 @@ impl System {
             latency < Duration::from_ms(10_000),
             "implausible access latency {latency} at {now} (vpn {vpn})"
         );
-        latency
+        Ok(latency)
     }
 
-    /// Runs the whole trace and produces the report.
-    pub fn run(&mut self, trace: &Trace) -> RunReport {
-        self.load(trace);
+    /// Runs the sim-guard invariant sweep over the whole platform:
+    /// cross-layer memory state, policy-engine metadata, and
+    /// TLB-vs-page-table agreement (a cached translation must be backed by
+    /// a live local PTE).
+    fn check_guard(&self) -> SimResult<()> {
+        let allow_writable_copies = self.policy_name == "ideal";
+        check_mem_state(&self.driver.state, allow_writable_copies)?;
+        self.driver.policy.check_invariants()?;
+        for (g, gpu) in self.gpus.iter().enumerate() {
+            for (level, tlb) in [("L1", &gpu.l1_tlb), ("L2", &gpu.l2_tlb)] {
+                for vpn in tlb.cached_vpns() {
+                    if self.driver.state.local_tables[g].get(vpn).is_none() {
+                        return Err(SimError::invariant(
+                            "tlb-maps-unmapped",
+                            format!("GPU {g} {level} TLB caches {:#x} with no local PTE", vpn.0),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn guard_due_each_step(&self) -> bool {
+        self.config.guard == GuardMode::Step
+    }
+
+    /// Routes an access failure per the configured [`ErrorPolicy`]:
+    /// `FailFast` aborts the run, `RecordAndContinue` counts it (keeping
+    /// the first few verbatim) and lets the simulation proceed.
+    fn absorb_error(&mut self, error: SimError) -> Result<(), RunError> {
+        match self.config.error_policy {
+            ErrorPolicy::FailFast => Err(RunError {
+                step: self.step,
+                error,
+            }),
+            ErrorPolicy::RecordAndContinue => {
+                self.errors_recorded += 1;
+                if self.error_samples.len() < ERROR_SAMPLE_CAP {
+                    self.error_samples
+                        .push(format!("step {}: {error}", self.step));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs the whole trace and produces the report, or the typed error
+    /// (with its step number) that stopped it.
+    pub fn run(&mut self, trace: &Trace) -> Result<RunReport, RunError> {
+        self.load(trace)
+            .map_err(|error| RunError { step: 0, error })?;
         let mut global = Time::ZERO;
-        for phase in &trace.phases {
+        for (epoch, phase) in trace.phases.iter().enumerate() {
             self.driver.kernel_launch();
+            if let Some(mut hook) = self.epoch_hook.take() {
+                hook(epoch as u64, &mut self.driver);
+                self.epoch_hook = Some(hook);
+            }
             global += self.config.kernel_launch_overhead;
             // Grid-wide barriers split the kernel into synchronized
             // segments (in-kernel iteration boundaries). Unlike kernel
@@ -192,7 +345,11 @@ impl System {
             for seg in 0..=n_barriers {
                 let slices: Vec<&[oasis_workloads::trace::Access]> = (0..self.config.gpu_count)
                     .map(|g| {
-                        let start = if seg == 0 { 0 } else { phase.barriers[g][seg - 1] };
+                        let start = if seg == 0 {
+                            0
+                        } else {
+                            phase.barriers[g][seg - 1]
+                        };
                         let end = if seg == n_barriers {
                             phase.per_gpu[g].len()
                         } else {
@@ -202,7 +359,7 @@ impl System {
                     })
                     .collect();
                 let seg_start = global;
-                global = self.run_segment(global, &slices);
+                global = self.run_segment(global, &slices)?;
                 if std::env::var_os("OASIS_SEG_DEBUG").is_some() {
                     let n: usize = slices.iter().map(|s| s.len()).sum();
                     eprintln!(
@@ -212,13 +369,19 @@ impl System {
                     );
                 }
             }
+            if self.config.guard == GuardMode::Epoch {
+                self.check_guard().map_err(|error| RunError {
+                    step: self.step,
+                    error,
+                })?;
+            }
         }
-        self.report(trace, global)
+        Ok(self.report(trace, global))
     }
 
     /// Runs one synchronized segment of per-GPU streams starting at
     /// `start`, returning the time all GPUs completed it.
-    fn run_segment(&mut self, start: Time, work: &[&[Access]]) -> Time {
+    fn run_segment(&mut self, start: Time, work: &[&[Access]]) -> Result<Time, RunError> {
         let lanes = self.config.lanes_per_gpu.max(1);
         let mut queue: EventQueue<usize> = EventQueue::new();
         let mut next = vec![0usize; work.len()];
@@ -235,17 +398,36 @@ impl System {
                 continue; // this lane retires
             }
             next[g] = idx + 1;
-            let latency = self.process_access(ev.time, g, &work[g][idx]);
-            let done = ev.time + latency;
-            end = end.max(done);
-            queue.push(done, g);
+            self.step += 1;
+            match self.process_access(ev.time, g, &work[g][idx]) {
+                Ok(latency) => {
+                    let done = ev.time + latency;
+                    end = end.max(done);
+                    queue.push(done, g);
+                }
+                Err(e) => {
+                    self.absorb_error(e)?;
+                    // The failed access consumed no simulated time; the
+                    // lane moves straight to its next transaction.
+                    queue.push(ev.time, g);
+                }
+            }
+            if self.guard_due_each_step() {
+                self.check_guard().map_err(|error| RunError {
+                    step: self.step,
+                    error,
+                })?;
+            }
         }
-        end
+        Ok(end)
     }
 
     fn report(&self, trace: &Trace, total_time: Time) -> RunReport {
         let sum2 = |f: &dyn Fn(&GpuModel) -> (u64, u64)| {
-            self.gpus.iter().map(f).fold((0, 0), |(a, b), (h, m)| (a + h, b + m))
+            self.gpus
+                .iter()
+                .map(f)
+                .fold((0, 0), |(a, b), (h, m)| (a + h, b + m))
         };
         RunReport {
             app: trace.app.to_string(),
@@ -262,12 +444,19 @@ impl System {
             policy_mix: self.policy_mix,
             nvlink_bytes: self.fabric.nvlink_bytes(),
             pcie_bytes: self.fabric.pcie_bytes(),
+            errors_recorded: self.errors_recorded,
+            error_samples: self.error_samples.clone(),
         }
     }
 
     /// The UVM driver (tests, characterization).
     pub fn driver(&self) -> &UvmDriver {
         &self.driver
+    }
+
+    /// Runs the sim-guard sweep on demand (tests, post-run validation).
+    pub fn validate(&self) -> SimResult<()> {
+        self.check_guard()
     }
 
     /// The address space built from the trace's allocations.
@@ -282,7 +471,25 @@ impl System {
 }
 
 /// Builds a system, runs `trace`, and returns the report.
+///
+/// This is the fail-fast convenience wrapper: a typed simulation error
+/// aborts the process with the error's step coordinate. Callers that want
+/// to handle errors (or run record-and-continue campaigns) use
+/// [`try_simulate`].
 pub fn simulate(config: &SystemConfig, policy: Policy, trace: &Trace) -> RunReport {
+    match try_simulate(config, policy, trace) {
+        Ok(report) => report,
+        Err(e) => panic!("simulation failed {e}"),
+    }
+}
+
+/// Builds a system, runs `trace`, and returns the report or the typed
+/// error (with its replay step) that stopped it.
+pub fn try_simulate(
+    config: &SystemConfig,
+    policy: Policy,
+    trace: &Trace,
+) -> Result<RunReport, RunError> {
     System::new(config.clone(), &policy).run(trace)
 }
 
@@ -307,6 +514,7 @@ mod tests {
         assert_eq!(r.uvm.duplications, 0);
         assert_eq!(r.uvm.remote_maps, 0);
         assert_eq!(r.remote_accesses, 0);
+        assert_eq!(r.errors_recorded, 0);
     }
 
     #[test]
@@ -360,8 +568,7 @@ mod tests {
     #[test]
     fn oversubscription_evicts() {
         let trace = small(App::Mt);
-        let cfg = SystemConfig::default()
-            .with_oversubscription(trace.footprint_bytes(), 150);
+        let cfg = SystemConfig::default().with_oversubscription(trace.footprint_bytes(), 150);
         let r = simulate(&cfg, Policy::OnTouch, &trace);
         assert!(r.uvm.evictions > 0, "capacity pressure must evict");
     }
@@ -380,5 +587,104 @@ mod tests {
         let r = simulate(&SystemConfig::default(), Policy::oasis(), &trace);
         let mix_total: u64 = r.policy_mix.iter().sum();
         assert_eq!(mix_total, r.l2_tlb.1, "one mix sample per L2 TLB miss");
+    }
+
+    #[test]
+    fn guarded_runs_match_unguarded_results() {
+        let trace = small(App::Mm);
+        let plain = simulate(&SystemConfig::default(), Policy::oasis(), &trace);
+        let cfg = SystemConfig {
+            guard: GuardMode::Epoch,
+            ..SystemConfig::default()
+        };
+        let guarded = simulate(&cfg, Policy::oasis(), &trace);
+        assert_eq!(plain.total_time, guarded.total_time);
+        assert_eq!(plain.uvm, guarded.uvm);
+    }
+
+    #[test]
+    fn unknown_object_is_a_typed_error_with_step() {
+        let mut trace = small(App::Mt);
+        // Corrupt one access to reference an object the trace never
+        // allocated.
+        trace.phases[0].per_gpu[1][3].obj = ObjectId(999);
+        let err = try_simulate(&SystemConfig::default(), Policy::OnTouch, &trace)
+            .expect_err("corrupt trace must fail");
+        assert!(err.step > 0, "{err}");
+        assert!(matches!(
+            err.error,
+            SimError::Trace(TraceError::UnknownObject { object: 999 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_offset_is_a_typed_error() {
+        let mut trace = small(App::Mt);
+        trace.phases[0].per_gpu[0][0].offset = u64::MAX / 2;
+        let err = try_simulate(&SystemConfig::default(), Policy::OnTouch, &trace)
+            .expect_err("corrupt trace must fail");
+        assert!(matches!(
+            err.error,
+            SimError::Trace(TraceError::OffsetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn record_and_continue_finishes_despite_corruption() {
+        let mut trace = small(App::Mt);
+        trace.phases[0].per_gpu[0][0].obj = ObjectId(999);
+        trace.phases[0].per_gpu[2][5].offset = u64::MAX / 2;
+        let cfg = SystemConfig {
+            error_policy: ErrorPolicy::RecordAndContinue,
+            guard: GuardMode::Epoch,
+            ..SystemConfig::default()
+        };
+        let r = try_simulate(&cfg, Policy::OnTouch, &trace).expect("run survives");
+        assert_eq!(r.errors_recorded, 2);
+        assert_eq!(r.error_samples.len(), 2);
+        assert_eq!(r.accesses as usize, trace.total_accesses() - 2);
+    }
+
+    #[test]
+    fn mismatched_gpu_count_fails_at_load() {
+        let trace = small(App::Mt); // 4-GPU trace
+        let err = try_simulate(&SystemConfig::with_gpus(8), Policy::OnTouch, &trace)
+            .expect_err("4-GPU trace cannot drive 8 GPUs");
+        assert_eq!(err.step, 0);
+        assert!(matches!(
+            err.error,
+            SimError::Trace(TraceError::GpuOutOfRange {
+                gpu: 4,
+                gpu_count: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn step_guard_passes_on_healthy_small_run() {
+        let mut params = WorkloadParams::small(App::Mt, 4);
+        params.footprint_mb = 2; // keep the per-step sweep affordable
+        let trace = generate(App::Mt, &params);
+        let cfg = SystemConfig {
+            guard: GuardMode::Step,
+            ..SystemConfig::default()
+        };
+        let r = try_simulate(&cfg, Policy::oasis(), &trace).expect("guard holds every step");
+        assert!(r.accesses > 0);
+    }
+
+    #[test]
+    fn epoch_hook_runs_once_per_phase() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let trace = small(App::Mt);
+        let seen: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let seen2 = Rc::clone(&seen);
+        let mut sys = System::new(SystemConfig::default(), &Policy::OnTouch);
+        sys.set_epoch_hook(move |epoch, _driver| seen2.borrow_mut().push(epoch));
+        sys.run(&trace).expect("run completes");
+        let epochs = seen.borrow();
+        assert_eq!(epochs.len(), trace.phases.len());
+        assert_eq!(epochs[0], 0);
     }
 }

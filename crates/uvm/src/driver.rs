@@ -6,9 +6,15 @@
 //! write-collapse, remote mapping with hardware access counters, and LRU
 //! eviction to the host under oversubscription. *Which* mechanic resolves a
 //! given fault is delegated to the configured [`PolicyEngine`].
+//!
+//! Every public operation is fallible: instead of aborting on inconsistent
+//! state or malformed input, the driver returns a typed
+//! [`SimError`](oasis_engine::SimError) so callers can fail fast, record and
+//! continue, or feed the failure back to the fault-injection harness.
 
 use std::collections::HashMap;
 
+use oasis_engine::error::{EvictionError, FaultError, MigrationError, SimResult};
 use oasis_engine::{Duration, Time};
 use oasis_interconnect::Fabric;
 use oasis_mem::frames::FrameAllocator;
@@ -183,6 +189,24 @@ impl UvmDriver {
         }
     }
 
+    /// The host-table entry for `vpn`, copied, or a migration error if the
+    /// page vanished mid-mechanic.
+    fn entry(&self, vpn: Vpn) -> SimResult<HostEntry> {
+        self.state
+            .host_table
+            .get(vpn)
+            .copied()
+            .ok_or_else(|| MigrationError::SourceMissing { vpn: vpn.0 }.into())
+    }
+
+    /// Mutable host-table entry for `vpn`, or a migration error.
+    fn entry_mut(&mut self, vpn: Vpn) -> SimResult<&mut HostEntry> {
+        self.state
+            .host_table
+            .get_mut(vpn)
+            .ok_or_else(|| MigrationError::SourceMissing { vpn: vpn.0 }.into())
+    }
+
     /// Records a data-moving fault for `vpn` in the sliding thrash window
     /// and reports whether the page is now considered thrashing.
     fn thrash_check(&mut self, now: Time, vpn: Vpn) -> bool {
@@ -210,13 +234,17 @@ impl UvmDriver {
 
     /// Registers all pages of a new object, placing them at `placement`,
     /// and notifies the policy engine of the allocation.
+    ///
+    /// Overlapping an existing allocation yields a
+    /// [`TableError`](oasis_engine::TableError); pages registered before the
+    /// clash are left in place (the caller is expected to abandon the run).
     pub fn alloc_object(
         &mut self,
         obj: ObjectId,
         base: Va,
         bytes: u64,
         placement: impl Fn(Vpn) -> DeviceId,
-    ) {
+    ) -> SimResult<()> {
         let first = base.vpn(self.state.page_size).0;
         let last = Va(base.canonical().0 + bytes.max(1) - 1)
             .vpn(self.state.page_size)
@@ -228,7 +256,18 @@ impl UvmDriver {
                 DeviceId::Gpu(g) => {
                     // Initially-striped pages are resident and mapped on
                     // their GPU from the start (Fig. 21).
-                    self.state.frames[g.index()].insert(Vpn(p));
+                    if let Some(victim) = self.state.frames[g.index()].insert(Vpn(p)) {
+                        // Initial placement overflowed the device: spill the
+                        // victim back to the host so residency and the host
+                        // table stay in agreement.
+                        self.state.local_tables[g.index()].invalidate(victim);
+                        if let Some(e) = self.state.host_table.get_mut(victim) {
+                            e.owner = DeviceId::Host;
+                            e.copy_mask = 0;
+                            e.mapper_mask = 0;
+                        }
+                        self.stats.evictions += 1;
+                    }
                     self.state.local_tables[g.index()].insert(
                         Vpn(p),
                         Pte {
@@ -240,9 +279,10 @@ impl UvmDriver {
                     HostEntry::new_at(dev)
                 }
             };
-            self.state.host_table.register(Vpn(p), entry);
+            self.state.host_table.register(Vpn(p), entry)?;
         }
         self.policy.on_alloc(obj, base, bytes);
+        Ok(())
     }
 
     /// Unregisters all pages of a freed object and notifies the policy.
@@ -270,19 +310,36 @@ impl UvmDriver {
 
     /// Resolves a page fault at simulated time `now`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the faulting page was never registered.
-    pub fn handle_fault(&mut self, now: Time, fault: &PageFault, fabric: &mut Fabric) -> Outcome {
+    /// A fault on a page that was never registered (a trace touching freed
+    /// or unallocated memory) returns
+    /// [`FaultError::UnregisteredPage`]; a fault naming a GPU outside the
+    /// system returns [`FaultError::NoSuchGpu`]. Either leaves the driver
+    /// state untouched.
+    pub fn handle_fault(
+        &mut self,
+        now: Time,
+        fault: &PageFault,
+        fabric: &mut Fabric,
+    ) -> SimResult<Outcome> {
+        if fault.gpu.index() >= self.state.gpu_count() {
+            return Err(FaultError::NoSuchGpu {
+                gpu: fault.gpu.0,
+                gpu_count: self.state.gpu_count(),
+            }
+            .into());
+        }
+        let Some(faulted) = self.state.host_table.get_mut(fault.vpn) else {
+            return Err(FaultError::UnregisteredPage {
+                vpn: fault.vpn.0,
+                gpu: fault.gpu.0,
+            }
+            .into());
+        };
+        faulted.mark_touched(fault.gpu);
         match fault.fault_type {
             FaultType::Far => self.stats.far_faults += 1,
             FaultType::Protection => self.stats.protection_faults += 1,
         }
-        self.state
-            .host_table
-            .get_mut(fault.vpn)
-            .unwrap_or_else(|| panic!("fault on unregistered page {}", fault.vpn))
-            .mark_touched(fault.gpu);
 
         let decision = self.policy.resolve(fault, &self.state);
         let base = match fault.fault_type {
@@ -315,29 +372,39 @@ impl UvmDriver {
         );
         let pinnable = owner != DeviceId::Gpu(fault.gpu)
             && fault.fault_type == FaultType::Far
-            && matches!(decision.resolution, Resolution::Migrate | Resolution::Duplicate);
+            && matches!(
+                decision.resolution,
+                Resolution::Migrate | Resolution::Duplicate
+            );
         let thrashing = moves_data && self.thrash_check(now, fault.vpn);
 
         let mut out;
         if thrashing && pinnable {
             out = Outcome::new(OutcomeKind::RemoteMapped);
-            self.do_remote_map(fault.gpu, fault.vpn, &mut out);
+            self.do_remote_map(fault.gpu, fault.vpn, &mut out)?;
             self.stats.thrash_pins += 1;
             out.latency += base + rtt + decision.metadata_latency + queue_wait;
-            return out;
+            return Ok(out);
         }
         match (fault.fault_type, decision.resolution) {
             (FaultType::Far, Resolution::Migrate) => {
                 out = Outcome::new(OutcomeKind::Migrated);
-                self.do_migrate(now, fault.gpu, fault.vpn, PolicyBits::OnTouch, fabric, &mut out);
+                self.do_migrate(
+                    now,
+                    fault.gpu,
+                    fault.vpn,
+                    PolicyBits::OnTouch,
+                    fabric,
+                    &mut out,
+                )?;
                 self.stats.migrations += 1;
                 if self.prefetch_group && owner == DeviceId::Host {
-                    self.do_group_prefetch(now, fault.gpu, fault.vpn, fabric, &mut out);
+                    self.do_group_prefetch(now, fault.gpu, fault.vpn, fabric, &mut out)?;
                 }
             }
             (FaultType::Far, Resolution::RemoteMap) => {
                 out = Outcome::new(OutcomeKind::RemoteMapped);
-                self.do_remote_map(fault.gpu, fault.vpn, &mut out);
+                self.do_remote_map(fault.gpu, fault.vpn, &mut out)?;
             }
             (FaultType::Far, Resolution::Duplicate) => {
                 if fault.is_write() {
@@ -347,18 +414,18 @@ impl UvmDriver {
                     // pipeline occupancy, but the requester eats the extra
                     // protection-fault latency.
                     out = Outcome::new(OutcomeKind::DuplicatedAndCollapsed);
-                    self.do_duplicate(now, fault.gpu, fault.vpn, fabric, &mut out);
+                    self.do_duplicate(now, fault.gpu, fault.vpn, fabric, &mut out)?;
                     out.latency += self.costs.protection_fault_base;
                     self.stats.protection_faults += 1;
-                    self.do_collapse_to_writer(now, fault.gpu, fault.vpn, fabric, &mut out);
+                    self.do_collapse_to_writer(now, fault.gpu, fault.vpn, fabric, &mut out)?;
                 } else {
                     out = Outcome::new(OutcomeKind::Duplicated);
-                    self.do_duplicate(now, fault.gpu, fault.vpn, fabric, &mut out);
+                    self.do_duplicate(now, fault.gpu, fault.vpn, fabric, &mut out)?;
                 }
             }
             (FaultType::Far, Resolution::IdealCopy) => {
                 out = Outcome::new(OutcomeKind::IdealCopied);
-                self.do_ideal_copy(now, fault.gpu, fault.vpn, fabric, &mut out);
+                self.do_ideal_copy(now, fault.gpu, fault.vpn, fabric, &mut out)?;
             }
             (FaultType::Protection, Resolution::RemoteMap) => {
                 // Access-counter handling of a write to a duplicated page:
@@ -366,20 +433,16 @@ impl UvmDriver {
                 // bits switch to access-counter so *later* sharers get
                 // remote mappings instead of new duplicates.
                 out = Outcome::new(OutcomeKind::CollapsedToWriter);
-                self.state
-                    .host_table
-                    .get_mut(fault.vpn)
-                    .expect("checked above")
-                    .policy = PolicyBits::AccessCounter;
-                self.do_collapse_to_writer(now, fault.gpu, fault.vpn, fabric, &mut out);
+                self.entry_mut(fault.vpn)?.policy = PolicyBits::AccessCounter;
+                self.do_collapse_to_writer(now, fault.gpu, fault.vpn, fabric, &mut out)?;
             }
             (FaultType::Protection, _) => {
                 out = Outcome::new(OutcomeKind::CollapsedToWriter);
-                self.do_collapse_to_writer(now, fault.gpu, fault.vpn, fabric, &mut out);
+                self.do_collapse_to_writer(now, fault.gpu, fault.vpn, fabric, &mut out)?;
             }
         }
         out.latency += base + rtt + decision.metadata_latency + queue_wait;
-        out
+        Ok(out)
     }
 
     /// Records a remote access by `gpu` to `vpn` (which it maps remotely).
@@ -391,12 +454,12 @@ impl UvmDriver {
         gpu: GpuId,
         vpn: Vpn,
         fabric: &mut Fabric,
-    ) -> Option<Outcome> {
+    ) -> SimResult<Option<Outcome>> {
         let group = vpn.0 >> self.group_shift;
         let c = self.counters.entry((gpu.0, group)).or_insert(0);
-        *c += self.counter_weight;
+        *c = c.saturating_add(self.counter_weight);
         if *c < self.counter_threshold {
-            return None;
+            return Ok(None);
         }
         *c = 0;
         let mut out = Outcome::new(OutcomeKind::CounterMigrated { pages: 0 });
@@ -418,18 +481,19 @@ impl UvmDriver {
         let mut moved = 0u32;
         for p in first..first + (1 << self.group_shift) {
             let vpn = Vpn(p);
-            let migrate = self.state.host_table.get(vpn).is_some_and(|e| {
-                e.owner != DeviceId::Gpu(gpu) && (e.maps_remotely(gpu) || e.owner == source)
+            let keep_policy = self.state.host_table.get(vpn).and_then(|e| {
+                let migrate =
+                    e.owner != DeviceId::Gpu(gpu) && (e.maps_remotely(gpu) || e.owner == source);
+                migrate.then_some(e.policy)
             });
-            if migrate {
-                let keep_policy = self.state.host_table.get(vpn).expect("checked").policy;
-                self.do_migrate(now, gpu, vpn, keep_policy, fabric, &mut out);
+            if let Some(bits) = keep_policy {
+                self.do_migrate(now, gpu, vpn, bits, fabric, &mut out)?;
                 self.stats.counter_migrations += 1;
                 moved += 1;
             }
         }
         if moved == 0 {
-            return None;
+            return Ok(None);
         }
         // A migration resets *every* GPU's counter for the group: the next
         // contender must accumulate a full threshold of remote accesses
@@ -445,12 +509,30 @@ impl UvmDriver {
         // and the interconnect (reserved above); only the triggering lane
         // is spared the stall.
         out.latency = Duration::ZERO;
-        Some(out)
+        Ok(Some(out))
     }
 
     /// The page size this driver operates at.
     pub fn page_size(&self) -> PageSize {
         self.state.page_size
+    }
+
+    /// Overwrites the raw access counter of `vpn`'s 64 KiB group for `gpu`.
+    ///
+    /// Not used by normal simulation — this is the fault-injection hook for
+    /// modelling corrupted or saturated hardware counters.
+    pub fn poke_counter(&mut self, gpu: GpuId, vpn: Vpn, value: u32) {
+        let group = vpn.0 >> self.group_shift;
+        self.counters.insert((gpu.0, group), value);
+    }
+
+    /// Overwrites the learned policy bits of a registered page.
+    ///
+    /// Not used by normal simulation — this is the fault-injection hook for
+    /// modelling mid-phase policy flips.
+    pub fn set_page_policy(&mut self, vpn: Vpn, bits: PolicyBits) -> SimResult<()> {
+        self.entry_mut(vpn)?.policy = bits;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -476,8 +558,8 @@ impl UvmDriver {
         bits: PolicyBits,
         fabric: &mut Fabric,
         out: &mut Outcome,
-    ) {
-        let entry = *self.state.host_table.get(vpn).expect("migrate unregistered page");
+    ) -> SimResult<()> {
+        let entry = self.entry(vpn)?;
         let from = entry.owner;
         let mut victims: Vec<GpuId> = Vec::new();
         for g in entry.duplicate_holders().chain(entry.remote_mappers()) {
@@ -505,13 +587,18 @@ impl UvmDriver {
         out.latency += self.costs.invalidation(inv_count);
 
         if from != DeviceId::Gpu(to) {
-            let t = fabric.transfer(now + out.latency, from, DeviceId::Gpu(to), self.page_bytes());
+            let t = fabric.transfer(
+                now + out.latency,
+                from,
+                DeviceId::Gpu(to),
+                self.page_bytes(),
+            );
             out.latency += t.latency_from(now + out.latency);
         }
         if let Some(victim) = self.state.frames[to.index()].insert(vpn) {
-            self.do_evict(now, to, victim, fabric, out);
+            self.do_evict(now, to, victim, fabric, out)?;
         }
-        let e = self.state.host_table.get_mut(vpn).expect("checked");
+        let e = self.entry_mut(vpn)?;
         e.owner = DeviceId::Gpu(to);
         e.copy_mask = 0;
         e.mapper_mask = 0;
@@ -525,13 +612,14 @@ impl UvmDriver {
             },
         );
         out.latency += self.costs.pte_update;
+        Ok(())
     }
 
     /// Installs a remote mapping for `gpu` to the page's current owner.
-    fn do_remote_map(&mut self, gpu: GpuId, vpn: Vpn, out: &mut Outcome) {
+    fn do_remote_map(&mut self, gpu: GpuId, vpn: Vpn, out: &mut Outcome) -> SimResult<()> {
         // Read-only duplicates cannot coexist with a writable remote
         // mapping: collapse them back to the owner first.
-        let entry = *self.state.host_table.get(vpn).expect("map unregistered page");
+        let entry = self.entry(vpn)?;
         if entry.copy_mask != 0 {
             let mut inv = 0usize;
             for g in entry.duplicate_holders() {
@@ -539,11 +627,9 @@ impl UvmDriver {
                 inv += 1;
             }
             out.latency += self.costs.invalidation(inv);
-            let e = self.state.host_table.get_mut(vpn).expect("checked");
-            e.copy_mask = 0;
+            self.entry_mut(vpn)?.copy_mask = 0;
         }
-        let entry = *self.state.host_table.get(vpn).expect("checked");
-        let owner = entry.owner;
+        let owner = self.entry(vpn)?.owner;
         if owner == DeviceId::Gpu(gpu) {
             // Degenerate case (e.g. a re-fault on a self-owned page with
             // the host-PT filter ablated): just reinstall the local
@@ -558,7 +644,7 @@ impl UvmDriver {
                 },
             );
             out.latency += self.costs.pte_update;
-            return;
+            return Ok(());
         }
         // Restore the owner's writable mapping (it may have been downgraded
         // while duplicated).
@@ -572,7 +658,7 @@ impl UvmDriver {
                 },
             );
         }
-        let e = self.state.host_table.get_mut(vpn).expect("checked");
+        let e = self.entry_mut(vpn)?;
         e.mapper_mask |= 1 << gpu.0;
         e.policy = PolicyBits::AccessCounter;
         self.state.local_tables[gpu.index()].insert(
@@ -585,11 +671,19 @@ impl UvmDriver {
         );
         out.latency += self.costs.pte_update;
         self.stats.remote_maps += 1;
+        Ok(())
     }
 
     /// Creates a read-only duplicate of `vpn` on `gpu`.
-    fn do_duplicate(&mut self, now: Time, gpu: GpuId, vpn: Vpn, fabric: &mut Fabric, out: &mut Outcome) {
-        let entry = *self.state.host_table.get(vpn).expect("duplicate unregistered page");
+    fn do_duplicate(
+        &mut self,
+        now: Time,
+        gpu: GpuId,
+        vpn: Vpn,
+        fabric: &mut Fabric,
+        out: &mut Outcome,
+    ) -> SimResult<()> {
+        let entry = self.entry(vpn)?;
         // Writable remote mappings cannot coexist with read-only copies.
         let mut inv = 0usize;
         for g in entry.remote_mappers() {
@@ -618,12 +712,17 @@ impl UvmDriver {
             }
         }
         out.latency += self.costs.invalidation(inv);
-        let t = fabric.transfer(now + out.latency, owner, DeviceId::Gpu(gpu), self.page_bytes());
+        let t = fabric.transfer(
+            now + out.latency,
+            owner,
+            DeviceId::Gpu(gpu),
+            self.page_bytes(),
+        );
         out.latency += t.latency_from(now + out.latency);
         if let Some(victim) = self.state.frames[gpu.index()].insert(vpn) {
-            self.do_evict(now, gpu, victim, fabric, out);
+            self.do_evict(now, gpu, victim, fabric, out)?;
         }
-        let e = self.state.host_table.get_mut(vpn).expect("checked");
+        let e = self.entry_mut(vpn)?;
         e.mapper_mask = 0;
         e.copy_mask |= 1 << gpu.0;
         e.policy = PolicyBits::Duplication;
@@ -637,6 +736,7 @@ impl UvmDriver {
         );
         out.latency += self.costs.pte_update;
         self.stats.duplications += 1;
+        Ok(())
     }
 
     /// Write-collapse: invalidate every copy and make the writer the
@@ -648,8 +748,8 @@ impl UvmDriver {
         vpn: Vpn,
         fabric: &mut Fabric,
         out: &mut Outcome,
-    ) {
-        let entry = *self.state.host_table.get(vpn).expect("collapse unregistered page");
+    ) -> SimResult<()> {
+        let entry = self.entry(vpn)?;
         let writer_has_data =
             entry.owner == DeviceId::Gpu(writer) || entry.copy_mask & (1 << writer.0) != 0;
         let mut inv = 0usize;
@@ -676,9 +776,9 @@ impl UvmDriver {
             out.latency += t.latency_from(now + out.latency);
         }
         if let Some(victim) = self.state.frames[writer.index()].insert(vpn) {
-            self.do_evict(now, writer, victim, fabric, out);
+            self.do_evict(now, writer, victim, fabric, out)?;
         }
-        let e = self.state.host_table.get_mut(vpn).expect("checked");
+        let e = self.entry_mut(vpn)?;
         let bits = e.policy;
         e.owner = DeviceId::Gpu(writer);
         e.copy_mask = 0;
@@ -693,19 +793,31 @@ impl UvmDriver {
         );
         out.latency += self.costs.pte_update;
         self.stats.collapses += 1;
+        Ok(())
     }
 
     /// Gives `gpu` its own writable copy with no consistency bookkeeping
     /// (the hypothetical Ideal policy).
-    fn do_ideal_copy(&mut self, now: Time, gpu: GpuId, vpn: Vpn, fabric: &mut Fabric, out: &mut Outcome) {
-        let entry = *self.state.host_table.get(vpn).expect("copy unregistered page");
-        let t = fabric.transfer(now + out.latency, entry.owner, DeviceId::Gpu(gpu), self.page_bytes());
+    fn do_ideal_copy(
+        &mut self,
+        now: Time,
+        gpu: GpuId,
+        vpn: Vpn,
+        fabric: &mut Fabric,
+        out: &mut Outcome,
+    ) -> SimResult<()> {
+        let entry = self.entry(vpn)?;
+        let t = fabric.transfer(
+            now + out.latency,
+            entry.owner,
+            DeviceId::Gpu(gpu),
+            self.page_bytes(),
+        );
         out.latency += t.latency_from(now + out.latency);
         if let Some(victim) = self.state.frames[gpu.index()].insert(vpn) {
-            self.do_evict(now, gpu, victim, fabric, out);
+            self.do_evict(now, gpu, victim, fabric, out)?;
         }
-        let e = self.state.host_table.get_mut(vpn).expect("checked");
-        e.copy_mask |= 1 << gpu.0;
+        self.entry_mut(vpn)?.copy_mask |= 1 << gpu.0;
         self.state.local_tables[gpu.index()].insert(
             vpn,
             Pte {
@@ -716,6 +828,7 @@ impl UvmDriver {
         );
         out.latency += self.costs.pte_update;
         self.stats.ideal_copies += 1;
+        Ok(())
     }
 
     /// Neighborhood prefetch: after a host→GPU on-touch migration, pull in
@@ -730,7 +843,7 @@ impl UvmDriver {
         vpn: Vpn,
         fabric: &mut Fabric,
         out: &mut Outcome,
-    ) {
+    ) -> SimResult<()> {
         let group = vpn.0 >> self.group_shift;
         let first = group << self.group_shift;
         for p in first..first + (1 << self.group_shift) {
@@ -739,7 +852,10 @@ impl UvmDriver {
                 continue;
             }
             let eligible = self.state.host_table.get(candidate).is_some_and(|e| {
-                e.owner == DeviceId::Host && e.copy_mask == 0 && e.mapper_mask == 0 && e.touched_by == 0
+                e.owner == DeviceId::Host
+                    && e.copy_mask == 0
+                    && e.mapper_mask == 0
+                    && e.touched_by == 0
             });
             if !eligible {
                 continue;
@@ -754,10 +870,9 @@ impl UvmDriver {
             // background; only the transfer pipeline extends the fault.
             let _ = t;
             if let Some(victim) = self.state.frames[gpu.index()].insert(candidate) {
-                self.do_evict(now, gpu, victim, fabric, out);
+                self.do_evict(now, gpu, victim, fabric, out)?;
             }
-            let e = self.state.host_table.get_mut(candidate).expect("checked");
-            e.owner = DeviceId::Gpu(gpu);
+            self.entry_mut(candidate)?.owner = DeviceId::Gpu(gpu);
             self.state.local_tables[gpu.index()].insert(
                 candidate,
                 Pte {
@@ -768,27 +883,37 @@ impl UvmDriver {
             );
             self.stats.prefetches += 1;
         }
+        Ok(())
     }
 
     /// Evicts `victim` from `gpu` (its frame was just reclaimed): duplicate
     /// copies are simply dropped; owned pages are written back to the host,
     /// which keeps their learned policy bits (the paper's oversubscription
     /// fix in Section VI-D).
-    fn do_evict(&mut self, now: Time, gpu: GpuId, victim: Vpn, fabric: &mut Fabric, out: &mut Outcome) {
-        let entry = *self
-            .state
-            .host_table
-            .get(victim)
-            .expect("evicting unregistered page");
+    fn do_evict(
+        &mut self,
+        now: Time,
+        gpu: GpuId,
+        victim: Vpn,
+        fabric: &mut Fabric,
+        out: &mut Outcome,
+    ) -> SimResult<()> {
+        let entry = *self.state.host_table.get(victim).ok_or(
+            // The allocator thought the frame was resident but the host
+            // table has never heard of the page: the two diverged.
+            EvictionError::VictimUnregistered {
+                vpn: victim.0,
+                gpu: gpu.0,
+            },
+        )?;
         self.stats.evictions += 1;
         if entry.owner != DeviceId::Gpu(gpu) {
             // The victim frame held a read-only duplicate (or ideal copy):
             // drop it, no data movement needed.
             self.invalidate_at(gpu, victim, false, out);
             out.latency += self.costs.invalidation(1);
-            let e = self.state.host_table.get_mut(victim).expect("checked");
-            e.copy_mask &= !(1 << gpu.0);
-            return;
+            self.entry_mut(victim)?.copy_mask &= !(1 << gpu.0);
+            return Ok(());
         }
         // Full eviction of an owned page: every holder is invalidated and
         // the data moves back to host memory.
@@ -811,11 +936,12 @@ impl UvmDriver {
             DeviceId::Host,
             self.page_bytes(),
         );
-        let e = self.state.host_table.get_mut(victim).expect("checked");
+        let e = self.entry_mut(victim)?;
         e.owner = DeviceId::Host;
         e.copy_mask = 0;
         e.mapper_mask = 0;
         // e.policy intentionally retained (Section VI-D).
+        Ok(())
     }
 
     fn page_bytes(&self) -> u64 {
@@ -826,9 +952,8 @@ impl UvmDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{
-        AccessCounterPolicy, DuplicationPolicy, IdealPolicy, OnTouchPolicy,
-    };
+    use crate::policy::{AccessCounterPolicy, DuplicationPolicy, IdealPolicy, OnTouchPolicy};
+    use oasis_engine::SimError;
     use oasis_interconnect::FabricConfig;
     use oasis_mem::types::AccessKind;
 
@@ -841,7 +966,8 @@ mod tests {
             UvmCosts::default(),
             4, // low threshold for tests
         );
-        d.alloc_object(ObjectId(0), Va(0x1000_0000), 64 * 4096, |_| DeviceId::Host);
+        d.alloc_object(ObjectId(0), Va(0x1000_0000), 64 * 4096, |_| DeviceId::Host)
+            .expect("fresh allocation");
         (d, Fabric::new(4, FabricConfig::default()))
     }
 
@@ -853,18 +979,41 @@ mod tests {
         PageFault::far(GpuId(gpu), Va(0x1000_0000 + page * 4096), vpn(page), kind)
     }
 
+    /// Resolves a fault that the test expects to succeed.
+    fn fault(d: &mut UvmDriver, f: &mut Fabric, pf: &PageFault) -> Outcome {
+        d.handle_fault(Time::ZERO, pf, f).expect("fault resolves")
+    }
+
+    /// Copied host-table entry for a page the test knows is registered.
+    fn entry(d: &UvmDriver, v: Vpn) -> HostEntry {
+        *d.state.host_table.get(v).expect("page registered")
+    }
+
+    /// Local PTE for a page the test knows is mapped on `g`.
+    fn pte(d: &UvmDriver, g: usize, v: Vpn) -> Pte {
+        *d.state.local_tables[g].get(v).expect("page mapped")
+    }
+
+    /// Remote-access notification that the test expects to succeed.
+    fn note(d: &mut UvmDriver, f: &mut Fabric, g: u8, v: Vpn) -> Option<Outcome> {
+        d.note_remote_access(Time::ZERO, GpuId(g), v, f)
+            .expect("notification accepted")
+    }
+
+    /// Edits a registered page's host-table entry in place.
+    fn with_entry(d: &mut UvmDriver, v: Vpn, edit: impl FnOnce(&mut HostEntry)) {
+        edit(d.state.host_table.get_mut(v).expect("page registered"));
+    }
+
     #[test]
     fn on_touch_migrates_from_host_then_between_gpus() {
         let (mut d, mut f) = driver(Box::new(OnTouchPolicy), None);
-        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Read), &mut f);
+        let o = fault(&mut d, &mut f, &far(0, 0, AccessKind::Read));
         assert_eq!(o.kind, OutcomeKind::Migrated);
-        assert_eq!(
-            d.state.host_table.get(vpn(0)).unwrap().owner,
-            DeviceId::Gpu(GpuId(0))
-        );
+        assert_eq!(entry(&d, vpn(0)).owner, DeviceId::Gpu(GpuId(0)));
         assert!(d.state.frames[0].contains(vpn(0)));
         // GPU1 touches the same page: ping-pong migration, GPU0 invalidated.
-        let o = d.handle_fault(Time::ZERO, &far(1, 0, AccessKind::Write), &mut f);
+        let o = fault(&mut d, &mut f, &far(1, 0, AccessKind::Write));
         assert_eq!(o.kind, OutcomeKind::Migrated);
         assert!(o.invalidations.contains(&(GpuId(0), vpn(0))));
         assert!(d.state.local_tables[0].get(vpn(0)).is_none());
@@ -878,115 +1027,84 @@ mod tests {
     fn access_counter_maps_then_migrates_at_threshold() {
         let (mut d, mut f) = driver(Box::new(AccessCounterPolicy), None);
         // GPU0 touches first: remote map to host (deferred migration).
-        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Write), &mut f);
+        let o = fault(&mut d, &mut f, &far(0, 0, AccessKind::Write));
         assert_eq!(o.kind, OutcomeKind::RemoteMapped);
-        assert_eq!(d.state.host_table.get(vpn(0)).unwrap().owner, DeviceId::Host);
+        assert_eq!(entry(&d, vpn(0)).owner, DeviceId::Host);
         // GPU0's counter reaches the threshold: the 64 KiB group migrates
         // to it from the host (region-granular migration).
         for _ in 0..3 {
-            d.note_remote_access(Time::ZERO, GpuId(0), vpn(0), &mut f);
+            note(&mut d, &mut f, 0, vpn(0));
         }
-        let o = d
-            .note_remote_access(Time::ZERO, GpuId(0), vpn(0), &mut f)
-            .expect("host group migrates at threshold");
+        let o = note(&mut d, &mut f, 0, vpn(0)).expect("host group migrates at threshold");
         assert!(matches!(o.kind, OutcomeKind::CounterMigrated { pages: 16 }));
-        assert_eq!(
-            d.state.host_table.get(vpn(0)).unwrap().owner,
-            DeviceId::Gpu(GpuId(0))
-        );
+        assert_eq!(entry(&d, vpn(0)).owner, DeviceId::Gpu(GpuId(0)));
         // Unmapped same-source neighbors moved too.
-        assert_eq!(
-            d.state.host_table.get(vpn(5)).unwrap().owner,
-            DeviceId::Gpu(GpuId(0))
-        );
+        assert_eq!(entry(&d, vpn(5)).owner, DeviceId::Gpu(GpuId(0)));
         d.stats.counter_migrations = 0;
         // GPU1 then faults: remote map, data stays at GPU0.
-        let o = d.handle_fault(Time::ZERO, &far(1, 0, AccessKind::Write), &mut f);
+        let o = fault(&mut d, &mut f, &far(1, 0, AccessKind::Write));
         assert_eq!(o.kind, OutcomeKind::RemoteMapped);
-        let e = d.state.host_table.get(vpn(0)).unwrap();
+        let e = entry(&d, vpn(0));
         assert_eq!(e.owner, DeviceId::Gpu(GpuId(0)));
         assert!(e.maps_remotely(GpuId(1)));
-        let pte = d.state.local_tables[1].get(vpn(0)).unwrap();
-        assert_eq!(pte.location, DeviceId::Gpu(GpuId(0)));
-        assert_eq!(pte.policy, PolicyBits::AccessCounter);
+        let p = pte(&d, 1, vpn(0));
+        assert_eq!(p.location, DeviceId::Gpu(GpuId(0)));
+        assert_eq!(p.policy, PolicyBits::AccessCounter);
         // Remote accesses below the threshold don't migrate.
         for _ in 0..3 {
-            assert!(d
-                .note_remote_access(Time::ZERO, GpuId(1), vpn(0), &mut f)
-                .is_none());
+            assert!(note(&mut d, &mut f, 1, vpn(0)).is_none());
         }
         // The 4th access hits the threshold and migrates the group (all 16
         // pages now live at GPU0, the triggering page's source) to GPU1.
-        let o = d
-            .note_remote_access(Time::ZERO, GpuId(1), vpn(0), &mut f)
-            .expect("counter migration");
+        let o = note(&mut d, &mut f, 1, vpn(0)).expect("counter migration");
         assert!(matches!(o.kind, OutcomeKind::CounterMigrated { pages: 16 }));
-        assert_eq!(
-            d.state.host_table.get(vpn(0)).unwrap().owner,
-            DeviceId::Gpu(GpuId(1))
-        );
+        assert_eq!(entry(&d, vpn(0)).owner, DeviceId::Gpu(GpuId(1)));
         assert!(o.invalidations.contains(&(GpuId(0), vpn(0))));
         assert_eq!(d.stats.counter_migrations, 16);
         // Counter migration keeps the access-counter policy bits.
-        assert_eq!(
-            d.state.host_table.get(vpn(0)).unwrap().policy,
-            PolicyBits::AccessCounter
-        );
+        assert_eq!(entry(&d, vpn(0)).policy, PolicyBits::AccessCounter);
     }
 
     #[test]
     fn counter_migration_moves_whole_group_mapped_remotely() {
         let (mut d, mut f) = driver(Box::new(AccessCounterPolicy), None);
         // GPU1 remote-maps host pages 0 and 1 (same 64 KiB group).
-        d.handle_fault(Time::ZERO, &far(1, 0, AccessKind::Read), &mut f);
-        d.handle_fault(Time::ZERO, &far(1, 1, AccessKind::Read), &mut f);
+        fault(&mut d, &mut f, &far(1, 0, AccessKind::Read));
+        fault(&mut d, &mut f, &far(1, 1, AccessKind::Read));
         for _ in 0..3 {
-            assert!(d
-                .note_remote_access(Time::ZERO, GpuId(1), vpn(0), &mut f)
-                .is_none());
+            assert!(note(&mut d, &mut f, 1, vpn(0)).is_none());
         }
-        let o = d
-            .note_remote_access(Time::ZERO, GpuId(1), vpn(0), &mut f)
-            .unwrap();
+        let o = note(&mut d, &mut f, 1, vpn(0)).expect("group migrates");
         // The whole same-source 64 KiB group migrates together (16 pages
         // registered in the test object's first group).
         assert!(matches!(o.kind, OutcomeKind::CounterMigrated { pages: 16 }));
-        assert_eq!(
-            d.state.host_table.get(vpn(0)).unwrap().owner,
-            DeviceId::Gpu(GpuId(1))
-        );
-        assert_eq!(
-            d.state.host_table.get(vpn(1)).unwrap().owner,
-            DeviceId::Gpu(GpuId(1))
-        );
+        assert_eq!(entry(&d, vpn(0)).owner, DeviceId::Gpu(GpuId(1)));
+        assert_eq!(entry(&d, vpn(1)).owner, DeviceId::Gpu(GpuId(1)));
     }
 
     #[test]
     fn duplication_read_shares_then_write_collapses() {
         let (mut d, mut f) = driver(Box::new(DuplicationPolicy), None);
         // GPU0 reads: duplicate from host (host stays owner).
-        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Read), &mut f);
+        let o = fault(&mut d, &mut f, &far(0, 0, AccessKind::Read));
         assert_eq!(o.kind, OutcomeKind::Duplicated);
-        let e = d.state.host_table.get(vpn(0)).unwrap();
+        let e = entry(&d, vpn(0));
         assert_eq!(e.owner, DeviceId::Host);
         assert!(e.readable_at(GpuId(0)));
-        assert!(!d.state.local_tables[0].get(vpn(0)).unwrap().writable);
+        assert!(!pte(&d, 0, vpn(0)).writable);
         // GPU1 and GPU2 also read.
-        d.handle_fault(Time::ZERO, &far(1, 0, AccessKind::Read), &mut f);
-        d.handle_fault(Time::ZERO, &far(2, 0, AccessKind::Read), &mut f);
-        assert_eq!(
-            d.state.host_table.get(vpn(0)).unwrap().duplicate_count(),
-            3
-        );
+        fault(&mut d, &mut f, &far(1, 0, AccessKind::Read));
+        fault(&mut d, &mut f, &far(2, 0, AccessKind::Read));
+        assert_eq!(entry(&d, vpn(0)).duplicate_count(), 3);
         assert_eq!(d.stats.duplications, 3);
         // GPU0 writes its read-only copy: protection fault, collapse.
         let pf = PageFault::protection(GpuId(0), Va(0x1000_0000), vpn(0));
-        let o = d.handle_fault(Time::ZERO, &pf, &mut f);
+        let o = fault(&mut d, &mut f, &pf);
         assert_eq!(o.kind, OutcomeKind::CollapsedToWriter);
-        let e = d.state.host_table.get(vpn(0)).unwrap();
+        let e = entry(&d, vpn(0));
         assert_eq!(e.owner, DeviceId::Gpu(GpuId(0)));
         assert_eq!(e.copy_mask, 0);
-        assert!(d.state.local_tables[0].get(vpn(0)).unwrap().writable);
+        assert!(pte(&d, 0, vpn(0)).writable);
         assert!(d.state.local_tables[1].get(vpn(0)).is_none());
         assert!(d.state.local_tables[2].get(vpn(0)).is_none());
         assert_eq!(d.stats.collapses, 1);
@@ -996,17 +1114,17 @@ mod tests {
     #[test]
     fn write_far_fault_under_duplication_pays_double() {
         let (mut d, mut f) = driver(Box::new(DuplicationPolicy), None);
-        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Write), &mut f);
+        let o = fault(&mut d, &mut f, &far(0, 0, AccessKind::Write));
         assert_eq!(o.kind, OutcomeKind::DuplicatedAndCollapsed);
         // Ends exclusive-writable at the writer.
-        let e = d.state.host_table.get(vpn(0)).unwrap();
+        let e = entry(&d, vpn(0));
         assert_eq!(e.owner, DeviceId::Gpu(GpuId(0)));
-        assert!(d.state.local_tables[0].get(vpn(0)).unwrap().writable);
+        assert!(pte(&d, 0, vpn(0)).writable);
         // It cost a far fault AND a protection fault.
         assert_eq!(d.stats.far_faults, 1);
         assert_eq!(d.stats.protection_faults, 1);
-        let single_fault_floor = UvmCosts::default().far_fault_base
-            + UvmCosts::default().protection_fault_base;
+        let single_fault_floor =
+            UvmCosts::default().far_fault_base + UvmCosts::default().protection_fault_base;
         assert!(o.latency > single_fault_floor);
     }
 
@@ -1014,14 +1132,14 @@ mod tests {
     fn ideal_copies_are_writable_and_never_invalidated() {
         let (mut d, mut f) = driver(Box::new(IdealPolicy), None);
         for g in 0..4 {
-            let o = d.handle_fault(Time::ZERO, &far(g, 0, AccessKind::Write), &mut f);
+            let o = fault(&mut d, &mut f, &far(g, 0, AccessKind::Write));
             assert_eq!(o.kind, OutcomeKind::IdealCopied);
             assert!(o.invalidations.is_empty());
         }
         for g in 0..4usize {
-            let pte = d.state.local_tables[g].get(vpn(0)).unwrap();
-            assert!(pte.writable);
-            assert_eq!(pte.location, DeviceId::Gpu(GpuId(g as u8)));
+            let p = pte(&d, g, vpn(0));
+            assert!(p.writable);
+            assert_eq!(p.location, DeviceId::Gpu(GpuId(g as u8)));
         }
         assert_eq!(d.stats.ideal_copies, 4);
         assert_eq!(d.stats.collapses, 0);
@@ -1031,14 +1149,14 @@ mod tests {
     fn oversubscription_evicts_lru_to_host_and_keeps_policy_bits() {
         // Capacity of 2 pages per GPU.
         let (mut d, mut f) = driver(Box::new(OnTouchPolicy), Some(2));
-        d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Write), &mut f);
-        d.handle_fault(Time::ZERO, &far(0, 1, AccessKind::Write), &mut f);
+        fault(&mut d, &mut f, &far(0, 0, AccessKind::Write));
+        fault(&mut d, &mut f, &far(0, 1, AccessKind::Write));
         // Mark page 0's learned policy so we can check it survives eviction.
-        d.state.host_table.get_mut(vpn(0)).unwrap().policy = PolicyBits::Duplication;
+        with_entry(&mut d, vpn(0), |e| e.policy = PolicyBits::Duplication);
         // Third page evicts page 0 (LRU).
-        let o = d.handle_fault(Time::ZERO, &far(0, 2, AccessKind::Write), &mut f);
+        let o = fault(&mut d, &mut f, &far(0, 2, AccessKind::Write));
         assert!(o.invalidations.contains(&(GpuId(0), vpn(0))));
-        let e = d.state.host_table.get(vpn(0)).unwrap();
+        let e = entry(&d, vpn(0));
         assert_eq!(e.owner, DeviceId::Host);
         assert_eq!(e.policy, PolicyBits::Duplication);
         assert!(!d.state.frames[0].contains(vpn(0)));
@@ -1051,12 +1169,12 @@ mod tests {
     fn evicting_a_duplicate_copy_drops_it_without_writeback() {
         let (mut d, mut f) = driver(Box::new(DuplicationPolicy), Some(2));
         // Two duplicates on GPU0 (owner stays host), then a third fills it.
-        d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Read), &mut f);
-        d.handle_fault(Time::ZERO, &far(0, 1, AccessKind::Read), &mut f);
+        fault(&mut d, &mut f, &far(0, 0, AccessKind::Read));
+        fault(&mut d, &mut f, &far(0, 1, AccessKind::Read));
         let before = f.pcie_bytes();
-        d.handle_fault(Time::ZERO, &far(0, 2, AccessKind::Read), &mut f);
+        fault(&mut d, &mut f, &far(0, 2, AccessKind::Read));
         // Page 0's copy dropped from GPU0; host entry no longer lists it.
-        assert!(!d.state.host_table.get(vpn(0)).unwrap().readable_at(GpuId(0)));
+        assert!(!entry(&d, vpn(0)).readable_at(GpuId(0)));
         assert!(d.state.local_tables[0].get(vpn(0)).is_none());
         // Only the new duplicate's transfer hit PCIe (no write-back).
         assert_eq!(f.pcie_bytes() - before, 4096);
@@ -1068,11 +1186,10 @@ mod tests {
         let (mut d, mut f) = driver(Box::new(AccessCounterPolicy), None);
         // GPU0 owns the page; GPU1 and GPU2 hold duplicates (hand-built,
         // as OASIS can produce after a policy change).
-        {
-            let e = d.state.host_table.get_mut(vpn(0)).unwrap();
+        with_entry(&mut d, vpn(0), |e| {
             e.owner = DeviceId::Gpu(GpuId(0));
             e.copy_mask = 0b0110;
-        }
+        });
         d.state.frames[0].insert(vpn(0));
         d.state.local_tables[0].insert(
             vpn(0),
@@ -1094,15 +1211,15 @@ mod tests {
             );
         }
         let pf = PageFault::protection(GpuId(1), Va(0x1000_0000), vpn(0));
-        let o = d.handle_fault(Time::ZERO, &pf, &mut f);
+        let o = fault(&mut d, &mut f, &pf);
         assert_eq!(o.kind, OutcomeKind::CollapsedToWriter);
-        let e = d.state.host_table.get(vpn(0)).unwrap();
+        let e = entry(&d, vpn(0));
         // The writer becomes the exclusive owner with access-counter
         // policy bits: later sharers remote-map instead of duplicating.
         assert_eq!(e.owner, DeviceId::Gpu(GpuId(1)));
         assert_eq!(e.copy_mask, 0);
         assert_eq!(e.policy, PolicyBits::AccessCounter);
-        assert!(d.state.local_tables[1].get(vpn(0)).unwrap().writable);
+        assert!(pte(&d, 1, vpn(0)).writable);
         assert!(d.state.local_tables[0].get(vpn(0)).is_none());
         assert!(d.state.local_tables[2].get(vpn(0)).is_none());
     }
@@ -1113,12 +1230,12 @@ mod tests {
         d.prefetch_group = true;
         // One fault on page 0 migrates it AND prefetches the rest of its
         // 64 KiB group (pages 1..16) from the host.
-        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Read), &mut f);
+        let o = fault(&mut d, &mut f, &far(0, 0, AccessKind::Read));
         assert_eq!(o.kind, OutcomeKind::Migrated);
         assert_eq!(d.stats.prefetches, 15);
         for p in 0..16u64 {
             assert_eq!(
-                d.state.host_table.get(vpn(p)).unwrap().owner,
+                entry(&d, vpn(p)).owner,
                 DeviceId::Gpu(GpuId(0)),
                 "page {p} should be resident after prefetch"
             );
@@ -1129,11 +1246,11 @@ mod tests {
         assert!(d.state.local_tables[0].get(vpn(5)).is_some());
         assert_eq!(d.stats.far_faults, faults_before);
         // Pages already touched by another GPU are not stolen by prefetch.
-        d.handle_fault(Time::ZERO, &far(1, 17, AccessKind::Read), &mut f);
-        let o = d.handle_fault(Time::ZERO, &far(0, 16, AccessKind::Read), &mut f);
+        fault(&mut d, &mut f, &far(1, 17, AccessKind::Read));
+        let o = fault(&mut d, &mut f, &far(0, 16, AccessKind::Read));
         assert_eq!(o.kind, OutcomeKind::Migrated);
         assert_eq!(
-            d.state.host_table.get(vpn(17)).unwrap().owner,
+            entry(&d, vpn(17)).owner,
             DeviceId::Gpu(GpuId(1)),
             "prefetch must not steal touched pages"
         );
@@ -1151,24 +1268,35 @@ mod tests {
         );
         d.alloc_object(ObjectId(0), Va(0x1000_0000), 4 * 4096, |v| {
             DeviceId::Gpu(GpuId((v.0 % 4) as u8))
-        });
-        let mut owners: Vec<DeviceId> = (0..4)
-            .map(|i| d.state.host_table.get(vpn(i)).unwrap().owner)
-            .collect();
+        })
+        .expect("fresh allocation");
+        let mut owners: Vec<DeviceId> = (0..4).map(|i| entry(&d, vpn(i)).owner).collect();
         owners.sort();
         owners.dedup();
         assert_eq!(owners.len(), 4, "pages striped across all four GPUs");
         // Each owning GPU already has a valid local translation.
         for i in 0..4u64 {
-            let g = d.state.host_table.get(vpn(i)).unwrap().owner.gpu().unwrap();
-            assert!(d.state.local_tables[g.index()].get(vpn(i)).is_some());
+            if let DeviceId::Gpu(g) = entry(&d, vpn(i)).owner {
+                assert!(d.state.local_tables[g.index()].get(vpn(i)).is_some());
+            } else {
+                unreachable!("striped pages are GPU-owned");
+            }
         }
+    }
+
+    #[test]
+    fn double_alloc_is_a_typed_error() {
+        let (mut d, _) = driver(Box::new(OnTouchPolicy), None);
+        let err = d
+            .alloc_object(ObjectId(1), Va(0x1000_0000), 4096, |_| DeviceId::Host)
+            .expect_err("overlapping allocation must be rejected");
+        assert!(matches!(err, SimError::Table(_)), "got {err}");
     }
 
     #[test]
     fn free_object_unmaps_everywhere() {
         let (mut d, mut f) = driver(Box::new(OnTouchPolicy), None);
-        d.handle_fault(Time::ZERO, &far(2, 0, AccessKind::Write), &mut f);
+        fault(&mut d, &mut f, &far(2, 0, AccessKind::Write));
         d.free_object(ObjectId(0), Va(0x1000_0000), 64 * 4096);
         assert!(d.state.host_table.get(vpn(0)).is_none());
         assert!(d.state.local_tables[2].get(vpn(0)).is_none());
@@ -1176,34 +1304,77 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fault on unregistered page")]
-    fn fault_on_unregistered_page_panics() {
+    fn fault_on_unregistered_page_is_a_typed_error() {
         let (mut d, mut f) = driver(Box::new(OnTouchPolicy), None);
-        let bogus = PageFault::far(GpuId(0), Va(0x9999_0000), Va(0x9999_0000).vpn(PageSize::Small4K), AccessKind::Read);
-        d.handle_fault(Time::ZERO, &bogus, &mut f);
+        let bogus_va = Va(0x9999_0000);
+        let bogus = PageFault::far(
+            GpuId(0),
+            bogus_va,
+            bogus_va.vpn(PageSize::Small4K),
+            AccessKind::Read,
+        );
+        let err = d
+            .handle_fault(Time::ZERO, &bogus, &mut f)
+            .expect_err("unregistered page must not resolve");
+        assert_eq!(
+            err,
+            SimError::Fault(oasis_engine::FaultError::UnregisteredPage {
+                vpn: bogus_va.vpn(PageSize::Small4K).0,
+                gpu: 0,
+            })
+        );
+        // The failed fault must leave no trace in the stats or state.
+        assert_eq!(d.stats.far_faults, 0);
+    }
+
+    #[test]
+    fn fault_from_unknown_gpu_is_a_typed_error() {
+        let (mut d, mut f) = driver(Box::new(OnTouchPolicy), None);
+        let bogus = PageFault::far(GpuId(9), Va(0x1000_0000), vpn(0), AccessKind::Read);
+        let err = d
+            .handle_fault(Time::ZERO, &bogus, &mut f)
+            .expect_err("GPU 9 does not exist");
+        assert!(matches!(
+            err,
+            SimError::Fault(oasis_engine::FaultError::NoSuchGpu {
+                gpu: 9,
+                gpu_count: 4
+            })
+        ));
     }
 
     #[test]
     fn remote_map_collapses_existing_duplicates_first() {
         let (mut d, mut f) = driver(Box::new(DuplicationPolicy), None);
         // GPU0 writes (becomes owner), GPU1 reads (duplicate).
-        d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Write), &mut f);
-        d.handle_fault(Time::ZERO, &far(1, 0, AccessKind::Read), &mut f);
-        assert_eq!(d.state.host_table.get(vpn(0)).unwrap().duplicate_count(), 1);
+        fault(&mut d, &mut f, &far(0, 0, AccessKind::Write));
+        fault(&mut d, &mut f, &far(1, 0, AccessKind::Read));
+        assert_eq!(entry(&d, vpn(0)).duplicate_count(), 1);
         // Switch policy semantics: hand GPU2 a remote map via the driver.
         let mut out = Outcome::new(OutcomeKind::RemoteMapped);
-        d.do_remote_map(GpuId(2), vpn(0), &mut out);
-        let e = d.state.host_table.get(vpn(0)).unwrap();
+        d.do_remote_map(GpuId(2), vpn(0), &mut out)
+            .expect("remote map succeeds");
+        let e = entry(&d, vpn(0));
         assert_eq!(e.copy_mask, 0, "duplicates collapsed");
         assert!(e.maps_remotely(GpuId(2)));
         // The owner's mapping is writable again.
-        assert!(d.state.local_tables[0].get(vpn(0)).unwrap().writable);
+        assert!(pte(&d, 0, vpn(0)).writable);
+    }
+
+    #[test]
+    fn poke_counter_forces_next_access_over_threshold() {
+        let (mut d, mut f) = driver(Box::new(AccessCounterPolicy), None);
+        fault(&mut d, &mut f, &far(0, 0, AccessKind::Read)); // remote map
+                                                             // Corrupt the counter to just below the threshold: one access trips.
+        d.poke_counter(GpuId(0), vpn(0), 3);
+        let o = note(&mut d, &mut f, 0, vpn(0)).expect("poked counter trips");
+        assert!(matches!(o.kind, OutcomeKind::CounterMigrated { .. }));
     }
 
     #[test]
     fn migration_latency_includes_transfer_and_fault_overhead() {
         let (mut d, mut f) = driver(Box::new(OnTouchPolicy), None);
-        let o = d.handle_fault(Time::ZERO, &far(0, 0, AccessKind::Read), &mut f);
+        let o = fault(&mut d, &mut f, &far(0, 0, AccessKind::Read));
         let floor = UvmCosts::default().far_fault_base;
         assert!(o.latency > floor);
         // 4 KiB over 32 GB/s PCIe = 128 ns, plus 2 us latency, plus fault.

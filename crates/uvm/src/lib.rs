@@ -17,11 +17,13 @@
 pub mod costs;
 pub mod driver;
 pub mod fault;
+pub mod guard;
 pub mod policy;
 pub mod stats;
 
 pub use costs::UvmCosts;
 pub use driver::{MemState, Outcome, OutcomeKind, UvmDriver};
 pub use fault::{FaultType, PageFault};
+pub use guard::check_mem_state;
 pub use policy::{Decision, PolicyEngine, Resolution};
 pub use stats::UvmStats;

@@ -6,6 +6,7 @@
 //! page, plus the hypothetical "Ideal" configuration of Section IV-A.
 //! OASIS (`oasis-core`) and GRIT (`oasis-grit`) implement the same trait.
 
+use oasis_engine::error::SimResult;
 use oasis_engine::Duration;
 use oasis_mem::types::{DeviceId, ObjectId, Va};
 
@@ -70,6 +71,13 @@ pub trait PolicyEngine {
 
     /// Called when an object is freed.
     fn on_free(&mut self, _obj: ObjectId) {}
+
+    /// Validates the policy's internal metadata (e.g. O-Table LRU
+    /// well-formedness). Called by the sim-guard runtime checker; stateless
+    /// policies have nothing to verify.
+    fn check_invariants(&self) -> SimResult<()> {
+        Ok(())
+    }
 }
 
 /// Uniform on-touch migration: always migrate to the requester
@@ -178,11 +186,13 @@ mod tests {
     fn access_counter_defers_migration_everywhere_but_self() {
         let mut p = AccessCounterPolicy;
         let mut s = state();
-        s.host_table.register(Vpn(1), HostEntry::new_on_host());
-        s.host_table
-            .register(Vpn(2), HostEntry::new_at(DeviceId::Gpu(GpuId(3))));
-        s.host_table
-            .register(Vpn(3), HostEntry::new_at(DeviceId::Gpu(GpuId(0))));
+        for (v, e) in [
+            (Vpn(1), HostEntry::new_on_host()),
+            (Vpn(2), HostEntry::new_at(DeviceId::Gpu(GpuId(3)))),
+            (Vpn(3), HostEntry::new_at(DeviceId::Gpu(GpuId(0)))),
+        ] {
+            s.host_table.register(v, e).expect("fresh page");
+        }
         // Host-resident and peer-resident pages both get remote mappings;
         // only a re-fault on a self-owned page reinstalls locally.
         assert_eq!(p.resolve(&fault(1), &s).resolution, Resolution::RemoteMap);

@@ -43,7 +43,10 @@ impl UvmStats {
 
     /// Total pages moved between devices for any reason.
     pub fn total_page_moves(&self) -> u64 {
-        self.migrations + self.counter_migrations + self.duplications + self.ideal_copies
+        self.migrations
+            + self.counter_migrations
+            + self.duplications
+            + self.ideal_copies
             + self.evictions
     }
 }

@@ -11,8 +11,7 @@ use oasis_mem::types::AccessKind;
 use crate::apps::{alloc_small, part};
 use crate::spec::WorkloadParams;
 use crate::trace::{block, Trace, TraceBuilder};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use oasis_engine::SimRng;
 
 /// BFS levels executed inside the kernel (implicit phases).
 pub const LEVELS: usize = 8;
@@ -20,7 +19,7 @@ pub const LEVELS: usize = 8;
 /// Generates the BFS trace.
 pub fn generate(params: &WorkloadParams) -> Trace {
     let g = params.gpu_count;
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SimRng::seed_from_u64(params.seed);
     let mut b = TraceBuilder::new("BFS", g);
     let nodes = b.alloc("BFS_Nodes", part(params, 130));
     let edges = b.alloc("BFS_Edges", part(params, 520));
@@ -42,14 +41,62 @@ pub fn generate(params: &WorkloadParams) -> Trace {
         };
         for gpu in 0..g {
             let t = activity;
-            b.random(gpu, frontier, 0..frontier_pages, 40 * t, AccessKind::Read, 1, &mut rng);
-            b.random(gpu, nodes, 0..node_pages, 100 * t, AccessKind::Read, 3, &mut rng);
-            b.random(gpu, edges, 0..edge_pages, 400 * t, AccessKind::Read, 3, &mut rng);
+            b.random(
+                gpu,
+                frontier,
+                0..frontier_pages,
+                40 * t,
+                AccessKind::Read,
+                1,
+                &mut rng,
+            );
+            b.random(
+                gpu,
+                nodes,
+                0..node_pages,
+                100 * t,
+                AccessKind::Read,
+                3,
+                &mut rng,
+            );
+            b.random(
+                gpu,
+                edges,
+                0..edge_pages,
+                400 * t,
+                AccessKind::Read,
+                3,
+                &mut rng,
+            );
             // Level-synchronous scan of the GPU's own cost partition.
             b.seq(gpu, cost, block(cost_pages, g, gpu), AccessKind::Read, 2);
-            b.random(gpu, cost, 0..cost_pages, 80 * t, AccessKind::Read, 2, &mut rng);
-            b.random(gpu, cost, 0..cost_pages, 50 * t, AccessKind::Write, 1, &mut rng);
-            b.random(gpu, frontier, 0..frontier_pages, 30 * t, AccessKind::Write, 1, &mut rng);
+            b.random(
+                gpu,
+                cost,
+                0..cost_pages,
+                80 * t,
+                AccessKind::Read,
+                2,
+                &mut rng,
+            );
+            b.random(
+                gpu,
+                cost,
+                0..cost_pages,
+                50 * t,
+                AccessKind::Write,
+                1,
+                &mut rng,
+            );
+            b.random(
+                gpu,
+                frontier,
+                0..frontier_pages,
+                30 * t,
+                AccessKind::Write,
+                1,
+                &mut rng,
+            );
             b.shuffle_stream(gpu, &mut rng);
         }
         // Level-synchronous BFS: the frontier for the next level is only

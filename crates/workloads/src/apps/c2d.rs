@@ -47,8 +47,20 @@ pub fn generate(params: &WorkloadParams) -> Trace {
             b.seq(gpu, input, block(in_pages, g, blk), AccessKind::Read, 4);
             let next = block(in_pages, g, (blk + 1) % g);
             let halo = ((next.end - next.start) / 8).max(1);
-            b.seq(gpu, input, next.start..next.start + halo, AccessKind::Read, 4);
-            b.seq(gpu, im2col_out, block(i2c_pages, g, blk), AccessKind::Write, 16);
+            b.seq(
+                gpu,
+                input,
+                next.start..next.start + halo,
+                AccessKind::Read,
+                4,
+            );
+            b.seq(
+                gpu,
+                im2col_out,
+                block(i2c_pages, g, blk),
+                AccessKind::Write,
+                16,
+            );
         }
 
         b.begin_phase(format!("gemm_r{round}"));
@@ -57,16 +69,34 @@ pub fn generate(params: &WorkloadParams) -> Trace {
             // kernels (data locality); the *round* rotation above is what
             // makes the intermediates shared across phases.
             let blk = (gpu + round) % g;
-            b.seq(gpu, im2col_out, block(i2c_pages, g, blk), AccessKind::Read, 8);
+            b.seq(
+                gpu,
+                im2col_out,
+                block(i2c_pages, g, blk),
+                AccessKind::Read,
+                8,
+            );
             b.sweep_rotated(gpu, pars, 0..par_pages, AccessKind::Read, 8);
             b.seq(gpu, bias, 0..bias_pages, AccessKind::Read, 1);
-            b.seq(gpu, gemm_out, block(gemm_pages, g, blk), AccessKind::Write, 16);
+            b.seq(
+                gpu,
+                gemm_out,
+                block(gemm_pages, g, blk),
+                AccessKind::Write,
+                16,
+            );
         }
 
         b.begin_phase(format!("transpose_r{round}"));
         for gpu in 0..g {
             let blk = (gpu + round) % g;
-            b.seq(gpu, gemm_out, block(gemm_pages, g, blk), AccessKind::Read, 8);
+            b.seq(
+                gpu,
+                gemm_out,
+                block(gemm_pages, g, blk),
+                AccessKind::Read,
+                8,
+            );
             b.seq(gpu, mt_out, block(mt_pages, g, blk), AccessKind::Write, 16);
         }
     }

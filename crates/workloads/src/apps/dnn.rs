@@ -158,7 +158,13 @@ pub fn generate(spec: DnnSpec, params: &WorkloadParams) -> Trace {
                 b.sweep_rotated(gpu, lay.w, 0..w_pages, AccessKind::Read, 2);
                 b.seq(gpu, lay.b, 0..b_pages, AccessKind::Read, 1);
                 b.seq(gpu, lay.bn_scale, 0..bn_pages, AccessKind::Read, 1);
-                b.seq(gpu, lay.bn_shift, 0..pages(&b, lay.bn_shift), AccessKind::Read, 1);
+                b.seq(
+                    gpu,
+                    lay.bn_shift,
+                    0..pages(&b, lay.bn_shift),
+                    AccessKind::Read,
+                    1,
+                );
                 b.seq(gpu, prev_a, block(prev_pages, g, gpu), AccessKind::Read, 2);
                 b.seq(gpu, lay.z, block(z_pages, g, gpu), AccessKind::Write, 2);
                 b.seq(gpu, lay.a, block(a_pages, g, gpu), AccessKind::Write, 2);
@@ -191,7 +197,13 @@ pub fn generate(spec: DnnSpec, params: &WorkloadParams) -> Trace {
                 b.seq(gpu, lay.dz, block(dz_pages, g, gpu), AccessKind::Write, 2);
                 if i > 0 {
                     let pda = pages(&b, layers[i - 1].da);
-                    b.seq(gpu, layers[i - 1].da, block(pda, g, gpu), AccessKind::Write, 2);
+                    b.seq(
+                        gpu,
+                        layers[i - 1].da,
+                        block(pda, g, gpu),
+                        AccessKind::Write,
+                        2,
+                    );
                 }
                 // Gradient accumulation: every GPU writes the whole dW/db
                 // (shared-write).
@@ -212,7 +224,13 @@ pub fn generate(spec: DnnSpec, params: &WorkloadParams) -> Trace {
             let m_pages = pages(&b, lay.mw);
             b.seq(gpu, lay.dw, block(dw_pages, g, gpu), AccessKind::Read, 1);
             b.seq(gpu, lay.mw, block(m_pages, g, gpu), AccessKind::Write, 1);
-            b.seq(gpu, lay.mb, block(pages(&b, lay.mb), g, gpu), AccessKind::Write, 1);
+            b.seq(
+                gpu,
+                lay.mb,
+                block(pages(&b, lay.mb), g, gpu),
+                AccessKind::Write,
+                1,
+            );
             b.seq(gpu, lay.w, block(w_pages, g, gpu), AccessKind::Write, 2);
         }
         for &m in &misc {

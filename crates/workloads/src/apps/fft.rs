@@ -35,7 +35,15 @@ pub fn generate(params: &WorkloadParams) -> Trace {
             b.seq_rw(gpu, data, block(data_pages, g, gpu), 4, 4);
             // Batch reshuffle: gather a strided slice spanning every
             // block (pages owned by remote GPUs), ...
-            b.strided(gpu, data, 0..data_pages, g as u64, gpu as u64, AccessKind::Read, 2);
+            b.strided(
+                gpu,
+                data,
+                0..data_pages,
+                g as u64,
+                gpu as u64,
+                AccessKind::Read,
+                2,
+            );
             // ... then scatter the reordered results into the own block.
             b.seq(gpu, data, block(data_pages, g, gpu), AccessKind::Write, 2);
         }

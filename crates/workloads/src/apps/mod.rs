@@ -45,7 +45,7 @@ pub(crate) mod testutil {
     use crate::trace::Trace;
 
     /// Common sanity checks every generator's test applies.
-    pub fn check_table2_invariants(app: App, trace: &Trace) {
+    pub(crate) fn check_table2_invariants(app: App, trace: &Trace) {
         assert_eq!(
             trace.objects.len(),
             app.object_count(),

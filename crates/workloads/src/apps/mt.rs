@@ -83,9 +83,7 @@ mod tests {
         let t = paper_trace();
         // Every GPU touches input page 0.
         for stream in &t.phases[0].per_gpu {
-            assert!(stream
-                .iter()
-                .any(|a| a.obj.0 == 0 && a.offset < 4096));
+            assert!(stream.iter().any(|a| a.obj.0 == 0 && a.offset < 4096));
         }
         // Output page blocks are disjoint across GPUs.
         let mut seen: Vec<std::collections::HashSet<u64>> = Vec::new();

@@ -11,8 +11,7 @@ use oasis_mem::types::{AccessKind, ObjectId};
 use crate::apps::{alloc_small, part};
 use crate::spec::WorkloadParams;
 use crate::trace::{block, Trace, TraceBuilder};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use oasis_engine::SimRng;
 
 /// PageRank iterations inside the kernel.
 pub const ITERATIONS: usize = 10;
@@ -20,7 +19,7 @@ pub const ITERATIONS: usize = 10;
 /// Generates the PR trace.
 pub fn generate(params: &WorkloadParams) -> Trace {
     let g = params.gpu_count;
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SimRng::seed_from_u64(params.seed);
     let mut b = TraceBuilder::new("PR", g);
     let rank_a = b.alloc("PR_RankA", part(params, 140));
     let rank_b = b.alloc("PR_RankB", part(params, 140));

@@ -1,9 +1,7 @@
 //! Trace representation and the builder used by the app generators.
 
+use oasis_engine::SimRng;
 use oasis_mem::types::{AccessKind, ObjectId, PageSize};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// Bytes per coalesced memory transaction.
 pub const TRANSACTION_BYTES: u32 = 64;
@@ -223,8 +221,8 @@ impl TraceBuilder {
         burst: u32,
     ) {
         let parts = self.gpu_count;
-        let start = crate::trace::block(pages.end - pages.start, parts, gpu % parts).start
-            + pages.start;
+        let start =
+            crate::trace::block(pages.end - pages.start, parts, gpu % parts).start + pages.start;
         self.seq(gpu, obj, start..pages.end, kind, burst);
         self.seq(gpu, obj, pages.start..start, kind, burst);
     }
@@ -282,7 +280,7 @@ impl TraceBuilder {
         touches: u64,
         kind: AccessKind,
         burst: u32,
-        rng: &mut StdRng,
+        rng: &mut SimRng,
     ) {
         assert!(!pages.is_empty(), "empty page range");
         for _ in 0..touches {
@@ -293,8 +291,8 @@ impl TraceBuilder {
 
     /// Shuffles GPU `gpu`'s stream of the current phase (models unordered
     /// thread-block scheduling for random-pattern apps).
-    pub fn shuffle_stream(&mut self, gpu: usize, rng: &mut StdRng) {
-        self.stream(gpu).shuffle(rng);
+    pub fn shuffle_stream(&mut self, gpu: usize, rng: &mut SimRng) {
+        rng.shuffle(self.stream(gpu));
     }
 
     /// Finishes the trace.
@@ -325,7 +323,6 @@ pub fn block(pages: u64, parts: usize, idx: usize) -> std::ops::Range<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn block_partition_covers_everything_once() {
@@ -380,7 +377,7 @@ mod tests {
     #[test]
     fn random_is_deterministic_per_seed() {
         let gen = |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SimRng::seed_from_u64(seed);
             let mut b = TraceBuilder::new("T", 1);
             let o = b.alloc("buf", 64 * 4096);
             b.begin_phase("k");
@@ -393,7 +390,7 @@ mod tests {
 
     #[test]
     fn random_stays_in_range() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let mut b = TraceBuilder::new("T", 1);
         let o = b.alloc("buf", 64 * 4096);
         b.begin_phase("k");

@@ -38,8 +38,20 @@ fn build_pipeline(gpus: usize, mb: u64) -> Trace {
     for g in 0..gpus {
         let neighbor = (g + 1) % gpus;
         b.seq(g, lut, 0..lut_pages, AccessKind::Read, 6);
-        b.seq(g, frames, block(frame_pages, gpus, neighbor), AccessKind::Read, 4);
-        b.seq(g, out, block(out_pages, gpus, neighbor), AccessKind::Write, 8);
+        b.seq(
+            g,
+            frames,
+            block(frame_pages, gpus, neighbor),
+            AccessKind::Read,
+            4,
+        );
+        b.seq(
+            g,
+            out,
+            block(out_pages, gpus, neighbor),
+            AccessKind::Write,
+            8,
+        );
     }
     b.finish()
 }

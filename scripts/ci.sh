@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The repository's full offline quality gate. Run from the workspace root:
+#
+#     ./scripts/ci.sh
+#
+# Everything here works without network access; there are no external
+# dependencies to download. Steps mirror what reviewers run by hand:
+# formatting, lints (warnings are errors), a release build, and the full
+# test suite (unit + property-style + integration, including the
+# fault-injection campaign and the sim-guard consistency sweeps).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+if command -v rustfmt >/dev/null 2>&1; then
+    cargo fmt --all -- --check
+else
+    echo "rustfmt not installed; skipping"
+fi
+
+step "cargo clippy (warnings are errors)"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping"
+fi
+
+step "cargo build --release"
+cargo build --release --workspace
+
+step "cargo test"
+cargo test -q --workspace
+
+step "bench harness smoke (compile only)"
+cargo check -q --workspace --benches --features oasis-bench/bench-harness
+
+printf '\nCI: all gates passed.\n'

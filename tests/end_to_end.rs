@@ -63,11 +63,13 @@ fn oasis_reduces_faults_vs_grit_on_average() {
         let trace = generate(app, &tiny(app));
         let oasis = simulate(&config, Policy::oasis(), &trace);
         let grit = simulate(&config, Policy::grit(), &trace);
-        log_ratio +=
-            (oasis.uvm.total_faults() as f64 / grit.uvm.total_faults().max(1) as f64).ln();
+        log_ratio += (oasis.uvm.total_faults() as f64 / grit.uvm.total_faults().max(1) as f64).ln();
     }
     let ratio = (log_ratio / ALL_APPS.len() as f64).exp();
-    assert!(ratio < 1.0, "OASIS must fault less than GRIT, got {ratio:.2}");
+    assert!(
+        ratio < 1.0,
+        "OASIS must fault less than GRIT, got {ratio:.2}"
+    );
 }
 
 #[test]
@@ -126,12 +128,18 @@ fn oasis_still_helps_with_large_pages() {
     let mut log_gain = 0.0f64;
     for app in [App::C2d, App::Mm, App::Mt] {
         let trace = generate(app, &WorkloadParams::small(app, 4));
-        let gain = simulate(&large, Policy::oasis(), &trace)
-            .speedup_over(&simulate(&large, Policy::OnTouch, &trace));
+        let gain = simulate(&large, Policy::oasis(), &trace).speedup_over(&simulate(
+            &large,
+            Policy::OnTouch,
+            &trace,
+        ));
         log_gain += gain.ln();
     }
     let gain = (log_gain / 3.0).exp();
-    assert!(gain > 1.0, "OASIS must still help at 2MB pages, got {gain:.2}");
+    assert!(
+        gain > 1.0,
+        "OASIS must still help at 2MB pages, got {gain:.2}"
+    );
 }
 
 #[test]

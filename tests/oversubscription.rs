@@ -1,0 +1,85 @@
+//! Eviction under memory pressure: a workload whose footprint exceeds a
+//! single GPU's frame budget must complete, evict, and keep the
+//! cross-layer memory state consistent throughout (sim-guard enabled).
+
+use oasis::mgpu::GuardMode;
+use oasis::prelude::*;
+
+fn pressured_trace() -> Trace {
+    let mut b = TraceBuilder::new("pressure", 4);
+    let buf = b.alloc("buf", 4 * 1024 * 1024); // 1024 pages
+    let pages = b.pages_of(buf);
+    // Two sweeps so evicted pages are re-faulted, not just dropped.
+    for pass in 0..2 {
+        b.begin_phase(format!("sweep{pass}"));
+        for g in 0..4 {
+            b.seq(g, buf, 0..pages, AccessKind::Write, 16);
+        }
+    }
+    b.finish()
+}
+
+#[test]
+fn oversubscribed_run_evicts_and_stays_consistent() {
+    let trace = pressured_trace();
+    for policy in [Policy::OnTouch, Policy::AccessCounter, Policy::oasis()] {
+        let config = SystemConfig {
+            guard: GuardMode::Epoch,
+            ..SystemConfig::default().with_oversubscription(trace.footprint_bytes(), 400)
+        };
+        let cap = config.gpu_capacity_pages.expect("capped");
+        let mut system = System::new(config, &policy);
+        let report = system
+            .run(&trace)
+            .unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+
+        assert_eq!(
+            report.accesses as usize,
+            trace.total_accesses(),
+            "{}",
+            policy.name()
+        );
+        assert!(
+            report.uvm.evictions > 0,
+            "{}: pressure must evict",
+            policy.name()
+        );
+        system
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: post-run guard: {e}", policy.name()));
+
+        // The frame allocators never exceeded their budget.
+        let state = &system.driver().state;
+        for (g, frames) in state.frames.iter().enumerate() {
+            assert!(
+                frames.resident() <= cap,
+                "{}: GPU {g} holds {} frames over the {cap} cap",
+                policy.name(),
+                frames.resident()
+            );
+        }
+    }
+}
+
+#[test]
+fn step_guard_holds_under_sustained_eviction() {
+    // The strictest setting: invariants re-checked after every single
+    // transaction while the allocator churns.
+    let mut b = TraceBuilder::new("churn", 4);
+    let buf = b.alloc("buf", 512 * 4096);
+    let pages = b.pages_of(buf);
+    b.begin_phase("k");
+    for g in 0..4 {
+        b.seq(g, buf, 0..pages, AccessKind::Read, 4);
+    }
+    let trace = b.finish();
+
+    let config = SystemConfig {
+        guard: GuardMode::Step,
+        gpu_capacity_pages: Some(24),
+        ..SystemConfig::default()
+    };
+    let mut system = System::new(config, &Policy::OnTouch);
+    let report = system.run(&trace).expect("guarded run completes");
+    assert!(report.uvm.evictions > 0, "caps this tight must evict");
+}

@@ -79,7 +79,10 @@ fn access_counter_defers_and_loses_on_private_data() {
     // counter threshold is met, leading to increased remote access
     // latency" — it must not beat on-touch on private data.
     assert!(acctr.speedup_over(&on_touch) <= 1.0);
-    assert!(acctr.remote_accesses > 0, "deferral implies remote accesses");
+    assert!(
+        acctr.remote_accesses > 0,
+        "deferral implies remote accesses"
+    );
 }
 
 #[test]
@@ -181,7 +184,12 @@ fn oasis_inmem_tracks_oasis_closely() {
 
 #[test]
 fn reports_are_internally_consistent() {
-    for p in [Policy::OnTouch, Policy::oasis(), Policy::grit(), Policy::Ideal] {
+    for p in [
+        Policy::OnTouch,
+        Policy::oasis(),
+        Policy::grit(),
+        Policy::Ideal,
+    ] {
         let t = read_shared_trace();
         let r = run(p, &t);
         assert_eq!(r.accesses as usize, t.total_accesses());

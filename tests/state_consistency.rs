@@ -1,137 +1,152 @@
-//! Property-based consistency of the full system: after running arbitrary
+//! Randomized consistency of the full system: after running arbitrary
 //! small traces under any policy, the distributed page-table state obeys
-//! its invariants.
+//! its invariants. The heavy lifting is done by sim-guard — the same
+//! checker production runs can enable — validated at step granularity
+//! during the run; a few redundant manual checks keep the checker honest.
+//!
+//! Cases are driven by the in-tree deterministic [`SimRng`] (the build
+//! environment is offline, so no external property-testing framework is
+//! available); a failing case index pins the exact input.
 
+use oasis::engine::SimRng;
+use oasis::mgpu::GuardMode;
 use oasis::prelude::*;
+use oasis::uvm::guard::check_mem_state;
 use oasis::workloads::trace::TRANSACTION_BYTES;
-use proptest::prelude::*;
 
-/// Strategy: a small random trace on 4 GPUs over up to 3 objects.
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    let access = (0u16..3, 0u64..64, prop::bool::ANY);
-    let stream = prop::collection::vec(access, 0..60);
-    let phase = prop::collection::vec(stream, 4);
-    prop::collection::vec(phase, 1..3).prop_map(|phases| {
-        let mut b = TraceBuilder::new("prop", 4);
-        let objs = [
-            b.alloc("o0", 64 * 4096),
-            b.alloc("o1", 64 * 4096),
-            b.alloc("o2", 64 * 4096),
-        ];
-        for (pi, phase) in phases.into_iter().enumerate() {
-            b.begin_phase(format!("k{pi}"));
-            for (g, stream) in phase.into_iter().enumerate() {
-                for (obj, page, write) in stream {
-                    let kind = if write {
-                        AccessKind::Write
-                    } else {
-                        AccessKind::Read
-                    };
-                    b.seq(g, objs[obj as usize], page..page + 1, kind, 2);
-                }
+const CASES: u64 = 24;
+
+/// A small random trace on 4 GPUs over three 64-page objects.
+fn random_trace(rng: &mut SimRng) -> Trace {
+    let mut b = TraceBuilder::new("rand", 4);
+    let objs = [
+        b.alloc("o0", 64 * 4096),
+        b.alloc("o1", 64 * 4096),
+        b.alloc("o2", 64 * 4096),
+    ];
+    let phases = 1 + rng.gen_below(2);
+    for pi in 0..phases {
+        b.begin_phase(format!("k{pi}"));
+        for g in 0..4 {
+            for _ in 0..rng.gen_below(60) {
+                let obj = objs[rng.gen_below(objs.len())];
+                let page = rng.gen_range(0..64);
+                let kind = if rng.gen_bool_ratio(1, 2) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                b.seq(g, obj, page..page + 1, kind, 2);
             }
         }
-        b.finish()
-    })
+    }
+    b.finish()
 }
 
-fn arb_policy() -> impl Strategy<Value = Policy> {
-    prop_oneof![
-        Just(Policy::OnTouch),
-        Just(Policy::AccessCounter),
-        Just(Policy::Duplication),
-        Just(Policy::Ideal),
-        Just(Policy::oasis()),
-        Just(Policy::oasis_inmem()),
-        Just(Policy::grit()),
+fn all_policies() -> [Policy; 7] {
+    [
+        Policy::OnTouch,
+        Policy::AccessCounter,
+        Policy::Duplication,
+        Policy::Ideal,
+        Policy::oasis(),
+        Policy::oasis_inmem(),
+        Policy::grit(),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// After any run: every local PTE agrees with the centralized table,
+/// residency matches frame accounting, and copy sets are sane — enforced
+/// by the step-granularity guard during the run and re-checked after.
+#[test]
+fn page_table_state_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x57A7_E000 + case);
+        let trace = random_trace(&mut rng);
+        for policy in all_policies() {
+            let config = SystemConfig {
+                guard: GuardMode::Step,
+                ..SystemConfig::default()
+            };
+            let ideal = policy.name() == "ideal";
+            let mut system = System::new(config, &policy);
+            let report = system
+                .run(&trace)
+                .unwrap_or_else(|e| panic!("case {case} {}: {e}", policy.name()));
+            assert_eq!(
+                report.accesses as usize,
+                trace.total_accesses(),
+                "case {case} {}",
+                policy.name()
+            );
 
-    /// After any run: every local PTE agrees with the centralized table,
-    /// residency matches frame accounting, and copy sets are sane.
-    #[test]
-    fn page_table_state_is_consistent(trace in arb_trace(), policy in arb_policy()) {
-        let mut system = System::new(SystemConfig::default(), &policy);
-        let report = system.run(&trace);
-        prop_assert_eq!(report.accesses as usize, trace.total_accesses());
+            let state = &system.driver().state;
+            check_mem_state(state, ideal)
+                .unwrap_or_else(|e| panic!("case {case} {}: {e}", policy.name()));
+            system
+                .validate()
+                .unwrap_or_else(|e| panic!("case {case} {}: {e}", policy.name()));
 
-        let driver = system.driver();
-        let state = &driver.state;
-        let ideal = policy.name() == "ideal";
-        for (vpn, entry) in state.host_table.iter() {
-            let vpn = *vpn;
-            // Owner residency: a GPU owner must hold the frame.
-            if let DeviceId::Gpu(owner) = entry.owner {
-                prop_assert!(
-                    state.frames[owner.index()].contains(vpn),
-                    "owner {owner} must hold a frame for {vpn}"
-                );
-            }
-            for g in 0..4u8 {
-                let gpu = GpuId(g);
-                let pte = state.local_tables[g as usize].get(vpn);
-                let is_owner = entry.owner == DeviceId::Gpu(gpu);
-                let is_copy = entry.copy_mask & (1 << g) != 0;
-                let is_mapper = entry.maps_remotely(gpu);
-                match pte {
-                    Some(p) => {
-                        if p.location == DeviceId::Gpu(gpu) {
-                            // Local translation: must hold data.
-                            prop_assert!(is_owner || is_copy,
-                                "{gpu} maps {vpn} locally without data");
-                            prop_assert!(state.frames[g as usize].contains(vpn));
-                            if is_copy && !ideal {
-                                prop_assert!(!p.writable, "duplicates are read-only");
-                            }
-                        } else {
-                            // Remote translation: must be a known mapper,
-                            // pointing at the current owner.
-                            prop_assert!(is_mapper, "{gpu} has unknown remote map");
-                            prop_assert_eq!(p.location, entry.owner);
-                        }
-                    }
-                    None => {
-                        prop_assert!(!is_copy, "{gpu} holds a copy without a PTE");
-                        prop_assert!(!is_mapper, "{gpu} is a mapper without a PTE");
-                    }
+            // Redundant spot checks, independent of the guard's code.
+            for (vpn, entry) in state.host_table.iter() {
+                let vpn = *vpn;
+                if let DeviceId::Gpu(owner) = entry.owner {
+                    assert!(
+                        state.frames[owner.index()].contains(vpn),
+                        "case {case}: owner {owner} must hold a frame for {vpn}"
+                    );
                 }
-            }
-            // Writable exclusivity (Ideal deliberately breaks this):
-            // if any duplicates exist, no GPU may hold a writable mapping.
-            if entry.copy_mask != 0 && !ideal {
-                for g in 0..4usize {
-                    if let Some(p) = state.local_tables[g].get(vpn) {
-                        if p.location == DeviceId::Gpu(GpuId(g as u8)) {
-                            prop_assert!(
-                                !p.writable,
-                                "writable mapping coexists with duplicates on {vpn}"
+                for g in 0..4u8 {
+                    let gpu = GpuId(g);
+                    let is_copy = entry.copy_mask & (1 << g) != 0;
+                    match state.local_tables[g as usize].get(vpn) {
+                        Some(p) if p.location == DeviceId::Gpu(gpu) => {
+                            assert!(
+                                entry.owner == DeviceId::Gpu(gpu) || is_copy,
+                                "case {case}: {gpu} maps {vpn} locally without data"
                             );
+                            if is_copy && !ideal {
+                                assert!(!p.writable, "case {case}: duplicates are read-only");
+                            }
+                        }
+                        Some(p) => {
+                            assert!(
+                                entry.maps_remotely(gpu),
+                                "case {case}: {gpu} has unknown remote map for {vpn}"
+                            );
+                            assert_eq!(p.location, entry.owner, "case {case}");
+                        }
+                        None => {
+                            assert!(!is_copy, "case {case}: {gpu} holds a copy without a PTE");
                         }
                     }
                 }
             }
         }
     }
+}
 
-    /// Total simulated time is at least the trivial lower bound and the
-    /// run never loses accesses.
-    #[test]
-    fn time_is_bounded_below(trace in arb_trace(), policy in arb_policy()) {
-        let report = simulate(&SystemConfig::default(), policy, &trace);
-        prop_assert_eq!(report.accesses, report.local_accesses + report.remote_accesses);
-        if trace.total_accesses() > 0 {
-            prop_assert!(report.total_time.as_ns() > 0.0);
+/// Total simulated time is bounded below and the run never loses accesses.
+#[test]
+fn time_is_bounded_below() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x71ED_0000 + case);
+        let trace = random_trace(&mut rng);
+        for policy in all_policies() {
+            let report = simulate(&SystemConfig::default(), policy, &trace);
+            assert_eq!(
+                report.accesses,
+                report.local_accesses + report.remote_accesses,
+                "case {case}"
+            );
+            if trace.total_accesses() > 0 {
+                assert!(report.total_time.as_ns() > 0.0, "case {case}");
+            }
+            // Conservation: every transfer is either a page (4096 bytes) or
+            // a transaction, both multiples of 64.
+            let unit = u64::from(TRANSACTION_BYTES).min(64);
+            let total = report.nvlink_bytes + report.pcie_bytes;
+            assert_eq!(total % unit, 0, "case {case}");
         }
-        // Conservation: bytes moved over links are multiples of whole
-        // transfers (pages or transactions).
-        let page = 4096u64;
-        let txn = u64::from(TRANSACTION_BYTES);
-        let total = report.nvlink_bytes + report.pcie_bytes;
-        // Every transfer is either a page (4096) or a transaction (64),
-        // both multiples of 64.
-        prop_assert_eq!(total % txn.min(page).min(64), 0);
     }
 }

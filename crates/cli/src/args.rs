@@ -20,6 +20,8 @@ COMMANDS:
     compare       simulate one app under every policy
     characterize  print per-object access patterns of an app's trace
     inject        run the deterministic fault-injection campaign
+    verify-replay checkpoint/kill/resume one app under the four core
+                  policies and verify bit-identical replay
     help          show this text
 
 OPTIONS:
@@ -36,14 +38,21 @@ OPTIONS:
     --reset-threshold <N>   OASIS reset threshold         [default: 8]
     --seed <N>              workload RNG seed; for inject, the campaign's
                             master seed (same seed, same output)
-    --json                  machine-readable output (run command only)
+    --checkpoint-every <N>  run: write a checkpoint every N epochs
+    --checkpoint-dir <DIR>  where checkpoints are written  [default: .]
+    --resume <FILE>         run: resume from a checkpoint file (the
+                            checkpoint's config and policy win over flags)
+    --json                  machine-readable output (run and inject)
 
 EXAMPLES:
     oasis-sim run --app MM --policy duplication
     oasis-sim compare --app ST --gpus 8
     oasis-sim characterize --app C2D
     oasis-sim run --app BFS --policy oasis --oversubscribe 150 --json
-    oasis-sim inject --seed 42
+    oasis-sim run --app MT --checkpoint-every 2 --checkpoint-dir /tmp/ckpt
+    oasis-sim run --app MT --resume /tmp/ckpt/MT-oasis-epoch2.ckpt
+    oasis-sim inject --seed 42 --json
+    oasis-sim verify-replay --app MT --footprint-mb 4
 ";
 
 /// Subcommand.
@@ -57,6 +66,8 @@ pub enum Command {
     Characterize,
     /// Deterministic fault-injection campaign.
     Inject,
+    /// Checkpoint/kill/resume determinism audit over the core policies.
+    VerifyReplay,
     /// Usage text.
     Help,
 }
@@ -84,6 +95,12 @@ pub struct Cli {
     pub reset_threshold: u8,
     /// Workload seed override.
     pub seed: Option<u64>,
+    /// Write a checkpoint every N epochs during `run`.
+    pub checkpoint_every: Option<u64>,
+    /// Directory checkpoints are written into.
+    pub checkpoint_dir: Option<String>,
+    /// Resume `run` from this checkpoint file.
+    pub resume: Option<String>,
     /// JSON output.
     pub json: bool,
 }
@@ -143,6 +160,7 @@ impl Cli {
             Some("compare") => Command::Compare,
             Some("characterize") => Command::Characterize,
             Some("inject") => Command::Inject,
+            Some("verify-replay") => Command::VerifyReplay,
             Some("help") | Some("--help") | Some("-h") | None => Command::Help,
             Some(other) => return Err(ParseError(format!("unknown command '{other}'"))),
         };
@@ -157,6 +175,9 @@ impl Cli {
             oversubscribe: None,
             reset_threshold: 8,
             seed: None,
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            resume: None,
             json: false,
         };
         let mut policy_name: Option<String> = None;
@@ -224,6 +245,17 @@ impl Cli {
                             .map_err(|e| ParseError(format!("--seed: {e}")))?,
                     );
                 }
+                "--checkpoint-every" => {
+                    let every: u64 = value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--checkpoint-every: {e}")))?;
+                    if every == 0 {
+                        return Err(ParseError("--checkpoint-every must be positive".into()));
+                    }
+                    cli.checkpoint_every = Some(every);
+                }
+                "--checkpoint-dir" => cli.checkpoint_dir = Some(value("--checkpoint-dir")?),
+                "--resume" => cli.resume = Some(value("--resume")?),
                 "--json" => cli.json = true,
                 other => return Err(ParseError(format!("unknown option '{other}'"))),
             }
@@ -350,5 +382,33 @@ mod tests {
     #[test]
     fn no_args_means_help() {
         assert_eq!(parse(&[]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let c = parse(&[
+            "run",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-dir",
+            "/tmp/ckpt",
+        ])
+        .unwrap();
+        assert_eq!(c.checkpoint_every, Some(2));
+        assert_eq!(c.checkpoint_dir.as_deref(), Some("/tmp/ckpt"));
+        let c = parse(&["run", "--resume", "state.ckpt"]).unwrap();
+        assert_eq!(c.resume.as_deref(), Some("state.ckpt"));
+        assert!(parse(&["run", "--checkpoint-every", "0"])
+            .unwrap_err()
+            .0
+            .contains("positive"));
+    }
+
+    #[test]
+    fn verify_replay_is_a_command() {
+        assert_eq!(
+            parse(&["verify-replay"]).unwrap().command,
+            Command::VerifyReplay
+        );
     }
 }

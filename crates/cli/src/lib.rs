@@ -6,17 +6,114 @@
 pub mod args;
 pub mod render;
 
-use oasis_mgpu::{run_campaign, simulate};
-use oasis_workloads::generate;
+use std::fmt::Write as _;
+use std::fs::File;
+
+use oasis_mgpu::{run_campaign, simulate, Policy, System};
+use oasis_workloads::{generate, Trace};
 
 pub use args::{Cli, Command, ParseError};
 
-/// Executes a parsed invocation, returning the text to print.
-pub fn run(cli: &Cli) -> String {
-    match &cli.command {
+/// Runs `run` with optional checkpoint/resume plumbing and returns the
+/// finished report, or a human-readable failure.
+fn run_with_checkpoints(cli: &Cli, trace: &Trace) -> Result<oasis_mgpu::RunReport, String> {
+    let mut sys = match &cli.resume {
+        Some(path) => {
+            let mut f = File::open(path).map_err(|e| format!("--resume {path}: {e}"))?;
+            System::resume(&mut f, trace).map_err(|e| format!("--resume {path}: {e}"))?
+        }
+        None => System::new(cli.system_config(), &cli.policy),
+    };
+    if let Some(every) = cli.checkpoint_every {
+        let dir = cli.checkpoint_dir.as_deref().unwrap_or(".");
+        let total = trace.phases.len() as u64;
+        let mut at = sys.next_epoch();
+        while at < total {
+            at = (at + every).min(total);
+            sys.run_prefix(trace, at).map_err(|e| e.to_string())?;
+            if at < total {
+                let path = format!("{dir}/{}-{}-epoch{at}.ckpt", trace.app, sys.policy().name());
+                let mut f = File::create(&path).map_err(|e| format!("checkpoint {path}: {e}"))?;
+                sys.checkpoint(&mut f)
+                    .map_err(|e| format!("checkpoint {path}: {e}"))?;
+            }
+        }
+    }
+    sys.run(trace).map_err(|e| e.to_string())
+}
+
+/// The checkpoint/kill/resume determinism audit: each core policy runs the
+/// app straight through and again with a mid-run kill and resume, and the
+/// two reports (including per-epoch state digests) must be bit-identical.
+fn verify_replay(cli: &Cli) -> Result<String, String> {
+    let trace = generate(cli.app, &cli.workload_params());
+    let config = cli.system_config();
+    let midpoint = (trace.phases.len() as u64 / 2).max(1);
+    let mut out = format!(
+        "verify-replay {} — kill at epoch {midpoint}/{}, resume, compare\n",
+        trace.app,
+        trace.phases.len()
+    );
+    for policy in [
+        Policy::OnTouch,
+        Policy::AccessCounter,
+        Policy::Duplication,
+        Policy::oasis(),
+    ] {
+        let name = policy.name();
+        let straight = System::new(config.clone(), &policy)
+            .run(&trace)
+            .map_err(|e| format!("{name}: straight run failed {e}"))?;
+        let mut buf = Vec::new();
+        {
+            let mut first = System::new(config.clone(), &policy);
+            first
+                .run_prefix(&trace, midpoint)
+                .map_err(|e| format!("{name}: prefix run failed {e}"))?;
+            first
+                .checkpoint(&mut buf)
+                .map_err(|e| format!("{name}: checkpoint failed {e}"))?;
+        }
+        let mut resumed = System::resume(&mut buf.as_slice(), &trace)
+            .map_err(|e| format!("{name}: resume failed {e}"))?;
+        let report = resumed
+            .run(&trace)
+            .map_err(|e| format!("{name}: resumed run failed {e}"))?;
+        report
+            .check_digests_against(&straight)
+            .map_err(|e| format!("{name}: {e}"))?;
+        if !report.same_simulation(&straight) {
+            return Err(format!(
+                "{name}: resumed report differs from the straight run"
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "  {name:<16} OK  checkpoint {} bytes, {} epoch digests match",
+            buf.len(),
+            report.digest_trail.len()
+        );
+    }
+    out.push_str("all 4 policies replay bit-identically after kill/resume\n");
+    Ok(out)
+}
+
+/// Executes a parsed invocation, returning the text to print or a
+/// human-readable failure (nonzero exit).
+///
+/// # Errors
+///
+/// Returns a message describing the failed simulation, unreadable or
+/// corrupted checkpoint, or replay divergence.
+pub fn run(cli: &Cli) -> Result<String, String> {
+    Ok(match &cli.command {
         Command::Run => {
             let trace = generate(cli.app, &cli.workload_params());
-            let report = simulate(&cli.system_config(), cli.policy.clone(), &trace);
+            let report = if cli.resume.is_some() || cli.checkpoint_every.is_some() {
+                run_with_checkpoints(cli, &trace)?
+            } else {
+                simulate(&cli.system_config(), cli.policy.clone(), &trace)
+            };
             if cli.json {
                 render::report_json(&report)
             } else {
@@ -40,21 +137,26 @@ pub fn run(cli: &Cli) -> String {
         Command::Inject => {
             let seed = cli.seed.unwrap_or(0);
             let outcomes = run_campaign(seed);
-            let survivors = outcomes.iter().filter(|o| o.ok).count();
-            let mut out = format!("fault-injection campaign, master seed {seed:#018x}\n\n");
-            for o in &outcomes {
-                out.push_str(&o.line);
-                out.push('\n');
+            if cli.json {
+                render::inject_json(&outcomes)
+            } else {
+                let survivors = outcomes.iter().filter(|o| o.ok).count();
+                let mut out = format!("fault-injection campaign, master seed {seed:#018x}\n\n");
+                for o in &outcomes {
+                    out.push_str(&o.line);
+                    out.push('\n');
+                }
+                out.push_str(&format!(
+                    "\n{survivors}/{} scenarios completed with invariants intact; \
+                     replay any line with its printed seed\n",
+                    outcomes.len()
+                ));
+                out
             }
-            out.push_str(&format!(
-                "\n{survivors}/{} scenarios completed with invariants intact; \
-                 replay any line with its printed seed\n",
-                outcomes.len()
-            ));
-            out
         }
+        Command::VerifyReplay => verify_replay(cli)?,
         Command::Help => args::USAGE.to_string(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -65,31 +167,31 @@ mod tests {
         Cli::parse(argv.iter().map(|s| s.to_string())).expect("parse")
     }
 
+    fn run_ok(argv: &[&str]) -> String {
+        run(&parse(argv)).expect("command succeeds")
+    }
+
     #[test]
     fn run_produces_report_text() {
-        let out = run(&parse(&["run", "--app", "MT", "--footprint-mb", "4"]));
+        let out = run_ok(&["run", "--app", "MT", "--footprint-mb", "4"]);
         assert!(out.contains("simulated time"));
         assert!(out.contains("far faults"));
+        assert!(out.contains("wall clock"));
     }
 
     #[test]
     fn run_json_is_wellformed_enough() {
-        let out = run(&parse(&[
-            "run",
-            "--app",
-            "MT",
-            "--footprint-mb",
-            "4",
-            "--json",
-        ]));
+        let out = run_ok(&["run", "--app", "MT", "--footprint-mb", "4", "--json"]);
         assert!(out.trim_start().starts_with('{'));
         assert!(out.contains("\"total_time_us\""));
+        assert!(out.contains("\"retired_steps\""));
+        assert!(out.contains("\"digest_trail\""));
         assert_eq!(out.matches('{').count(), out.matches('}').count());
     }
 
     #[test]
     fn compare_lists_all_policies() {
-        let out = run(&parse(&["compare", "--app", "MT", "--footprint-mb", "4"]));
+        let out = run_ok(&["compare", "--app", "MT", "--footprint-mb", "4"]);
         for name in ["on-touch", "access-counter", "duplication", "oasis", "grit"] {
             assert!(out.contains(name), "missing {name}");
         }
@@ -97,21 +199,15 @@ mod tests {
 
     #[test]
     fn characterize_lists_objects() {
-        let out = run(&parse(&[
-            "characterize",
-            "--app",
-            "MM",
-            "--footprint-mb",
-            "4",
-        ]));
+        let out = run_ok(&["characterize", "--app", "MM", "--footprint-mb", "4"]);
         assert!(out.contains("MM_A"));
         assert!(out.contains("read-only"));
     }
 
     #[test]
     fn inject_is_deterministic_and_covers_all_kinds() {
-        let a = run(&parse(&["inject", "--seed", "9"]));
-        let b = run(&parse(&["inject", "--seed", "9"]));
+        let a = run_ok(&["inject", "--seed", "9"]);
+        let b = run_ok(&["inject", "--seed", "9"]);
         assert_eq!(a, b, "same seed, same campaign output");
         for kind in [
             "truncate-trace",
@@ -119,6 +215,7 @@ mod tests {
             "capacity-crunch",
             "corrupt-counters",
             "policy-flip",
+            "kill-and-resume",
         ] {
             assert!(a.contains(kind), "missing {kind} in:\n{a}");
         }
@@ -126,8 +223,83 @@ mod tests {
     }
 
     #[test]
+    fn inject_json_is_one_object_per_line() {
+        let out = run_ok(&["inject", "--seed", "9", "--json"]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), oasis_mgpu::Perturbation::ALL.len());
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"kind\""), "{line}");
+            assert!(line.contains("\"seed\""), "{line}");
+            assert!(line.contains("\"ok\""), "{line}");
+        }
+        assert!(out.contains("\"kill-and-resume\""));
+    }
+
+    #[test]
+    fn checkpoint_write_and_resume_round_trip() {
+        let dir = std::env::temp_dir().join("oasis-cli-ckpt-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let dir = dir.to_str().expect("utf-8 temp dir");
+        // C2D has 9 phases, so `--checkpoint-every 4` takes genuine mid-run
+        // checkpoints at epochs 4 and 8.
+        let straight = run_ok(&["run", "--app", "C2D", "--footprint-mb", "4", "--json"]);
+        run_ok(&[
+            "run",
+            "--app",
+            "C2D",
+            "--footprint-mb",
+            "4",
+            "--checkpoint-every",
+            "4",
+            "--checkpoint-dir",
+            dir,
+        ]);
+        let ckpt = format!("{dir}/C2D-oasis-epoch4.ckpt");
+        assert!(std::path::Path::new(&ckpt).exists(), "missing {ckpt}");
+        assert!(
+            std::path::Path::new(&format!("{dir}/C2D-oasis-epoch8.ckpt")).exists(),
+            "missing epoch-8 checkpoint"
+        );
+        let resumed = run_ok(&[
+            "run",
+            "--app",
+            "C2D",
+            "--footprint-mb",
+            "4",
+            "--resume",
+            &ckpt,
+            "--json",
+        ]);
+        // Deterministic fields must match; host timings won't.
+        for key in ["\"total_time_us\"", "\"far_faults\"", "\"digest_trail\""] {
+            let pick = |s: &str| {
+                s.lines()
+                    .find(|l| l.contains(key))
+                    .map(str::to_string)
+                    .unwrap_or_default()
+            };
+            assert_eq!(pick(&straight), pick(&resumed), "{key} diverged");
+        }
+        let err = run(&parse(&["run", "--resume", "/nonexistent/x.ckpt"]))
+            .expect_err("missing checkpoint file fails");
+        assert!(err.contains("--resume"), "{err}");
+    }
+
+    #[test]
+    fn verify_replay_passes_for_all_core_policies() {
+        let out = run_ok(&["verify-replay", "--app", "C2D", "--footprint-mb", "4"]);
+        for name in ["on-touch", "access-counter", "duplication", "oasis"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert!(out.contains("bit-identically"), "{out}");
+    }
+
+    #[test]
     fn help_prints_usage() {
-        let out = run(&parse(&["help"]));
+        let out = run_ok(&["help"]);
         assert!(out.contains("USAGE"));
+        assert!(out.contains("verify-replay"));
+        assert!(out.contains("--checkpoint-every"));
     }
 }

@@ -14,14 +14,20 @@ use oasis_cli::{run, Cli};
 
 fn main() -> ExitCode {
     match Cli::parse(std::env::args().skip(1)) {
-        Ok(cli) => {
-            // A closed pipe (`oasis-sim ... | head`) is a normal way to
-            // consume the output, not an error worth panicking over.
-            if writeln!(std::io::stdout(), "{}", run(&cli)).is_err() {
-                return ExitCode::FAILURE;
+        Ok(cli) => match run(&cli) {
+            Ok(out) => {
+                // A closed pipe (`oasis-sim ... | head`) is a normal way to
+                // consume the output, not an error worth panicking over.
+                if writeln!(std::io::stdout(), "{out}").is_err() {
+                    return ExitCode::FAILURE;
+                }
+                ExitCode::SUCCESS
             }
-            ExitCode::SUCCESS
-        }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Err(e) => {
             eprintln!("error: {e}\nrun `oasis-sim help` for usage");
             ExitCode::FAILURE

@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 
 use oasis_mem::types::PageSize;
 use oasis_mgpu::characterize::{profile, RwPattern, Scope, SharePattern};
-use oasis_mgpu::RunReport;
+use oasis_mgpu::{InjectionOutcome, RunReport};
 use oasis_workloads::Trace;
 
 /// Human-readable single-run report.
@@ -46,6 +46,21 @@ pub fn report_text(r: &RunReport) -> String {
         pct(h1, h1 + m1),
         pct(h2, h2 + m2)
     );
+    let i = &r.instrumentation;
+    let _ = writeln!(
+        out,
+        "  wall clock         {:>12.3} ms   ({} steps retired)",
+        i.wall_clock_us as f64 / 1000.0,
+        i.retired_steps
+    );
+    if i.checkpoint_write_us > 0 || i.checkpoint_restore_us > 0 {
+        let _ = writeln!(
+            out,
+            "  checkpoint I/O     {:>12.3} ms write / {:.3} ms restore",
+            i.checkpoint_write_us as f64 / 1000.0,
+            i.checkpoint_restore_us as f64 / 1000.0
+        );
+    }
     out
 }
 
@@ -101,10 +116,44 @@ pub fn report_json(r: &RunReport) -> String {
     let _ = writeln!(out, "  \"pcie_bytes\": {},", r.pcie_bytes);
     let _ = writeln!(
         out,
-        "  \"policy_mix\": [{}, {}, {}]",
+        "  \"policy_mix\": [{}, {}, {}],",
         r.policy_mix[0], r.policy_mix[1], r.policy_mix[2]
     );
+    let i = &r.instrumentation;
+    let _ = writeln!(out, "  \"wall_clock_us\": {},", i.wall_clock_us);
+    let _ = writeln!(out, "  \"retired_steps\": {},", i.retired_steps);
+    let _ = writeln!(out, "  \"checkpoint_write_us\": {},", i.checkpoint_write_us);
+    let _ = writeln!(
+        out,
+        "  \"checkpoint_restore_us\": {},",
+        i.checkpoint_restore_us
+    );
+    // Digests exceed 2^53, so emit them as hex strings to stay exact in
+    // every JSON consumer.
+    let digests: Vec<String> = r
+        .digest_trail
+        .iter()
+        .map(|d| format!("\"{d:#018x}\""))
+        .collect();
+    let _ = writeln!(out, "  \"digest_trail\": [{}]", digests.join(", "));
     out.push('}');
+    out
+}
+
+/// Machine-readable fault-injection campaign: one JSON object per line per
+/// outcome (JSON Lines; seeds as hex strings to stay exact beyond 2^53).
+pub fn inject_json(outcomes: &[InjectionOutcome]) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        let _ = writeln!(
+            out,
+            "{{\"kind\": {}, \"seed\": \"{:#018x}\", \"ok\": {}, \"line\": {}}}",
+            json_str(o.kind.name()),
+            o.seed,
+            o.ok,
+            json_str(&o.line)
+        );
+    }
     out
 }
 

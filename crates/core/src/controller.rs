@@ -21,6 +21,7 @@
 //! fault, oscillate between those two as relearning dictates, and never
 //! return to on-touch.
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::error::SimResult;
 use oasis_engine::Duration;
 use oasis_mem::page::PolicyBits;
@@ -177,6 +178,36 @@ impl ControllerCore {
         self.otable.reset_all_pf_counts();
         self.stats.explicit_resets += 1;
     }
+
+    /// Serializes the learned state (O-Table) and behaviour counters.
+    /// Configuration is not written: it comes from construction, and the
+    /// O-Table restore rejects capacity mismatches.
+    pub(crate) fn snapshot_state(&self, w: &mut ByteWriter) {
+        self.otable.snapshot(w);
+        for v in [
+            self.stats.private_faults,
+            self.stats.shared_faults,
+            self.stats.policy_learns,
+            self.stats.implicit_resets,
+            self.stats.explicit_resets,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    pub(crate) fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.otable.restore(r)?;
+        for field in [
+            &mut self.stats.private_faults,
+            &mut self.stats.shared_faults,
+            &mut self.stats.policy_learns,
+            &mut self.stats.implicit_resets,
+            &mut self.stats.explicit_resets,
+        ] {
+            *field = r.u64()?;
+        }
+        Ok(())
+    }
 }
 
 /// Hardware OASIS: Obj_ID decoded from the pointer tag, O-Table on chip
@@ -265,6 +296,14 @@ impl PolicyEngine for OasisController {
 
     fn check_invariants(&self) -> SimResult<()> {
         self.core.otable.check_invariants()
+    }
+
+    fn snapshot_state(&self, w: &mut ByteWriter) {
+        self.core.snapshot_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.core.restore_state(r)
     }
 }
 
@@ -473,6 +512,36 @@ mod tests {
         assert_eq!(d.resolution, Resolution::Duplicate);
         assert_eq!(c.stats().private_faults, 0);
         assert_eq!(c.stats().shared_faults, 1);
+    }
+
+    #[test]
+    fn snapshot_restores_learned_policies_and_stats() {
+        let mut c = OasisController::new();
+        let s = state_with(DeviceId::Gpu(GpuId(1)), Vpn(5));
+        c.resolve(&far(0, 1, 5, AccessKind::Read), &s);
+        c.resolve(&far(0, 2, 5, AccessKind::Write), &s);
+        c.on_kernel_launch();
+        let mut w = ByteWriter::new();
+        c.snapshot_state(&mut w);
+        let buf = w.into_vec();
+
+        let mut fresh = OasisController::new();
+        let mut r = ByteReader::new("policy", &buf);
+        fresh.restore_state(&mut r).expect("valid policy state");
+        assert!(r.is_empty(), "payload fully consumed");
+        assert_eq!(fresh.stats(), c.stats());
+        assert_eq!(
+            fresh.otable().peek(1).unwrap().policy,
+            PolicyChoice::Duplication
+        );
+        assert_eq!(
+            fresh.otable().peek(2).unwrap().policy,
+            PolicyChoice::AccessCounter
+        );
+        // The restored controller keeps deciding identically.
+        let a = c.resolve(&far(3, 1, 5, AccessKind::Write), &s);
+        let b = fresh.resolve(&far(3, 1, 5, AccessKind::Write), &s);
+        assert_eq!(a, b);
     }
 
     #[test]

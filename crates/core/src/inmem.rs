@@ -17,6 +17,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError};
 use oasis_engine::error::SimResult;
 use oasis_engine::Duration;
 use oasis_mem::types::{ObjectId, Va};
@@ -256,6 +257,71 @@ impl PolicyEngine for OasisInMem {
     fn check_invariants(&self) -> SimResult<()> {
         self.core.otable.check_invariants()
     }
+
+    /// Serializes the shared policy core plus the InMem-only state. The
+    /// shadow map itself is not written: it is a pure function of the live
+    /// allocation ranges and is rebuilt on restore.
+    fn snapshot_state(&self, w: &mut ByteWriter) {
+        self.core.snapshot_state(w);
+        let mut ranges: Vec<(u16, Va, u64)> = self
+            .ranges
+            .iter()
+            .map(|(obj, (base, bytes))| (*obj, *base, *bytes))
+            .collect();
+        ranges.sort_unstable_by_key(|(obj, _, _)| *obj);
+        w.u64(ranges.len() as u64);
+        for (obj, base, bytes) in ranges {
+            w.u16(obj);
+            w.u64(base.0);
+            w.u64(bytes);
+        }
+        let mut warm_l2: Vec<u64> = self.warm_l2.iter().copied().collect();
+        warm_l2.sort_unstable();
+        w.u64(warm_l2.len() as u64);
+        for slot in warm_l2 {
+            w.u64(slot);
+        }
+        let mut warm_entries: Vec<u16> = self.warm_entries.iter().copied().collect();
+        warm_entries.sort_unstable();
+        w.u64(warm_entries.len() as u64);
+        for tag in warm_entries {
+            w.u16(tag);
+        }
+        w.u64(self.shadow_lookups);
+        w.u64(self.shadow_cold);
+    }
+
+    fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.core.restore_state(r)?;
+        let n = r.usize()?;
+        self.shadow = ShadowMap::new();
+        self.ranges = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let obj = r.u16()?;
+            if obj == NO_OBJ {
+                return Err(r.malformed(format!("object id {NO_OBJ} is reserved")));
+            }
+            let base = Va(r.u64()?);
+            let bytes = r.u64()?;
+            if self.ranges.insert(obj, (base, bytes)).is_some() {
+                return Err(r.malformed(format!("duplicate allocation range for object {obj}")));
+            }
+            self.shadow.set_range(base, bytes, obj);
+        }
+        let n = r.usize()?;
+        self.warm_l2 = HashSet::with_capacity(n);
+        for _ in 0..n {
+            self.warm_l2.insert(r.u64()?);
+        }
+        let n = r.usize()?;
+        self.warm_entries = HashSet::with_capacity(n);
+        for _ in 0..n {
+            self.warm_entries.insert(r.u16()?);
+        }
+        self.shadow_lookups = r.u64()?;
+        self.shadow_cold = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -383,5 +449,36 @@ mod tests {
     #[test]
     fn inmem_name() {
         assert_eq!(OasisInMem::new().name(), "oasis-inmem");
+    }
+
+    #[test]
+    fn inmem_snapshot_rebuilds_shadow_map_and_warmth() {
+        let mut c = OasisInMem::new();
+        c.on_alloc(ObjectId(300), Va(0x1000_0000), 64 * 4096);
+        let s = shared_state(Vpn(0x1000_0000 >> 12));
+        let f = PageFault::far(
+            GpuId(0),
+            Va(0x1000_0000),
+            Vpn(0x1000_0000 >> 12),
+            AccessKind::Read,
+        );
+        c.resolve(&f, &s); // cold lookup: warms the L2 slot and O-Table entry
+        let mut w = oasis_engine::ByteWriter::new();
+        c.snapshot_state(&mut w);
+        let buf = w.into_vec();
+
+        let mut fresh = OasisInMem::new();
+        let mut r = oasis_engine::ByteReader::new("policy", &buf);
+        fresh.restore_state(&mut r).expect("valid inmem state");
+        assert!(r.is_empty(), "payload fully consumed");
+        assert_eq!(fresh.stats(), c.stats());
+        assert_eq!(fresh.shadow_stats(), c.shadow_stats());
+        assert_eq!(fresh.shadow_map().lookup(Va(0x1000_0000)).0, Some(300));
+        // The restored controller is warm: the next lookup charges LLC
+        // hits, exactly like the uninterrupted run.
+        let a = c.resolve(&f, &s);
+        let b = fresh.resolve(&f, &s);
+        assert_eq!(a, b);
+        assert_eq!(b.metadata_latency, Duration::from_ns(90));
     }
 }

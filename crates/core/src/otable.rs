@@ -8,6 +8,7 @@
 //! because it is the default policy handled by the host-page-table filter;
 //! the O-Table only ever chooses between duplication and access-counter.
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::error::{SimError, SimResult};
 
 /// The single policy bit of an O-Table entry.
@@ -249,6 +250,58 @@ impl Default for OTable {
     }
 }
 
+impl Snapshot for OTable {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.u64(self.stamp);
+        w.u64(self.evictions);
+        // Entry order is part of replacement behaviour (`swap_remove` ties
+        // on position), so serialize it verbatim; it is deterministic,
+        // being driven only by the fault stream.
+        w.u16(self.entries.len() as u16);
+        for e in &self.entries {
+            w.u16(e.obj);
+            w.u8(e.policy.bit());
+            w.u8(e.pf_count);
+            w.u64(e.lru_stamp);
+        }
+    }
+}
+
+impl Restore for OTable {
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        // Capacity is configuration and stays as constructed.
+        self.stamp = r.u64()?;
+        self.evictions = r.u64()?;
+        let n = r.u16()? as usize;
+        if n > self.capacity {
+            return Err(r.malformed(format!(
+                "{n} entries exceed O-Table capacity {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let obj = r.u16()?;
+            let policy = match r.u8()? {
+                0 => PolicyChoice::Duplication,
+                1 => PolicyChoice::AccessCounter,
+                b => return Err(r.malformed(format!("invalid policy bit {b}"))),
+            };
+            let pf_count = r.u8()?;
+            let lru_stamp = r.u64()?;
+            self.entries.push(OTableEntry {
+                obj,
+                policy,
+                pf_count,
+                lru_stamp,
+            });
+        }
+        self.check_invariants()
+            .map_err(|e| r.malformed(format!("restored O-Table fails invariants: {e}")))?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +402,51 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         OTable::with_capacity(0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_lru_and_learned_policies() {
+        let mut t = OTable::with_capacity(4);
+        for i in 0..10u16 {
+            let e = t.lookup_or_insert(i % 6);
+            if i % 2 == 0 {
+                e.policy = PolicyChoice::AccessCounter;
+            }
+            e.pf_count = (i % 8) as u8;
+        }
+        let mut w = ByteWriter::new();
+        t.snapshot(&mut w);
+
+        let mut fresh = OTable::with_capacity(4);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new("otable", &buf);
+        fresh.restore(&mut r).expect("valid O-Table state");
+        assert!(r.is_empty());
+        assert_eq!(fresh.len(), t.len());
+        assert_eq!(fresh.evictions(), t.evictions());
+        fresh
+            .check_invariants()
+            .expect("restored table well-formed");
+        // Identical next eviction decision.
+        fresh.lookup_or_insert(40);
+        t.lookup_or_insert(40);
+        for i in 0..7u16 {
+            assert_eq!(fresh.peek(i).is_some(), t.peek(i).is_some(), "obj {i}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_overfull_snapshot() {
+        let mut big = OTable::with_capacity(16);
+        for i in 0..10 {
+            big.lookup_or_insert(i);
+        }
+        let mut w = ByteWriter::new();
+        big.snapshot(&mut w);
+        let buf = w.into_vec();
+        let mut small = OTable::with_capacity(4);
+        let mut r = ByteReader::new("otable", &buf);
+        assert!(small.restore(&mut r).is_err());
     }
 
     #[test]

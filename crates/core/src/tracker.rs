@@ -18,6 +18,7 @@
 //!
 //! [`Va::canonical`]: oasis_mem::types::Va::canonical
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_mem::types::{ObjectId, Va, ADDR_BITS, ADDR_MASK};
 
 /// Default number of Obj_ID bits in the pointer (the paper's choice; most
@@ -147,6 +148,37 @@ impl ObjectTracker {
     }
 }
 
+impl Snapshot for ObjectTracker {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.u32(self.id_bits);
+        w.bool(self.hardware);
+        w.u16(self.next_id);
+    }
+}
+
+impl Restore for ObjectTracker {
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        // id_bits and mode are configuration; a mismatch means the
+        // checkpoint was taken under a different policy setup.
+        let id_bits = r.u32()?;
+        if id_bits != self.id_bits {
+            return Err(r.malformed(format!(
+                "checkpoint tracker uses {id_bits} Obj_ID bits, this run uses {}",
+                self.id_bits
+            )));
+        }
+        let hardware = r.bool()?;
+        if hardware != self.hardware {
+            return Err(r.malformed(format!(
+                "checkpoint tracker hardware={hardware}, this run hardware={}",
+                self.hardware
+            )));
+        }
+        self.next_id = r.u16()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +250,27 @@ mod tests {
         assert_eq!(p.0 >> 49, 0, "only the config bit may be set");
         assert_eq!(t.object_of(p), None);
         assert!(!t.is_hardware());
+    }
+
+    #[test]
+    fn tracker_snapshot_resumes_id_assignment() {
+        let mut t = ObjectTracker::hardware();
+        t.on_alloc(Va(0x1000));
+        t.on_alloc(Va(0x2000));
+        let mut w = ByteWriter::new();
+        t.snapshot(&mut w);
+
+        let mut fresh = ObjectTracker::hardware();
+        let buf = w.into_vec();
+        let mut r = ByteReader::new("tracker", &buf);
+        fresh.restore(&mut r).expect("valid tracker state");
+        let next = fresh.on_alloc(Va(0x3000));
+        assert_eq!(fresh.object_of(next), Some(2));
+
+        // A checkpoint from a different tracker mode is rejected.
+        let mut inmem = ObjectTracker::in_mem();
+        let mut r = ByteReader::new("tracker", &buf);
+        assert!(inmem.restore(&mut r).is_err());
     }
 
     #[test]

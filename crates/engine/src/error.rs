@@ -46,6 +46,26 @@ pub enum SimError {
     Trace(TraceError),
     /// The sim-guard runtime invariant checker found divergent state.
     Invariant(InvariantViolation),
+    /// A checkpoint could not be written or read back.
+    Codec(crate::codec::CodecError),
+    /// The determinism auditor found a resumed/replayed run whose per-epoch
+    /// state digest departed from the reference run.
+    Divergence {
+        /// First epoch whose digest differs.
+        epoch: u64,
+        /// Digest the reference run recorded for that epoch.
+        expected: u64,
+        /// Digest the audited run produced.
+        got: u64,
+    },
+    /// The progress watchdog saw no retired trace step and no page-state
+    /// transition for a full window and aborted the run.
+    Stalled {
+        /// Global step count when the stall was declared.
+        step: u64,
+        /// The configured no-progress window (in processed events).
+        window: u64,
+    },
 }
 
 /// Errors raised while servicing a page fault.
@@ -178,6 +198,19 @@ impl fmt::Display for SimError {
             SimError::Table(e) => write!(f, "table error: {e}"),
             SimError::Trace(e) => write!(f, "trace error: {e}"),
             SimError::Invariant(v) => write!(f, "invariant violated: {v}"),
+            SimError::Codec(e) => write!(f, "checkpoint error: {e}"),
+            SimError::Divergence {
+                epoch,
+                expected,
+                got,
+            } => write!(
+                f,
+                "determinism divergence at epoch {epoch}: expected digest {expected:#018x}, got {got:#018x}"
+            ),
+            SimError::Stalled { step, window } => write!(
+                f,
+                "watchdog: no forward progress within a {window}-event window at step {step}"
+            ),
         }
     }
 }
@@ -309,6 +342,26 @@ mod tests {
 
         let e = SimError::invariant("owner-holds-frame", "page 0x9 owner GPU 2 frame absent");
         assert!(e.to_string().contains("owner-holds-frame"));
+
+        let e = SimError::Divergence {
+            epoch: 3,
+            expected: 0xAA,
+            got: 0xBB,
+        };
+        let s = e.to_string();
+        assert!(s.contains("divergence"), "{s}");
+        assert!(s.contains("epoch 3"), "{s}");
+
+        let e = SimError::Stalled {
+            step: 120,
+            window: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("watchdog"), "{s}");
+        assert!(s.contains("step 120"), "{s}");
+
+        let e = SimError::Codec(crate::codec::CodecError::BadMagic);
+        assert!(e.to_string().contains("checkpoint error"));
     }
 
     #[test]

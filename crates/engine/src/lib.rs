@@ -19,12 +19,17 @@
 //! ```
 
 pub mod channel;
+pub mod codec;
 pub mod error;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use channel::{Channel, Transfer};
+pub use codec::{
+    fnv1a, ByteReader, ByteWriter, CheckpointReader, CheckpointWriter, CodecError, Fnv1a, Restore,
+    Snapshot,
+};
 pub use error::{
     ErrorPolicy, EvictionError, FaultError, InvariantViolation, MigrationError, SimError,
     SimResult, TableError, TraceError,

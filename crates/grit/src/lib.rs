@@ -21,6 +21,7 @@
 
 use std::collections::HashMap;
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::Duration;
 use oasis_mem::tlb::Tlb;
 use oasis_mem::types::{AccessKind, DeviceId, Vpn};
@@ -256,6 +257,93 @@ impl PolicyEngine for GritEngine {
             metadata_latency,
         }
     }
+
+    /// Serializes the per-page attribute store, the PA-Cache, and the
+    /// behaviour counters. Configuration comes from construction.
+    fn snapshot_state(&self, w: &mut ByteWriter) {
+        let mut pages: Vec<(Vpn, PageMeta)> = self.pages.iter().map(|(k, v)| (*k, *v)).collect();
+        pages.sort_unstable_by_key(|(v, _)| v.0);
+        w.u64(pages.len() as u64);
+        for (vpn, m) in pages {
+            w.u64(vpn.0);
+            w.u16(m.readers);
+            w.u16(m.writers);
+            w.u8(m.faults);
+            w.u8(policy_to_byte(m.policy));
+            match m.predicted {
+                None => w.u8(0xFF),
+                Some(p) => w.u8(policy_to_byte(p)),
+            }
+            w.bool(m.ever_faulted);
+        }
+        self.pa_cache.snapshot(w);
+        for v in [
+            self.stats.faults,
+            self.stats.evaluations,
+            self.stats.policy_changes,
+            self.stats.predictions_used,
+            self.stats.pa_hits,
+            self.stats.pa_misses,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let n = r.usize()?;
+        self.pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let vpn = Vpn(r.u64()?);
+            let readers = r.u16()?;
+            let writers = r.u16()?;
+            let faults = r.u8()?;
+            let policy_byte = r.u8()?;
+            let predicted_byte = r.u8()?;
+            let meta = PageMeta {
+                readers,
+                writers,
+                faults,
+                policy: policy_from_byte(r, policy_byte)?,
+                predicted: match predicted_byte {
+                    0xFF => None,
+                    b => Some(policy_from_byte(r, b)?),
+                },
+                ever_faulted: r.bool()?,
+            };
+            if self.pages.insert(vpn, meta).is_some() {
+                return Err(r.malformed(format!("duplicate page metadata for vpn {}", vpn.0)));
+            }
+        }
+        self.pa_cache.restore(r)?;
+        for field in [
+            &mut self.stats.faults,
+            &mut self.stats.evaluations,
+            &mut self.stats.policy_changes,
+            &mut self.stats.predictions_used,
+            &mut self.stats.pa_hits,
+            &mut self.stats.pa_misses,
+        ] {
+            *field = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
+fn policy_to_byte(p: GritPolicy) -> u8 {
+    match p {
+        GritPolicy::OnTouch => 0,
+        GritPolicy::AccessCounter => 1,
+        GritPolicy::Duplication => 2,
+    }
+}
+
+fn policy_from_byte(r: &ByteReader<'_>, b: u8) -> Result<GritPolicy, CodecError> {
+    match b {
+        0 => Ok(GritPolicy::OnTouch),
+        1 => Ok(GritPolicy::AccessCounter),
+        2 => Ok(GritPolicy::Duplication),
+        _ => Err(r.malformed(format!("invalid GRIT policy byte {b:#04x}"))),
+    }
 }
 
 #[cfg(test)]
@@ -402,5 +490,62 @@ mod tests {
         g.resolve(&far(0, 1, AccessKind::Read), &s);
         assert_eq!(g.metadata_bits(), 48);
         assert_eq!(g.name(), "grit");
+    }
+
+    #[test]
+    fn snapshot_round_trips_page_attributes_and_pa_cache() {
+        let mut g = GritEngine::new();
+        let s = state_with_owner(Vpn(1), DeviceId::Gpu(GpuId(3)));
+        // Learn duplication on page 1 (predicting neighbors 2..=5) and
+        // leave page 7 mid-observation.
+        for gpu in 0..4 {
+            g.resolve(&far(gpu, 1, AccessKind::Read), &s);
+        }
+        let s7 = state_with_owner(Vpn(7), DeviceId::Gpu(GpuId(3)));
+        g.resolve(&far(0, 7, AccessKind::Write), &s7);
+        let mut w = ByteWriter::new();
+        g.snapshot_state(&mut w);
+        let buf = w.into_vec();
+
+        let mut fresh = GritEngine::new();
+        let mut r = ByteReader::new("policy", &buf);
+        fresh.restore_state(&mut r).expect("valid grit state");
+        assert!(r.is_empty(), "payload fully consumed");
+        assert_eq!(fresh.stats(), g.stats());
+        assert_eq!(fresh.page_policy(Vpn(1)), GritPolicy::Duplication);
+        // Restored predictions still fire: page 2's first fault duplicates.
+        let s2 = state_with_owner(Vpn(2), DeviceId::Gpu(GpuId(3)));
+        let a = g.resolve(&far(0, 2, AccessKind::Read), &s2);
+        let b = fresh.resolve(&far(0, 2, AccessKind::Read), &s2);
+        assert_eq!(a, b);
+        assert_eq!(b.resolution, Resolution::Duplicate);
+        // PA-Cache warmth carried over: page 1 is a hit in both.
+        let a = g.resolve(&far(1, 1, AccessKind::Read), &s);
+        let b = fresh.resolve(&far(1, 1, AccessKind::Read), &s);
+        assert_eq!(a.metadata_latency, b.metadata_latency);
+    }
+
+    #[test]
+    fn restore_rejects_invalid_policy_byte() {
+        let g = GritEngine::new();
+        let mut w = ByteWriter::new();
+        g.snapshot_state(&mut w);
+        let mut buf = w.into_vec();
+        // One page entry with a bogus policy byte.
+        let mut w = ByteWriter::new();
+        w.u64(1); // page count
+        w.u64(9); // vpn
+        w.u16(0);
+        w.u16(0);
+        w.u8(0);
+        w.u8(7); // invalid policy
+        w.u8(0xFF);
+        w.bool(false);
+        let mut patched = w.into_vec();
+        patched.extend_from_slice(&buf.split_off(8)); // keep pa_cache + stats
+        let mut fresh = GritEngine::new();
+        let mut r = ByteReader::new("policy", &patched);
+        let err = fresh.restore_state(&mut r).expect_err("bogus policy byte");
+        assert!(err.to_string().contains("invalid GRIT policy byte"));
     }
 }

@@ -7,6 +7,7 @@
 //! ingress and heavy fault traffic congests PCIe — the effects that make
 //! page ping-ponging and fault-heavy policies expensive in the paper.
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::{Channel, Duration, Time, Transfer};
 use oasis_mem::types::DeviceId;
 
@@ -141,6 +142,31 @@ impl Fabric {
     }
 }
 
+impl Snapshot for Fabric {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.u64(self.nvlink.len() as u64);
+        for c in self.nvlink.iter().chain(self.pcie.iter()) {
+            c.snapshot(w);
+        }
+    }
+}
+
+impl Restore for Fabric {
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let n = r.usize()?;
+        if n != self.nvlink.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {n} GPU ports, this fabric has {}",
+                self.nvlink.len()
+            )));
+        }
+        for c in self.nvlink.iter_mut().chain(self.pcie.iter_mut()) {
+            c.restore(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +251,36 @@ mod tests {
     #[test]
     fn gpu_count_reported() {
         assert_eq!(Fabric::new(8, FabricConfig::default()).gpu_count(), 8);
+    }
+
+    #[test]
+    fn snapshot_round_trips_port_occupancy() {
+        let mut f = Fabric::new(4, FabricConfig::default());
+        f.transfer(Time::ZERO, gpu(0), gpu(1), 1 << 20);
+        f.transfer(Time::ZERO, DeviceId::Host, gpu(2), 4096);
+        let mut w = ByteWriter::new();
+        f.snapshot(&mut w);
+
+        let mut g = Fabric::new(4, FabricConfig::default());
+        let buf = w.into_vec();
+        let mut r = ByteReader::new("fabric", &buf);
+        g.restore(&mut r).expect("valid fabric state");
+        assert_eq!(g.nvlink_bytes(), f.nvlink_bytes());
+        assert_eq!(g.pcie_bytes(), f.pcie_bytes());
+        // Subsequent transfers queue identically.
+        let a = f.transfer(Time::ZERO, gpu(1), gpu(0), 4096);
+        let b = g.transfer(Time::ZERO, gpu(1), gpu(0), 4096);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_gpu_count_mismatch_is_rejected() {
+        let f = Fabric::new(4, FabricConfig::default());
+        let mut w = ByteWriter::new();
+        f.snapshot(&mut w);
+        let buf = w.into_vec();
+        let mut g = Fabric::new(2, FabricConfig::default());
+        let mut r = ByteReader::new("fabric", &buf);
+        assert!(g.restore(&mut r).is_err());
     }
 }

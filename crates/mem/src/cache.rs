@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
+
 use crate::types::{PageSize, Va, Vpn};
 
 #[derive(Debug, Clone)]
@@ -167,6 +169,60 @@ impl Cache {
     }
 }
 
+impl Snapshot for Cache {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.u64(self.stamp);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.sets.len() as u64);
+        // Line order within a set matters to `swap_remove` tie-breaking, so
+        // it is preserved verbatim (see the Tlb snapshot).
+        for set in &self.sets {
+            w.u16(set.lines.len() as u16);
+            for &(line, stamp) in &set.lines {
+                w.u64(line);
+                w.u64(stamp);
+            }
+        }
+    }
+}
+
+impl Restore for Cache {
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.stamp = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        let n_sets = r.usize()?;
+        if n_sets != self.sets.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {n_sets} sets, this cache has {}",
+                self.sets.len()
+            )));
+        }
+        self.where_is.clear();
+        for idx in 0..n_sets {
+            let n_lines = r.u16()? as usize;
+            if n_lines > self.ways {
+                return Err(r.malformed(format!(
+                    "set {idx} holds {n_lines} lines but associativity is {}",
+                    self.ways
+                )));
+            }
+            let set = &mut self.sets[idx];
+            set.lines.clear();
+            for _ in 0..n_lines {
+                let line = r.u64()?;
+                let stamp = r.u64()?;
+                set.lines.push((line, stamp));
+                if self.where_is.insert(line, idx).is_some() {
+                    return Err(r.malformed(format!("line {line:#x} cached twice")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +296,38 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_line_size_rejected() {
         let _ = Cache::new(1024, 2, 60);
+    }
+
+    #[test]
+    fn snapshot_round_trips_replacement_state() {
+        let mut c = Cache::new(256, 2, 64);
+        c.access(Va(0));
+        c.access(Va(128));
+        c.access(Va(0));
+        let mut w = ByteWriter::new();
+        c.snapshot(&mut w);
+
+        let mut fresh = Cache::new(256, 2, 64);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new("cache", &buf);
+        fresh.restore(&mut r).expect("valid cache state");
+        assert_eq!(fresh.stats(), c.stats());
+        assert_eq!(fresh.len(), c.len());
+        // Same next eviction decision as the original.
+        assert_eq!(fresh.access(Va(256)), c.access(Va(256)));
+        assert_eq!(fresh.access(Va(128)), c.access(Va(128)));
+    }
+
+    #[test]
+    fn restore_rejects_geometry_mismatch() {
+        let mut big = Cache::new(64 * 1024, 16, 64);
+        big.access(Va(0));
+        let mut w = ByteWriter::new();
+        big.snapshot(&mut w);
+        let buf = w.into_vec();
+        let mut small = Cache::new(256, 2, 64);
+        let mut r = ByteReader::new("cache", &buf);
+        assert!(small.restore(&mut r).is_err());
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
+
 use crate::types::Vpn;
 
 /// Tracks the set of pages resident in one device's memory, in LRU order.
@@ -140,6 +142,55 @@ impl FrameAllocator {
     }
 }
 
+impl Snapshot for FrameAllocator {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.u64(self.next_stamp);
+        w.u64(self.evictions);
+        // HashMap iteration order is nondeterministic; serialize by stamp so
+        // identical states always produce identical bytes. `by_stamp` holds
+        // the same (stamp, vpn) pairs as `stamps`, already ordered.
+        w.u64(self.by_stamp.len() as u64);
+        for (&stamp, &vpn) in &self.by_stamp {
+            w.u64(stamp);
+            w.u64(vpn.0);
+        }
+    }
+}
+
+impl Restore for FrameAllocator {
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        // Capacity is configuration, not state; it stays as constructed.
+        self.next_stamp = r.u64()?;
+        self.evictions = r.u64()?;
+        self.stamps.clear();
+        self.by_stamp.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            let stamp = r.u64()?;
+            let vpn = Vpn(r.u64()?);
+            if stamp >= self.next_stamp {
+                return Err(r.malformed(format!(
+                    "stamp {stamp} not below next_stamp {}",
+                    self.next_stamp
+                )));
+            }
+            if self.stamps.insert(vpn, stamp).is_some()
+                || self.by_stamp.insert(stamp, vpn).is_some()
+            {
+                return Err(r.malformed(format!("duplicate resident page {vpn:?}")));
+            }
+        }
+        if self.capacity_pages.is_some_and(|cap| self.resident() > cap) {
+            return Err(r.malformed(format!(
+                "{} resident pages exceed capacity {:?}",
+                self.resident(),
+                self.capacity_pages
+            )));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +260,57 @@ mod tests {
     fn capacity_accessor() {
         assert_eq!(FrameAllocator::new(Some(7)).capacity(), Some(7));
         assert_eq!(FrameAllocator::new(None).capacity(), None);
+    }
+
+    #[test]
+    fn snapshot_preserves_lru_order_and_counters() {
+        let mut f = FrameAllocator::new(Some(3));
+        f.insert(Vpn(1));
+        f.insert(Vpn(2));
+        f.insert(Vpn(3));
+        f.touch(Vpn(1));
+        f.insert(Vpn(4)); // evicts 2
+        let mut w = ByteWriter::new();
+        f.snapshot(&mut w);
+
+        let mut g = FrameAllocator::new(Some(3));
+        let buf = w.into_vec();
+        let mut r = ByteReader::new("frames", &buf);
+        g.restore(&mut r).expect("valid frame state");
+        assert_eq!(g.resident(), f.resident());
+        assert_eq!(g.evictions(), 1);
+        assert_eq!(g.lru(), f.lru());
+        // The restored allocator evicts the same victim next.
+        assert_eq!(g.insert(Vpn(9)), f.insert(Vpn(9)));
+    }
+
+    #[test]
+    fn snapshot_of_identical_states_is_bit_identical() {
+        let build = || {
+            let mut f = FrameAllocator::new(None);
+            for i in (0..64).rev() {
+                f.insert(Vpn(i));
+            }
+            f
+        };
+        let mut a = ByteWriter::new();
+        build().snapshot(&mut a);
+        let mut b = ByteWriter::new();
+        build().snapshot(&mut b);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn restore_rejects_overfull_state() {
+        let mut big = FrameAllocator::new(None);
+        for i in 0..8 {
+            big.insert(Vpn(i));
+        }
+        let mut w = ByteWriter::new();
+        big.snapshot(&mut w);
+        let buf = w.into_vec();
+        let mut tiny = FrameAllocator::new(Some(2));
+        let mut r = ByteReader::new("frames", &buf);
+        assert!(tiny.restore(&mut r).is_err());
     }
 }

@@ -8,9 +8,28 @@
 
 use std::collections::HashMap;
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::error::TableError;
 
 use crate::types::{DeviceId, GpuId, Vpn};
+
+/// One-byte wire encoding of a [`DeviceId`]: `0xFF` is the host, anything
+/// else a GPU index. Shared by every checkpoint section that names devices.
+pub fn device_to_byte(dev: DeviceId) -> u8 {
+    match dev {
+        DeviceId::Host => 0xFF,
+        DeviceId::Gpu(g) => g.0,
+    }
+}
+
+/// Inverse of [`device_to_byte`].
+pub fn device_from_byte(b: u8) -> DeviceId {
+    if b == 0xFF {
+        DeviceId::Host
+    } else {
+        DeviceId::Gpu(GpuId(b))
+    }
+}
 
 /// The two policy bits stored in a PTE (Fig. 12).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -100,6 +119,52 @@ impl LocalPageTable {
     /// Iterates over all valid translations.
     pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &Pte)> {
         self.map.iter()
+    }
+}
+
+impl Snapshot for LocalPageTable {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        // Sort by VPN: HashMap iteration order is nondeterministic and the
+        // bytes feed both checkpoints and state digests.
+        let mut entries: Vec<(&Vpn, &Pte)> = self.map.iter().collect();
+        entries.sort_by_key(|(vpn, _)| **vpn);
+        w.u64(entries.len() as u64);
+        for (vpn, pte) in entries {
+            w.u64(vpn.0);
+            w.u8(device_to_byte(pte.location));
+            w.bool(pte.writable);
+            w.u8(pte.policy.bits());
+        }
+    }
+}
+
+impl Restore for LocalPageTable {
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.map.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            let vpn = Vpn(r.u64()?);
+            let location = device_from_byte(r.u8()?);
+            let writable = r.bool()?;
+            let bits = r.u8()?;
+            let policy = PolicyBits::from_bits(bits)
+                .ok_or_else(|| r.malformed(format!("reserved policy bits {bits:#04b}")))?;
+            if self
+                .map
+                .insert(
+                    vpn,
+                    Pte {
+                        location,
+                        writable,
+                        policy,
+                    },
+                )
+                .is_some()
+            {
+                return Err(r.malformed(format!("page {vpn:?} mapped twice")));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -268,6 +333,56 @@ impl HostPageTable {
     }
 }
 
+impl Snapshot for HostPageTable {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        let mut entries: Vec<(&Vpn, &HostEntry)> = self.map.iter().collect();
+        entries.sort_by_key(|(vpn, _)| **vpn);
+        w.u64(entries.len() as u64);
+        for (vpn, e) in entries {
+            w.u64(vpn.0);
+            w.u8(device_to_byte(e.owner));
+            w.u32(e.copy_mask);
+            w.u32(e.mapper_mask);
+            w.u8(e.policy.bits());
+            w.u32(e.touched_by);
+        }
+    }
+}
+
+impl Restore for HostPageTable {
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.map.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            let vpn = Vpn(r.u64()?);
+            let owner = device_from_byte(r.u8()?);
+            let copy_mask = r.u32()?;
+            let mapper_mask = r.u32()?;
+            let bits = r.u8()?;
+            let policy = PolicyBits::from_bits(bits)
+                .ok_or_else(|| r.malformed(format!("reserved policy bits {bits:#04b}")))?;
+            let touched_by = r.u32()?;
+            if self
+                .map
+                .insert(
+                    vpn,
+                    HostEntry {
+                        owner,
+                        copy_mask,
+                        mapper_mask,
+                        policy,
+                        touched_by,
+                    },
+                )
+                .is_some()
+            {
+                return Err(r.malformed(format!("page {vpn:?} registered twice")));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +464,77 @@ mod tests {
         assert!(ht.unregister(Vpn(1)).is_some());
         assert!(ht.get(Vpn(1)).is_none());
         assert!(!ht.is_empty());
+    }
+
+    #[test]
+    fn device_byte_encoding_round_trips() {
+        for dev in [
+            DeviceId::Host,
+            DeviceId::Gpu(GpuId(0)),
+            DeviceId::Gpu(GpuId(31)),
+        ] {
+            assert_eq!(device_from_byte(device_to_byte(dev)), dev);
+        }
+    }
+
+    #[test]
+    fn tables_snapshot_deterministically_and_round_trip() {
+        let mut ht = HostPageTable::new();
+        let mut lt = LocalPageTable::new();
+        // Insert in descending order; snapshots must still sort by VPN.
+        for i in (0..40u64).rev() {
+            let mut e = HostEntry::new_at(DeviceId::Gpu(GpuId((i % 4) as u8)));
+            e.copy_mask = (i as u32) & 0b1111;
+            e.policy = PolicyBits::Duplication;
+            e.mark_touched(GpuId((i % 3) as u8));
+            ht.register(Vpn(i), e).unwrap();
+            lt.insert(
+                Vpn(i),
+                Pte {
+                    location: DeviceId::Host,
+                    writable: i % 2 == 0,
+                    policy: PolicyBits::AccessCounter,
+                },
+            );
+        }
+        let mut w1 = ByteWriter::new();
+        ht.snapshot(&mut w1);
+        lt.snapshot(&mut w1);
+        let buf = w1.into_vec();
+
+        let mut ht2 = HostPageTable::new();
+        let mut lt2 = LocalPageTable::new();
+        let mut r = ByteReader::new("tables", &buf);
+        ht2.restore(&mut r).unwrap();
+        lt2.restore(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(ht2.len(), ht.len());
+        assert_eq!(lt2.len(), lt.len());
+        for i in 0..40u64 {
+            assert_eq!(ht2.get(Vpn(i)), ht.get(Vpn(i)));
+            assert_eq!(lt2.get(Vpn(i)), lt.get(Vpn(i)));
+        }
+        // Re-snapshot of the restored tables is bit-identical.
+        let mut w2 = ByteWriter::new();
+        ht2.snapshot(&mut w2);
+        lt2.snapshot(&mut w2);
+        assert_eq!(w2.into_vec(), buf);
+    }
+
+    #[test]
+    fn reserved_policy_bits_fail_restore() {
+        let mut w = ByteWriter::new();
+        w.u64(1); // one entry
+        w.u64(7); // vpn
+        w.u8(0xFF); // host
+        w.u32(0);
+        w.u32(0);
+        w.u8(0b10); // reserved encoding
+        w.u32(0);
+        let buf = w.into_vec();
+        let mut ht = HostPageTable::new();
+        let mut r = ByteReader::new("host-table", &buf);
+        assert!(ht.restore(&mut r).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::error::SimError;
 
 use crate::types::Vpn;
@@ -204,6 +205,62 @@ impl Tlb {
     }
 }
 
+impl Snapshot for Tlb {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.u64(self.stamp);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.sets.len() as u64);
+        // Line order within a set is part of replacement behaviour
+        // (`swap_remove` ties on position), so it is preserved verbatim —
+        // and it is already deterministic, being driven only by the access
+        // stream.
+        for set in &self.sets {
+            w.u16(set.lines.len() as u16);
+            for &(vpn, stamp) in &set.lines {
+                w.u64(vpn.0);
+                w.u64(stamp);
+            }
+        }
+    }
+}
+
+impl Restore for Tlb {
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.stamp = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        let n_sets = r.usize()?;
+        if n_sets != self.sets.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {n_sets} sets, this TLB has {}",
+                self.sets.len()
+            )));
+        }
+        self.where_is.clear();
+        for idx in 0..n_sets {
+            let n_lines = r.u16()? as usize;
+            if n_lines > self.ways {
+                return Err(r.malformed(format!(
+                    "set {idx} holds {n_lines} lines but associativity is {}",
+                    self.ways
+                )));
+            }
+            let set = &mut self.sets[idx];
+            set.lines.clear();
+            for _ in 0..n_lines {
+                let vpn = Vpn(r.u64()?);
+                let stamp = r.u64()?;
+                set.lines.push((vpn, stamp));
+                if self.where_is.insert(vpn, idx).is_some() {
+                    return Err(r.malformed(format!("page {vpn:?} cached twice")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +359,40 @@ mod tests {
         let mut vpns: Vec<_> = tlb.cached_vpns().collect();
         vpns.sort();
         assert_eq!(vpns, vec![Vpn(3), Vpn(4)]);
+    }
+
+    #[test]
+    fn snapshot_preserves_contents_lru_and_stats() {
+        let mut tlb = Tlb::new(8, 4);
+        for i in 0..6 {
+            tlb.fill(Vpn(i));
+        }
+        tlb.access(Vpn(0));
+        tlb.access(Vpn(42)); // a miss
+        let mut w = ByteWriter::new();
+        tlb.snapshot(&mut w);
+
+        let mut fresh = Tlb::new(8, 4);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new("tlb", &buf);
+        fresh.restore(&mut r).expect("valid tlb state");
+        assert_eq!(fresh.stats(), tlb.stats());
+        assert_eq!(fresh.len(), tlb.len());
+        // Replacement proceeds identically after restore.
+        assert_eq!(fresh.fill(Vpn(100)), tlb.fill(Vpn(100)));
+        assert_eq!(fresh.fill(Vpn(102)), tlb.fill(Vpn(102)));
+    }
+
+    #[test]
+    fn restore_rejects_geometry_mismatch() {
+        let mut big = Tlb::new(512, 16);
+        big.fill(Vpn(1));
+        let mut w = ByteWriter::new();
+        big.snapshot(&mut w);
+        let buf = w.into_vec();
+        let mut small = Tlb::new(32, 32);
+        let mut r = ByteReader::new("tlb", &buf);
+        assert!(small.restore(&mut r).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use oasis_core::controller::{OasisConfig, OasisController};
 use oasis_core::inmem::{InMemCosts, OasisInMem};
 use oasis_core::tracker::ObjectTracker;
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError};
 use oasis_engine::{Duration, ErrorPolicy};
 use oasis_grit::{GritConfig, GritEngine};
 use oasis_interconnect::FabricConfig;
@@ -179,6 +180,13 @@ pub struct SystemConfig {
     pub error_policy: ErrorPolicy,
     /// When the sim-guard invariant checker runs.
     pub guard: GuardMode,
+    /// Progress-watchdog window: how many consecutive failed accesses with
+    /// no driver state change [`System::run`](crate::System::run) tolerates
+    /// before aborting with
+    /// [`SimError::Stalled`](oasis_engine::error::SimError). Any retired
+    /// access or page-state transition resets the count; only a run that is
+    /// truly spinning (every event rejected, nothing moving) trips it.
+    pub stall_window: u64,
 }
 
 impl Default for SystemConfig {
@@ -209,6 +217,7 @@ impl Default for SystemConfig {
             kernel_launch_overhead: Duration::from_us(5),
             error_policy: ErrorPolicy::FailFast,
             guard: GuardMode::Off,
+            stall_window: 100_000,
         }
     }
 }
@@ -253,6 +262,230 @@ impl SystemConfig {
     /// Page-walk latency as a duration.
     pub fn page_walk_latency(&self) -> Duration {
         Duration::from_cycles(self.page_walk_cycles, self.clock_ghz)
+    }
+
+    /// Serializes the full configuration into a checkpoint section so a
+    /// resumed run rebuilds a geometrically identical platform.
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.gpu_count as u64);
+        w.u8(match self.page_size {
+            PageSize::Small4K => 0,
+            PageSize::Large2M => 1,
+        });
+        w.u64(self.lanes_per_gpu as u64);
+        w.f64(self.clock_ghz);
+        for (entries, ways) in [self.l1_tlb, self.l2_tlb] {
+            w.u64(entries as u64);
+            w.u64(ways as u64);
+        }
+        w.u64(self.l2_cache.0);
+        w.u64(self.l2_cache.1 as u64);
+        w.u64(self.l2_cache.2);
+        w.u64(self.l1_tlb_cycles);
+        w.u64(self.l2_tlb_cycles);
+        w.u64(self.page_walk_cycles);
+        for d in [
+            self.l2_cache_latency,
+            self.dram_latency,
+            self.remote_access_overhead,
+            self.host_access_overhead,
+        ] {
+            w.u64(d.as_ps());
+        }
+        w.u64(self.dram_bytes_per_sec);
+        w.u64(self.fabric.nvlink_bytes_per_sec);
+        w.u64(self.fabric.nvlink_latency.as_ps());
+        w.u64(self.fabric.pcie_bytes_per_sec);
+        w.u64(self.fabric.pcie_latency.as_ps());
+        for d in [
+            self.uvm_costs.far_fault_base,
+            self.uvm_costs.protection_fault_base,
+            self.uvm_costs.pte_update,
+            self.uvm_costs.invalidation_base,
+            self.uvm_costs.invalidation_extra,
+            self.uvm_costs.counter_migration_base,
+            self.uvm_costs.fault_service,
+        ] {
+            w.u64(d.as_ps());
+        }
+        w.u32(self.counter_threshold);
+        w.u32(self.counter_weight);
+        w.bool(self.gpu_capacity_pages.is_some());
+        w.u64(self.gpu_capacity_pages.unwrap_or(0));
+        w.u8(match self.placement {
+            Placement::Host => 0,
+            Placement::Striped => 1,
+        });
+        w.bool(self.prefetch_group);
+        w.u64(self.kernel_launch_overhead.as_ps());
+        w.u8(match self.error_policy {
+            ErrorPolicy::FailFast => 0,
+            ErrorPolicy::RecordAndContinue => 1,
+        });
+        w.u8(match self.guard {
+            GuardMode::Off => 0,
+            GuardMode::Epoch => 1,
+            GuardMode::Step => 2,
+        });
+        w.u64(self.stall_window);
+    }
+
+    /// Reads a configuration [`encode`](SystemConfig::encode)d into a
+    /// checkpoint, rejecting unknown enum tags as malformed.
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let gpu_count = r.usize()?;
+        let page_size = match r.u8()? {
+            0 => PageSize::Small4K,
+            1 => PageSize::Large2M,
+            b => return Err(r.malformed(format!("invalid page-size byte {b}"))),
+        };
+        let lanes_per_gpu = r.usize()?;
+        let clock_ghz = r.f64()?;
+        if !(clock_ghz.is_finite() && clock_ghz > 0.0) {
+            return Err(r.malformed(format!("invalid clock frequency {clock_ghz}")));
+        }
+        let l1_tlb = (r.usize()?, r.usize()?);
+        let l2_tlb = (r.usize()?, r.usize()?);
+        let l2_cache = (r.u64()?, r.usize()?, r.u64()?);
+        let l1_tlb_cycles = r.u64()?;
+        let l2_tlb_cycles = r.u64()?;
+        let page_walk_cycles = r.u64()?;
+        let ps = |r: &mut ByteReader<'_>| r.u64().map(Duration::from_ps);
+        let l2_cache_latency = ps(r)?;
+        let dram_latency = ps(r)?;
+        let remote_access_overhead = ps(r)?;
+        let host_access_overhead = ps(r)?;
+        let dram_bytes_per_sec = r.u64()?;
+        let fabric = FabricConfig {
+            nvlink_bytes_per_sec: r.u64()?,
+            nvlink_latency: ps(r)?,
+            pcie_bytes_per_sec: r.u64()?,
+            pcie_latency: ps(r)?,
+        };
+        let uvm_costs = UvmCosts {
+            far_fault_base: ps(r)?,
+            protection_fault_base: ps(r)?,
+            pte_update: ps(r)?,
+            invalidation_base: ps(r)?,
+            invalidation_extra: ps(r)?,
+            counter_migration_base: ps(r)?,
+            fault_service: ps(r)?,
+        };
+        let counter_threshold = r.u32()?;
+        let counter_weight = r.u32()?;
+        let capped = r.bool()?;
+        let capacity = r.u64()?;
+        let gpu_capacity_pages = capped.then_some(capacity);
+        let placement = match r.u8()? {
+            0 => Placement::Host,
+            1 => Placement::Striped,
+            b => return Err(r.malformed(format!("invalid placement byte {b}"))),
+        };
+        let prefetch_group = r.bool()?;
+        let kernel_launch_overhead = ps(r)?;
+        let error_policy = match r.u8()? {
+            0 => ErrorPolicy::FailFast,
+            1 => ErrorPolicy::RecordAndContinue,
+            b => return Err(r.malformed(format!("invalid error-policy byte {b}"))),
+        };
+        let guard = match r.u8()? {
+            0 => GuardMode::Off,
+            1 => GuardMode::Epoch,
+            2 => GuardMode::Step,
+            b => return Err(r.malformed(format!("invalid guard-mode byte {b}"))),
+        };
+        let stall_window = r.u64()?;
+        Ok(SystemConfig {
+            gpu_count,
+            page_size,
+            lanes_per_gpu,
+            clock_ghz,
+            l1_tlb,
+            l2_tlb,
+            l2_cache,
+            l1_tlb_cycles,
+            l2_tlb_cycles,
+            page_walk_cycles,
+            l2_cache_latency,
+            dram_latency,
+            remote_access_overhead,
+            host_access_overhead,
+            dram_bytes_per_sec,
+            fabric,
+            uvm_costs,
+            counter_threshold,
+            counter_weight,
+            gpu_capacity_pages,
+            placement,
+            prefetch_group,
+            kernel_launch_overhead,
+            error_policy,
+            guard,
+            stall_window,
+        })
+    }
+}
+
+impl Policy {
+    /// Serializes the policy selection (variant plus parameters) into a
+    /// checkpoint section.
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Policy::OnTouch => w.u8(0),
+            Policy::AccessCounter => w.u8(1),
+            Policy::Duplication => w.u8(2),
+            Policy::Ideal => w.u8(3),
+            Policy::Oasis(c) | Policy::OasisInMem(c) => {
+                w.u8(if matches!(self, Policy::Oasis(_)) {
+                    4
+                } else {
+                    5
+                });
+                w.u8(c.reset_threshold);
+                w.u32(c.id_bits);
+                w.u64(c.otable_capacity as u64);
+                w.bool(c.explicit_resets);
+                w.bool(c.host_pt_filter);
+            }
+            Policy::Grit(c) => {
+                w.u8(6);
+                w.u8(c.fault_trigger);
+                w.u64(c.neighbor_window);
+                w.u64(c.pa_cache_entries as u64);
+                w.u64(c.attribute_fetch.as_ps());
+            }
+        }
+    }
+
+    /// Reads a policy [`encode`](Policy::encode)d into a checkpoint.
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => Policy::OnTouch,
+            1 => Policy::AccessCounter,
+            2 => Policy::Duplication,
+            3 => Policy::Ideal,
+            tag @ (4 | 5) => {
+                let c = OasisConfig {
+                    reset_threshold: r.u8()?,
+                    id_bits: r.u32()?,
+                    otable_capacity: r.usize()?,
+                    explicit_resets: r.bool()?,
+                    host_pt_filter: r.bool()?,
+                };
+                if tag == 4 {
+                    Policy::Oasis(c)
+                } else {
+                    Policy::OasisInMem(c)
+                }
+            }
+            6 => Policy::Grit(GritConfig {
+                fault_trigger: r.u8()?,
+                neighbor_window: r.u64()?,
+                pa_cache_entries: r.usize()?,
+                attribute_fetch: Duration::from_ps(r.u64()?),
+            }),
+            b => return Err(r.malformed(format!("invalid policy tag {b}"))),
+        })
     }
 }
 
@@ -312,6 +545,58 @@ mod tests {
         assert!(Policy::oasis().tracker().is_hardware());
         assert!(!Policy::oasis_inmem().tracker().is_hardware());
         assert!(!Policy::OnTouch.tracker().is_hardware());
+    }
+
+    #[test]
+    fn config_and_policy_round_trip_through_the_codec() {
+        let cfg = SystemConfig {
+            gpu_count: 8,
+            page_size: PageSize::Large2M,
+            clock_ghz: 1.5,
+            gpu_capacity_pages: Some(777),
+            placement: Placement::Striped,
+            error_policy: ErrorPolicy::RecordAndContinue,
+            guard: GuardMode::Epoch,
+            stall_window: 42,
+            ..SystemConfig::default()
+        };
+        let mut w = ByteWriter::new();
+        cfg.encode(&mut w);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new("config", &buf);
+        let back = SystemConfig::decode(&mut r).expect("decode");
+        assert!(r.is_empty(), "decode must consume the whole payload");
+        let mut w2 = ByteWriter::new();
+        back.encode(&mut w2);
+        assert_eq!(w2.as_slice(), buf, "re-encoding must be bit-identical");
+        assert_eq!(back.gpu_count, 8);
+        assert_eq!(back.gpu_capacity_pages, Some(777));
+        assert_eq!(back.stall_window, 42);
+
+        for p in [
+            Policy::OnTouch,
+            Policy::AccessCounter,
+            Policy::Duplication,
+            Policy::Ideal,
+            Policy::oasis(),
+            Policy::oasis_inmem(),
+            Policy::grit(),
+        ] {
+            let mut w = ByteWriter::new();
+            p.encode(&mut w);
+            let buf = w.into_vec();
+            let mut r = ByteReader::new("config", &buf);
+            let back = Policy::decode(&mut r).expect("decode");
+            assert!(r.is_empty());
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn bad_enum_tags_are_malformed() {
+        let mut r = ByteReader::new("config", &[9]);
+        let err = Policy::decode(&mut r).unwrap_err();
+        assert!(err.to_string().contains("invalid policy tag"), "{err}");
     }
 
     #[test]

@@ -32,16 +32,21 @@ pub enum Perturbation {
     CorruptCounters,
     /// Rewrite per-page policy bits mid-run at every epoch.
     PolicyFlip,
+    /// Kill the simulation at a random epoch boundary, then resume it from
+    /// its own checkpoint bytes and require the finished run to be
+    /// bit-identical (digest trail and counters) to an uninterrupted one.
+    KillAndResume,
 }
 
 impl Perturbation {
     /// Every kind, in campaign order.
-    pub const ALL: [Perturbation; 5] = [
+    pub const ALL: [Perturbation; 6] = [
         Perturbation::TruncateTrace,
         Perturbation::OutOfRangeAccess,
         Perturbation::CapacityCrunch,
         Perturbation::CorruptCounters,
         Perturbation::PolicyFlip,
+        Perturbation::KillAndResume,
     ];
 
     /// Stable display name.
@@ -52,6 +57,7 @@ impl Perturbation {
             Perturbation::CapacityCrunch => "capacity-crunch",
             Perturbation::CorruptCounters => "corrupt-counters",
             Perturbation::PolicyFlip => "policy-flip",
+            Perturbation::KillAndResume => "kill-and-resume",
         }
     }
 }
@@ -101,7 +107,78 @@ fn small_trace(seed_app: App) -> Trace {
     generate(seed_app, &params)
 }
 
+/// The kill-and-resume scenario: run the app straight through, then run it
+/// again but kill it at a seed-chosen epoch boundary, persist a checkpoint,
+/// drop the system, resume from the bytes, and demand the finished run be
+/// bit-identical (per-epoch digests and all counters) to the straight one.
+fn run_kill_and_resume(kind: Perturbation, seed: u64) -> InjectionOutcome {
+    let name = kind.name();
+    let cfg = base_config();
+    // C2D is multi-phase (9 epochs), so the seed-chosen kill point lands
+    // genuinely mid-trace instead of degenerating to a full run.
+    let trace = small_trace(App::C2d);
+    let policy = Policy::oasis();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let epochs = trace.phases.len() as u64;
+    // Kill somewhere strictly inside the run: epoch in [1, epochs-1].
+    let kill_epoch = 1 + rng.gen_below(epochs.max(2) as usize - 1) as u64;
+
+    let result = (|| -> Result<String, String> {
+        let straight = System::new(cfg.clone(), &policy)
+            .run(&trace)
+            .map_err(|e| format!("straight run failed: {e}"))?;
+        let mut buf = Vec::new();
+        {
+            let mut first = System::new(cfg.clone(), &policy);
+            first
+                .run_prefix(&trace, kill_epoch)
+                .map_err(|e| format!("prefix run failed: {e}"))?;
+            first
+                .checkpoint(&mut buf)
+                .map_err(|e| format!("checkpoint failed: {e}"))?;
+            // `first` drops here: the simulated crash.
+        }
+        let mut resumed = System::resume(&mut buf.as_slice(), &trace)
+            .map_err(|e| format!("resume failed: {e}"))?;
+        let report = resumed
+            .run(&trace)
+            .map_err(|e| format!("resumed run failed: {e}"))?;
+        resumed
+            .validate()
+            .map_err(|e| format!("guard VIOLATED ({e})"))?;
+        report
+            .check_digests_against(&straight)
+            .map_err(|e| e.to_string())?;
+        if !report.same_simulation(&straight) {
+            return Err("resumed report differs from the straight run".into());
+        }
+        Ok(format!(
+            "killed at epoch {kill_epoch}/{epochs}, checkpoint {} bytes, \
+             resumed bit-identical accesses={} guard=ok",
+            buf.len(),
+            report.accesses
+        ))
+    })();
+    match result {
+        Ok(detail) => InjectionOutcome {
+            kind,
+            seed,
+            ok: true,
+            line: format!("{name} seed={seed:#018x}: {detail}"),
+        },
+        Err(detail) => InjectionOutcome {
+            kind,
+            seed,
+            ok: false,
+            line: format!("{name} seed={seed:#018x}: {detail}"),
+        },
+    }
+}
+
 fn run_one(kind: Perturbation, seed: u64) -> InjectionOutcome {
+    if kind == Perturbation::KillAndResume {
+        return run_kill_and_resume(kind, seed);
+    }
     let mut rng = SimRng::seed_from_u64(seed);
     let name = kind.name();
     let mut cfg = base_config();
@@ -144,6 +221,7 @@ fn run_one(kind: Perturbation, seed: u64) -> InjectionOutcome {
                 policy = Policy::AccessCounter;
             }
         }
+        Perturbation::KillAndResume => unreachable!("dispatched above"),
     }
 
     let mut sys = System::new(cfg, &policy);
@@ -265,5 +343,15 @@ mod tests {
     #[test]
     fn scenarios_run_with_the_epoch_guard() {
         assert_eq!(base_config().guard, GuardMode::Epoch);
+    }
+
+    #[test]
+    fn kill_and_resume_scenario_is_bit_identical() {
+        let outcomes = run_campaign(11);
+        let kr = &outcomes[5];
+        assert_eq!(kr.kind, Perturbation::KillAndResume);
+        assert!(kr.ok, "{}", kr.line);
+        assert!(kr.line.contains("resumed bit-identical"), "{}", kr.line);
+        assert!(kr.line.contains("killed at epoch"), "{}", kr.line);
     }
 }

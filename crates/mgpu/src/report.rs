@@ -1,8 +1,27 @@
 //! Simulation results.
 
+use oasis_engine::error::SimError;
 use oasis_engine::Duration;
 use oasis_mem::page::PolicyBits;
 use oasis_uvm::stats::UvmStats;
+
+/// Host-side measurements of one run: wall-clock spent simulating and
+/// checkpointing, plus the retired-event count. Everything here except
+/// `retired_steps` depends on the machine the simulator ran on, so these
+/// fields are excluded from [`RunReport::same_simulation`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunInstrumentation {
+    /// Wall-clock microseconds spent inside `System::run` (cumulative
+    /// across resume: a resumed run carries the original's time forward).
+    pub wall_clock_us: u64,
+    /// Simulation-loop events retired (attempted accesses, including ones
+    /// that failed and were recorded).
+    pub retired_steps: u64,
+    /// Wall-clock microseconds spent serializing checkpoints.
+    pub checkpoint_write_us: u64,
+    /// Wall-clock microseconds spent restoring from a checkpoint.
+    pub checkpoint_restore_us: u64,
+}
 
 /// Everything a run produces; the raw material of every figure.
 #[derive(Debug, Clone)]
@@ -44,6 +63,14 @@ pub struct RunReport {
     /// The first few recorded errors, verbatim, each prefixed with its
     /// step number for replay.
     pub error_samples: Vec<String>,
+    /// FNV-1a digest of the full simulation state at the end of each epoch
+    /// (kernel launch), in epoch order. Two runs of the same trace under
+    /// the same configuration must produce identical trails; a resumed run
+    /// keeps the trail of the epochs that ran before the checkpoint.
+    pub digest_trail: Vec<u64>,
+    /// Host-side wall-clock and checkpoint-latency measurements (not part
+    /// of the deterministic result).
+    pub instrumentation: RunInstrumentation,
 }
 
 impl RunReport {
@@ -74,6 +101,51 @@ impl RunReport {
             PolicyBits::Duplication => 2,
         }
     }
+
+    /// True when two reports describe the same simulated execution: every
+    /// deterministic field (simulated time, counters, digest trail,
+    /// retired steps) matches. Wall-clock and checkpoint latencies are
+    /// ignored — they vary run to run on the host.
+    pub fn same_simulation(&self, other: &RunReport) -> bool {
+        self.app == other.app
+            && self.policy == other.policy
+            && self.total_time == other.total_time
+            && self.phases == other.phases
+            && self.accesses == other.accesses
+            && self.local_accesses == other.local_accesses
+            && self.remote_accesses == other.remote_accesses
+            && self.l1_tlb == other.l1_tlb
+            && self.l2_tlb == other.l2_tlb
+            && self.l2_cache == other.l2_cache
+            && self.uvm == other.uvm
+            && self.policy_mix == other.policy_mix
+            && self.nvlink_bytes == other.nvlink_bytes
+            && self.pcie_bytes == other.pcie_bytes
+            && self.errors_recorded == other.errors_recorded
+            && self.error_samples == other.error_samples
+            && self.digest_trail == other.digest_trail
+            && self.instrumentation.retired_steps == other.instrumentation.retired_steps
+    }
+
+    /// Compares this run's per-epoch digest trail against a reference
+    /// run's, returning a typed [`SimError::Divergence`] naming the first
+    /// epoch whose state digest departed (a missing epoch counts as digest
+    /// 0 on the short side).
+    pub fn check_digests_against(&self, reference: &RunReport) -> Result<(), SimError> {
+        let epochs = self.digest_trail.len().max(reference.digest_trail.len());
+        for epoch in 0..epochs {
+            let got = self.digest_trail.get(epoch).copied().unwrap_or(0);
+            let expected = reference.digest_trail.get(epoch).copied().unwrap_or(0);
+            if got != expected {
+                return Err(SimError::Divergence {
+                    epoch: epoch as u64,
+                    expected,
+                    got,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +170,8 @@ mod tests {
             pcie_bytes: 0,
             errors_recorded: 0,
             error_samples: Vec::new(),
+            digest_trail: Vec::new(),
+            instrumentation: RunInstrumentation::default(),
         }
     }
 
@@ -128,5 +202,41 @@ mod tests {
     #[test]
     fn empty_mix_has_zero_share() {
         assert_eq!(report(1).policy_share(PolicyBits::OnTouch), 0.0);
+    }
+
+    #[test]
+    fn same_simulation_ignores_wall_clock_but_not_results() {
+        let a = report(100);
+        let mut b = report(100);
+        b.instrumentation.wall_clock_us = 123_456;
+        b.instrumentation.checkpoint_write_us = 9;
+        assert!(a.same_simulation(&b), "host timings must not matter");
+        b.accesses = 1;
+        assert!(!a.same_simulation(&b), "simulated counters must match");
+    }
+
+    #[test]
+    fn digest_divergence_names_the_first_bad_epoch() {
+        let mut reference = report(1);
+        reference.digest_trail = vec![10, 20, 30];
+        let mut run = reference.clone();
+        assert!(run.check_digests_against(&reference).is_ok());
+        run.digest_trail[1] = 99;
+        match run.check_digests_against(&reference) {
+            Err(SimError::Divergence {
+                epoch,
+                expected,
+                got,
+            }) => {
+                assert_eq!(epoch, 1);
+                assert_eq!(expected, 20);
+                assert_eq!(got, 99);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        // A truncated trail diverges at the first missing epoch.
+        run.digest_trail = vec![10, 20];
+        let err = run.check_digests_against(&reference).unwrap_err();
+        assert!(matches!(err, SimError::Divergence { epoch: 2, .. }));
     }
 }

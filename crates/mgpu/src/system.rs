@@ -1,6 +1,12 @@
 //! The assembled system and its trace-driven simulation loop.
 
+use std::io::{Read, Write};
+use std::time::Instant;
+
 use oasis_core::tracker::ObjectTracker;
+use oasis_engine::codec::{
+    fnv1a, ByteWriter, CheckpointReader, CheckpointWriter, CodecError, Restore, Snapshot,
+};
 use oasis_engine::error::{ErrorPolicy, FaultError, SimError, SimResult, TraceError};
 use oasis_engine::{Duration, EventQueue, Time};
 use oasis_interconnect::Fabric;
@@ -13,7 +19,7 @@ use oasis_workloads::trace::{Access, Trace};
 
 use crate::config::{GuardMode, Placement, Policy, SystemConfig};
 use crate::gpu::GpuModel;
-use crate::report::RunReport;
+use crate::report::{RunInstrumentation, RunReport};
 
 /// How many recorded-error descriptions a report keeps verbatim.
 const ERROR_SAMPLE_CAP: usize = 8;
@@ -58,7 +64,7 @@ pub struct System {
     space: AddressSpace,
     tracker: ObjectTracker,
     tagged_bases: Vec<Va>,
-    policy_name: String,
+    policy: Policy,
     policy_mix: [u64; 3],
     local_accesses: u64,
     remote_accesses: u64,
@@ -69,12 +75,27 @@ pub struct System {
     errors_recorded: u64,
     error_samples: Vec<String>,
     epoch_hook: Option<EpochHook>,
+    /// Simulated clock, promoted to a field so a checkpoint can carry it
+    /// across process boundaries.
+    global: Time,
+    /// The next epoch (phase index) to execute; everything before it is
+    /// already reflected in the system state.
+    next_epoch: u64,
+    /// Whether the trace's objects are allocated (by `load` or `resume`).
+    loaded: bool,
+    /// Fingerprint of the trace this system was loaded with (rejects
+    /// resuming a checkpoint against a different trace).
+    trace_fingerprint: u64,
+    /// Per-epoch state digests accumulated so far.
+    digest_trail: Vec<u64>,
+    /// Host-side wall-clock measurements.
+    instr: RunInstrumentation,
 }
 
 impl std::fmt::Debug for System {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("System")
-            .field("policy", &self.policy_name)
+            .field("policy", &self.policy.name())
             .field("gpus", &self.gpus.len())
             .finish_non_exhaustive()
     }
@@ -104,7 +125,7 @@ impl System {
             space: AddressSpace::new(),
             tracker: policy.tracker(),
             tagged_bases: Vec::new(),
-            policy_name: policy.name().to_string(),
+            policy: policy.clone(),
             policy_mix: [0; 3],
             local_accesses: 0,
             remote_accesses: 0,
@@ -113,6 +134,12 @@ impl System {
             errors_recorded: 0,
             error_samples: Vec::new(),
             epoch_hook: None,
+            global: Time::ZERO,
+            next_epoch: 0,
+            loaded: false,
+            trace_fingerprint: 0,
+            digest_trail: Vec::new(),
+            instr: RunInstrumentation::default(),
             config,
         }
     }
@@ -157,6 +184,17 @@ impl System {
                     Placement::Striped => DeviceId::Gpu(GpuId((vpn.0 % gpus) as u8)),
                 })?;
         }
+        self.trace_fingerprint = trace_fingerprint(trace);
+        Ok(())
+    }
+
+    fn ensure_loaded(&mut self, trace: &Trace) -> Result<(), RunError> {
+        if self.loaded {
+            return Ok(());
+        }
+        self.load(trace)
+            .map_err(|error| RunError { step: 0, error })?;
+        self.loaded = true;
         Ok(())
     }
 
@@ -283,7 +321,7 @@ impl System {
     /// TLB-vs-page-table agreement (a cached translation must be backed by
     /// a live local PTE).
     fn check_guard(&self) -> SimResult<()> {
-        let allow_writable_copies = self.policy_name == "ideal";
+        let allow_writable_copies = self.policy.name() == "ideal";
         check_mem_state(&self.driver.state, allow_writable_copies)?;
         self.driver.policy.check_invariants()?;
         for (g, gpu) in self.gpus.iter().enumerate() {
@@ -325,58 +363,91 @@ impl System {
         }
     }
 
-    /// Runs the whole trace and produces the report, or the typed error
-    /// (with its step number) that stopped it.
+    /// Runs the trace to completion and produces the report, or the typed
+    /// error (with its step number) that stopped it.
+    ///
+    /// On a freshly built system this executes every epoch; on a system
+    /// returned by [`System::resume`] (or advanced by
+    /// [`System::run_prefix`]) it picks up at the next unexecuted epoch
+    /// and the report covers the whole run, as if never interrupted.
     pub fn run(&mut self, trace: &Trace) -> Result<RunReport, RunError> {
-        self.load(trace)
-            .map_err(|error| RunError { step: 0, error })?;
-        let mut global = Time::ZERO;
-        for (epoch, phase) in trace.phases.iter().enumerate() {
-            self.driver.kernel_launch();
-            if let Some(mut hook) = self.epoch_hook.take() {
-                hook(epoch as u64, &mut self.driver);
-                self.epoch_hook = Some(hook);
-            }
-            global += self.config.kernel_launch_overhead;
-            // Grid-wide barriers split the kernel into synchronized
-            // segments (in-kernel iteration boundaries). Unlike kernel
-            // launches, barriers do not notify the policy engine.
-            let n_barriers = phase.barriers.first().map(Vec::len).unwrap_or(0);
-            for seg in 0..=n_barriers {
-                let slices: Vec<&[oasis_workloads::trace::Access]> = (0..self.config.gpu_count)
-                    .map(|g| {
-                        let start = if seg == 0 {
-                            0
-                        } else {
-                            phase.barriers[g][seg - 1]
-                        };
-                        let end = if seg == n_barriers {
-                            phase.per_gpu[g].len()
-                        } else {
-                            phase.barriers[g][seg]
-                        };
-                        &phase.per_gpu[g][start..end]
-                    })
-                    .collect();
-                let seg_start = global;
-                global = self.run_segment(global, &slices)?;
-                if std::env::var_os("OASIS_SEG_DEBUG").is_some() {
-                    let n: usize = slices.iter().map(|s| s.len()).sum();
-                    eprintln!(
-                        "[seg {seg}/{n_barriers} of {}] {n} accesses in {:.3} ms",
-                        phase.name,
-                        (global - seg_start).as_us() / 1000.0
-                    );
-                }
-            }
-            if self.config.guard == GuardMode::Epoch {
-                self.check_guard().map_err(|error| RunError {
-                    step: self.step,
-                    error,
-                })?;
+        self.run_until(trace, trace.phases.len() as u64)?;
+        Ok(self.report(trace))
+    }
+
+    /// Runs epochs until `epochs` of the trace have executed (useful for
+    /// checkpointing mid-run: run a prefix, checkpoint, drop the system).
+    /// Running past the end of the trace is clamped; a prefix the system
+    /// has already passed is a no-op.
+    pub fn run_prefix(&mut self, trace: &Trace, epochs: u64) -> Result<(), RunError> {
+        self.run_until(trace, epochs.min(trace.phases.len() as u64))
+    }
+
+    fn run_until(&mut self, trace: &Trace, upto: u64) -> Result<(), RunError> {
+        let t0 = Instant::now();
+        self.ensure_loaded(trace)?;
+        let mut result = Ok(());
+        while self.next_epoch < upto {
+            result = self.run_epoch(trace);
+            if result.is_err() {
+                break;
             }
         }
-        Ok(self.report(trace, global))
+        self.instr.wall_clock_us += t0.elapsed().as_micros() as u64;
+        result
+    }
+
+    /// Executes the next epoch (one kernel launch / trace phase) and
+    /// records its end-of-epoch state digest.
+    fn run_epoch(&mut self, trace: &Trace) -> Result<(), RunError> {
+        let epoch = self.next_epoch;
+        let phase = &trace.phases[epoch as usize];
+        self.driver.kernel_launch();
+        if let Some(mut hook) = self.epoch_hook.take() {
+            hook(epoch, &mut self.driver);
+            self.epoch_hook = Some(hook);
+        }
+        self.global += self.config.kernel_launch_overhead;
+        // Grid-wide barriers split the kernel into synchronized
+        // segments (in-kernel iteration boundaries). Unlike kernel
+        // launches, barriers do not notify the policy engine.
+        let n_barriers = phase.barriers.first().map(Vec::len).unwrap_or(0);
+        for seg in 0..=n_barriers {
+            let slices: Vec<&[oasis_workloads::trace::Access]> = (0..self.config.gpu_count)
+                .map(|g| {
+                    let start = if seg == 0 {
+                        0
+                    } else {
+                        phase.barriers[g][seg - 1]
+                    };
+                    let end = if seg == n_barriers {
+                        phase.per_gpu[g].len()
+                    } else {
+                        phase.barriers[g][seg]
+                    };
+                    &phase.per_gpu[g][start..end]
+                })
+                .collect();
+            let seg_start = self.global;
+            self.global = self.run_segment(seg_start, &slices)?;
+            if std::env::var_os("OASIS_SEG_DEBUG").is_some() {
+                let n: usize = slices.iter().map(|s| s.len()).sum();
+                eprintln!(
+                    "[seg {seg}/{n_barriers} of {}] {n} accesses in {:.3} ms",
+                    phase.name,
+                    (self.global - seg_start).as_us() / 1000.0
+                );
+            }
+        }
+        if self.config.guard == GuardMode::Epoch {
+            self.check_guard().map_err(|error| RunError {
+                step: self.step,
+                error,
+            })?;
+        }
+        self.next_epoch += 1;
+        self.digest_trail.push(self.digest());
+        Ok(())
     }
 
     /// Runs one synchronized segment of per-GPU streams starting at
@@ -391,6 +462,11 @@ impl System {
             }
         }
         let mut end = start;
+        // Progress watchdog: consecutive failed accesses that also left
+        // the driver's page state untouched. Any retired access or
+        // page-state transition resets it; `stall_window` of them in a row
+        // means the run is spinning without forward progress.
+        let mut stalled_events = 0u64;
         while let Some(ev) = queue.pop() {
             let g = ev.payload;
             let idx = next[g];
@@ -399,13 +475,29 @@ impl System {
             }
             next[g] = idx + 1;
             self.step += 1;
+            let stats_before = self.driver.stats;
             match self.process_access(ev.time, g, &work[g][idx]) {
                 Ok(latency) => {
+                    stalled_events = 0;
                     let done = ev.time + latency;
                     end = end.max(done);
                     queue.push(done, g);
                 }
                 Err(e) => {
+                    if self.driver.stats == stats_before {
+                        stalled_events += 1;
+                        if stalled_events >= self.config.stall_window {
+                            return Err(RunError {
+                                step: self.step,
+                                error: SimError::Stalled {
+                                    step: self.step,
+                                    window: self.config.stall_window,
+                                },
+                            });
+                        }
+                    } else {
+                        stalled_events = 0;
+                    }
                     self.absorb_error(e)?;
                     // The failed access consumed no simulated time; the
                     // lane moves straight to its next transaction.
@@ -422,7 +514,7 @@ impl System {
         Ok(end)
     }
 
-    fn report(&self, trace: &Trace, total_time: Time) -> RunReport {
+    fn report(&self, trace: &Trace) -> RunReport {
         let sum2 = |f: &dyn Fn(&GpuModel) -> (u64, u64)| {
             self.gpus
                 .iter()
@@ -431,8 +523,8 @@ impl System {
         };
         RunReport {
             app: trace.app.to_string(),
-            policy: self.policy_name.clone(),
-            total_time: total_time - Time::ZERO,
+            policy: self.policy.name().to_string(),
+            total_time: self.global - Time::ZERO,
             phases: trace.phases.len(),
             accesses: self.accesses,
             local_accesses: self.local_accesses,
@@ -446,12 +538,271 @@ impl System {
             pcie_bytes: self.fabric.pcie_bytes(),
             errors_recorded: self.errors_recorded,
             error_samples: self.error_samples.clone(),
+            digest_trail: self.digest_trail.clone(),
+            instrumentation: RunInstrumentation {
+                retired_steps: self.step,
+                ..self.instr.clone()
+            },
         }
+    }
+
+    /// Serializes every piece of mutable simulation state (not the
+    /// configuration) in a fixed order. This is both the payload of the
+    /// state digest and the bulk of a checkpoint, so "identical digests"
+    /// and "identical checkpoints" mean the same thing.
+    fn snapshot_state_into(&self, w: &mut ByteWriter) {
+        w.u64(self.global.as_ps());
+        w.u64(self.next_epoch);
+        w.u64(self.step);
+        w.u64(self.accesses);
+        w.u64(self.local_accesses);
+        w.u64(self.remote_accesses);
+        for v in self.policy_mix {
+            w.u64(v);
+        }
+        w.u64(self.errors_recorded);
+        self.tracker.snapshot(w);
+        self.fabric.snapshot(w);
+        for g in &self.gpus {
+            g.l1_tlb.snapshot(w);
+            g.l2_tlb.snapshot(w);
+            g.l2_cache.snapshot(w);
+            g.dram.snapshot(w);
+        }
+        self.driver.snapshot(w);
+        self.driver.policy.snapshot_state(w);
+    }
+
+    /// FNV-1a digest of the full mutable simulation state. Two systems
+    /// with the same configuration that executed the same accesses have
+    /// the same digest; recorded once per epoch, the trail pins down the
+    /// first epoch at which a replay diverged.
+    pub fn digest(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        self.snapshot_state_into(&mut w);
+        fnv1a(w.as_slice())
+    }
+
+    /// Serializes the whole system — configuration, policy selection,
+    /// progress cursor, and every component's mutable state — into `sink`
+    /// as one versioned, checksummed checkpoint.
+    ///
+    /// Call this at an epoch boundary (after [`System::run_prefix`] or
+    /// from an epoch hook); mid-segment state lives in a local event queue
+    /// and is not captured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trace was loaded yet (there is no state worth saving).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Codec`] if writing to `sink` fails.
+    pub fn checkpoint(&mut self, sink: &mut impl Write) -> Result<(), SimError> {
+        assert!(
+            self.loaded,
+            "checkpoint before load/run has no state to save"
+        );
+        let t0 = Instant::now();
+        let mut cw = CheckpointWriter::new();
+        cw.section("config", |w| {
+            self.config.encode(w);
+            self.policy.encode(w);
+        });
+        cw.section("progress", |w| {
+            w.u64(self.trace_fingerprint);
+            w.u64(self.next_epoch);
+            w.u64(self.global.as_ps());
+            w.u64(self.step);
+            w.u64(self.accesses);
+            w.u64(self.local_accesses);
+            w.u64(self.remote_accesses);
+            for v in self.policy_mix {
+                w.u64(v);
+            }
+            w.u64(self.errors_recorded);
+            w.u64(self.error_samples.len() as u64);
+            for s in &self.error_samples {
+                w.str(s);
+            }
+            w.u64(self.digest_trail.len() as u64);
+            for &d in &self.digest_trail {
+                w.u64(d);
+            }
+            w.u64(self.instr.wall_clock_us);
+            w.u64(self.instr.checkpoint_write_us);
+            w.u64(self.instr.checkpoint_restore_us);
+        });
+        cw.snapshot("tracker", &self.tracker);
+        cw.snapshot("fabric", &self.fabric);
+        cw.section("gpus", |w| {
+            w.u64(self.gpus.len() as u64);
+            for g in &self.gpus {
+                g.l1_tlb.snapshot(w);
+                g.l2_tlb.snapshot(w);
+                g.l2_cache.snapshot(w);
+                g.dram.snapshot(w);
+            }
+        });
+        cw.snapshot("driver", &self.driver);
+        cw.section("policy", |w| self.driver.policy.snapshot_state(w));
+        let bytes = cw.finish();
+        sink.write_all(&bytes)
+            .map_err(|e| SimError::Codec(CodecError::Io(e.to_string())))?;
+        self.instr.checkpoint_write_us += t0.elapsed().as_micros() as u64;
+        Ok(())
+    }
+
+    /// Rebuilds a system from a checkpoint written by
+    /// [`System::checkpoint`], ready to [`run`](System::run) the remaining
+    /// epochs of `trace`. The trace must be the one the checkpointed run
+    /// was executing (a fingerprint over its objects and accesses is
+    /// verified); the address space is rebuilt from it deterministically
+    /// while all driver, policy, and platform state comes from the
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Codec`] for unreadable, truncated, corrupted,
+    /// or mismatched checkpoints, naming the failing section.
+    pub fn resume(source: &mut impl Read, trace: &Trace) -> Result<System, SimError> {
+        let t0 = Instant::now();
+        let mut bytes = Vec::new();
+        source
+            .read_to_end(&mut bytes)
+            .map_err(|e| SimError::Codec(CodecError::Io(e.to_string())))?;
+        let mut cr = CheckpointReader::new(&bytes)?;
+
+        let mut sec = cr.section("config")?;
+        let config = SystemConfig::decode(&mut sec)?;
+        let policy = Policy::decode(&mut sec)?;
+        if !sec.is_empty() {
+            return Err(sec
+                .malformed("trailing bytes after policy parameters")
+                .into());
+        }
+        let mut sys = System::new(config, &policy);
+
+        let mut sec = cr.section("progress")?;
+        let fingerprint = sec.u64()?;
+        if fingerprint != trace_fingerprint(trace) {
+            return Err(sec
+                .malformed(format!(
+                    "checkpoint was taken against a different trace \
+                     (fingerprint {fingerprint:#018x}, trace {:#018x})",
+                    trace_fingerprint(trace)
+                ))
+                .into());
+        }
+        sys.next_epoch = sec.u64()?;
+        if sys.next_epoch > trace.phases.len() as u64 {
+            return Err(sec
+                .malformed(format!(
+                    "checkpoint is {} epochs in but the trace has {}",
+                    sys.next_epoch,
+                    trace.phases.len()
+                ))
+                .into());
+        }
+        sys.global = Time::from_ps(sec.u64()?);
+        sys.step = sec.u64()?;
+        sys.accesses = sec.u64()?;
+        sys.local_accesses = sec.u64()?;
+        sys.remote_accesses = sec.u64()?;
+        for v in &mut sys.policy_mix {
+            *v = sec.u64()?;
+        }
+        sys.errors_recorded = sec.u64()?;
+        let samples = sec.u64()?;
+        if samples > ERROR_SAMPLE_CAP as u64 {
+            return Err(sec
+                .malformed(format!("{samples} error samples exceed the cap"))
+                .into());
+        }
+        for _ in 0..samples {
+            let s = sec.str()?;
+            sys.error_samples.push(s);
+        }
+        let epochs = sec.u64()?;
+        if epochs != sys.next_epoch {
+            return Err(sec
+                .malformed(format!(
+                    "digest trail covers {epochs} epochs but the cursor is at {}",
+                    sys.next_epoch
+                ))
+                .into());
+        }
+        for _ in 0..epochs {
+            let d = sec.u64()?;
+            sys.digest_trail.push(d);
+        }
+        sys.instr.wall_clock_us = sec.u64()?;
+        sys.instr.checkpoint_write_us = sec.u64()?;
+        sys.instr.checkpoint_restore_us = sec.u64()?;
+        if !sec.is_empty() {
+            return Err(sec.malformed("trailing bytes after progress state").into());
+        }
+        sys.trace_fingerprint = fingerprint;
+
+        // Rebuild the address space exactly as load() would, but leave
+        // page registration alone: the restored driver state already
+        // reflects it (re-registering would clobber learned placement).
+        for (i, obj) in trace.objects.iter().enumerate() {
+            let id = sys.space.alloc(obj.name.clone(), obj.bytes);
+            debug_assert_eq!(id, ObjectId(i as u16));
+            let base = sys.space.object(id).base;
+            let tagged = sys.tracker.tag(id, base);
+            sys.tagged_bases.push(tagged);
+        }
+
+        cr.restore("tracker", &mut sys.tracker)?;
+        cr.restore("fabric", &mut sys.fabric)?;
+        let mut sec = cr.section("gpus")?;
+        let n = sec.usize()?;
+        if n != sys.gpus.len() {
+            return Err(sec
+                .malformed(format!(
+                    "checkpoint carries {n} GPUs but the configuration builds {}",
+                    sys.gpus.len()
+                ))
+                .into());
+        }
+        for g in &mut sys.gpus {
+            g.l1_tlb.restore(&mut sec)?;
+            g.l2_tlb.restore(&mut sec)?;
+            g.l2_cache.restore(&mut sec)?;
+            g.dram.restore(&mut sec)?;
+        }
+        if !sec.is_empty() {
+            return Err(sec.malformed("trailing bytes after GPU state").into());
+        }
+        cr.restore("driver", &mut sys.driver)?;
+        let mut sec = cr.section("policy")?;
+        sys.driver.policy.restore_state(&mut sec)?;
+        if !sec.is_empty() {
+            return Err(sec.malformed("trailing bytes after policy state").into());
+        }
+        cr.finish()?;
+        sys.loaded = true;
+        sys.instr.checkpoint_restore_us += t0.elapsed().as_micros() as u64;
+        Ok(sys)
     }
 
     /// The UVM driver (tests, characterization).
     pub fn driver(&self) -> &UvmDriver {
         &self.driver
+    }
+
+    /// The next epoch (trace phase index) this system would execute —
+    /// `0` on a fresh system, `trace.phases.len()` once a run finished.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// The policy this system was built with (restored verbatim on
+    /// [`System::resume`]).
+    pub fn policy(&self) -> &Policy {
+        &self.policy
     }
 
     /// Runs the sim-guard sweep on demand (tests, post-run validation).
@@ -468,6 +819,43 @@ impl System {
     pub fn config(&self) -> &SystemConfig {
         &self.config
     }
+}
+
+/// FNV-1a fingerprint of a trace's full content — app, object layout,
+/// every access, every barrier. Stored in checkpoints so a resume against
+/// the wrong trace (or a mutated one) fails loudly instead of silently
+/// diverging.
+fn trace_fingerprint(trace: &Trace) -> u64 {
+    let mut w = ByteWriter::new();
+    w.str(trace.app);
+    w.u64(trace.gpu_count as u64);
+    w.u64(trace.objects.len() as u64);
+    for obj in &trace.objects {
+        w.str(&obj.name);
+        w.u64(obj.bytes);
+    }
+    w.u64(trace.phases.len() as u64);
+    for phase in &trace.phases {
+        w.str(&phase.name);
+        w.u64(phase.per_gpu.len() as u64);
+        for stream in &phase.per_gpu {
+            w.u64(stream.len() as u64);
+            for a in stream {
+                w.u16(a.obj.0);
+                w.u64(a.offset);
+                w.bool(a.kind.is_write());
+                w.u32(a.bytes);
+            }
+        }
+        w.u64(phase.barriers.len() as u64);
+        for b in &phase.barriers {
+            w.u64(b.len() as u64);
+            for &pos in b {
+                w.u64(pos as u64);
+            }
+        }
+    }
+    fnv1a(w.as_slice())
 }
 
 /// Builds a system, runs `trace`, and returns the report.
@@ -671,6 +1059,202 @@ mod tests {
         };
         let r = try_simulate(&cfg, Policy::oasis(), &trace).expect("guard holds every step");
         assert!(r.accesses > 0);
+    }
+
+    /// Runs `trace` halfway, checkpoints, drops the system (the "kill"),
+    /// resumes from the serialized bytes, and finishes the run.
+    fn kill_and_resume(cfg: &SystemConfig, policy: &Policy, trace: &Trace) -> RunReport {
+        let midpoint = (trace.phases.len() as u64 / 2).max(1);
+        let mut buf = Vec::new();
+        {
+            let mut first = System::new(cfg.clone(), policy);
+            first.run_prefix(trace, midpoint).expect("prefix runs");
+            first.checkpoint(&mut buf).expect("checkpoint writes");
+            // `first` drops here: the process "dies".
+        }
+        let mut resumed = System::resume(&mut buf.as_slice(), trace).expect("resume");
+        resumed.run(trace).expect("resumed run completes")
+    }
+
+    #[test]
+    fn midpoint_kill_resume_is_bit_identical_for_every_policy() {
+        for policy in [
+            Policy::OnTouch,
+            Policy::AccessCounter,
+            Policy::Duplication,
+            Policy::oasis(),
+            Policy::oasis_inmem(),
+            Policy::grit(),
+        ] {
+            // C2D has 9 phases, so the kill lands genuinely mid-trace
+            // (epoch 4) rather than at the end of a single-phase run.
+            let trace = small(App::C2d);
+            let cfg = SystemConfig::default();
+            let straight = simulate(&cfg, policy.clone(), &trace);
+            let resumed = kill_and_resume(&cfg, &policy, &trace);
+            resumed
+                .check_digests_against(&straight)
+                .unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+            assert!(
+                resumed.same_simulation(&straight),
+                "{} kill/resume diverged from the straight run",
+                policy.name()
+            );
+            assert_eq!(resumed.digest_trail.len(), trace.phases.len());
+        }
+    }
+
+    #[test]
+    fn resume_restores_the_exact_state_digest() {
+        let trace = small(App::Bfs);
+        let mut sys = System::new(SystemConfig::default(), &Policy::oasis());
+        sys.run_prefix(&trace, 1).expect("first epoch");
+        let expected = sys.digest();
+        let mut buf = Vec::new();
+        sys.checkpoint(&mut buf).expect("checkpoint");
+        let resumed = System::resume(&mut buf.as_slice(), &trace).expect("resume");
+        assert_eq!(resumed.digest(), expected, "restored state must hash alike");
+    }
+
+    #[test]
+    fn report_instrumentation_counts_steps_and_checkpoint_work() {
+        let trace = small(App::Mt);
+        let cfg = SystemConfig::default();
+        let straight = simulate(&cfg, Policy::OnTouch, &trace);
+        assert_eq!(straight.instrumentation.retired_steps, straight.accesses);
+        assert_eq!(straight.instrumentation.checkpoint_write_us, 0);
+        let resumed = kill_and_resume(&cfg, &Policy::OnTouch, &trace);
+        assert_eq!(resumed.instrumentation.retired_steps, resumed.accesses);
+    }
+
+    #[test]
+    fn truncated_checkpoint_fails_typed_naming_a_section() {
+        let trace = small(App::Mt);
+        let mut sys = System::new(SystemConfig::default(), &Policy::oasis());
+        sys.run_prefix(&trace, 1).expect("first epoch");
+        let mut buf = Vec::new();
+        sys.checkpoint(&mut buf).expect("checkpoint");
+        let err = System::resume(&mut &buf[..buf.len() / 2], &trace)
+            .expect_err("half a checkpoint must not resume");
+        match err {
+            SimError::Codec(CodecError::Truncated { section, .. }) => {
+                assert!(!section.is_empty(), "truncation names the starving section");
+            }
+            other => panic!("expected a typed truncation error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn flipped_checksum_byte_fails_typed() {
+        let trace = small(App::Mt);
+        let mut sys = System::new(SystemConfig::default(), &Policy::OnTouch);
+        sys.run_prefix(&trace, 1).expect("first epoch");
+        let mut buf = Vec::new();
+        sys.checkpoint(&mut buf).expect("checkpoint");
+        *buf.last_mut().unwrap() ^= 0xFF;
+        let err = System::resume(&mut buf.as_slice(), &trace)
+            .expect_err("corrupted trailer must not resume");
+        assert!(
+            matches!(err, SimError::Codec(CodecError::ChecksumMismatch { .. })),
+            "expected checksum mismatch, got {err}"
+        );
+    }
+
+    #[test]
+    fn wrong_format_version_fails_typed() {
+        let trace = small(App::Mt);
+        let mut sys = System::new(SystemConfig::default(), &Policy::OnTouch);
+        sys.run_prefix(&trace, 1).expect("first epoch");
+        let mut buf = Vec::new();
+        sys.checkpoint(&mut buf).expect("checkpoint");
+        buf[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let err = System::resume(&mut buf.as_slice(), &trace)
+            .expect_err("future format version must not resume");
+        assert!(
+            matches!(
+                err,
+                SimError::Codec(CodecError::UnsupportedVersion { found: 99, .. })
+            ),
+            "expected unsupported version, got {err}"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_a_different_trace() {
+        let trace = small(App::Mt);
+        let mut sys = System::new(SystemConfig::default(), &Policy::OnTouch);
+        sys.run_prefix(&trace, 1).expect("first epoch");
+        let mut buf = Vec::new();
+        sys.checkpoint(&mut buf).expect("checkpoint");
+        let other = small(App::Bfs);
+        let err = System::resume(&mut buf.as_slice(), &other)
+            .expect_err("checkpoint is bound to its trace");
+        assert!(
+            err.to_string().contains("different trace"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn watchdog_aborts_a_spinning_run() {
+        // Every access references an object that was never allocated, so
+        // under record-and-continue each event fails without touching any
+        // page state: the definition of no forward progress.
+        let mut trace = small(App::Mt);
+        for phase in &mut trace.phases {
+            for stream in &mut phase.per_gpu {
+                for a in stream.iter_mut() {
+                    a.obj = ObjectId(999);
+                }
+            }
+        }
+        let cfg = SystemConfig {
+            error_policy: ErrorPolicy::RecordAndContinue,
+            stall_window: 50,
+            ..SystemConfig::default()
+        };
+        let err = try_simulate(&cfg, Policy::OnTouch, &trace).expect_err("watchdog trips");
+        assert!(err.step > 0);
+        assert!(
+            matches!(err.error, SimError::Stalled { window: 50, .. }),
+            "expected a stall, got {err}"
+        );
+
+        // A window larger than the whole trace lets the same sick run
+        // limp to completion, every failure recorded.
+        let lenient = SystemConfig {
+            error_policy: ErrorPolicy::RecordAndContinue,
+            ..SystemConfig::default()
+        };
+        let r = try_simulate(&lenient, Policy::OnTouch, &trace).expect("lenient window");
+        assert_eq!(r.errors_recorded as usize, trace.total_accesses());
+        assert_eq!(r.accesses, 0);
+    }
+
+    #[test]
+    fn watchdog_is_reset_by_real_progress() {
+        // A handful of corrupt accesses interleaved with healthy ones must
+        // not trip even a tiny window.
+        let mut trace = small(App::Mt);
+        trace.phases[0].per_gpu[0][0].obj = ObjectId(999);
+        trace.phases[0].per_gpu[2][5].obj = ObjectId(999);
+        let cfg = SystemConfig {
+            error_policy: ErrorPolicy::RecordAndContinue,
+            stall_window: 2,
+            ..SystemConfig::default()
+        };
+        let r = try_simulate(&cfg, Policy::OnTouch, &trace).expect("healthy run");
+        assert_eq!(r.errors_recorded, 2);
+    }
+
+    #[test]
+    fn digest_trail_is_deterministic_and_per_epoch() {
+        let trace = small(App::Bfs);
+        let a = simulate(&SystemConfig::default(), Policy::oasis(), &trace);
+        let b = simulate(&SystemConfig::default(), Policy::oasis(), &trace);
+        assert_eq!(a.digest_trail, b.digest_trail);
+        assert_eq!(a.digest_trail.len(), trace.phases.len());
+        assert!(a.check_digests_against(&b).is_ok());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::error::{EvictionError, FaultError, MigrationError, SimResult};
 use oasis_engine::{Duration, Time};
 use oasis_interconnect::Fabric;
@@ -949,6 +950,89 @@ impl UvmDriver {
     }
 }
 
+impl Snapshot for UvmDriver {
+    /// Serializes the driver's mutable state: the centralized tables, the
+    /// per-GPU residency, the raw access counters, the thrash windows, the
+    /// pipeline occupancy, and the event counters. Cost parameters, the
+    /// counter threshold, and the policy engine's own state are NOT part of
+    /// this section — they come from construction and from the policy's
+    /// [`PolicyEngine::snapshot_state`](crate::policy::PolicyEngine)
+    /// respectively.
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.u64(self.state.gpu_count() as u64);
+        self.state.host_table.snapshot(w);
+        for g in 0..self.state.gpu_count() {
+            self.state.local_tables[g].snapshot(w);
+            self.state.frames[g].snapshot(w);
+        }
+        // HashMap iteration order is nondeterministic: emit access counters
+        // and thrash windows sorted by key so identical states serialize to
+        // identical bytes (the digest contract).
+        let mut counters: Vec<((u8, u64), u32)> =
+            self.counters.iter().map(|(k, v)| (*k, *v)).collect();
+        counters.sort_unstable_by_key(|(k, _)| *k);
+        w.u64(counters.len() as u64);
+        for ((gpu, group), val) in counters {
+            w.u8(gpu);
+            w.u64(group);
+            w.u32(val);
+        }
+        let mut thrash: Vec<(Vpn, (u32, Time))> =
+            self.thrash.iter().map(|(k, v)| (*k, *v)).collect();
+        thrash.sort_unstable_by_key(|(v, _)| v.0);
+        w.u64(thrash.len() as u64);
+        for (vpn, (count, start)) in thrash {
+            w.u64(vpn.0);
+            w.u32(count);
+            w.u64(start.as_ps());
+        }
+        w.u64(self.driver_free.as_ps());
+        self.stats.snapshot(w);
+    }
+}
+
+impl Restore for UvmDriver {
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let gpus = r.usize()?;
+        if gpus != self.state.gpu_count() {
+            return Err(r.malformed(format!(
+                "checkpoint driver manages {gpus} GPUs, this system has {}",
+                self.state.gpu_count()
+            )));
+        }
+        self.state.host_table.restore(r)?;
+        for g in 0..gpus {
+            self.state.local_tables[g].restore(r)?;
+            self.state.frames[g].restore(r)?;
+        }
+        let n = r.usize()?;
+        self.counters = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let gpu = r.u8()?;
+            let group = r.u64()?;
+            let val = r.u32()?;
+            if self.counters.insert((gpu, group), val).is_some() {
+                return Err(r.malformed(format!(
+                    "duplicate access-counter key (gpu {gpu}, group {group})"
+                )));
+            }
+        }
+        let n = r.usize()?;
+        self.thrash = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let vpn = Vpn(r.u64()?);
+            let count = r.u32()?;
+            let start = Time::from_ps(r.u64()?);
+            if self.thrash.insert(vpn, (count, start)).is_some() {
+                return Err(r.malformed(format!("duplicate thrash entry for vpn {}", vpn.0)));
+            }
+        }
+        self.driver_free = Time::from_ps(r.u64()?);
+        self.stats.restore(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1369,6 +1453,65 @@ mod tests {
         d.poke_counter(GpuId(0), vpn(0), 3);
         let o = note(&mut d, &mut f, 0, vpn(0)).expect("poked counter trips");
         assert!(matches!(o.kind, OutcomeKind::CounterMigrated { .. }));
+    }
+
+    #[test]
+    fn snapshot_round_trips_driver_state_bit_identically() {
+        let (mut d, mut f) = driver(Box::new(AccessCounterPolicy), Some(8));
+        // Build up nontrivial state: remote maps, counters mid-threshold,
+        // thrash windows, evictions, a busy driver pipeline.
+        fault(&mut d, &mut f, &far(0, 0, AccessKind::Read));
+        fault(&mut d, &mut f, &far(1, 1, AccessKind::Write));
+        note(&mut d, &mut f, 0, vpn(0));
+        note(&mut d, &mut f, 0, vpn(0));
+        note(&mut d, &mut f, 1, vpn(1));
+        let mut w = ByteWriter::new();
+        d.snapshot(&mut w);
+        let buf = w.into_vec();
+
+        let mut fresh = UvmDriver::new(
+            4,
+            PageSize::Small4K,
+            Some(8),
+            Box::new(AccessCounterPolicy),
+            UvmCosts::default(),
+            4,
+        );
+        let mut r = ByteReader::new("driver", &buf);
+        fresh.restore(&mut r).expect("valid driver state");
+        assert!(r.is_empty(), "payload fully consumed");
+        assert_eq!(fresh.stats, d.stats);
+
+        // Re-serializing the restored driver is bit-identical — the digest
+        // contract that makes divergence detection meaningful.
+        let mut w2 = ByteWriter::new();
+        fresh.snapshot(&mut w2);
+        assert_eq!(w2.as_slice(), buf.as_slice());
+
+        // And the restored driver behaves identically: the same remote
+        // access trips (or doesn't trip) the counter in both.
+        let mut f2 = Fabric::new(4, FabricConfig::default());
+        let a = note(&mut d, &mut f, 0, vpn(0));
+        let b = note(&mut fresh, &mut f2, 0, vpn(0));
+        assert_eq!(a.is_some(), b.is_some());
+    }
+
+    #[test]
+    fn restore_rejects_gpu_count_mismatch() {
+        let (d, _) = driver(Box::new(OnTouchPolicy), None);
+        let mut w = ByteWriter::new();
+        d.snapshot(&mut w);
+        let buf = w.into_vec();
+        let mut small = UvmDriver::new(
+            2,
+            PageSize::Small4K,
+            None,
+            Box::new(OnTouchPolicy),
+            UvmCosts::default(),
+            256,
+        );
+        let mut r = ByteReader::new("driver", &buf);
+        assert!(small.restore(&mut r).is_err());
     }
 
     #[test]

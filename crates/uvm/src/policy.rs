@@ -6,6 +6,7 @@
 //! page, plus the hypothetical "Ideal" configuration of Section IV-A.
 //! OASIS (`oasis-core`) and GRIT (`oasis-grit`) implement the same trait.
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError};
 use oasis_engine::error::SimResult;
 use oasis_engine::Duration;
 use oasis_mem::types::{DeviceId, ObjectId, Va};
@@ -76,6 +77,26 @@ pub trait PolicyEngine {
     /// well-formedness). Called by the sim-guard runtime checker; stateless
     /// policies have nothing to verify.
     fn check_invariants(&self) -> SimResult<()> {
+        Ok(())
+    }
+
+    /// Serializes the engine's mutable state into a checkpoint section.
+    /// The uniform policies are stateless, so the default writes nothing;
+    /// stateful engines (OASIS's O-Table and learning statistics) override
+    /// both hooks as a pair.
+    fn snapshot_state(&self, _w: &mut ByteWriter) {}
+
+    /// Restores state written by [`PolicyEngine::snapshot_state`]. The
+    /// default accepts only an empty payload, so resuming a checkpoint
+    /// taken under a stateful engine into a stateless one fails loudly.
+    fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        if !r.is_empty() {
+            return Err(r.malformed(format!(
+                "policy '{}' is stateless but checkpoint carries {} bytes of policy state",
+                self.name(),
+                r.remaining()
+            )));
+        }
         Ok(())
     }
 }

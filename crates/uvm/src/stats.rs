@@ -1,5 +1,7 @@
 //! Counters collected by the UVM driver.
 
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
+
 /// Event counters accumulated while the driver resolves faults.
 ///
 /// These feed the paper's Fig. 24 (total GPU page faults) and the
@@ -48,6 +50,49 @@ impl UvmStats {
             + self.duplications
             + self.ideal_copies
             + self.evictions
+    }
+}
+
+impl Snapshot for UvmStats {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        for v in [
+            self.far_faults,
+            self.protection_faults,
+            self.migrations,
+            self.counter_migrations,
+            self.duplications,
+            self.collapses,
+            self.remote_maps,
+            self.ideal_copies,
+            self.evictions,
+            self.thrash_pins,
+            self.prefetches,
+            self.invalidations,
+        ] {
+            w.u64(v);
+        }
+    }
+}
+
+impl Restore for UvmStats {
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        for field in [
+            &mut self.far_faults,
+            &mut self.protection_faults,
+            &mut self.migrations,
+            &mut self.counter_migrations,
+            &mut self.duplications,
+            &mut self.collapses,
+            &mut self.remote_maps,
+            &mut self.ideal_copies,
+            &mut self.evictions,
+            &mut self.thrash_pins,
+            &mut self.prefetches,
+            &mut self.invalidations,
+        ] {
+            *field = r.u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -19,10 +19,14 @@ fn campaign_is_deterministic_across_runs() {
 }
 
 #[test]
-fn campaign_exercises_five_distinct_perturbations() {
+fn campaign_exercises_every_distinct_perturbation() {
     let outcomes = run_campaign(SEED);
     let kinds: std::collections::HashSet<Perturbation> = outcomes.iter().map(|o| o.kind).collect();
-    assert_eq!(kinds.len(), 5, "five distinct perturbation kinds");
+    assert_eq!(
+        kinds.len(),
+        Perturbation::ALL.len(),
+        "every distinct perturbation kind"
+    );
     // Scenario seeds are derived, distinct, and printed for replay.
     let seeds: std::collections::HashSet<u64> = outcomes.iter().map(|o| o.seed).collect();
     assert_eq!(

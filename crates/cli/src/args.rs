@@ -22,6 +22,10 @@ COMMANDS:
     inject        run the deterministic fault-injection campaign
     verify-replay checkpoint/kill/resume one app under the four core
                   policies and verify bit-identical replay
+    stats         simulate with metrics on and print the top-N counter
+                  and latency-histogram breakdown
+    bench-smoke   run the fixed benchmark matrix, write BENCH JSON, and
+                  gate on throughput regressions vs the baseline
     help          show this text
 
 OPTIONS:
@@ -43,6 +47,18 @@ OPTIONS:
     --resume <FILE>         run: resume from a checkpoint file (the
                             checkpoint's config and policy win over flags)
     --json                  machine-readable output (run and inject)
+    --trace-out <FILE>      run: write a Chrome trace_event JSON file
+                            (open in chrome://tracing or Perfetto)
+    --trace-cap <N>         bound the trace ring buffer to N events
+                            [default: 262144 when --trace-out is given]
+    --metrics               collect the metrics registry during run
+    --top <N>               stats: rows per breakdown table [default: 20]
+    --runs <N>              bench-smoke: runs per cell, best taken [default: 3]
+    --bench-out <FILE>      bench-smoke: result file [default: BENCH_pr3.json]
+    --baseline <FILE>       bench-smoke: baseline to gate against
+                            [default: the previous --bench-out file]
+    --tolerance <PCT>       bench-smoke: allowed steps/sec regression
+                            [default: 25]
 
 EXAMPLES:
     oasis-sim run --app MM --policy duplication
@@ -53,6 +69,9 @@ EXAMPLES:
     oasis-sim run --app MT --resume /tmp/ckpt/MT-oasis-epoch2.ckpt
     oasis-sim inject --seed 42 --json
     oasis-sim verify-replay --app MT --footprint-mb 4
+    oasis-sim run --app C2D --policy oasis --trace-out trace.json
+    oasis-sim stats --app MM --policy oasis --top 15
+    oasis-sim bench-smoke --runs 3 --tolerance 25
 ";
 
 /// Subcommand.
@@ -68,6 +87,10 @@ pub enum Command {
     Inject,
     /// Checkpoint/kill/resume determinism audit over the core policies.
     VerifyReplay,
+    /// Metrics-registry breakdown of one run.
+    Stats,
+    /// Fixed benchmark matrix with a throughput-regression gate.
+    BenchSmoke,
     /// Usage text.
     Help,
 }
@@ -103,6 +126,22 @@ pub struct Cli {
     pub resume: Option<String>,
     /// JSON output.
     pub json: bool,
+    /// Write a Chrome trace_event JSON file after `run`.
+    pub trace_out: Option<String>,
+    /// Ring-tracer capacity override (events).
+    pub trace_cap: Option<usize>,
+    /// Collect the metrics registry during `run`.
+    pub metrics: bool,
+    /// Rows per `stats` breakdown table.
+    pub top: usize,
+    /// Runs per `bench-smoke` cell (best is kept).
+    pub runs: usize,
+    /// `bench-smoke` result file.
+    pub bench_out: Option<String>,
+    /// Explicit `bench-smoke` baseline file.
+    pub baseline: Option<String>,
+    /// Allowed `bench-smoke` steps/sec regression, percent.
+    pub tolerance: u64,
 }
 
 /// A parse failure with a human-readable message.
@@ -161,6 +200,8 @@ impl Cli {
             Some("characterize") => Command::Characterize,
             Some("inject") => Command::Inject,
             Some("verify-replay") => Command::VerifyReplay,
+            Some("stats") => Command::Stats,
+            Some("bench-smoke") => Command::BenchSmoke,
             Some("help") | Some("--help") | Some("-h") | None => Command::Help,
             Some(other) => return Err(ParseError(format!("unknown command '{other}'"))),
         };
@@ -179,6 +220,14 @@ impl Cli {
             checkpoint_dir: None,
             resume: None,
             json: false,
+            trace_out: None,
+            trace_cap: None,
+            metrics: false,
+            top: 20,
+            runs: 3,
+            bench_out: None,
+            baseline: None,
+            tolerance: 25,
         };
         let mut policy_name: Option<String> = None;
         while let Some(flag) = args.next() {
@@ -257,6 +306,43 @@ impl Cli {
                 "--checkpoint-dir" => cli.checkpoint_dir = Some(value("--checkpoint-dir")?),
                 "--resume" => cli.resume = Some(value("--resume")?),
                 "--json" => cli.json = true,
+                "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
+                "--trace-cap" => {
+                    let cap: usize = value("--trace-cap")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--trace-cap: {e}")))?;
+                    if cap == 0 {
+                        return Err(ParseError("--trace-cap must be positive".into()));
+                    }
+                    cli.trace_cap = Some(cap);
+                }
+                "--metrics" => cli.metrics = true,
+                "--top" => {
+                    cli.top = value("--top")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--top: {e}")))?;
+                    if cli.top == 0 {
+                        return Err(ParseError("--top must be positive".into()));
+                    }
+                }
+                "--runs" => {
+                    cli.runs = value("--runs")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--runs: {e}")))?;
+                    if cli.runs == 0 {
+                        return Err(ParseError("--runs must be positive".into()));
+                    }
+                }
+                "--bench-out" => cli.bench_out = Some(value("--bench-out")?),
+                "--baseline" => cli.baseline = Some(value("--baseline")?),
+                "--tolerance" => {
+                    cli.tolerance = value("--tolerance")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--tolerance: {e}")))?;
+                    if cli.tolerance >= 100 {
+                        return Err(ParseError("--tolerance must be below 100".into()));
+                    }
+                }
                 other => return Err(ParseError(format!("unknown option '{other}'"))),
             }
         }
@@ -280,12 +366,21 @@ impl Cli {
         p
     }
 
-    /// The system configuration this invocation selects.
+    /// The system configuration this invocation selects. The observability
+    /// knobs follow the command: `--trace-out` turns tracing on (at
+    /// `--trace-cap` or a roomy default), and `stats` implies `--metrics`.
     pub fn system_config(&self) -> SystemConfig {
+        let trace_capacity = match (self.trace_cap, &self.trace_out) {
+            (Some(cap), _) => cap,
+            (None, Some(_)) => 1 << 18,
+            (None, None) => 0,
+        };
         let mut c = SystemConfig {
             gpu_count: self.gpus,
             page_size: self.page_size,
             placement: self.placement,
+            trace_capacity,
+            metrics: self.metrics || self.command == Command::Stats,
             ..SystemConfig::default()
         };
         if let Some(pct) = self.oversubscribe {
@@ -410,5 +505,62 @@ mod tests {
             parse(&["verify-replay"]).unwrap().command,
             Command::VerifyReplay
         );
+    }
+
+    #[test]
+    fn observability_flags_parse_and_shape_the_config() {
+        let c = parse(&["run", "--trace-out", "t.json", "--metrics"]).unwrap();
+        assert_eq!(c.trace_out.as_deref(), Some("t.json"));
+        let cfg = c.system_config();
+        assert_eq!(cfg.trace_capacity, 1 << 18, "trace-out implies tracing");
+        assert!(cfg.metrics);
+
+        let c = parse(&["run", "--trace-out", "t.json", "--trace-cap", "512"]).unwrap();
+        assert_eq!(c.system_config().trace_capacity, 512);
+
+        // No observability flags: everything stays dark.
+        let dark = parse(&["run"]).unwrap().system_config();
+        assert_eq!(dark.trace_capacity, 0);
+        assert!(!dark.metrics);
+
+        // `stats` implies metrics without the flag.
+        let stats = parse(&["stats", "--top", "5"]).unwrap();
+        assert_eq!(stats.command, Command::Stats);
+        assert_eq!(stats.top, 5);
+        assert!(stats.system_config().metrics);
+
+        assert!(parse(&["run", "--trace-cap", "0"])
+            .unwrap_err()
+            .0
+            .contains("positive"));
+    }
+
+    #[test]
+    fn bench_smoke_flags_parse() {
+        let c = parse(&[
+            "bench-smoke",
+            "--runs",
+            "2",
+            "--bench-out",
+            "B.json",
+            "--baseline",
+            "old.json",
+            "--tolerance",
+            "10",
+        ])
+        .unwrap();
+        assert_eq!(c.command, Command::BenchSmoke);
+        assert_eq!(c.runs, 2);
+        assert_eq!(c.bench_out.as_deref(), Some("B.json"));
+        assert_eq!(c.baseline.as_deref(), Some("old.json"));
+        assert_eq!(c.tolerance, 10);
+        assert!(parse(&["bench-smoke", "--tolerance", "100"])
+            .unwrap_err()
+            .0
+            .contains("below 100"));
+        assert!(parse(&["bench-smoke", "--runs", "0"])
+            .unwrap_err()
+            .0
+            .contains("positive"));
     }
 }

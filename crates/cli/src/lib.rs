@@ -5,6 +5,7 @@
 
 pub mod args;
 pub mod render;
+mod smoke;
 
 use std::fmt::Write as _;
 use std::fs::File;
@@ -114,10 +115,27 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             } else {
                 simulate(&cli.system_config(), cli.policy.clone(), &trace)
             };
-            if cli.json {
+            let trace_note = match &cli.trace_out {
+                Some(path) => {
+                    let json = oasis_engine::chrome_trace_json(&report.trace_events);
+                    std::fs::write(path, &json).map_err(|e| format!("--trace-out {path}: {e}"))?;
+                    format!(
+                        "trace: {} events written to {path}\n",
+                        report.trace_events.len()
+                    )
+                }
+                None => String::new(),
+            };
+            let body = if cli.json {
                 render::report_json(&report)
             } else {
                 render::report_text(&report)
+            };
+            // The trace note goes after text output but never inside JSON.
+            if cli.json {
+                body
+            } else {
+                format!("{body}{trace_note}")
             }
         }
         Command::Compare => {
@@ -155,6 +173,12 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             }
         }
         Command::VerifyReplay => verify_replay(cli)?,
+        Command::Stats => {
+            let trace = generate(cli.app, &cli.workload_params());
+            let report = simulate(&cli.system_config(), cli.policy.clone(), &trace);
+            render::stats_text(&report, cli.top)
+        }
+        Command::BenchSmoke => smoke::bench_smoke(cli)?,
         Command::Help => args::USAGE.to_string(),
     })
 }
@@ -301,5 +325,96 @@ mod tests {
         assert!(out.contains("USAGE"));
         assert!(out.contains("verify-replay"));
         assert!(out.contains("--checkpoint-every"));
+        assert!(out.contains("--trace-out"));
+        assert!(out.contains("bench-smoke"));
+    }
+
+    #[test]
+    fn trace_out_writes_deterministic_chrome_trace() {
+        let dir = std::env::temp_dir().join("oasis-cli-trace-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path_a = dir.join("a.json");
+        let path_b = dir.join("b.json");
+        for path in [&path_a, &path_b] {
+            run_ok(&[
+                "run",
+                "--app",
+                "C2D",
+                "--policy",
+                "oasis",
+                "--footprint-mb",
+                "4",
+                "--trace-out",
+                path.to_str().expect("utf-8"),
+            ]);
+        }
+        let a = std::fs::read(&path_a).expect("trace a");
+        let b = std::fs::read(&path_b).expect("trace b");
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same-seed traces must be byte-identical");
+        let text = String::from_utf8(a).expect("utf-8 trace");
+        assert!(text.starts_with("[\n"), "chrome trace is a JSON array");
+        assert!(text.ends_with("\n]\n"));
+        for name in ["far_fault", "link_transfer", "migration"] {
+            assert!(text.contains(name), "missing {name} events");
+        }
+    }
+
+    #[test]
+    fn stats_prints_counter_and_histogram_tables() {
+        let out = run_ok(&["stats", "--app", "MM", "--footprint-mb", "4", "--top", "10"]);
+        assert!(out.contains("metrics breakdown"), "{out}");
+        assert!(out.contains("uvm.fault.service_ns"), "{out}");
+        assert!(out.contains("per-epoch rollups"), "{out}");
+        assert!(out.contains("access.local"), "{out}");
+    }
+
+    #[test]
+    fn bench_smoke_writes_results_and_gates_on_regression() {
+        let dir = std::env::temp_dir().join("oasis-cli-bench-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let out_file = dir.join("BENCH_test.json");
+        let out_path = out_file.to_str().expect("utf-8");
+        let _ = std::fs::remove_file(out_path);
+        // First run: no baseline yet, must pass and create the file.
+        let first = run_ok(&["bench-smoke", "--runs", "1", "--bench-out", out_path]);
+        assert!(first.contains("no-baseline"), "{first}");
+        let json = std::fs::read_to_string(out_path).expect("bench file");
+        assert!(json.contains("\"oasis-bench-smoke-v1\""));
+        assert!(json.contains("\"C2D\"") && json.contains("\"MM\""));
+        // Second run gates against the first and should be within 90%+
+        // headroom of itself... but wall-clock noise exists, so only check
+        // the happy path with the widest legal tolerance.
+        let second = run(&parse(&[
+            "bench-smoke",
+            "--runs",
+            "1",
+            "--bench-out",
+            out_path,
+            "--tolerance",
+            "99",
+        ]))
+        .expect("repeat run stays within 99% tolerance");
+        assert!(second.contains("ok"), "{second}");
+        // An impossible baseline must trip the gate.
+        let absurd = dir.join("absurd.json");
+        std::fs::write(
+            &absurd,
+            "{\"cells\": [\n{\"app\": \"MM\", \"policy\": \"oasis\", \
+             \"steps_per_sec\": 900000000000.0}\n]}\n",
+        )
+        .expect("write absurd baseline");
+        let err = run(&parse(&[
+            "bench-smoke",
+            "--runs",
+            "1",
+            "--bench-out",
+            out_path,
+            "--baseline",
+            absurd.to_str().expect("utf-8"),
+        ]))
+        .expect_err("absurd baseline must regress");
+        assert!(err.contains("regression"), "{err}");
+        assert!(err.contains("MM/oasis"), "{err}");
     }
 }

@@ -140,6 +140,67 @@ pub fn report_json(r: &RunReport) -> String {
     out
 }
 
+/// Metrics-registry breakdown: top-N counters by value, every latency
+/// histogram with bucket-resolution quantiles, and the per-epoch rollup
+/// table. Deterministic: ties in counter value break on key order.
+pub fn stats_text(r: &RunReport, top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} under {} — metrics breakdown", r.app, r.policy);
+
+    let mut counters: Vec<(&str, u64)> = r.metrics.counters().collect();
+    counters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let total = counters.len();
+    let _ = writeln!(out, "\ncounters (top {} of {total}):", top.min(total));
+    for (key, v) in counters.iter().take(top) {
+        let _ = writeln!(out, "  {key:<40} {v:>16}");
+    }
+
+    let _ = writeln!(
+        out,
+        "\nlatency histograms:\n  {:<28} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "key", "count", "mean(ns)", "p50(ns)", "p99(ns)", "max(ns)"
+    );
+    for (key, h) in r.metrics.histograms().take(top) {
+        let _ = writeln!(
+            out,
+            "  {key:<28} {:>10} {:>12.1} {:>10} {:>10} {:>10}",
+            h.count(),
+            h.mean_ns(),
+            h.quantile_ns(0.5),
+            h.quantile_ns(0.99),
+            h.max_ns()
+        );
+    }
+
+    if !r.epoch_rollups.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nper-epoch rollups:\n  {:<6} {:>12} {:>10} {:>8} {:>10} {:>10}",
+            "epoch", "sim(ms)", "accesses", "faults", "migrations", "evictions"
+        );
+        for e in &r.epoch_rollups {
+            let _ = writeln!(
+                out,
+                "  {:<6} {:>12.3} {:>10} {:>8} {:>10} {:>10}",
+                e.epoch,
+                e.sim_time.as_us() / 1000.0,
+                e.accesses,
+                e.uvm.total_faults(),
+                e.uvm.migrations + e.uvm.counter_migrations,
+                e.uvm.evictions
+            );
+        }
+    }
+    if !r.trace_events.is_empty() {
+        let _ = writeln!(
+            out,
+            "\ntrace: {} events retained (dropped count under trace.dropped)",
+            r.trace_events.len()
+        );
+    }
+    out
+}
+
 /// Machine-readable fault-injection campaign: one JSON object per line per
 /// outcome (JSON Lines; seeds as hex strings to stay exact beyond 2^53).
 pub fn inject_json(outcomes: &[InjectionOutcome]) -> String {

@@ -1,0 +1,253 @@
+//! The `bench-smoke` throughput gate.
+//!
+//! Runs a fixed matrix — C2D and MM under on-touch and oasis, 4 MB
+//! footprints — `--runs` times per cell and keeps the best wall-clock
+//! (host noise only ever slows a run down, so best-of-N is the stable
+//! estimator). Results land in a small JSON file; before overwriting it,
+//! the previous file (or an explicit `--baseline`) is read back and the
+//! gate fails if any cell's retired-steps/sec regressed more than
+//! `--tolerance` percent. The matrix runs *dark* (no tracing, no metrics):
+//! it measures the simulator hot path the way production sweeps run it.
+
+use std::fmt::Write as _;
+
+use oasis_mgpu::{simulate, Policy, SystemConfig};
+use oasis_workloads::{generate, App, WorkloadParams};
+
+use crate::args::Cli;
+
+/// Default result file, at the repo root by convention.
+const DEFAULT_OUT: &str = "BENCH_pr3.json";
+
+/// The fixed benchmark matrix: one migration-bound and one sharing-bound
+/// app, each under the baseline and the paper policy.
+const MATRIX: [(App, &str); 4] = [
+    (App::C2d, "on-touch"),
+    (App::C2d, "oasis"),
+    (App::Mm, "on-touch"),
+    (App::Mm, "oasis"),
+];
+
+/// One benchmark cell's best-of-N measurement.
+struct Cell {
+    app: &'static str,
+    policy: &'static str,
+    wall_clock_us: u64,
+    retired_steps: u64,
+    steps_per_sec: f64,
+}
+
+impl Cell {
+    fn key(&self) -> String {
+        format!("{}/{}", self.app, self.policy)
+    }
+}
+
+/// Peak resident set size in kB (`VmHWM`), or 0 where /proc is absent.
+fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+    }
+    0
+}
+
+fn policy_by_name(name: &str) -> Policy {
+    match name {
+        "on-touch" => Policy::OnTouch,
+        "oasis" => Policy::oasis(),
+        other => unreachable!("matrix policy '{other}'"),
+    }
+}
+
+fn run_cell(app: App, policy_name: &'static str, runs: usize) -> Cell {
+    let mut params = WorkloadParams::paper(app, 4);
+    params.footprint_mb = 4;
+    let trace = generate(app, &params);
+    let policy = policy_by_name(policy_name);
+    let mut best_wall = u64::MAX;
+    let mut steps = 0;
+    for _ in 0..runs {
+        let r = simulate(&SystemConfig::default(), policy.clone(), &trace);
+        steps = r.instrumentation.retired_steps;
+        best_wall = best_wall.min(r.instrumentation.wall_clock_us.max(1));
+    }
+    Cell {
+        app: app.abbr(),
+        policy: policy_name,
+        wall_clock_us: best_wall,
+        retired_steps: steps,
+        steps_per_sec: steps as f64 / (best_wall as f64 / 1e6),
+    }
+}
+
+/// Renders the result file: valid JSON, one cell object per line so the
+/// baseline reader (and shell tools) can line-scan it.
+fn render_json(cells: &[Cell]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"oasis-bench-smoke-v1\",");
+    let _ = writeln!(out, "  \"peak_rss_kb\": {},", peak_rss_kb());
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"app\": \"{}\", \"policy\": \"{}\", \"wall_clock_us\": {}, \
+             \"retired_steps\": {}, \"steps_per_sec\": {:.1}}}{comma}",
+            c.app, c.policy, c.wall_clock_us, c.retired_steps, c.steps_per_sec
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls a quoted string field out of one JSON line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Pulls a numeric field out of one JSON line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Baseline steps/sec per cell key, parsed by line scan (tolerates any
+/// surrounding schema as long as cell objects stay one per line).
+fn parse_baseline(content: &str) -> Vec<(String, f64)> {
+    content
+        .lines()
+        .filter_map(|line| {
+            let app = field_str(line, "app")?;
+            let policy = field_str(line, "policy")?;
+            let sps = field_num(line, "steps_per_sec")?;
+            Some((format!("{app}/{policy}"), sps))
+        })
+        .collect()
+}
+
+/// Runs the matrix, writes the result file, and gates against the
+/// baseline. Returns the human-readable summary, or the regression
+/// message (nonzero exit) when a cell fell below tolerance.
+pub(crate) fn bench_smoke(cli: &Cli) -> Result<String, String> {
+    let out_path = cli.bench_out.as_deref().unwrap_or(DEFAULT_OUT);
+    // Read the baseline *before* overwriting the result file.
+    let baseline_path = cli.baseline.as_deref().unwrap_or(out_path);
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(content) => parse_baseline(&content),
+        Err(_) if cli.baseline.is_none() => Vec::new(),
+        Err(e) => return Err(format!("--baseline {baseline_path}: {e}")),
+    };
+
+    let cells: Vec<Cell> = MATRIX
+        .iter()
+        .map(|&(app, policy)| run_cell(app, policy, cli.runs))
+        .collect();
+    std::fs::write(out_path, render_json(&cells)).map_err(|e| format!("{out_path}: {e}"))?;
+
+    let mut out = format!(
+        "bench-smoke: best of {} run(s) per cell, tolerance {}%\n",
+        cli.runs, cli.tolerance
+    );
+    let mut regressions = Vec::new();
+    for c in &cells {
+        let key = c.key();
+        let verdict = match baseline.iter().find(|(k, _)| *k == key) {
+            Some((_, base_sps)) => {
+                let floor = base_sps * (1.0 - cli.tolerance as f64 / 100.0);
+                if c.steps_per_sec < floor {
+                    regressions.push(format!(
+                        "{key}: {:.0} steps/s fell below {floor:.0} (baseline {base_sps:.0})",
+                        c.steps_per_sec
+                    ));
+                    "REGRESSED"
+                } else {
+                    "ok"
+                }
+            }
+            None => "no-baseline",
+        };
+        let _ = writeln!(
+            out,
+            "  {key:<16} {:>12.0} steps/s  ({} steps in {:.1} ms)  {verdict}",
+            c.steps_per_sec,
+            c.retired_steps,
+            c.wall_clock_us as f64 / 1000.0
+        );
+    }
+    let _ = writeln!(out, "results written to {out_path}");
+    if regressions.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}throughput regression:\n  {}",
+            regressions.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_through_the_baseline_parser() {
+        let cells = vec![
+            Cell {
+                app: "C2D",
+                policy: "on-touch",
+                wall_clock_us: 2_000,
+                retired_steps: 1_000,
+                steps_per_sec: 500_000.0,
+            },
+            Cell {
+                app: "MM",
+                policy: "oasis",
+                wall_clock_us: 4_000,
+                retired_steps: 1_000,
+                steps_per_sec: 250_000.0,
+            },
+        ];
+        let json = render_json(&cells);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"schema\": \"oasis-bench-smoke-v1\""));
+        let parsed = parse_baseline(&json);
+        assert_eq!(
+            parsed,
+            vec![
+                ("C2D/on-touch".to_string(), 500_000.0),
+                ("MM/oasis".to_string(), 250_000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn field_extractors_handle_missing_keys() {
+        assert_eq!(field_str("{\"app\": \"MM\"}", "app"), Some("MM"));
+        assert_eq!(field_str("{}", "app"), None);
+        assert_eq!(
+            field_num("\"steps_per_sec\": 12.5}", "steps_per_sec"),
+            Some(12.5)
+        );
+        assert_eq!(field_num("{}", "steps_per_sec"), None);
+    }
+}

@@ -23,7 +23,7 @@
 
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::error::SimResult;
-use oasis_engine::Duration;
+use oasis_engine::{Duration, MetricsRegistry};
 use oasis_mem::page::PolicyBits;
 use oasis_mem::types::{DeviceId, ObjectId, Va};
 use oasis_uvm::driver::MemState;
@@ -304,6 +304,15 @@ impl PolicyEngine for OasisController {
 
     fn restore_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
         self.core.restore_state(r)
+    }
+
+    fn publish_metrics(&self, m: &mut MetricsRegistry) {
+        let s = self.core.stats;
+        m.set("otable.relearn", s.policy_learns);
+        m.set("otable.implicit_reset", s.implicit_resets);
+        m.set("otable.explicit_reset", s.explicit_resets);
+        m.set("oasis.private_faults", s.private_faults);
+        m.set("oasis.shared_faults", s.shared_faults);
     }
 }
 

@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError};
 use oasis_engine::error::SimResult;
-use oasis_engine::Duration;
+use oasis_engine::{Duration, MetricsRegistry};
 use oasis_mem::types::{ObjectId, Va};
 use oasis_uvm::driver::MemState;
 use oasis_uvm::fault::PageFault;
@@ -321,6 +321,17 @@ impl PolicyEngine for OasisInMem {
         self.shadow_lookups = r.u64()?;
         self.shadow_cold = r.u64()?;
         Ok(())
+    }
+
+    fn publish_metrics(&self, m: &mut MetricsRegistry) {
+        let s = self.core.stats;
+        m.set("otable.relearn", s.policy_learns);
+        m.set("otable.implicit_reset", s.implicit_resets);
+        m.set("otable.explicit_reset", s.explicit_resets);
+        m.set("oasis.private_faults", s.private_faults);
+        m.set("oasis.shared_faults", s.shared_faults);
+        m.set("shadow.lookups", self.shadow_lookups);
+        m.set("shadow.cold_lookups", self.shadow_cold);
     }
 }
 

@@ -38,7 +38,7 @@ pub const MAGIC: [u8; 8] = *b"OASISCKP";
 
 /// Current checkpoint format version. Bump on any layout change; readers
 /// reject other versions with [`CodecError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

@@ -21,9 +21,12 @@
 pub mod channel;
 pub mod codec;
 pub mod error;
+pub mod metrics;
+pub mod obs;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use channel::{Channel, Transfer};
 pub use codec::{
@@ -34,6 +37,11 @@ pub use error::{
     ErrorPolicy, EvictionError, FaultError, InvariantViolation, MigrationError, SimError,
     SimResult, TableError, TraceError,
 };
+pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use obs::Observer;
 pub use queue::{Event, EventQueue};
 pub use rng::SimRng;
 pub use time::{Duration, Time};
+pub use trace::{
+    chrome_trace_json, Endpoint, NullTracer, RingTracer, TimedEvent, TraceEvent, Tracer,
+};

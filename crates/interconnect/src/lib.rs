@@ -140,6 +140,40 @@ impl Fabric {
             c.reset();
         }
     }
+
+    /// Per-link utilization rollup, in deterministic order (all NVLink
+    /// ports by GPU index, then all PCIe links). Feeds the metrics
+    /// registry at report time.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        let mut out = Vec::with_capacity(self.nvlink.len() + self.pcie.len());
+        for (kind, links) in [("nvlink", &self.nvlink), ("pcie", &self.pcie)] {
+            for (gpu, c) in links.iter().enumerate() {
+                out.push(LinkStats {
+                    kind,
+                    gpu,
+                    busy: c.busy_time(),
+                    bytes: c.bytes_moved(),
+                    transfers: c.transfers(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Utilization summary for one fabric link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Link kind: `"nvlink"` or `"pcie"`.
+    pub kind: &'static str,
+    /// GPU index the port/link belongs to.
+    pub gpu: usize,
+    /// Cumulative serialization (busy) time.
+    pub busy: Duration,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Number of transfers reserved.
+    pub transfers: u64,
 }
 
 impl Snapshot for Fabric {

@@ -83,6 +83,9 @@ pub struct Pte {
 #[derive(Debug, Clone, Default)]
 pub struct LocalPageTable {
     map: HashMap<Vpn, Pte>,
+    /// Count of inserts + successful invalidations. Observational only:
+    /// excluded from snapshots/digests (metrics must not perturb replay).
+    updates: u64,
 }
 
 impl LocalPageTable {
@@ -99,11 +102,22 @@ impl LocalPageTable {
     /// Installs (or replaces) the translation for `vpn`.
     pub fn insert(&mut self, vpn: Vpn, pte: Pte) {
         self.map.insert(vpn, pte);
+        self.updates += 1;
     }
 
     /// Invalidates the translation for `vpn`. Returns the removed entry.
     pub fn invalidate(&mut self, vpn: Vpn) -> Option<Pte> {
-        self.map.remove(&vpn)
+        let removed = self.map.remove(&vpn);
+        if removed.is_some() {
+            self.updates += 1;
+        }
+        removed
+    }
+
+    /// Total PTE mutations (inserts + removals). Not snapshotted — feeds
+    /// the metrics registry only.
+    pub fn updates(&self) -> u64 {
+        self.updates
     }
 
     /// Number of valid translations.

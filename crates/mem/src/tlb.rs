@@ -37,6 +37,10 @@ pub struct Tlb {
     stamp: u64,
     hits: u64,
     misses: u64,
+    /// Shootdowns that actually removed an entry. Observational only:
+    /// deliberately excluded from snapshots/digests so enabling metrics
+    /// cannot perturb replay.
+    shootdowns: u64,
     /// Reverse index so global invalidations don't scan every set.
     where_is: HashMap<Vpn, usize>,
 }
@@ -88,6 +92,7 @@ impl Tlb {
             stamp: 0,
             hits: 0,
             misses: 0,
+            shootdowns: 0,
             where_is: HashMap::new(),
         })
     }
@@ -153,6 +158,7 @@ impl Tlb {
             let set = &mut self.sets[idx];
             if let Some(pos) = set.lines.iter().position(|(v, _)| *v == vpn) {
                 set.lines.swap_remove(pos);
+                self.shootdowns += 1;
                 return true;
             }
         }
@@ -196,6 +202,12 @@ impl Tlb {
     /// (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Number of shootdowns that removed a live entry. Not snapshotted —
+    /// this counter feeds the metrics registry only.
+    pub fn shootdowns(&self) -> u64 {
+        self.shootdowns
     }
 
     /// Resets hit/miss counters (contents retained).

@@ -187,6 +187,16 @@ pub struct SystemConfig {
     /// access or page-state transition resets the count; only a run that is
     /// truly spinning (every event rejected, nothing moving) trips it.
     pub stall_window: u64,
+    /// Event-trace ring capacity. 0 (the default) installs the zero-cost
+    /// [`NullTracer`](oasis_engine::NullTracer); nonzero installs a bounded
+    /// [`RingTracer`](oasis_engine::RingTracer) keeping the most recent N
+    /// events. Tracer *state* is observational — excluded from digests and
+    /// checkpoints — but this knob travels with the config section so a
+    /// resumed run rebuilds the same observer.
+    pub trace_capacity: usize,
+    /// Enable the hierarchical metrics registry (counters + latency
+    /// histograms surfaced in [`RunReport`](crate::RunReport)).
+    pub metrics: bool,
 }
 
 impl Default for SystemConfig {
@@ -218,6 +228,8 @@ impl Default for SystemConfig {
             error_policy: ErrorPolicy::FailFast,
             guard: GuardMode::Off,
             stall_window: 100_000,
+            trace_capacity: 0,
+            metrics: false,
         }
     }
 }
@@ -328,6 +340,8 @@ impl SystemConfig {
             GuardMode::Step => 2,
         });
         w.u64(self.stall_window);
+        w.u64(self.trace_capacity as u64);
+        w.bool(self.metrics);
     }
 
     /// Reads a configuration [`encode`](SystemConfig::encode)d into a
@@ -395,6 +409,8 @@ impl SystemConfig {
             b => return Err(r.malformed(format!("invalid guard-mode byte {b}"))),
         };
         let stall_window = r.u64()?;
+        let trace_capacity = r.usize()?;
+        let metrics = r.bool()?;
         Ok(SystemConfig {
             gpu_count,
             page_size,
@@ -422,6 +438,8 @@ impl SystemConfig {
             error_policy,
             guard,
             stall_window,
+            trace_capacity,
+            metrics,
         })
     }
 }
@@ -558,6 +576,8 @@ mod tests {
             error_policy: ErrorPolicy::RecordAndContinue,
             guard: GuardMode::Epoch,
             stall_window: 42,
+            trace_capacity: 4096,
+            metrics: true,
             ..SystemConfig::default()
         };
         let mut w = ByteWriter::new();
@@ -572,6 +592,8 @@ mod tests {
         assert_eq!(back.gpu_count, 8);
         assert_eq!(back.gpu_capacity_pages, Some(777));
         assert_eq!(back.stall_window, 42);
+        assert_eq!(back.trace_capacity, 4096);
+        assert!(back.metrics);
 
         for p in [
             Policy::OnTouch,

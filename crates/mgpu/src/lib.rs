@@ -25,5 +25,5 @@ pub mod system;
 
 pub use config::{GuardMode, Placement, Policy, SystemConfig};
 pub use inject::{run_campaign, InjectionOutcome, Perturbation};
-pub use report::RunReport;
+pub use report::{EpochRollup, RunInstrumentation, RunReport};
 pub use system::{simulate, try_simulate, RunError, System};

@@ -1,9 +1,26 @@
 //! Simulation results.
 
 use oasis_engine::error::SimError;
-use oasis_engine::Duration;
+use oasis_engine::{Duration, MetricsRegistry, TimedEvent};
 use oasis_mem::page::PolicyBits;
 use oasis_uvm::stats::UvmStats;
+
+/// Per-epoch activity delta: what one kernel launch (trace phase) cost and
+/// did. Derived from cumulative counters at epoch boundaries, so rollups
+/// are observational — they carry no state of their own and are excluded
+/// from digests, checkpoints, and [`RunReport::same_simulation`] (a
+/// resumed run only has rollups for the epochs it executed itself).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochRollup {
+    /// 0-based epoch (kernel launch) index.
+    pub epoch: u64,
+    /// Simulated time this epoch consumed (launch overhead + segments).
+    pub sim_time: Duration,
+    /// Memory transactions retired during this epoch.
+    pub accesses: u64,
+    /// UVM driver activity during this epoch (field-wise delta).
+    pub uvm: UvmStats,
+}
 
 /// Host-side measurements of one run: wall-clock spent simulating and
 /// checkpointing, plus the retired-event count. Everything here except
@@ -71,6 +88,20 @@ pub struct RunReport {
     /// Host-side wall-clock and checkpoint-latency measurements (not part
     /// of the deterministic result).
     pub instrumentation: RunInstrumentation,
+    /// Per-epoch activity deltas for the epochs *this* system executed
+    /// (a resumed run lacks pre-checkpoint rollups). Observational;
+    /// excluded from [`RunReport::same_simulation`].
+    pub epoch_rollups: Vec<EpochRollup>,
+    /// The metrics registry at report time: instrumented-component
+    /// counters/histograms plus report-time rollups (fabric link busy
+    /// times, TLB shootdowns, policy-internal counters). Empty when
+    /// metrics were disabled. Observational; excluded from
+    /// [`RunReport::same_simulation`].
+    pub metrics: MetricsRegistry,
+    /// Events retained by the tracer, in record order. Empty when tracing
+    /// was disabled. Observational; excluded from
+    /// [`RunReport::same_simulation`].
+    pub trace_events: Vec<TimedEvent>,
 }
 
 impl RunReport {
@@ -172,6 +203,9 @@ mod tests {
             error_samples: Vec::new(),
             digest_trail: Vec::new(),
             instrumentation: RunInstrumentation::default(),
+            epoch_rollups: Vec::new(),
+            metrics: MetricsRegistry::disabled(),
+            trace_events: Vec::new(),
         }
     }
 
@@ -210,7 +244,12 @@ mod tests {
         let mut b = report(100);
         b.instrumentation.wall_clock_us = 123_456;
         b.instrumentation.checkpoint_write_us = 9;
-        assert!(a.same_simulation(&b), "host timings must not matter");
+        b.epoch_rollups.push(EpochRollup::default());
+        b.metrics = MetricsRegistry::enabled();
+        assert!(
+            a.same_simulation(&b),
+            "host timings and observability state must not matter"
+        );
         b.accesses = 1;
         assert!(!a.same_simulation(&b), "simulated counters must match");
     }

@@ -8,7 +8,7 @@ use oasis_engine::codec::{
     fnv1a, ByteWriter, CheckpointReader, CheckpointWriter, CodecError, Restore, Snapshot,
 };
 use oasis_engine::error::{ErrorPolicy, FaultError, SimError, SimResult, TraceError};
-use oasis_engine::{Duration, EventQueue, Time};
+use oasis_engine::{Duration, Endpoint, EventQueue, Observer, Time, TraceEvent};
 use oasis_interconnect::Fabric;
 use oasis_mem::layout::AddressSpace;
 use oasis_mem::types::{DeviceId, GpuId, ObjectId, Va};
@@ -19,7 +19,7 @@ use oasis_workloads::trace::{Access, Trace};
 
 use crate::config::{GuardMode, Placement, Policy, SystemConfig};
 use crate::gpu::GpuModel;
-use crate::report::{RunInstrumentation, RunReport};
+use crate::report::{EpochRollup, RunInstrumentation, RunReport};
 
 /// How many recorded-error descriptions a report keeps verbatim.
 const ERROR_SAMPLE_CAP: usize = 8;
@@ -90,6 +90,9 @@ pub struct System {
     digest_trail: Vec<u64>,
     /// Host-side wall-clock measurements.
     instr: RunInstrumentation,
+    /// Per-epoch activity deltas. Observational only: never snapshotted,
+    /// digested, or checkpointed (a resumed run restarts its rollups).
+    epoch_rollups: Vec<EpochRollup>,
 }
 
 impl std::fmt::Debug for System {
@@ -118,6 +121,7 @@ impl System {
         );
         driver.counter_weight = config.counter_weight;
         driver.prefetch_group = config.prefetch_group;
+        driver.obs = Observer::from_config(config.trace_capacity, config.metrics);
         System {
             gpus,
             fabric,
@@ -140,6 +144,7 @@ impl System {
             trace_fingerprint: 0,
             digest_trail: Vec::new(),
             instr: RunInstrumentation::default(),
+            epoch_rollups: Vec::new(),
             config,
         }
     }
@@ -231,6 +236,14 @@ impl System {
 
         let tlb = self.gpus[g].translate(vpn, &self.config);
         let mut latency = tlb.latency;
+        if tlb.l2_miss {
+            self.driver.obs.metrics.observe("tlb.walk_ns", tlb.latency);
+            self.driver.obs.emit(now, || TraceEvent::WalkComplete {
+                gpu: g as u8,
+                vpn: vpn.0,
+                latency: tlb.latency,
+            });
+        }
 
         // The local PTE is the source of truth for location and
         // permissions (the TLB models timing only); faults are resolved by
@@ -276,24 +289,35 @@ impl System {
 
         if pte.location == DeviceId::Gpu(gpu_id) {
             self.local_accesses += 1;
+            self.driver.obs.metrics.add("access.local", 1);
             latency +=
                 self.gpus[g].local_access(now + latency, va, u64::from(a.bytes), &self.config);
             self.driver.state.frames[g].touch(vpn);
         } else {
             self.remote_accesses += 1;
+            self.driver.obs.metrics.add("access.remote", 1);
             // Request to the remote device, data back over the fabric.
+            let depart = now + latency;
             let t = self.fabric.transfer(
-                now + latency,
+                depart,
                 pte.location,
                 DeviceId::Gpu(gpu_id),
                 u64::from(a.bytes),
             );
+            let busy = t.latency_from(depart);
+            let source = pte.location;
+            self.driver.obs.emit(depart, || TraceEvent::LinkTransfer {
+                from: device_endpoint(source),
+                to: Endpoint::Gpu(g as u8),
+                bytes: u64::from(a.bytes),
+                busy,
+            });
             let overhead = if pte.location.is_host() {
                 self.config.host_access_overhead
             } else {
                 self.config.remote_access_overhead
             };
-            latency += t.latency_from(now + latency) + self.config.dram_latency + overhead;
+            latency += busy + self.config.dram_latency + overhead;
             if let Some(out) =
                 self.driver
                     .note_remote_access(now + latency, gpu_id, vpn, &mut self.fabric)?
@@ -402,6 +426,9 @@ impl System {
     fn run_epoch(&mut self, trace: &Trace) -> Result<(), RunError> {
         let epoch = self.next_epoch;
         let phase = &trace.phases[epoch as usize];
+        let epoch_start = self.global;
+        let uvm_before = self.driver.stats;
+        let accesses_before = self.accesses;
         self.driver.kernel_launch();
         if let Some(mut hook) = self.epoch_hook.take() {
             hook(epoch, &mut self.driver);
@@ -446,6 +473,12 @@ impl System {
             })?;
         }
         self.next_epoch += 1;
+        self.epoch_rollups.push(EpochRollup {
+            epoch,
+            sim_time: self.global - epoch_start,
+            accesses: self.accesses - accesses_before,
+            uvm: self.driver.stats.minus(&uvm_before),
+        });
         self.digest_trail.push(self.digest());
         Ok(())
     }
@@ -514,6 +547,39 @@ impl System {
         Ok(end)
     }
 
+    /// Builds the report-time metrics view: the live registry's counters
+    /// and histograms plus rollups that only exist as component state
+    /// (fabric link busy times, TLB shootdowns, page-table churn,
+    /// policy-internal counters). Pure derivation — the simulation state
+    /// is not touched.
+    fn metrics_view(&self) -> oasis_engine::MetricsRegistry {
+        let mut m = self.driver.obs.metrics.clone();
+        if !m.is_enabled() {
+            return m;
+        }
+        self.driver.policy.publish_metrics(&mut m);
+        for ls in self.fabric.link_stats() {
+            let prefix = format!("fabric.{}{}", ls.kind, ls.gpu);
+            m.set(&format!("{prefix}.busy_ns"), ls.busy.as_ps() / 1_000);
+            m.set(&format!("{prefix}.bytes"), ls.bytes);
+            m.set(&format!("{prefix}.transfers"), ls.transfers);
+        }
+        for (g, gpu) in self.gpus.iter().enumerate() {
+            m.set(
+                &format!("tlb.gpu{g}.shootdowns"),
+                gpu.l1_tlb.shootdowns() + gpu.l2_tlb.shootdowns(),
+            );
+            m.set(
+                &format!("pagetable.gpu{g}.updates"),
+                self.driver.state.local_tables[g].updates(),
+            );
+        }
+        if self.driver.obs.tracing() {
+            m.set("trace.dropped", self.driver.obs.dropped());
+        }
+        m
+    }
+
     fn report(&self, trace: &Trace) -> RunReport {
         let sum2 = |f: &dyn Fn(&GpuModel) -> (u64, u64)| {
             self.gpus
@@ -543,6 +609,9 @@ impl System {
                 retired_steps: self.step,
                 ..self.instr.clone()
             },
+            epoch_rollups: self.epoch_rollups.clone(),
+            metrics: self.metrics_view(),
+            trace_events: self.driver.obs.events(),
         }
     }
 
@@ -818,6 +887,14 @@ impl System {
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+}
+
+/// Trace-event endpoint for a device id.
+fn device_endpoint(dev: DeviceId) -> Endpoint {
+    match dev {
+        DeviceId::Host => Endpoint::Host,
+        DeviceId::Gpu(g) => Endpoint::Gpu(g.0),
     }
 }
 

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::error::{EvictionError, FaultError, MigrationError, SimResult};
-use oasis_engine::{Duration, Time};
+use oasis_engine::{Duration, Endpoint, Observer, Time, TraceEvent};
 use oasis_interconnect::Fabric;
 use oasis_mem::frames::FrameAllocator;
 use oasis_mem::page::{HostEntry, HostPageTable, LocalPageTable, PolicyBits, Pte};
@@ -30,6 +30,14 @@ use crate::stats::UvmStats;
 /// Pages per 64 KiB access-counter group for 4 KiB pages (the NVIDIA
 /// driver's counter granularity, Table I).
 const GROUP_BYTES: u64 = 64 * 1024;
+
+/// Maps a simulated device to a trace endpoint.
+fn endpoint(dev: DeviceId) -> Endpoint {
+    match dev {
+        DeviceId::Host => Endpoint::Host,
+        DeviceId::Gpu(g) => Endpoint::Gpu(g.0),
+    }
+}
 
 /// The memory state shared between the driver and policy engines.
 #[derive(Debug)]
@@ -102,6 +110,13 @@ pub struct Outcome {
     /// `(gpu, vpn)` translations invalidated; the GPU model must drop the
     /// corresponding TLB entries and cache lines.
     pub invalidations: Vec<(GpuId, Vpn)>,
+    /// Portion of `latency` spent moving data over the fabric.
+    pub transfer_time: Duration,
+    /// Portion of `latency` spent on invalidation (shootdown) rounds.
+    pub shootdown_time: Duration,
+    /// Portion of `latency` spent queued behind the serialized driver
+    /// pipeline.
+    pub queue_wait: Duration,
 }
 
 impl Outcome {
@@ -110,6 +125,9 @@ impl Outcome {
             kind,
             latency: Duration::ZERO,
             invalidations: Vec::new(),
+            transfer_time: Duration::ZERO,
+            shootdown_time: Duration::ZERO,
+            queue_wait: Duration::ZERO,
         }
     }
 }
@@ -151,6 +169,10 @@ pub struct UvmDriver {
     thrash: HashMap<Vpn, (u32, Time)>,
     /// When the serialized host fault-handling pipeline frees up.
     driver_free: Time,
+    /// Observability sink (tracer + metrics). Purely observational:
+    /// excluded from [`Snapshot`]/[`Restore`] and rebuilt from config on
+    /// resume, so tracing cannot perturb replay.
+    pub obs: Observer,
 }
 
 impl std::fmt::Debug for UvmDriver {
@@ -187,6 +209,7 @@ impl UvmDriver {
             group_shift: pages_per_group.trailing_zeros(),
             counters: HashMap::new(),
             driver_free: Time::ZERO,
+            obs: Observer::disabled(),
         }
     }
 
@@ -382,9 +405,11 @@ impl UvmDriver {
         let mut out;
         if thrashing && pinnable {
             out = Outcome::new(OutcomeKind::RemoteMapped);
-            self.do_remote_map(fault.gpu, fault.vpn, &mut out)?;
+            self.do_remote_map(now, fault.gpu, fault.vpn, &mut out)?;
             self.stats.thrash_pins += 1;
+            out.queue_wait = queue_wait;
             out.latency += base + rtt + decision.metadata_latency + queue_wait;
+            self.observe_fault(now, fault, &out);
             return Ok(out);
         }
         match (fault.fault_type, decision.resolution) {
@@ -405,7 +430,7 @@ impl UvmDriver {
             }
             (FaultType::Far, Resolution::RemoteMap) => {
                 out = Outcome::new(OutcomeKind::RemoteMapped);
-                self.do_remote_map(fault.gpu, fault.vpn, &mut out)?;
+                self.do_remote_map(now, fault.gpu, fault.vpn, &mut out)?;
             }
             (FaultType::Far, Resolution::Duplicate) => {
                 if fault.is_write() {
@@ -434,7 +459,10 @@ impl UvmDriver {
                 // bits switch to access-counter so *later* sharers get
                 // remote mappings instead of new duplicates.
                 out = Outcome::new(OutcomeKind::CollapsedToWriter);
-                self.entry_mut(fault.vpn)?.policy = PolicyBits::AccessCounter;
+                let e = self.entry_mut(fault.vpn)?;
+                let old_bits = e.policy;
+                e.policy = PolicyBits::AccessCounter;
+                self.note_policy(now, fault.vpn, old_bits, PolicyBits::AccessCounter);
                 self.do_collapse_to_writer(now, fault.gpu, fault.vpn, fabric, &mut out)?;
             }
             (FaultType::Protection, _) => {
@@ -442,7 +470,9 @@ impl UvmDriver {
                 self.do_collapse_to_writer(now, fault.gpu, fault.vpn, fabric, &mut out)?;
             }
         }
+        out.queue_wait = queue_wait;
         out.latency += base + rtt + decision.metadata_latency + queue_wait;
+        self.observe_fault(now, fault, &out);
         Ok(out)
     }
 
@@ -463,6 +493,7 @@ impl UvmDriver {
             return Ok(None);
         }
         *c = 0;
+        self.obs.metrics.add("uvm.counter.trip", 1);
         let mut out = Outcome::new(OutcomeKind::CounterMigrated { pages: 0 });
         // Counter notifications go through the same serialized driver
         // pipeline as faults.
@@ -540,14 +571,98 @@ impl UvmDriver {
     // Mechanics
     // ------------------------------------------------------------------
 
-    fn invalidate_at(&mut self, g: GpuId, vpn: Vpn, drop_frame: bool, out: &mut Outcome) {
+    fn invalidate_at(
+        &mut self,
+        now: Time,
+        g: GpuId,
+        vpn: Vpn,
+        drop_frame: bool,
+        out: &mut Outcome,
+    ) {
         if self.state.local_tables[g.index()].invalidate(vpn).is_some() {
             out.invalidations.push((g, vpn));
             self.stats.invalidations += 1;
+            self.obs.emit(now, || TraceEvent::Shootdown {
+                gpu: g.0,
+                vpn: vpn.0,
+            });
         }
         if drop_frame {
             self.state.frames[g.index()].remove(vpn);
         }
+    }
+
+    /// Charges the latency of an invalidation round covering `devices`
+    /// devices, attributing it to the outcome's shootdown phase.
+    fn charge_invalidation(&mut self, devices: usize, out: &mut Outcome) {
+        let cost = self.costs.invalidation(devices);
+        out.latency += cost;
+        out.shootdown_time += cost;
+    }
+
+    /// Reserves a synchronous page transfer on the fabric, charges its
+    /// latency to the outcome's transfer phase, and traces it.
+    fn charge_transfer(
+        &mut self,
+        now: Time,
+        from: DeviceId,
+        to: DeviceId,
+        fabric: &mut Fabric,
+        out: &mut Outcome,
+    ) {
+        let bytes = self.page_bytes();
+        let t = fabric.transfer(now + out.latency, from, to, bytes);
+        let lat = t.latency_from(now + out.latency);
+        out.latency += lat;
+        out.transfer_time += lat;
+        self.obs.emit(now, || TraceEvent::LinkTransfer {
+            from: endpoint(from),
+            to: endpoint(to),
+            bytes,
+            busy: lat,
+        });
+    }
+
+    /// Records a page-policy transition (if the bits actually changed).
+    fn note_policy(&mut self, now: Time, vpn: Vpn, from: PolicyBits, to: PolicyBits) {
+        if from != to {
+            self.obs.metrics.add("uvm.policy_switch", 1);
+            self.obs.emit(now, || TraceEvent::PolicySwitch {
+                vpn: vpn.0,
+                from: from.bits(),
+                to: to.bits(),
+            });
+        }
+    }
+
+    /// Records a completed fault's phase attribution into the metrics
+    /// registry and the tracer.
+    fn observe_fault(&mut self, now: Time, fault: &PageFault, out: &Outcome) {
+        if self.obs.metrics.is_enabled() {
+            match fault.fault_type {
+                FaultType::Far => self.obs.metrics.add("uvm.fault.far", 1),
+                FaultType::Protection => self.obs.metrics.add("uvm.fault.protection", 1),
+            }
+            self.obs
+                .metrics
+                .observe("uvm.fault.service_ns", out.latency);
+            self.obs
+                .metrics
+                .observe("uvm.fault.queue_ns", out.queue_wait);
+            self.obs
+                .metrics
+                .observe("uvm.fault.transfer_ns", out.transfer_time);
+            self.obs
+                .metrics
+                .observe("uvm.fault.shootdown_ns", out.shootdown_time);
+        }
+        self.obs.emit(now, || TraceEvent::FarFault {
+            gpu: fault.gpu.0,
+            vpn: fault.vpn.0,
+            write: fault.is_write(),
+            queue: out.queue_wait,
+            service: out.latency,
+        });
     }
 
     /// Migrates `vpn` into `to`'s memory, invalidating every other holder.
@@ -579,27 +694,22 @@ impl UvmDriver {
                 // The requester's own stale mapping (e.g. a remote map being
                 // upgraded by a counter migration) is replaced below, but its
                 // TLB entry must still be refreshed.
-                self.invalidate_at(g, vpn, true, out);
+                self.invalidate_at(now, g, vpn, true, out);
                 continue;
             }
-            self.invalidate_at(g, vpn, true, out);
+            self.invalidate_at(now, g, vpn, true, out);
             inv_count += 1;
         }
-        out.latency += self.costs.invalidation(inv_count);
+        self.charge_invalidation(inv_count, out);
 
         if from != DeviceId::Gpu(to) {
-            let t = fabric.transfer(
-                now + out.latency,
-                from,
-                DeviceId::Gpu(to),
-                self.page_bytes(),
-            );
-            out.latency += t.latency_from(now + out.latency);
+            self.charge_transfer(now, from, DeviceId::Gpu(to), fabric, out);
         }
         if let Some(victim) = self.state.frames[to.index()].insert(vpn) {
             self.do_evict(now, to, victim, fabric, out)?;
         }
         let e = self.entry_mut(vpn)?;
+        let old_bits = e.policy;
         e.owner = DeviceId::Gpu(to);
         e.copy_mask = 0;
         e.mapper_mask = 0;
@@ -613,21 +723,33 @@ impl UvmDriver {
             },
         );
         out.latency += self.costs.pte_update;
+        self.note_policy(now, vpn, old_bits, bits);
+        self.obs.emit(now, || TraceEvent::Migration {
+            vpn: vpn.0,
+            from: endpoint(from),
+            to: Endpoint::Gpu(to.0),
+        });
         Ok(())
     }
 
     /// Installs a remote mapping for `gpu` to the page's current owner.
-    fn do_remote_map(&mut self, gpu: GpuId, vpn: Vpn, out: &mut Outcome) -> SimResult<()> {
+    fn do_remote_map(
+        &mut self,
+        now: Time,
+        gpu: GpuId,
+        vpn: Vpn,
+        out: &mut Outcome,
+    ) -> SimResult<()> {
         // Read-only duplicates cannot coexist with a writable remote
         // mapping: collapse them back to the owner first.
         let entry = self.entry(vpn)?;
         if entry.copy_mask != 0 {
             let mut inv = 0usize;
             for g in entry.duplicate_holders() {
-                self.invalidate_at(g, vpn, true, out);
+                self.invalidate_at(now, g, vpn, true, out);
                 inv += 1;
             }
-            out.latency += self.costs.invalidation(inv);
+            self.charge_invalidation(inv, out);
             self.entry_mut(vpn)?.copy_mask = 0;
         }
         let owner = self.entry(vpn)?.owner;
@@ -660,6 +782,7 @@ impl UvmDriver {
             );
         }
         let e = self.entry_mut(vpn)?;
+        let old_bits = e.policy;
         e.mapper_mask |= 1 << gpu.0;
         e.policy = PolicyBits::AccessCounter;
         self.state.local_tables[gpu.index()].insert(
@@ -672,6 +795,7 @@ impl UvmDriver {
         );
         out.latency += self.costs.pte_update;
         self.stats.remote_maps += 1;
+        self.note_policy(now, vpn, old_bits, PolicyBits::AccessCounter);
         Ok(())
     }
 
@@ -689,7 +813,7 @@ impl UvmDriver {
         let mut inv = 0usize;
         for g in entry.remote_mappers() {
             if g != gpu {
-                self.invalidate_at(g, vpn, false, out);
+                self.invalidate_at(now, g, vpn, false, out);
                 inv += 1;
             }
         }
@@ -712,18 +836,13 @@ impl UvmDriver {
                 }
             }
         }
-        out.latency += self.costs.invalidation(inv);
-        let t = fabric.transfer(
-            now + out.latency,
-            owner,
-            DeviceId::Gpu(gpu),
-            self.page_bytes(),
-        );
-        out.latency += t.latency_from(now + out.latency);
+        self.charge_invalidation(inv, out);
+        self.charge_transfer(now, owner, DeviceId::Gpu(gpu), fabric, out);
         if let Some(victim) = self.state.frames[gpu.index()].insert(vpn) {
             self.do_evict(now, gpu, victim, fabric, out)?;
         }
         let e = self.entry_mut(vpn)?;
+        let old_bits = e.policy;
         e.mapper_mask = 0;
         e.copy_mask |= 1 << gpu.0;
         e.policy = PolicyBits::Duplication;
@@ -737,6 +856,12 @@ impl UvmDriver {
         );
         out.latency += self.costs.pte_update;
         self.stats.duplications += 1;
+        self.note_policy(now, vpn, old_bits, PolicyBits::Duplication);
+        self.obs.emit(now, || TraceEvent::Duplication {
+            vpn: vpn.0,
+            from: endpoint(owner),
+            to: gpu.0,
+        });
         Ok(())
     }
 
@@ -756,25 +881,19 @@ impl UvmDriver {
         let mut inv = 0usize;
         for g in entry.duplicate_holders().chain(entry.remote_mappers()) {
             if g != writer {
-                self.invalidate_at(g, vpn, true, out);
+                self.invalidate_at(now, g, vpn, true, out);
                 inv += 1;
             }
         }
         if let Some(og) = entry.owner.gpu() {
             if og != writer {
-                self.invalidate_at(og, vpn, true, out);
+                self.invalidate_at(now, og, vpn, true, out);
                 inv += 1;
             }
         }
-        out.latency += self.costs.invalidation(inv);
+        self.charge_invalidation(inv, out);
         if !writer_has_data {
-            let t = fabric.transfer(
-                now + out.latency,
-                entry.owner,
-                DeviceId::Gpu(writer),
-                self.page_bytes(),
-            );
-            out.latency += t.latency_from(now + out.latency);
+            self.charge_transfer(now, entry.owner, DeviceId::Gpu(writer), fabric, out);
         }
         if let Some(victim) = self.state.frames[writer.index()].insert(vpn) {
             self.do_evict(now, writer, victim, fabric, out)?;
@@ -808,13 +927,7 @@ impl UvmDriver {
         out: &mut Outcome,
     ) -> SimResult<()> {
         let entry = self.entry(vpn)?;
-        let t = fabric.transfer(
-            now + out.latency,
-            entry.owner,
-            DeviceId::Gpu(gpu),
-            self.page_bytes(),
-        );
-        out.latency += t.latency_from(now + out.latency);
+        self.charge_transfer(now, entry.owner, DeviceId::Gpu(gpu), fabric, out);
         if let Some(victim) = self.state.frames[gpu.index()].insert(vpn) {
             self.do_evict(now, gpu, victim, fabric, out)?;
         }
@@ -869,7 +982,14 @@ impl UvmDriver {
             );
             // Prefetch transfers consume bandwidth but resolve in the
             // background; only the transfer pipeline extends the fault.
-            let _ = t;
+            let busy = t.latency_from(now + out.latency);
+            let bytes = self.page_bytes();
+            self.obs.emit(now, || TraceEvent::LinkTransfer {
+                from: Endpoint::Host,
+                to: Endpoint::Gpu(gpu.0),
+                bytes,
+                busy,
+            });
             if let Some(victim) = self.state.frames[gpu.index()].insert(candidate) {
                 self.do_evict(now, gpu, victim, fabric, out)?;
             }
@@ -908,11 +1028,15 @@ impl UvmDriver {
             },
         )?;
         self.stats.evictions += 1;
+        self.obs.emit(now, || TraceEvent::Eviction {
+            gpu: gpu.0,
+            vpn: victim.0,
+        });
         if entry.owner != DeviceId::Gpu(gpu) {
             // The victim frame held a read-only duplicate (or ideal copy):
             // drop it, no data movement needed.
-            self.invalidate_at(gpu, victim, false, out);
-            out.latency += self.costs.invalidation(1);
+            self.invalidate_at(now, gpu, victim, false, out);
+            self.charge_invalidation(1, out);
             self.entry_mut(victim)?.copy_mask &= !(1 << gpu.0);
             return Ok(());
         }
@@ -921,22 +1045,30 @@ impl UvmDriver {
         let mut inv = 0usize;
         for g in entry.duplicate_holders().chain(entry.remote_mappers()) {
             if g != gpu {
-                self.invalidate_at(g, victim, true, out);
+                self.invalidate_at(now, g, victim, true, out);
                 inv += 1;
             }
         }
-        self.invalidate_at(gpu, victim, false, out);
+        self.invalidate_at(now, gpu, victim, false, out);
         inv += 1;
-        out.latency += self.costs.invalidation(inv);
+        self.charge_invalidation(inv, out);
         // The write-back to host is asynchronous (the driver evicts in the
         // background): it consumes PCIe bandwidth but does not stall the
         // lane whose fault triggered the eviction.
-        let _ = fabric.transfer(
+        let t = fabric.transfer(
             now + out.latency,
             DeviceId::Gpu(gpu),
             DeviceId::Host,
             self.page_bytes(),
         );
+        let busy = t.latency_from(now + out.latency);
+        let bytes = self.page_bytes();
+        self.obs.emit(now, || TraceEvent::LinkTransfer {
+            from: Endpoint::Gpu(gpu.0),
+            to: Endpoint::Host,
+            bytes,
+            busy,
+        });
         let e = self.entry_mut(victim)?;
         e.owner = DeviceId::Host;
         e.copy_mask = 0;
@@ -1436,7 +1568,7 @@ mod tests {
         assert_eq!(entry(&d, vpn(0)).duplicate_count(), 1);
         // Switch policy semantics: hand GPU2 a remote map via the driver.
         let mut out = Outcome::new(OutcomeKind::RemoteMapped);
-        d.do_remote_map(GpuId(2), vpn(0), &mut out)
+        d.do_remote_map(Time::ZERO, GpuId(2), vpn(0), &mut out)
             .expect("remote map succeeds");
         let e = entry(&d, vpn(0));
         assert_eq!(e.copy_mask, 0, "duplicates collapsed");

@@ -8,7 +8,7 @@
 
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError};
 use oasis_engine::error::SimResult;
-use oasis_engine::Duration;
+use oasis_engine::{Duration, MetricsRegistry};
 use oasis_mem::types::{DeviceId, ObjectId, Va};
 
 use crate::driver::MemState;
@@ -79,6 +79,11 @@ pub trait PolicyEngine {
     fn check_invariants(&self) -> SimResult<()> {
         Ok(())
     }
+
+    /// Publishes policy-internal counters into the metrics registry at
+    /// report time (e.g. OASIS's `otable.relearn`). Stateless policies
+    /// have nothing to publish.
+    fn publish_metrics(&self, _m: &mut MetricsRegistry) {}
 
     /// Serializes the engine's mutable state into a checkpoint section.
     /// The uniform policies are stateless, so the default writes nothing;

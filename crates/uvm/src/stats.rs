@@ -51,6 +51,30 @@ impl UvmStats {
             + self.ideal_copies
             + self.evictions
     }
+
+    /// Field-wise difference `self - earlier`, for per-epoch rollups over
+    /// a pair of cumulative snapshots. Saturates at zero (counters never
+    /// decrease in a well-formed run).
+    pub fn minus(&self, earlier: &UvmStats) -> UvmStats {
+        UvmStats {
+            far_faults: self.far_faults.saturating_sub(earlier.far_faults),
+            protection_faults: self
+                .protection_faults
+                .saturating_sub(earlier.protection_faults),
+            migrations: self.migrations.saturating_sub(earlier.migrations),
+            counter_migrations: self
+                .counter_migrations
+                .saturating_sub(earlier.counter_migrations),
+            duplications: self.duplications.saturating_sub(earlier.duplications),
+            collapses: self.collapses.saturating_sub(earlier.collapses),
+            remote_maps: self.remote_maps.saturating_sub(earlier.remote_maps),
+            ideal_copies: self.ideal_copies.saturating_sub(earlier.ideal_copies),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            thrash_pins: self.thrash_pins.saturating_sub(earlier.thrash_pins),
+            prefetches: self.prefetches.saturating_sub(earlier.prefetches),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+        }
+    }
 }
 
 impl Snapshot for UvmStats {

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Throughput smoke gate. Runs the fixed benchmark matrix (C2D and MM under
+# on-touch and oasis, 4 MB footprints) best-of-N, writes BENCH_pr3.json at
+# the repo root, and fails if any cell's retired-steps/sec regressed more
+# than the tolerance against the previous committed result (or an explicit
+# --baseline). Fully offline.
+#
+#     ./scripts/bench_smoke.sh                  # defaults: 3 runs, 25%
+#     ./scripts/bench_smoke.sh --runs 5 --tolerance 10
+#     BENCH_RUNS=1 ./scripts/bench_smoke.sh     # quick local check
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q --release -p oasis-cli
+exec ./target/release/oasis-sim bench-smoke --runs "${BENCH_RUNS:-3}" "$@"

@@ -1,35 +1,51 @@
 #!/usr/bin/env bash
 # The repository's full offline quality gate. Run from the workspace root:
 #
-#     ./scripts/ci.sh
+#     ./scripts/ci.sh              # developer mode: missing tools skip
+#     CI_STRICT=1 ./scripts/ci.sh  # CI mode: missing tools fail
 #
 # Everything here works without network access; there are no external
 # dependencies to download. Steps mirror what reviewers run by hand:
-# formatting, lints (warnings are errors), a release build, and the full
-# test suite (unit + property-style + integration, including the
-# fault-injection campaign and the sim-guard consistency sweeps).
+# formatting, lints (warnings are errors), a release build, the full test
+# suite (unit + property-style + integration, including the
+# fault-injection campaign and the sim-guard consistency sweeps), the
+# bench-smoke throughput gate, and two determinism audits (checkpoint
+# replay and byte-identical trace files).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+STRICT="${CI_STRICT:-0}"
+
 step() { printf '\n==> %s\n' "$*"; }
+
+missing() {
+    if [ "$STRICT" = "1" ]; then
+        echo "CI_STRICT=1: $1 is required but not installed" >&2
+        exit 1
+    fi
+    echo "$1 not installed; skipping"
+}
 
 step "cargo fmt --check"
 if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --all -- --check
 else
-    echo "rustfmt not installed; skipping"
+    missing rustfmt
 fi
 
 step "cargo clippy (warnings are errors)"
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
 else
-    echo "clippy not installed; skipping"
+    missing clippy
 fi
 
 step "cargo build --release"
 cargo build --release --workspace
+
+step "cargo check --examples"
+cargo check -q --workspace --examples
 
 step "cargo test"
 cargo test -q --workspace
@@ -39,5 +55,18 @@ cargo check -q --workspace --benches --features oasis-bench/bench-harness
 
 step "checkpoint/resume determinism (verify-replay)"
 cargo run -q --release -p oasis-cli -- verify-replay --app C2D --footprint-mb 4
+
+step "trace determinism (same seed, byte-identical chrome trace)"
+T1="$(mktemp)" T2="$(mktemp)"
+trap 'rm -f "$T1" "$T2"' EXIT
+./target/release/oasis-sim run --app C2D --policy oasis --footprint-mb 4 \
+    --trace-out "$T1" >/dev/null
+./target/release/oasis-sim run --app C2D --policy oasis --footprint-mb 4 \
+    --trace-out "$T2" >/dev/null
+cmp "$T1" "$T2"
+echo "traces are byte-identical ($(wc -c <"$T1") bytes)"
+
+step "bench-smoke throughput gate (best of 3)"
+./scripts/bench_smoke.sh
 
 printf '\nCI: all gates passed.\n'

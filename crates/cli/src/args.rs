@@ -5,7 +5,7 @@ use std::fmt;
 use oasis_core::controller::OasisConfig;
 use oasis_grit::GritConfig;
 use oasis_mem::types::PageSize;
-use oasis_mgpu::{Placement, Policy, SystemConfig};
+use oasis_mgpu::{FaultPlan, Placement, Policy, SystemConfig};
 use oasis_workloads::{App, WorkloadParams, ALL_APPS};
 
 /// Usage text for `oasis-sim help`.
@@ -39,6 +39,12 @@ OPTIONS:
     --page-size <4k|2m>     translation granularity       [default: 4k]
     --placement <host|striped>  initial page placement    [default: host]
     --oversubscribe <PCT>   cap GPU memory for PCT% oversubscription
+    --fault-plan <SPEC>     schedule deterministic hardware faults:
+                            comma-separated clauses  seed:<n>
+                            down:<a>-<b>@<epoch> (permanent link failure)
+                            flaky:<a>-<b>@<from>-<to>:<num>/<den> (CRC
+                            glitch window)  ecc:<gpu>@<epoch>x<count>
+                            (poison resident frames)
     --reset-threshold <N>   OASIS reset threshold         [default: 8]
     --seed <N>              workload RNG seed; for inject, the campaign's
                             master seed (same seed, same output)
@@ -54,7 +60,7 @@ OPTIONS:
     --metrics               collect the metrics registry during run
     --top <N>               stats: rows per breakdown table [default: 20]
     --runs <N>              bench-smoke: runs per cell, best taken [default: 3]
-    --bench-out <FILE>      bench-smoke: result file [default: BENCH_pr3.json]
+    --bench-out <FILE>      bench-smoke: result file [default: BENCH_pr4.json]
     --baseline <FILE>       bench-smoke: baseline to gate against
                             [default: the previous --bench-out file]
     --tolerance <PCT>       bench-smoke: allowed steps/sec regression
@@ -72,6 +78,8 @@ EXAMPLES:
     oasis-sim run --app C2D --policy oasis --trace-out trace.json
     oasis-sim stats --app MM --policy oasis --top 15
     oasis-sim bench-smoke --runs 3 --tolerance 25
+    oasis-sim run --app C2D --policy oasis \\
+        --fault-plan seed:7,down:0-1@2,ecc:0@3x2
 ";
 
 /// Subcommand.
@@ -114,6 +122,8 @@ pub struct Cli {
     pub placement: Placement,
     /// Oversubscription percentage (>100) if set.
     pub oversubscribe: Option<u64>,
+    /// Deterministic hardware-fault schedule, if any.
+    pub fault_plan: Option<FaultPlan>,
     /// OASIS reset threshold.
     pub reset_threshold: u8,
     /// Workload seed override.
@@ -214,6 +224,7 @@ impl Cli {
             page_size: PageSize::Small4K,
             placement: Placement::Host,
             oversubscribe: None,
+            fault_plan: None,
             reset_threshold: 8,
             seed: None,
             checkpoint_every: None,
@@ -281,6 +292,13 @@ impl Cli {
                         return Err(ParseError("--oversubscribe must exceed 100".into()));
                     }
                     cli.oversubscribe = Some(pct);
+                }
+                "--fault-plan" => {
+                    let spec = value("--fault-plan")?;
+                    cli.fault_plan = Some(
+                        FaultPlan::parse(&spec)
+                            .map_err(|e| ParseError(format!("--fault-plan: {e}")))?,
+                    );
                 }
                 "--reset-threshold" => {
                     cli.reset_threshold = value("--reset-threshold")?
@@ -351,6 +369,16 @@ impl Cli {
         } else {
             cli.policy = parse_policy("oasis", cli.reset_threshold)?;
         }
+        // Validate here (flags arrive in any order) so a bad plan is a
+        // parse error instead of a panic when the fabric is built.
+        if let Some(g) = cli.fault_plan.as_ref().and_then(FaultPlan::max_gpu) {
+            if usize::from(g) >= cli.gpus {
+                return Err(ParseError(format!(
+                    "--fault-plan names GPU {g} but --gpus is {}",
+                    cli.gpus
+                )));
+            }
+        }
         Ok(cli)
     }
 
@@ -381,6 +409,7 @@ impl Cli {
             placement: self.placement,
             trace_capacity,
             metrics: self.metrics || self.command == Command::Stats,
+            fault_plan: self.fault_plan.clone().unwrap_or_default(),
             ..SystemConfig::default()
         };
         if let Some(pct) = self.oversubscribe {
@@ -472,6 +501,32 @@ mod tests {
             .unwrap_err()
             .0
             .contains("exceed 100"));
+    }
+
+    #[test]
+    fn fault_plan_parses_validates_and_shapes_the_config() {
+        let c = parse(&["run", "--fault-plan", "seed:7,down:0-1@2,ecc:0@3x2"]).unwrap();
+        let plan = c.fault_plan.as_ref().expect("plan parsed");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.link_down.len(), 1);
+        assert_eq!(c.system_config().fault_plan, *plan);
+
+        // No flag: the config carries the empty (zero-fault) plan.
+        assert!(parse(&["run"])
+            .unwrap()
+            .system_config()
+            .fault_plan
+            .is_empty());
+
+        assert!(parse(&["run", "--fault-plan", "down:0-0@1"])
+            .unwrap_err()
+            .0
+            .contains("--fault-plan"));
+        // Naming a GPU the system doesn't have is a parse error, whatever
+        // the flag order.
+        let err = parse(&["run", "--fault-plan", "down:0-5@1", "--gpus", "4"]).unwrap_err();
+        assert!(err.0.contains("GPU 5"), "{err}");
+        assert!(parse(&["run", "--gpus", "8", "--fault-plan", "down:0-5@1"]).is_ok());
     }
 
     #[test]

@@ -229,6 +229,30 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_run_reports_recovery_counters() {
+        let argv = [
+            "run",
+            "--app",
+            "C2D",
+            "--footprint-mb",
+            "4",
+            "--fault-plan",
+            "seed:5,down:0-1@2",
+        ];
+        let text = run_ok(&argv);
+        assert!(text.contains("hw degradation"), "{text}");
+        assert!(text.contains("1 link fault(s)"), "{text}");
+        let mut jargv = argv.to_vec();
+        jargv.push("--json");
+        let json = run_ok(&jargv);
+        assert!(json.contains("\"link_faults\": 1"), "{json}");
+        assert!(json.contains("\"reroutes\""), "{json}");
+        // The zero-fault report keeps its old shape.
+        let clean = run_ok(&["run", "--app", "C2D", "--footprint-mb", "4"]);
+        assert!(!clean.contains("hw degradation"), "{clean}");
+    }
+
+    #[test]
     fn inject_is_deterministic_and_covers_all_kinds() {
         let a = run_ok(&["inject", "--seed", "9"]);
         let b = run_ok(&["inject", "--seed", "9"]);
@@ -240,6 +264,9 @@ mod tests {
             "corrupt-counters",
             "policy-flip",
             "kill-and-resume",
+            "link-down",
+            "link-flaky",
+            "ecc-poison",
         ] {
             assert!(a.contains(kind), "missing {kind} in:\n{a}");
         }
@@ -327,6 +354,7 @@ mod tests {
         assert!(out.contains("--checkpoint-every"));
         assert!(out.contains("--trace-out"));
         assert!(out.contains("bench-smoke"));
+        assert!(out.contains("--fault-plan"));
     }
 
     #[test]

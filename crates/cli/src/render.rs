@@ -38,6 +38,24 @@ pub fn report_text(r: &RunReport) -> String {
         r.nvlink_bytes / 1024,
         r.pcie_bytes / 1024
     );
+    // Hardware-fault recovery lines appear only when a fault plan did
+    // something; the zero-fault report stays unchanged.
+    let f = &r.faults;
+    if f.link_faults + f.reroutes + f.crc_retries > 0 || r.uvm.ecc_quarantines > 0 {
+        let _ = writeln!(
+            out,
+            "  hw degradation     {:>12} link fault(s), {} reroutes ({} KB), {} CRC retries",
+            f.link_faults,
+            f.reroutes,
+            f.rerouted_bytes / 1024,
+            f.crc_retries
+        );
+        let _ = writeln!(
+            out,
+            "  ECC recovery       {:>12} quarantines, {} fault retries",
+            r.uvm.ecc_quarantines, r.uvm.fault_retries
+        );
+    }
     let (h1, m1) = r.l1_tlb;
     let (h2, m2) = r.l2_tlb;
     let _ = writeln!(
@@ -114,6 +132,12 @@ pub fn report_json(r: &RunReport) -> String {
     let _ = writeln!(out, "  \"thrash_pins\": {},", r.uvm.thrash_pins);
     let _ = writeln!(out, "  \"nvlink_bytes\": {},", r.nvlink_bytes);
     let _ = writeln!(out, "  \"pcie_bytes\": {},", r.pcie_bytes);
+    let _ = writeln!(out, "  \"link_faults\": {},", r.faults.link_faults);
+    let _ = writeln!(out, "  \"reroutes\": {},", r.faults.reroutes);
+    let _ = writeln!(out, "  \"rerouted_bytes\": {},", r.faults.rerouted_bytes);
+    let _ = writeln!(out, "  \"crc_retries\": {},", r.faults.crc_retries);
+    let _ = writeln!(out, "  \"ecc_quarantines\": {},", r.uvm.ecc_quarantines);
+    let _ = writeln!(out, "  \"fault_retries\": {},", r.uvm.fault_retries);
     let _ = writeln!(
         out,
         "  \"policy_mix\": [{}, {}, {}],",

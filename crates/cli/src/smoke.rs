@@ -17,7 +17,7 @@ use oasis_workloads::{generate, App, WorkloadParams};
 use crate::args::Cli;
 
 /// Default result file, at the repo root by convention.
-const DEFAULT_OUT: &str = "BENCH_pr3.json";
+const DEFAULT_OUT: &str = "BENCH_pr4.json";
 
 /// The fixed benchmark matrix: one migration-bound and one sharing-bound
 /// app, each under the baseline and the paper policy.

@@ -99,6 +99,9 @@ pub struct OasisStats {
     pub implicit_resets: u64,
     /// Kernel-launch resets (explicit phases).
     pub explicit_resets: u64,
+    /// Duplication policies demoted because the object's shared traffic
+    /// crossed a permanently dead link (hardware-fault degradation).
+    pub link_demotions: u64,
 }
 
 /// The policy logic shared by hardware OASIS and OASIS-InMem.
@@ -171,6 +174,24 @@ impl ControllerCore {
         }
     }
 
+    /// Fig. 13(b)'s protection-fault transition reused for hardware
+    /// degradation: shared traffic for `tag` crossed a permanently dead
+    /// link, so duplication (which keeps re-fetching over the broken path)
+    /// is no longer a good bet. Demote the object to access-counter
+    /// migration and restart its learning window.
+    pub(crate) fn on_link_degraded(&mut self, tag: u16) {
+        let entry = self.otable.lookup_or_insert(tag);
+        if entry.policy == PolicyChoice::Duplication {
+            entry.policy = PolicyChoice::AccessCounter;
+            // Keep the PF count nonzero so the next fault *applies* the
+            // demoted policy instead of relearning duplication from its
+            // R/W bit (same shape as the protection-fault flip above).
+            entry.pf_count = entry.pf_count.max(1);
+            self.stats.policy_learns += 1;
+            self.stats.link_demotions += 1;
+        }
+    }
+
     pub(crate) fn on_kernel_launch(&mut self) {
         if !self.config.explicit_resets {
             return;
@@ -190,6 +211,7 @@ impl ControllerCore {
             self.stats.policy_learns,
             self.stats.implicit_resets,
             self.stats.explicit_resets,
+            self.stats.link_demotions,
         ] {
             w.u64(v);
         }
@@ -203,6 +225,7 @@ impl ControllerCore {
             &mut self.stats.policy_learns,
             &mut self.stats.implicit_resets,
             &mut self.stats.explicit_resets,
+            &mut self.stats.link_demotions,
         ] {
             *field = r.u64()?;
         }
@@ -284,6 +307,11 @@ impl PolicyEngine for OasisController {
         self.core.on_kernel_launch();
     }
 
+    fn on_link_degraded(&mut self, va: Va) {
+        let tag = self.tag_of(va);
+        self.core.on_link_degraded(tag);
+    }
+
     fn on_alloc(&mut self, obj: ObjectId, _base: Va, _bytes: u64) {
         let mask = (1u32 << self.core.config.id_bits) - 1;
         self.core.otable.init(obj.0 & mask as u16);
@@ -313,6 +341,7 @@ impl PolicyEngine for OasisController {
         m.set("otable.explicit_reset", s.explicit_resets);
         m.set("oasis.private_faults", s.private_faults);
         m.set("oasis.shared_faults", s.shared_faults);
+        m.set("oasis.link_demotions", s.link_demotions);
     }
 }
 
@@ -551,6 +580,31 @@ mod tests {
         let a = c.resolve(&far(3, 1, 5, AccessKind::Write), &s);
         let b = fresh.resolve(&far(3, 1, 5, AccessKind::Write), &s);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn link_degradation_demotes_duplication_to_access_counter() {
+        let mut c = OasisController::new();
+        let s = state_with(DeviceId::Gpu(GpuId(1)), Vpn(5));
+        // Learn duplication from a shared read.
+        c.resolve(&far(0, 2, 5, AccessKind::Read), &s);
+        assert_eq!(
+            c.otable().peek(2).unwrap().policy,
+            PolicyChoice::Duplication
+        );
+        // The driver reports the object's traffic crossing a dead link.
+        c.on_link_degraded(tagged(2));
+        let e = c.otable().peek(2).unwrap();
+        assert_eq!(e.policy, PolicyChoice::AccessCounter);
+        assert!(e.pf_count > 0, "next fault applies, not relearns");
+        assert_eq!(c.stats().link_demotions, 1);
+        assert_eq!(c.stats().policy_learns, 2);
+        // Later shared faults apply the demoted policy.
+        let d = c.resolve(&far(0, 2, 5, AccessKind::Read), &s);
+        assert_eq!(d.resolution, Resolution::RemoteMap);
+        // Re-notifying an already-demoted object is a no-op.
+        c.on_link_degraded(tagged(2));
+        assert_eq!(c.stats().link_demotions, 1);
     }
 
     #[test]

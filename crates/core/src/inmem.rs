@@ -241,6 +241,12 @@ impl PolicyEngine for OasisInMem {
         self.core.on_kernel_launch();
     }
 
+    fn on_link_degraded(&mut self, va: Va) {
+        if let (Some(tag), _) = self.shadow.lookup(va) {
+            self.core.on_link_degraded(tag);
+        }
+    }
+
     fn on_alloc(&mut self, obj: ObjectId, base: Va, bytes: u64) {
         self.shadow.set_range(base, bytes, obj.0);
         self.ranges.insert(obj.0, (base.canonical(), bytes));
@@ -330,6 +336,7 @@ impl PolicyEngine for OasisInMem {
         m.set("otable.explicit_reset", s.explicit_resets);
         m.set("oasis.private_faults", s.private_faults);
         m.set("oasis.shared_faults", s.shared_faults);
+        m.set("oasis.link_demotions", s.link_demotions);
         m.set("shadow.lookups", self.shadow_lookups);
         m.set("shadow.cold_lookups", self.shadow_cold);
     }

@@ -38,7 +38,9 @@ pub const MAGIC: [u8; 8] = *b"OASISCKP";
 
 /// Current checkpoint format version. Bump on any layout change; readers
 /// reject other versions with [`CodecError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 2;
+/// v3 added the hardware-fault section (link health, fault-plan RNG,
+/// quarantine state) and the fault-plan fields in the config section.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// FNV-1a 64-bit offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

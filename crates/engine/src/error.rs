@@ -66,6 +66,17 @@ pub enum SimError {
         /// The configured no-progress window (in processed events).
         window: u64,
     },
+    /// The hardware-fault layer exhausted its recovery budget: a page lost
+    /// to ECC poisoning could not be re-serviced within the bounded
+    /// retry/backoff budget (e.g. every frame on the GPU is quarantined).
+    HardwareExhausted {
+        /// The GPU whose page could not be recovered.
+        gpu: u8,
+        /// The virtual page being re-serviced.
+        vpn: u64,
+        /// How many re-service attempts were made before giving up.
+        retries: u32,
+    },
 }
 
 /// Errors raised while servicing a page fault.
@@ -210,6 +221,10 @@ impl fmt::Display for SimError {
             SimError::Stalled { step, window } => write!(
                 f,
                 "watchdog: no forward progress within a {window}-event window at step {step}"
+            ),
+            SimError::HardwareExhausted { gpu, vpn, retries } => write!(
+                f,
+                "hardware: page {vpn:#x} on GPU {gpu} unrecoverable after {retries} re-service retries"
             ),
         }
     }
@@ -362,6 +377,16 @@ mod tests {
 
         let e = SimError::Codec(crate::codec::CodecError::BadMagic);
         assert!(e.to_string().contains("checkpoint error"));
+
+        let e = SimError::HardwareExhausted {
+            gpu: 2,
+            vpn: 0x77,
+            retries: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("hardware"), "{s}");
+        assert!(s.contains("0x77"), "{s}");
+        assert!(s.contains("4 re-service retries"), "{s}");
     }
 
     #[test]

@@ -120,6 +120,30 @@ pub enum TraceEvent {
         /// Walk latency.
         latency: Duration,
     },
+    /// A fabric link between two GPUs changed health (permanent link-down).
+    LinkFault {
+        /// One endpoint of the failed NVLink pair.
+        a: u8,
+        /// The other endpoint.
+        b: u8,
+    },
+    /// A physical frame on `gpu` was poisoned by ECC and quarantined.
+    FrameQuarantine {
+        /// GPU whose frame was quarantined.
+        gpu: u8,
+        /// The virtual page that was resident in the poisoned frame.
+        vpn: u64,
+    },
+    /// The UVM driver re-serviced (or retried re-servicing) a fault for a
+    /// page lost to hardware degradation.
+    FaultRetry {
+        /// GPU whose page is being re-serviced.
+        gpu: u8,
+        /// The page being re-serviced.
+        vpn: u64,
+        /// Zero-based attempt number within the retry budget.
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
@@ -134,6 +158,9 @@ impl TraceEvent {
             TraceEvent::PolicySwitch { .. } => "policy_switch",
             TraceEvent::LinkTransfer { .. } => "link_transfer",
             TraceEvent::WalkComplete { .. } => "walk_complete",
+            TraceEvent::LinkFault { .. } => "link_fault",
+            TraceEvent::FrameQuarantine { .. } => "frame_quarantine",
+            TraceEvent::FaultRetry { .. } => "fault_retry",
         }
     }
 }
@@ -362,6 +389,21 @@ pub fn chrome_trace_json(events: &[TimedEvent]) -> String {
                     ps_as_us_fixed(latency.as_ps()),
                 );
             }
+            TraceEvent::LinkFault { a, b } => {
+                push_common(&mut out, "link_fault", "i", ts, u64::from(*a));
+                let _ = write!(out, ",\"s\":\"g\",\"args\":{{\"a\":{a},\"b\":{b}}}}}");
+            }
+            TraceEvent::FrameQuarantine { gpu, vpn } => {
+                push_common(&mut out, "frame_quarantine", "i", ts, u64::from(*gpu));
+                let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"vpn\":{vpn}}}}}");
+            }
+            TraceEvent::FaultRetry { gpu, vpn, attempt } => {
+                push_common(&mut out, "fault_retry", "i", ts, u64::from(*gpu));
+                let _ = write!(
+                    out,
+                    ",\"s\":\"t\",\"args\":{{\"vpn\":{vpn},\"attempt\":{attempt}}}}}"
+                );
+            }
         }
     }
     out.push_str("\n]\n");
@@ -465,5 +507,32 @@ mod tests {
     #[test]
     fn empty_event_list_is_a_valid_empty_array() {
         assert_eq!(chrome_trace_json(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn hardware_fault_events_export_as_instants() {
+        let mut t = RingTracer::new(8);
+        t.record(Time::from_ps(100), TraceEvent::LinkFault { a: 0, b: 2 });
+        t.record(
+            Time::from_ps(200),
+            TraceEvent::FrameQuarantine { gpu: 1, vpn: 9 },
+        );
+        t.record(
+            Time::from_ps(300),
+            TraceEvent::FaultRetry {
+                gpu: 1,
+                vpn: 9,
+                attempt: 2,
+            },
+        );
+        assert_eq!(t.events()[0].event.name(), "link_fault");
+        assert_eq!(t.events()[1].event.name(), "frame_quarantine");
+        assert_eq!(t.events()[2].event.name(), "fault_retry");
+        let j = chrome_trace_json(&t.events());
+        assert!(j.contains("\"link_fault\""), "{j}");
+        assert!(j.contains("\"frame_quarantine\""), "{j}");
+        assert!(j.contains("\"fault_retry\""), "{j}");
+        assert!(j.contains("\"attempt\":2"), "{j}");
+        assert_eq!(j.lines().count(), 3 + 2);
     }
 }

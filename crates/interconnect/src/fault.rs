@@ -1,0 +1,509 @@
+//! Deterministic hardware-fault plans for the interconnect and memory.
+//!
+//! A [`FaultPlan`] is *configuration*: a declarative schedule of hardware
+//! misbehaviour (permanent NVLink link-down events, transient CRC-glitch
+//! windows, ECC frame-poisoning events) plus the seed for the RNG that
+//! resolves every probabilistic draw. The plan travels with
+//! `SystemConfig` through the checkpoint codec, so a resumed run sees the
+//! same schedule as the original.
+//!
+//! [`FaultState`] is the *mutable* counterpart: which links are currently
+//! down, the RNG mid-stream state, and the recovery counters. It is part
+//! of the simulation state proper — serialized into state digests and the
+//! checkpoint's `"faults"` section — so same seed + same plan replays
+//! bit-identically even across a kill/resume.
+
+use std::collections::BTreeSet;
+
+use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
+use oasis_engine::SimRng;
+
+/// Maximum CRC retransmissions per transfer through a flaky window. The
+/// link-level retry is bounded and always eventually succeeds (real NVLink
+/// CRC replay is transparent); only the *latency* of the retries is
+/// observable.
+pub const MAX_CRC_RETRIES: u32 = 4;
+
+/// A permanent NVLink failure between GPUs `a` and `b`, effective from the
+/// start of `epoch` to the end of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDown {
+    /// One endpoint GPU index.
+    pub a: u8,
+    /// The other endpoint GPU index.
+    pub b: u8,
+    /// Epoch at whose start the link goes down.
+    pub epoch: u64,
+}
+
+/// A transient-glitch window on the NVLink pair `(a, b)`: while the
+/// current epoch is in `[from_epoch, to_epoch)`, every transfer over the
+/// pair suffers a CRC retransmission with probability `num/den` per
+/// attempt (bounded by [`MAX_CRC_RETRIES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlakyWindow {
+    /// One endpoint GPU index.
+    pub a: u8,
+    /// The other endpoint GPU index.
+    pub b: u8,
+    /// First epoch (inclusive) the window covers.
+    pub from_epoch: u64,
+    /// First epoch past the window (exclusive).
+    pub to_epoch: u64,
+    /// Glitch probability numerator.
+    pub num: u64,
+    /// Glitch probability denominator.
+    pub den: u64,
+}
+
+/// An ECC event poisoning `frames` resident physical frames on `gpu` at
+/// the start of `epoch`. Victim frames are drawn with the plan RNG from
+/// the GPU's resident set in deterministic (stamp) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccEvent {
+    /// GPU whose memory is struck.
+    pub gpu: u8,
+    /// Epoch at whose start the frames are poisoned.
+    pub epoch: u64,
+    /// Number of resident frames to poison.
+    pub frames: u32,
+}
+
+/// A deterministic, seed-driven schedule of hardware faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG (glitch draws, ECC victim selection).
+    pub seed: u64,
+    /// Permanent link-down events.
+    pub link_down: Vec<LinkDown>,
+    /// Transient CRC-glitch windows.
+    pub flaky: Vec<FlakyWindow>,
+    /// ECC frame-poisoning events.
+    pub ecc: Vec<EccEvent>,
+}
+
+impl FaultPlan {
+    /// Whether the plan schedules nothing (the zero-fault fast path).
+    pub fn is_empty(&self) -> bool {
+        self.link_down.is_empty() && self.flaky.is_empty() && self.ecc.is_empty()
+    }
+
+    /// Largest GPU index any scheduled event names, if any.
+    pub fn max_gpu(&self) -> Option<u8> {
+        let links = self
+            .link_down
+            .iter()
+            .flat_map(|l| [l.a, l.b])
+            .chain(self.flaky.iter().flat_map(|f| [f.a, f.b]));
+        links.chain(self.ecc.iter().map(|e| e.gpu)).max()
+    }
+
+    /// Parses the CLI spec: comma-separated clauses of
+    /// `seed:<n>`, `down:<a>-<b>@<epoch>`,
+    /// `flaky:<a>-<b>@<from>-<to>:<num>/<den>`, and
+    /// `ecc:<gpu>@<epoch>x<count>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the first malformed clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        fn pair(s: &str) -> Result<(u8, u8), String> {
+            let (a, b) = s
+                .split_once('-')
+                .ok_or_else(|| format!("expected '<a>-<b>', got '{s}'"))?;
+            let a: u8 = a.parse().map_err(|_| format!("bad GPU index '{a}'"))?;
+            let b: u8 = b.parse().map_err(|_| format!("bad GPU index '{b}'"))?;
+            if a == b {
+                return Err(format!("link endpoints must differ, got '{s}'"));
+            }
+            Ok((a, b))
+        }
+        fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+            s.parse().map_err(|_| format!("bad {what} '{s}'"))
+        }
+
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',').filter(|c| !c.is_empty()) {
+            let (kind, body) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("clause '{clause}' has no ':'"))?;
+            match kind {
+                "seed" => plan.seed = num(body, "seed")?,
+                "down" => {
+                    let (ends, epoch) = body
+                        .split_once('@')
+                        .ok_or_else(|| format!("down clause '{body}' needs '@<epoch>'"))?;
+                    let (a, b) = pair(ends)?;
+                    plan.link_down.push(LinkDown {
+                        a,
+                        b,
+                        epoch: num(epoch, "epoch")?,
+                    });
+                }
+                "flaky" => {
+                    let (ends, rest) = body
+                        .split_once('@')
+                        .ok_or_else(|| format!("flaky clause '{body}' needs '@<from>-<to>'"))?;
+                    let (a, b) = pair(ends)?;
+                    let (window, prob) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("flaky clause '{body}' needs ':<num>/<den>'"))?;
+                    let (from, to) = window
+                        .split_once('-')
+                        .ok_or_else(|| format!("flaky window '{window}' needs '<from>-<to>'"))?;
+                    let (n, d) = prob
+                        .split_once('/')
+                        .ok_or_else(|| format!("flaky probability '{prob}' needs '<num>/<den>'"))?;
+                    let w = FlakyWindow {
+                        a,
+                        b,
+                        from_epoch: num(from, "epoch")?,
+                        to_epoch: num(to, "epoch")?,
+                        num: num(n, "probability numerator")?,
+                        den: num(d, "probability denominator")?,
+                    };
+                    if w.den == 0 {
+                        return Err(format!("flaky denominator must be positive in '{clause}'"));
+                    }
+                    if w.to_epoch <= w.from_epoch {
+                        return Err(format!("flaky window is empty in '{clause}'"));
+                    }
+                    plan.flaky.push(w);
+                }
+                "ecc" => {
+                    let (gpu, rest) = body
+                        .split_once('@')
+                        .ok_or_else(|| format!("ecc clause '{body}' needs '@<epoch>x<count>'"))?;
+                    let (epoch, count) = rest
+                        .split_once('x')
+                        .ok_or_else(|| format!("ecc clause '{body}' needs '<epoch>x<count>'"))?;
+                    let e = EccEvent {
+                        gpu: num(gpu, "GPU index")?,
+                        epoch: num(epoch, "epoch")?,
+                        frames: num(count, "frame count")?,
+                    };
+                    if e.frames == 0 {
+                        return Err(format!("ecc frame count must be positive in '{clause}'"));
+                    }
+                    plan.ecc.push(e);
+                }
+                other => return Err(format!("unknown fault clause kind '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Serializes the plan into a config section.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.seed);
+        w.u64(self.link_down.len() as u64);
+        for l in &self.link_down {
+            w.u8(l.a);
+            w.u8(l.b);
+            w.u64(l.epoch);
+        }
+        w.u64(self.flaky.len() as u64);
+        for fw in &self.flaky {
+            w.u8(fw.a);
+            w.u8(fw.b);
+            w.u64(fw.from_epoch);
+            w.u64(fw.to_epoch);
+            w.u64(fw.num);
+            w.u64(fw.den);
+        }
+        w.u64(self.ecc.len() as u64);
+        for e in &self.ecc {
+            w.u8(e.gpu);
+            w.u64(e.epoch);
+            w.u32(e.frames);
+        }
+    }
+
+    /// Deserializes a plan written by [`FaultPlan::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on a malformed payload.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<FaultPlan, CodecError> {
+        let seed = r.u64()?;
+        let n = r.usize()?;
+        let mut link_down = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            link_down.push(LinkDown {
+                a: r.u8()?,
+                b: r.u8()?,
+                epoch: r.u64()?,
+            });
+        }
+        let n = r.usize()?;
+        let mut flaky = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            flaky.push(FlakyWindow {
+                a: r.u8()?,
+                b: r.u8()?,
+                from_epoch: r.u64()?,
+                to_epoch: r.u64()?,
+                num: r.u64()?,
+                den: r.u64()?,
+            });
+        }
+        let n = r.usize()?;
+        let mut ecc = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            ecc.push(EccEvent {
+                gpu: r.u8()?,
+                epoch: r.u64()?,
+                frames: r.u32()?,
+            });
+        }
+        Ok(FaultPlan {
+            seed,
+            link_down,
+            flaky,
+            ecc,
+        })
+    }
+}
+
+/// Aggregate recovery counters, surfaced through the metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// CRC retransmissions performed on glitched transfers.
+    pub crc_retries: u64,
+    /// GPU↔GPU transfers rerouted over the PCIe fallback path.
+    pub reroutes: u64,
+    /// Payload bytes that took the fallback path.
+    pub rerouted_bytes: u64,
+    /// Permanent link-down events applied so far.
+    pub link_faults: u64,
+}
+
+/// Mutable hardware-fault state: current link health, the fault RNG, and
+/// recovery counters. Part of the simulation state (digested and
+/// checkpointed), unlike the [`FaultPlan`] which is configuration.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    rng: SimRng,
+    epoch: u64,
+    down: BTreeSet<(u8, u8)>,
+    counters: FaultCounters,
+}
+
+fn norm(a: u8, b: u8) -> (u8, u8) {
+    (a.min(b), a.max(b))
+}
+
+impl FaultState {
+    /// Fresh state for a plan: RNG seeded, all links healthy.
+    pub fn new(plan: &FaultPlan) -> Self {
+        FaultState {
+            rng: SimRng::seed_from_u64(plan.seed),
+            epoch: 0,
+            down: BTreeSet::new(),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// The epoch most recently announced via `begin_epoch`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the NVLink pair `(a, b)` is permanently down.
+    pub fn is_down(&self, a: u8, b: u8) -> bool {
+        !self.down.is_empty() && self.down.contains(&norm(a, b))
+    }
+
+    /// Number of link pairs currently down.
+    pub fn links_down(&self) -> usize {
+        self.down.len()
+    }
+
+    /// The aggregate recovery counters.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    pub(crate) fn mark_down(&mut self, a: u8, b: u8) -> bool {
+        let fresh = self.down.insert(norm(a, b));
+        if fresh {
+            self.counters.link_faults += 1;
+        }
+        fresh
+    }
+
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    pub(crate) fn note_reroute(&mut self, bytes: u64) {
+        self.counters.reroutes += 1;
+        self.counters.rerouted_bytes += bytes;
+    }
+
+    pub(crate) fn note_crc_retry(&mut self) {
+        self.counters.crc_retries += 1;
+    }
+
+    pub(crate) fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+impl Snapshot for FaultState {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        self.rng.snapshot(w);
+        w.u64(self.epoch);
+        w.u64(self.down.len() as u64);
+        for (a, b) in &self.down {
+            w.u8(*a);
+            w.u8(*b);
+        }
+        for v in [
+            self.counters.crc_retries,
+            self.counters.reroutes,
+            self.counters.rerouted_bytes,
+            self.counters.link_faults,
+        ] {
+            w.u64(v);
+        }
+    }
+}
+
+impl Restore for FaultState {
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.rng.restore(r)?;
+        self.epoch = r.u64()?;
+        let n = r.usize()?;
+        self.down.clear();
+        for _ in 0..n {
+            let (a, b) = (r.u8()?, r.u8()?);
+            if a >= b {
+                return Err(r.malformed(format!("down-link pair ({a},{b}) is not normalized")));
+            }
+            if !self.down.insert((a, b)) {
+                return Err(r.malformed(format!("down-link pair ({a},{b}) appears twice")));
+            }
+        }
+        self.counters.crc_retries = r.u64()?;
+        self.counters.reroutes = r.u64()?;
+        self.counters.rerouted_bytes = r.u64()?;
+        self.counters.link_faults = r.u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::default().is_empty());
+        assert_eq!(FaultPlan::default().max_gpu(), None);
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let p = FaultPlan::parse("down:0-1@2,flaky:2-3@1-5:1/8,ecc:0@3x2,seed:7").expect("parse");
+        assert_eq!(p.seed, 7);
+        assert_eq!(
+            p.link_down,
+            vec![LinkDown {
+                a: 0,
+                b: 1,
+                epoch: 2
+            }]
+        );
+        assert_eq!(
+            p.flaky,
+            vec![FlakyWindow {
+                a: 2,
+                b: 3,
+                from_epoch: 1,
+                to_epoch: 5,
+                num: 1,
+                den: 8
+            }]
+        );
+        assert_eq!(
+            p.ecc,
+            vec![EccEvent {
+                gpu: 0,
+                epoch: 3,
+                frames: 2
+            }]
+        );
+        assert_eq!(p.max_gpu(), Some(3));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in [
+            "frob:1",
+            "down:0-0@1",
+            "down:0-1",
+            "flaky:0-1@3-3:1/8",
+            "flaky:0-1@1-3:1/0",
+            "ecc:0@1x0",
+            "ecc:0@1",
+            "seedless",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted '{bad}'");
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_through_the_codec() {
+        let p = FaultPlan::parse("down:0-1@2,flaky:2-3@1-5:1/8,ecc:1@3x2,seed:9").expect("parse");
+        let mut w = ByteWriter::new();
+        p.encode(&mut w);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new("fault-plan", &buf);
+        let q = FaultPlan::decode(&mut r).expect("decode");
+        assert!(r.is_empty());
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn state_round_trips_and_rejects_junk() {
+        let plan = FaultPlan::parse("seed:3,down:0-2@0").expect("parse");
+        let mut s = FaultState::new(&plan);
+        s.set_epoch(4);
+        assert!(s.mark_down(2, 0), "first mark is fresh");
+        assert!(!s.mark_down(0, 2), "re-mark is idempotent");
+        s.note_reroute(4096);
+        s.note_crc_retry();
+        let _ = s.rng().next_u64();
+
+        let mut w = ByteWriter::new();
+        s.snapshot(&mut w);
+        let buf = w.into_vec();
+        let mut t = FaultState::new(&plan);
+        let mut r = ByteReader::new("faults", &buf);
+        t.restore(&mut r).expect("valid state");
+        assert!(r.is_empty());
+        assert!(t.is_down(0, 2) && t.is_down(2, 0));
+        assert_eq!(t.epoch(), 4);
+        assert_eq!(t.counters(), s.counters());
+        assert_eq!(t.counters().reroutes, 1);
+        assert_eq!(t.counters().link_faults, 1);
+        // The RNG stream continues from the snapshot point.
+        assert_eq!(t.rng().next_u64(), s.rng().next_u64());
+
+        // A non-normalized pair is rejected.
+        let mut w = ByteWriter::new();
+        s.rng().snapshot(&mut w);
+        w.u64(0); // epoch
+        w.u64(1); // one pair
+        w.u8(2);
+        w.u8(1); // (2,1) — not normalized
+        for _ in 0..4 {
+            w.u64(0);
+        }
+        let buf = w.into_vec();
+        let mut r = ByteReader::new("faults", &buf);
+        assert!(t.restore(&mut r).is_err());
+    }
+}

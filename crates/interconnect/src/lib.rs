@@ -6,10 +6,23 @@
 //! serialization time, so migration storms toward one GPU congest its
 //! ingress and heavy fault traffic congests PCIe — the effects that make
 //! page ping-ponging and fault-heavy policies expensive in the paper.
+//!
+//! The fabric can also degrade: a [`FaultPlan`] schedules permanent
+//! link-down events (transfers between the pair fall back to the
+//! staged-through-host PCIe path, with its real bandwidth penalty) and
+//! transient CRC-glitch windows (bounded retransmissions that re-occupy
+//! both ports). With an empty plan the data path is byte-for-byte the
+//! pre-fault model.
+
+pub mod fault;
 
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::{Channel, Duration, Time, Transfer};
 use oasis_mem::types::DeviceId;
+
+pub use fault::{
+    EccEvent, FaultCounters, FaultPlan, FaultState, FlakyWindow, LinkDown, MAX_CRC_RETRIES,
+};
 
 /// Interconnect configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,16 +55,35 @@ pub struct Fabric {
     nvlink: Vec<Channel>,
     pcie: Vec<Channel>,
     config: FabricConfig,
+    plan: FaultPlan,
+    fault: FaultState,
 }
 
 impl Fabric {
-    /// Builds the fabric for `gpu_count` GPUs.
+    /// Builds the fabric for `gpu_count` GPUs with no scheduled faults.
     ///
     /// # Panics
     ///
     /// Panics if `gpu_count` is zero.
     pub fn new(gpu_count: usize, config: FabricConfig) -> Self {
+        Self::with_plan(gpu_count, config, FaultPlan::default())
+    }
+
+    /// Builds the fabric with a hardware-fault schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_count` is zero or the plan names a GPU outside the
+    /// system (validate plans against the GPU count before construction).
+    pub fn with_plan(gpu_count: usize, config: FabricConfig, plan: FaultPlan) -> Self {
         assert!(gpu_count > 0, "need at least one GPU");
+        if let Some(g) = plan.max_gpu() {
+            assert!(
+                usize::from(g) < gpu_count,
+                "fault plan names GPU {g} but only {gpu_count} exist"
+            );
+        }
+        let fault = FaultState::new(&plan);
         Fabric {
             nvlink: (0..gpu_count)
                 .map(|_| Channel::new(config.nvlink_bytes_per_sec, config.nvlink_latency))
@@ -60,6 +92,8 @@ impl Fabric {
                 .map(|_| Channel::new(config.pcie_bytes_per_sec, config.pcie_latency))
                 .collect(),
             config,
+            plan,
+            fault,
         }
     }
 
@@ -85,14 +119,20 @@ impl Fabric {
         match (from, to) {
             (DeviceId::Gpu(a), DeviceId::Gpu(b)) => {
                 let (i, j) = (a.index(), b.index());
+                if self.fault.is_down(i as u8, j as u8) {
+                    return self.reroute_via_host(now, i, j, bytes);
+                }
                 // Joint reservation: the transfer starts when both ports are
                 // free, then occupies both for its serialization time.
                 let hint = now
                     .max(self.nvlink[i].next_free())
                     .max(self.nvlink[j].next_free());
-                let t = self.nvlink[i].reserve(hint, bytes);
+                let mut t = self.nvlink[i].reserve(hint, bytes);
                 let t2 = self.nvlink[j].reserve(hint, bytes);
                 debug_assert_eq!(t.start, t2.start);
+                if !self.plan.flaky.is_empty() {
+                    t = self.apply_crc_glitches(t, i, j, bytes);
+                }
                 t
             }
             (DeviceId::Host, DeviceId::Gpu(g)) | (DeviceId::Gpu(g), DeviceId::Host) => {
@@ -100,6 +140,102 @@ impl Fabric {
             }
             (DeviceId::Host, DeviceId::Host) => unreachable!("guarded by assert_ne"),
         }
+    }
+
+    /// The PCIe fallback path for a dead NVLink pair: the payload is staged
+    /// through host memory, serializing on both endpoints' PCIe links in
+    /// sequence — the full bandwidth penalty of losing the direct link.
+    fn reroute_via_host(&mut self, now: Time, i: usize, j: usize, bytes: u64) -> Transfer {
+        let leg1 = self.pcie[i].reserve(now, bytes);
+        let leg2 = self.pcie[j].reserve(leg1.arrive, bytes);
+        self.fault.note_reroute(bytes);
+        Transfer {
+            start: leg1.start,
+            depart: leg2.depart,
+            arrive: leg2.arrive,
+        }
+    }
+
+    /// CRC-style link glitches: while a flaky window covers the pair, each
+    /// transfer retransmits with the window's probability, re-occupying
+    /// both ports per retry (bounded by [`MAX_CRC_RETRIES`]).
+    fn apply_crc_glitches(&mut self, first: Transfer, i: usize, j: usize, bytes: u64) -> Transfer {
+        let epoch = self.fault.epoch();
+        let window = self.plan.flaky.iter().find(|w| {
+            let (a, b) = (usize::from(w.a), usize::from(w.b));
+            ((a, b) == (i, j) || (a, b) == (j, i)) && epoch >= w.from_epoch && epoch < w.to_epoch
+        });
+        let Some(&fault::FlakyWindow { num, den, .. }) = window else {
+            return first;
+        };
+        let mut t = first;
+        for _ in 0..MAX_CRC_RETRIES {
+            if !self.fault.rng().gen_bool_ratio(num, den) {
+                break;
+            }
+            let hint = t.depart;
+            let retry = self.nvlink[i].reserve(hint, bytes);
+            self.nvlink[j].reserve(hint, bytes);
+            t = Transfer {
+                start: t.start,
+                depart: retry.depart,
+                arrive: retry.arrive,
+            };
+            self.fault.note_crc_retry();
+        }
+        t
+    }
+
+    /// Announces the start of `epoch`: applies scheduled permanent
+    /// link-down events and arms the flaky windows. Returns the pairs
+    /// newly taken down, in plan order, for event tracing.
+    pub fn begin_epoch(&mut self, epoch: u64) -> Vec<(u8, u8)> {
+        self.fault.set_epoch(epoch);
+        let mut downed = Vec::new();
+        for l in &self.plan.link_down {
+            if l.epoch == epoch && self.fault.mark_down(l.a, l.b) {
+                downed.push((l.a, l.b));
+            }
+        }
+        downed
+    }
+
+    /// Whether the NVLink pair between GPUs `a` and `b` is permanently
+    /// down (transfers fall back to the PCIe path).
+    pub fn link_is_down(&self, a: u8, b: u8) -> bool {
+        self.fault.is_down(a, b)
+    }
+
+    /// The fault schedule this fabric was built with.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// ECC events the plan schedules for `epoch`, in plan order.
+    pub fn ecc_events_for(&self, epoch: u64) -> Vec<EccEvent> {
+        self.plan
+            .ecc
+            .iter()
+            .copied()
+            .filter(|e| e.epoch == epoch)
+            .collect()
+    }
+
+    /// One deterministic draw from the fault RNG in `[0, bound)`; used for
+    /// ECC victim selection so the whole fault stream replays from one
+    /// seed.
+    pub fn fault_draw(&mut self, bound: usize) -> usize {
+        self.fault.rng().gen_below(bound)
+    }
+
+    /// Read access to the mutable fault state (health, counters).
+    pub fn fault_state(&self) -> &FaultState {
+        &self.fault
+    }
+
+    /// Mutable access to the fault state, for checkpoint restore.
+    pub fn fault_state_mut(&mut self) -> &mut FaultState {
+        &mut self.fault
     }
 
     /// One-way latency for a small control message (fault packet,
@@ -134,11 +270,16 @@ impl Fabric {
             .fold(Duration::ZERO, Duration::max)
     }
 
-    /// Resets occupancy and statistics on all links.
+    /// Resets occupancy and statistics on all links, and rewinds the
+    /// hardware-fault state (link health, fault RNG, retry/reroute
+    /// rollups) to the start of the plan — so `link_stats()` and the
+    /// fault counters report zeros after a reset, matching the byte
+    /// counters that were always cleared here.
     pub fn reset(&mut self) {
         for c in self.nvlink.iter_mut().chain(self.pcie.iter_mut()) {
             c.reset();
         }
+        self.fault = FaultState::new(&self.plan);
     }
 
     /// Per-link utilization rollup, in deterministic order (all NVLink
@@ -316,5 +457,127 @@ mod tests {
         let mut g = Fabric::new(2, FabricConfig::default());
         let mut r = ByteReader::new("fabric", &buf);
         assert!(g.restore(&mut r).is_err());
+    }
+
+    fn plan(spec: &str) -> FaultPlan {
+        FaultPlan::parse(spec).expect("valid plan")
+    }
+
+    #[test]
+    fn empty_plan_leaves_the_data_path_identical() {
+        let mut a = Fabric::new(4, FabricConfig::default());
+        let mut b = Fabric::with_plan(4, FabricConfig::default(), FaultPlan::default());
+        b.begin_epoch(0);
+        for (from, to) in [(gpu(0), gpu(1)), (DeviceId::Host, gpu(2)), (gpu(3), gpu(0))] {
+            assert_eq!(
+                a.transfer(Time::ZERO, from, to, 1 << 16),
+                b.transfer(Time::ZERO, from, to, 1 << 16)
+            );
+        }
+        assert_eq!(b.fault_state().counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn dead_link_reroutes_over_both_pcie_links() {
+        let mut f = Fabric::with_plan(4, FabricConfig::default(), plan("down:0-1@2"));
+        assert!(f.begin_epoch(1).is_empty());
+        assert!(!f.link_is_down(0, 1));
+        let direct = f.transfer(Time::ZERO, gpu(0), gpu(1), 4096);
+        assert_eq!(f.pcie_bytes(), 0, "healthy link uses NVLink");
+
+        assert_eq!(f.begin_epoch(2), vec![(0, 1)]);
+        assert!(f.link_is_down(0, 1) && f.link_is_down(1, 0));
+        let rerouted = f.transfer(Time::ZERO, gpu(0), gpu(1), 4096);
+        // Two staged PCIe legs are strictly slower than the direct path.
+        assert!(rerouted.arrive > direct.arrive);
+        let one_leg = Duration::for_transfer(4096, 32_000_000_000) + Duration::from_us(1);
+        assert_eq!(rerouted.latency_from(Time::ZERO), one_leg + one_leg);
+        assert_eq!(
+            f.pcie_bytes(),
+            2 * 4096,
+            "both endpoints' PCIe links move the payload"
+        );
+        let c = f.fault_state().counters();
+        assert_eq!((c.reroutes, c.rerouted_bytes, c.link_faults), (1, 4096, 1));
+        // The unaffected pair still takes NVLink.
+        f.transfer(Time::ZERO, gpu(2), gpu(3), 4096);
+        assert_eq!(f.nvlink_bytes(), 2 * 4096 * 2);
+    }
+
+    #[test]
+    fn flaky_window_adds_bounded_retransmissions_deterministically() {
+        let spec = "flaky:0-1@0-4:1/2,seed:11";
+        let run = || {
+            let mut f = Fabric::with_plan(2, FabricConfig::default(), plan(spec));
+            f.begin_epoch(0);
+            let mut arrivals = Vec::new();
+            for _ in 0..64 {
+                arrivals.push(f.transfer(Time::ZERO, gpu(0), gpu(1), 4096).arrive);
+            }
+            (arrivals, f.fault_state().counters().crc_retries)
+        };
+        let (a, retries_a) = run();
+        let (b, retries_b) = run();
+        assert_eq!(a, b, "same seed, same glitch stream");
+        assert_eq!(retries_a, retries_b);
+        assert!(retries_a > 0, "1/2 glitch rate over 64 transfers must hit");
+        assert!(
+            retries_a <= 64 * u64::from(MAX_CRC_RETRIES),
+            "retries are bounded"
+        );
+
+        // Outside the window the same fabric is glitch-free.
+        let mut f = Fabric::with_plan(2, FabricConfig::default(), plan(spec));
+        f.begin_epoch(4);
+        let t = f.transfer(Time::ZERO, gpu(0), gpu(1), 4096);
+        let expected = Duration::for_transfer(4096, 300_000_000_000) + Duration::from_ns(500);
+        assert_eq!(t.latency_from(Time::ZERO), expected);
+        assert_eq!(f.fault_state().counters().crc_retries, 0);
+    }
+
+    #[test]
+    fn reset_clears_fault_state_and_link_stats() {
+        let mut f = Fabric::with_plan(4, FabricConfig::default(), plan("down:0-1@0,seed:5"));
+        f.begin_epoch(0);
+        f.transfer(Time::ZERO, gpu(0), gpu(1), 4096); // rerouted
+        f.transfer(Time::ZERO, gpu(2), gpu(3), 4096);
+        assert_ne!(f.fault_state().counters(), FaultCounters::default());
+        f.reset();
+        assert_eq!(f.fault_state().counters(), FaultCounters::default());
+        assert_eq!(f.fault_state().links_down(), 0);
+        assert!(!f.link_is_down(0, 1), "health is restored on reset");
+        for ls in f.link_stats() {
+            assert_eq!(ls.busy, Duration::ZERO, "{}{} busy", ls.kind, ls.gpu);
+            assert_eq!(ls.bytes, 0, "{}{} bytes", ls.kind, ls.gpu);
+            assert_eq!(ls.transfers, 0, "{}{} transfers", ls.kind, ls.gpu);
+        }
+    }
+
+    #[test]
+    fn fault_state_snapshot_rides_alongside_the_port_snapshot() {
+        let mut f = Fabric::with_plan(4, FabricConfig::default(), plan("down:0-1@1,seed:3"));
+        f.begin_epoch(1);
+        f.transfer(Time::ZERO, gpu(0), gpu(1), 4096);
+        let mut w = ByteWriter::new();
+        f.snapshot(&mut w);
+        f.fault_state().snapshot(&mut w);
+        let buf = w.into_vec();
+
+        let mut g = Fabric::with_plan(4, FabricConfig::default(), plan("down:0-1@1,seed:3"));
+        let mut r = ByteReader::new("fabric", &buf);
+        g.restore(&mut r).expect("ports");
+        g.fault_state_mut().restore(&mut r).expect("fault state");
+        assert!(r.is_empty());
+        assert!(g.link_is_down(0, 1));
+        assert_eq!(g.fault_state().counters(), f.fault_state().counters());
+        let a = f.transfer(Time::ZERO, gpu(0), gpu(1), 4096);
+        let b = g.transfer(Time::ZERO, gpu(0), gpu(1), 4096);
+        assert_eq!(a, b, "restored fabric schedules identically");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan names GPU 7")]
+    fn plan_naming_a_missing_gpu_panics_at_construction() {
+        Fabric::with_plan(4, FabricConfig::default(), plan("down:0-7@1"));
     }
 }

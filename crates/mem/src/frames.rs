@@ -34,6 +34,9 @@ pub struct FrameAllocator {
     by_stamp: BTreeMap<u64, Vpn>,
     next_stamp: u64,
     evictions: u64,
+    /// Frames retired after ECC poisoning; each reduces the effective
+    /// capacity by one for the rest of the run.
+    quarantined: u64,
 }
 
 impl FrameAllocator {
@@ -46,6 +49,7 @@ impl FrameAllocator {
             by_stamp: BTreeMap::new(),
             next_stamp: 0,
             evictions: 0,
+            quarantined: 0,
         }
     }
 
@@ -64,10 +68,38 @@ impl FrameAllocator {
         self.stamps.contains_key(&vpn)
     }
 
-    /// True if inserting one more page would exceed capacity.
-    pub fn is_full(&self) -> bool {
+    /// Capacity after subtracting quarantined frames; `None` = unlimited.
+    pub fn effective_capacity(&self) -> Option<u64> {
         self.capacity_pages
+            .map(|cap| cap.saturating_sub(self.quarantined))
+    }
+
+    /// True if inserting one more page would exceed the effective capacity.
+    pub fn is_full(&self) -> bool {
+        self.effective_capacity()
             .is_some_and(|cap| self.resident() >= cap)
+    }
+
+    /// True if no usable frame remains at all: every configured frame is
+    /// quarantined, so nothing can ever be made resident.
+    pub fn out_of_frames(&self) -> bool {
+        self.effective_capacity() == Some(0)
+    }
+
+    /// Retires the frame holding `vpn` after an ECC poison event: the page
+    /// loses residency and the frame is permanently removed from the
+    /// usable pool. Returns whether the page was resident.
+    pub fn quarantine(&mut self, vpn: Vpn) -> bool {
+        let present = self.remove(vpn);
+        if present {
+            self.quarantined += 1;
+        }
+        present
+    }
+
+    /// Number of frames quarantined so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
     }
 
     /// Marks `vpn` resident (or refreshes its recency if already resident).
@@ -135,6 +167,13 @@ impl FrameAllocator {
         self.stamps.keys().copied()
     }
 
+    /// Iterates over all resident pages in recency order (LRU first).
+    /// Deterministic across runs, which makes it the index space for
+    /// seed-driven ECC victim selection.
+    pub fn pages_by_recency(&self) -> impl Iterator<Item = Vpn> + '_ {
+        self.by_stamp.values().copied()
+    }
+
     fn bump(&mut self) -> u64 {
         let s = self.next_stamp;
         self.next_stamp += 1;
@@ -146,6 +185,7 @@ impl Snapshot for FrameAllocator {
     fn snapshot(&self, w: &mut ByteWriter) {
         w.u64(self.next_stamp);
         w.u64(self.evictions);
+        w.u64(self.quarantined);
         // HashMap iteration order is nondeterministic; serialize by stamp so
         // identical states always produce identical bytes. `by_stamp` holds
         // the same (stamp, vpn) pairs as `stamps`, already ordered.
@@ -162,6 +202,16 @@ impl Restore for FrameAllocator {
         // Capacity is configuration, not state; it stays as constructed.
         self.next_stamp = r.u64()?;
         self.evictions = r.u64()?;
+        self.quarantined = r.u64()?;
+        if self
+            .capacity_pages
+            .is_some_and(|cap| self.quarantined > cap)
+        {
+            return Err(r.malformed(format!(
+                "{} quarantined frames exceed capacity {:?}",
+                self.quarantined, self.capacity_pages
+            )));
+        }
         self.stamps.clear();
         self.by_stamp.clear();
         let n = r.usize()?;
@@ -180,11 +230,14 @@ impl Restore for FrameAllocator {
                 return Err(r.malformed(format!("duplicate resident page {vpn:?}")));
             }
         }
-        if self.capacity_pages.is_some_and(|cap| self.resident() > cap) {
+        if self
+            .effective_capacity()
+            .is_some_and(|cap| self.resident() > cap)
+        {
             return Err(r.malformed(format!(
-                "{} resident pages exceed capacity {:?}",
+                "{} resident pages exceed effective capacity {:?}",
                 self.resident(),
-                self.capacity_pages
+                self.effective_capacity()
             )));
         }
         Ok(())
@@ -298,6 +351,53 @@ mod tests {
         let mut b = ByteWriter::new();
         build().snapshot(&mut b);
         assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn quarantine_shrinks_effective_capacity() {
+        let mut f = FrameAllocator::new(Some(3));
+        f.insert(Vpn(1));
+        f.insert(Vpn(2));
+        f.insert(Vpn(3));
+        assert!(f.quarantine(Vpn(2)));
+        assert!(!f.quarantine(Vpn(2)), "already gone");
+        assert_eq!(f.quarantined(), 1);
+        assert_eq!(f.effective_capacity(), Some(2));
+        assert!(!f.contains(Vpn(2)));
+        assert!(f.is_full(), "2 resident pages fill 2 usable frames");
+        // Inserting now evicts the LRU survivor, not the quarantined slot.
+        assert_eq!(f.insert(Vpn(4)), Some(Vpn(1)));
+        // Quarantining everything leaves the device unusable.
+        f.quarantine(Vpn(3));
+        f.quarantine(Vpn(4));
+        assert!(f.out_of_frames());
+        assert_eq!(f.resident(), 0);
+        // Unlimited allocators track the count but never run out.
+        let mut host = FrameAllocator::new(None);
+        host.insert(Vpn(7));
+        host.quarantine(Vpn(7));
+        assert_eq!(host.quarantined(), 1);
+        assert!(!host.out_of_frames());
+    }
+
+    #[test]
+    fn quarantine_survives_snapshot_and_guards_restore() {
+        let mut f = FrameAllocator::new(Some(3));
+        f.insert(Vpn(1));
+        f.insert(Vpn(2));
+        f.quarantine(Vpn(1));
+        let mut w = ByteWriter::new();
+        f.snapshot(&mut w);
+        let buf = w.into_vec();
+        let mut g = FrameAllocator::new(Some(3));
+        let mut r = ByteReader::new("frames", &buf);
+        g.restore(&mut r).expect("valid state");
+        assert_eq!(g.quarantined(), 1);
+        assert_eq!(g.effective_capacity(), Some(2));
+        // More quarantined frames than the target's capacity is rejected.
+        let mut tiny = FrameAllocator::new(Some(0));
+        let mut r = ByteReader::new("frames", &buf);
+        assert!(tiny.restore(&mut r).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use oasis_core::tracker::ObjectTracker;
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError};
 use oasis_engine::{Duration, ErrorPolicy};
 use oasis_grit::{GritConfig, GritEngine};
-use oasis_interconnect::FabricConfig;
+use oasis_interconnect::{FabricConfig, FaultPlan};
 use oasis_mem::types::PageSize;
 use oasis_uvm::costs::UvmCosts;
 use oasis_uvm::policy::{
@@ -197,6 +197,10 @@ pub struct SystemConfig {
     /// Enable the hierarchical metrics registry (counters + latency
     /// histograms surfaced in [`RunReport`](crate::RunReport)).
     pub metrics: bool,
+    /// Deterministic hardware-fault plan (link failures, CRC-glitch
+    /// windows, ECC page poisoning). Empty by default: the zero-fault data
+    /// path is bit-identical to a build without the fault layer.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SystemConfig {
@@ -230,6 +234,7 @@ impl Default for SystemConfig {
             stall_window: 100_000,
             trace_capacity: 0,
             metrics: false,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -342,6 +347,7 @@ impl SystemConfig {
         w.u64(self.stall_window);
         w.u64(self.trace_capacity as u64);
         w.bool(self.metrics);
+        self.fault_plan.encode(w);
     }
 
     /// Reads a configuration [`encode`](SystemConfig::encode)d into a
@@ -411,6 +417,7 @@ impl SystemConfig {
         let stall_window = r.u64()?;
         let trace_capacity = r.usize()?;
         let metrics = r.bool()?;
+        let fault_plan = FaultPlan::decode(r)?;
         Ok(SystemConfig {
             gpu_count,
             page_size,
@@ -440,6 +447,7 @@ impl SystemConfig {
             stall_window,
             trace_capacity,
             metrics,
+            fault_plan,
         })
     }
 }
@@ -578,6 +586,8 @@ mod tests {
             stall_window: 42,
             trace_capacity: 4096,
             metrics: true,
+            fault_plan: FaultPlan::parse("seed:9,down:0-1@2,flaky:2-3@1-6:1/8,ecc:0@3x2")
+                .expect("valid plan"),
             ..SystemConfig::default()
         };
         let mut w = ByteWriter::new();

@@ -10,6 +10,7 @@
 //! is a pure function of that seed: any failure replays exactly.
 
 use oasis_engine::SimRng;
+use oasis_interconnect::FaultPlan;
 use oasis_mem::layout::AddressSpace;
 use oasis_mem::page::PolicyBits;
 use oasis_mem::types::{GpuId, PageSize, Vpn};
@@ -36,17 +37,29 @@ pub enum Perturbation {
     /// its own checkpoint bytes and require the finished run to be
     /// bit-identical (digest trail and counters) to an uninterrupted one.
     KillAndResume,
+    /// Permanently fail one NVLink pair at a seed-chosen epoch: shared
+    /// traffic must complete over the staged PCIe fallback.
+    LinkDown,
+    /// Subject one NVLink pair to a CRC-glitch window covering the whole
+    /// run: transfers pay bounded retransmission latency but succeed.
+    LinkFlaky,
+    /// Poison resident frames with ECC events mid-run: the driver must
+    /// quarantine the frames and re-service the victim pages.
+    EccPoison,
 }
 
 impl Perturbation {
     /// Every kind, in campaign order.
-    pub const ALL: [Perturbation; 6] = [
+    pub const ALL: [Perturbation; 9] = [
         Perturbation::TruncateTrace,
         Perturbation::OutOfRangeAccess,
         Perturbation::CapacityCrunch,
         Perturbation::CorruptCounters,
         Perturbation::PolicyFlip,
         Perturbation::KillAndResume,
+        Perturbation::LinkDown,
+        Perturbation::LinkFlaky,
+        Perturbation::EccPoison,
     ];
 
     /// Stable display name.
@@ -58,6 +71,9 @@ impl Perturbation {
             Perturbation::CorruptCounters => "corrupt-counters",
             Perturbation::PolicyFlip => "policy-flip",
             Perturbation::KillAndResume => "kill-and-resume",
+            Perturbation::LinkDown => "link-down",
+            Perturbation::LinkFlaky => "link-flaky",
+            Perturbation::EccPoison => "ecc-poison",
         }
     }
 }
@@ -221,6 +237,34 @@ fn run_one(kind: Perturbation, seed: u64) -> InjectionOutcome {
                 policy = Policy::AccessCounter;
             }
         }
+        Perturbation::LinkDown => {
+            // Duplication keeps pages shared across GPUs, so killing a
+            // link forces real traffic onto the PCIe fallback.
+            policy = Policy::Duplication;
+            let a = rng.gen_below(4) as u8;
+            let b = (a + 1 + rng.gen_below(3) as u8) % 4;
+            let epoch = rng.gen_below(trace.phases.len());
+            cfg.fault_plan = FaultPlan::parse(&format!("seed:{seed},down:{a}-{b}@{epoch}"))
+                .expect("generated plan is well-formed");
+        }
+        Perturbation::LinkFlaky => {
+            // Remote mappings put steady read traffic on the fabric for
+            // the glitch window to tax.
+            policy = Policy::AccessCounter;
+            let a = rng.gen_below(4) as u8;
+            let b = (a + 1 + rng.gen_below(3) as u8) % 4;
+            let to = trace.phases.len().max(1);
+            cfg.fault_plan = FaultPlan::parse(&format!("seed:{seed},flaky:{a}-{b}@0-{to}:1/2"))
+                .expect("generated plan is well-formed");
+        }
+        Perturbation::EccPoison => {
+            // Strike after at least one epoch so frames are resident.
+            let gpu = rng.gen_below(4);
+            let epoch = 1 + rng.gen_below(trace.phases.len().max(2) - 1);
+            let frames = 1 + rng.gen_below(4);
+            cfg.fault_plan = FaultPlan::parse(&format!("seed:{seed},ecc:{gpu}@{epoch}x{frames}"))
+                .expect("generated plan is well-formed");
+        }
         Perturbation::KillAndResume => unreachable!("dispatched above"),
     }
 
@@ -263,13 +307,25 @@ fn run_one(kind: Perturbation, seed: u64) -> InjectionOutcome {
                 Err(e) => format!("VIOLATED ({e})"),
             };
             let ok = guard == "ok";
+            let hardware = match kind {
+                Perturbation::LinkDown | Perturbation::LinkFlaky | Perturbation::EccPoison => {
+                    format!(
+                        " reroutes={} crc-retries={} quarantines={} fault-retries={}",
+                        report.faults.reroutes,
+                        report.faults.crc_retries,
+                        report.uvm.ecc_quarantines,
+                        report.uvm.fault_retries
+                    )
+                }
+                _ => String::new(),
+            };
             InjectionOutcome {
                 kind,
                 seed,
                 ok,
                 line: format!(
                     "{name} seed={seed:#018x}: completed accesses={} evictions={} \
-                     recorded-errors={} guard={guard}",
+                     recorded-errors={}{hardware} guard={guard}",
                     report.accesses, report.uvm.evictions, report.errors_recorded
                 ),
             }
@@ -343,6 +399,22 @@ mod tests {
     #[test]
     fn scenarios_run_with_the_epoch_guard() {
         assert_eq!(base_config().guard, GuardMode::Epoch);
+    }
+
+    #[test]
+    fn hardware_fault_scenarios_degrade_gracefully() {
+        let outcomes = run_campaign(19);
+        let down = &outcomes[6];
+        assert_eq!(down.kind, Perturbation::LinkDown);
+        assert!(down.ok, "{}", down.line);
+        assert!(down.line.contains("reroutes="), "{}", down.line);
+        let flaky = &outcomes[7];
+        assert_eq!(flaky.kind, Perturbation::LinkFlaky);
+        assert!(flaky.ok, "{}", flaky.line);
+        let ecc = &outcomes[8];
+        assert_eq!(ecc.kind, Perturbation::EccPoison);
+        assert!(ecc.ok, "{}", ecc.line);
+        assert!(ecc.line.contains("quarantines="), "{}", ecc.line);
     }
 
     #[test]

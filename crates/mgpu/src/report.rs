@@ -2,6 +2,7 @@
 
 use oasis_engine::error::SimError;
 use oasis_engine::{Duration, MetricsRegistry, TimedEvent};
+use oasis_interconnect::FaultCounters;
 use oasis_mem::page::PolicyBits;
 use oasis_uvm::stats::UvmStats;
 
@@ -73,6 +74,11 @@ pub struct RunReport {
     pub nvlink_bytes: u64,
     /// Bytes moved over PCIe.
     pub pcie_bytes: u64,
+    /// Hardware-fault recovery rollup: CRC retransmissions, PCIe-fallback
+    /// reroutes (count and payload bytes), and permanent link faults
+    /// applied. All zeros under an empty fault plan. Deterministic — part
+    /// of [`RunReport::same_simulation`].
+    pub faults: FaultCounters,
     /// Typed errors absorbed under
     /// [`ErrorPolicy::RecordAndContinue`](oasis_engine::ErrorPolicy) (0 in
     /// fail-fast runs, which abort instead).
@@ -152,6 +158,7 @@ impl RunReport {
             && self.policy_mix == other.policy_mix
             && self.nvlink_bytes == other.nvlink_bytes
             && self.pcie_bytes == other.pcie_bytes
+            && self.faults == other.faults
             && self.errors_recorded == other.errors_recorded
             && self.error_samples == other.error_samples
             && self.digest_trail == other.digest_trail
@@ -199,6 +206,7 @@ mod tests {
             policy_mix: [0; 3],
             nvlink_bytes: 0,
             pcie_bytes: 0,
+            faults: FaultCounters::default(),
             errors_recorded: 0,
             error_samples: Vec::new(),
             digest_trail: Vec::new(),

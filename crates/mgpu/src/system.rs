@@ -110,7 +110,7 @@ impl System {
         let gpus = (0..config.gpu_count)
             .map(|_| GpuModel::new(&config))
             .collect();
-        let fabric = Fabric::new(config.gpu_count, config.fabric);
+        let fabric = Fabric::with_plan(config.gpu_count, config.fabric, config.fault_plan.clone());
         let mut driver = UvmDriver::new(
             config.gpu_count,
             config.page_size,
@@ -435,6 +435,7 @@ impl System {
             self.epoch_hook = Some(hook);
         }
         self.global += self.config.kernel_launch_overhead;
+        self.apply_scheduled_faults(epoch)?;
         // Grid-wide barriers split the kernel into synchronized
         // segments (in-kernel iteration boundaries). Unlike kernel
         // launches, barriers do not notify the policy engine.
@@ -480,6 +481,48 @@ impl System {
             uvm: self.driver.stats.minus(&uvm_before),
         });
         self.digest_trail.push(self.digest());
+        Ok(())
+    }
+
+    /// Applies the fault plan's schedule for the start of `epoch`: marks
+    /// freshly failed NVLink pairs down (their traffic takes the staged
+    /// PCIe reroute from here on) and poisons scheduled ECC victim
+    /// frames, re-servicing the lost pages through the driver's
+    /// bounded-retry path. Victims are drawn from the struck GPU's
+    /// resident set in recency order with the plan RNG, so the whole
+    /// fault stream replays from one seed. Recovery failures (retry
+    /// budget exhausted on a frame-starved GPU) route through the
+    /// configured [`ErrorPolicy`] like any access failure.
+    fn apply_scheduled_faults(&mut self, epoch: u64) -> Result<(), RunError> {
+        for (a, b) in self.fabric.begin_epoch(epoch) {
+            self.driver.obs.metrics.add("fabric.link_faults", 1);
+            self.driver
+                .obs
+                .emit(self.global, || TraceEvent::LinkFault { a, b });
+        }
+        for ev in self.fabric.ecc_events_for(epoch) {
+            let gpu = GpuId(ev.gpu);
+            for _ in 0..ev.frames {
+                let resident: Vec<_> = self.driver.state.frames[gpu.index()]
+                    .pages_by_recency()
+                    .collect();
+                if resident.is_empty() {
+                    break; // nothing resident left to strike
+                }
+                let vpn = resident[self.fabric.fault_draw(resident.len())];
+                match self
+                    .driver
+                    .poison_frame(self.global, gpu, vpn, &mut self.fabric)
+                {
+                    Ok(Some(out)) => {
+                        self.global += out.latency;
+                        self.apply_invalidations(&out);
+                    }
+                    Ok(None) => {}
+                    Err(error) => self.absorb_error(error)?,
+                }
+            }
+        }
         Ok(())
     }
 
@@ -577,6 +620,14 @@ impl System {
         if self.driver.obs.tracing() {
             m.set("trace.dropped", self.driver.obs.dropped());
         }
+        let fc = self.fabric.fault_state().counters();
+        m.set("fabric.crc_retries", fc.crc_retries);
+        m.set("fabric.reroutes", fc.reroutes);
+        m.set("fabric.rerouted_bytes", fc.rerouted_bytes);
+        m.set(
+            "fabric.links_down",
+            self.fabric.fault_state().links_down() as u64,
+        );
         m
     }
 
@@ -602,6 +653,7 @@ impl System {
             policy_mix: self.policy_mix,
             nvlink_bytes: self.fabric.nvlink_bytes(),
             pcie_bytes: self.fabric.pcie_bytes(),
+            faults: self.fabric.fault_state().counters(),
             errors_recorded: self.errors_recorded,
             error_samples: self.error_samples.clone(),
             digest_trail: self.digest_trail.clone(),
@@ -632,6 +684,7 @@ impl System {
         w.u64(self.errors_recorded);
         self.tracker.snapshot(w);
         self.fabric.snapshot(w);
+        self.fabric.fault_state().snapshot(w);
         for g in &self.gpus {
             g.l1_tlb.snapshot(w);
             g.l2_tlb.snapshot(w);
@@ -704,6 +757,7 @@ impl System {
         });
         cw.snapshot("tracker", &self.tracker);
         cw.snapshot("fabric", &self.fabric);
+        cw.section("faults", |w| self.fabric.fault_state().snapshot(w));
         cw.section("gpus", |w| {
             w.u64(self.gpus.len() as u64);
             for g in &self.gpus {
@@ -826,6 +880,11 @@ impl System {
 
         cr.restore("tracker", &mut sys.tracker)?;
         cr.restore("fabric", &mut sys.fabric)?;
+        let mut sec = cr.section("faults")?;
+        sys.fabric.fault_state_mut().restore(&mut sec)?;
+        if !sec.is_empty() {
+            return Err(sec.malformed("trailing bytes after fault state").into());
+        }
         let mut sec = cr.section("gpus")?;
         let n = sec.usize()?;
         if n != sys.gpus.len() {

@@ -15,12 +15,12 @@
 use std::collections::HashMap;
 
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
-use oasis_engine::error::{EvictionError, FaultError, MigrationError, SimResult};
+use oasis_engine::error::{EvictionError, FaultError, MigrationError, SimError, SimResult};
 use oasis_engine::{Duration, Endpoint, Observer, Time, TraceEvent};
 use oasis_interconnect::Fabric;
 use oasis_mem::frames::FrameAllocator;
 use oasis_mem::page::{HostEntry, HostPageTable, LocalPageTable, PolicyBits, Pte};
-use oasis_mem::types::{DeviceId, GpuId, ObjectId, PageSize, Va, Vpn};
+use oasis_mem::types::{AccessKind, DeviceId, GpuId, ObjectId, PageSize, Va, Vpn};
 
 use crate::costs::UvmCosts;
 use crate::fault::{FaultType, PageFault};
@@ -30,6 +30,11 @@ use crate::stats::UvmStats;
 /// Pages per 64 KiB access-counter group for 4 KiB pages (the NVIDIA
 /// driver's counter granularity, Table I).
 const GROUP_BYTES: u64 = 64 * 1024;
+
+/// Replayed fault-service attempts allowed while recovering a page whose
+/// frame was ECC-poisoned, before the driver gives up with
+/// [`SimError::HardwareExhausted`].
+pub const ECC_RETRY_BUDGET: u32 = 4;
 
 /// Maps a simulated device to a trace endpoint.
 fn endpoint(dev: DeviceId) -> Endpoint {
@@ -98,6 +103,10 @@ pub enum OutcomeKind {
         /// How many pages of the group moved.
         pages: u32,
     },
+    /// An ECC poison event retired a frame that held a read-only replica;
+    /// the authoritative copy elsewhere keeps serving, so no data was
+    /// re-fetched (hardware-fault model).
+    EccReplicaDropped,
 }
 
 /// The result of a driver operation, consumed by the GPU-side model.
@@ -366,6 +375,19 @@ impl UvmDriver {
         }
 
         let decision = self.policy.resolve(fault, &self.state);
+        // A duplicate whose source sits across a permanently dead link still
+        // works (the fabric stages the data over PCIe), but it is a bad bet
+        // going forward: tell the policy so stateful engines demote the
+        // object away from duplication (OASIS's self-correction path).
+        if decision.resolution == Resolution::Duplicate {
+            if let Some(DeviceId::Gpu(src)) = self.state.host_table.get(fault.vpn).map(|e| e.owner)
+            {
+                if src != fault.gpu && fabric.link_is_down(src.0, fault.gpu.0) {
+                    self.policy.on_link_degraded(fault.va);
+                    self.obs.metrics.add("uvm.link_demotions", 1);
+                }
+            }
+        }
         let base = match fault.fault_type {
             FaultType::Far => self.costs.far_fault_base,
             FaultType::Protection => self.costs.protection_fault_base,
@@ -567,9 +589,141 @@ impl UvmDriver {
         Ok(())
     }
 
+    /// Applies an ECC poison event to the frame holding `vpn` on `gpu`:
+    /// the frame is quarantined (permanently reducing the GPU's usable
+    /// capacity), and the lost copy is either dropped (read-only replica —
+    /// the authoritative copy elsewhere keeps serving) or recovered by
+    /// replaying the far fault from the home copy with a bounded
+    /// retry/backoff budget.
+    ///
+    /// Returns `Ok(None)` if the page was not resident on `gpu` (no frame
+    /// to poison), `Ok(Some(outcome))` after a drop or successful
+    /// re-service, and [`SimError::HardwareExhausted`] once the retry
+    /// budget ([`ECC_RETRY_BUDGET`]) runs out — never a panic.
+    pub fn poison_frame(
+        &mut self,
+        now: Time,
+        gpu: GpuId,
+        vpn: Vpn,
+        fabric: &mut Fabric,
+    ) -> SimResult<Option<Outcome>> {
+        if gpu.index() >= self.state.gpu_count() {
+            return Err(FaultError::NoSuchGpu {
+                gpu: gpu.0,
+                gpu_count: self.state.gpu_count(),
+            }
+            .into());
+        }
+        if !self.state.frames[gpu.index()].quarantine(vpn) {
+            return Ok(None);
+        }
+        self.stats.ecc_quarantines += 1;
+        self.obs.metrics.add("uvm.ecc.quarantine", 1);
+        self.obs.emit(now, || TraceEvent::FrameQuarantine {
+            gpu: gpu.0,
+            vpn: vpn.0,
+        });
+        let entry = self.entry(vpn)?;
+        if entry.owner != DeviceId::Gpu(gpu) {
+            // The poisoned frame held a read-only duplicate (or ideal
+            // copy): drop the replica, no data re-fetch needed.
+            let mut out = Outcome::new(OutcomeKind::EccReplicaDropped);
+            self.invalidate_at(now, gpu, vpn, false, &mut out);
+            self.charge_invalidation(1, &mut out);
+            self.entry_mut(vpn)?.copy_mask &= !(1 << gpu.0);
+            return Ok(Some(out));
+        }
+        // The poisoned frame held the authoritative copy: fall back to the
+        // home copy on the host, tear down every stale translation, then
+        // replay the far fault so the victim GPU re-fetches the page.
+        let mut out = Outcome::new(OutcomeKind::EccReplicaDropped);
+        let mut inv = 0usize;
+        for g in entry.duplicate_holders().chain(entry.remote_mappers()) {
+            if g != gpu {
+                self.invalidate_at(now, g, vpn, true, &mut out);
+                inv += 1;
+            }
+        }
+        self.invalidate_at(now, gpu, vpn, false, &mut out);
+        inv += 1;
+        self.charge_invalidation(inv, &mut out);
+        let e = self.entry_mut(vpn)?;
+        e.owner = DeviceId::Host;
+        e.copy_mask = 0;
+        e.mapper_mask = 0;
+        let mut reserviced = self.reservice_poisoned(now, gpu, vpn, fabric)?;
+        reserviced.latency += out.latency;
+        reserviced.shootdown_time += out.shootdown_time;
+        reserviced.invalidations.extend(out.invalidations);
+        Ok(Some(reserviced))
+    }
+
+    /// Replays the far fault for a poisoned page with a bounded
+    /// retry/backoff budget. Each attempt that cannot land (the GPU has no
+    /// usable frame left) backs off for twice as long; exhausting
+    /// [`ECC_RETRY_BUDGET`] attempts surfaces
+    /// [`SimError::HardwareExhausted`].
+    fn reservice_poisoned(
+        &mut self,
+        now: Time,
+        gpu: GpuId,
+        vpn: Vpn,
+        fabric: &mut Fabric,
+    ) -> SimResult<Outcome> {
+        let va = Va(vpn.0 * self.page_bytes());
+        let mut backoff = self.costs.fault_service;
+        let mut when = now;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.stats.fault_retries += 1;
+            self.obs.metrics.add("uvm.ecc.retry", 1);
+            self.obs.emit(when, || TraceEvent::FaultRetry {
+                gpu: gpu.0,
+                vpn: vpn.0,
+                attempt,
+            });
+            // An ECC replay is recovery, not ping-ponging: keep it out of
+            // the thrash detector so repeated attempts are not "pinned"
+            // into a remote mapping the policy never asked for.
+            self.thrash.remove(&vpn);
+            let pf = PageFault::far(gpu, va, vpn, AccessKind::Read);
+            match self.handle_fault(when, &pf, fabric) {
+                Err(SimError::HardwareExhausted { .. }) if attempt < ECC_RETRY_BUDGET => {
+                    when += backoff;
+                    backoff = backoff * 2;
+                }
+                Err(SimError::HardwareExhausted { .. }) => {
+                    return Err(SimError::HardwareExhausted {
+                        gpu: gpu.0,
+                        vpn: vpn.0,
+                        retries: attempt,
+                    });
+                }
+                other => return other,
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Mechanics
     // ------------------------------------------------------------------
+
+    /// Rejects a data-landing mechanic when `g` has no usable frame left
+    /// (every configured frame quarantined). Pages already resident are
+    /// fine — re-inserting them claims no new frame.
+    fn ensure_frame_available(&self, g: GpuId, vpn: Vpn) -> SimResult<()> {
+        if !self.state.frames[g.index()].contains(vpn)
+            && self.state.frames[g.index()].out_of_frames()
+        {
+            return Err(SimError::HardwareExhausted {
+                gpu: g.0,
+                vpn: vpn.0,
+                retries: 0,
+            });
+        }
+        Ok(())
+    }
 
     fn invalidate_at(
         &mut self,
@@ -675,6 +829,7 @@ impl UvmDriver {
         fabric: &mut Fabric,
         out: &mut Outcome,
     ) -> SimResult<()> {
+        self.ensure_frame_available(to, vpn)?;
         let entry = self.entry(vpn)?;
         let from = entry.owner;
         let mut victims: Vec<GpuId> = Vec::new();
@@ -757,6 +912,7 @@ impl UvmDriver {
             // Degenerate case (e.g. a re-fault on a self-owned page with
             // the host-PT filter ablated): just reinstall the local
             // translation.
+            self.ensure_frame_available(gpu, vpn)?;
             self.state.frames[gpu.index()].insert(vpn);
             self.state.local_tables[gpu.index()].insert(
                 vpn,
@@ -808,6 +964,7 @@ impl UvmDriver {
         fabric: &mut Fabric,
         out: &mut Outcome,
     ) -> SimResult<()> {
+        self.ensure_frame_available(gpu, vpn)?;
         let entry = self.entry(vpn)?;
         // Writable remote mappings cannot coexist with read-only copies.
         let mut inv = 0usize;
@@ -875,6 +1032,7 @@ impl UvmDriver {
         fabric: &mut Fabric,
         out: &mut Outcome,
     ) -> SimResult<()> {
+        self.ensure_frame_available(writer, vpn)?;
         let entry = self.entry(vpn)?;
         let writer_has_data =
             entry.owner == DeviceId::Gpu(writer) || entry.copy_mask & (1 << writer.0) != 0;
@@ -926,6 +1084,7 @@ impl UvmDriver {
         fabric: &mut Fabric,
         out: &mut Outcome,
     ) -> SimResult<()> {
+        self.ensure_frame_available(gpu, vpn)?;
         let entry = self.entry(vpn)?;
         self.charge_transfer(now, entry.owner, DeviceId::Gpu(gpu), fabric, out);
         if let Some(victim) = self.state.frames[gpu.index()].insert(vpn) {
@@ -964,6 +1123,10 @@ impl UvmDriver {
             let candidate = Vpn(p);
             if candidate == vpn {
                 continue;
+            }
+            // Prefetch is best-effort: a frame-exhausted GPU just skips it.
+            if self.ensure_frame_available(gpu, candidate).is_err() {
+                break;
             }
             let eligible = self.state.host_table.get(candidate).is_some_and(|e| {
                 e.owner == DeviceId::Host
@@ -1168,7 +1331,9 @@ impl Restore for UvmDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{AccessCounterPolicy, DuplicationPolicy, IdealPolicy, OnTouchPolicy};
+    use crate::policy::{
+        AccessCounterPolicy, Decision, DuplicationPolicy, IdealPolicy, OnTouchPolicy,
+    };
     use oasis_engine::SimError;
     use oasis_interconnect::FabricConfig;
     use oasis_mem::types::AccessKind;
@@ -1644,6 +1809,162 @@ mod tests {
         );
         let mut r = ByteReader::new("driver", &buf);
         assert!(small.restore(&mut r).is_err());
+    }
+
+    /// Wraps a policy and records link-degradation notifications, so tests
+    /// can observe the driver-side half of the self-correction handshake.
+    struct RecordingPolicy {
+        inner: DuplicationPolicy,
+        degraded: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+
+    impl PolicyEngine for RecordingPolicy {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn resolve(&mut self, fault: &PageFault, state: &MemState) -> Decision {
+            self.inner.resolve(fault, state)
+        }
+        fn on_link_degraded(&mut self, _va: Va) {
+            self.degraded.set(self.degraded.get() + 1);
+        }
+    }
+
+    #[test]
+    fn ecc_poison_of_a_replica_drops_it_without_reservice() {
+        let (mut d, mut f) = driver(Box::new(DuplicationPolicy), Some(8));
+        // GPU0 owns the page; GPU1 holds a read-only duplicate.
+        fault(&mut d, &mut f, &far(0, 0, AccessKind::Write));
+        fault(&mut d, &mut f, &far(1, 0, AccessKind::Read));
+        let o = d
+            .poison_frame(Time::ZERO, GpuId(1), vpn(0), &mut f)
+            .expect("replica drop never fails")
+            .expect("frame was resident");
+        assert_eq!(o.kind, OutcomeKind::EccReplicaDropped);
+        let e = entry(&d, vpn(0));
+        assert_eq!(e.owner, DeviceId::Gpu(GpuId(0)), "owner untouched");
+        assert!(!e.readable_at(GpuId(1)), "replica gone");
+        assert!(d.state.local_tables[1].get(vpn(0)).is_none());
+        assert_eq!(d.state.frames[1].quarantined(), 1);
+        assert_eq!(d.stats.ecc_quarantines, 1);
+        assert_eq!(d.stats.fault_retries, 0, "no re-service for replicas");
+    }
+
+    #[test]
+    fn ecc_poison_of_the_owner_reservices_from_the_home_copy() {
+        let (mut d, mut f) = driver(Box::new(OnTouchPolicy), Some(8));
+        fault(&mut d, &mut f, &far(0, 0, AccessKind::Write));
+        assert_eq!(entry(&d, vpn(0)).owner, DeviceId::Gpu(GpuId(0)));
+        let o = d
+            .poison_frame(Time::ZERO, GpuId(0), vpn(0), &mut f)
+            .expect("one spare frame remains")
+            .expect("frame was resident");
+        // The replayed far fault re-migrated the page onto GPU0.
+        assert_eq!(o.kind, OutcomeKind::Migrated);
+        assert_eq!(entry(&d, vpn(0)).owner, DeviceId::Gpu(GpuId(0)));
+        assert!(d.state.frames[0].contains(vpn(0)));
+        assert_eq!(d.state.frames[0].quarantined(), 1);
+        assert_eq!(d.stats.ecc_quarantines, 1);
+        assert_eq!(d.stats.fault_retries, 1, "first replay succeeded");
+    }
+
+    #[test]
+    fn ecc_poison_on_a_nonresident_page_is_a_noop() {
+        let (mut d, mut f) = driver(Box::new(OnTouchPolicy), Some(8));
+        assert!(d
+            .poison_frame(Time::ZERO, GpuId(2), vpn(0), &mut f)
+            .expect("no-op")
+            .is_none());
+        assert_eq!(d.stats.ecc_quarantines, 0);
+        assert_eq!(d.state.frames[2].quarantined(), 0);
+    }
+
+    #[test]
+    fn ecc_exhaustion_is_a_typed_error_never_a_panic() {
+        // A single frame per GPU: poisoning it leaves GPU0 with nothing.
+        let (mut d, mut f) = driver(Box::new(OnTouchPolicy), Some(1));
+        fault(&mut d, &mut f, &far(0, 0, AccessKind::Write));
+        let err = d
+            .poison_frame(Time::ZERO, GpuId(0), vpn(0), &mut f)
+            .expect_err("no usable frame left on GPU0");
+        assert_eq!(
+            err,
+            SimError::HardwareExhausted {
+                gpu: 0,
+                vpn: vpn(0).0,
+                retries: ECC_RETRY_BUDGET,
+            }
+        );
+        assert_eq!(d.stats.fault_retries, ECC_RETRY_BUDGET as u64);
+        // Degradation is graceful: the page fell back to its home copy and
+        // other GPUs still serve it (here: GPU1 migrates it to itself).
+        assert_eq!(entry(&d, vpn(0)).owner, DeviceId::Host);
+        let o = fault(&mut d, &mut f, &far(1, 0, AccessKind::Read));
+        assert_eq!(o.kind, OutcomeKind::Migrated);
+    }
+
+    #[test]
+    fn frame_exhausted_gpu_still_remote_maps() {
+        let (mut d, mut f) = driver(Box::new(AccessCounterPolicy), Some(1));
+        // Hand GPU0 ownership of page 1 so it occupies its only frame.
+        with_entry(&mut d, vpn(1), |e| e.owner = DeviceId::Gpu(GpuId(0)));
+        d.state.frames[0].insert(vpn(1));
+        d.state.local_tables[0].insert(
+            vpn(1),
+            Pte {
+                location: DeviceId::Gpu(GpuId(0)),
+                writable: true,
+                policy: PolicyBits::OnTouch,
+            },
+        );
+        // Poisoning it exhausts GPU0, but the re-service still succeeds:
+        // the access-counter policy serves the page through a remote
+        // mapping, which claims no local frame.
+        let o = d
+            .poison_frame(Time::ZERO, GpuId(0), vpn(1), &mut f)
+            .expect("remote-map recovery")
+            .expect("frame was resident");
+        assert_eq!(o.kind, OutcomeKind::RemoteMapped);
+        assert!(d.state.frames[0].out_of_frames());
+        // And later faults keep resolving the same graceful way.
+        let o = fault(&mut d, &mut f, &far(0, 2, AccessKind::Read));
+        assert_eq!(o.kind, OutcomeKind::RemoteMapped);
+    }
+
+    #[test]
+    fn duplicate_across_a_dead_link_notifies_the_policy() {
+        use oasis_interconnect::{FaultPlan, LinkDown};
+        let degraded = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let mut d = UvmDriver::new(
+            4,
+            PageSize::Small4K,
+            None,
+            Box::new(RecordingPolicy {
+                inner: DuplicationPolicy,
+                degraded: degraded.clone(),
+            }),
+            UvmCosts::default(),
+            256,
+        );
+        d.alloc_object(ObjectId(0), Va(0x1000_0000), 64 * 4096, |_| DeviceId::Host)
+            .expect("fresh allocation");
+        let plan = FaultPlan {
+            link_down: vec![LinkDown {
+                a: 0,
+                b: 1,
+                epoch: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut f = Fabric::with_plan(4, FabricConfig::default(), plan);
+        assert_eq!(f.begin_epoch(0), vec![(0, 1)]);
+        // GPU1 takes ownership; GPU0 then reads across the dead 0-1 link.
+        fault(&mut d, &mut f, &far(1, 0, AccessKind::Write));
+        fault(&mut d, &mut f, &far(0, 0, AccessKind::Read));
+        assert_eq!(degraded.get(), 1, "one degradation notification");
+        // A host-sourced duplicate (no dead link on the path) is silent.
+        fault(&mut d, &mut f, &far(2, 1, AccessKind::Read));
+        assert_eq!(degraded.get(), 1);
     }
 
     #[test]

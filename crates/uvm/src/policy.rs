@@ -73,6 +73,13 @@ pub trait PolicyEngine {
     /// Called when an object is freed.
     fn on_free(&mut self, _obj: ObjectId) {}
 
+    /// Called when the driver observes that serving `va` by duplication
+    /// would cross a permanently dead interconnect link. Stateful engines
+    /// (OASIS) demote the page's object away from duplication so shared
+    /// traffic stops betting on the broken path; the uniform policies have
+    /// no per-object state to adjust and ignore the signal.
+    fn on_link_degraded(&mut self, _va: Va) {}
+
     /// Validates the policy's internal metadata (e.g. O-Table LRU
     /// well-formedness). Called by the sim-guard runtime checker; stateless
     /// policies have nothing to verify.

@@ -35,6 +35,10 @@ pub struct UvmStats {
     pub prefetches: u64,
     /// PTE/TLB invalidations sent to remote devices.
     pub invalidations: u64,
+    /// Frames retired after an ECC poison event (hardware-fault model).
+    pub ecc_quarantines: u64,
+    /// Replayed fault-service attempts while recovering a poisoned page.
+    pub fault_retries: u64,
 }
 
 impl UvmStats {
@@ -73,6 +77,8 @@ impl UvmStats {
             thrash_pins: self.thrash_pins.saturating_sub(earlier.thrash_pins),
             prefetches: self.prefetches.saturating_sub(earlier.prefetches),
             invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            ecc_quarantines: self.ecc_quarantines.saturating_sub(earlier.ecc_quarantines),
+            fault_retries: self.fault_retries.saturating_sub(earlier.fault_retries),
         }
     }
 }
@@ -92,6 +98,8 @@ impl Snapshot for UvmStats {
             self.thrash_pins,
             self.prefetches,
             self.invalidations,
+            self.ecc_quarantines,
+            self.fault_retries,
         ] {
             w.u64(v);
         }
@@ -113,6 +121,8 @@ impl Restore for UvmStats {
             &mut self.thrash_pins,
             &mut self.prefetches,
             &mut self.invalidations,
+            &mut self.ecc_quarantines,
+            &mut self.fault_retries,
         ] {
             *field = r.u64()?;
         }
@@ -139,6 +149,8 @@ mod tests {
             thrash_pins: 0,
             prefetches: 0,
             invalidations: 9,
+            ecc_quarantines: 2,
+            fault_retries: 1,
         };
         assert_eq!(s.total_faults(), 13);
         assert_eq!(s.total_page_moves(), 14);

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Throughput smoke gate. Runs the fixed benchmark matrix (C2D and MM under
-# on-touch and oasis, 4 MB footprints) best-of-N, writes BENCH_pr3.json at
+# on-touch and oasis, 4 MB footprints) best-of-N, writes BENCH_pr4.json at
 # the repo root, and fails if any cell's retired-steps/sec regressed more
 # than the tolerance against the previous committed result (or an explicit
 # --baseline). Fully offline.

@@ -9,8 +9,10 @@
 # formatting, lints (warnings are errors), a release build, the full test
 # suite (unit + property-style + integration, including the
 # fault-injection campaign and the sim-guard consistency sweeps), the
-# bench-smoke throughput gate, and two determinism audits (checkpoint
-# replay and byte-identical trace files).
+# bench-smoke throughput gate, two determinism audits (checkpoint
+# replay and byte-identical trace files), and — in strict mode — the
+# graceful-degradation matrix: every core policy must finish a run under
+# a fixed hardware-fault plan and report its recovery counters.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -65,6 +67,26 @@ trap 'rm -f "$T1" "$T2"' EXIT
     --trace-out "$T2" >/dev/null
 cmp "$T1" "$T2"
 echo "traces are byte-identical ($(wc -c <"$T1") bytes)"
+
+step "graceful degradation under a fixed fault plan (all four policies)"
+if [ "$STRICT" = "1" ]; then
+    PLAN="seed:7,down:0-1@2,flaky:2-3@1-6:1/8,ecc:0@3x2"
+    for POLICY in on-touch access-counter duplication oasis; do
+        OUT="$(./target/release/oasis-sim run --app C2D --footprint-mb 4 \
+            --policy "$POLICY" --fault-plan "$PLAN" --json)"
+        echo "$OUT" | grep -q '"link_faults": 1' || {
+            echo "degradation: $POLICY did not register the link fault" >&2
+            exit 1
+        }
+        echo "$OUT" | grep -q '"reroutes": 0,' && {
+            echo "degradation: $POLICY never took the PCIe fallback" >&2
+            exit 1
+        }
+        echo "  $POLICY survived the degraded run (plan: $PLAN)"
+    done
+else
+    echo "developer mode (CI_STRICT unset); skipping the degradation matrix"
+fi
 
 step "bench-smoke throughput gate (best of 3)"
 ./scripts/bench_smoke.sh

@@ -68,6 +68,26 @@ fn malformed_trace_faults_are_typed_not_panics() {
 }
 
 #[test]
+fn hardware_fault_kinds_recover_with_typed_outcomes() {
+    let outcomes = run_campaign(SEED);
+    for kind in [
+        Perturbation::LinkDown,
+        Perturbation::LinkFlaky,
+        Perturbation::EccPoison,
+    ] {
+        let o = outcomes
+            .iter()
+            .find(|o| o.kind == kind)
+            .unwrap_or_else(|| panic!("campaign schedules {}", kind.name()));
+        assert!(o.ok, "{}", o.line);
+        assert!(o.line.contains("guard=ok"), "{}", o.line);
+        // Hardware scenarios report their recovery counters for replay.
+        assert!(o.line.contains("reroutes="), "{}", o.line);
+        assert!(o.line.contains("quarantines="), "{}", o.line);
+    }
+}
+
+#[test]
 fn different_master_seeds_drive_different_scenarios() {
     let a = run_campaign(1);
     let b = run_campaign(2);

@@ -26,6 +26,9 @@ COMMANDS:
                   and latency-histogram breakdown
     bench-smoke   run the fixed benchmark matrix, write BENCH JSON, and
                   gate on throughput regressions vs the baseline
+    fuzz          property-based fuzzing: random scenarios through the
+                  differential policy oracle; failures are shrunk and
+                  saved as corpus repros
     help          show this text
 
 OPTIONS:
@@ -65,6 +68,13 @@ OPTIONS:
                             [default: the previous --bench-out file]
     --tolerance <PCT>       bench-smoke: allowed steps/sec regression
                             [default: 25]
+    --cases <N>             fuzz: scenarios to generate and check
+                            [default: 100]
+    --time-budget-secs <S>  fuzz: stop cleanly once S seconds have elapsed
+    --corpus-dir <DIR>      fuzz: where shrunk repros are written and
+                            --replay paths resolve [default: tests/corpus]
+    --replay <FILE>         fuzz: re-check one saved corpus repro instead
+                            of generating scenarios
 
 EXAMPLES:
     oasis-sim run --app MM --policy duplication
@@ -78,6 +88,8 @@ EXAMPLES:
     oasis-sim run --app C2D --policy oasis --trace-out trace.json
     oasis-sim stats --app MM --policy oasis --top 15
     oasis-sim bench-smoke --runs 3 --tolerance 25
+    oasis-sim fuzz --seed 7 --cases 500 --time-budget-secs 60
+    oasis-sim fuzz --replay tests/corpus/repro-0000000000000000-none.json
     oasis-sim run --app C2D --policy oasis \\
         --fault-plan seed:7,down:0-1@2,ecc:0@3x2
 ";
@@ -99,6 +111,8 @@ pub enum Command {
     Stats,
     /// Fixed benchmark matrix with a throughput-regression gate.
     BenchSmoke,
+    /// Property-based fuzzing with the differential policy oracle.
+    Fuzz,
     /// Usage text.
     Help,
 }
@@ -152,6 +166,15 @@ pub struct Cli {
     pub baseline: Option<String>,
     /// Allowed `bench-smoke` steps/sec regression, percent.
     pub tolerance: u64,
+    /// `fuzz`: scenarios to generate and check.
+    pub cases: u64,
+    /// `fuzz`: wall-clock budget in seconds, if bounded.
+    pub time_budget_secs: Option<u64>,
+    /// `fuzz`: directory for shrunk repros (written on failure, read by
+    /// relative `--replay` paths).
+    pub corpus_dir: Option<String>,
+    /// `fuzz`: replay this saved corpus repro instead of generating.
+    pub replay: Option<String>,
 }
 
 /// A parse failure with a human-readable message.
@@ -212,6 +235,7 @@ impl Cli {
             Some("verify-replay") => Command::VerifyReplay,
             Some("stats") => Command::Stats,
             Some("bench-smoke") => Command::BenchSmoke,
+            Some("fuzz") => Command::Fuzz,
             Some("help") | Some("--help") | Some("-h") | None => Command::Help,
             Some(other) => return Err(ParseError(format!("unknown command '{other}'"))),
         };
@@ -239,6 +263,10 @@ impl Cli {
             bench_out: None,
             baseline: None,
             tolerance: 25,
+            cases: 100,
+            time_budget_secs: None,
+            corpus_dir: None,
+            replay: None,
         };
         let mut policy_name: Option<String> = None;
         while let Some(flag) = args.next() {
@@ -351,6 +379,25 @@ impl Cli {
                         return Err(ParseError("--runs must be positive".into()));
                     }
                 }
+                "--cases" => {
+                    cli.cases = value("--cases")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--cases: {e}")))?;
+                    if cli.cases == 0 {
+                        return Err(ParseError("--cases must be positive".into()));
+                    }
+                }
+                "--time-budget-secs" => {
+                    let secs: u64 = value("--time-budget-secs")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--time-budget-secs: {e}")))?;
+                    if secs == 0 {
+                        return Err(ParseError("--time-budget-secs must be positive".into()));
+                    }
+                    cli.time_budget_secs = Some(secs);
+                }
+                "--corpus-dir" => cli.corpus_dir = Some(value("--corpus-dir")?),
+                "--replay" => cli.replay = Some(value("--replay")?),
                 "--bench-out" => cli.bench_out = Some(value("--bench-out")?),
                 "--baseline" => cli.baseline = Some(value("--baseline")?),
                 "--tolerance" => {
@@ -371,13 +418,9 @@ impl Cli {
         }
         // Validate here (flags arrive in any order) so a bad plan is a
         // parse error instead of a panic when the fabric is built.
-        if let Some(g) = cli.fault_plan.as_ref().and_then(FaultPlan::max_gpu) {
-            if usize::from(g) >= cli.gpus {
-                return Err(ParseError(format!(
-                    "--fault-plan names GPU {g} but --gpus is {}",
-                    cli.gpus
-                )));
-            }
+        if let Some(plan) = cli.fault_plan.as_ref() {
+            plan.validate_for(cli.gpus)
+                .map_err(|e| ParseError(format!("--fault-plan: {e}")))?;
         }
         Ok(cli)
     }
@@ -585,6 +628,42 @@ mod tests {
         assert!(stats.system_config().metrics);
 
         assert!(parse(&["run", "--trace-cap", "0"])
+            .unwrap_err()
+            .0
+            .contains("positive"));
+    }
+
+    #[test]
+    fn fuzz_flags_parse() {
+        let c = parse(&[
+            "fuzz",
+            "--seed",
+            "7",
+            "--cases",
+            "500",
+            "--time-budget-secs",
+            "60",
+            "--corpus-dir",
+            "corp",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(c.command, Command::Fuzz);
+        assert_eq!(c.seed, Some(7));
+        assert_eq!(c.cases, 500);
+        assert_eq!(c.time_budget_secs, Some(60));
+        assert_eq!(c.corpus_dir.as_deref(), Some("corp"));
+        assert!(c.json);
+
+        let c = parse(&["fuzz", "--replay", "tests/corpus/r.json"]).unwrap();
+        assert_eq!(c.replay.as_deref(), Some("tests/corpus/r.json"));
+        assert_eq!(c.cases, 100, "default case count");
+
+        assert!(parse(&["fuzz", "--cases", "0"])
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(parse(&["fuzz", "--time-budget-secs", "0"])
             .unwrap_err()
             .0
             .contains("positive"));

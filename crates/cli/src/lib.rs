@@ -99,6 +99,73 @@ fn verify_replay(cli: &Cli) -> Result<String, String> {
     Ok(out)
 }
 
+/// The `fuzz` command: either replay one saved corpus repro, or run a
+/// fuzzing session (generate → differential oracle → shrink → save).
+/// A violation is a failure: the message carries everything needed to
+/// reproduce it — the shrunk scenario's seed, its one-line summary, and
+/// the corpus file the repro was saved to.
+fn fuzz(cli: &Cli) -> Result<String, String> {
+    if let Some(path) = &cli.replay {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--replay {path}: {e}"))?;
+        let (scenario, _recorded) =
+            oasis_fuzz::from_json(&text).map_err(|e| format!("--replay {path}: {e}"))?;
+        return match oasis_fuzz::check(&scenario) {
+            None => Ok(format!(
+                "replay {path}: clean, every oracle passed\n  {}\n",
+                scenario.summary()
+            )),
+            Some(v) => Err(format!(
+                "replay {path}: {} violation\n  {}\n  repro: {}",
+                v.kind,
+                v.detail,
+                scenario.summary()
+            )),
+        };
+    }
+
+    let seed = cli.seed.unwrap_or(0);
+    let mut opts = oasis_fuzz::FuzzOptions::new(seed, cli.cases);
+    opts.time_budget = cli.time_budget_secs.map(std::time::Duration::from_secs);
+    opts.corpus_dir = Some(cli.corpus_dir.as_deref().unwrap_or("tests/corpus").into());
+    let report = oasis_fuzz::run_fuzz(&opts);
+
+    if let Some(f) = report.failure {
+        let corpus_note = f
+            .corpus_path
+            .as_ref()
+            .map_or("corpus write failed".to_string(), |p| {
+                format!("saved to {}", p.display())
+            });
+        return Err(format!(
+            "fuzz: {} violation at case {} (master seed {seed:#018x})\n  {}\n  \
+             original: {}\n  shrunk repro (seed {:#018x}, {} shrink evals): {}\n  {}\n  \
+             replay with: oasis-sim fuzz --replay <corpus file>",
+            f.violation.kind,
+            f.case_index,
+            f.violation.detail,
+            f.original.summary(),
+            f.shrunk.seed,
+            f.shrink_attempts,
+            f.shrunk.summary(),
+            corpus_note,
+        ));
+    }
+    let secs = report.elapsed.as_secs_f64();
+    Ok(if cli.json {
+        format!(
+            "{{\n  \"schema\": \"oasis-fuzz-report-v1\",\n  \"master_seed\": {seed},\n  \
+             \"cases_requested\": {},\n  \"cases_run\": {},\n  \"elapsed_secs\": {secs:.3},\n  \
+             \"violations\": 0\n}}\n",
+            cli.cases, report.cases_run
+        )
+    } else {
+        format!(
+            "fuzz: {} case(s) checked in {secs:.1}s (master seed {seed:#018x}), no violations\n",
+            report.cases_run
+        )
+    })
+}
+
 /// Executes a parsed invocation, returning the text to print or a
 /// human-readable failure (nonzero exit).
 ///
@@ -179,6 +246,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             render::stats_text(&report, cli.top)
         }
         Command::BenchSmoke => smoke::bench_smoke(cli)?,
+        Command::Fuzz => fuzz(cli)?,
         Command::Help => args::USAGE.to_string(),
     })
 }
@@ -355,6 +423,39 @@ mod tests {
         assert!(out.contains("--trace-out"));
         assert!(out.contains("bench-smoke"));
         assert!(out.contains("--fault-plan"));
+        assert!(out.contains("fuzz"));
+        assert!(out.contains("--time-budget-secs"));
+        assert!(out.contains("--replay"));
+    }
+
+    #[test]
+    fn fuzz_clean_session_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("oasis-cli-fuzz-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let dir_s = dir.to_str().expect("utf-8 temp dir");
+
+        // A tiny session on the healthy simulator is clean.
+        let out = run_ok(&["fuzz", "--cases", "2", "--corpus-dir", dir_s]);
+        assert!(out.contains("2 case(s) checked"), "{out}");
+        assert!(out.contains("no violations"), "{out}");
+
+        let json = run_ok(&["fuzz", "--cases", "1", "--corpus-dir", dir_s, "--json"]);
+        assert!(json.contains("\"oasis-fuzz-report-v1\""), "{json}");
+        assert!(json.contains("\"violations\": 0"), "{json}");
+
+        // Replay a corpus file written by hand: clean scenario passes.
+        let scenario = oasis_fuzz::Scenario::generate(0);
+        let path = oasis_fuzz::write_repro(&dir, &scenario, None).expect("write repro");
+        let path_s = path.to_str().expect("utf-8 path");
+        let out = run_ok(&["fuzz", "--replay", path_s]);
+        assert!(out.contains("clean"), "{out}");
+
+        // A missing or unparsable replay file is a descriptive error.
+        let err = run(&parse(&["fuzz", "--replay", "/nonexistent/r.json"]))
+            .expect_err("missing replay file fails");
+        assert!(err.contains("--replay"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

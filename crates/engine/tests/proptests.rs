@@ -4,6 +4,7 @@
 //! seeded cases; a failure message includes the case index so the exact
 //! input can be regenerated.
 
+use oasis_engine::codec::{CheckpointReader, CheckpointWriter, CodecError};
 use oasis_engine::{Channel, Duration, EventQueue, SimRng, Time};
 
 const CASES: u64 = 64;
@@ -64,6 +65,149 @@ fn channel_serializes() {
         }
         assert_eq!(c.busy_time(), expected_busy, "case {case}");
         assert_eq!(c.bytes_moved(), sizes.iter().sum::<u64>(), "case {case}");
+    }
+}
+
+/// One randomized checkpoint: section names, per-section payloads (raw
+/// bytes), and the byte offsets where each section starts. Offsets let the
+/// corruption test target section boundaries precisely.
+struct RandomCheckpoint {
+    names: Vec<String>,
+    payloads: Vec<Vec<u8>>,
+    boundaries: Vec<usize>,
+    image: Vec<u8>,
+}
+
+fn random_checkpoint(rng: &mut SimRng) -> RandomCheckpoint {
+    let sections = rng.gen_range(1..6) as usize;
+    let names: Vec<String> = (0..sections).map(|i| format!("sec{i}")).collect();
+    let payloads: Vec<Vec<u8>> = (0..sections)
+        .map(|_| {
+            let len = rng.gen_range(0..200) as usize;
+            (0..len).map(|_| rng.next_u64() as u8).collect()
+        })
+        .collect();
+    let mut w = CheckpointWriter::new();
+    // The writer is opaque, so track section start offsets from the wire
+    // format: 12 header bytes (magic + version), then per section a u16
+    // name length, the name, a u64 payload length, and the payload.
+    let mut offset = 12usize;
+    let mut boundaries = Vec::new();
+    for (name, payload) in names.iter().zip(&payloads) {
+        boundaries.push(offset);
+        w.section(name, |s| s.bytes(payload));
+        offset += 2 + name.len() + 8 + payload.len();
+    }
+    let image = w.finish();
+    assert_eq!(offset + 8, image.len(), "offset bookkeeping drifted");
+    RandomCheckpoint {
+        names,
+        payloads,
+        boundaries,
+        image,
+    }
+}
+
+/// Fully decodes `image`, returning each section's payload bytes.
+fn decode_all(image: &[u8], names: &[String]) -> Result<Vec<Vec<u8>>, CodecError> {
+    let mut r = CheckpointReader::new(image)?;
+    let mut out = Vec::new();
+    for name in names {
+        let mut section = r.section(name)?;
+        let mut bytes = Vec::with_capacity(section.remaining());
+        while !section.is_empty() {
+            bytes.push(section.u8()?);
+        }
+        out.push(bytes);
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Encode→decode identity: random section counts, names, and payloads
+/// round-trip exactly, and the checksum verifies.
+#[test]
+fn checkpoint_round_trips_random_section_payloads() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0xC0DE_C000 + case);
+        let ck = random_checkpoint(&mut rng);
+        let decoded = decode_all(&ck.image, &ck.names)
+            .unwrap_or_else(|e| panic!("case {case}: clean image failed to decode: {e}"));
+        assert_eq!(decoded, ck.payloads, "case {case}: payloads changed");
+    }
+}
+
+/// Randomized typed-value streams (u8/u16/u32/u64/f64/bool/str) written
+/// through a section round-trip value-for-value.
+#[test]
+fn checkpoint_round_trips_typed_value_streams() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x7F9E_D000 + case);
+        let n = rng.gen_range(1..50) as usize;
+        // (tag, value-bits) pairs; strings are derived from the bits.
+        let ops: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0..7), rng.next_u64()))
+            .collect();
+        let mut w = CheckpointWriter::new();
+        w.section("vals", |s| {
+            for &(tag, v) in &ops {
+                match tag {
+                    0 => s.u8(v as u8),
+                    1 => s.u16(v as u16),
+                    2 => s.u32(v as u32),
+                    3 => s.u64(v),
+                    4 => s.f64((v as u32) as f64 * 0.5),
+                    5 => s.bool(v & 1 == 1),
+                    _ => s.str(&format!("s{v:x}")),
+                }
+            }
+        });
+        let image = w.finish();
+        let mut r = CheckpointReader::new(&image).expect("header");
+        let mut section = r.section("vals").expect("section");
+        for (i, &(tag, v)) in ops.iter().enumerate() {
+            let ctx = format!("case {case} op {i}");
+            match tag {
+                0 => assert_eq!(section.u8().expect(&ctx), v as u8, "{ctx}"),
+                1 => assert_eq!(section.u16().expect(&ctx), v as u16, "{ctx}"),
+                2 => assert_eq!(section.u32().expect(&ctx), v as u32, "{ctx}"),
+                3 => assert_eq!(section.u64().expect(&ctx), v, "{ctx}"),
+                4 => assert_eq!(section.f64().expect(&ctx), (v as u32) as f64 * 0.5, "{ctx}"),
+                5 => assert_eq!(section.bool().expect(&ctx), v & 1 == 1, "{ctx}"),
+                _ => assert_eq!(section.str().expect(&ctx), format!("s{v:x}"), "{ctx}"),
+            }
+        }
+        assert!(section.is_empty(), "case {case}: trailing bytes");
+        r.finish().expect("checksum");
+    }
+}
+
+/// Corrupting any single byte — with every section boundary hit explicitly
+/// — yields a typed [`CodecError`], never a silently-wrong decode: the
+/// FNV-1a trailer backstops payload flips the structural checks miss.
+#[test]
+fn checkpoint_rejects_single_byte_corruption_at_every_boundary() {
+    for case in 0..8 {
+        let mut rng = SimRng::seed_from_u64(0xBADC_0DE0 + case);
+        let ck = random_checkpoint(&mut rng);
+        // Every byte position, so every section boundary (header edge,
+        // name-length field, name, payload-length field, payload start)
+        // is covered, plus the checksum trailer itself.
+        for pos in 0..ck.image.len() {
+            let mut bad = ck.image.clone();
+            bad[pos] ^= 0x41;
+            let res = decode_all(&bad, &ck.names);
+            assert!(
+                res.is_err(),
+                "case {case}: flip at byte {pos} (boundaries {:?}) decoded cleanly",
+                ck.boundaries
+            );
+        }
+        // Truncating mid-structure is equally typed.
+        for &cut in &ck.boundaries {
+            let res = decode_all(&ck.image[..cut], &ck.names);
+            assert!(res.is_err(), "case {case}: truncation at {cut} decoded");
+        }
     }
 }
 

@@ -1,0 +1,369 @@
+//! JSON repro corpus: serialization, parsing, and file management.
+//!
+//! Every shrunk repro is written as one flat JSON object under
+//! `tests/corpus/` so the regression suite replays it forever after. The
+//! format is deliberately minimal — scalar fields only, the fault plan as
+//! its spec-grammar string — and the workspace is dependency-free, so both
+//! the writer and the (tiny) parser are hand-rolled here.
+//!
+//! ```json
+//! {
+//!   "schema": "oasis-fuzz-scenario-v1",
+//!   "oracle": "abort",
+//!   "seed": 42,
+//!   "app": "MT",
+//!   "gpu_count": 2,
+//!   "footprint_mb": 2,
+//!   "workload_seed": 7,
+//!   "max_phases": 1,
+//!   "large_pages": false,
+//!   "striped": false,
+//!   "lanes_per_gpu": 4,
+//!   "counter_threshold": 256,
+//!   "capacity_pages": 64,
+//!   "fault_plan": "seed:0"
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use oasis_interconnect::FaultPlan;
+use oasis_workloads::{App, ALL_APPS};
+
+use crate::oracle::OracleKind;
+use crate::scenario::Scenario;
+
+/// Schema tag stamped into (and required from) every corpus file.
+pub const SCHEMA: &str = "oasis-fuzz-scenario-v1";
+
+/// Serializes a scenario (plus the oracle kind it violated, if any) into
+/// the corpus JSON format.
+pub fn to_json(scenario: &Scenario, oracle: Option<OracleKind>) -> String {
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"oracle\": \"{}\",\n  \"seed\": {},\n  \
+         \"app\": \"{}\",\n  \"gpu_count\": {},\n  \"footprint_mb\": {},\n  \
+         \"workload_seed\": {},\n  \"max_phases\": {},\n  \"large_pages\": {},\n  \
+         \"striped\": {},\n  \"lanes_per_gpu\": {},\n  \"counter_threshold\": {},\n  \
+         \"capacity_pages\": {},\n  \"fault_plan\": \"{}\"\n}}\n",
+        oracle.map_or("none", OracleKind::as_str),
+        scenario.seed,
+        scenario.app.abbr(),
+        scenario.gpu_count,
+        scenario.footprint_mb,
+        scenario.workload_seed,
+        scenario.max_phases,
+        scenario.large_pages,
+        scenario.striped,
+        scenario.lanes_per_gpu,
+        scenario.counter_threshold,
+        scenario
+            .capacity_pages
+            .map_or_else(|| "null".to_string(), |c| c.to_string()),
+        scenario.fault_plan.to_spec(),
+    )
+}
+
+/// Parses a corpus file produced by [`to_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the missing or malformed field. The parser
+/// accepts exactly the flat-object subset of JSON [`to_json`] emits
+/// (string, integer, boolean, and null values; no nesting).
+pub fn from_json(text: &str) -> Result<(Scenario, Option<OracleKind>), String> {
+    let fields = parse_flat_object(text)?;
+    let get = |key: &str| {
+        fields
+            .get(key)
+            .ok_or_else(|| format!("missing field '{key}'"))
+    };
+    let str_field = |key: &str| -> Result<String, String> {
+        match get(key)? {
+            JsonValue::Str(s) => Ok(s.clone()),
+            v => Err(format!("field '{key}' should be a string, got {v:?}")),
+        }
+    };
+    let u64_field = |key: &str| -> Result<u64, String> {
+        match get(key)? {
+            JsonValue::Num(n) => Ok(*n),
+            v => Err(format!("field '{key}' should be a number, got {v:?}")),
+        }
+    };
+    let bool_field = |key: &str| -> Result<bool, String> {
+        match get(key)? {
+            JsonValue::Bool(b) => Ok(*b),
+            v => Err(format!("field '{key}' should be a boolean, got {v:?}")),
+        }
+    };
+
+    let schema = str_field("schema")?;
+    if schema != SCHEMA {
+        return Err(format!(
+            "unsupported schema '{schema}' (expected '{SCHEMA}')"
+        ));
+    }
+    let oracle = match str_field("oracle")?.as_str() {
+        "none" => None,
+        s => Some(OracleKind::parse(s).ok_or_else(|| format!("unknown oracle kind '{s}'"))?),
+    };
+    let abbr = str_field("app")?;
+    let app = app_from_abbr(&abbr).ok_or_else(|| format!("unknown app '{abbr}'"))?;
+    let capacity_pages = match get("capacity_pages")? {
+        JsonValue::Null => None,
+        JsonValue::Num(n) => Some(*n),
+        v => {
+            return Err(format!(
+                "field 'capacity_pages' should be a number or null, got {v:?}"
+            ))
+        }
+    };
+    let plan_spec = str_field("fault_plan")?;
+    let fault_plan =
+        FaultPlan::parse(&plan_spec).map_err(|e| format!("field 'fault_plan': {e}"))?;
+    let gpu_count = u64_field("gpu_count")? as usize;
+    if gpu_count == 0 {
+        return Err("field 'gpu_count' must be positive".to_string());
+    }
+    fault_plan
+        .validate_for(gpu_count)
+        .map_err(|e| format!("field 'fault_plan': {e}"))?;
+    let scenario = Scenario {
+        seed: u64_field("seed")?,
+        app,
+        gpu_count,
+        footprint_mb: u64_field("footprint_mb")?.max(1),
+        workload_seed: u64_field("workload_seed")?,
+        max_phases: (u64_field("max_phases")? as usize).max(1),
+        large_pages: bool_field("large_pages")?,
+        striped: bool_field("striped")?,
+        lanes_per_gpu: (u64_field("lanes_per_gpu")? as usize).max(1),
+        counter_threshold: u64_field("counter_threshold")?.min(u64::from(u32::MAX)) as u32,
+        capacity_pages,
+        fault_plan,
+    };
+    Ok((scenario, oracle))
+}
+
+/// Maps a Table II abbreviation back to its [`App`].
+pub fn app_from_abbr(abbr: &str) -> Option<App> {
+    ALL_APPS.into_iter().find(|a| a.abbr() == abbr)
+}
+
+/// Writes the repro for a shrunk violation into `dir`, creating it if
+/// needed. The filename encodes the seed and oracle kind, so distinct
+/// failures never collide and replays are greppable in CI logs.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory or file cannot be
+/// written.
+pub fn write_repro(
+    dir: &Path,
+    scenario: &Scenario,
+    oracle: Option<OracleKind>,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let name = format!(
+        "repro-{:016x}-{}.json",
+        scenario.seed,
+        oracle.map_or("none", OracleKind::as_str)
+    );
+    let path = dir.join(name);
+    std::fs::write(&path, to_json(scenario, oracle))?;
+    Ok(path)
+}
+
+/// Loads every `*.json` corpus file in `dir`, sorted by filename for
+/// deterministic replay order. A missing directory is an empty corpus.
+///
+/// # Errors
+///
+/// Returns a message naming the unreadable or unparsable file.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Scenario, Option<OracleKind>)>, String> {
+    let mut paths = Vec::new();
+    match std::fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+                if path.extension().is_some_and(|e| e == "json") {
+                    paths.push(path);
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    }
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let (scenario, oracle) =
+            from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((path, scenario, oracle));
+    }
+    Ok(out)
+}
+
+/// The scalar values the corpus format uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JsonValue {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+    Null,
+}
+
+/// Parses one flat JSON object of scalar fields. Not a general JSON
+/// parser: nesting and arrays are rejected, which doubles as corpus-file
+/// validation.
+fn parse_flat_object(text: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut chars = text.chars().peekable();
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected '{' at start of corpus file".to_string());
+    }
+    let mut fields = BTreeMap::new();
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            other => return Err(format!("expected field name or '}}', got {other:?}")),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after field '{key}'"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() => {
+                let mut digits = String::new();
+                while chars.peek().is_some_and(char::is_ascii_digit) {
+                    digits.push(chars.next().expect("peeked"));
+                }
+                JsonValue::Num(
+                    digits
+                        .parse()
+                        .map_err(|_| format!("bad number '{digits}' in field '{key}'"))?,
+                )
+            }
+            Some('t' | 'f' | 'n') => {
+                let mut word = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    word.push(chars.next().expect("peeked"));
+                }
+                match word.as_str() {
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    "null" => JsonValue::Null,
+                    w => return Err(format!("bad literal '{w}' in field '{key}'")),
+                }
+            }
+            other => return Err(format!("unsupported value {other:?} in field '{key}'")),
+        };
+        if fields.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate field '{key}'"));
+        }
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some(',') => {
+                chars.next();
+            }
+            Some('}') => {}
+            other => return Err(format!("expected ',' or '}}' after field, got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing content after corpus object".to_string());
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".to_string());
+    }
+    let mut out = String::new();
+    for c in chars.by_ref() {
+        match c {
+            '"' => return Ok(out),
+            // The writer never emits escapes (fault-plan specs and app
+            // abbreviations are plain ASCII); reject rather than guess.
+            '\\' => return Err("escape sequences are not supported".to_string()),
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_round_trip_through_json() {
+        for seed in 0..100u64 {
+            let s = Scenario::generate(seed);
+            for oracle in [None, Some(OracleKind::Abort), Some(OracleKind::Panic)] {
+                let text = to_json(&s, oracle);
+                let (back, kind) = from_json(&text)
+                    .unwrap_or_else(|e| panic!("seed {seed}: round-trip failed: {e}\n{text}"));
+                assert_eq!(back, s, "seed {seed}");
+                assert_eq!(kind, oracle, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_corpus_files() {
+        for (bad, why) in [
+            ("", "empty"),
+            ("{", "unterminated"),
+            ("[]", "not an object"),
+            ("{\"schema\": \"wrong\"}", "schema mismatch"),
+            ("{\"a\": 1, \"a\": 2}", "duplicate key"),
+            ("{\"a\": {\"nested\": 1}}", "nesting"),
+            ("{\"a\": -1}", "negative number"),
+            ("{\"a\": \"x\\\"y\"}", "escape"),
+        ] {
+            assert!(from_json(bad).is_err(), "accepted {why}: {bad}");
+        }
+        // A valid object missing required fields is also rejected.
+        assert!(from_json(&format!("{{\"schema\": \"{SCHEMA}\"}}")).is_err());
+    }
+
+    #[test]
+    fn write_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("oasis-fuzz-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = Scenario::generate(1);
+        let b = Scenario::generate(2);
+        let pa = write_repro(&dir, &a, Some(OracleKind::Abort)).expect("write a");
+        let pb = write_repro(&dir, &b, None).expect("write b");
+        assert_ne!(pa, pb);
+        let loaded = load_dir(&dir).expect("load");
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded
+            .iter()
+            .any(|(_, s, k)| *s == a && *k == Some(OracleKind::Abort)));
+        assert!(loaded.iter().any(|(_, s, k)| *s == b && k.is_none()));
+        // Missing directory is an empty corpus, not an error.
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+        assert!(load_dir(&dir).expect("missing dir").is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based scenario fuzzer for the OASIS simulator.
+//!
+//! Every test elsewhere in the workspace exercises a hand-picked scenario;
+//! this crate explores the random space of (workload × platform × fault
+//! plan × policy) combinations automatically, exploiting the simulator's
+//! determinism end to end:
+//!
+//! 1. **Generate** ([`scenario`]): one `SimRng` seed expands into a full
+//!    scenario — app, GPU count, footprint, page size, placement, capacity
+//!    pressure, and a valid hardware-fault plan.
+//! 2. **Check** ([`oracle`]): the scenario runs under all four core
+//!    policies. Policies may change placement and timing, never semantics —
+//!    so final registered page sets and retired access counts must agree,
+//!    no run may panic or abort under `RecordAndContinue`, the invariant
+//!    guard must stay clean, and both replay and kill/resume must be
+//!    bit-identical.
+//! 3. **Shrink** ([`shrink`]): on a violation, delta-debugging reduces the
+//!    scenario (drop fault events, truncate kernels, fewer GPUs, less
+//!    memory) while the same oracle keeps firing.
+//! 4. **Remember** ([`corpus`]): the minimal repro is written as a JSON
+//!    file under `tests/corpus/`, which the regression suite replays
+//!    forever after.
+//!
+//! The CLI front end is `oasis-sim fuzz`; [`run_fuzz`] is the library
+//! entry point it wraps.
+
+pub mod corpus;
+pub mod oracle;
+pub mod scenario;
+pub mod shrink;
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use oasis_engine::SimRng;
+
+pub use corpus::{from_json, load_dir, to_json, write_repro};
+pub use oracle::{check, OracleKind, Violation};
+pub use scenario::{Scenario, FUZZ_APPS};
+pub use shrink::{shrink, ShrinkResult, DEFAULT_SHRINK_BUDGET};
+
+/// Knobs for one fuzzing session.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Master seed: case `i` fuzzes the scenario whose seed is the `i`-th
+    /// draw of this seed's RNG stream, so `(seed, i)` pins any case.
+    pub seed: u64,
+    /// Cases to attempt.
+    pub cases: u64,
+    /// Optional wall-clock bound; the loop stops cleanly at the first case
+    /// boundary past the budget.
+    pub time_budget: Option<Duration>,
+    /// Where to write shrunk repros (`None` disables corpus writing, e.g.
+    /// for exploratory runs in a read-only checkout).
+    pub corpus_dir: Option<PathBuf>,
+    /// Oracle evaluations the shrinker may spend per failure.
+    pub shrink_budget: usize,
+}
+
+impl FuzzOptions {
+    /// A session with the given seed and case count and default budgets.
+    pub fn new(seed: u64, cases: u64) -> Self {
+        FuzzOptions {
+            seed,
+            cases,
+            time_budget: None,
+            corpus_dir: None,
+            shrink_budget: DEFAULT_SHRINK_BUDGET,
+        }
+    }
+}
+
+/// Everything known about one failing case: the original scenario, the
+/// shrunk repro, and where it was saved.
+#[derive(Debug, Clone)]
+pub struct CaseFailure {
+    /// Which case of the session failed.
+    pub case_index: u64,
+    /// The scenario as generated.
+    pub original: Scenario,
+    /// The minimized scenario (still failing with the same oracle).
+    pub shrunk: Scenario,
+    /// The violation the shrunk scenario produces.
+    pub violation: Violation,
+    /// Corpus file holding the repro, when a corpus dir was configured
+    /// and writable.
+    pub corpus_path: Option<PathBuf>,
+    /// Oracle evaluations the shrinker spent.
+    pub shrink_attempts: usize,
+}
+
+/// Result of a fuzzing session: how far it got and the first failure, if
+/// any. The loop stops at the first violation — one shrunk, corpus-saved
+/// repro is worth more than a tally of unminimized failures.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Cases actually checked (may be short of the request when the time
+    /// budget expires or a failure stops the loop).
+    pub cases_run: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// The first failing case, shrunk and saved.
+    pub failure: Option<CaseFailure>,
+}
+
+/// Runs a fuzzing session: generate → check per case, then shrink + save
+/// on the first violation.
+pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
+    let started = Instant::now();
+    let mut master = SimRng::seed_from_u64(opts.seed);
+    let mut cases_run = 0u64;
+    for case_index in 0..opts.cases {
+        if opts
+            .time_budget
+            .is_some_and(|budget| started.elapsed() >= budget)
+        {
+            break;
+        }
+        let scenario_seed = master.next_u64();
+        let scenario = Scenario::generate(scenario_seed);
+        cases_run += 1;
+        if let Some(violation) = check(&scenario) {
+            let result = shrink(&scenario, &violation, opts.shrink_budget);
+            let corpus_path = opts.corpus_dir.as_ref().and_then(|dir| {
+                write_repro(dir, &result.scenario, Some(result.violation.kind)).ok()
+            });
+            return FuzzReport {
+                cases_run,
+                elapsed: started.elapsed(),
+                failure: Some(CaseFailure {
+                    case_index,
+                    original: scenario,
+                    shrunk: result.scenario,
+                    violation: result.violation,
+                    corpus_path,
+                    shrink_attempts: result.attempts,
+                }),
+            };
+        }
+    }
+    FuzzReport {
+        cases_run,
+        elapsed: started.elapsed(),
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_reproducible() {
+        // The i-th scenario of a session depends only on (seed, i).
+        let mut a = SimRng::seed_from_u64(99);
+        let mut b = SimRng::seed_from_u64(99);
+        for _ in 0..10 {
+            assert_eq!(
+                Scenario::generate(a.next_u64()),
+                Scenario::generate(b.next_u64())
+            );
+        }
+    }
+
+    #[test]
+    fn a_short_clean_session_reports_all_cases_run() {
+        let report = run_fuzz(&FuzzOptions::new(0xFA57, 2));
+        assert_eq!(report.cases_run, 2);
+        assert!(
+            report.failure.is_none(),
+            "unexpected failure: {:?}",
+            report.failure
+        );
+    }
+
+    #[test]
+    fn zero_time_budget_stops_before_any_case() {
+        let mut opts = FuzzOptions::new(1, 100);
+        opts.time_budget = Some(Duration::ZERO);
+        let report = run_fuzz(&opts);
+        assert_eq!(report.cases_run, 0);
+        assert!(report.failure.is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! Automatic delta-debugging repro minimization.
+//!
+//! Given a scenario that violates an oracle, [`shrink`] greedily applies
+//! reductions — drop fault events, truncate kernels, shrink the GPU count
+//! and footprint, simplify placement and page size — accepting a candidate
+//! only if the *same* oracle kind still fires, and repeats to a fixpoint.
+//! The result is the smallest scenario this move set can reach, which is
+//! what gets written to the regression corpus.
+
+use oasis_interconnect::FaultPlan;
+
+use crate::oracle::{check, Violation};
+use crate::scenario::Scenario;
+
+/// Upper bound on oracle evaluations during one shrink. Each candidate
+/// costs up to ~6 simulation runs; 128 attempts bounds shrinking at a few
+/// seconds in release builds while still reaching a fixpoint for every
+/// move set in practice (typical shrinks accept < 10 reductions).
+pub const DEFAULT_SHRINK_BUDGET: usize = 128;
+
+/// Outcome of a shrink: the minimal scenario, the violation it (still)
+/// produces, and how much work finding it took.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized scenario.
+    pub scenario: Scenario,
+    /// The violation the minimized scenario produces (same kind as the
+    /// original's).
+    pub violation: Violation,
+    /// Oracle evaluations spent.
+    pub attempts: usize,
+    /// Reductions accepted.
+    pub accepted: usize,
+}
+
+/// Minimizes `scenario`, which must currently fail with `kind`.
+///
+/// Greedy fixpoint loop: propose candidates from most to least aggressive,
+/// re-check each, keep the first that still fails with `kind`, restart.
+/// Stops when a full round yields no acceptable reduction or `budget`
+/// oracle evaluations have been spent.
+pub fn shrink(scenario: &Scenario, violation: &Violation, budget: usize) -> ShrinkResult {
+    let kind = violation.kind;
+    let mut current = scenario.clone();
+    let mut current_violation = violation.clone();
+    let mut attempts = 0usize;
+    let mut accepted = 0usize;
+    'fixpoint: loop {
+        for candidate in candidates(&current) {
+            if attempts >= budget {
+                break 'fixpoint;
+            }
+            attempts += 1;
+            if let Some(v) = check(&candidate) {
+                if v.kind == kind {
+                    current = candidate;
+                    current_violation = v;
+                    accepted += 1;
+                    continue 'fixpoint;
+                }
+            }
+        }
+        break; // full round, nothing accepted: fixpoint.
+    }
+    ShrinkResult {
+        scenario: current,
+        violation: current_violation,
+        attempts,
+        accepted,
+    }
+}
+
+/// Reduction candidates for one round, most aggressive first. Every
+/// candidate is strictly "smaller" than `s` in some dimension, so the
+/// greedy loop terminates.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut push = |mutated: Scenario| {
+        if mutated != *s && !out.contains(&mutated) {
+            out.push(mutated);
+        }
+    };
+
+    // Drop the whole fault plan, then individual events.
+    if !s.fault_plan.is_empty() {
+        let mut c = s.clone();
+        c.fault_plan = FaultPlan {
+            seed: s.fault_plan.seed,
+            ..FaultPlan::default()
+        };
+        push(c);
+        for i in 0..s.fault_plan.link_down.len() {
+            let mut c = s.clone();
+            c.fault_plan.link_down.remove(i);
+            push(c);
+        }
+        for i in 0..s.fault_plan.flaky.len() {
+            let mut c = s.clone();
+            c.fault_plan.flaky.remove(i);
+            push(c);
+        }
+        for i in 0..s.fault_plan.ecc.len() {
+            let mut c = s.clone();
+            c.fault_plan.ecc.remove(i);
+            push(c);
+        }
+    }
+
+    // Fewer kernels: straight to one, then one less.
+    if s.max_phases > 1 {
+        let mut c = s.clone();
+        c.max_phases = 1;
+        push(c);
+        let mut c = s.clone();
+        c.max_phases = s.max_phases - 1;
+        push(c);
+    }
+
+    // Fewer GPUs: straight to one, to two, then one less. Fault events
+    // naming dropped GPUs are removed so the candidate stays valid.
+    for target in [1usize, 2, s.gpu_count.saturating_sub(1)] {
+        if target >= 1 && target < s.gpu_count {
+            let mut c = s.clone();
+            c.gpu_count = target;
+            restrict_plan(&mut c.fault_plan, target);
+            push(c);
+        }
+    }
+
+    // Smaller memory: minimum footprint, then halved.
+    if s.footprint_mb > 2 {
+        let mut c = s.clone();
+        c.footprint_mb = 2;
+        push(c);
+        let mut c = s.clone();
+        c.footprint_mb = (s.footprint_mb / 2).max(2);
+        push(c);
+    }
+
+    // Simpler platform knobs, one at a time.
+    if s.capacity_pages.is_some() {
+        let mut c = s.clone();
+        c.capacity_pages = None;
+        push(c);
+    }
+    if s.striped {
+        let mut c = s.clone();
+        c.striped = false;
+        push(c);
+    }
+    if s.large_pages {
+        let mut c = s.clone();
+        c.large_pages = false;
+        push(c);
+    }
+    if s.lanes_per_gpu > 1 {
+        let mut c = s.clone();
+        c.lanes_per_gpu = 1;
+        push(c);
+    }
+    if s.counter_threshold != 256 {
+        let mut c = s.clone();
+        c.counter_threshold = 256;
+        push(c);
+    }
+    out
+}
+
+/// Drops fault events that name GPUs outside a shrunk `gpu_count`.
+fn restrict_plan(plan: &mut FaultPlan, gpu_count: usize) {
+    let fits = |g: u8| (g as usize) < gpu_count;
+    plan.link_down.retain(|l| fits(l.a) && fits(l.b));
+    plan.flaky.retain(|w| fits(w.a) && fits(w.b));
+    plan.ecc.retain(|e| fits(e.gpu));
+    debug_assert!(plan.validate_for(gpu_count).is_ok());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_are_strictly_smaller_and_valid() {
+        for seed in 0..50u64 {
+            let s = Scenario::generate(seed);
+            for c in candidates(&s) {
+                assert_ne!(c, s, "candidate equals its parent");
+                assert!(c.gpu_count >= 1);
+                assert!(c.max_phases >= 1);
+                assert!(c.footprint_mb >= 2);
+                assert!(
+                    c.fault_plan.validate_for(c.gpu_count).is_ok(),
+                    "invalid candidate plan for {}",
+                    c.summary()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_plan_drops_only_out_of_range_events() {
+        let mut plan =
+            FaultPlan::parse("seed:1,down:0-3@1,down:0-1@0,flaky:1-2@0-2:1/4,ecc:3@1x1,ecc:0@0x1")
+                .expect("parse");
+        restrict_plan(&mut plan, 2);
+        assert_eq!(plan.link_down.len(), 1);
+        assert!(plan.flaky.is_empty());
+        assert_eq!(plan.ecc.len(), 1);
+        assert_eq!(plan.ecc[0].gpu, 0);
+    }
+}

@@ -14,9 +14,123 @@
 //! bit-identically even across a kill/resume.
 
 use std::collections::BTreeSet;
+use std::fmt;
 
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::SimRng;
+
+/// A typed fault-plan spec failure, naming the offending clause or token.
+///
+/// Produced by [`FaultPlan::parse`] (lexical/structural problems, clause
+/// semantics, overlapping flaky windows) and [`FaultPlan::validate_for`]
+/// (GPU indices outside the system being built).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// A clause is missing a required separator or field.
+    MissingSeparator {
+        /// The clause as written.
+        clause: String,
+        /// What the clause needed (e.g. `"'@<epoch>'"`).
+        missing: &'static str,
+    },
+    /// A numeric token failed to parse.
+    BadNumber {
+        /// The clause as written.
+        clause: String,
+        /// The offending token.
+        token: String,
+        /// What the token was supposed to be.
+        what: &'static str,
+    },
+    /// A link clause names the same GPU for both endpoints.
+    SameEndpoints {
+        /// The clause as written.
+        clause: String,
+    },
+    /// A flaky clause has a zero glitch-probability denominator.
+    ZeroDenominator {
+        /// The clause as written.
+        clause: String,
+    },
+    /// A flaky clause's window covers no epochs (`to <= from`).
+    EmptyWindow {
+        /// The clause as written.
+        clause: String,
+    },
+    /// An ecc clause poisons zero frames.
+    ZeroFrames {
+        /// The clause as written.
+        clause: String,
+    },
+    /// The clause kind before the first `:` is not recognized.
+    UnknownKind {
+        /// The clause as written.
+        clause: String,
+        /// The unrecognized kind token.
+        kind: String,
+    },
+    /// Two flaky windows on the same link pair overlap in time, making
+    /// the glitch probability of the shared epochs ambiguous.
+    OverlappingWindows {
+        /// The earlier clause, re-rendered in spec grammar.
+        first: String,
+        /// The overlapping clause, re-rendered in spec grammar.
+        second: String,
+    },
+    /// The plan names a GPU the system being validated does not have.
+    GpuOutOfRange {
+        /// The offending clause, re-rendered in spec grammar.
+        clause: String,
+        /// The out-of-range GPU index.
+        gpu: u8,
+        /// GPUs actually present.
+        gpu_count: usize,
+    },
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::MissingSeparator { clause, missing } => {
+                write!(f, "clause '{clause}' needs {missing}")
+            }
+            FaultSpecError::BadNumber {
+                clause,
+                token,
+                what,
+            } => write!(f, "bad {what} '{token}' in clause '{clause}'"),
+            FaultSpecError::SameEndpoints { clause } => {
+                write!(f, "link endpoints must differ in clause '{clause}'")
+            }
+            FaultSpecError::ZeroDenominator { clause } => {
+                write!(f, "flaky denominator must be positive in clause '{clause}'")
+            }
+            FaultSpecError::EmptyWindow { clause } => {
+                write!(f, "flaky window is empty in clause '{clause}'")
+            }
+            FaultSpecError::ZeroFrames { clause } => {
+                write!(f, "ecc frame count must be positive in clause '{clause}'")
+            }
+            FaultSpecError::UnknownKind { clause, kind } => {
+                write!(f, "unknown fault clause kind '{kind}' in clause '{clause}'")
+            }
+            FaultSpecError::OverlappingWindows { first, second } => write!(
+                f,
+                "flaky windows '{first}' and '{second}' overlap on the same link pair"
+            ),
+            FaultSpecError::GpuOutOfRange {
+                clause,
+                gpu,
+                gpu_count,
+            } => write!(
+                f,
+                "clause '{clause}' names GPU {gpu} but only {gpu_count} GPUs exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
 
 /// Maximum CRC retransmissions per transfer through a flaky window. The
 /// link-level retry is bounded and always eventually succeeds (real NVLink
@@ -105,92 +219,183 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message naming the first malformed clause.
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
-        fn pair(s: &str) -> Result<(u8, u8), String> {
-            let (a, b) = s
-                .split_once('-')
-                .ok_or_else(|| format!("expected '<a>-<b>', got '{s}'"))?;
-            let a: u8 = a.parse().map_err(|_| format!("bad GPU index '{a}'"))?;
-            let b: u8 = b.parse().map_err(|_| format!("bad GPU index '{b}'"))?;
+    /// Returns a typed [`FaultSpecError`] naming the first malformed
+    /// clause or token, including overlapping flaky windows on the same
+    /// link pair (the glitch probability of the shared epochs would be
+    /// ambiguous).
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        fn pair(clause: &str, s: &str) -> Result<(u8, u8), FaultSpecError> {
+            let (a, b) = s.split_once('-').ok_or(FaultSpecError::MissingSeparator {
+                clause: clause.to_string(),
+                missing: "'<a>-<b>' endpoints",
+            })?;
+            let a: u8 = num(clause, a, "GPU index")?;
+            let b: u8 = num(clause, b, "GPU index")?;
             if a == b {
-                return Err(format!("link endpoints must differ, got '{s}'"));
+                return Err(FaultSpecError::SameEndpoints {
+                    clause: clause.to_string(),
+                });
             }
             Ok((a, b))
         }
-        fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
-            s.parse().map_err(|_| format!("bad {what} '{s}'"))
+        fn num<T: std::str::FromStr>(
+            clause: &str,
+            s: &str,
+            what: &'static str,
+        ) -> Result<T, FaultSpecError> {
+            s.parse().map_err(|_| FaultSpecError::BadNumber {
+                clause: clause.to_string(),
+                token: s.to_string(),
+                what,
+            })
+        }
+        fn sep(clause: &str, missing: &'static str) -> FaultSpecError {
+            FaultSpecError::MissingSeparator {
+                clause: clause.to_string(),
+                missing,
+            }
         }
 
         let mut plan = FaultPlan::default();
         for clause in spec.split(',').filter(|c| !c.is_empty()) {
             let (kind, body) = clause
                 .split_once(':')
-                .ok_or_else(|| format!("clause '{clause}' has no ':'"))?;
+                .ok_or_else(|| sep(clause, "a ':' after the clause kind"))?;
             match kind {
-                "seed" => plan.seed = num(body, "seed")?,
+                "seed" => plan.seed = num(clause, body, "seed")?,
                 "down" => {
                     let (ends, epoch) = body
                         .split_once('@')
-                        .ok_or_else(|| format!("down clause '{body}' needs '@<epoch>'"))?;
-                    let (a, b) = pair(ends)?;
+                        .ok_or_else(|| sep(clause, "'@<epoch>'"))?;
+                    let (a, b) = pair(clause, ends)?;
                     plan.link_down.push(LinkDown {
                         a,
                         b,
-                        epoch: num(epoch, "epoch")?,
+                        epoch: num(clause, epoch, "epoch")?,
                     });
                 }
                 "flaky" => {
                     let (ends, rest) = body
                         .split_once('@')
-                        .ok_or_else(|| format!("flaky clause '{body}' needs '@<from>-<to>'"))?;
-                    let (a, b) = pair(ends)?;
+                        .ok_or_else(|| sep(clause, "'@<from>-<to>'"))?;
+                    let (a, b) = pair(clause, ends)?;
                     let (window, prob) = rest
                         .split_once(':')
-                        .ok_or_else(|| format!("flaky clause '{body}' needs ':<num>/<den>'"))?;
+                        .ok_or_else(|| sep(clause, "':<num>/<den>'"))?;
                     let (from, to) = window
                         .split_once('-')
-                        .ok_or_else(|| format!("flaky window '{window}' needs '<from>-<to>'"))?;
+                        .ok_or_else(|| sep(clause, "'<from>-<to>' window bounds"))?;
                     let (n, d) = prob
                         .split_once('/')
-                        .ok_or_else(|| format!("flaky probability '{prob}' needs '<num>/<den>'"))?;
+                        .ok_or_else(|| sep(clause, "'<num>/<den>' probability"))?;
                     let w = FlakyWindow {
                         a,
                         b,
-                        from_epoch: num(from, "epoch")?,
-                        to_epoch: num(to, "epoch")?,
-                        num: num(n, "probability numerator")?,
-                        den: num(d, "probability denominator")?,
+                        from_epoch: num(clause, from, "epoch")?,
+                        to_epoch: num(clause, to, "epoch")?,
+                        num: num(clause, n, "probability numerator")?,
+                        den: num(clause, d, "probability denominator")?,
                     };
                     if w.den == 0 {
-                        return Err(format!("flaky denominator must be positive in '{clause}'"));
+                        return Err(FaultSpecError::ZeroDenominator {
+                            clause: clause.to_string(),
+                        });
                     }
                     if w.to_epoch <= w.from_epoch {
-                        return Err(format!("flaky window is empty in '{clause}'"));
+                        return Err(FaultSpecError::EmptyWindow {
+                            clause: clause.to_string(),
+                        });
+                    }
+                    if let Some(prev) = plan.flaky.iter().find(|p| {
+                        norm(p.a, p.b) == norm(w.a, w.b)
+                            && p.from_epoch.max(w.from_epoch) < p.to_epoch.min(w.to_epoch)
+                    }) {
+                        return Err(FaultSpecError::OverlappingWindows {
+                            first: flaky_clause(prev),
+                            second: clause.to_string(),
+                        });
                     }
                     plan.flaky.push(w);
                 }
                 "ecc" => {
                     let (gpu, rest) = body
                         .split_once('@')
-                        .ok_or_else(|| format!("ecc clause '{body}' needs '@<epoch>x<count>'"))?;
+                        .ok_or_else(|| sep(clause, "'@<epoch>x<count>'"))?;
                     let (epoch, count) = rest
                         .split_once('x')
-                        .ok_or_else(|| format!("ecc clause '{body}' needs '<epoch>x<count>'"))?;
+                        .ok_or_else(|| sep(clause, "'<epoch>x<count>'"))?;
                     let e = EccEvent {
-                        gpu: num(gpu, "GPU index")?,
-                        epoch: num(epoch, "epoch")?,
-                        frames: num(count, "frame count")?,
+                        gpu: num(clause, gpu, "GPU index")?,
+                        epoch: num(clause, epoch, "epoch")?,
+                        frames: num(clause, count, "frame count")?,
                     };
                     if e.frames == 0 {
-                        return Err(format!("ecc frame count must be positive in '{clause}'"));
+                        return Err(FaultSpecError::ZeroFrames {
+                            clause: clause.to_string(),
+                        });
                     }
                     plan.ecc.push(e);
                 }
-                other => return Err(format!("unknown fault clause kind '{other}'")),
+                other => {
+                    return Err(FaultSpecError::UnknownKind {
+                        clause: clause.to_string(),
+                        kind: other.to_string(),
+                    })
+                }
             }
         }
         Ok(plan)
+    }
+
+    /// Checks that every GPU index the plan names fits a system of
+    /// `gpu_count` GPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError::GpuOutOfRange`] naming the first
+    /// offending clause (in spec grammar) and its out-of-range index.
+    pub fn validate_for(&self, gpu_count: usize) -> Result<(), FaultSpecError> {
+        let bad = |clause: String, gpu: u8| FaultSpecError::GpuOutOfRange {
+            clause,
+            gpu,
+            gpu_count,
+        };
+        for l in &self.link_down {
+            if let Some(&g) = [l.a, l.b].iter().find(|&&g| g as usize >= gpu_count) {
+                return Err(bad(down_clause(l), g));
+            }
+        }
+        for w in &self.flaky {
+            if let Some(&g) = [w.a, w.b].iter().find(|&&g| g as usize >= gpu_count) {
+                return Err(bad(flaky_clause(w), g));
+            }
+        }
+        for e in &self.ecc {
+            if e.gpu as usize >= gpu_count {
+                return Err(bad(ecc_clause(e), e.gpu));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the plan back into the spec grammar accepted by
+    /// [`FaultPlan::parse`], `seed` clause first. Round-trips:
+    /// `parse(&p.to_spec()) == Ok(p)` for any plan `parse` accepts.
+    pub fn to_spec(&self) -> String {
+        let mut out = format!("seed:{}", self.seed);
+        for l in &self.link_down {
+            out.push(',');
+            out.push_str(&down_clause(l));
+        }
+        for w in &self.flaky {
+            out.push(',');
+            out.push_str(&flaky_clause(w));
+        }
+        for e in &self.ecc {
+            out.push(',');
+            out.push_str(&ecc_clause(e));
+        }
+        out
     }
 
     /// Serializes the plan into a config section.
@@ -291,6 +496,21 @@ pub struct FaultState {
 
 fn norm(a: u8, b: u8) -> (u8, u8) {
     (a.min(b), a.max(b))
+}
+
+fn down_clause(l: &LinkDown) -> String {
+    format!("down:{}-{}@{}", l.a, l.b, l.epoch)
+}
+
+fn flaky_clause(w: &FlakyWindow) -> String {
+    format!(
+        "flaky:{}-{}@{}-{}:{}/{}",
+        w.a, w.b, w.from_epoch, w.to_epoch, w.num, w.den
+    )
+}
+
+fn ecc_clause(e: &EccEvent) -> String {
+    format!("ecc:{}@{}x{}", e.gpu, e.epoch, e.frames)
 }
 
 impl FaultState {
@@ -452,6 +672,157 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted '{bad}'");
         }
+    }
+
+    #[test]
+    fn parse_reports_unknown_kind() {
+        assert_eq!(
+            FaultPlan::parse("frob:1"),
+            Err(FaultSpecError::UnknownKind {
+                clause: "frob:1".into(),
+                kind: "frob".into()
+            })
+        );
+    }
+
+    #[test]
+    fn parse_reports_missing_separators() {
+        match FaultPlan::parse("seedless") {
+            Err(FaultSpecError::MissingSeparator { clause, .. }) => assert_eq!(clause, "seedless"),
+            other => panic!("expected MissingSeparator, got {other:?}"),
+        }
+        match FaultPlan::parse("down:0-1") {
+            Err(FaultSpecError::MissingSeparator { clause, missing }) => {
+                assert_eq!(clause, "down:0-1");
+                assert!(missing.contains("@<epoch>"), "unhelpful hint: {missing}");
+            }
+            other => panic!("expected MissingSeparator, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_reports_bad_numbers_with_the_offending_token() {
+        match FaultPlan::parse("down:0-zap@1") {
+            Err(FaultSpecError::BadNumber { token, what, .. }) => {
+                assert_eq!(token, "zap");
+                assert_eq!(what, "GPU index");
+            }
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+        // u8 range enforcement: 300 is not a valid GPU index token.
+        match FaultPlan::parse("ecc:300@1x1") {
+            Err(FaultSpecError::BadNumber { token, what, .. }) => {
+                assert_eq!(token, "300");
+                assert_eq!(what, "GPU index");
+            }
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_reports_same_endpoints() {
+        assert_eq!(
+            FaultPlan::parse("down:2-2@1"),
+            Err(FaultSpecError::SameEndpoints {
+                clause: "down:2-2@1".into()
+            })
+        );
+    }
+
+    #[test]
+    fn parse_reports_degenerate_flaky_and_ecc_clauses() {
+        assert_eq!(
+            FaultPlan::parse("flaky:0-1@1-3:1/0"),
+            Err(FaultSpecError::ZeroDenominator {
+                clause: "flaky:0-1@1-3:1/0".into()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("flaky:0-1@3-3:1/8"),
+            Err(FaultSpecError::EmptyWindow {
+                clause: "flaky:0-1@3-3:1/8".into()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("ecc:0@1x0"),
+            Err(FaultSpecError::ZeroFrames {
+                clause: "ecc:0@1x0".into()
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_overlapping_flaky_windows() {
+        // Same pair (order-insensitive), windows [1,5) and [4,8) share epoch 4.
+        match FaultPlan::parse("flaky:0-1@1-5:1/8,flaky:1-0@4-8:1/4") {
+            Err(FaultSpecError::OverlappingWindows { first, second }) => {
+                assert_eq!(first, "flaky:0-1@1-5:1/8");
+                assert_eq!(second, "flaky:1-0@4-8:1/4");
+            }
+            other => panic!("expected OverlappingWindows, got {other:?}"),
+        }
+        // Adjacent windows ([1,5) then [5,8)) do not overlap.
+        assert!(FaultPlan::parse("flaky:0-1@1-5:1/8,flaky:0-1@5-8:1/4").is_ok());
+        // Same epochs on a different pair is fine.
+        assert!(FaultPlan::parse("flaky:0-1@1-5:1/8,flaky:2-3@1-5:1/4").is_ok());
+    }
+
+    #[test]
+    fn validate_for_rejects_out_of_range_gpu_ids() {
+        let p = FaultPlan::parse("seed:1,down:0-3@1,ecc:2@1x1").expect("parse");
+        assert!(p.validate_for(4).is_ok());
+        match p.validate_for(3) {
+            Err(FaultSpecError::GpuOutOfRange {
+                clause,
+                gpu,
+                gpu_count,
+            }) => {
+                assert_eq!(clause, "down:0-3@1");
+                assert_eq!(gpu, 3);
+                assert_eq!(gpu_count, 3);
+                // The rendered message names the GPU for CLI surfacing.
+                let msg = FaultSpecError::GpuOutOfRange {
+                    clause,
+                    gpu,
+                    gpu_count,
+                }
+                .to_string();
+                assert!(msg.contains("GPU 3"), "message lacks GPU id: {msg}");
+            }
+            other => panic!("expected GpuOutOfRange, got {other:?}"),
+        }
+        match p.validate_for(2) {
+            Err(FaultSpecError::GpuOutOfRange { clause, gpu, .. }) => {
+                assert_eq!(clause, "down:0-3@1");
+                assert_eq!(gpu, 3);
+            }
+            other => panic!("expected GpuOutOfRange, got {other:?}"),
+        }
+        let ecc_only = FaultPlan::parse("ecc:2@1x1").expect("parse");
+        match ecc_only.validate_for(2) {
+            Err(FaultSpecError::GpuOutOfRange { clause, gpu, .. }) => {
+                assert_eq!(clause, "ecc:2@1x1");
+                assert_eq!(gpu, 2);
+            }
+            other => panic!("expected GpuOutOfRange, got {other:?}"),
+        }
+        // The empty plan fits any system, even a 0-GPU one.
+        assert!(FaultPlan::default().validate_for(0).is_ok());
+    }
+
+    #[test]
+    fn to_spec_round_trips_through_parse() {
+        for spec in [
+            "seed:0",
+            "seed:7,down:0-1@2,flaky:2-3@1-5:1/8,ecc:0@3x2",
+            "seed:9,down:0-1@0,down:1-2@3,flaky:0-1@1-5:1/8,flaky:0-1@5-9:3/4,ecc:1@2x1",
+        ] {
+            let p = FaultPlan::parse(spec).expect("parse");
+            let rendered = p.to_spec();
+            let q = FaultPlan::parse(&rendered).expect("re-parse rendered spec");
+            assert_eq!(p, q, "round-trip changed the plan for '{spec}'");
+        }
+        assert_eq!(FaultPlan::default().to_spec(), "seed:0");
     }
 
     #[test]

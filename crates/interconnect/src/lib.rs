@@ -21,7 +21,8 @@ use oasis_engine::{Channel, Duration, Time, Transfer};
 use oasis_mem::types::DeviceId;
 
 pub use fault::{
-    EccEvent, FaultCounters, FaultPlan, FaultState, FlakyWindow, LinkDown, MAX_CRC_RETRIES,
+    EccEvent, FaultCounters, FaultPlan, FaultSpecError, FaultState, FlakyWindow, LinkDown,
+    MAX_CRC_RETRIES,
 };
 
 /// Interconnect configuration.

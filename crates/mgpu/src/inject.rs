@@ -344,11 +344,20 @@ fn run_one(kind: Perturbation, seed: u64) -> InjectionOutcome {
 /// (including their formatted lines) are a deterministic function of the
 /// seed: run it twice, diff nothing.
 pub fn run_campaign(master_seed: u64) -> Vec<InjectionOutcome> {
+    // Draw per-kind seeds from an RNG stream and reject repeats, so every
+    // kind is guaranteed a distinct seed for any master seed. The old
+    // XOR-with-multiple derivation could collide two kinds onto one seed,
+    // letting the "all kinds exercised, all seeds distinct" assertion in
+    // tests/fault_injection.rs dedup away a kind and pass vacuously.
+    let mut rng = SimRng::seed_from_u64(master_seed);
+    let mut used = std::collections::BTreeSet::new();
     Perturbation::ALL
         .iter()
-        .enumerate()
-        .map(|(i, &kind)| {
-            let seed = master_seed ^ 0xD6E8_FEB8_6659_FD93u64.wrapping_mul(i as u64 + 1);
+        .map(|&kind| {
+            let mut seed = rng.next_u64();
+            while !used.insert(seed) {
+                seed = rng.next_u64();
+            }
             run_one(kind, seed)
         })
         .collect()
@@ -365,6 +374,27 @@ mod tests {
         for (o, kind) in outcomes.iter().zip(Perturbation::ALL) {
             assert_eq!(o.kind, kind);
             assert!(o.line.starts_with(kind.name()), "{}", o.line);
+        }
+    }
+
+    #[test]
+    fn campaign_seeds_are_distinct_and_deterministic() {
+        for master in [0u64, 7, 42, u64::MAX] {
+            let outcomes = run_campaign(master);
+            let seeds: std::collections::BTreeSet<u64> = outcomes.iter().map(|o| o.seed).collect();
+            assert_eq!(
+                seeds.len(),
+                Perturbation::ALL.len(),
+                "seed collision at master={master}"
+            );
+            let again = run_campaign(master);
+            assert!(
+                outcomes
+                    .iter()
+                    .zip(&again)
+                    .all(|(a, b)| a.seed == b.seed && a.line == b.line),
+                "campaign not deterministic at master={master}"
+            );
         }
     }
 

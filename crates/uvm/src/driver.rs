@@ -36,6 +36,28 @@ const GROUP_BYTES: u64 = 64 * 1024;
 /// [`SimError::HardwareExhausted`].
 pub const ECC_RETRY_BUDGET: u32 = 4;
 
+/// Process-wide switches that deliberately break driver mechanics, used by
+/// the fuzzer's meta-tests to prove the oracle and invariant checker catch
+/// real bugs. All flags default to off; production paths read them through
+/// an atomic load and behave identically while unset.
+pub mod test_flags {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SKIP_EVICT_INVALIDATION: AtomicBool = AtomicBool::new(false);
+
+    /// When set, `do_evict` leaves the evicting GPU's own PTE stale when it
+    /// writes an owned page back to the host — the class of bug the
+    /// `local-pte-agrees` guard invariant exists to catch.
+    pub fn set_skip_evict_invalidation(on: bool) {
+        SKIP_EVICT_INVALIDATION.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the planted eviction bug is currently enabled.
+    pub fn skip_evict_invalidation() -> bool {
+        SKIP_EVICT_INVALIDATION.load(Ordering::Relaxed)
+    }
+}
+
 /// Maps a simulated device to a trace endpoint.
 fn endpoint(dev: DeviceId) -> Endpoint {
     match dev {
@@ -1212,8 +1234,10 @@ impl UvmDriver {
                 inv += 1;
             }
         }
-        self.invalidate_at(now, gpu, victim, false, out);
-        inv += 1;
+        if !test_flags::skip_evict_invalidation() {
+            self.invalidate_at(now, gpu, victim, false, out);
+            inv += 1;
+        }
         self.charge_invalidation(inv, out);
         // The write-back to host is asynchronous (the driver evicts in the
         // background): it consumes PCIe bandwidth but does not stall the

@@ -22,7 +22,7 @@ pub mod policy;
 pub mod stats;
 
 pub use costs::UvmCosts;
-pub use driver::{MemState, Outcome, OutcomeKind, UvmDriver, ECC_RETRY_BUDGET};
+pub use driver::{test_flags, MemState, Outcome, OutcomeKind, UvmDriver, ECC_RETRY_BUDGET};
 pub use fault::{FaultType, PageFault};
 pub use guard::check_mem_state;
 pub use policy::{Decision, PolicyEngine, Resolution};

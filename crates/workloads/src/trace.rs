@@ -85,6 +85,14 @@ impl Trace {
     pub fn footprint_bytes(&self) -> u64 {
         self.objects.iter().map(|o| o.bytes).sum()
     }
+
+    /// Truncates the trace to its first `n` phases (kernels), keeping at
+    /// least one. Lets scenario shrinking drop later kernels while the
+    /// prefix stays a valid launch sequence (allocations are per-trace, so
+    /// every retained access still targets a live object).
+    pub fn retain_phases(&mut self, n: usize) {
+        self.phases.truncate(n.max(1));
+    }
 }
 
 /// Helper for assembling traces: tracks objects and the phase under
@@ -323,6 +331,25 @@ pub fn block(pages: u64, parts: usize, idx: usize) -> std::ops::Range<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retain_phases_truncates_but_keeps_at_least_one() {
+        let mut b = TraceBuilder::new("T", 1);
+        let obj = b.alloc("a", 4096);
+        for name in ["p0", "p1", "p2"] {
+            b.begin_phase(name);
+            b.seq(0, obj, 0..1, AccessKind::Read, 1);
+        }
+        let mut t = b.finish();
+        assert_eq!(t.phases.len(), 3);
+        t.retain_phases(2);
+        assert_eq!(t.phases.len(), 2);
+        assert_eq!(t.phases[1].name, "p1");
+        t.retain_phases(0);
+        assert_eq!(t.phases.len(), 1, "must keep at least one phase");
+        t.retain_phases(10);
+        assert_eq!(t.phases.len(), 1, "over-long retain is a no-op");
+    }
 
     #[test]
     fn block_partition_covers_everything_once() {

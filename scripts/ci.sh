@@ -11,8 +11,9 @@
 # fault-injection campaign and the sim-guard consistency sweeps), the
 # bench-smoke throughput gate, two determinism audits (checkpoint
 # replay and byte-identical trace files), and — in strict mode — the
-# graceful-degradation matrix: every core policy must finish a run under
-# a fixed hardware-fault plan and report its recovery counters.
+# graceful-degradation matrix (every core policy must finish a run under
+# a fixed hardware-fault plan and report its recovery counters) and a
+# bounded property-fuzz smoke over the differential policy oracle.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -86,6 +87,19 @@ if [ "$STRICT" = "1" ]; then
     done
 else
     echo "developer mode (CI_STRICT unset); skipping the degradation matrix"
+fi
+
+step "property fuzz smoke (differential policy oracle, bounded)"
+if [ "$STRICT" = "1" ]; then
+    # 200 random scenarios through the 8-oracle differential check, hard
+    # 60s wall-clock bound. A violation exits nonzero and prints the
+    # shrunk repro seed plus the corpus file it was saved to.
+    FUZZ_CORPUS="$(mktemp -d)"
+    ./target/release/oasis-sim fuzz --seed 1 --cases 200 \
+        --time-budget-secs 60 --corpus-dir "$FUZZ_CORPUS"
+    rm -rf "$FUZZ_CORPUS"
+else
+    echo "developer mode (CI_STRICT unset); skipping the fuzz smoke"
 fi
 
 step "bench-smoke throughput gate (best of 3)"

@@ -36,9 +36,11 @@
 //! | [`grit`] | `oasis-grit` | GRIT per-page baseline |
 //! | [`workloads`] | `oasis-workloads` | the 11 application trace generators |
 //! | [`mgpu`] | `oasis-mgpu` | system assembly, simulation loop, characterization |
+//! | [`fuzz`] | `oasis-fuzz` | scenario fuzzer: generator, differential oracle, shrinker, corpus |
 
 pub use oasis_core as core;
 pub use oasis_engine as engine;
+pub use oasis_fuzz as fuzz;
 pub use oasis_grit as grit;
 pub use oasis_interconnect as interconnect;
 pub use oasis_mem as mem;

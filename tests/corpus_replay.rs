@@ -1,0 +1,40 @@
+//! Replays every saved fuzz repro in `tests/corpus/` against the full
+//! differential oracle.
+//!
+//! The corpus is append-only institutional memory: whenever the fuzzer
+//! finds and shrinks a violation, the minimal repro lands here (see
+//! `oasis-sim fuzz`), and from then on this test guards against the bug
+//! ever coming back. The seed files committed with the fuzzer are known
+//! clean scenarios covering the main code paths (multi-GPU striped 2 MiB
+//! pages, capacity-pressure eviction, ECC fault recovery), so this test
+//! also smoke-checks the oracle harness itself on every CI run.
+
+use oasis::fuzz::{check, load_dir};
+
+#[test]
+fn every_corpus_repro_passes_all_oracles() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let corpus = load_dir(&dir).expect("corpus directory is readable and every file parses");
+    assert!(
+        !corpus.is_empty(),
+        "tests/corpus must hold at least the seed scenarios"
+    );
+    let mut failures = Vec::new();
+    for (path, scenario, _recorded_oracle) in &corpus {
+        if let Some(v) = check(scenario) {
+            failures.push(format!(
+                "{}: {} — {}\n  repro: {}",
+                path.display(),
+                v.kind,
+                v.detail,
+                scenario.summary()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus repro(s) regressed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

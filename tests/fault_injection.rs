@@ -21,11 +21,14 @@ fn campaign_is_deterministic_across_runs() {
 #[test]
 fn campaign_exercises_every_distinct_perturbation() {
     let outcomes = run_campaign(SEED);
-    let kinds: std::collections::HashSet<Perturbation> = outcomes.iter().map(|o| o.kind).collect();
+    // Exact ordered coverage, not a deduplicated count: a skipped kind
+    // (or one kind run twice) must fail here, so the assertion can't pass
+    // vacuously if the campaign drops a scenario.
+    let kinds: Vec<Perturbation> = outcomes.iter().map(|o| o.kind).collect();
     assert_eq!(
-        kinds.len(),
-        Perturbation::ALL.len(),
-        "every distinct perturbation kind"
+        kinds,
+        Perturbation::ALL.to_vec(),
+        "campaign must run every kind exactly once, in declaration order"
     );
     // Scenario seeds are derived, distinct, and printed for replay.
     let seeds: std::collections::HashSet<u64> = outcomes.iter().map(|o| o.seed).collect();

@@ -73,8 +73,18 @@ OPTIONS:
     --time-budget-secs <S>  fuzz: stop cleanly once S seconds have elapsed
     --corpus-dir <DIR>      fuzz: where shrunk repros are written and
                             --replay paths resolve [default: tests/corpus]
-    --replay <FILE>         fuzz: re-check one saved corpus repro instead
-                            of generating scenarios
+    --replay <PATH>         fuzz: re-check one saved corpus repro (or, for
+                            a directory, every repro in it) instead of
+                            generating scenarios
+    --jobs <N>              fuzz/inject/verify-replay/bench-smoke: worker
+                            threads for the supervised sweep; report
+                            content is identical for any N   [default: 1]
+    --job-deadline-secs <S> per-job wall-clock deadline: a job past it is
+                            recorded as a typed timed-out failure and its
+                            worker is respawned
+    --job-attempts <N>      attempts per job (deterministic doubling
+                            backoff between tries) before it counts as
+                            failed                           [default: 1]
 
 EXAMPLES:
     oasis-sim run --app MM --policy duplication
@@ -88,8 +98,10 @@ EXAMPLES:
     oasis-sim run --app C2D --policy oasis --trace-out trace.json
     oasis-sim stats --app MM --policy oasis --top 15
     oasis-sim bench-smoke --runs 3 --tolerance 25
-    oasis-sim fuzz --seed 7 --cases 500 --time-budget-secs 60
+    oasis-sim fuzz --seed 7 --cases 500 --time-budget-secs 60 --jobs 8
+    oasis-sim fuzz --replay tests/corpus --jobs 4
     oasis-sim fuzz --replay tests/corpus/repro-0000000000000000-none.json
+    oasis-sim inject --seed 42 --jobs 4 --job-deadline-secs 120
     oasis-sim run --app C2D --policy oasis \\
         --fault-plan seed:7,down:0-1@2,ecc:0@3x2
 ";
@@ -173,8 +185,16 @@ pub struct Cli {
     /// `fuzz`: directory for shrunk repros (written on failure, read by
     /// relative `--replay` paths).
     pub corpus_dir: Option<String>,
-    /// `fuzz`: replay this saved corpus repro instead of generating.
+    /// `fuzz`: replay this saved corpus repro (file) or whole corpus
+    /// (directory) instead of generating.
     pub replay: Option<String>,
+    /// Worker threads for supervised sweeps (fuzz, inject, verify-replay,
+    /// bench-smoke). 1 keeps the classic serial behavior.
+    pub jobs: usize,
+    /// Per-job wall-clock deadline for supervised sweeps, in seconds.
+    pub job_deadline_secs: Option<u64>,
+    /// Attempts per supervised job before it counts as failed.
+    pub job_attempts: u32,
 }
 
 /// A parse failure with a human-readable message.
@@ -267,6 +287,9 @@ impl Cli {
             time_budget_secs: None,
             corpus_dir: None,
             replay: None,
+            jobs: 1,
+            job_deadline_secs: None,
+            job_attempts: 1,
         };
         let mut policy_name: Option<String> = None;
         while let Some(flag) = args.next() {
@@ -398,6 +421,31 @@ impl Cli {
                 }
                 "--corpus-dir" => cli.corpus_dir = Some(value("--corpus-dir")?),
                 "--replay" => cli.replay = Some(value("--replay")?),
+                "--jobs" => {
+                    cli.jobs = value("--jobs")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--jobs: {e}")))?;
+                    if cli.jobs == 0 {
+                        return Err(ParseError("--jobs must be positive".into()));
+                    }
+                }
+                "--job-deadline-secs" => {
+                    let secs: u64 = value("--job-deadline-secs")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--job-deadline-secs: {e}")))?;
+                    if secs == 0 {
+                        return Err(ParseError("--job-deadline-secs must be positive".into()));
+                    }
+                    cli.job_deadline_secs = Some(secs);
+                }
+                "--job-attempts" => {
+                    cli.job_attempts = value("--job-attempts")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--job-attempts: {e}")))?;
+                    if cli.job_attempts == 0 {
+                        return Err(ParseError("--job-attempts must be positive".into()));
+                    }
+                }
                 "--bench-out" => cli.bench_out = Some(value("--bench-out")?),
                 "--baseline" => cli.baseline = Some(value("--baseline")?),
                 "--tolerance" => {
@@ -667,6 +715,37 @@ mod tests {
             .unwrap_err()
             .0
             .contains("positive"));
+    }
+
+    #[test]
+    fn supervised_sweep_flags_parse() {
+        let c = parse(&[
+            "fuzz",
+            "--jobs",
+            "8",
+            "--job-deadline-secs",
+            "120",
+            "--job-attempts",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(c.jobs, 8);
+        assert_eq!(c.job_deadline_secs, Some(120));
+        assert_eq!(c.job_attempts, 3);
+
+        // Defaults keep the classic serial, one-shot, unbounded shape.
+        let d = parse(&["inject"]).unwrap();
+        assert_eq!(d.jobs, 1);
+        assert_eq!(d.job_deadline_secs, None);
+        assert_eq!(d.job_attempts, 1);
+
+        for bad in [
+            ["fuzz", "--jobs", "0"],
+            ["fuzz", "--job-deadline-secs", "0"],
+            ["fuzz", "--job-attempts", "0"],
+        ] {
+            assert!(parse(&bad).unwrap_err().0.contains("positive"), "{bad:?}");
+        }
     }
 
     #[test]

@@ -9,11 +9,24 @@ mod smoke;
 
 use std::fmt::Write as _;
 use std::fs::File;
+use std::sync::Arc;
 
-use oasis_mgpu::{run_campaign, simulate, Policy, System};
+use oasis_engine::pool::{run_sweep, Job, JobError, JobOutcome, PoolConfig};
+use oasis_mgpu::{run_campaign_supervised, simulate, CampaignConfig, Policy, System};
 use oasis_workloads::{generate, Trace};
 
 pub use args::{Cli, Command, ParseError};
+
+/// The supervised-pool shape this invocation selects (`--jobs`,
+/// `--job-deadline-secs`, `--job-attempts`).
+fn pool_config(cli: &Cli) -> PoolConfig {
+    PoolConfig {
+        workers: cli.jobs.max(1),
+        deadline: cli.job_deadline_secs.map(std::time::Duration::from_secs),
+        max_attempts: cli.job_attempts.max(1),
+        ..PoolConfig::default()
+    }
+}
 
 /// Runs `run` with optional checkpoint/resume plumbing and returns the
 /// finished report, or a human-readable failure.
@@ -46,8 +59,11 @@ fn run_with_checkpoints(cli: &Cli, trace: &Trace) -> Result<oasis_mgpu::RunRepor
 /// The checkpoint/kill/resume determinism audit: each core policy runs the
 /// app straight through and again with a mid-run kill and resume, and the
 /// two reports (including per-epoch state digests) must be bit-identical.
+/// The four policies fan out over the supervised pool (`--jobs`); lines
+/// are collected in policy order, so the output is byte-identical to the
+/// serial audit whatever the worker count.
 fn verify_replay(cli: &Cli) -> Result<String, String> {
-    let trace = generate(cli.app, &cli.workload_params());
+    let trace = Arc::new(generate(cli.app, &cli.workload_params()));
     let config = cli.system_config();
     let midpoint = (trace.phases.len() as u64 / 2).max(1);
     let mut out = format!(
@@ -55,57 +71,135 @@ fn verify_replay(cli: &Cli) -> Result<String, String> {
         trace.app,
         trace.phases.len()
     );
-    for policy in [
+    let jobs: Vec<Job<String>> = [
         Policy::OnTouch,
         Policy::AccessCounter,
         Policy::Duplication,
         Policy::oasis(),
-    ] {
-        let name = policy.name();
-        let straight = System::new(config.clone(), &policy)
-            .run(&trace)
-            .map_err(|e| format!("{name}: straight run failed {e}"))?;
-        let mut buf = Vec::new();
-        {
-            let mut first = System::new(config.clone(), &policy);
-            first
-                .run_prefix(&trace, midpoint)
-                .map_err(|e| format!("{name}: prefix run failed {e}"))?;
-            first
-                .checkpoint(&mut buf)
-                .map_err(|e| format!("{name}: checkpoint failed {e}"))?;
+    ]
+    .into_iter()
+    .map(|policy| {
+        let trace = Arc::clone(&trace);
+        let config = config.clone();
+        Job::new(policy.name(), move |_ctx| {
+            let name = policy.name();
+            let straight = System::new(config.clone(), &policy)
+                .run(&trace)
+                .map_err(|e| format!("{name}: straight run failed {e}"))?;
+            let mut buf = Vec::new();
+            {
+                let mut first = System::new(config.clone(), &policy);
+                first
+                    .run_prefix(&trace, midpoint)
+                    .map_err(|e| format!("{name}: prefix run failed {e}"))?;
+                first
+                    .checkpoint(&mut buf)
+                    .map_err(|e| format!("{name}: checkpoint failed {e}"))?;
+            }
+            let mut resumed = System::resume(&mut buf.as_slice(), &trace)
+                .map_err(|e| format!("{name}: resume failed {e}"))?;
+            let report = resumed
+                .run(&trace)
+                .map_err(|e| format!("{name}: resumed run failed {e}"))?;
+            report
+                .check_digests_against(&straight)
+                .map_err(|e| format!("{name}: {e}"))?;
+            if !report.same_simulation(&straight) {
+                return Err(format!(
+                    "{name}: resumed report differs from the straight run"
+                ));
+            }
+            Ok(format!(
+                "  {name:<16} OK  checkpoint {} bytes, {} epoch digests match\n",
+                buf.len(),
+                report.digest_trail.len()
+            ))
+        })
+    })
+    .collect();
+    let sweep = run_sweep(&pool_config(cli), jobs);
+    for record in &sweep.jobs {
+        match &record.outcome {
+            JobOutcome::Completed(line) => out.push_str(line),
+            JobOutcome::Failed(JobError::Failed(msg)) => return Err(msg.clone()),
+            JobOutcome::Failed(e) | JobOutcome::Quarantined(e) => {
+                return Err(format!("{}: job {e}", record.label))
+            }
         }
-        let mut resumed = System::resume(&mut buf.as_slice(), &trace)
-            .map_err(|e| format!("{name}: resume failed {e}"))?;
-        let report = resumed
-            .run(&trace)
-            .map_err(|e| format!("{name}: resumed run failed {e}"))?;
-        report
-            .check_digests_against(&straight)
-            .map_err(|e| format!("{name}: {e}"))?;
-        if !report.same_simulation(&straight) {
-            return Err(format!(
-                "{name}: resumed report differs from the straight run"
-            ));
-        }
-        let _ = writeln!(
-            out,
-            "  {name:<16} OK  checkpoint {} bytes, {} epoch digests match",
-            buf.len(),
-            report.digest_trail.len()
-        );
     }
     out.push_str("all 4 policies replay bit-identically after kill/resume\n");
     Ok(out)
 }
 
-/// The `fuzz` command: either replay one saved corpus repro, or run a
-/// fuzzing session (generate → differential oracle → shrink → save).
-/// A violation is a failure: the message carries everything needed to
-/// reproduce it — the shrunk scenario's seed, its one-line summary, and
-/// the corpus file the repro was saved to.
+/// Replays every repro in a corpus directory over the supervised pool.
+/// Skipped files (wrong extension, malformed) are warnings in the output;
+/// any oracle violation or lost job is a failure (nonzero exit).
+fn replay_corpus(cli: &Cli, dir: &std::path::Path) -> Result<String, String> {
+    let corpus = oasis_fuzz::load_dir(dir).map_err(|e| format!("--replay: {e}"))?;
+    let mut out = format!(
+        "replay corpus {} — {} repro(s), {} skipped\n",
+        dir.display(),
+        corpus.len(),
+        corpus.skipped.len()
+    );
+    for s in &corpus.skipped {
+        let _ = writeln!(out, "  warning: skipped {}: {}", s.path.display(), s.reason);
+    }
+    if corpus.is_empty() {
+        out.push_str("corpus is empty; nothing to replay\n");
+        return Ok(out);
+    }
+    let jobs: Vec<Job<Option<oasis_fuzz::Violation>>> = corpus
+        .entries
+        .iter()
+        .map(|entry| {
+            let scenario = entry.scenario.clone();
+            let label = entry.path.display().to_string();
+            Job::new(label, move |_ctx| Ok(oasis_fuzz::check(&scenario)))
+        })
+        .collect();
+    let sweep = run_sweep(&pool_config(cli), jobs);
+    let mut failures = Vec::new();
+    for (record, entry) in sweep.jobs.iter().zip(&corpus.entries) {
+        match &record.outcome {
+            JobOutcome::Completed(None) => {
+                let _ = writeln!(out, "  {} OK", record.label);
+            }
+            JobOutcome::Completed(Some(v)) => failures.push(format!(
+                "{}: {} — {}\n  repro: {}",
+                record.label,
+                v.kind,
+                v.detail,
+                entry.scenario.summary()
+            )),
+            JobOutcome::Failed(e) | JobOutcome::Quarantined(e) => failures.push(format!(
+                "{}: job {e} after {} attempt(s)",
+                record.label, record.attempts
+            )),
+        }
+    }
+    if failures.is_empty() {
+        let _ = writeln!(out, "all {} repro(s) clean", corpus.len());
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}{} corpus repro(s) failed:\n{}",
+            failures.len(),
+            failures.join("\n")
+        ))
+    }
+}
+
+/// The `fuzz` command: either replay saved corpus repros (one file or a
+/// whole directory), or run a fuzzing session — all cases fanned over the
+/// supervised pool, then the lowest-index violation shrunk and saved.
+/// Any violation *or supervision casualty* is a failure: the exit code is
+/// nonzero whenever a job ends `Failed`/`Quarantined`, `--json` or not.
 fn fuzz(cli: &Cli) -> Result<String, String> {
     if let Some(path) = &cli.replay {
+        if std::path::Path::new(path).is_dir() {
+            return replay_corpus(cli, std::path::Path::new(path));
+        }
         let text = std::fs::read_to_string(path).map_err(|e| format!("--replay {path}: {e}"))?;
         let (scenario, _recorded) =
             oasis_fuzz::from_json(&text).map_err(|e| format!("--replay {path}: {e}"))?;
@@ -127,20 +221,25 @@ fn fuzz(cli: &Cli) -> Result<String, String> {
     let mut opts = oasis_fuzz::FuzzOptions::new(seed, cli.cases);
     opts.time_budget = cli.time_budget_secs.map(std::time::Duration::from_secs);
     opts.corpus_dir = Some(cli.corpus_dir.as_deref().unwrap_or("tests/corpus").into());
+    opts.jobs = cli.jobs;
+    opts.deadline = cli.job_deadline_secs.map(std::time::Duration::from_secs);
+    opts.attempts = cli.job_attempts;
     let report = oasis_fuzz::run_fuzz(&opts);
 
-    if let Some(f) = report.failure {
+    let mut problems = String::new();
+    if let Some(f) = &report.failure {
         let corpus_note = f
             .corpus_path
             .as_ref()
             .map_or("corpus write failed".to_string(), |p| {
                 format!("saved to {}", p.display())
             });
-        return Err(format!(
-            "fuzz: {} violation at case {} (master seed {seed:#018x})\n  {}\n  \
+        let _ = writeln!(
+            problems,
+            "fuzz: {} violation(s), first at case {} (master seed {seed:#018x})\n  {}\n  \
              original: {}\n  shrunk repro (seed {:#018x}, {} shrink evals): {}\n  {}\n  \
              replay with: oasis-sim fuzz --replay <corpus file>",
-            f.violation.kind,
+            report.violations.len(),
             f.case_index,
             f.violation.detail,
             f.original.summary(),
@@ -148,20 +247,36 @@ fn fuzz(cli: &Cli) -> Result<String, String> {
             f.shrink_attempts,
             f.shrunk.summary(),
             corpus_note,
-        ));
+        );
     }
-    let secs = report.elapsed.as_secs_f64();
+    for jf in &report.job_failures {
+        let _ = writeln!(
+            problems,
+            "fuzz: case {} (scenario seed {:#018x}) lost to supervision: {} \
+             after {} attempt(s){}",
+            jf.case_index,
+            jf.scenario_seed,
+            jf.error,
+            jf.attempts,
+            if jf.quarantined { " [quarantined]" } else { "" },
+        );
+    }
+    if !problems.is_empty() {
+        // Nonzero exit whatever the output mode; --json callers get the
+        // machine-readable report ahead of the failure summary.
+        return Err(if cli.json {
+            format!("{}{problems}", oasis_fuzz::report_json(&opts, &report))
+        } else {
+            problems
+        });
+    }
     Ok(if cli.json {
-        format!(
-            "{{\n  \"schema\": \"oasis-fuzz-report-v1\",\n  \"master_seed\": {seed},\n  \
-             \"cases_requested\": {},\n  \"cases_run\": {},\n  \"elapsed_secs\": {secs:.3},\n  \
-             \"violations\": 0\n}}\n",
-            cli.cases, report.cases_run
-        )
+        oasis_fuzz::report_json(&opts, &report)
     } else {
         format!(
-            "fuzz: {} case(s) checked in {secs:.1}s (master seed {seed:#018x}), no violations\n",
-            report.cases_run
+            "fuzz: {} case(s) checked in {:.1}s (master seed {seed:#018x}), no violations\n",
+            report.cases_run,
+            report.elapsed.as_secs_f64()
         )
     })
 }
@@ -221,23 +336,47 @@ pub fn run(cli: &Cli) -> Result<String, String> {
         }
         Command::Inject => {
             let seed = cli.seed.unwrap_or(0);
-            let outcomes = run_campaign(seed);
-            if cli.json {
-                render::inject_json(&outcomes)
+            let campaign = run_campaign_supervised(
+                seed,
+                &CampaignConfig {
+                    jobs: cli.jobs,
+                    deadline: cli.job_deadline_secs.map(std::time::Duration::from_secs),
+                    attempts: cli.job_attempts,
+                },
+            );
+            let body = if cli.json {
+                render::inject_json(&campaign.outcomes)
             } else {
-                let survivors = outcomes.iter().filter(|o| o.ok).count();
+                let survivors = campaign.outcomes.iter().filter(|o| o.ok).count();
                 let mut out = format!("fault-injection campaign, master seed {seed:#018x}\n\n");
-                for o in &outcomes {
+                for o in &campaign.outcomes {
                     out.push_str(&o.line);
                     out.push('\n');
                 }
                 out.push_str(&format!(
                     "\n{survivors}/{} scenarios completed with invariants intact; \
                      replay any line with its printed seed\n",
-                    outcomes.len()
+                    campaign.outcomes.len()
                 ));
                 out
+            };
+            // Exit nonzero whenever the campaign deviates from per-kind
+            // expectations or loses a job to supervision, --json or not.
+            if !campaign.passed() {
+                let mut problems = String::new();
+                for o in campaign.outcomes.iter().filter(|o| !o.passed()) {
+                    let _ = writeln!(problems, "inject: unexpected outcome: {}", o.line);
+                }
+                for (kind, err) in &campaign.job_failures {
+                    let _ = writeln!(
+                        problems,
+                        "inject: {} lost to supervision: {err}",
+                        kind.name()
+                    );
+                }
+                return Err(format!("{body}{problems}"));
             }
+            body
         }
         Command::VerifyReplay => verify_replay(cli)?,
         Command::Stats => {
@@ -440,8 +579,9 @@ mod tests {
         assert!(out.contains("no violations"), "{out}");
 
         let json = run_ok(&["fuzz", "--cases", "1", "--corpus-dir", dir_s, "--json"]);
-        assert!(json.contains("\"oasis-fuzz-report-v1\""), "{json}");
+        assert!(json.contains("\"oasis-fuzz-report-v2\""), "{json}");
         assert!(json.contains("\"violations\": 0"), "{json}");
+        assert!(json.contains("\"job_failures\": 0"), "{json}");
 
         // Replay a corpus file written by hand: clean scenario passes.
         let scenario = oasis_fuzz::Scenario::generate(0);

@@ -11,6 +11,7 @@
 
 use std::fmt::Write as _;
 
+use oasis_engine::pool::{run_sweep, Job, JobOutcome};
 use oasis_mgpu::{simulate, Policy, SystemConfig};
 use oasis_workloads::{generate, App, WorkloadParams};
 
@@ -158,10 +159,33 @@ pub(crate) fn bench_smoke(cli: &Cli) -> Result<String, String> {
         Err(e) => return Err(format!("--baseline {baseline_path}: {e}")),
     };
 
-    let cells: Vec<Cell> = MATRIX
+    // The matrix fans out over the supervised pool. `--jobs` defaults to
+    // 1 and should usually stay there for this command: cells measure
+    // wall-clock, and concurrent cells contend for cores. The supervision
+    // (panic containment, optional deadline) is what earns its keep here.
+    let jobs: Vec<Job<Cell>> = MATRIX
         .iter()
-        .map(|&(app, policy)| run_cell(app, policy, cli.runs))
+        .map(|&(app, policy)| {
+            let runs = cli.runs;
+            Job::new(format!("{}/{policy}", app.abbr()), move |_ctx| {
+                Ok(run_cell(app, policy, runs))
+            })
+        })
         .collect();
+    let sweep = run_sweep(&crate::pool_config(cli), jobs);
+    let mut cells = Vec::with_capacity(MATRIX.len());
+    for record in sweep.jobs {
+        match record.outcome {
+            JobOutcome::Completed(cell) => cells.push(cell),
+            JobOutcome::Failed(e) | JobOutcome::Quarantined(e) => {
+                return Err(format!(
+                    "bench cell {} failed under supervision: {e} \
+                     (after {} attempt(s))",
+                    record.label, record.attempts
+                ))
+            }
+        }
+    }
     std::fs::write(out_path, render_json(&cells)).map_err(|e| format!("{out_path}: {e}"))?;
 
     let mut out = format!(

@@ -23,6 +23,7 @@ pub mod codec;
 pub mod error;
 pub mod metrics;
 pub mod obs;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;
@@ -39,6 +40,7 @@ pub use error::{
 };
 pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use obs::Observer;
+pub use pool::{run_sweep, Job, JobCtx, JobError, JobOutcome, JobRecord, PoolConfig, SweepReport};
 pub use queue::{Event, EventQueue};
 pub use rng::SimRng;
 pub use time::{Duration, Time};

@@ -1,0 +1,824 @@
+//! Supervised parallel sweep executor.
+//!
+//! Every multi-scenario workflow in the workspace — the fuzzer, the
+//! fault-injection campaign, the replay audit, the bench matrix — fans a
+//! set of independent simulations across cores. The unit of work here is a
+//! *supervised job*, not a bare closure:
+//!
+//! * **Panic isolation** — each attempt runs under `catch_unwind`; a panic
+//!   becomes a typed [`JobError::Panicked`] carrying the payload message,
+//!   and the sweep keeps going.
+//! * **Per-job deadlines** — a shared watchdog thread scans in-flight
+//!   attempts; one that outlives [`PoolConfig::deadline`] is adjudicated
+//!   [`JobError::TimedOut`], its cooperative cancel flag is raised (see
+//!   [`JobCtx::cancelled`]), its worker is abandoned, and a replacement
+//!   worker is spawned so the sweep never loses capacity. Jobs that drive a
+//!   `System` should additionally set the simulator's own progress
+//!   watchdog (`stall_window`) so a wedged run aborts itself from inside.
+//! * **Retry with deterministic backoff** — a failed attempt is retried up
+//!   to [`PoolConfig::max_attempts`] times. Backoff doubles per attempt and
+//!   is *bookkeeping by default* ([`JobRecord::backoff_ms`]): sweeps stay
+//!   deterministic and tests stay fast; opt into real sleeps with
+//!   [`PoolConfig::sleep_on_backoff`].
+//! * **Quarantine** — a job whose final attempt still crashed a worker
+//!   (panic or deadline) is quarantined rather than lost: the sweep always
+//!   completes and [`SweepReport::quarantined`] names the casualties.
+//!
+//! **Determinism.** Jobs are numbered by submission order and dispatched
+//! in id order, and [`SweepReport::jobs`] is collected in id order — so
+//! given deterministic job bodies, everything in the report except the
+//! explicitly wall-clock fields (`wall_clock_us`, `worker`) is
+//! byte-identical regardless of worker count or completion order.
+//!
+//! **Observability.** Each worker owns a [`MetricsRegistry`]; retired
+//! workers hand theirs back and the supervisor merges them in worker-id
+//! order into [`SweepReport::metrics`], so counters survive the fan-out
+//! without locks on the hot path. (A worker abandoned to a hung job takes
+//! its registry down with it — by design: nothing blocks on a wedge.)
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::metrics::MetricsRegistry;
+
+/// Knobs for one sweep. The default is the conservative serial shape:
+/// one worker, no deadline, one attempt.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads (clamped to at least 1 and at most the job count).
+    pub workers: usize,
+    /// Wall-clock budget per attempt; `None` trusts jobs to finish.
+    pub deadline: Option<Duration>,
+    /// Attempts per job before it is given up on (at least 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `backoff_base_ms << (n-1)` milliseconds.
+    pub backoff_base_ms: u64,
+    /// Actually sleep the backoff before re-dispatch. Off by default:
+    /// the backoff is then pure bookkeeping in [`JobRecord::backoff_ms`],
+    /// which keeps sweeps deterministic and tests instant.
+    pub sleep_on_backoff: bool,
+    /// How often the watchdog scans in-flight attempts.
+    pub watchdog_poll: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 1,
+            deadline: None,
+            max_attempts: 1,
+            backoff_base_ms: 10,
+            sleep_on_backoff: false,
+            watchdog_poll: Duration::from_millis(10),
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A config with `workers` threads and everything else default.
+    pub fn with_workers(workers: usize) -> Self {
+        PoolConfig {
+            workers,
+            ..PoolConfig::default()
+        }
+    }
+}
+
+/// Why a job attempt (or the whole job) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The attempt panicked; the payload message is preserved.
+    Panicked(String),
+    /// The attempt outlived the per-job deadline and was abandoned.
+    TimedOut {
+        /// The deadline that fired, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The job body returned a typed failure.
+    Failed(String),
+}
+
+impl JobError {
+    /// Stable short tag (`panicked` / `timed-out` / `failed`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Panicked(_) => "panicked",
+            JobError::TimedOut { .. } => "timed-out",
+            JobError::Failed(_) => "failed",
+        }
+    }
+
+    /// Whether this error crashed or wedged its worker (panic/deadline),
+    /// which is what sends a retry-exhausted job to quarantine.
+    pub fn crashed_worker(&self) -> bool {
+        matches!(self, JobError::Panicked(_) | JobError::TimedOut { .. })
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            JobError::TimedOut { deadline_ms } => {
+                write!(f, "timed out after {deadline_ms} ms deadline")
+            }
+            JobError::Failed(msg) => write!(f, "failed: {msg}"),
+        }
+    }
+}
+
+/// Final state of one supervised job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome<T> {
+    /// An attempt succeeded and produced a value.
+    Completed(T),
+    /// Every attempt returned a typed failure; the last one is kept.
+    Failed(JobError),
+    /// The final attempt crashed or wedged its worker (panic or deadline);
+    /// the job is quarantined so the sweep can finish without it.
+    Quarantined(JobError),
+}
+
+impl<T> JobOutcome<T> {
+    /// Whether the job produced a value.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed(_))
+    }
+
+    /// The completed value, if any.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            JobOutcome::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The terminal error, if the job did not complete.
+    pub fn error(&self) -> Option<&JobError> {
+        match self {
+            JobOutcome::Completed(_) => None,
+            JobOutcome::Failed(e) | JobOutcome::Quarantined(e) => Some(e),
+        }
+    }
+
+    /// Stable short tag (`completed` / `failed` / `quarantined`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed(_) => "completed",
+            JobOutcome::Failed(_) => "failed",
+            JobOutcome::Quarantined(_) => "quarantined",
+        }
+    }
+}
+
+/// Per-attempt context handed to the job body. Cooperative jobs poll
+/// [`JobCtx::cancelled`] and bail early once the watchdog gives up on them
+/// (the result of a cancelled attempt is discarded either way; polling
+/// just releases the thread).
+#[derive(Debug)]
+pub struct JobCtx {
+    /// The job's sweep-wide id (submission order).
+    pub job_id: u64,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    cancel: Arc<AtomicBool>,
+}
+
+impl JobCtx {
+    /// Whether the watchdog has abandoned this attempt.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+type Work<T> = dyn Fn(&JobCtx) -> Result<T, String> + Send + Sync;
+
+/// One supervised job: a label for reports plus a re-runnable body.
+/// The body must be `Fn` (not `FnOnce`) because the supervisor may run it
+/// several times under the retry policy.
+pub struct Job<T> {
+    /// Human-readable label carried into the [`JobRecord`].
+    pub label: String,
+    work: Arc<Work<T>>,
+}
+
+impl<T> Job<T> {
+    /// A job running `work` under supervision.
+    pub fn new(
+        label: impl Into<String>,
+        work: impl Fn(&JobCtx) -> Result<T, String> + Send + Sync + 'static,
+    ) -> Self {
+        Job {
+            label: label.into(),
+            work: Arc::new(work),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Job<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("label", &self.label).finish()
+    }
+}
+
+/// Everything known about one job after the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord<T> {
+    /// Sweep-wide id: the job's index in the submitted list.
+    pub id: u64,
+    /// The label the job was submitted with.
+    pub label: String,
+    /// Terminal outcome.
+    pub outcome: JobOutcome<T>,
+    /// Attempts consumed (1 on a first-try success).
+    pub attempts: u32,
+    /// Total deterministic backoff charged across retries, in ms.
+    pub backoff_ms: u64,
+    /// Host wall-clock across all adjudicated attempts, in µs.
+    /// *Not* deterministic — exclude it from byte-compared reports.
+    pub wall_clock_us: u64,
+    /// Worker that ran the final adjudicated attempt.
+    /// *Not* deterministic — exclude it from byte-compared reports.
+    pub worker: u64,
+}
+
+/// The structured result of one sweep: per-job records in job-id order
+/// plus supervision totals. The sweep itself never fails — individual
+/// jobs do, visibly.
+#[derive(Debug)]
+pub struct SweepReport<T> {
+    /// One record per submitted job, sorted by job id regardless of
+    /// completion order.
+    pub jobs: Vec<JobRecord<T>>,
+    /// Worker threads the sweep started with.
+    pub workers: usize,
+    /// Replacement workers spawned after deadline abandonments.
+    pub workers_respawned: u64,
+    /// Retried attempts across all jobs.
+    pub retries: u64,
+    /// Ids of quarantined jobs, ascending.
+    pub quarantined: Vec<u64>,
+    /// Host wall-clock for the whole sweep, in µs (not deterministic).
+    pub wall_clock_us: u64,
+    /// Per-worker registries merged in worker-id order, plus supervisor
+    /// totals (`pool.*` keys).
+    pub metrics: MetricsRegistry,
+}
+
+impl<T> SweepReport<T> {
+    /// Number of completed jobs.
+    pub fn completed(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.outcome.is_completed())
+            .count()
+    }
+
+    /// Whether every job completed.
+    pub fn all_completed(&self) -> bool {
+        self.completed() == self.jobs.len()
+    }
+
+    /// Records of jobs that ended `Failed` or `Quarantined`, in id order.
+    pub fn casualties(&self) -> impl Iterator<Item = &JobRecord<T>> {
+        self.jobs.iter().filter(|j| !j.outcome.is_completed())
+    }
+
+    /// Completed values in job-id order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.jobs.iter().filter_map(|j| j.outcome.value())
+    }
+}
+
+/// One queued attempt.
+struct Attempt<T> {
+    job_id: u64,
+    attempt: u32,
+    work: Arc<Work<T>>,
+}
+
+/// What a worker is running right now, as seen by the watchdog.
+struct InFlight {
+    job_id: u64,
+    attempt: u32,
+    started: Instant,
+    cancel: Arc<AtomicBool>,
+}
+
+/// State shared between supervisor, watchdog, and workers.
+struct Shared<T> {
+    queue: Mutex<VecDeque<Attempt<T>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    in_flight: Mutex<BTreeMap<u64, InFlight>>,
+}
+
+enum WorkerMsg<T> {
+    /// An attempt finished (value, typed failure, or caught panic).
+    Done {
+        worker: u64,
+        job_id: u64,
+        attempt: u32,
+        result: Result<T, JobError>,
+        elapsed_us: u64,
+    },
+    /// The watchdog found an attempt past its deadline.
+    Expired {
+        worker: u64,
+        job_id: u64,
+        attempt: u32,
+    },
+    /// A worker exited cleanly and hands back its registry.
+    Retired {
+        worker: u64,
+        metrics: MetricsRegistry,
+    },
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn spawn_worker<T: Send + 'static>(
+    token: u64,
+    shared: Arc<Shared<T>>,
+    tx: Sender<WorkerMsg<T>>,
+    abandoned: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("oasis-pool-{token}"))
+        .spawn(move || {
+            let mut metrics = MetricsRegistry::enabled();
+            loop {
+                if abandoned.load(Ordering::Relaxed) {
+                    break; // supervisor gave up on us; results are stale
+                }
+                let task = {
+                    let mut q = shared.queue.lock().expect("pool queue poisoned");
+                    loop {
+                        if shared.shutdown.load(Ordering::Relaxed) {
+                            // Retire: hand the registry back (the receiver
+                            // may already be gone; that is fine).
+                            let _ = tx.send(WorkerMsg::Retired {
+                                worker: token,
+                                metrics,
+                            });
+                            return;
+                        }
+                        if let Some(t) = q.pop_front() {
+                            break t;
+                        }
+                        q = shared.available.wait(q).expect("pool queue poisoned");
+                    }
+                };
+                let cancel = Arc::new(AtomicBool::new(false));
+                shared.in_flight.lock().expect("in-flight poisoned").insert(
+                    token,
+                    InFlight {
+                        job_id: task.job_id,
+                        attempt: task.attempt,
+                        started: Instant::now(),
+                        cancel: Arc::clone(&cancel),
+                    },
+                );
+                let ctx = JobCtx {
+                    job_id: task.job_id,
+                    attempt: task.attempt,
+                    cancel,
+                };
+                let started = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| (task.work)(&ctx)));
+                let elapsed_us = started.elapsed().as_micros() as u64;
+                shared
+                    .in_flight
+                    .lock()
+                    .expect("in-flight poisoned")
+                    .remove(&token);
+                let result = match outcome {
+                    Ok(Ok(v)) => {
+                        metrics.add("pool.attempts.completed", 1);
+                        Ok(v)
+                    }
+                    Ok(Err(msg)) => {
+                        metrics.add("pool.attempts.failed", 1);
+                        Err(JobError::Failed(msg))
+                    }
+                    Err(payload) => {
+                        metrics.add("pool.attempts.panicked", 1);
+                        Err(JobError::Panicked(panic_message(&*payload)))
+                    }
+                };
+                metrics.add("pool.attempts", 1);
+                metrics.observe_ns("pool.attempt.wall_ns", elapsed_us.saturating_mul(1000));
+                if abandoned.load(Ordering::Relaxed) {
+                    // Adjudicated as timed out while we were running: the
+                    // supervisor no longer trusts this thread. Discard.
+                    break;
+                }
+                if tx
+                    .send(WorkerMsg::Done {
+                        worker: token,
+                        job_id: task.job_id,
+                        attempt: task.attempt,
+                        result,
+                        elapsed_us,
+                    })
+                    .is_err()
+                {
+                    break; // supervisor is gone
+                }
+            }
+        })
+        .expect("spawning a pool worker failed")
+}
+
+/// Supervisor-side view of one job's progress.
+struct JobState<T> {
+    label: String,
+    work: Arc<Work<T>>,
+    attempts: u32,
+    backoff_ms: u64,
+    wall_clock_us: u64,
+    record: Option<JobRecord<T>>,
+}
+
+/// Runs `jobs` to completion under `config` and returns the structured
+/// report. Blocks the calling thread (which acts as the supervisor) until
+/// every job is adjudicated; a sweep with no deadline and a truly hung
+/// job will block with it — set [`PoolConfig::deadline`] for sweeps that
+/// must always terminate.
+pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> SweepReport<T> {
+    let sweep_started = Instant::now();
+    let job_count = jobs.len();
+    let workers = config.workers.clamp(1, job_count.max(1));
+    let max_attempts = config.max_attempts.max(1);
+
+    let mut states: Vec<JobState<T>> = jobs
+        .into_iter()
+        .map(|j| JobState {
+            label: j.label,
+            work: j.work,
+            attempts: 0,
+            backoff_ms: 0,
+            wall_clock_us: 0,
+            record: None,
+        })
+        .collect();
+
+    let shared: Arc<Shared<T>> = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        in_flight: Mutex::new(BTreeMap::new()),
+    });
+    // Deterministic fan-out: the initial queue is in job-id order.
+    {
+        let mut q = shared.queue.lock().expect("pool queue poisoned");
+        for (id, state) in states.iter().enumerate() {
+            q.push_back(Attempt {
+                job_id: id as u64,
+                attempt: 1,
+                work: Arc::clone(&state.work),
+            });
+        }
+    }
+
+    let (tx, rx): (Sender<WorkerMsg<T>>, Receiver<WorkerMsg<T>>) = channel();
+    let mut next_token = 0u64;
+    let mut handles: Vec<(u64, Arc<AtomicBool>, JoinHandle<()>)> = Vec::new();
+    for _ in 0..workers {
+        let abandoned = Arc::new(AtomicBool::new(false));
+        let h = spawn_worker(
+            next_token,
+            Arc::clone(&shared),
+            tx.clone(),
+            Arc::clone(&abandoned),
+        );
+        handles.push((next_token, abandoned, h));
+        next_token += 1;
+    }
+
+    // The shared watchdog: scans in-flight attempts and reports the ones
+    // past the deadline. Adjudication stays with the supervisor so there
+    // is exactly one decision point per attempt.
+    let watchdog = config.deadline.map(|deadline| {
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        let poll = config.watchdog_poll.max(Duration::from_millis(1));
+        std::thread::Builder::new()
+            .name("oasis-pool-watchdog".to_string())
+            .spawn(move || {
+                let mut reported: BTreeMap<u64, (u64, u32)> = BTreeMap::new();
+                while !shared.shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(poll);
+                    let expired: Vec<(u64, u64, u32)> = {
+                        let inf = shared.in_flight.lock().expect("in-flight poisoned");
+                        inf.iter()
+                            .filter(|(token, f)| {
+                                f.started.elapsed() > deadline
+                                    && reported.get(token) != Some(&(f.job_id, f.attempt))
+                            })
+                            .map(|(&token, f)| (token, f.job_id, f.attempt))
+                            .collect()
+                    };
+                    for (worker, job_id, attempt) in expired {
+                        reported.insert(worker, (job_id, attempt));
+                        if tx
+                            .send(WorkerMsg::Expired {
+                                worker,
+                                job_id,
+                                attempt,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawning the pool watchdog failed")
+    });
+
+    let deadline_ms = config.deadline.map_or(0, |d| d.as_millis() as u64);
+    let mut finalized = 0usize;
+    let mut retries = 0u64;
+    let mut workers_respawned = 0u64;
+    let mut delayed: Vec<(Instant, Attempt<T>)> = Vec::new();
+    let mut worker_metrics: BTreeMap<u64, MetricsRegistry> = BTreeMap::new();
+
+    let enqueue = |shared: &Shared<T>, attempt: Attempt<T>| {
+        shared
+            .queue
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(attempt);
+        shared.available.notify_one();
+    };
+
+    while finalized < job_count {
+        // Release retries whose (optional) real backoff has elapsed.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < delayed.len() {
+            if delayed[i].0 <= now {
+                let (_, attempt) = delayed.swap_remove(i);
+                enqueue(&shared, attempt);
+            } else {
+                i += 1;
+            }
+        }
+
+        let msg = match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break, // all senders gone
+        };
+        let (worker, job_id, attempt, result, elapsed_us) = match msg {
+            WorkerMsg::Done {
+                worker,
+                job_id,
+                attempt,
+                result,
+                elapsed_us,
+            } => (worker, job_id, attempt, result, elapsed_us),
+            WorkerMsg::Expired {
+                worker,
+                job_id,
+                attempt,
+            } => {
+                // Stale if the attempt was already adjudicated (the worker
+                // squeaked a result in just before the deadline fired).
+                let state = &states[job_id as usize];
+                if state.record.is_some() || state.attempts >= attempt {
+                    continue;
+                }
+                // Raise the cooperative cancel flag and abandon the worker.
+                if let Some(f) = shared
+                    .in_flight
+                    .lock()
+                    .expect("in-flight poisoned")
+                    .remove(&worker)
+                {
+                    f.cancel.store(true, Ordering::Relaxed);
+                }
+                if let Some((_, abandoned, _)) =
+                    handles.iter().find(|(token, _, _)| *token == worker)
+                {
+                    abandoned.store(true, Ordering::Relaxed);
+                }
+                // Respawn so the sweep keeps its configured parallelism.
+                let abandoned = Arc::new(AtomicBool::new(false));
+                let h = spawn_worker(
+                    next_token,
+                    Arc::clone(&shared),
+                    tx.clone(),
+                    Arc::clone(&abandoned),
+                );
+                handles.push((next_token, abandoned, h));
+                next_token += 1;
+                workers_respawned += 1;
+                (
+                    worker,
+                    job_id,
+                    attempt,
+                    Err(JobError::TimedOut { deadline_ms }),
+                    deadline_ms.saturating_mul(1000),
+                )
+            }
+            WorkerMsg::Retired { worker, metrics } => {
+                worker_metrics.insert(worker, metrics);
+                continue;
+            }
+        };
+
+        let state = &mut states[job_id as usize];
+        if state.record.is_some() || state.attempts >= attempt {
+            continue; // stale: a late result from an abandoned attempt
+        }
+        state.attempts = attempt;
+        state.wall_clock_us = state.wall_clock_us.saturating_add(elapsed_us);
+        match result {
+            Ok(value) => {
+                state.record = Some(JobRecord {
+                    id: job_id,
+                    label: state.label.clone(),
+                    outcome: JobOutcome::Completed(value),
+                    attempts: state.attempts,
+                    backoff_ms: state.backoff_ms,
+                    wall_clock_us: state.wall_clock_us,
+                    worker,
+                });
+                finalized += 1;
+            }
+            Err(_retryable) if state.attempts < max_attempts => {
+                // Deterministic doubling backoff, recorded always and
+                // slept only on request.
+                let backoff = config.backoff_base_ms << (state.attempts - 1).min(32);
+                state.backoff_ms += backoff;
+                retries += 1;
+                let due = if config.sleep_on_backoff {
+                    Instant::now() + Duration::from_millis(backoff)
+                } else {
+                    Instant::now()
+                };
+                delayed.push((
+                    due,
+                    Attempt {
+                        job_id,
+                        attempt: state.attempts + 1,
+                        work: Arc::clone(&state.work),
+                    },
+                ));
+            }
+            Err(err) => {
+                let outcome = if err.crashed_worker() {
+                    JobOutcome::Quarantined(err)
+                } else {
+                    JobOutcome::Failed(err)
+                };
+                state.record = Some(JobRecord {
+                    id: job_id,
+                    label: state.label.clone(),
+                    outcome,
+                    attempts: state.attempts,
+                    backoff_ms: state.backoff_ms,
+                    wall_clock_us: state.wall_clock_us,
+                    worker,
+                });
+                finalized += 1;
+            }
+        }
+    }
+
+    // Wind down: wake everyone, join the workers still trusted, leave
+    // abandoned ones to their hung jobs (they exit on their own if the
+    // job ever returns or polls its cancel flag).
+    shared.shutdown.store(true, Ordering::Relaxed);
+    shared.available.notify_all();
+    drop(tx);
+    if let Some(h) = watchdog {
+        let _ = h.join(); // exits within one poll interval
+    }
+    for (_, abandoned, handle) in handles {
+        if !abandoned.load(Ordering::Relaxed) {
+            let _ = handle.join();
+        }
+    }
+    // Collect the registries retired workers sent on their way out.
+    while let Ok(msg) = rx.try_recv() {
+        if let WorkerMsg::Retired { worker, metrics } = msg {
+            worker_metrics.insert(worker, metrics);
+        }
+    }
+
+    let mut metrics = MetricsRegistry::enabled();
+    for reg in worker_metrics.values() {
+        metrics.merge_from(reg);
+    }
+    metrics.set("pool.jobs", job_count as u64);
+    metrics.set("pool.retries", retries);
+    metrics.set("pool.workers", workers as u64);
+    metrics.set("pool.workers_respawned", workers_respawned);
+
+    let jobs: Vec<JobRecord<T>> = states
+        .into_iter()
+        .enumerate()
+        .map(|(id, s)| {
+            s.record
+                .unwrap_or_else(|| unreachable!("job {id} finished the sweep without a record"))
+        })
+        .collect();
+    let quarantined: Vec<u64> = jobs
+        .iter()
+        .filter(|j| matches!(j.outcome, JobOutcome::Quarantined(_)))
+        .map(|j| j.id)
+        .collect();
+
+    SweepReport {
+        jobs,
+        workers,
+        workers_respawned,
+        retries,
+        quarantined,
+        wall_clock_us: sweep_started.elapsed().as_micros() as u64,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_serial_shape() {
+        let c = PoolConfig::default();
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.max_attempts, 1);
+        assert!(c.deadline.is_none());
+        assert!(!c.sleep_on_backoff);
+    }
+
+    #[test]
+    fn job_error_display_and_kind() {
+        let p = JobError::Panicked("boom".into());
+        assert_eq!(p.kind(), "panicked");
+        assert!(p.to_string().contains("boom"));
+        assert!(p.crashed_worker());
+        let t = JobError::TimedOut { deadline_ms: 50 };
+        assert_eq!(t.kind(), "timed-out");
+        assert!(t.to_string().contains("50 ms"));
+        assert!(t.crashed_worker());
+        let f = JobError::Failed("nope".into());
+        assert_eq!(f.kind(), "failed");
+        assert!(!f.crashed_worker());
+    }
+
+    #[test]
+    fn empty_sweep_completes_immediately() {
+        let report = run_sweep::<u64>(&PoolConfig::with_workers(4), Vec::new());
+        assert!(report.jobs.is_empty());
+        assert!(report.all_completed());
+        assert_eq!(report.metrics.counter("pool.jobs"), 0);
+    }
+
+    #[test]
+    fn results_come_back_in_job_id_order() {
+        // Jobs sleep in *reverse* length order so completion order is the
+        // opposite of submission order under parallelism.
+        let jobs: Vec<Job<u64>> = (0..8u64)
+            .map(|i| {
+                Job::new(format!("job-{i}"), move |_ctx| {
+                    std::thread::sleep(Duration::from_millis((8 - i) * 3));
+                    Ok(i * 10)
+                })
+            })
+            .collect();
+        let report = run_sweep(&PoolConfig::with_workers(4), jobs);
+        assert!(report.all_completed());
+        let ids: Vec<u64> = report.jobs.iter().map(|j| j.id).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+        let values: Vec<u64> = report.values().copied().collect();
+        assert_eq!(values, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(report.metrics.counter("pool.attempts"), 8);
+        assert_eq!(report.metrics.counter("pool.attempts.completed"), 8);
+    }
+
+    #[test]
+    fn workers_are_clamped_to_the_job_count() {
+        let jobs = vec![Job::new("only", |_ctx| Ok(1u64))];
+        let report = run_sweep(&PoolConfig::with_workers(64), jobs);
+        assert_eq!(report.workers, 1);
+        assert!(report.all_completed());
+    }
+}

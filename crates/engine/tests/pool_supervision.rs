@@ -1,0 +1,241 @@
+//! Supervision-layer proof tests for `oasis_engine::pool`.
+//!
+//! A test-only `JobKind` harness drives the three failure modes the pool
+//! must contain — panics, hangs, and transient failures — and each test
+//! asserts the *deterministic* part of the resulting `SweepReport`
+//! (outcomes, attempt counts, backoff bookkeeping, quarantine list,
+//! job-id ordering). The wall-clock and worker-id fields are explicitly
+//! nondeterministic and are never asserted on.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use oasis_engine::pool::{run_sweep, Job, JobError, JobOutcome, PoolConfig};
+
+/// The failure repertoire a supervised job can exercise.
+#[derive(Clone)]
+enum JobKind {
+    /// Completes immediately with `value`.
+    Ok { value: u64 },
+    /// Panics with a recognizable message after `ms` of real work.
+    PanicAfter { ms: u64 },
+    /// Spins for up to `ms`, polling the cooperative cancel flag so the
+    /// abandoned worker can exit and the test process stays clean.
+    HangFor { ms: u64 },
+    /// Fails the first `n` attempts with a typed error, then succeeds
+    /// with `value`. The shared counter makes the job body `Fn`-safe.
+    FailNTimes { n: u32, value: u64 },
+}
+
+fn job(label: &str, kind: JobKind) -> Job<u64> {
+    let failures = Arc::new(AtomicU32::new(0));
+    Job::new(label, move |ctx| match &kind {
+        JobKind::Ok { value } => Ok(*value),
+        JobKind::PanicAfter { ms } => {
+            std::thread::sleep(Duration::from_millis(*ms));
+            panic!("deliberate panic from job {}", ctx.job_id);
+        }
+        JobKind::HangFor { ms } => {
+            let start = std::time::Instant::now();
+            while start.elapsed() < Duration::from_millis(*ms) {
+                if ctx.cancelled() {
+                    return Err("cancelled by watchdog".to_string());
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok(0)
+        }
+        JobKind::FailNTimes { n, value } => {
+            if failures.fetch_add(1, Ordering::SeqCst) < *n {
+                Err(format!("transient failure on attempt {}", ctx.attempt))
+            } else {
+                Ok(*value)
+            }
+        }
+    })
+}
+
+#[test]
+fn a_panicking_job_is_contained_and_typed() {
+    let jobs = vec![
+        job("healthy-0", JobKind::Ok { value: 10 }),
+        job("panicker", JobKind::PanicAfter { ms: 1 }),
+        job("healthy-2", JobKind::Ok { value: 30 }),
+    ];
+    let report = run_sweep(&PoolConfig::with_workers(2), jobs);
+    assert_eq!(report.jobs.len(), 3);
+    assert_eq!(report.completed(), 2);
+    assert_eq!(report.quarantined, vec![1]);
+    let rec = &report.jobs[1];
+    assert_eq!(rec.label, "panicker");
+    assert_eq!(rec.attempts, 1);
+    match &rec.outcome {
+        JobOutcome::Quarantined(JobError::Panicked(msg)) => {
+            assert!(
+                msg.contains("deliberate panic from job 1"),
+                "panic payload must be preserved, got: {msg}"
+            );
+        }
+        other => panic!("expected a quarantined panic, got {other:?}"),
+    }
+    // The healthy jobs are untouched by their neighbor's crash.
+    assert_eq!(report.jobs[0].outcome.value(), Some(&10));
+    assert_eq!(report.jobs[2].outcome.value(), Some(&30));
+    assert_eq!(report.metrics.counter("pool.attempts.panicked"), 1);
+}
+
+#[test]
+fn a_hanging_job_blows_its_deadline_and_the_worker_is_respawned() {
+    let jobs = vec![
+        job("hang", JobKind::HangFor { ms: 10_000 }),
+        job("after-0", JobKind::Ok { value: 1 }),
+        job("after-1", JobKind::Ok { value: 2 }),
+    ];
+    let config = PoolConfig {
+        workers: 1, // the hang must not starve the jobs queued behind it
+        deadline: Some(Duration::from_millis(100)),
+        watchdog_poll: Duration::from_millis(5),
+        ..PoolConfig::default()
+    };
+    let report = run_sweep(&config, jobs);
+    assert_eq!(report.completed(), 2);
+    assert_eq!(report.quarantined, vec![0]);
+    match &report.jobs[0].outcome {
+        JobOutcome::Quarantined(JobError::TimedOut { deadline_ms }) => {
+            assert_eq!(*deadline_ms, 100);
+        }
+        other => panic!("expected a quarantined timeout, got {other:?}"),
+    }
+    assert_eq!(report.jobs[0].attempts, 1);
+    // The abandoned worker was replaced so the rest of the queue drained.
+    assert!(report.workers_respawned >= 1);
+    assert_eq!(report.jobs[1].outcome.value(), Some(&1));
+    assert_eq!(report.jobs[2].outcome.value(), Some(&2));
+}
+
+#[test]
+fn transient_failures_retry_then_succeed_with_backoff_bookkeeping() {
+    let jobs = vec![job("flaky", JobKind::FailNTimes { n: 2, value: 99 })];
+    let config = PoolConfig {
+        max_attempts: 4,
+        backoff_base_ms: 10,
+        sleep_on_backoff: false, // bookkeeping only: the test is instant
+        ..PoolConfig::default()
+    };
+    let report = run_sweep(&config, jobs);
+    let rec = &report.jobs[0];
+    assert_eq!(rec.outcome.value(), Some(&99));
+    assert_eq!(rec.attempts, 3, "two failures then one success");
+    // Doubling backoff: 10 ms after attempt 1, 20 ms after attempt 2.
+    assert_eq!(rec.backoff_ms, 30);
+    assert_eq!(report.retries, 2);
+    assert!(report.quarantined.is_empty());
+    assert_eq!(report.metrics.counter("pool.attempts"), 3);
+    assert_eq!(report.metrics.counter("pool.attempts.failed"), 2);
+    assert_eq!(report.metrics.counter("pool.attempts.completed"), 1);
+}
+
+#[test]
+fn retry_exhaustion_on_a_typed_error_is_failed_not_quarantined() {
+    let jobs = vec![job("doomed", JobKind::FailNTimes { n: 10, value: 0 })];
+    let config = PoolConfig {
+        max_attempts: 3,
+        backoff_base_ms: 5,
+        ..PoolConfig::default()
+    };
+    let report = run_sweep(&config, jobs);
+    let rec = &report.jobs[0];
+    assert_eq!(rec.attempts, 3);
+    // 5 ms + 10 ms of (bookkept) backoff across the two retries.
+    assert_eq!(rec.backoff_ms, 15);
+    match &rec.outcome {
+        JobOutcome::Failed(JobError::Failed(msg)) => {
+            assert!(msg.contains("attempt 3"), "last error is kept, got: {msg}");
+        }
+        other => panic!("expected a typed Failed outcome, got {other:?}"),
+    }
+    // A typed failure never endangered a worker: no quarantine.
+    assert!(report.quarantined.is_empty());
+    assert_eq!(report.workers_respawned, 0);
+}
+
+#[test]
+fn a_repeatedly_panicking_job_is_quarantined_after_exhaustion() {
+    let jobs = vec![
+        job("crasher", JobKind::PanicAfter { ms: 0 }),
+        job("bystander", JobKind::Ok { value: 7 }),
+    ];
+    let config = PoolConfig {
+        workers: 2,
+        max_attempts: 3,
+        backoff_base_ms: 1,
+        ..PoolConfig::default()
+    };
+    let report = run_sweep(&config, jobs);
+    let rec = &report.jobs[0];
+    assert_eq!(rec.attempts, 3, "panics are retried up to the budget");
+    assert!(matches!(
+        rec.outcome,
+        JobOutcome::Quarantined(JobError::Panicked(_))
+    ));
+    assert_eq!(report.quarantined, vec![0]);
+    assert_eq!(report.retries, 2);
+    assert_eq!(report.jobs[1].outcome.value(), Some(&7));
+    assert_eq!(report.metrics.counter("pool.attempts.panicked"), 3);
+}
+
+#[test]
+fn mixed_sweep_matches_the_issue_acceptance_scenario() {
+    // The acceptance criterion: one panicking job plus one hanging job in
+    // a sweep must both come back as typed failures with attempt counts,
+    // and every other job's result must be identical to a serial run.
+    let build = || {
+        vec![
+            job("ok-0", JobKind::Ok { value: 100 }),
+            job("panics", JobKind::PanicAfter { ms: 1 }),
+            job("ok-2", JobKind::Ok { value: 102 }),
+            job("hangs", JobKind::HangFor { ms: 10_000 }),
+            job("ok-4", JobKind::Ok { value: 104 }),
+        ]
+    };
+    let config = |workers| PoolConfig {
+        workers,
+        deadline: Some(Duration::from_millis(150)),
+        watchdog_poll: Duration::from_millis(5),
+        ..PoolConfig::default()
+    };
+    let parallel = run_sweep(&config(4), build());
+    let serial = run_sweep(&config(1), build());
+    for report in [&parallel, &serial] {
+        assert_eq!(report.jobs.len(), 5);
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.quarantined, vec![1, 3]);
+        assert!(matches!(
+            report.jobs[1].outcome,
+            JobOutcome::Quarantined(JobError::Panicked(_))
+        ));
+        assert_eq!(report.jobs[1].attempts, 1);
+        assert!(matches!(
+            report.jobs[3].outcome,
+            JobOutcome::Quarantined(JobError::TimedOut { .. })
+        ));
+        assert_eq!(report.jobs[3].attempts, 1);
+    }
+    // Deterministic fan-out: the survivable results are identical across
+    // worker counts, completion order notwithstanding.
+    let surviving = |r: &oasis_engine::pool::SweepReport<u64>| {
+        r.jobs
+            .iter()
+            .map(|j| {
+                (
+                    j.id,
+                    j.label.clone(),
+                    j.outcome.value().copied(),
+                    j.attempts,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(surviving(&parallel), surviving(&serial));
+}

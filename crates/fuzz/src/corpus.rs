@@ -175,36 +175,109 @@ pub fn write_repro(
     Ok(path)
 }
 
-/// Loads every `*.json` corpus file in `dir`, sorted by filename for
-/// deterministic replay order. A missing directory is an empty corpus.
+/// One successfully parsed corpus repro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The file the repro was loaded from.
+    pub path: PathBuf,
+    /// The parsed scenario.
+    pub scenario: Scenario,
+    /// The oracle kind recorded with the repro, if any.
+    pub oracle: Option<OracleKind>,
+}
+
+/// A directory entry `load_dir` skipped, with the typed reason — a
+/// warning for the report, not an abort for the replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedFile {
+    /// The offending path.
+    pub path: PathBuf,
+    /// Why it was skipped (wrong extension, unreadable, parse failure).
+    pub reason: String,
+}
+
+/// The result of loading a corpus directory: the repros that parsed plus
+/// the files that didn't. One garbage file in the directory must never
+/// cost the replay of five hundred good repros.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Corpus {
+    /// Parsed repros, sorted by filename for deterministic replay order.
+    pub entries: Vec<CorpusEntry>,
+    /// Files skipped with their reasons, sorted by filename.
+    pub skipped: Vec<SkippedFile>,
+}
+
+impl Corpus {
+    /// Whether no repro parsed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of parsed repros.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Loads every corpus repro in `dir`, sorted by filename for deterministic
+/// replay order. A missing directory is an empty corpus. Non-`.json`
+/// files and malformed repro files are *skipped with a typed warning* in
+/// [`Corpus::skipped`] rather than aborting the load (subdirectories are
+/// ignored silently).
 ///
 /// # Errors
 ///
-/// Returns a message naming the unreadable or unparsable file.
-pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Scenario, Option<OracleKind>)>, String> {
+/// Only directory-level failures (unreadable directory) error out;
+/// per-file problems land in [`Corpus::skipped`].
+pub fn load_dir(dir: &Path) -> Result<Corpus, String> {
+    let mut corpus = Corpus::default();
     let mut paths = Vec::new();
     match std::fs::read_dir(dir) {
         Ok(entries) => {
             for entry in entries {
                 let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+                if path.is_dir() {
+                    continue;
+                }
                 if path.extension().is_some_and(|e| e == "json") {
                     paths.push(path);
+                } else {
+                    corpus.skipped.push(SkippedFile {
+                        path,
+                        reason: "not a .json repro file".to_string(),
+                    });
                 }
             }
         }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(corpus),
         Err(e) => return Err(format!("{}: {e}", dir.display())),
     }
     paths.sort();
-    let mut out = Vec::new();
     for path in paths {
-        let text =
-            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let (scenario, oracle) =
-            from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-        out.push((path, scenario, oracle));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                corpus.skipped.push(SkippedFile {
+                    path,
+                    reason: format!("unreadable: {e}"),
+                });
+                continue;
+            }
+        };
+        match from_json(&text) {
+            Ok((scenario, oracle)) => corpus.entries.push(CorpusEntry {
+                path,
+                scenario,
+                oracle,
+            }),
+            Err(e) => corpus.skipped.push(SkippedFile {
+                path,
+                reason: format!("malformed repro: {e}"),
+            }),
+        }
     }
-    Ok(out)
+    corpus.skipped.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(corpus)
 }
 
 /// The scalar values the corpus format uses.
@@ -356,14 +429,54 @@ mod tests {
         let pa = write_repro(&dir, &a, Some(OracleKind::Abort)).expect("write a");
         let pb = write_repro(&dir, &b, None).expect("write b");
         assert_ne!(pa, pb);
-        let loaded = load_dir(&dir).expect("load");
-        assert_eq!(loaded.len(), 2);
-        assert!(loaded
+        let corpus = load_dir(&dir).expect("load");
+        assert_eq!(corpus.len(), 2);
+        assert!(corpus.skipped.is_empty());
+        assert!(corpus
+            .entries
             .iter()
-            .any(|(_, s, k)| *s == a && *k == Some(OracleKind::Abort)));
-        assert!(loaded.iter().any(|(_, s, k)| *s == b && k.is_none()));
+            .any(|e| e.scenario == a && e.oracle == Some(OracleKind::Abort)));
+        assert!(corpus
+            .entries
+            .iter()
+            .any(|e| e.scenario == b && e.oracle.is_none()));
         // Missing directory is an empty corpus, not an error.
         std::fs::remove_dir_all(&dir).expect("cleanup");
         assert!(load_dir(&dir).expect("missing dir").is_empty());
+    }
+
+    #[test]
+    fn garbage_files_are_skipped_with_typed_warnings_not_fatal() {
+        let dir =
+            std::env::temp_dir().join(format!("oasis-fuzz-corpus-garbage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let good = Scenario::generate(3);
+        write_repro(&dir, &good, None).expect("write good repro");
+        // Plant the three failure shapes next to it: a non-JSON file, an
+        // unparsable .json file, and a structurally-valid .json file with
+        // a bad schema. None of them may sink the good repro.
+        std::fs::write(dir.join("README.txt"), "not a repro").expect("write txt");
+        std::fs::write(dir.join("broken.json"), "{ this is not json").expect("write broken");
+        std::fs::write(dir.join("wrong-schema.json"), "{\"schema\": \"nope\"}")
+            .expect("write wrong schema");
+        std::fs::create_dir_all(dir.join("subdir")).expect("mkdir subdir");
+
+        let corpus = load_dir(&dir).expect("directory itself is readable");
+        assert_eq!(corpus.len(), 1, "the good repro survives");
+        assert_eq!(corpus.entries[0].scenario, good);
+        assert_eq!(corpus.skipped.len(), 3, "{:?}", corpus.skipped);
+        let reason_for = |name: &str| {
+            corpus
+                .skipped
+                .iter()
+                .find(|s| s.path.file_name().is_some_and(|f| f == name))
+                .unwrap_or_else(|| panic!("{name} not in skipped list"))
+                .reason
+                .clone()
+        };
+        assert!(reason_for("README.txt").contains("not a .json"));
+        assert!(reason_for("broken.json").contains("malformed"));
+        assert!(reason_for("wrong-schema.json").contains("malformed"));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

@@ -32,9 +32,10 @@ pub mod shrink;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use oasis_engine::pool::{run_sweep, Job, JobOutcome, PoolConfig};
 use oasis_engine::SimRng;
 
-pub use corpus::{from_json, load_dir, to_json, write_repro};
+pub use corpus::{from_json, load_dir, to_json, write_repro, Corpus, CorpusEntry, SkippedFile};
 pub use oracle::{check, OracleKind, Violation};
 pub use scenario::{Scenario, FUZZ_APPS};
 pub use shrink::{shrink, ShrinkResult, DEFAULT_SHRINK_BUDGET};
@@ -47,14 +48,21 @@ pub struct FuzzOptions {
     pub seed: u64,
     /// Cases to attempt.
     pub cases: u64,
-    /// Optional wall-clock bound; the loop stops cleanly at the first case
-    /// boundary past the budget.
+    /// Optional wall-clock bound; the sweep stops cleanly at the first
+    /// dispatch-wave boundary past the budget.
     pub time_budget: Option<Duration>,
     /// Where to write shrunk repros (`None` disables corpus writing, e.g.
     /// for exploratory runs in a read-only checkout).
     pub corpus_dir: Option<PathBuf>,
     /// Oracle evaluations the shrinker may spend per failure.
     pub shrink_budget: usize,
+    /// Worker threads for the case sweep (1 = the classic serial loop).
+    pub jobs: usize,
+    /// Per-case wall-clock deadline; a case that blows it is abandoned
+    /// and its worker respawned.
+    pub deadline: Option<Duration>,
+    /// Attempts per case before it counts as a job failure (at least 1).
+    pub attempts: u32,
 }
 
 impl FuzzOptions {
@@ -66,6 +74,9 @@ impl FuzzOptions {
             time_budget: None,
             corpus_dir: None,
             shrink_budget: DEFAULT_SHRINK_BUDGET,
+            jobs: 1,
+            deadline: None,
+            attempts: 1,
         }
     }
 }
@@ -89,60 +100,213 @@ pub struct CaseFailure {
     pub shrink_attempts: usize,
 }
 
-/// Result of a fuzzing session: how far it got and the first failure, if
-/// any. The loop stops at the first violation — one shrunk, corpus-saved
-/// repro is worth more than a tally of unminimized failures.
+/// One violating case from the sweep (unshrunk; the lowest-index one is
+/// additionally shrunk into [`FuzzReport::failure`]).
 #[derive(Debug, Clone)]
-pub struct FuzzReport {
-    /// Cases actually checked (may be short of the request when the time
-    /// budget expires or a failure stops the loop).
-    pub cases_run: u64,
-    /// Wall-clock time spent.
-    pub elapsed: Duration,
-    /// The first failing case, shrunk and saved.
-    pub failure: Option<CaseFailure>,
+pub struct CaseViolation {
+    /// Which case of the session violated.
+    pub case_index: u64,
+    /// The scenario as generated.
+    pub scenario: Scenario,
+    /// What the oracle reported.
+    pub violation: Violation,
 }
 
-/// Runs a fuzzing session: generate → check per case, then shrink + save
-/// on the first violation.
+/// A case whose *job* failed under supervision — it panicked past the
+/// oracle's own containment, blew its deadline, or exhausted retries —
+/// as opposed to a case whose oracle found a simulator violation.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Which case of the session was lost.
+    pub case_index: u64,
+    /// The scenario seed, so `(seed, case)` stays reproducible.
+    pub scenario_seed: u64,
+    /// The supervision error, rendered.
+    pub error: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Whether the job ended quarantined (crashed/hung worker) rather
+    /// than merely failed.
+    pub quarantined: bool,
+}
+
+/// Result of a fuzzing session. Unlike the pre-pool fuzzer, the sweep
+/// runs *every* case — a violation (or a hung worker) costs one case,
+/// never the rest of the campaign — and then shrinks the lowest-index
+/// violation into one corpus-saved repro.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Cases actually checked (short of the request only when the time
+    /// budget expires between dispatch waves).
+    pub cases_run: u64,
+    /// Wall-clock time spent (not deterministic).
+    pub elapsed: Duration,
+    /// Every violating case, in case order.
+    pub violations: Vec<CaseViolation>,
+    /// The lowest-index failing case, shrunk and saved.
+    pub failure: Option<CaseFailure>,
+    /// Cases lost to supervision (panic/deadline/retry-exhaustion), in
+    /// case order.
+    pub job_failures: Vec<JobFailure>,
+    /// Retried attempts across the sweep.
+    pub retries: u64,
+    /// Workers respawned after deadline abandonments (0 unless a
+    /// deadline is configured; not deterministic when it fires).
+    pub workers_respawned: u64,
+}
+
+impl FuzzReport {
+    /// No oracle violations and no supervision casualties.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.job_failures.is_empty()
+    }
+}
+
+/// Runs a fuzzing session: all cases fan out over the supervised pool
+/// (generate → differential oracle per case), then the lowest-index
+/// violation is shrunk and corpus-saved.
+///
+/// The sweep is deterministic in everything but wall-clock: case seeds
+/// are drawn from the master seed up front, results are collected in
+/// case order, and the report's content is independent of
+/// [`FuzzOptions::jobs`].
 pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
     let started = Instant::now();
     let mut master = SimRng::seed_from_u64(opts.seed);
+    let case_seeds: Vec<u64> = (0..opts.cases).map(|_| master.next_u64()).collect();
+
+    let pool = PoolConfig {
+        workers: opts.jobs.max(1),
+        deadline: opts.deadline,
+        max_attempts: opts.attempts.max(1),
+        ..PoolConfig::default()
+    };
+    // Dispatch in waves so the wall-clock budget is honored at wave
+    // boundaries. Wave size only shapes scheduling, never results: every
+    // dispatched case is adjudicated and collected in case order.
+    let wave = (pool.workers * 8).max(32);
+
     let mut cases_run = 0u64;
-    for case_index in 0..opts.cases {
+    let mut violations = Vec::new();
+    let mut job_failures = Vec::new();
+    let mut retries = 0u64;
+    let mut workers_respawned = 0u64;
+    for wave_start in (0..case_seeds.len()).step_by(wave) {
         if opts
             .time_budget
             .is_some_and(|budget| started.elapsed() >= budget)
         {
             break;
         }
-        let scenario_seed = master.next_u64();
-        let scenario = Scenario::generate(scenario_seed);
-        cases_run += 1;
-        if let Some(violation) = check(&scenario) {
-            let result = shrink(&scenario, &violation, opts.shrink_budget);
-            let corpus_path = opts.corpus_dir.as_ref().and_then(|dir| {
-                write_repro(dir, &result.scenario, Some(result.violation.kind)).ok()
-            });
-            return FuzzReport {
-                cases_run,
-                elapsed: started.elapsed(),
-                failure: Some(CaseFailure {
+        let wave_end = (wave_start + wave).min(case_seeds.len());
+        let jobs: Vec<Job<Option<Violation>>> = case_seeds[wave_start..wave_end]
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                Job::new(format!("case-{}", wave_start + i), move |_ctx| {
+                    Ok(check(&Scenario::generate(seed)))
+                })
+            })
+            .collect();
+        let sweep = run_sweep(&pool, jobs);
+        retries += sweep.retries;
+        workers_respawned += sweep.workers_respawned;
+        for record in sweep.jobs {
+            let case_index = wave_start as u64 + record.id;
+            let scenario_seed = case_seeds[case_index as usize];
+            cases_run += 1;
+            match record.outcome {
+                JobOutcome::Completed(None) => {}
+                JobOutcome::Completed(Some(violation)) => violations.push(CaseViolation {
                     case_index,
-                    original: scenario,
-                    shrunk: result.scenario,
-                    violation: result.violation,
-                    corpus_path,
-                    shrink_attempts: result.attempts,
+                    scenario: Scenario::generate(scenario_seed),
+                    violation,
                 }),
-            };
+                JobOutcome::Failed(e) | JobOutcome::Quarantined(e) => {
+                    let quarantined = e.crashed_worker();
+                    job_failures.push(JobFailure {
+                        case_index,
+                        scenario_seed,
+                        error: e.to_string(),
+                        attempts: record.attempts,
+                        quarantined,
+                    });
+                }
+            }
         }
     }
+
+    // Shrink the lowest-index violation: one minimal, corpus-saved repro
+    // is the actionable artifact; the full tally stays in the report.
+    let failure = violations.first().map(|first| {
+        let result = shrink(&first.scenario, &first.violation, opts.shrink_budget);
+        let corpus_path = opts
+            .corpus_dir
+            .as_ref()
+            .and_then(|dir| write_repro(dir, &result.scenario, Some(result.violation.kind)).ok());
+        CaseFailure {
+            case_index: first.case_index,
+            original: first.scenario.clone(),
+            shrunk: result.scenario,
+            violation: result.violation,
+            corpus_path,
+            shrink_attempts: result.attempts,
+        }
+    });
+
     FuzzReport {
         cases_run,
         elapsed: started.elapsed(),
-        failure: None,
+        violations,
+        failure,
+        job_failures,
+        retries,
+        workers_respawned,
     }
+}
+
+/// Renders a machine-readable session report. Everything in it except
+/// the `"elapsed_secs"` line is deterministic for a given `(seed, cases)`
+/// regardless of `jobs` — which is exactly what lets CI `cmp` a serial
+/// and a parallel run after dropping that one line.
+pub fn report_json(opts: &FuzzOptions, report: &FuzzReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"oasis-fuzz-report-v2\",\n");
+    out.push_str(&format!("  \"master_seed\": {},\n", opts.seed));
+    out.push_str(&format!("  \"cases_requested\": {},\n", opts.cases));
+    out.push_str(&format!("  \"cases_run\": {},\n", report.cases_run));
+    out.push_str(&format!(
+        "  \"elapsed_secs\": {:.3},\n",
+        report.elapsed.as_secs_f64()
+    ));
+    out.push_str(&format!("  \"violations\": {},\n", report.violations.len()));
+    out.push_str(&format!(
+        "  \"violation_cases\": [{}],\n",
+        report
+            .violations
+            .iter()
+            .map(|v| v.case_index.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"job_failures\": {},\n",
+        report.job_failures.len()
+    ));
+    out.push_str(&format!(
+        "  \"quarantined_cases\": [{}],\n",
+        report
+            .job_failures
+            .iter()
+            .filter(|f| f.quarantined)
+            .map(|f| f.case_index.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"retries\": {}\n", report.retries));
+    out.push_str("}\n");
+    out
 }
 
 #[cfg(test)]

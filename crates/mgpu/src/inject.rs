@@ -76,6 +76,14 @@ impl Perturbation {
             Perturbation::EccPoison => "ecc-poison",
         }
     }
+
+    /// Whether the healthy simulator is *expected* to abort this scenario
+    /// with a typed error. An out-of-range access must stop the run and
+    /// name the step — completing it would be the bug — so `ok == false`
+    /// is the passing result for that kind.
+    pub fn expects_abort(self) -> bool {
+        matches!(self, Perturbation::OutOfRangeAccess)
+    }
 }
 
 /// What one injected scenario did.
@@ -89,6 +97,15 @@ pub struct InjectionOutcome {
     pub ok: bool,
     /// One deterministic, human-readable result line.
     pub line: String,
+}
+
+impl InjectionOutcome {
+    /// Whether the outcome matches what a healthy simulator should do for
+    /// this kind: survive with invariants intact, except for kinds that
+    /// [`Perturbation::expects_abort`] — there a typed abort is the pass.
+    pub fn passed(&self) -> bool {
+        self.ok != self.kind.expects_abort()
+    }
 }
 
 /// The pages the driver will register for `trace`, reconstructed from the
@@ -339,28 +356,138 @@ fn run_one(kind: Perturbation, seed: u64) -> InjectionOutcome {
     }
 }
 
-/// Runs the full campaign — one scenario per [`Perturbation`] kind — with
-/// every random choice derived from `master_seed`. The returned outcomes
-/// (including their formatted lines) are a deterministic function of the
-/// seed: run it twice, diff nothing.
-pub fn run_campaign(master_seed: u64) -> Vec<InjectionOutcome> {
-    // Draw per-kind seeds from an RNG stream and reject repeats, so every
-    // kind is guaranteed a distinct seed for any master seed. The old
-    // XOR-with-multiple derivation could collide two kinds onto one seed,
-    // letting the "all kinds exercised, all seeds distinct" assertion in
-    // tests/fault_injection.rs dedup away a kind and pass vacuously.
+/// Supervision knobs for a campaign sweep.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Worker threads (1 = the classic serial campaign).
+    pub jobs: usize,
+    /// Per-scenario wall-clock deadline.
+    pub deadline: Option<std::time::Duration>,
+    /// Attempts per scenario before it counts as a job failure.
+    pub attempts: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            jobs: 1,
+            deadline: None,
+            attempts: 1,
+        }
+    }
+}
+
+/// A campaign run under the supervised pool: outcomes stay in kind order
+/// and scenarios lost to supervision are synthesized as `ok == false`
+/// outcomes, so the report shape is stable whatever happens.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// One outcome per [`Perturbation::ALL`] kind, in campaign order.
+    pub outcomes: Vec<InjectionOutcome>,
+    /// Kinds whose *job* failed under supervision (panic, deadline,
+    /// retry exhaustion), with the rendered error.
+    pub job_failures: Vec<(Perturbation, String)>,
+    /// Kinds quarantined after crashing or hanging their worker.
+    pub quarantined: Vec<Perturbation>,
+    /// Retried attempts across the sweep.
+    pub retries: u64,
+    /// Workers respawned after deadline abandonments.
+    pub workers_respawned: u64,
+}
+
+impl CampaignReport {
+    /// Whether the campaign is healthy: no supervision casualties and
+    /// every outcome matches its kind's expectation (see
+    /// [`InjectionOutcome::passed`]).
+    pub fn passed(&self) -> bool {
+        self.job_failures.is_empty() && self.outcomes.iter().all(InjectionOutcome::passed)
+    }
+}
+
+/// The per-kind seeds of a campaign, drawn from an RNG stream with
+/// repeats rejected, so every kind is guaranteed a distinct seed for any
+/// master seed. (The old XOR-with-multiple derivation could collide two
+/// kinds onto one seed, letting the "all kinds exercised, all seeds
+/// distinct" assertion in tests/fault_injection.rs dedup away a kind and
+/// pass vacuously.)
+fn campaign_seeds(master_seed: u64) -> Vec<u64> {
     let mut rng = SimRng::seed_from_u64(master_seed);
     let mut used = std::collections::BTreeSet::new();
     Perturbation::ALL
         .iter()
-        .map(|&kind| {
+        .map(|_| {
             let mut seed = rng.next_u64();
             while !used.insert(seed) {
                 seed = rng.next_u64();
             }
-            run_one(kind, seed)
+            seed
         })
         .collect()
+}
+
+/// Runs the full campaign — one scenario per [`Perturbation`] kind — with
+/// every random choice derived from `master_seed`, fanned out over the
+/// supervised pool. Outcome content is a deterministic function of the
+/// seed alone: `jobs` changes wall-clock, never the report.
+pub fn run_campaign_supervised(master_seed: u64, config: &CampaignConfig) -> CampaignReport {
+    let seeds = campaign_seeds(master_seed);
+    let pool = oasis_engine::PoolConfig {
+        workers: config.jobs.max(1),
+        deadline: config.deadline,
+        max_attempts: config.attempts.max(1),
+        ..oasis_engine::PoolConfig::default()
+    };
+    let jobs: Vec<oasis_engine::Job<InjectionOutcome>> = Perturbation::ALL
+        .iter()
+        .zip(seeds.iter())
+        .map(|(&kind, &seed)| {
+            oasis_engine::Job::new(kind.name(), move |_ctx| Ok(run_one(kind, seed)))
+        })
+        .collect();
+    let sweep = oasis_engine::run_sweep(&pool, jobs);
+
+    let mut outcomes = Vec::with_capacity(Perturbation::ALL.len());
+    let mut job_failures = Vec::new();
+    let mut quarantined = Vec::new();
+    for record in sweep.jobs {
+        let kind = Perturbation::ALL[record.id as usize];
+        let seed = seeds[record.id as usize];
+        match record.outcome {
+            oasis_engine::JobOutcome::Completed(outcome) => outcomes.push(outcome),
+            oasis_engine::JobOutcome::Failed(e) | oasis_engine::JobOutcome::Quarantined(e) => {
+                if e.crashed_worker() {
+                    quarantined.push(kind);
+                }
+                job_failures.push((kind, e.to_string()));
+                // Synthesize a failed outcome so the report keeps one
+                // line per kind whatever supervision saw.
+                outcomes.push(InjectionOutcome {
+                    kind,
+                    seed,
+                    ok: false,
+                    line: format!(
+                        "{} seed={seed:#018x}: job {} after {} attempt(s)",
+                        kind.name(),
+                        e,
+                        record.attempts
+                    ),
+                });
+            }
+        }
+    }
+    CampaignReport {
+        outcomes,
+        job_failures,
+        quarantined,
+        retries: sweep.retries,
+        workers_respawned: sweep.workers_respawned,
+    }
+}
+
+/// Serial convenience wrapper around [`run_campaign_supervised`]: the
+/// classic one-thread campaign returning just the outcomes.
+pub fn run_campaign(master_seed: u64) -> Vec<InjectionOutcome> {
+    run_campaign_supervised(master_seed, &CampaignConfig::default()).outcomes
 }
 
 #[cfg(test)]
@@ -445,6 +572,40 @@ mod tests {
         assert_eq!(ecc.kind, Perturbation::EccPoison);
         assert!(ecc.ok, "{}", ecc.line);
         assert!(ecc.line.contains("quarantines="), "{}", ecc.line);
+    }
+
+    #[test]
+    fn expected_abort_counts_as_a_pass() {
+        let report = run_campaign_supervised(42, &CampaignConfig::default());
+        assert!(report.passed(), "healthy campaign must pass");
+        assert!(report.job_failures.is_empty());
+        assert!(report.quarantined.is_empty());
+        let oor = &report.outcomes[1];
+        assert_eq!(oor.kind, Perturbation::OutOfRangeAccess);
+        assert!(!oor.ok, "the typed abort is the desired behavior");
+        assert!(oor.passed(), "…and therefore a pass");
+        for o in &report.outcomes {
+            if !o.kind.expects_abort() {
+                assert_eq!(o.passed(), o.ok, "{}", o.line);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_matches_the_serial_one() {
+        let serial = run_campaign_supervised(7, &CampaignConfig::default());
+        let parallel = run_campaign_supervised(
+            7,
+            &CampaignConfig {
+                jobs: 3,
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(
+            serial.outcomes, parallel.outcomes,
+            "jobs must not change content"
+        );
+        assert!(parallel.passed());
     }
 
     #[test]

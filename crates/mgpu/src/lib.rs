@@ -24,7 +24,10 @@ pub mod report;
 pub mod system;
 
 pub use config::{GuardMode, Placement, Policy, SystemConfig};
-pub use inject::{run_campaign, InjectionOutcome, Perturbation};
+pub use inject::{
+    run_campaign, run_campaign_supervised, CampaignConfig, CampaignReport, InjectionOutcome,
+    Perturbation,
+};
 pub use oasis_interconnect::{FaultCounters, FaultPlan};
 pub use report::{EpochRollup, RunInstrumentation, RunReport};
 pub use system::{simulate, try_simulate, RunError, System};

@@ -9,8 +9,10 @@
 # formatting, lints (warnings are errors), a release build, the full test
 # suite (unit + property-style + integration, including the
 # fault-injection campaign and the sim-guard consistency sweeps), the
-# bench-smoke throughput gate, two determinism audits (checkpoint
-# replay and byte-identical trace files), and — in strict mode — the
+# bench-smoke throughput gate, three determinism audits (checkpoint
+# replay, byte-identical trace files, and byte-identical fuzz reports
+# at any --jobs count), a parallel corpus replay with skip-hardening and
+# failure-propagation probes, and — in strict mode — the
 # graceful-degradation matrix (every core policy must finish a run under
 # a fixed hardware-fault plan and report its recovery counters) and a
 # bounded property-fuzz smoke over the differential policy oracle.
@@ -92,15 +94,62 @@ fi
 step "property fuzz smoke (differential policy oracle, bounded)"
 if [ "$STRICT" = "1" ]; then
     # 200 random scenarios through the 8-oracle differential check, hard
-    # 60s wall-clock bound. A violation exits nonzero and prints the
-    # shrunk repro seed plus the corpus file it was saved to.
+    # 60s wall-clock bound, fanned out over the supervised pool. A
+    # violation (or a job lost to panic/deadline) exits nonzero and
+    # prints the shrunk repro seed plus the corpus file it was saved to.
     FUZZ_CORPUS="$(mktemp -d)"
     ./target/release/oasis-sim fuzz --seed 1 --cases 200 \
-        --time-budget-secs 60 --corpus-dir "$FUZZ_CORPUS"
+        --time-budget-secs 60 --corpus-dir "$FUZZ_CORPUS" --jobs "$(nproc)"
     rm -rf "$FUZZ_CORPUS"
 else
     echo "developer mode (CI_STRICT unset); skipping the fuzz smoke"
 fi
+
+step "corpus replay via the supervised pool (parallel, skip-hardened)"
+# Replays every committed repro through the differential oracle in
+# parallel, and proves the corpus loader's skip hardening: a planted
+# garbage file must produce a warning, not a failure.
+CORPUS_DIR="$(mktemp -d)"
+cp tests/corpus/*.json "$CORPUS_DIR/"
+echo 'this is not a repro' > "$CORPUS_DIR/garbage.json"
+OUT="$(./target/release/oasis-sim fuzz --replay "$CORPUS_DIR" --jobs "$(nproc)")"
+echo "$OUT"
+echo "$OUT" | grep -q 'warning: skipped .*garbage.json' || {
+    echo "corpus replay: planted garbage file did not produce a skip warning" >&2
+    exit 1
+}
+
+step "sweep determinism (same seed, byte-identical report at any --jobs)"
+# The supervised pool adjudicates and reports jobs in submission order,
+# so a fuzz report must be byte-identical at any worker count once the
+# elapsed-time line is dropped. Mirrors the trace-determinism cmp above.
+R1="$(mktemp)" R2="$(mktemp)"
+./target/release/oasis-sim fuzz --seed 3 --cases 40 --jobs 1 --json \
+    | grep -v '"elapsed_secs"' > "$R1"
+./target/release/oasis-sim fuzz --seed 3 --cases 40 --jobs "$(nproc)" --json \
+    | grep -v '"elapsed_secs"' > "$R2"
+cmp "$R1" "$R2"
+echo "fuzz reports are byte-identical at --jobs 1 and --jobs $(nproc)"
+rm -f "$R1" "$R2"
+
+step "supervised failures exit nonzero (inject/fuzz gate)"
+# Failure paths must reach the exit code, even under --json: a direct
+# replay of a malformed repro file is a hard error (only directory
+# loads skip), and a missing replay path is too. Then prove a healthy
+# parallel inject campaign still exits zero.
+if ./target/release/oasis-sim fuzz --replay "$CORPUS_DIR/garbage.json" --json \
+    >/dev/null 2>&1; then
+    echo "fuzz: direct replay of a malformed repro should exit nonzero" >&2
+    exit 1
+fi
+if ./target/release/oasis-sim fuzz --replay "$CORPUS_DIR/no-such-file.json" \
+    >/dev/null 2>&1; then
+    echo "fuzz: replay of a missing path should exit nonzero" >&2
+    exit 1
+fi
+rm -rf "$CORPUS_DIR"
+./target/release/oasis-sim inject --seed 42 --jobs "$(nproc)" >/dev/null
+echo "failure propagation verified (bad replays nonzero, inject campaign clean)"
 
 step "bench-smoke throughput gate (best of 3)"
 ./scripts/bench_smoke.sh

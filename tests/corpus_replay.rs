@@ -14,20 +14,25 @@ use oasis::fuzz::{check, load_dir};
 #[test]
 fn every_corpus_repro_passes_all_oracles() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
-    let corpus = load_dir(&dir).expect("corpus directory is readable and every file parses");
+    let corpus = load_dir(&dir).expect("corpus directory is readable");
     assert!(
         !corpus.is_empty(),
         "tests/corpus must hold at least the seed scenarios"
     );
+    assert!(
+        corpus.skipped.is_empty(),
+        "every committed corpus file must parse; skipped: {:?}",
+        corpus.skipped
+    );
     let mut failures = Vec::new();
-    for (path, scenario, _recorded_oracle) in &corpus {
-        if let Some(v) = check(scenario) {
+    for entry in &corpus.entries {
+        if let Some(v) = check(&entry.scenario) {
             failures.push(format!(
                 "{}: {} — {}\n  repro: {}",
-                path.display(),
+                entry.path.display(),
                 v.kind,
                 v.detail,
-                scenario.summary()
+                entry.scenario.summary()
             ));
         }
     }

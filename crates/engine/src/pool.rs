@@ -579,10 +579,21 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
             }
         }
 
-        let msg = match rx.recv_timeout(Duration::from_millis(10)) {
-            Ok(m) => m,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break, // all senders gone
+        // Block indefinitely when no retry is waiting on its backoff —
+        // worker/watchdog messages are the only possible wakeups then.
+        // Poll with a short timeout only while `delayed` holds retries
+        // whose (real) backoff has yet to elapse.
+        let msg = if delayed.is_empty() {
+            match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break, // all senders gone
+            }
+        } else {
+            match rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break, // all senders gone
+            }
         };
         let (worker, job_id, attempt, result, elapsed_us) = match msg {
             WorkerMsg::Done {
@@ -603,19 +614,32 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
                 if state.record.is_some() || state.attempts >= attempt {
                     continue;
                 }
-                // Raise the cooperative cancel flag and abandon the worker.
-                if let Some(f) = shared
-                    .in_flight
-                    .lock()
-                    .expect("in-flight poisoned")
-                    .remove(&worker)
+                // The watchdog's report may also be behind the worker: if
+                // the worker finished this attempt just under the wire, its
+                // `Done` is queued behind this `Expired` and the worker may
+                // already be running a *different* attempt. Abandoning it
+                // then would discard that new attempt's result without ever
+                // re-queueing it, wedging the sweep. So only abandon while
+                // the worker is provably still on (job_id, attempt) — check
+                // and act under the in-flight lock, and raise `abandoned`
+                // inside the critical section: the worker removes its entry
+                // under the same lock before it re-checks `abandoned`, so it
+                // can never slip past the flag and dequeue further work.
                 {
+                    let mut inf = shared.in_flight.lock().expect("in-flight poisoned");
+                    let matches = inf
+                        .get(&worker)
+                        .is_some_and(|f| f.job_id == job_id && f.attempt == attempt);
+                    if !matches {
+                        continue; // stale: the attempt beat the deadline
+                    }
+                    if let Some((_, abandoned, _)) =
+                        handles.iter().find(|(token, _, _)| *token == worker)
+                    {
+                        abandoned.store(true, Ordering::Relaxed);
+                    }
+                    let f = inf.remove(&worker).expect("entry matched above");
                     f.cancel.store(true, Ordering::Relaxed);
-                }
-                if let Some((_, abandoned, _)) =
-                    handles.iter().find(|(token, _, _)| *token == worker)
-                {
-                    abandoned.store(true, Ordering::Relaxed);
                 }
                 // Respawn so the sweep keeps its configured parallelism.
                 let abandoned = Arc::new(AtomicBool::new(false));

@@ -186,6 +186,52 @@ fn a_repeatedly_panicking_job_is_quarantined_after_exhaustion() {
 }
 
 #[test]
+fn racing_completions_against_the_deadline_never_wedge_the_sweep() {
+    // Regression: a worker that finished its attempt just as the watchdog
+    // reported it expired could be abandoned *after* it had dequeued its
+    // next attempt — that attempt's result was then discarded and never
+    // re-queued, so the sweep spun forever one job short. Jobs here run
+    // for almost exactly the deadline, so Done and Expired race
+    // constantly; the sweep must still adjudicate every job.
+    let jobs: Vec<Job<u64>> = (0..48u64)
+        .map(|i| {
+            Job::new(format!("edge-{i}"), move |ctx| {
+                let start = std::time::Instant::now();
+                while start.elapsed() < Duration::from_millis(20) {
+                    if ctx.cancelled() {
+                        return Err("cancelled by watchdog".to_string());
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(i)
+            })
+        })
+        .collect();
+    let config = PoolConfig {
+        workers: 4,
+        deadline: Some(Duration::from_millis(20)),
+        watchdog_poll: Duration::from_millis(1),
+        max_attempts: 2,
+        ..PoolConfig::default()
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_sweep(&config, jobs));
+    });
+    let report = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("sweep wedged: a job racing the deadline was lost without adjudication");
+    assert_eq!(report.jobs.len(), 48);
+    for rec in &report.jobs {
+        match &rec.outcome {
+            JobOutcome::Completed(v) => assert_eq!(*v, rec.id),
+            JobOutcome::Quarantined(JobError::TimedOut { .. }) => {}
+            other => panic!("job {} ended unexpectedly: {other:?}", rec.id),
+        }
+    }
+}
+
+#[test]
 fn mixed_sweep_matches_the_issue_acceptance_scenario() {
     // The acceptance criterion: one panicking job plus one hanging job in
     // a sweep must both come back as typed failures with attempt counts,

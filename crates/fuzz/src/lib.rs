@@ -167,9 +167,11 @@ impl FuzzReport {
 /// violation is shrunk and corpus-saved.
 ///
 /// The sweep is deterministic in everything but wall-clock: case seeds
-/// are drawn from the master seed up front, results are collected in
-/// case order, and the report's content is independent of
-/// [`FuzzOptions::jobs`].
+/// are drawn from the master seed up front and results are collected in
+/// case order. When [`FuzzOptions::time_budget`] is `None` the report's
+/// content is fully independent of [`FuzzOptions::jobs`]; with a budget,
+/// the dispatch-wave layout is still jobs-independent, but `cases_run`
+/// depends on how many waves fit inside the wall-clock budget.
 pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
     let started = Instant::now();
     let mut master = SimRng::seed_from_u64(opts.seed);
@@ -181,10 +183,18 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
         max_attempts: opts.attempts.max(1),
         ..PoolConfig::default()
     };
-    // Dispatch in waves so the wall-clock budget is honored at wave
-    // boundaries. Wave size only shapes scheduling, never results: every
-    // dispatched case is adjudicated and collected in case order.
-    let wave = (pool.workers * 8).max(32);
+    // With no time budget, dispatch everything as one sweep: every case
+    // runs, so the report is byte-identical at any `jobs`. With a budget,
+    // dispatch in waves of a *constant* size — never derived from the
+    // worker count — so the wave layout (and therefore which boundary the
+    // budget can cut at) is also independent of `jobs`; how many waves
+    // fit inside the budget still depends on wall-clock speed.
+    const BUDGET_WAVE: usize = 32;
+    let wave = if opts.time_budget.is_some() {
+        BUDGET_WAVE
+    } else {
+        case_seeds.len().max(1)
+    };
 
     let mut cases_run = 0u64;
     let mut violations = Vec::new();
@@ -265,10 +275,12 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
     }
 }
 
-/// Renders a machine-readable session report. Everything in it except
-/// the `"elapsed_secs"` line is deterministic for a given `(seed, cases)`
-/// regardless of `jobs` — which is exactly what lets CI `cmp` a serial
-/// and a parallel run after dropping that one line.
+/// Renders a machine-readable session report. With no time budget set,
+/// everything in it except the `"elapsed_secs"` line is deterministic
+/// for a given `(seed, cases)` regardless of `jobs` — which is exactly
+/// what lets CI `cmp` a serial and a parallel run after dropping that
+/// one line. (A time budget makes `cases_run` wall-clock dependent, so
+/// budgeted runs are not byte-comparable.)
 pub fn report_json(opts: &FuzzOptions, report: &FuzzReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");

@@ -33,3 +33,22 @@ fn same_seed_sweep_is_byte_identical_across_worker_counts() {
     assert!(serial.contains("\"violations\": 0"), "{serial}");
     assert!(serial.contains("\"job_failures\": 0"), "{serial}");
 }
+
+#[test]
+fn a_generous_time_budget_does_not_break_jobs_independence() {
+    // Under a time budget the dispatch-wave size is a constant, never
+    // derived from the worker count — so as long as the budget doesn't
+    // expire, the report stays byte-identical across --jobs. (Regression:
+    // the wave size once scaled with `jobs`, which made `cases_run` —
+    // and so the whole report — depend on the worker count whenever a
+    // budget was set.)
+    let mk = |jobs: usize| {
+        let mut opts = FuzzOptions::new(0xFA57, 3);
+        opts.jobs = jobs;
+        opts.time_budget = Some(std::time::Duration::from_secs(3600));
+        opts
+    };
+    let serial = deterministic_json(&mk(1));
+    let parallel = deterministic_json(&mk(4));
+    assert_eq!(serial, parallel, "budgeted --jobs 4 diverged from serial");
+}

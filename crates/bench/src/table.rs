@@ -117,11 +117,12 @@ impl FigureTable {
 }
 
 /// Writes `contents` to `results/<name>.csv`, creating the directory.
+/// The write is atomic, so a crash never leaves a half-written table.
 pub fn write_csv(name: &str, contents: &str) {
     let dir = Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join(format!("{name}.csv"));
-        if let Err(e) = std::fs::write(&path, contents) {
+        if let Err(e) = oasis_engine::atomic_write(&path, contents.as_bytes()) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }

@@ -79,6 +79,13 @@ OPTIONS:
     --jobs <N>              fuzz/inject/verify-replay/bench-smoke: worker
                             threads for the supervised sweep; report
                             content is identical for any N   [default: 1]
+    --journal <FILE>        fuzz/inject/verify-replay: write-ahead sweep
+                            journal; every dispatch and outcome is fsync'd
+                            so a killed sweep can be resumed
+    --resume-sweep          with --journal: skip the jobs the journal
+                            already adjudicates and finish the rest; the
+                            final report is byte-identical to an
+                            uninterrupted run
     --job-deadline-secs <S> per-job wall-clock deadline: a job past it is
                             recorded as a typed timed-out failure and its
                             worker is respawned
@@ -102,6 +109,8 @@ EXAMPLES:
     oasis-sim fuzz --replay tests/corpus --jobs 4
     oasis-sim fuzz --replay tests/corpus/repro-0000000000000000-none.json
     oasis-sim inject --seed 42 --jobs 4 --job-deadline-secs 120
+    oasis-sim fuzz --seed 7 --cases 200 --journal sweep.jnl
+    oasis-sim fuzz --seed 7 --cases 200 --journal sweep.jnl --resume-sweep
     oasis-sim run --app C2D --policy oasis \\
         --fault-plan seed:7,down:0-1@2,ecc:0@3x2
 ";
@@ -195,6 +204,10 @@ pub struct Cli {
     pub job_deadline_secs: Option<u64>,
     /// Attempts per supervised job before it counts as failed.
     pub job_attempts: u32,
+    /// Write-ahead sweep journal for fuzz/inject/verify-replay.
+    pub journal: Option<String>,
+    /// Resume a journaled sweep instead of starting it over.
+    pub resume_sweep: bool,
 }
 
 /// A parse failure with a human-readable message.
@@ -290,6 +303,8 @@ impl Cli {
             jobs: 1,
             job_deadline_secs: None,
             job_attempts: 1,
+            journal: None,
+            resume_sweep: false,
         };
         let mut policy_name: Option<String> = None;
         while let Some(flag) = args.next() {
@@ -446,6 +461,8 @@ impl Cli {
                         return Err(ParseError("--job-attempts must be positive".into()));
                     }
                 }
+                "--journal" => cli.journal = Some(value("--journal")?),
+                "--resume-sweep" => cli.resume_sweep = true,
                 "--bench-out" => cli.bench_out = Some(value("--bench-out")?),
                 "--baseline" => cli.baseline = Some(value("--baseline")?),
                 "--tolerance" => {
@@ -463,6 +480,9 @@ impl Cli {
             cli.policy = parse_policy(&name, cli.reset_threshold)?;
         } else {
             cli.policy = parse_policy("oasis", cli.reset_threshold)?;
+        }
+        if cli.resume_sweep && cli.journal.is_none() {
+            return Err(ParseError("--resume-sweep requires --journal".into()));
         }
         // Validate here (flags arrive in any order) so a bad plan is a
         // parse error instead of a panic when the fabric is built.
@@ -746,6 +766,21 @@ mod tests {
         ] {
             assert!(parse(&bad).unwrap_err().0.contains("positive"), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn journal_flags_parse_and_resume_requires_a_journal() {
+        let c = parse(&["fuzz", "--journal", "sweep.jnl"]).unwrap();
+        assert_eq!(c.journal.as_deref(), Some("sweep.jnl"));
+        assert!(!c.resume_sweep);
+
+        let c = parse(&["inject", "--journal", "c.jnl", "--resume-sweep"]).unwrap();
+        assert!(c.resume_sweep);
+
+        // Flag order must not matter for the pairing check.
+        assert!(parse(&["fuzz", "--resume-sweep", "--journal", "s.jnl"]).is_ok());
+        let err = parse(&["fuzz", "--resume-sweep"]).unwrap_err();
+        assert!(err.0.contains("--journal"), "{err}");
     }
 
     #[test]

@@ -5,17 +5,51 @@
 
 pub mod args;
 pub mod render;
+pub mod signal;
 mod smoke;
 
-use std::fmt::Write as _;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::{self, Write as _};
 use std::fs::File;
 use std::sync::Arc;
 
-use oasis_engine::pool::{run_sweep, Job, JobError, JobOutcome, PoolConfig};
+use oasis_engine::journal::{AdjudicatedOutcome, Adjudication, JournalWriter};
+use oasis_engine::pool::{
+    run_sweep, run_sweep_controlled, Job, JobError, JobOutcome, PoolConfig, StopHandle,
+    SweepControl,
+};
 use oasis_mgpu::{run_campaign_supervised, simulate, CampaignConfig, Policy, System};
 use oasis_workloads::{generate, Trace};
 
 pub use args::{Cli, Command, ParseError};
+
+/// A failed invocation, split by exit contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Ordinary failure: message on stderr, exit code 1.
+    Failure(String),
+    /// A journaled sweep drained cleanly on SIGINT/SIGTERM and can be
+    /// finished with `--resume-sweep`: exit code 75 (`EX_TEMPFAIL`, the
+    /// sysexits "temporary failure, retry later" convention).
+    Interrupted(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Failure(msg) | CliError::Interrupted(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Failure(msg)
+    }
+}
 
 /// The supervised-pool shape this invocation selects (`--jobs`,
 /// `--job-deadline-secs`, `--job-attempts`).
@@ -47,8 +81,12 @@ fn run_with_checkpoints(cli: &Cli, trace: &Trace) -> Result<oasis_mgpu::RunRepor
             sys.run_prefix(trace, at).map_err(|e| e.to_string())?;
             if at < total {
                 let path = format!("{dir}/{}-{}-epoch{at}.ckpt", trace.app, sys.policy().name());
-                let mut f = File::create(&path).map_err(|e| format!("checkpoint {path}: {e}"))?;
-                sys.checkpoint(&mut f)
+                // Serialize to memory, then publish atomically: a kill during
+                // the write can never leave a torn checkpoint at `path`.
+                let mut buf = Vec::new();
+                sys.checkpoint(&mut buf)
+                    .map_err(|e| format!("checkpoint {path}: {e}"))?;
+                oasis_engine::atomic_write(std::path::Path::new(&path), &buf)
                     .map_err(|e| format!("checkpoint {path}: {e}"))?;
             }
         }
@@ -56,13 +94,47 @@ fn run_with_checkpoints(cli: &Cli, trace: &Trace) -> Result<oasis_mgpu::RunRepor
     sys.run(trace).map_err(|e| e.to_string())
 }
 
+/// The sweep-identity tag for a `verify-replay` journal: the audit is
+/// defined by its app, GPU count, and footprint, so resuming under any
+/// other shape is a typed tag-mismatch error.
+fn verify_tag(cli: &Cli) -> u64 {
+    oasis_engine::fnv1a(
+        format!(
+            "oasis-verify-replay-v1 app={} gpus={} footprint_mb={}",
+            cli.app.abbr(),
+            cli.gpus,
+            cli.workload_params().footprint_mb
+        )
+        .as_bytes(),
+    )
+}
+
+/// Decodes a journaled per-policy verdict: the payload is the rendered
+/// output line (`Completed`) or the rendered failure message (otherwise).
+fn decode_policy_payload(adj: &Adjudication) -> Result<Result<String, String>, String> {
+    let text = String::from_utf8(adj.payload.clone())
+        .map_err(|_| "verify-replay journal payload is not UTF-8".to_string())?;
+    Ok(match adj.outcome {
+        AdjudicatedOutcome::Completed => Ok(text),
+        AdjudicatedOutcome::Failed | AdjudicatedOutcome::Quarantined => Err(text),
+    })
+}
+
 /// The checkpoint/kill/resume determinism audit: each core policy runs the
 /// app straight through and again with a mid-run kill and resume, and the
 /// two reports (including per-epoch state digests) must be bit-identical.
 /// The four policies fan out over the supervised pool (`--jobs`); lines
 /// are collected in policy order, so the output is byte-identical to the
-/// serial audit whatever the worker count.
-fn verify_replay(cli: &Cli) -> Result<String, String> {
+/// serial audit whatever the worker count. With `--journal` every verdict
+/// is persisted, `--resume-sweep` skips already-audited policies, and a
+/// SIGINT/SIGTERM drain exits resumable (code 75).
+fn verify_replay(cli: &Cli, stop: Option<&StopHandle>) -> Result<String, CliError> {
+    let policies = [
+        Policy::OnTouch,
+        Policy::AccessCounter,
+        Policy::Duplication,
+        Policy::oasis(),
+    ];
     let trace = Arc::new(generate(cli.app, &cli.workload_params()));
     let config = cli.system_config();
     let midpoint = (trace.phases.len() as u64 / 2).max(1);
@@ -71,60 +143,162 @@ fn verify_replay(cli: &Cli) -> Result<String, String> {
         trace.app,
         trace.phases.len()
     );
-    let jobs: Vec<Job<String>> = [
-        Policy::OnTouch,
-        Policy::AccessCounter,
-        Policy::Duplication,
-        Policy::oasis(),
-    ]
-    .into_iter()
-    .map(|policy| {
-        let trace = Arc::clone(&trace);
-        let config = config.clone();
-        Job::new(policy.name(), move |_ctx| {
-            let name = policy.name();
-            let straight = System::new(config.clone(), &policy)
-                .run(&trace)
-                .map_err(|e| format!("{name}: straight run failed {e}"))?;
-            let mut buf = Vec::new();
-            {
-                let mut first = System::new(config.clone(), &policy);
-                first
-                    .run_prefix(&trace, midpoint)
-                    .map_err(|e| format!("{name}: prefix run failed {e}"))?;
-                first
-                    .checkpoint(&mut buf)
-                    .map_err(|e| format!("{name}: checkpoint failed {e}"))?;
+
+    // Journal bring-up: on resume, policies the journal already
+    // adjudicates are merged instead of re-audited.
+    let tag = verify_tag(cli);
+    let mut records: BTreeMap<u64, Result<String, String>> = BTreeMap::new();
+    let journal: Option<JournalWriter> = match &cli.journal {
+        None => None,
+        Some(path) if cli.resume_sweep => {
+            let path = std::path::Path::new(path);
+            let (writer, recovery) = JournalWriter::resume(path, tag)
+                .map_err(|e| format!("cannot resume sweep journal {}: {e}", path.display()))?;
+            for w in recovery.warnings() {
+                eprintln!("verify-replay: warning: {w}");
             }
-            let mut resumed = System::resume(&mut buf.as_slice(), &trace)
-                .map_err(|e| format!("{name}: resume failed {e}"))?;
-            let report = resumed
-                .run(&trace)
-                .map_err(|e| format!("{name}: resumed run failed {e}"))?;
-            report
-                .check_digests_against(&straight)
-                .map_err(|e| format!("{name}: {e}"))?;
-            if !report.same_simulation(&straight) {
-                return Err(format!(
-                    "{name}: resumed report differs from the straight run"
-                ));
+            for (&id, adj) in &recovery.adjudicated {
+                if (id as usize) < policies.len() {
+                    records.insert(id, decode_policy_payload(adj)?);
+                } else {
+                    eprintln!(
+                        "verify-replay: warning: journal adjudicates policy index {id}, \
+                         beyond the audit; ignored"
+                    );
+                }
             }
-            Ok(format!(
-                "  {name:<16} OK  checkpoint {} bytes, {} epoch digests match\n",
-                buf.len(),
-                report.digest_trail.len()
-            ))
+            Some(writer)
+        }
+        Some(path) => {
+            let path = std::path::Path::new(path);
+            let label = format!("verify-replay {}", trace.app);
+            Some(
+                JournalWriter::create(path, tag, &label)
+                    .map_err(|e| format!("cannot create sweep journal {}: {e}", path.display()))?,
+            )
+        }
+    };
+    let journal = RefCell::new(journal);
+    let journal_failure: RefCell<Option<String>> = RefCell::new(None);
+    let stop = stop.cloned().unwrap_or_default();
+
+    // Only policies without a journaled verdict are dispatched; pool ids
+    // are remapped back through `pending` to policy indices.
+    let pending: Vec<u64> = (0..policies.len() as u64)
+        .filter(|id| !records.contains_key(id))
+        .collect();
+    let jobs: Vec<Job<String>> = pending
+        .iter()
+        .map(|&id| {
+            let policy = policies[id as usize].clone();
+            let trace = Arc::clone(&trace);
+            let config = config.clone();
+            Job::new(policy.name(), move |_ctx| {
+                let name = policy.name();
+                let straight = System::new(config.clone(), &policy)
+                    .run(&trace)
+                    .map_err(|e| format!("{name}: straight run failed {e}"))?;
+                let mut buf = Vec::new();
+                {
+                    let mut first = System::new(config.clone(), &policy);
+                    first
+                        .run_prefix(&trace, midpoint)
+                        .map_err(|e| format!("{name}: prefix run failed {e}"))?;
+                    first
+                        .checkpoint(&mut buf)
+                        .map_err(|e| format!("{name}: checkpoint failed {e}"))?;
+                }
+                let mut resumed = System::resume(&mut buf.as_slice(), &trace)
+                    .map_err(|e| format!("{name}: resume failed {e}"))?;
+                let report = resumed
+                    .run(&trace)
+                    .map_err(|e| format!("{name}: resumed run failed {e}"))?;
+                report
+                    .check_digests_against(&straight)
+                    .map_err(|e| format!("{name}: {e}"))?;
+                if !report.same_simulation(&straight) {
+                    return Err(format!(
+                        "{name}: resumed report differs from the straight run"
+                    ));
+                }
+                Ok(format!(
+                    "  {name:<16} OK  checkpoint {} bytes, {} epoch digests match\n",
+                    buf.len(),
+                    report.digest_trail.len()
+                ))
+            })
         })
-    })
-    .collect();
-    let sweep = run_sweep(&pool_config(cli), jobs);
-    for record in &sweep.jobs {
-        match &record.outcome {
-            JobOutcome::Completed(line) => out.push_str(line),
-            JobOutcome::Failed(JobError::Failed(msg)) => return Err(msg.clone()),
-            JobOutcome::Failed(e) | JobOutcome::Quarantined(e) => {
-                return Err(format!("{}: job {e}", record.label))
+        .collect();
+    let mut on_dispatch = |pool_id: u64, attempt: u32| {
+        if let Some(w) = journal.borrow_mut().as_mut() {
+            if let Err(e) = w.dispatched(pending[pool_id as usize], attempt) {
+                *journal_failure.borrow_mut() = Some(format!("sweep journal append failed: {e}"));
+                stop.stop();
             }
+        }
+    };
+    let mut on_adjudicated = |rec: &oasis_engine::pool::JobRecord<String>| {
+        if let Some(w) = journal.borrow_mut().as_mut() {
+            let payload = match &rec.outcome {
+                JobOutcome::Completed(line) => line.clone(),
+                JobOutcome::Failed(JobError::Failed(msg)) => msg.clone(),
+                JobOutcome::Failed(e) | JobOutcome::Quarantined(e) => {
+                    format!("{}: job {e}", rec.label)
+                }
+            };
+            if let Err(e) = w.adjudicated(
+                pending[rec.id as usize],
+                AdjudicatedOutcome::of(&rec.outcome),
+                rec.attempts,
+                payload.as_bytes(),
+            ) {
+                *journal_failure.borrow_mut() = Some(format!("sweep journal append failed: {e}"));
+                stop.stop();
+            }
+        }
+    };
+    let ctrl = SweepControl {
+        stop: Some(stop.clone()),
+        on_dispatch: Some(&mut on_dispatch),
+        on_adjudicated: Some(&mut on_adjudicated),
+    };
+    let sweep = run_sweep_controlled(&pool_config(cli), jobs, ctrl);
+    for record in sweep.jobs {
+        let id = pending[record.id as usize];
+        let verdict = match record.outcome {
+            JobOutcome::Completed(line) => Ok(line),
+            JobOutcome::Failed(JobError::Failed(msg)) => Err(msg),
+            JobOutcome::Failed(e) | JobOutcome::Quarantined(e) => {
+                Err(format!("{}: job {e}", record.label))
+            }
+        };
+        records.insert(id, verdict);
+    }
+    if sweep.interrupted {
+        if let Some(w) = journal.borrow_mut().as_mut() {
+            if let Err(e) = w.interrupted(records.len() as u64) {
+                eprintln!("verify-replay: warning: could not journal the Interrupted trailer: {e}");
+            }
+        }
+    }
+    if let Some(err) = journal_failure.into_inner() {
+        return Err(err.into());
+    }
+    if sweep.interrupted {
+        let journal_path = cli.journal.as_deref().unwrap_or("<journal>");
+        return Err(CliError::Interrupted(format!(
+            "verify-replay: drained after {}/{} policy audit(s); finish with: \
+             oasis-sim verify-replay --app {} --journal {journal_path} --resume-sweep",
+            records.len(),
+            policies.len(),
+            cli.app.abbr(),
+        )));
+    }
+    for id in 0..policies.len() as u64 {
+        match records.get(&id) {
+            Some(Ok(line)) => out.push_str(line),
+            Some(Err(msg)) => return Err(msg.clone().into()),
+            None => unreachable!("an uninterrupted sweep adjudicates every policy"),
         }
     }
     out.push_str("all 4 policies replay bit-identically after kill/resume\n");
@@ -195,10 +369,11 @@ fn replay_corpus(cli: &Cli, dir: &std::path::Path) -> Result<String, String> {
 /// supervised pool, then the lowest-index violation shrunk and saved.
 /// Any violation *or supervision casualty* is a failure: the exit code is
 /// nonzero whenever a job ends `Failed`/`Quarantined`, `--json` or not.
-fn fuzz(cli: &Cli) -> Result<String, String> {
+/// A SIGINT/SIGTERM drain of a journaled session exits resumable (75).
+fn fuzz(cli: &Cli, stop: Option<&StopHandle>) -> Result<String, CliError> {
     if let Some(path) = &cli.replay {
         if std::path::Path::new(path).is_dir() {
-            return replay_corpus(cli, std::path::Path::new(path));
+            return replay_corpus(cli, std::path::Path::new(path)).map_err(CliError::Failure);
         }
         let text = std::fs::read_to_string(path).map_err(|e| format!("--replay {path}: {e}"))?;
         let (scenario, _recorded) =
@@ -213,7 +388,8 @@ fn fuzz(cli: &Cli) -> Result<String, String> {
                 v.kind,
                 v.detail,
                 scenario.summary()
-            )),
+            )
+            .into()),
         };
     }
 
@@ -224,7 +400,24 @@ fn fuzz(cli: &Cli) -> Result<String, String> {
     opts.jobs = cli.jobs;
     opts.deadline = cli.job_deadline_secs.map(std::time::Duration::from_secs);
     opts.attempts = cli.job_attempts;
-    let report = oasis_fuzz::run_fuzz(&opts);
+    opts.journal = cli.journal.as_ref().map(std::path::PathBuf::from);
+    opts.resume_sweep = cli.resume_sweep;
+    opts.stop = stop.cloned();
+    let report = oasis_fuzz::run_fuzz(&opts)?;
+
+    // Journal warnings (salvaged tail, duplicate records) go to stderr so
+    // stdout stays byte-identical between straight and resumed sessions.
+    for w in &report.warnings {
+        eprintln!("fuzz: warning: {w}");
+    }
+    if report.interrupted {
+        let journal = cli.journal.as_deref().unwrap_or("<journal>");
+        return Err(CliError::Interrupted(format!(
+            "fuzz: sweep drained with {} of {} case(s) adjudicated; finish with: \
+             oasis-sim fuzz --seed {seed} --cases {} --journal {journal} --resume-sweep",
+            report.cases_run, cli.cases, cli.cases,
+        )));
+    }
 
     let mut problems = String::new();
     if let Some(f) = &report.failure {
@@ -268,7 +461,8 @@ fn fuzz(cli: &Cli) -> Result<String, String> {
             format!("{}{problems}", oasis_fuzz::report_json(&opts, &report))
         } else {
             problems
-        });
+        }
+        .into());
     }
     Ok(if cli.json {
         oasis_fuzz::report_json(&opts, &report)
@@ -288,7 +482,21 @@ fn fuzz(cli: &Cli) -> Result<String, String> {
 ///
 /// Returns a message describing the failed simulation, unreadable or
 /// corrupted checkpoint, or replay divergence.
-pub fn run(cli: &Cli) -> Result<String, String> {
+pub fn run(cli: &Cli) -> Result<String, CliError> {
+    run_with_stop(cli, None)
+}
+
+/// [`run`] with an optional cooperative stop handle threaded into the
+/// sweep commands (fuzz, inject, verify-replay); `main` wires it to
+/// SIGINT/SIGTERM via [`signal::install_drain`] so a journaled sweep
+/// drains instead of dying mid-record.
+///
+/// # Errors
+///
+/// As [`run`]; additionally [`CliError::Interrupted`] when a sweep was
+/// drained by the stop handle and is resumable.
+pub fn run_with_stop(cli: &Cli, stop: Option<StopHandle>) -> Result<String, CliError> {
+    let stop = stop.as_ref();
     Ok(match &cli.command {
         Command::Run => {
             let trace = generate(cli.app, &cli.workload_params());
@@ -300,7 +508,8 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             let trace_note = match &cli.trace_out {
                 Some(path) => {
                     let json = oasis_engine::chrome_trace_json(&report.trace_events);
-                    std::fs::write(path, &json).map_err(|e| format!("--trace-out {path}: {e}"))?;
+                    oasis_engine::atomic_write(std::path::Path::new(path), json.as_bytes())
+                        .map_err(|e| format!("--trace-out {path}: {e}"))?;
                     format!(
                         "trace: {} events written to {path}\n",
                         report.trace_events.len()
@@ -342,8 +551,23 @@ pub fn run(cli: &Cli) -> Result<String, String> {
                     jobs: cli.jobs,
                     deadline: cli.job_deadline_secs.map(std::time::Duration::from_secs),
                     attempts: cli.job_attempts,
+                    journal: cli.journal.as_ref().map(std::path::PathBuf::from),
+                    resume_sweep: cli.resume_sweep,
+                    stop: stop.cloned(),
                 },
-            );
+            )?;
+            for w in &campaign.warnings {
+                eprintln!("inject: warning: {w}");
+            }
+            if campaign.interrupted {
+                let journal = cli.journal.as_deref().unwrap_or("<journal>");
+                return Err(CliError::Interrupted(format!(
+                    "inject: campaign drained with {} of {} kind(s) adjudicated; finish \
+                     with: oasis-sim inject --seed {seed} --journal {journal} --resume-sweep",
+                    campaign.outcomes.len(),
+                    oasis_mgpu::Perturbation::ALL.len(),
+                )));
+            }
             let body = if cli.json {
                 render::inject_json(&campaign.outcomes)
             } else {
@@ -374,18 +598,18 @@ pub fn run(cli: &Cli) -> Result<String, String> {
                         kind.name()
                     );
                 }
-                return Err(format!("{body}{problems}"));
+                return Err(format!("{body}{problems}").into());
             }
             body
         }
-        Command::VerifyReplay => verify_replay(cli)?,
+        Command::VerifyReplay => verify_replay(cli, stop)?,
         Command::Stats => {
             let trace = generate(cli.app, &cli.workload_params());
             let report = simulate(&cli.system_config(), cli.policy.clone(), &trace);
             render::stats_text(&report, cli.top)
         }
         Command::BenchSmoke => smoke::bench_smoke(cli)?,
-        Command::Fuzz => fuzz(cli)?,
+        Command::Fuzz => fuzz(cli, stop)?,
         Command::Help => args::USAGE.to_string(),
     })
 }
@@ -541,7 +765,7 @@ mod tests {
         }
         let err = run(&parse(&["run", "--resume", "/nonexistent/x.ckpt"]))
             .expect_err("missing checkpoint file fails");
-        assert!(err.contains("--resume"), "{err}");
+        assert!(err.to_string().contains("--resume"), "{err}");
     }
 
     #[test]
@@ -593,7 +817,7 @@ mod tests {
         // A missing or unparsable replay file is a descriptive error.
         let err = run(&parse(&["fuzz", "--replay", "/nonexistent/r.json"]))
             .expect_err("missing replay file fails");
-        assert!(err.contains("--replay"), "{err}");
+        assert!(err.to_string().contains("--replay"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -683,6 +907,7 @@ mod tests {
             absurd.to_str().expect("utf-8"),
         ]))
         .expect_err("absurd baseline must regress");
+        let err = err.to_string();
         assert!(err.contains("regression"), "{err}");
         assert!(err.contains("MM/oasis"), "{err}");
     }

@@ -186,7 +186,13 @@ pub(crate) fn bench_smoke(cli: &Cli) -> Result<String, String> {
             }
         }
     }
-    std::fs::write(out_path, render_json(&cells)).map_err(|e| format!("{out_path}: {e}"))?;
+    // Atomic publish: a crash mid-write must not destroy the previous
+    // result file, which doubles as the next run's baseline.
+    oasis_engine::atomic_write(
+        std::path::Path::new(out_path),
+        render_json(&cells).as_bytes(),
+    )
+    .map_err(|e| format!("{out_path}: {e}"))?;
 
     let mut out = format!(
         "bench-smoke: best of {} run(s) per cell, tolerance {}%\n",

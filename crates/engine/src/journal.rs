@@ -1,0 +1,643 @@
+//! Crash-safe write-ahead sweep journal.
+//!
+//! A parallel sweep (fuzz, inject, verify-replay) is hours of work that a
+//! single SIGKILL used to erase. The journal makes sweep progress durable:
+//! the pool supervisor writes one [`Dispatched`](JournalRecord::Dispatched)
+//! record per attempt *before* outcomes land and one
+//! [`Adjudicated`](JournalRecord::Adjudicated) record per final outcome,
+//! each append fsync'd, so a resumed sweep can skip every job that already
+//! has an adjudicated outcome and re-dispatch only unfinished work.
+//!
+//! The format reuses the checkpoint codec's discipline — magic + version
+//! header, little-endian primitives, FNV-1a 64 integrity — but is
+//! append-only, with a per-record checksum instead of one trailer:
+//!
+//! ```text
+//! +----------+---------+----------------------------------------+
+//! | magic 8B | ver u32 | records ...                            |
+//! +----------+---------+----------------------------------------+
+//!
+//! record := kind:u8 | payload_len:u32 | payload | fnv1a:u64
+//! ```
+//!
+//! The checksum covers `kind`, `payload_len`, and `payload`, so a torn
+//! append (kill mid-write) or a flipped byte is detected exactly at the
+//! record where it happened. Recovery ([`recover`]) salvages the longest
+//! valid prefix: a corrupt or truncated tail becomes a typed
+//! [`TailSalvage`] warning, never an abort — everything adjudicated before
+//! the damage is still skipped on resume.
+//!
+//! Record kinds:
+//!
+//! * `Begin` — first record; carries a caller-computed `tag` hashing the
+//!   sweep parameters (seed, case count, ...) so a resume with different
+//!   parameters is rejected with [`JournalError::TagMismatch`] instead of
+//!   silently merging incompatible sweeps, plus a human-readable label.
+//! * `Dispatched` — an attempt was handed to the pool (intent, written
+//!   before the work runs).
+//! * `Adjudicated` — the supervisor's final outcome for a job, with an
+//!   opaque caller payload (the fuzzer stores the encoded oracle verdict,
+//!   the injector the outcome line, ...).
+//! * `Interrupted` — clean-drain trailer written when a sweep stops on
+//!   SIGINT/SIGTERM; marks the journal as deliberately incomplete.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{fnv1a, ByteReader, ByteWriter};
+use crate::fsio::atomic_write;
+use crate::pool::JobOutcome;
+
+/// File magic: identifies an OASIS sweep journal.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"OASISJNL";
+
+/// Current journal format version; readers reject other versions with
+/// [`JournalError::UnsupportedVersion`].
+pub const JOURNAL_VERSION: u32 = 1;
+
+const KIND_BEGIN: u8 = 0;
+const KIND_DISPATCHED: u8 = 1;
+const KIND_ADJUDICATED: u8 = 2;
+const KIND_INTERRUPTED: u8 = 3;
+
+/// kind (1) + payload_len (4).
+const RECORD_HEADER_LEN: usize = 5;
+/// magic (8) + version (4).
+const FILE_HEADER_LEN: usize = 12;
+
+/// A typed journal failure. Tail corruption is *not* here — it is
+/// reported as a [`TailSalvage`] inside a successful [`Recovery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An underlying I/O operation failed.
+    Io(String),
+    /// The journal file exists but holds zero bytes (killed before the
+    /// header landed, or never a journal at all).
+    Empty,
+    /// The file does not start with the OASIS journal magic.
+    BadMagic,
+    /// The file's format version is not one this build can read.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The file ended inside the fixed header.
+    TruncatedHeader {
+        /// Bytes a journal header needs.
+        needed: usize,
+        /// Bytes actually present.
+        available: usize,
+    },
+    /// The first record is not a valid `Begin`, so the sweep parameters
+    /// cannot be verified and nothing can be safely resumed.
+    MissingBegin,
+    /// The journal's `Begin` tag does not match the sweep being resumed —
+    /// the journal belongs to a sweep with different parameters.
+    TagMismatch {
+        /// Tag the resuming sweep computed from its parameters.
+        expected: u64,
+        /// Tag stored in the journal.
+        found: u64,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o failed: {e}"),
+            JournalError::Empty => write!(f, "journal file is empty"),
+            JournalError::BadMagic => write!(f, "not an OASIS sweep journal (bad magic)"),
+            JournalError::UnsupportedVersion { found, expected } => write!(
+                f,
+                "unsupported journal format version {found} (this build reads {expected})"
+            ),
+            JournalError::TruncatedHeader { needed, available } => write!(
+                f,
+                "journal truncated inside the header: needed {needed} bytes, {available} present"
+            ),
+            JournalError::MissingBegin => {
+                write!(f, "journal has no valid Begin record; nothing to resume")
+            }
+            JournalError::TagMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different sweep: resume computed tag {expected:#018x}, \
+                 journal says {found:#018x} (same seed/cases/flags required)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e.to_string())
+    }
+}
+
+/// The supervisor's final verdict for a job, as stored in the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdjudicatedOutcome {
+    /// The job completed and its payload encodes the result.
+    Completed,
+    /// Every attempt returned a typed failure.
+    Failed,
+    /// The final attempt crashed or wedged its worker.
+    Quarantined,
+}
+
+impl AdjudicatedOutcome {
+    /// The journal verdict for a pool outcome.
+    pub fn of<T>(outcome: &JobOutcome<T>) -> Self {
+        match outcome {
+            JobOutcome::Completed(_) => AdjudicatedOutcome::Completed,
+            JobOutcome::Failed(_) => AdjudicatedOutcome::Failed,
+            JobOutcome::Quarantined(_) => AdjudicatedOutcome::Quarantined,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            AdjudicatedOutcome::Completed => 0,
+            AdjudicatedOutcome::Failed => 1,
+            AdjudicatedOutcome::Quarantined => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(AdjudicatedOutcome::Completed),
+            1 => Some(AdjudicatedOutcome::Failed),
+            2 => Some(AdjudicatedOutcome::Quarantined),
+            _ => None,
+        }
+    }
+
+    /// Stable short tag (`completed` / `failed` / `quarantined`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdjudicatedOutcome::Completed => "completed",
+            AdjudicatedOutcome::Failed => "failed",
+            AdjudicatedOutcome::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// One decoded journal record, in file order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// Sweep identity: parameter tag + human-readable label.
+    Begin {
+        /// Caller-computed hash of the sweep parameters.
+        tag: u64,
+        /// Human-readable sweep description.
+        label: String,
+    },
+    /// An attempt was enqueued for a job.
+    Dispatched {
+        /// Sweep-level job id (the caller's stable index, not the pool's).
+        job_id: u64,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// The supervisor finalized a job.
+    Adjudicated {
+        /// Sweep-level job id.
+        job_id: u64,
+        /// Final verdict.
+        outcome: AdjudicatedOutcome,
+        /// Attempts consumed.
+        attempts: u32,
+        /// Opaque caller payload (the encoded result).
+        payload: Vec<u8>,
+    },
+    /// Clean-drain trailer: the sweep stopped deliberately (signal).
+    Interrupted {
+        /// Jobs adjudicated before the drain.
+        adjudicated: u64,
+    },
+}
+
+/// A job's journaled final state, keyed off the `Adjudicated` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adjudication {
+    /// Final verdict.
+    pub outcome: AdjudicatedOutcome,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Opaque caller payload (the encoded result).
+    pub payload: Vec<u8>,
+}
+
+/// Typed warning describing a corrupt or truncated journal tail that
+/// recovery dropped while salvaging the longest valid prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailSalvage {
+    /// Valid records kept.
+    pub records_kept: usize,
+    /// File offset where the valid prefix ends.
+    pub valid_bytes: u64,
+    /// Bytes dropped after the valid prefix.
+    pub dropped_bytes: u64,
+    /// What stopped the scan (truncation, checksum mismatch, bad tag...).
+    pub reason: String,
+}
+
+impl fmt::Display for TailSalvage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "salvaged {} journal record(s) ({} bytes); dropped {} trailing byte(s): {}",
+            self.records_kept, self.valid_bytes, self.dropped_bytes, self.reason
+        )
+    }
+}
+
+/// Everything recovery learned from a journal.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// Sweep parameter tag from the `Begin` record.
+    pub tag: u64,
+    /// Human-readable sweep label from the `Begin` record.
+    pub label: String,
+    /// Every valid record, in file order (`Begin` included).
+    pub events: Vec<JournalRecord>,
+    /// Final outcome per job id; the *first* `Adjudicated` record wins so
+    /// replayed or duplicated appends can never rewrite history.
+    pub adjudicated: BTreeMap<u64, Adjudication>,
+    /// Job ids that appeared in more than one `Adjudicated` record
+    /// (first kept, rest ignored with this warning).
+    pub duplicate_adjudications: Vec<u64>,
+    /// Whether the last valid record is a clean `Interrupted` trailer.
+    pub interrupted: bool,
+    /// Present when a corrupt/truncated tail was dropped.
+    pub salvage: Option<TailSalvage>,
+    /// File offset where the valid prefix ends (header included).
+    pub valid_bytes: u64,
+}
+
+impl Recovery {
+    /// Human-readable warnings accumulated during recovery (tail salvage,
+    /// duplicate adjudications). Empty for a pristine journal.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(s) = &self.salvage {
+            out.push(format!("journal tail salvaged: {s}"));
+        }
+        if !self.duplicate_adjudications.is_empty() {
+            out.push(format!(
+                "journal holds duplicate Adjudicated records for job(s) {:?}; first kept",
+                self.duplicate_adjudications
+            ));
+        }
+        out
+    }
+
+    /// Retried attempts recorded across adjudicated jobs (Σ attempts − 1).
+    pub fn recorded_retries(&self) -> u64 {
+        self.adjudicated
+            .values()
+            .map(|a| u64::from(a.attempts.saturating_sub(1)))
+            .sum()
+    }
+}
+
+fn encode_record(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("journal record payload exceeds 4 GiB");
+    let mut buf = Vec::with_capacity(RECORD_HEADER_LEN + payload.len() + 8);
+    buf.push(kind);
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Option<JournalRecord> {
+    let mut r = ByteReader::new("journal-record", payload);
+    let rec = match kind {
+        KIND_BEGIN => JournalRecord::Begin {
+            tag: r.u64().ok()?,
+            label: r.str().ok()?,
+        },
+        KIND_DISPATCHED => JournalRecord::Dispatched {
+            job_id: r.u64().ok()?,
+            attempt: r.u32().ok()?,
+        },
+        KIND_ADJUDICATED => {
+            let job_id = r.u64().ok()?;
+            let outcome = AdjudicatedOutcome::from_u8(r.u8().ok()?)?;
+            let attempts = r.u32().ok()?;
+            let mut payload_rest = Vec::with_capacity(r.remaining());
+            while !r.is_empty() {
+                payload_rest.push(r.u8().ok()?);
+            }
+            JournalRecord::Adjudicated {
+                job_id,
+                outcome,
+                attempts,
+                payload: payload_rest,
+            }
+        }
+        KIND_INTERRUPTED => JournalRecord::Interrupted {
+            adjudicated: r.u64().ok()?,
+        },
+        _ => return None,
+    };
+    if kind != KIND_ADJUDICATED && !r.is_empty() {
+        return None; // trailing garbage inside a checksummed record
+    }
+    Some(rec)
+}
+
+/// Replays the journal at `path`, salvaging the longest valid prefix.
+///
+/// Fails only when nothing at all is usable (missing/empty file, foreign
+/// magic, unreadable version, no `Begin`). Tail damage — truncation from a
+/// kill mid-append, a flipped byte, an unknown record kind — ends the scan
+/// at the last intact record and is reported as [`Recovery::salvage`].
+pub fn recover(path: &Path) -> Result<Recovery, JournalError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(JournalError::Empty);
+    }
+    if bytes.len() < FILE_HEADER_LEN {
+        return Err(JournalError::TruncatedHeader {
+            needed: FILE_HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    if bytes[..8] != JOURNAL_MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 header bytes"));
+    if version != JOURNAL_VERSION {
+        return Err(JournalError::UnsupportedVersion {
+            found: version,
+            expected: JOURNAL_VERSION,
+        });
+    }
+
+    let mut events: Vec<JournalRecord> = Vec::new();
+    let mut pos = FILE_HEADER_LEN;
+    let mut stop_reason: Option<String> = None;
+    while pos < bytes.len() {
+        let avail = bytes.len() - pos;
+        if avail < RECORD_HEADER_LEN {
+            stop_reason = Some(format!(
+                "truncated record header at offset {pos}: needed {RECORD_HEADER_LEN} bytes, \
+                 {avail} present"
+            ));
+            break;
+        }
+        let kind = bytes[pos];
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 length bytes"))
+            as usize;
+        let total = RECORD_HEADER_LEN + len + 8;
+        if avail < total {
+            stop_reason = Some(format!(
+                "truncated record at offset {pos}: needed {total} bytes, {avail} present"
+            ));
+            break;
+        }
+        let body = &bytes[pos..pos + RECORD_HEADER_LEN + len];
+        let stored = u64::from_le_bytes(
+            bytes[pos + total - 8..pos + total]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let computed = fnv1a(body);
+        if stored != computed {
+            stop_reason = Some(format!(
+                "checksum mismatch in record {} at offset {pos}: computed {computed:#018x}, \
+                 stored {stored:#018x}",
+                events.len()
+            ));
+            break;
+        }
+        let Some(rec) = decode_payload(kind, &body[RECORD_HEADER_LEN..]) else {
+            stop_reason = Some(format!(
+                "unrecognized or malformed record kind {kind} at offset {pos}"
+            ));
+            break;
+        };
+        // A Begin anywhere but first means two sweeps were interleaved
+        // into one file; trust only the first sweep's prefix.
+        if matches!(rec, JournalRecord::Begin { .. }) && !events.is_empty() {
+            stop_reason = Some(format!(
+                "second Begin record at offset {pos}: journal was reused for another sweep"
+            ));
+            break;
+        }
+        events.push(rec);
+        pos += total;
+    }
+
+    let Some(JournalRecord::Begin { tag, label }) = events.first().cloned() else {
+        return Err(JournalError::MissingBegin);
+    };
+
+    let mut adjudicated: BTreeMap<u64, Adjudication> = BTreeMap::new();
+    let mut duplicates: Vec<u64> = Vec::new();
+    for rec in &events {
+        if let JournalRecord::Adjudicated {
+            job_id,
+            outcome,
+            attempts,
+            payload,
+        } = rec
+        {
+            if adjudicated.contains_key(job_id) {
+                if !duplicates.contains(job_id) {
+                    duplicates.push(*job_id);
+                }
+            } else {
+                adjudicated.insert(
+                    *job_id,
+                    Adjudication {
+                        outcome: *outcome,
+                        attempts: *attempts,
+                        payload: payload.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    let salvage = stop_reason.map(|reason| TailSalvage {
+        records_kept: events.len(),
+        valid_bytes: pos as u64,
+        dropped_bytes: (bytes.len() - pos) as u64,
+        reason,
+    });
+    let interrupted = matches!(events.last(), Some(JournalRecord::Interrupted { .. }));
+    Ok(Recovery {
+        tag,
+        label,
+        events,
+        adjudicated,
+        duplicate_adjudications: duplicates,
+        interrupted,
+        salvage,
+        valid_bytes: pos as u64,
+    })
+}
+
+/// Appends fsync'd records to a sweep journal.
+///
+/// Every append is `write_all` + `sync_data`, so a record either made it
+/// to disk whole or the recovery scan drops it as a torn tail — there is
+/// no in-between the reader can misinterpret.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Starts a fresh journal at `path` for a sweep identified by `tag`,
+    /// replacing any previous file. The header and `Begin` record land
+    /// atomically (staged write + rename), so the file on disk is never a
+    /// torn header: it either does not exist or opens cleanly.
+    pub fn create(path: &Path, tag: u64, label: &str) -> Result<JournalWriter, JournalError> {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&JOURNAL_MAGIC);
+        buf.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        let mut payload = ByteWriter::new();
+        payload.u64(tag);
+        payload.str(label);
+        buf.extend_from_slice(&encode_record(KIND_BEGIN, payload.as_slice()));
+        atomic_write(path, &buf)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        file.sync_data()?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reopens the journal at `path` for a resumed sweep: recovers it,
+    /// verifies `expected_tag`, truncates any salvaged tail so appends
+    /// start at a clean record boundary, and returns the recovery
+    /// alongside the writer.
+    pub fn resume(
+        path: &Path,
+        expected_tag: u64,
+    ) -> Result<(JournalWriter, Recovery), JournalError> {
+        let recovery = recover(path)?;
+        if recovery.tag != expected_tag {
+            return Err(JournalError::TagMismatch {
+                expected: expected_tag,
+                found: recovery.tag,
+            });
+        }
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(recovery.valid_bytes)?;
+        file.sync_data()?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok((
+            JournalWriter {
+                file,
+                path: path.to_path_buf(),
+            },
+            recovery,
+        ))
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), JournalError> {
+        let rec = encode_record(kind, payload);
+        self.file.write_all(&rec)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Journals an attempt dispatch (intent, before the work runs).
+    pub fn dispatched(&mut self, job_id: u64, attempt: u32) -> Result<(), JournalError> {
+        let mut w = ByteWriter::new();
+        w.u64(job_id);
+        w.u32(attempt);
+        self.append(KIND_DISPATCHED, w.as_slice())
+    }
+
+    /// Journals a job's final outcome with an opaque caller payload.
+    pub fn adjudicated(
+        &mut self,
+        job_id: u64,
+        outcome: AdjudicatedOutcome,
+        attempts: u32,
+        payload: &[u8],
+    ) -> Result<(), JournalError> {
+        let mut w = ByteWriter::new();
+        w.u64(job_id);
+        w.u8(outcome.as_u8());
+        w.u32(attempts);
+        w.bytes(payload);
+        self.append(KIND_ADJUDICATED, w.as_slice())
+    }
+
+    /// Journals the clean-drain trailer after a signal-initiated stop.
+    pub fn interrupted(&mut self, adjudicated: u64) -> Result<(), JournalError> {
+        let mut w = ByteWriter::new();
+        w.u64(adjudicated);
+        self.append(KIND_INTERRUPTED, w.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_round_trips_through_the_wire_byte() {
+        for o in [
+            AdjudicatedOutcome::Completed,
+            AdjudicatedOutcome::Failed,
+            AdjudicatedOutcome::Quarantined,
+        ] {
+            assert_eq!(AdjudicatedOutcome::from_u8(o.as_u8()), Some(o));
+        }
+        assert_eq!(AdjudicatedOutcome::from_u8(3), None);
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = JournalError::TagMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("different sweep"));
+        assert!(JournalError::Empty.to_string().contains("empty"));
+        let e = JournalError::UnsupportedVersion {
+            found: 9,
+            expected: JOURNAL_VERSION,
+        };
+        assert!(e.to_string().contains("version 9"));
+    }
+
+    #[test]
+    fn outcome_of_maps_pool_outcomes() {
+        use crate::pool::JobError;
+        assert_eq!(
+            AdjudicatedOutcome::of(&JobOutcome::Completed(1u64)),
+            AdjudicatedOutcome::Completed
+        );
+        assert_eq!(
+            AdjudicatedOutcome::of::<u64>(&JobOutcome::Failed(JobError::Failed("x".into()))),
+            AdjudicatedOutcome::Failed
+        );
+        assert_eq!(
+            AdjudicatedOutcome::of::<u64>(&JobOutcome::Quarantined(JobError::Panicked("x".into()))),
+            AdjudicatedOutcome::Quarantined
+        );
+    }
+}

@@ -21,6 +21,8 @@
 pub mod channel;
 pub mod codec;
 pub mod error;
+pub mod fsio;
+pub mod journal;
 pub mod metrics;
 pub mod obs;
 pub mod pool;
@@ -38,9 +40,17 @@ pub use error::{
     ErrorPolicy, EvictionError, FaultError, InvariantViolation, MigrationError, SimError,
     SimResult, TableError, TraceError,
 };
+pub use fsio::atomic_write;
+pub use journal::{
+    recover, AdjudicatedOutcome, Adjudication, JournalError, JournalRecord, JournalWriter,
+    Recovery, TailSalvage,
+};
 pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use obs::Observer;
-pub use pool::{run_sweep, Job, JobCtx, JobError, JobOutcome, JobRecord, PoolConfig, SweepReport};
+pub use pool::{
+    run_sweep, run_sweep_controlled, Job, JobCtx, JobError, JobOutcome, JobRecord, PoolConfig,
+    StopHandle, SweepControl, SweepReport,
+};
 pub use queue::{Event, EventQueue};
 pub use rng::SimRng;
 pub use time::{Duration, Time};

@@ -35,6 +35,17 @@
 //! order into [`SweepReport::metrics`], so counters survive the fan-out
 //! without locks on the hot path. (A worker abandoned to a hung job takes
 //! its registry down with it — by design: nothing blocks on a wedge.)
+//!
+//! **Cooperative stop.** A sweep launched through [`run_sweep_controlled`]
+//! can carry a [`StopHandle`]: once stopped (a signal handler, a server's
+//! shutdown path), the supervisor drains the queue without dispatching
+//! further attempts, lets in-flight attempts finish or hit their deadline,
+//! and returns an *interrupted* [`SweepReport`] — adjudicated jobs in
+//! [`SweepReport::jobs`], never-run ones named in [`SweepReport::halted`].
+//! [`SweepControl`] also carries dispatch/adjudication observers, which is
+//! how the write-ahead sweep journal ([`crate::journal`]) sees one
+//! `Dispatched` record per attempt and one `Adjudicated` per outcome
+//! without the pool knowing anything about files.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -85,6 +96,66 @@ impl PoolConfig {
         PoolConfig {
             workers,
             ..PoolConfig::default()
+        }
+    }
+}
+
+/// A clonable cooperative stop flag for one sweep. Any holder may call
+/// [`StopHandle::stop`] (idempotent); the supervisor notices within one
+/// poll interval and begins draining. Attempts already running are *not*
+/// cancelled — they finish normally or hit the per-job deadline.
+#[derive(Debug, Clone, Default)]
+pub struct StopHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl StopHandle {
+    /// A fresh, un-stopped handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests the sweep stop dispatching new attempts. Idempotent.
+    pub fn stop(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Observer invoked as `(job_id, attempt)` when an attempt is committed
+/// for dispatch.
+pub type DispatchObserver<'cb> = &'cb mut dyn FnMut(u64, u32);
+
+/// Observer invoked with the final [`JobRecord`] when a job is
+/// adjudicated.
+pub type AdjudicationObserver<'cb, T> = &'cb mut dyn FnMut(&JobRecord<T>);
+
+/// Per-sweep control surface beyond [`PoolConfig`]: an optional stop
+/// handle plus observer hooks the supervisor invokes at its two decision
+/// points. Both hooks run on the supervisor thread, so observers need no
+/// synchronization and their call order is the adjudication order.
+pub struct SweepControl<'cb, T> {
+    /// Cooperative stop flag; `None` means the sweep runs to completion.
+    pub stop: Option<StopHandle>,
+    /// Called with `(job_id, attempt)` when an attempt is committed for
+    /// dispatch — every initial fan-out entry and every retry, *before*
+    /// the attempt can run.
+    pub on_dispatch: Option<DispatchObserver<'cb>>,
+    /// Called with the final [`JobRecord`] the moment a job is
+    /// adjudicated (completed, failed, or quarantined).
+    pub on_adjudicated: Option<AdjudicationObserver<'cb, T>>,
+}
+
+impl<T> Default for SweepControl<'_, T> {
+    fn default() -> Self {
+        SweepControl {
+            stop: None,
+            on_dispatch: None,
+            on_adjudicated: None,
         }
     }
 }
@@ -252,8 +323,9 @@ pub struct JobRecord<T> {
 /// jobs do, visibly.
 #[derive(Debug)]
 pub struct SweepReport<T> {
-    /// One record per submitted job, sorted by job id regardless of
-    /// completion order.
+    /// One record per *adjudicated* job, sorted by job id regardless of
+    /// completion order. Equals the submitted set unless the sweep was
+    /// stopped, in which case [`SweepReport::halted`] names the rest.
     pub jobs: Vec<JobRecord<T>>,
     /// Worker threads the sweep started with.
     pub workers: usize,
@@ -263,6 +335,12 @@ pub struct SweepReport<T> {
     pub retries: u64,
     /// Ids of quarantined jobs, ascending.
     pub quarantined: Vec<u64>,
+    /// Whether a [`StopHandle`] drained this sweep before every job was
+    /// adjudicated.
+    pub interrupted: bool,
+    /// Ids of jobs the stop drained before they were adjudicated,
+    /// ascending. Always empty when `interrupted` is false.
+    pub halted: Vec<u64>,
     /// Host wall-clock for the whole sweep, in µs (not deterministic).
     pub wall_clock_us: u64,
     /// Per-worker registries merged in worker-id order, plus supervisor
@@ -451,6 +529,7 @@ struct JobState<T> {
     backoff_ms: u64,
     wall_clock_us: u64,
     record: Option<JobRecord<T>>,
+    halted: bool,
 }
 
 /// Runs `jobs` to completion under `config` and returns the structured
@@ -459,6 +538,19 @@ struct JobState<T> {
 /// job will block with it — set [`PoolConfig::deadline`] for sweeps that
 /// must always terminate.
 pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> SweepReport<T> {
+    run_sweep_controlled(config, jobs, SweepControl::default())
+}
+
+/// [`run_sweep`] with a [`SweepControl`]: cooperative stop plus
+/// dispatch/adjudication observers. With a stop handle attached the
+/// supervisor polls the flag between messages (a few-ms wakeup) instead
+/// of blocking indefinitely on the channel; without one this is exactly
+/// `run_sweep`.
+pub fn run_sweep_controlled<T: Send + 'static>(
+    config: &PoolConfig,
+    jobs: Vec<Job<T>>,
+    mut ctrl: SweepControl<'_, T>,
+) -> SweepReport<T> {
     let sweep_started = Instant::now();
     let job_count = jobs.len();
     let workers = config.workers.clamp(1, job_count.max(1));
@@ -473,6 +565,7 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
             backoff_ms: 0,
             wall_clock_us: 0,
             record: None,
+            halted: false,
         })
         .collect();
 
@@ -482,10 +575,15 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
         shutdown: AtomicBool::new(false),
         in_flight: Mutex::new(BTreeMap::new()),
     });
-    // Deterministic fan-out: the initial queue is in job-id order.
+    // Deterministic fan-out: the initial queue is in job-id order. The
+    // dispatch observer fires before workers exist, so every intent is
+    // journaled before any attempt can possibly run.
     {
         let mut q = shared.queue.lock().expect("pool queue poisoned");
         for (id, state) in states.iter().enumerate() {
+            if let Some(cb) = ctrl.on_dispatch.as_mut() {
+                cb(id as u64, 1);
+            }
             q.push_back(Attempt {
                 job_id: id as u64,
                 attempt: 1,
@@ -497,6 +595,14 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
     let (tx, rx): (Sender<WorkerMsg<T>>, Receiver<WorkerMsg<T>>) = channel();
     let mut next_token = 0u64;
     let mut handles: Vec<(u64, Arc<AtomicBool>, JoinHandle<()>)> = Vec::new();
+    // A stop raised before the sweep starts means "dispatch nothing":
+    // skipping worker spawn entirely makes the all-halted outcome
+    // deterministic instead of racing the drain against eager workers.
+    let workers = if ctrl.stop.as_ref().is_some_and(|s| s.is_stopped()) {
+        0
+    } else {
+        workers
+    };
     for _ in 0..workers {
         let abandoned = Arc::new(AtomicBool::new(false));
         let h = spawn_worker(
@@ -556,6 +662,9 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
     let mut workers_respawned = 0u64;
     let mut delayed: Vec<(Instant, Attempt<T>)> = Vec::new();
     let mut worker_metrics: BTreeMap<u64, MetricsRegistry> = BTreeMap::new();
+    let stop = ctrl.stop.clone();
+    let mut stopped = false;
+    let mut halted_count = 0usize;
 
     let enqueue = |shared: &Shared<T>, attempt: Attempt<T>| {
         shared
@@ -566,7 +675,29 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
         shared.available.notify_one();
     };
 
-    while finalized < job_count {
+    while finalized + halted_count < job_count {
+        // Cooperative stop: drain everything not yet handed to a worker.
+        // In-flight attempts are left to finish (or hit the deadline) and
+        // are adjudicated normally; queued and backoff-delayed attempts
+        // are halted without a record and named in the report.
+        if !stopped && stop.as_ref().is_some_and(|s| s.is_stopped()) {
+            stopped = true;
+            let drained: Vec<Attempt<T>> = {
+                let mut q = shared.queue.lock().expect("pool queue poisoned");
+                q.drain(..).collect()
+            };
+            let delayed_attempts: Vec<Attempt<T>> =
+                delayed.drain(..).map(|(_, attempt)| attempt).collect();
+            for a in drained.into_iter().chain(delayed_attempts) {
+                let st = &mut states[a.job_id as usize];
+                if st.record.is_none() && !st.halted {
+                    st.halted = true;
+                    halted_count += 1;
+                }
+            }
+            continue; // re-check the loop condition before blocking
+        }
+
         // Release retries whose (optional) real backoff has elapsed.
         let now = Instant::now();
         let mut i = 0;
@@ -579,11 +710,12 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
             }
         }
 
-        // Block indefinitely when no retry is waiting on its backoff —
-        // worker/watchdog messages are the only possible wakeups then.
-        // Poll with a short timeout only while `delayed` holds retries
-        // whose (real) backoff has yet to elapse.
-        let msg = if delayed.is_empty() {
+        // Block indefinitely when no retry is waiting on its backoff and
+        // no stop handle needs polling — worker/watchdog messages are the
+        // only possible wakeups then. Poll with a short timeout while
+        // `delayed` holds retries whose (real) backoff has yet to elapse,
+        // or while a stop handle could be raised behind our back.
+        let msg = if delayed.is_empty() && stop.is_none() {
             match rx.recv() {
                 Ok(m) => m,
                 Err(_) => break, // all senders gone
@@ -684,13 +816,23 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
                     worker,
                 });
                 finalized += 1;
+                if let Some(cb) = ctrl.on_adjudicated.as_mut() {
+                    cb(state.record.as_ref().expect("record just set"));
+                }
             }
-            Err(_retryable) if state.attempts < max_attempts => {
+            // A stopped sweep spends no further attempts: a failure that
+            // would have retried is finalized with what it has.
+            Err(_retryable) if state.attempts < max_attempts && !stopped => {
                 // Deterministic doubling backoff, recorded always and
-                // slept only on request.
+                // slept only on request. The retry is journaled at this
+                // decision point, before it can be released to a worker.
                 let backoff = config.backoff_base_ms << (state.attempts - 1).min(32);
                 state.backoff_ms += backoff;
                 retries += 1;
+                let next_attempt = state.attempts + 1;
+                if let Some(cb) = ctrl.on_dispatch.as_mut() {
+                    cb(job_id, next_attempt);
+                }
                 let due = if config.sleep_on_backoff {
                     Instant::now() + Duration::from_millis(backoff)
                 } else {
@@ -700,7 +842,7 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
                     due,
                     Attempt {
                         job_id,
-                        attempt: state.attempts + 1,
+                        attempt: next_attempt,
                         work: Arc::clone(&state.work),
                     },
                 ));
@@ -721,6 +863,9 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
                     worker,
                 });
                 finalized += 1;
+                if let Some(cb) = ctrl.on_adjudicated.as_mut() {
+                    cb(state.record.as_ref().expect("record just set"));
+                }
             }
         }
     }
@@ -755,14 +900,15 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
     metrics.set("pool.workers", workers as u64);
     metrics.set("pool.workers_respawned", workers_respawned);
 
-    let jobs: Vec<JobRecord<T>> = states
-        .into_iter()
-        .enumerate()
-        .map(|(id, s)| {
-            s.record
-                .unwrap_or_else(|| unreachable!("job {id} finished the sweep without a record"))
-        })
-        .collect();
+    let mut jobs: Vec<JobRecord<T>> = Vec::with_capacity(finalized);
+    let mut halted: Vec<u64> = Vec::with_capacity(halted_count);
+    for (id, s) in states.into_iter().enumerate() {
+        match s.record {
+            Some(rec) => jobs.push(rec),
+            None if s.halted => halted.push(id as u64),
+            None => unreachable!("job {id} finished the sweep without a record"),
+        }
+    }
     let quarantined: Vec<u64> = jobs
         .iter()
         .filter(|j| matches!(j.outcome, JobOutcome::Quarantined(_)))
@@ -775,6 +921,8 @@ pub fn run_sweep<T: Send + 'static>(config: &PoolConfig, jobs: Vec<Job<T>>) -> S
         workers_respawned,
         retries,
         quarantined,
+        interrupted: stopped,
+        halted,
         wall_clock_us: sweep_started.elapsed().as_micros() as u64,
         metrics,
     }

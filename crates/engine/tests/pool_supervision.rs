@@ -11,7 +11,10 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use oasis_engine::pool::{run_sweep, Job, JobError, JobOutcome, PoolConfig};
+use oasis_engine::pool::{
+    run_sweep, run_sweep_controlled, Job, JobError, JobOutcome, PoolConfig, StopHandle,
+    SweepControl,
+};
 
 /// The failure repertoire a supervised job can exercise.
 #[derive(Clone)]
@@ -284,4 +287,155 @@ fn mixed_sweep_matches_the_issue_acceptance_scenario() {
             .collect::<Vec<_>>()
     };
     assert_eq!(surviving(&parallel), surviving(&serial));
+}
+
+#[test]
+fn a_pre_raised_stop_halts_every_job_without_dispatching() {
+    let stop = StopHandle::new();
+    stop.stop();
+    let mut dispatched = Vec::new();
+    let mut on_dispatch = |id: u64, attempt: u32| dispatched.push((id, attempt));
+    let report = run_sweep_controlled(
+        &PoolConfig::with_workers(2),
+        vec![
+            job("never-0", JobKind::Ok { value: 1 }),
+            job("never-1", JobKind::Ok { value: 2 }),
+        ],
+        SweepControl {
+            stop: Some(stop),
+            on_dispatch: Some(&mut on_dispatch),
+            on_adjudicated: None,
+        },
+    );
+    assert!(report.interrupted);
+    assert!(report.jobs.is_empty(), "nothing was adjudicated");
+    assert_eq!(report.halted, vec![0, 1], "both jobs drained unrecorded");
+    // The initial fan-out observed the dispatches before the supervisor
+    // noticed the stop — exactly what a write-ahead journal needs: an
+    // attempt may be recorded and then never adjudicated, never the
+    // reverse.
+    assert_eq!(dispatched, vec![(0, 1), (1, 1)]);
+}
+
+#[test]
+fn a_mid_sweep_stop_drains_the_queue_and_keeps_finished_work() {
+    // Worker 1 + a gate inside job 0: the sweep is stopped while job 0 is
+    // in flight, so job 0 adjudicates normally and jobs 1..4 are halted.
+    let stop = StopHandle::new();
+    let gate = {
+        let stop = stop.clone();
+        move |_ctx: &oasis_engine::pool::JobCtx| {
+            stop.stop();
+            // Give the supervisor time to notice before finishing, so the
+            // queued jobs are reliably drained rather than dispatched.
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(42u64)
+        }
+    };
+    let mut jobs = vec![Job::new("gate", gate)];
+    for i in 1..4u64 {
+        jobs.push(job(&format!("queued-{i}"), JobKind::Ok { value: i }));
+    }
+    let mut adjudicated = Vec::new();
+    let mut on_adjudicated =
+        |rec: &oasis_engine::pool::JobRecord<u64>| adjudicated.push((rec.id, rec.attempts));
+    let report = run_sweep_controlled(
+        &PoolConfig::with_workers(1),
+        jobs,
+        SweepControl {
+            stop: Some(stop.clone()),
+            on_dispatch: None,
+            on_adjudicated: Some(&mut on_adjudicated),
+        },
+    );
+    assert!(report.interrupted);
+    assert!(stop.is_stopped());
+    assert_eq!(report.jobs.len(), 1, "only the in-flight job finished");
+    assert_eq!(report.jobs[0].outcome.value(), Some(&42));
+    assert_eq!(report.halted, vec![1, 2, 3]);
+    assert_eq!(adjudicated, vec![(0, 1)]);
+}
+
+#[test]
+fn stop_suppresses_retries_but_adjudicates_the_failure() {
+    // The job fails every attempt and raises the stop during the first:
+    // instead of burning the remaining attempts the supervisor finalizes
+    // it as Failed with attempts=1.
+    let stop = StopHandle::new();
+    let flaky = {
+        let stop = stop.clone();
+        move |ctx: &oasis_engine::pool::JobCtx| -> Result<u64, String> {
+            stop.stop();
+            std::thread::sleep(Duration::from_millis(30));
+            Err(format!("transient failure on attempt {}", ctx.attempt))
+        }
+    };
+    let config = PoolConfig {
+        workers: 1,
+        max_attempts: 5,
+        backoff_base_ms: 1,
+        ..PoolConfig::default()
+    };
+    let report = run_sweep_controlled(
+        &config,
+        vec![Job::new("flaky", flaky)],
+        SweepControl {
+            stop: Some(stop),
+            on_dispatch: None,
+            on_adjudicated: None,
+        },
+    );
+    assert!(report.interrupted);
+    let rec = &report.jobs[0];
+    assert_eq!(rec.attempts, 1, "no retry after the stop was raised");
+    assert!(matches!(
+        rec.outcome,
+        JobOutcome::Failed(JobError::Failed(_))
+    ));
+    assert_eq!(report.retries, 0);
+}
+
+#[test]
+fn an_unstopped_controlled_sweep_matches_run_sweep_and_journals_every_step() {
+    let build = || {
+        vec![
+            job("ok", JobKind::Ok { value: 5 }),
+            job("flaky", JobKind::FailNTimes { n: 1, value: 6 }),
+        ]
+    };
+    let config = PoolConfig {
+        workers: 2,
+        max_attempts: 3,
+        backoff_base_ms: 1,
+        sleep_on_backoff: false,
+        ..PoolConfig::default()
+    };
+    let mut dispatched = Vec::new();
+    let mut adjudicated = Vec::new();
+    let mut on_dispatch = |id: u64, attempt: u32| dispatched.push((id, attempt));
+    let mut on_adjudicated =
+        |rec: &oasis_engine::pool::JobRecord<u64>| adjudicated.push((rec.id, rec.attempts));
+    let controlled = run_sweep_controlled(
+        &config,
+        build(),
+        SweepControl {
+            stop: None,
+            on_dispatch: Some(&mut on_dispatch),
+            on_adjudicated: Some(&mut on_adjudicated),
+        },
+    );
+    let plain = run_sweep(&config, build());
+    assert!(!controlled.interrupted);
+    assert!(controlled.halted.is_empty());
+    assert_eq!(controlled.jobs.len(), plain.jobs.len());
+    for (c, p) in controlled.jobs.iter().zip(&plain.jobs) {
+        assert_eq!(c.outcome.value(), p.outcome.value());
+        assert_eq!(c.attempts, p.attempts);
+    }
+    // Every attempt produced exactly one Dispatched observation, in
+    // attempt order per job, and every job exactly one adjudication.
+    dispatched.sort_unstable();
+    assert_eq!(dispatched, vec![(0, 1), (1, 1), (1, 2)]);
+    adjudicated.sort_unstable();
+    assert_eq!(adjudicated, vec![(0, 1), (1, 2)]);
 }

@@ -29,11 +29,17 @@ pub mod oracle;
 pub mod scenario;
 pub mod shrink;
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use oasis_engine::pool::{run_sweep, Job, JobOutcome, PoolConfig};
-use oasis_engine::SimRng;
+use oasis_engine::codec::{ByteReader, ByteWriter};
+use oasis_engine::journal::{AdjudicatedOutcome, Adjudication, JournalWriter, Recovery};
+use oasis_engine::pool::{
+    run_sweep_controlled, Job, JobOutcome, PoolConfig, StopHandle, SweepControl,
+};
+use oasis_engine::{fnv1a, SimRng};
 
 pub use corpus::{from_json, load_dir, to_json, write_repro, Corpus, CorpusEntry, SkippedFile};
 pub use oracle::{check, OracleKind, Violation};
@@ -63,6 +69,17 @@ pub struct FuzzOptions {
     pub deadline: Option<Duration>,
     /// Attempts per case before it counts as a job failure (at least 1).
     pub attempts: u32,
+    /// Write-ahead sweep journal: every dispatch and every adjudicated
+    /// outcome is fsync'd here, so a killed sweep can be resumed.
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal at [`FuzzOptions::journal`]:
+    /// already-adjudicated cases are merged from the journal instead of
+    /// re-run. The journal must carry the same `(seed, cases)` tag.
+    pub resume_sweep: bool,
+    /// Cooperative stop: once raised (e.g. by a signal handler) the sweep
+    /// drains — in-flight cases finish, nothing new dispatches — and the
+    /// report comes back with [`FuzzReport::interrupted`] set.
+    pub stop: Option<StopHandle>,
 }
 
 impl FuzzOptions {
@@ -77,7 +94,22 @@ impl FuzzOptions {
             jobs: 1,
             deadline: None,
             attempts: 1,
+            journal: None,
+            resume_sweep: false,
+            stop: None,
         }
+    }
+
+    /// The journal tag pinning this sweep's identity: a resume is only
+    /// valid against a journal created with the same seed and case count.
+    pub fn sweep_tag(&self) -> u64 {
+        fnv1a(
+            format!(
+                "oasis-fuzz-sweep-v1 seed={} cases={}",
+                self.seed, self.cases
+            )
+            .as_bytes(),
+        )
     }
 }
 
@@ -148,11 +180,21 @@ pub struct FuzzReport {
     /// Cases lost to supervision (panic/deadline/retry-exhaustion), in
     /// case order.
     pub job_failures: Vec<JobFailure>,
-    /// Retried attempts across the sweep.
+    /// Retried attempts across the sweep (journaled resumes included:
+    /// computed from per-case attempt counts, so it is identical whether
+    /// the sweep ran straight through or across several processes).
     pub retries: u64,
     /// Workers respawned after deadline abandonments (0 unless a
     /// deadline is configured; not deterministic when it fires).
     pub workers_respawned: u64,
+    /// Cases merged from a resumed journal instead of re-run.
+    pub resumed_cases: u64,
+    /// Whether a cooperative stop drained the sweep before every case was
+    /// adjudicated. An interrupted journaled sweep is resumable.
+    pub interrupted: bool,
+    /// Human-readable journal warnings (salvaged tail, duplicate
+    /// adjudication records). Never part of the JSON report.
+    pub warnings: Vec<String>,
 }
 
 impl FuzzReport {
@@ -160,6 +202,91 @@ impl FuzzReport {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty() && self.job_failures.is_empty()
     }
+}
+
+/// One case's terminal state, as adjudicated by the pool or replayed
+/// from a journal.
+enum CaseOutcome {
+    /// The oracle found nothing.
+    Clean,
+    /// The oracle reported a violation.
+    Violation(Violation),
+    /// The *job* was lost to supervision (panic/deadline/retries).
+    Lost {
+        /// The supervision error, rendered.
+        error: String,
+        /// Whether the worker was crashed/wedged (vs a typed failure).
+        quarantined: bool,
+    },
+}
+
+/// A case outcome plus the attempts it consumed.
+struct CaseRecord {
+    outcome: CaseOutcome,
+    attempts: u32,
+}
+
+/// Journal payloads keep violation details and error strings bounded so
+/// one pathological message cannot overflow the u16 string prefix.
+const PAYLOAD_CLIP_CHARS: usize = 2048;
+
+fn clip(s: &str) -> String {
+    if s.len() <= PAYLOAD_CLIP_CHARS {
+        s.to_string()
+    } else {
+        s.chars().take(PAYLOAD_CLIP_CHARS).collect()
+    }
+}
+
+/// Encodes a pool outcome into the opaque `Adjudicated` journal payload.
+fn encode_case_payload(outcome: &JobOutcome<Option<Violation>>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match outcome {
+        JobOutcome::Completed(None) => w.u8(0),
+        JobOutcome::Completed(Some(v)) => {
+            w.u8(1);
+            w.str(v.kind.as_str());
+            w.str(&clip(&v.detail));
+        }
+        JobOutcome::Failed(e) | JobOutcome::Quarantined(e) => w.str(&clip(&e.to_string())),
+    }
+    w.into_vec()
+}
+
+/// Decodes one journaled adjudication back into a case record.
+fn decode_case_payload(case: u64, adj: &Adjudication) -> Result<CaseRecord, String> {
+    let mut r = ByteReader::new("fuzz-journal-case", &adj.payload);
+    let ctx = |e: oasis_engine::CodecError| format!("journaled case {case} is undecodable: {e}");
+    let outcome = match adj.outcome {
+        AdjudicatedOutcome::Completed => match r.u8().map_err(ctx)? {
+            0 => CaseOutcome::Clean,
+            1 => {
+                let kind_str = r.str().map_err(ctx)?;
+                let kind = OracleKind::parse(&kind_str).ok_or_else(|| {
+                    format!("journaled case {case} names unknown oracle kind '{kind_str}'")
+                })?;
+                let detail = r.str().map_err(ctx)?;
+                CaseOutcome::Violation(Violation { kind, detail })
+            }
+            b => {
+                return Err(format!(
+                    "journaled case {case} has bad verdict byte {b:#04x}"
+                ))
+            }
+        },
+        AdjudicatedOutcome::Failed => CaseOutcome::Lost {
+            error: r.str().map_err(ctx)?,
+            quarantined: false,
+        },
+        AdjudicatedOutcome::Quarantined => CaseOutcome::Lost {
+            error: r.str().map_err(ctx)?,
+            quarantined: true,
+        },
+    };
+    Ok(CaseRecord {
+        outcome,
+        attempts: adj.attempts,
+    })
 }
 
 /// Runs a fuzzing session: all cases fan out over the supervised pool
@@ -172,10 +299,59 @@ impl FuzzReport {
 /// content is fully independent of [`FuzzOptions::jobs`]; with a budget,
 /// the dispatch-wave layout is still jobs-independent, but `cases_run`
 /// depends on how many waves fit inside the wall-clock budget.
-pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
+///
+/// With [`FuzzOptions::journal`] set, every dispatch and adjudication is
+/// journaled write-ahead (fsync'd), and [`FuzzOptions::resume_sweep`]
+/// merges a previous (killed or drained) sweep's adjudicated cases
+/// instead of re-running them — because results are keyed and collected
+/// by case index, a resumed budget-free report is byte-identical to a
+/// straight run's. Errors are returned only for unusable journals (bad
+/// tag, undecodable payload, append failure); oracle violations and lost
+/// jobs stay inside the report.
+pub fn run_fuzz(opts: &FuzzOptions) -> Result<FuzzReport, String> {
     let started = Instant::now();
     let mut master = SimRng::seed_from_u64(opts.seed);
     let case_seeds: Vec<u64> = (0..opts.cases).map(|_| master.next_u64()).collect();
+
+    // Journal setup: fresh create, or recover-and-resume. Adjudications
+    // salvaged from the journal seed the outcome map; those cases are
+    // never dispatched again.
+    let mut warnings: Vec<String> = Vec::new();
+    let mut outcomes: BTreeMap<u64, CaseRecord> = BTreeMap::new();
+    let tag = opts.sweep_tag();
+    let journal: Option<JournalWriter> = match &opts.journal {
+        None => None,
+        Some(path) if opts.resume_sweep => {
+            let (writer, recovery): (JournalWriter, Recovery) = JournalWriter::resume(path, tag)
+                .map_err(|e| format!("cannot resume sweep journal {}: {e}", path.display()))?;
+            warnings.extend(recovery.warnings());
+            for (&case, adj) in &recovery.adjudicated {
+                if case < opts.cases {
+                    outcomes.insert(case, decode_case_payload(case, adj)?);
+                } else {
+                    warnings.push(format!(
+                        "journal adjudicates case {case}, beyond cases={}; ignored",
+                        opts.cases
+                    ));
+                }
+            }
+            Some(writer)
+        }
+        Some(path) => {
+            let label = format!("fuzz seed={} cases={}", opts.seed, opts.cases);
+            Some(
+                JournalWriter::create(path, tag, &label)
+                    .map_err(|e| format!("cannot create sweep journal {}: {e}", path.display()))?,
+            )
+        }
+    };
+    let resumed_cases = outcomes.len() as u64;
+    let journal = RefCell::new(journal);
+    let journal_failure: RefCell<Option<String>> = RefCell::new(None);
+    // The stop handle serves two masters: the caller's signal handler,
+    // and the journal itself — an append failure stops the sweep rather
+    // than silently running on without durability.
+    let stop = opts.stop.clone().unwrap_or_default();
 
     let pool = PoolConfig {
         workers: opts.jobs.max(1),
@@ -190,81 +366,156 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
     // budget can cut at) is also independent of `jobs`; how many waves
     // fit inside the budget still depends on wall-clock speed.
     const BUDGET_WAVE: usize = 32;
+    let remaining: Vec<u64> = (0..opts.cases)
+        .filter(|case| !outcomes.contains_key(case))
+        .collect();
     let wave = if opts.time_budget.is_some() {
         BUDGET_WAVE
     } else {
-        case_seeds.len().max(1)
+        remaining.len().max(1)
     };
 
-    let mut cases_run = 0u64;
-    let mut violations = Vec::new();
-    let mut job_failures = Vec::new();
-    let mut retries = 0u64;
     let mut workers_respawned = 0u64;
-    for wave_start in (0..case_seeds.len()).step_by(wave) {
+    let mut interrupted = false;
+    for chunk in remaining.chunks(wave) {
         if opts
             .time_budget
             .is_some_and(|budget| started.elapsed() >= budget)
         {
             break;
         }
-        let wave_end = (wave_start + wave).min(case_seeds.len());
-        let jobs: Vec<Job<Option<Violation>>> = case_seeds[wave_start..wave_end]
+        if stop.is_stopped() {
+            interrupted = true;
+            break;
+        }
+        let jobs: Vec<Job<Option<Violation>>> = chunk
             .iter()
-            .enumerate()
-            .map(|(i, &seed)| {
-                Job::new(format!("case-{}", wave_start + i), move |_ctx| {
+            .map(|&case| {
+                let seed = case_seeds[case as usize];
+                Job::new(format!("case-{case}"), move |_ctx| {
                     Ok(check(&Scenario::generate(seed)))
                 })
             })
             .collect();
-        let sweep = run_sweep(&pool, jobs);
-        retries += sweep.retries;
-        workers_respawned += sweep.workers_respawned;
-        for record in sweep.jobs {
-            let case_index = wave_start as u64 + record.id;
-            let scenario_seed = case_seeds[case_index as usize];
-            cases_run += 1;
-            match record.outcome {
-                JobOutcome::Completed(None) => {}
-                JobOutcome::Completed(Some(violation)) => violations.push(CaseViolation {
-                    case_index,
-                    scenario: Scenario::generate(scenario_seed),
-                    violation,
-                }),
-                JobOutcome::Failed(e) | JobOutcome::Quarantined(e) => {
-                    let quarantined = e.crashed_worker();
-                    job_failures.push(JobFailure {
-                        case_index,
-                        scenario_seed,
-                        error: e.to_string(),
-                        attempts: record.attempts,
-                        quarantined,
-                    });
+        // Pool job ids are wave-local; the observers translate them back
+        // to sweep-level case indices before journaling.
+        let mut on_dispatch = |pool_id: u64, attempt: u32| {
+            if let Some(w) = journal.borrow_mut().as_mut() {
+                if let Err(e) = w.dispatched(chunk[pool_id as usize], attempt) {
+                    *journal_failure.borrow_mut() =
+                        Some(format!("sweep journal append failed: {e}"));
+                    stop.stop();
                 }
             }
+        };
+        let mut on_adjudicated = |rec: &oasis_engine::pool::JobRecord<Option<Violation>>| {
+            if let Some(w) = journal.borrow_mut().as_mut() {
+                let payload = encode_case_payload(&rec.outcome);
+                if let Err(e) = w.adjudicated(
+                    chunk[rec.id as usize],
+                    AdjudicatedOutcome::of(&rec.outcome),
+                    rec.attempts,
+                    &payload,
+                ) {
+                    *journal_failure.borrow_mut() =
+                        Some(format!("sweep journal append failed: {e}"));
+                    stop.stop();
+                }
+            }
+        };
+        let ctrl = SweepControl {
+            stop: Some(stop.clone()),
+            on_dispatch: Some(&mut on_dispatch),
+            on_adjudicated: Some(&mut on_adjudicated),
+        };
+        let sweep = run_sweep_controlled(&pool, jobs, ctrl);
+        workers_respawned += sweep.workers_respawned;
+        for record in sweep.jobs {
+            let case = chunk[record.id as usize];
+            let attempts = record.attempts;
+            let outcome = match record.outcome {
+                JobOutcome::Completed(None) => CaseOutcome::Clean,
+                JobOutcome::Completed(Some(violation)) => CaseOutcome::Violation(violation),
+                JobOutcome::Failed(e) => CaseOutcome::Lost {
+                    error: e.to_string(),
+                    quarantined: false,
+                },
+                JobOutcome::Quarantined(e) => CaseOutcome::Lost {
+                    error: e.to_string(),
+                    quarantined: true,
+                },
+            };
+            outcomes.insert(case, CaseRecord { outcome, attempts });
+        }
+        if sweep.interrupted {
+            interrupted = true;
+            break;
+        }
+    }
+
+    if interrupted {
+        // Clean-drain trailer: marks the journal deliberately incomplete
+        // so a resume knows the previous process exited on purpose.
+        if let Some(w) = journal.borrow_mut().as_mut() {
+            if let Err(e) = w.interrupted(outcomes.len() as u64) {
+                warnings.push(format!("could not journal the Interrupted trailer: {e}"));
+            }
+        }
+    }
+    if let Some(err) = journal_failure.into_inner() {
+        return Err(err);
+    }
+
+    // Collect in case order — `outcomes` is keyed by case index, so a
+    // resumed sweep interleaves journaled and fresh results correctly.
+    let mut cases_run = 0u64;
+    let mut violations = Vec::new();
+    let mut job_failures = Vec::new();
+    let mut retries = 0u64;
+    for (&case, rec) in &outcomes {
+        cases_run += 1;
+        retries += u64::from(rec.attempts.saturating_sub(1));
+        match &rec.outcome {
+            CaseOutcome::Clean => {}
+            CaseOutcome::Violation(violation) => violations.push(CaseViolation {
+                case_index: case,
+                scenario: Scenario::generate(case_seeds[case as usize]),
+                violation: violation.clone(),
+            }),
+            CaseOutcome::Lost { error, quarantined } => job_failures.push(JobFailure {
+                case_index: case,
+                scenario_seed: case_seeds[case as usize],
+                error: error.clone(),
+                attempts: rec.attempts,
+                quarantined: *quarantined,
+            }),
         }
     }
 
     // Shrink the lowest-index violation: one minimal, corpus-saved repro
     // is the actionable artifact; the full tally stays in the report.
-    let failure = violations.first().map(|first| {
-        let result = shrink(&first.scenario, &first.violation, opts.shrink_budget);
-        let corpus_path = opts
-            .corpus_dir
-            .as_ref()
-            .and_then(|dir| write_repro(dir, &result.scenario, Some(result.violation.kind)).ok());
-        CaseFailure {
-            case_index: first.case_index,
-            original: first.scenario.clone(),
-            shrunk: result.scenario,
-            violation: result.violation,
-            corpus_path,
-            shrink_attempts: result.attempts,
-        }
-    });
+    // A drained sweep skips shrinking — the resume will do it with the
+    // complete picture.
+    let failure = if interrupted {
+        None
+    } else {
+        violations.first().map(|first| {
+            let result = shrink(&first.scenario, &first.violation, opts.shrink_budget);
+            let corpus_path = opts.corpus_dir.as_ref().and_then(|dir| {
+                write_repro(dir, &result.scenario, Some(result.violation.kind)).ok()
+            });
+            CaseFailure {
+                case_index: first.case_index,
+                original: first.scenario.clone(),
+                shrunk: result.scenario,
+                violation: result.violation,
+                corpus_path,
+                shrink_attempts: result.attempts,
+            }
+        })
+    };
 
-    FuzzReport {
+    Ok(FuzzReport {
         cases_run,
         elapsed: started.elapsed(),
         violations,
@@ -272,7 +523,10 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
         job_failures,
         retries,
         workers_respawned,
-    }
+        resumed_cases,
+        interrupted,
+        warnings,
+    })
 }
 
 /// Renders a machine-readable session report. With no time budget set,
@@ -340,7 +594,7 @@ mod tests {
 
     #[test]
     fn a_short_clean_session_reports_all_cases_run() {
-        let report = run_fuzz(&FuzzOptions::new(0xFA57, 2));
+        let report = run_fuzz(&FuzzOptions::new(0xFA57, 2)).expect("unjournaled run");
         assert_eq!(report.cases_run, 2);
         assert!(
             report.failure.is_none(),
@@ -353,8 +607,73 @@ mod tests {
     fn zero_time_budget_stops_before_any_case() {
         let mut opts = FuzzOptions::new(1, 100);
         opts.time_budget = Some(Duration::ZERO);
-        let report = run_fuzz(&opts);
+        let report = run_fuzz(&opts).expect("unjournaled run");
         assert_eq!(report.cases_run, 0);
         assert!(report.failure.is_none());
+    }
+
+    #[test]
+    fn the_sweep_tag_pins_seed_and_case_count() {
+        assert_eq!(
+            FuzzOptions::new(7, 10).sweep_tag(),
+            FuzzOptions::new(7, 10).sweep_tag()
+        );
+        assert_ne!(
+            FuzzOptions::new(7, 10).sweep_tag(),
+            FuzzOptions::new(8, 10).sweep_tag()
+        );
+        assert_ne!(
+            FuzzOptions::new(7, 10).sweep_tag(),
+            FuzzOptions::new(7, 11).sweep_tag()
+        );
+    }
+
+    #[test]
+    fn a_pre_raised_stop_interrupts_before_any_case() {
+        let stop = StopHandle::new();
+        stop.stop();
+        let mut opts = FuzzOptions::new(3, 5);
+        opts.stop = Some(stop);
+        let report = run_fuzz(&opts).expect("stop is not an error");
+        assert!(report.interrupted);
+        assert_eq!(report.cases_run, 0);
+        assert!(report.failure.is_none());
+    }
+
+    #[test]
+    fn case_payloads_round_trip_through_the_journal_encoding() {
+        use oasis_engine::pool::JobError;
+        let cases: Vec<JobOutcome<Option<Violation>>> = vec![
+            JobOutcome::Completed(None),
+            JobOutcome::Completed(Some(Violation {
+                kind: OracleKind::Panic,
+                detail: "boom".to_string(),
+            })),
+            JobOutcome::Failed(JobError::Failed("typed".to_string())),
+            JobOutcome::Quarantined(JobError::Panicked("crash".to_string())),
+        ];
+        for (i, outcome) in cases.iter().enumerate() {
+            let adj = Adjudication {
+                outcome: AdjudicatedOutcome::of(outcome),
+                attempts: 2,
+                payload: encode_case_payload(outcome),
+            };
+            let rec = decode_case_payload(i as u64, &adj).expect("decode");
+            assert_eq!(rec.attempts, 2);
+            match (outcome, &rec.outcome) {
+                (JobOutcome::Completed(None), CaseOutcome::Clean) => {}
+                (JobOutcome::Completed(Some(v)), CaseOutcome::Violation(d)) => {
+                    assert_eq!(v.kind, d.kind);
+                    assert_eq!(v.detail, d.detail);
+                }
+                (JobOutcome::Failed(_), CaseOutcome::Lost { quarantined, .. }) => {
+                    assert!(!quarantined);
+                }
+                (JobOutcome::Quarantined(_), CaseOutcome::Lost { quarantined, .. }) => {
+                    assert!(quarantined);
+                }
+                _ => panic!("case {i}: outcome changed shape through the journal"),
+            }
+        }
     }
 }

@@ -11,7 +11,7 @@ use oasis_fuzz::{report_json, run_fuzz, FuzzOptions};
 
 /// Renders the report and strips the only nondeterministic line.
 fn deterministic_json(opts: &FuzzOptions) -> String {
-    let report = run_fuzz(opts);
+    let report = run_fuzz(opts).expect("unjournaled run cannot fail");
     assert_eq!(report.cases_run, opts.cases, "all cases must run");
     report_json(opts, &report)
         .lines()

@@ -43,7 +43,7 @@ fn fuzzer_catches_shrinks_and_remembers_a_planted_eviction_bug() {
         let _bug = PlantedBug::plant();
         let mut opts = FuzzOptions::new(MASTER_SEED, 10);
         opts.corpus_dir = Some(corpus_dir.clone());
-        let report = run_fuzz(&opts);
+        let report = run_fuzz(&opts).expect("unjournaled run cannot fail");
         report
             .failure
             .expect("planted eviction bug must be caught within 10 cases")
@@ -102,7 +102,7 @@ fn fuzzer_catches_shrinks_and_remembers_a_planted_eviction_bug() {
 fn scan_for_master_seed() {
     let _bug = PlantedBug::plant();
     for master in 0..32u64 {
-        let report = run_fuzz(&FuzzOptions::new(master, 5));
+        let report = run_fuzz(&FuzzOptions::new(master, 5)).expect("unjournaled run cannot fail");
         if let Some(f) = report.failure {
             println!(
                 "master={master} case={} kind={} shrunk: {}",

@@ -365,6 +365,13 @@ pub struct CampaignConfig {
     pub deadline: Option<std::time::Duration>,
     /// Attempts per scenario before it counts as a job failure.
     pub attempts: u32,
+    /// Write-ahead sweep journal: dispatches and outcomes are fsync'd
+    /// here so a killed campaign can be resumed.
+    pub journal: Option<std::path::PathBuf>,
+    /// Resume from the journal instead of re-running adjudicated kinds.
+    pub resume_sweep: bool,
+    /// Cooperative stop: raised by a signal handler to drain the sweep.
+    pub stop: Option<oasis_engine::StopHandle>,
 }
 
 impl Default for CampaignConfig {
@@ -373,6 +380,9 @@ impl Default for CampaignConfig {
             jobs: 1,
             deadline: None,
             attempts: 1,
+            journal: None,
+            resume_sweep: false,
+            stop: None,
         }
     }
 }
@@ -389,18 +399,29 @@ pub struct CampaignReport {
     pub job_failures: Vec<(Perturbation, String)>,
     /// Kinds quarantined after crashing or hanging their worker.
     pub quarantined: Vec<Perturbation>,
-    /// Retried attempts across the sweep.
+    /// Retried attempts across the sweep, computed from per-kind attempt
+    /// counts so a resumed campaign reports the same value as a straight
+    /// one.
     pub retries: u64,
     /// Workers respawned after deadline abandonments.
     pub workers_respawned: u64,
+    /// Kinds merged from a resumed journal instead of re-run.
+    pub resumed: u64,
+    /// Whether a cooperative stop drained the campaign before every kind
+    /// was adjudicated; missing kinds have no outcome line.
+    pub interrupted: bool,
+    /// Journal recovery warnings (salvaged tail, duplicates).
+    pub warnings: Vec<String>,
 }
 
 impl CampaignReport {
-    /// Whether the campaign is healthy: no supervision casualties and
-    /// every outcome matches its kind's expectation (see
-    /// [`InjectionOutcome::passed`]).
+    /// Whether the campaign is healthy: ran to completion with no
+    /// supervision casualties, and every outcome matches its kind's
+    /// expectation (see [`InjectionOutcome::passed`]).
     pub fn passed(&self) -> bool {
-        self.job_failures.is_empty() && self.outcomes.iter().all(InjectionOutcome::passed)
+        !self.interrupted
+            && self.job_failures.is_empty()
+            && self.outcomes.iter().all(InjectionOutcome::passed)
     }
 }
 
@@ -425,40 +446,219 @@ fn campaign_seeds(master_seed: u64) -> Vec<u64> {
         .collect()
 }
 
+/// The journal tag pinning a campaign's identity to its master seed.
+fn campaign_tag(master_seed: u64) -> u64 {
+    oasis_engine::fnv1a(format!("oasis-inject-campaign-v1 seed={master_seed}").as_bytes())
+}
+
+/// One kind's adjudicated end state, live or replayed from a journal.
+enum KindOutcome {
+    Completed(InjectionOutcome),
+    Lost { error: String, quarantined: bool },
+}
+
+struct KindRecord {
+    outcome: KindOutcome,
+    attempts: u32,
+}
+
+/// Encodes an adjudicated campaign outcome into the journal payload.
+fn encode_kind_payload(outcome: &oasis_engine::JobOutcome<InjectionOutcome>) -> Vec<u8> {
+    let mut w = oasis_engine::ByteWriter::new();
+    match outcome {
+        oasis_engine::JobOutcome::Completed(o) => {
+            w.u64(o.seed);
+            w.bool(o.ok);
+            w.str(&o.line);
+        }
+        oasis_engine::JobOutcome::Failed(e) | oasis_engine::JobOutcome::Quarantined(e) => {
+            w.str(&e.to_string());
+        }
+    }
+    w.into_vec()
+}
+
+/// Decodes one journaled adjudication back into a kind record.
+fn decode_kind_payload(
+    kind: Perturbation,
+    adj: &oasis_engine::Adjudication,
+) -> Result<KindRecord, String> {
+    let mut r = oasis_engine::ByteReader::new("inject-journal-kind", &adj.payload);
+    let ctx = |e: oasis_engine::CodecError| {
+        format!("journaled outcome for {} is undecodable: {e}", kind.name())
+    };
+    let outcome = match adj.outcome {
+        oasis_engine::AdjudicatedOutcome::Completed => KindOutcome::Completed(InjectionOutcome {
+            kind,
+            seed: r.u64().map_err(ctx)?,
+            ok: r.bool().map_err(ctx)?,
+            line: r.str().map_err(ctx)?,
+        }),
+        oasis_engine::AdjudicatedOutcome::Failed => KindOutcome::Lost {
+            error: r.str().map_err(ctx)?,
+            quarantined: false,
+        },
+        oasis_engine::AdjudicatedOutcome::Quarantined => KindOutcome::Lost {
+            error: r.str().map_err(ctx)?,
+            quarantined: true,
+        },
+    };
+    Ok(KindRecord {
+        outcome,
+        attempts: adj.attempts,
+    })
+}
+
 /// Runs the full campaign — one scenario per [`Perturbation`] kind — with
 /// every random choice derived from `master_seed`, fanned out over the
 /// supervised pool. Outcome content is a deterministic function of the
-/// seed alone: `jobs` changes wall-clock, never the report.
-pub fn run_campaign_supervised(master_seed: u64, config: &CampaignConfig) -> CampaignReport {
+/// seed alone: `jobs` changes wall-clock, never the report. With
+/// [`CampaignConfig::journal`] set, progress is journaled write-ahead and
+/// [`CampaignConfig::resume_sweep`] merges a killed campaign's
+/// adjudicated kinds instead of re-running them.
+///
+/// # Errors
+///
+/// Returns an error only for unusable journals (wrong tag, undecodable
+/// payload, append failure); scenario failures stay inside the report.
+pub fn run_campaign_supervised(
+    master_seed: u64,
+    config: &CampaignConfig,
+) -> Result<CampaignReport, String> {
+    use std::cell::RefCell;
+
     let seeds = campaign_seeds(master_seed);
+    let tag = campaign_tag(master_seed);
+
+    let mut warnings: Vec<String> = Vec::new();
+    let mut records: std::collections::BTreeMap<u64, KindRecord> =
+        std::collections::BTreeMap::new();
+    let journal: Option<oasis_engine::JournalWriter> = match &config.journal {
+        None => None,
+        Some(path) if config.resume_sweep => {
+            let (writer, recovery) = oasis_engine::JournalWriter::resume(path, tag)
+                .map_err(|e| format!("cannot resume campaign journal {}: {e}", path.display()))?;
+            warnings.extend(recovery.warnings());
+            for (&id, adj) in &recovery.adjudicated {
+                match Perturbation::ALL.get(id as usize) {
+                    Some(&kind) => {
+                        records.insert(id, decode_kind_payload(kind, adj)?);
+                    }
+                    None => warnings.push(format!(
+                        "journal adjudicates kind index {id}, beyond the campaign; ignored"
+                    )),
+                }
+            }
+            Some(writer)
+        }
+        Some(path) => {
+            let label = format!("inject seed={master_seed}");
+            Some(
+                oasis_engine::JournalWriter::create(path, tag, &label).map_err(|e| {
+                    format!("cannot create campaign journal {}: {e}", path.display())
+                })?,
+            )
+        }
+    };
+    let resumed = records.len() as u64;
+    let journal = RefCell::new(journal);
+    let journal_failure: RefCell<Option<String>> = RefCell::new(None);
+    let stop = config.stop.clone().unwrap_or_default();
+
     let pool = oasis_engine::PoolConfig {
         workers: config.jobs.max(1),
         deadline: config.deadline,
         max_attempts: config.attempts.max(1),
         ..oasis_engine::PoolConfig::default()
     };
-    let jobs: Vec<oasis_engine::Job<InjectionOutcome>> = Perturbation::ALL
+    // Only kinds without a journaled outcome are dispatched; pool ids are
+    // remapped back through `pending` to campaign kind indices.
+    let pending: Vec<u64> = (0..Perturbation::ALL.len() as u64)
+        .filter(|id| !records.contains_key(id))
+        .collect();
+    let jobs: Vec<oasis_engine::Job<InjectionOutcome>> = pending
         .iter()
-        .zip(seeds.iter())
-        .map(|(&kind, &seed)| {
+        .map(|&id| {
+            let kind = Perturbation::ALL[id as usize];
+            let seed = seeds[id as usize];
             oasis_engine::Job::new(kind.name(), move |_ctx| Ok(run_one(kind, seed)))
         })
         .collect();
-    let sweep = oasis_engine::run_sweep(&pool, jobs);
+    let mut on_dispatch = |pool_id: u64, attempt: u32| {
+        if let Some(w) = journal.borrow_mut().as_mut() {
+            if let Err(e) = w.dispatched(pending[pool_id as usize], attempt) {
+                *journal_failure.borrow_mut() =
+                    Some(format!("campaign journal append failed: {e}"));
+                stop.stop();
+            }
+        }
+    };
+    let mut on_adjudicated = |rec: &oasis_engine::JobRecord<InjectionOutcome>| {
+        if let Some(w) = journal.borrow_mut().as_mut() {
+            let payload = encode_kind_payload(&rec.outcome);
+            if let Err(e) = w.adjudicated(
+                pending[rec.id as usize],
+                oasis_engine::AdjudicatedOutcome::of(&rec.outcome),
+                rec.attempts,
+                &payload,
+            ) {
+                *journal_failure.borrow_mut() =
+                    Some(format!("campaign journal append failed: {e}"));
+                stop.stop();
+            }
+        }
+    };
+    let ctrl = oasis_engine::SweepControl {
+        stop: Some(stop.clone()),
+        on_dispatch: Some(&mut on_dispatch),
+        on_adjudicated: Some(&mut on_adjudicated),
+    };
+    let sweep = oasis_engine::run_sweep_controlled(&pool, jobs, ctrl);
+    for record in sweep.jobs {
+        let id = pending[record.id as usize];
+        let attempts = record.attempts;
+        let outcome = match record.outcome {
+            oasis_engine::JobOutcome::Completed(o) => KindOutcome::Completed(o),
+            oasis_engine::JobOutcome::Failed(e) => KindOutcome::Lost {
+                error: e.to_string(),
+                quarantined: false,
+            },
+            oasis_engine::JobOutcome::Quarantined(e) => KindOutcome::Lost {
+                error: e.to_string(),
+                quarantined: true,
+            },
+        };
+        records.insert(id, KindRecord { outcome, attempts });
+    }
+    if sweep.interrupted {
+        if let Some(w) = journal.borrow_mut().as_mut() {
+            if let Err(e) = w.interrupted(records.len() as u64) {
+                warnings.push(format!("could not journal the Interrupted trailer: {e}"));
+            }
+        }
+    }
+    if let Some(err) = journal_failure.into_inner() {
+        return Err(err);
+    }
 
     let mut outcomes = Vec::with_capacity(Perturbation::ALL.len());
     let mut job_failures = Vec::new();
     let mut quarantined = Vec::new();
-    for record in sweep.jobs {
-        let kind = Perturbation::ALL[record.id as usize];
-        let seed = seeds[record.id as usize];
-        match record.outcome {
-            oasis_engine::JobOutcome::Completed(outcome) => outcomes.push(outcome),
-            oasis_engine::JobOutcome::Failed(e) | oasis_engine::JobOutcome::Quarantined(e) => {
-                if e.crashed_worker() {
+    let mut retries = 0u64;
+    for (&id, rec) in &records {
+        let kind = Perturbation::ALL[id as usize];
+        let seed = seeds[id as usize];
+        retries += u64::from(rec.attempts.saturating_sub(1));
+        match &rec.outcome {
+            KindOutcome::Completed(outcome) => outcomes.push(outcome.clone()),
+            KindOutcome::Lost {
+                error,
+                quarantined: was_quarantined,
+            } => {
+                if *was_quarantined {
                     quarantined.push(kind);
                 }
-                job_failures.push((kind, e.to_string()));
+                job_failures.push((kind, error.clone()));
                 // Synthesize a failed outcome so the report keeps one
                 // line per kind whatever supervision saw.
                 outcomes.push(InjectionOutcome {
@@ -468,26 +668,31 @@ pub fn run_campaign_supervised(master_seed: u64, config: &CampaignConfig) -> Cam
                     line: format!(
                         "{} seed={seed:#018x}: job {} after {} attempt(s)",
                         kind.name(),
-                        e,
-                        record.attempts
+                        error,
+                        rec.attempts
                     ),
                 });
             }
         }
     }
-    CampaignReport {
+    Ok(CampaignReport {
         outcomes,
         job_failures,
         quarantined,
-        retries: sweep.retries,
+        retries,
         workers_respawned: sweep.workers_respawned,
-    }
+        resumed,
+        interrupted: sweep.interrupted,
+        warnings,
+    })
 }
 
 /// Serial convenience wrapper around [`run_campaign_supervised`]: the
 /// classic one-thread campaign returning just the outcomes.
 pub fn run_campaign(master_seed: u64) -> Vec<InjectionOutcome> {
-    run_campaign_supervised(master_seed, &CampaignConfig::default()).outcomes
+    run_campaign_supervised(master_seed, &CampaignConfig::default())
+        .expect("an unjournaled campaign cannot fail")
+        .outcomes
 }
 
 #[cfg(test)]
@@ -576,7 +781,8 @@ mod tests {
 
     #[test]
     fn expected_abort_counts_as_a_pass() {
-        let report = run_campaign_supervised(42, &CampaignConfig::default());
+        let report = run_campaign_supervised(42, &CampaignConfig::default())
+            .expect("an unjournaled campaign cannot fail");
         assert!(report.passed(), "healthy campaign must pass");
         assert!(report.job_failures.is_empty());
         assert!(report.quarantined.is_empty());
@@ -593,14 +799,16 @@ mod tests {
 
     #[test]
     fn parallel_campaign_matches_the_serial_one() {
-        let serial = run_campaign_supervised(7, &CampaignConfig::default());
+        let serial = run_campaign_supervised(7, &CampaignConfig::default())
+            .expect("an unjournaled campaign cannot fail");
         let parallel = run_campaign_supervised(
             7,
             &CampaignConfig {
                 jobs: 3,
                 ..CampaignConfig::default()
             },
-        );
+        )
+        .expect("an unjournaled campaign cannot fail");
         assert_eq!(
             serial.outcomes, parallel.outcomes,
             "jobs must not change content"

@@ -14,8 +14,10 @@
 # at any --jobs count), a parallel corpus replay with skip-hardening and
 # failure-propagation probes, and — in strict mode — the
 # graceful-degradation matrix (every core policy must finish a run under
-# a fixed hardware-fault plan and report its recovery counters) and a
-# bounded property-fuzz smoke over the differential policy oracle.
+# a fixed hardware-fault plan and report its recovery counters), a
+# bounded property-fuzz smoke over the differential policy oracle, and
+# the crash-durability gate (SIGKILL a journaled fuzz sweep partway,
+# resume it, and cmp the report against an uninterrupted run).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -131,6 +133,39 @@ R1="$(mktemp)" R2="$(mktemp)"
 cmp "$R1" "$R2"
 echo "fuzz reports are byte-identical at --jobs 1 and --jobs $(nproc)"
 rm -f "$R1" "$R2"
+
+step "crash-durable sweeps (SIGKILL mid-sweep, resume, byte-identical)"
+if [ "$STRICT" = "1" ]; then
+    # A journaled fuzz sweep is SIGKILLed (uncatchable — no drain, the
+    # journal tail may even be torn mid-append) partway through, then
+    # resumed with --resume-sweep. The resumed report must be
+    # byte-identical to an uninterrupted run of the same sweep once the
+    # wall-clock line is dropped; journal warnings go to stderr and so
+    # never perturb the comparison.
+    JNL_DIR="$(mktemp -d)"
+    REF="$JNL_DIR/straight.json" RES="$JNL_DIR/resumed.json"
+    ./target/release/oasis-sim fuzz --seed 11 --cases 24 --jobs 4 --json \
+        --corpus-dir "$JNL_DIR" | grep -v '"elapsed_secs"' > "$REF"
+    ./target/release/oasis-sim fuzz --seed 11 --cases 24 --jobs 4 --json \
+        --corpus-dir "$JNL_DIR" --journal "$JNL_DIR/sweep.jnl" \
+        > "$JNL_DIR/killed.json" 2>/dev/null &
+    SWEEP_PID=$!
+    sleep 0.7
+    kill -9 "$SWEEP_PID" 2>/dev/null || true
+    wait "$SWEEP_PID" 2>/dev/null || true
+    [ -f "$JNL_DIR/sweep.jnl" ] || {
+        echo "kill/resume: the journal file was never created" >&2
+        exit 1
+    }
+    ./target/release/oasis-sim fuzz --seed 11 --cases 24 --jobs 4 --json \
+        --corpus-dir "$JNL_DIR" --journal "$JNL_DIR/sweep.jnl" --resume-sweep \
+        | grep -v '"elapsed_secs"' > "$RES"
+    cmp "$REF" "$RES"
+    echo "SIGKILL + --resume-sweep reproduced the straight report byte-for-byte"
+    rm -rf "$JNL_DIR"
+else
+    echo "developer mode (CI_STRICT unset); skipping the kill/resume gate"
+fi
 
 step "supervised failures exit nonzero (inject/fuzz gate)"
 # Failure paths must reach the exit code, even under --json: a direct

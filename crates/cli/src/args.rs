@@ -55,6 +55,9 @@ OPTIONS:
     --checkpoint-dir <DIR>  where checkpoints are written  [default: .]
     --resume <FILE>         run: resume from a checkpoint file (the
                             checkpoint's config and policy win over flags)
+    --digest-out <FILE>     run: write the per-epoch digest trail, one
+                            0x-prefixed hex digest per line (CI cmp's
+                            this against pinned golden fixtures)
     --json                  machine-readable output (run and inject)
     --trace-out <FILE>      run: write a Chrome trace_event JSON file
                             (open in chrome://tracing or Perfetto)
@@ -63,7 +66,11 @@ OPTIONS:
     --metrics               collect the metrics registry during run
     --top <N>               stats: rows per breakdown table [default: 20]
     --runs <N>              bench-smoke: runs per cell, best taken [default: 3]
-    --bench-out <FILE>      bench-smoke: result file [default: BENCH_pr4.json]
+    --matrix <NAME>         bench-smoke: cell matrix — full (every app x
+                            the four core policies) or quick (the
+                            historical C2D/MM x on-touch/oasis four
+                            cells)                    [default: full]
+    --bench-out <FILE>      bench-smoke: result file [default: BENCH_pr8.json]
     --baseline <FILE>       bench-smoke: baseline to gate against
                             [default: the previous --bench-out file]
     --tolerance <PCT>       bench-smoke: allowed steps/sec regression
@@ -169,6 +176,10 @@ pub struct Cli {
     pub checkpoint_dir: Option<String>,
     /// Resume `run` from this checkpoint file.
     pub resume: Option<String>,
+    /// Write the per-epoch digest trail to this file after `run`
+    /// (one `0x%016x` line per epoch — the CI determinism gate `cmp`s
+    /// this against pinned fixtures).
+    pub digest_out: Option<String>,
     /// JSON output.
     pub json: bool,
     /// Write a Chrome trace_event JSON file after `run`.
@@ -181,6 +192,9 @@ pub struct Cli {
     pub top: usize,
     /// Runs per `bench-smoke` cell (best is kept).
     pub runs: usize,
+    /// `bench-smoke` matrix selection: "full" (all apps x core policies)
+    /// or "quick" (the historical C2D/MM x on-touch/oasis four cells).
+    pub matrix: String,
     /// `bench-smoke` result file.
     pub bench_out: Option<String>,
     /// Explicit `bench-smoke` baseline file.
@@ -287,12 +301,14 @@ impl Cli {
             checkpoint_every: None,
             checkpoint_dir: None,
             resume: None,
+            digest_out: None,
             json: false,
             trace_out: None,
             trace_cap: None,
             metrics: false,
             top: 20,
             runs: 3,
+            matrix: "full".to_string(),
             bench_out: None,
             baseline: None,
             tolerance: 25,
@@ -389,6 +405,7 @@ impl Cli {
                 }
                 "--checkpoint-dir" => cli.checkpoint_dir = Some(value("--checkpoint-dir")?),
                 "--resume" => cli.resume = Some(value("--resume")?),
+                "--digest-out" => cli.digest_out = Some(value("--digest-out")?),
                 "--json" => cli.json = true,
                 "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
                 "--trace-cap" => {
@@ -463,6 +480,17 @@ impl Cli {
                 }
                 "--journal" => cli.journal = Some(value("--journal")?),
                 "--resume-sweep" => cli.resume_sweep = true,
+                "--matrix" => {
+                    let v = value("--matrix")?;
+                    match v.as_str() {
+                        "full" | "quick" => cli.matrix = v,
+                        other => {
+                            return Err(ParseError(format!(
+                                "unknown matrix '{other}' (expected 'full' or 'quick')"
+                            )))
+                        }
+                    }
+                }
                 "--bench-out" => cli.bench_out = Some(value("--bench-out")?),
                 "--baseline" => cli.baseline = Some(value("--baseline")?),
                 "--tolerance" => {
@@ -781,6 +809,19 @@ mod tests {
         assert!(parse(&["fuzz", "--resume-sweep", "--journal", "s.jnl"]).is_ok());
         let err = parse(&["fuzz", "--resume-sweep"]).unwrap_err();
         assert!(err.0.contains("--journal"), "{err}");
+    }
+
+    #[test]
+    fn digest_out_and_matrix_parse() {
+        let c = parse(&["run", "--digest-out", "trail.txt"]).unwrap();
+        assert_eq!(c.digest_out.as_deref(), Some("trail.txt"));
+        assert_eq!(parse(&["run"]).unwrap().digest_out, None);
+
+        let c = parse(&["bench-smoke", "--matrix", "quick"]).unwrap();
+        assert_eq!(c.matrix, "quick");
+        assert_eq!(parse(&["bench-smoke"]).unwrap().matrix, "full");
+        let err = parse(&["bench-smoke", "--matrix", "giant"]).unwrap_err();
+        assert!(err.0.contains("matrix"), "{err}");
     }
 
     #[test]

@@ -517,16 +517,32 @@ pub fn run_with_stop(cli: &Cli, stop: Option<StopHandle>) -> Result<String, CliE
                 }
                 None => String::new(),
             };
+            let digest_note = match &cli.digest_out {
+                Some(path) => {
+                    let mut trail = String::new();
+                    for d in &report.digest_trail {
+                        trail.push_str(&format!("{d:#018x}\n"));
+                    }
+                    oasis_engine::atomic_write(std::path::Path::new(path), trail.as_bytes())
+                        .map_err(|e| format!("--digest-out {path}: {e}"))?;
+                    format!(
+                        "digests: {} epoch digest(s) written to {path}\n",
+                        report.digest_trail.len()
+                    )
+                }
+                None => String::new(),
+            };
             let body = if cli.json {
                 render::report_json(&report)
             } else {
                 render::report_text(&report)
             };
-            // The trace note goes after text output but never inside JSON.
+            // The side-channel notes go after text output but never
+            // inside JSON (the files are written either way).
             if cli.json {
                 body
             } else {
-                format!("{body}{trace_note}")
+                format!("{body}{trace_note}{digest_note}")
             }
         }
         Command::Compare => {
@@ -869,17 +885,29 @@ mod tests {
         let out_file = dir.join("BENCH_test.json");
         let out_path = out_file.to_str().expect("utf-8");
         let _ = std::fs::remove_file(out_path);
-        // First run: no baseline yet, must pass and create the file.
-        let first = run_ok(&["bench-smoke", "--runs", "1", "--bench-out", out_path]);
+        // First run (quick matrix keeps the test snappy): no baseline yet,
+        // must pass and create the file.
+        let first = run_ok(&[
+            "bench-smoke",
+            "--matrix",
+            "quick",
+            "--runs",
+            "1",
+            "--bench-out",
+            out_path,
+        ]);
         assert!(first.contains("no-baseline"), "{first}");
         let json = std::fs::read_to_string(out_path).expect("bench file");
-        assert!(json.contains("\"oasis-bench-smoke-v1\""));
+        assert!(json.contains("\"oasis-bench-smoke-v2\""));
         assert!(json.contains("\"C2D\"") && json.contains("\"MM\""));
+        assert!(json.contains("\"rss_kb\""));
         // Second run gates against the first and should be within 90%+
         // headroom of itself... but wall-clock noise exists, so only check
         // the happy path with the widest legal tolerance.
         let second = run(&parse(&[
             "bench-smoke",
+            "--matrix",
+            "quick",
             "--runs",
             "1",
             "--bench-out",
@@ -899,6 +927,8 @@ mod tests {
         .expect("write absurd baseline");
         let err = run(&parse(&[
             "bench-smoke",
+            "--matrix",
+            "quick",
             "--runs",
             "1",
             "--bench-out",

@@ -1,33 +1,59 @@
 //! The `bench-smoke` throughput gate.
 //!
-//! Runs a fixed matrix — C2D and MM under on-touch and oasis, 4 MB
-//! footprints — `--runs` times per cell and keeps the best wall-clock
-//! (host noise only ever slows a run down, so best-of-N is the stable
-//! estimator). Results land in a small JSON file; before overwriting it,
-//! the previous file (or an explicit `--baseline`) is read back and the
-//! gate fails if any cell's retired-steps/sec regressed more than
-//! `--tolerance` percent. The matrix runs *dark* (no tracing, no metrics):
-//! it measures the simulator hot path the way production sweeps run it.
+//! Runs a benchmark matrix `--runs` times per cell and keeps the best
+//! wall-clock (host noise only ever slows a run down, so best-of-N is the
+//! stable estimator). Two matrices exist: `--matrix full` (the default)
+//! covers every workload app under the four core policies at 8 MB
+//! footprints; `--matrix quick` is the historical four-cell C2D/MM x
+//! on-touch/oasis spot check at 4 MB. Results land in a small JSON file
+//! (`oasis-bench-smoke-v2`: per-cell steps/sec and peak-RSS watermark);
+//! before overwriting it, the previous file (or an explicit `--baseline`)
+//! is read back and the gate fails if any cell present in both regressed
+//! more than `--tolerance` percent in retired-steps/sec. The matrix runs
+//! *dark* (no tracing, no metrics): it measures the simulator hot path the
+//! way production sweeps run it.
 
 use std::fmt::Write as _;
 
 use oasis_engine::pool::{run_sweep, Job, JobOutcome};
 use oasis_mgpu::{simulate, Policy, SystemConfig};
-use oasis_workloads::{generate, App, WorkloadParams};
+use oasis_workloads::{generate, App, WorkloadParams, ALL_APPS};
 
 use crate::args::Cli;
 
 /// Default result file, at the repo root by convention.
-const DEFAULT_OUT: &str = "BENCH_pr4.json";
+const DEFAULT_OUT: &str = "BENCH_pr8.json";
 
-/// The fixed benchmark matrix: one migration-bound and one sharing-bound
-/// app, each under the baseline and the paper policy.
-const MATRIX: [(App, &str); 4] = [
-    (App::C2d, "on-touch"),
-    (App::C2d, "oasis"),
-    (App::Mm, "on-touch"),
-    (App::Mm, "oasis"),
-];
+/// The four core policies every app is benchmarked under.
+const CORE_POLICIES: [&str; 4] = ["on-touch", "access-counter", "duplication", "oasis"];
+
+/// Footprint (MB) for the full matrix; deliberately larger than the
+/// historical quick matrix so capacity effects show up in the numbers.
+const FULL_FOOTPRINT_MB: u64 = 8;
+
+/// Footprint (MB) of the historical quick matrix (kept for comparability
+/// with committed BENCH_pr4.json baselines).
+const QUICK_FOOTPRINT_MB: u64 = 4;
+
+/// The benchmark matrix selected by `--matrix`: (app, policy, footprint).
+fn matrix(kind: &str) -> Vec<(App, &'static str, u64)> {
+    match kind {
+        "quick" => vec![
+            (App::C2d, "on-touch", QUICK_FOOTPRINT_MB),
+            (App::C2d, "oasis", QUICK_FOOTPRINT_MB),
+            (App::Mm, "on-touch", QUICK_FOOTPRINT_MB),
+            (App::Mm, "oasis", QUICK_FOOTPRINT_MB),
+        ],
+        _ => ALL_APPS
+            .iter()
+            .flat_map(|&app| {
+                CORE_POLICIES
+                    .iter()
+                    .map(move |&policy| (app, policy, FULL_FOOTPRINT_MB))
+            })
+            .collect(),
+    }
+}
 
 /// One benchmark cell's best-of-N measurement.
 struct Cell {
@@ -36,6 +62,10 @@ struct Cell {
     wall_clock_us: u64,
     retired_steps: u64,
     steps_per_sec: f64,
+    /// Process peak-RSS watermark (kB) observed when the cell finished.
+    /// `VmHWM` is a process-wide high-water mark, so with the default
+    /// serial execution this reads as a running maximum across cells.
+    rss_kb: u64,
 }
 
 impl Cell {
@@ -67,14 +97,16 @@ fn peak_rss_kb() -> u64 {
 fn policy_by_name(name: &str) -> Policy {
     match name {
         "on-touch" => Policy::OnTouch,
+        "access-counter" => Policy::AccessCounter,
+        "duplication" => Policy::Duplication,
         "oasis" => Policy::oasis(),
         other => unreachable!("matrix policy '{other}'"),
     }
 }
 
-fn run_cell(app: App, policy_name: &'static str, runs: usize) -> Cell {
+fn run_cell(app: App, policy_name: &'static str, footprint_mb: u64, runs: usize) -> Cell {
     let mut params = WorkloadParams::paper(app, 4);
-    params.footprint_mb = 4;
+    params.footprint_mb = footprint_mb;
     let trace = generate(app, &params);
     let policy = policy_by_name(policy_name);
     let mut best_wall = u64::MAX;
@@ -90,6 +122,7 @@ fn run_cell(app: App, policy_name: &'static str, runs: usize) -> Cell {
         wall_clock_us: best_wall,
         retired_steps: steps,
         steps_per_sec: steps as f64 / (best_wall as f64 / 1e6),
+        rss_kb: peak_rss_kb(),
     }
 }
 
@@ -97,7 +130,7 @@ fn run_cell(app: App, policy_name: &'static str, runs: usize) -> Cell {
 /// baseline reader (and shell tools) can line-scan it.
 fn render_json(cells: &[Cell]) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"oasis-bench-smoke-v1\",");
+    let _ = writeln!(out, "  \"schema\": \"oasis-bench-smoke-v2\",");
     let _ = writeln!(out, "  \"peak_rss_kb\": {},", peak_rss_kb());
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -105,8 +138,8 @@ fn render_json(cells: &[Cell]) -> String {
         let _ = writeln!(
             out,
             "    {{\"app\": \"{}\", \"policy\": \"{}\", \"wall_clock_us\": {}, \
-             \"retired_steps\": {}, \"steps_per_sec\": {:.1}}}{comma}",
-            c.app, c.policy, c.wall_clock_us, c.retired_steps, c.steps_per_sec
+             \"retired_steps\": {}, \"steps_per_sec\": {:.1}, \"rss_kb\": {}}}{comma}",
+            c.app, c.policy, c.wall_clock_us, c.retired_steps, c.steps_per_sec, c.rss_kb
         );
     }
     out.push_str("  ]\n}\n");
@@ -133,7 +166,8 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
 }
 
 /// Baseline steps/sec per cell key, parsed by line scan (tolerates any
-/// surrounding schema as long as cell objects stay one per line).
+/// surrounding schema — v1 files gate fine — as long as cell objects stay
+/// one per line).
 fn parse_baseline(content: &str) -> Vec<(String, f64)> {
     content
         .lines()
@@ -159,21 +193,22 @@ pub(crate) fn bench_smoke(cli: &Cli) -> Result<String, String> {
         Err(e) => return Err(format!("--baseline {baseline_path}: {e}")),
     };
 
+    let cells_spec = matrix(&cli.matrix);
     // The matrix fans out over the supervised pool. `--jobs` defaults to
     // 1 and should usually stay there for this command: cells measure
     // wall-clock, and concurrent cells contend for cores. The supervision
     // (panic containment, optional deadline) is what earns its keep here.
-    let jobs: Vec<Job<Cell>> = MATRIX
+    let jobs: Vec<Job<Cell>> = cells_spec
         .iter()
-        .map(|&(app, policy)| {
+        .map(|&(app, policy, footprint_mb)| {
             let runs = cli.runs;
             Job::new(format!("{}/{policy}", app.abbr()), move |_ctx| {
-                Ok(run_cell(app, policy, runs))
+                Ok(run_cell(app, policy, footprint_mb, runs))
             })
         })
         .collect();
     let sweep = run_sweep(&crate::pool_config(cli), jobs);
-    let mut cells = Vec::with_capacity(MATRIX.len());
+    let mut cells = Vec::with_capacity(cells_spec.len());
     for record in sweep.jobs {
         match record.outcome {
             JobOutcome::Completed(cell) => cells.push(cell),
@@ -195,8 +230,8 @@ pub(crate) fn bench_smoke(cli: &Cli) -> Result<String, String> {
     .map_err(|e| format!("{out_path}: {e}"))?;
 
     let mut out = format!(
-        "bench-smoke: best of {} run(s) per cell, tolerance {}%\n",
-        cli.runs, cli.tolerance
+        "bench-smoke: {} matrix, best of {} run(s) per cell, tolerance {}%\n",
+        cli.matrix, cli.runs, cli.tolerance
     );
     let mut regressions = Vec::new();
     for c in &cells {
@@ -218,7 +253,7 @@ pub(crate) fn bench_smoke(cli: &Cli) -> Result<String, String> {
         };
         let _ = writeln!(
             out,
-            "  {key:<16} {:>12.0} steps/s  ({} steps in {:.1} ms)  {verdict}",
+            "  {key:<22} {:>12.0} steps/s  ({} steps in {:.1} ms)  {verdict}",
             c.steps_per_sec,
             c.retired_steps,
             c.wall_clock_us as f64 / 1000.0
@@ -248,6 +283,7 @@ mod tests {
                 wall_clock_us: 2_000,
                 retired_steps: 1_000,
                 steps_per_sec: 500_000.0,
+                rss_kb: 10_240,
             },
             Cell {
                 app: "MM",
@@ -255,11 +291,13 @@ mod tests {
                 wall_clock_us: 4_000,
                 retired_steps: 1_000,
                 steps_per_sec: 250_000.0,
+                rss_kb: 10_304,
             },
         ];
         let json = render_json(&cells);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"oasis-bench-smoke-v1\""));
+        assert!(json.contains("\"schema\": \"oasis-bench-smoke-v2\""));
+        assert!(json.contains("\"rss_kb\": 10240"));
         let parsed = parse_baseline(&json);
         assert_eq!(
             parsed,
@@ -279,5 +317,36 @@ mod tests {
             Some(12.5)
         );
         assert_eq!(field_num("{}", "steps_per_sec"), None);
+    }
+
+    #[test]
+    fn matrices_cover_what_they_claim() {
+        let full = matrix("full");
+        assert_eq!(full.len(), ALL_APPS.len() * CORE_POLICIES.len());
+        assert!(full.iter().all(|&(_, _, mb)| mb == FULL_FOOTPRINT_MB));
+        // Every (app, policy) pair appears exactly once.
+        let mut keys: Vec<String> = full
+            .iter()
+            .map(|&(a, p, _)| format!("{}/{p}", a.abbr()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), full.len());
+
+        let quick = matrix("quick");
+        assert_eq!(quick.len(), 4);
+        assert!(quick.iter().all(|&(_, _, mb)| mb == QUICK_FOOTPRINT_MB));
+    }
+
+    #[test]
+    fn v1_baselines_still_gate_v2_results() {
+        // A v1 file (no rss_kb, v1 schema tag) parses to the same keys.
+        let v1 = "{\n  \"schema\": \"oasis-bench-smoke-v1\",\n  \"cells\": [\n    \
+                  {\"app\": \"C2D\", \"policy\": \"oasis\", \"wall_clock_us\": 10, \
+                  \"retired_steps\": 5, \"steps_per_sec\": 500000.0}\n  ]\n}\n";
+        assert_eq!(
+            parse_baseline(v1),
+            vec![("C2D/oasis".to_string(), 500_000.0)]
+        );
     }
 }

@@ -48,6 +48,12 @@ pub struct Channel {
     busy: Duration,
     bytes_moved: u64,
     transfers: u64,
+    // Memo of the last transfer-size -> duration computation. Transfer
+    // sizes are heavily repeated (64 B coalesced transactions, page-sized
+    // migrations), and `Duration::for_transfer` costs a u128 division per
+    // call. Pure cache: same inputs, same output; never serialized.
+    memo_bytes: u64,
+    memo_xfer: Duration,
 }
 
 impl Channel {
@@ -66,6 +72,8 @@ impl Channel {
             busy: Duration::ZERO,
             bytes_moved: 0,
             transfers: 0,
+            memo_bytes: 0,
+            memo_xfer: Duration::ZERO,
         }
     }
 
@@ -74,7 +82,14 @@ impl Channel {
     /// departs; wire latency is not occupancy (it pipelines).
     pub fn reserve(&mut self, now: Time, bytes: u64) -> Transfer {
         let start = now.max(self.next_free);
-        let xfer = Duration::for_transfer(bytes, self.bytes_per_sec);
+        let xfer = if bytes == self.memo_bytes {
+            self.memo_xfer
+        } else {
+            let x = Duration::for_transfer(bytes, self.bytes_per_sec);
+            self.memo_bytes = bytes;
+            self.memo_xfer = x;
+            x
+        };
         let depart = start + xfer;
         let arrive = depart + self.latency;
         self.next_free = depart;

@@ -22,6 +22,7 @@ pub mod channel;
 pub mod codec;
 pub mod error;
 pub mod fsio;
+pub mod fxhash;
 pub mod journal;
 pub mod metrics;
 pub mod obs;
@@ -41,11 +42,12 @@ pub use error::{
     SimResult, TableError, TraceError,
 };
 pub use fsio::atomic_write;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use journal::{
     recover, AdjudicatedOutcome, Adjudication, JournalError, JournalRecord, JournalWriter,
     Recovery, TailSalvage,
 };
-pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use metrics::{CounterHandle, Histogram, HistogramHandle, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use obs::Observer;
 pub use pool::{
     run_sweep, run_sweep_controlled, Job, JobCtx, JobError, JobOutcome, JobRecord, PoolConfig,

@@ -155,12 +155,40 @@ impl Histogram {
     }
 }
 
+/// A pre-resolved counter slot: holds the index of a counter registered
+/// with [`MetricsRegistry::counter_handle`], so hot-path updates are a
+/// bounds-checked vector add instead of a `BTreeMap` string lookup.
+///
+/// Handles are only meaningful on the registry (or a clone of the
+/// registry) that issued them; on a disabled registry every handle update
+/// is dropped by the same single branch as the string API.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterHandle(u32);
+
+/// A pre-resolved histogram slot, the [`CounterHandle`] analogue for
+/// latency histograms.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramHandle(u32);
+
 /// Named counters and latency histograms for one run.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Storage is an index map (`name -> slot`) over dense value vectors.
+/// The string-keyed API looks the slot up per call; hot-path consumers
+/// resolve a [`CounterHandle`]/[`HistogramHandle`] once at construction
+/// and update by slot. A registered-but-never-updated key is *not*
+/// considered recorded: it does not appear in listings, keeping handle
+/// pre-registration invisible in rendered output.
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     enabled: bool,
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
+    counter_idx: BTreeMap<String, u32>,
+    counter_vals: Vec<u64>,
+    /// Whether the slot was ever written (add/set), as opposed to merely
+    /// registered for a handle. Distinguishes an explicit zero gauge from
+    /// an untouched slot.
+    counter_live: Vec<bool>,
+    histogram_idx: BTreeMap<String, u32>,
+    histogram_vals: Vec<Histogram>,
 }
 
 impl MetricsRegistry {
@@ -182,6 +210,76 @@ impl MetricsRegistry {
         self.enabled
     }
 
+    fn counter_slot(&mut self, key: &str) -> usize {
+        if let Some(&i) = self.counter_idx.get(key) {
+            return i as usize;
+        }
+        let i = self.counter_vals.len();
+        self.counter_idx.insert(key.to_string(), i as u32);
+        self.counter_vals.push(0);
+        self.counter_live.push(false);
+        i
+    }
+
+    fn histogram_slot(&mut self, key: &str) -> usize {
+        if let Some(&i) = self.histogram_idx.get(key) {
+            return i as usize;
+        }
+        let i = self.histogram_vals.len();
+        self.histogram_idx.insert(key.to_string(), i as u32);
+        self.histogram_vals.push(Histogram::default());
+        i
+    }
+
+    /// Resolves `key` to a [`CounterHandle`] for repeated hot-path updates.
+    ///
+    /// Resolve once (at component construction), update per event with
+    /// [`MetricsRegistry::add_to`]. On a disabled registry this registers
+    /// nothing and returns a handle whose updates are dropped.
+    pub fn counter_handle(&mut self, key: &str) -> CounterHandle {
+        if !self.enabled {
+            return CounterHandle(0);
+        }
+        CounterHandle(self.counter_slot(key) as u32)
+    }
+
+    /// Resolves `key` to a [`HistogramHandle`]; see
+    /// [`MetricsRegistry::counter_handle`].
+    pub fn histogram_handle(&mut self, key: &str) -> HistogramHandle {
+        if !self.enabled {
+            return HistogramHandle(0);
+        }
+        HistogramHandle(self.histogram_slot(key) as u32)
+    }
+
+    /// Adds `v` to the counter behind `h` (the hot-path form of
+    /// [`MetricsRegistry::add`]: one branch plus a vector add).
+    #[inline]
+    pub fn add_to(&mut self, h: CounterHandle, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let i = h.0 as usize;
+        self.counter_vals[i] += v;
+        self.counter_live[i] = true;
+    }
+
+    /// Records `ns` into the histogram behind `h` (the hot-path form of
+    /// [`MetricsRegistry::observe_ns`]).
+    #[inline]
+    pub fn observe_ns_in(&mut self, h: HistogramHandle, ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.histogram_vals[h.0 as usize].record_ns(ns);
+    }
+
+    /// Records a [`Duration`] into the histogram behind `h`.
+    #[inline]
+    pub fn observe_in(&mut self, h: HistogramHandle, d: Duration) {
+        self.observe_ns_in(h, d.as_ps() / 1000);
+    }
+
     /// Adds `v` to counter `key` (creating it at zero).
     ///
     /// Steady-state updates are allocation-free: the key string is only
@@ -190,11 +288,9 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
-        if let Some(c) = self.counters.get_mut(key) {
-            *c += v;
-        } else {
-            self.counters.insert(key.to_string(), v);
-        }
+        let i = self.counter_slot(key);
+        self.counter_vals[i] += v;
+        self.counter_live[i] = true;
     }
 
     /// Overwrites counter `key` with `v` (for end-of-run gauges rolled up
@@ -203,11 +299,9 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
-        if let Some(c) = self.counters.get_mut(key) {
-            *c = v;
-        } else {
-            self.counters.insert(key.to_string(), v);
-        }
+        let i = self.counter_slot(key);
+        self.counter_vals[i] = v;
+        self.counter_live[i] = true;
     }
 
     /// Records a latency sample of `ns` nanoseconds into histogram `key`.
@@ -215,13 +309,8 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
-        if let Some(h) = self.histograms.get_mut(key) {
-            h.record_ns(ns);
-        } else {
-            let mut h = Histogram::default();
-            h.record_ns(ns);
-            self.histograms.insert(key.to_string(), h);
-        }
+        let i = self.histogram_slot(key);
+        self.histogram_vals[i].record_ns(ns);
     }
 
     /// Records a [`Duration`] sample (picosecond durations are rounded
@@ -232,31 +321,44 @@ impl MetricsRegistry {
 
     /// The value of counter `key` (0 if never touched).
     pub fn counter(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.counter_idx
+            .get(key)
+            .map(|&i| self.counter_vals[i as usize])
+            .unwrap_or(0)
     }
 
     /// The histogram under `key`, if any samples were recorded.
     pub fn histogram(&self, key: &str) -> Option<&Histogram> {
-        self.histograms.get(key)
+        self.histogram_idx
+            .get(key)
+            .map(|&i| &self.histogram_vals[i as usize])
+            .filter(|h| h.count() > 0)
     }
 
-    /// All counters in deterministic (lexicographic) key order.
+    /// All recorded counters in deterministic (lexicographic) key order.
+    /// Slots registered for a handle but never updated are omitted.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counter_idx
+            .iter()
+            .filter(|(_, &i)| self.counter_live[i as usize])
+            .map(|(k, &i)| (k.as_str(), self.counter_vals[i as usize]))
     }
 
-    /// All histograms in deterministic (lexicographic) key order.
+    /// All recorded histograms in deterministic (lexicographic) key order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+        self.histogram_idx
+            .iter()
+            .filter(|(_, &i)| self.histogram_vals[i as usize].count() > 0)
+            .map(|(k, &i)| (k.as_str(), &self.histogram_vals[i as usize]))
     }
 
     /// Number of distinct counters recorded.
     pub fn counter_count(&self) -> usize {
-        self.counters.len()
+        self.counter_live.iter().filter(|&&l| l).count()
     }
 
     /// Folds another registry into this one: counters add, histograms
-    /// merge bucket-wise. Because both maps are `BTreeMap`s and
+    /// merge bucket-wise. Because the index maps are `BTreeMap`s and
     /// [`Histogram::merge_from`] is order-insensitive, merging a set of
     /// per-worker registries yields the same result in any order — this is
     /// what makes parallel-sweep metrics deterministic. A disabled
@@ -265,20 +367,29 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
-        for (k, v) in other.counters.iter() {
-            if let Some(c) = self.counters.get_mut(k) {
-                *c += v;
-            } else {
-                self.counters.insert(k.clone(), *v);
+        for (k, &i) in other.counter_idx.iter() {
+            if other.counter_live[i as usize] {
+                self.add(k, other.counter_vals[i as usize]);
             }
         }
-        for (k, h) in other.histograms.iter() {
-            if let Some(mine) = self.histograms.get_mut(k) {
-                mine.merge_from(h);
-            } else {
-                self.histograms.insert(k.clone(), h.clone());
+        for (k, &i) in other.histogram_idx.iter() {
+            let h = &other.histogram_vals[i as usize];
+            if h.count() > 0 {
+                let mine = self.histogram_slot(k);
+                self.histogram_vals[mine].merge_from(h);
             }
         }
+    }
+}
+
+/// Logical equality: same enablement and the same *recorded* content.
+/// Slot numbering (handle registration order) is intentionally ignored —
+/// two registries that rendered identically are equal.
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.enabled == other.enabled
+            && self.counters().eq(other.counters())
+            && self.histograms().eq(other.histograms())
     }
 }
 
@@ -387,6 +498,63 @@ mod tests {
         let mut d = MetricsRegistry::disabled();
         d.merge_from(&b);
         assert_eq!(d.counters().count(), 0);
+    }
+
+    #[test]
+    fn handles_update_the_same_slots_as_strings() {
+        let mut m = MetricsRegistry::enabled();
+        let c = m.counter_handle("access.local");
+        let h = m.histogram_handle("walk_ns");
+        m.add_to(c, 2);
+        m.add("access.local", 3);
+        m.add_to(c, 1);
+        assert_eq!(m.counter("access.local"), 6);
+        m.observe_ns_in(h, 100);
+        m.observe_ns("walk_ns", 200);
+        assert_eq!(m.histogram("walk_ns").unwrap().count(), 2);
+        m.observe_in(h, Duration::from_ps(1500));
+        assert_eq!(m.histogram("walk_ns").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn registered_but_untouched_handles_stay_invisible() {
+        let mut m = MetricsRegistry::enabled();
+        let _c = m.counter_handle("never.updated");
+        let _h = m.histogram_handle("never.observed");
+        m.add("real", 1);
+        assert_eq!(m.counters().count(), 1);
+        assert_eq!(m.counter_count(), 1);
+        assert!(m.histogram("never.observed").is_none());
+        assert_eq!(m.histograms().count(), 0);
+        // An explicit zero gauge, by contrast, is recorded.
+        m.set("zero.gauge", 0);
+        assert_eq!(m.counter_count(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_registration_order() {
+        let mut a = MetricsRegistry::enabled();
+        let ah = a.counter_handle("x");
+        a.counter_handle("unused");
+        a.add_to(ah, 5);
+        a.observe_ns("lat", 7);
+        let mut b = MetricsRegistry::enabled();
+        b.observe_ns("lat", 7);
+        b.add("x", 5);
+        assert_eq!(a, b);
+        b.add("x", 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn disabled_registry_drops_handle_updates() {
+        let mut m = MetricsRegistry::disabled();
+        let c = m.counter_handle("a");
+        let h = m.histogram_handle("b");
+        m.add_to(c, 5);
+        m.observe_ns_in(h, 100);
+        assert_eq!(m.counters().count(), 0);
+        assert!(m.histogram("b").is_none());
     }
 
     #[test]

@@ -7,9 +7,8 @@
 //! tagged with the owning memory location epoch so invalidations on page
 //! migration can drop stale lines.
 
-use std::collections::HashMap;
-
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
+use oasis_engine::FxHashSet;
 
 use crate::types::{PageSize, Va, Vpn};
 
@@ -37,7 +36,9 @@ pub struct Cache {
     stamp: u64,
     hits: u64,
     misses: u64,
-    where_is: HashMap<u64, usize>,
+    /// Total resident lines across all sets. The target set of any line is
+    /// directly computable from its address, so no reverse map is kept.
+    resident: usize,
 }
 
 impl Cache {
@@ -78,7 +79,7 @@ impl Cache {
             stamp: 0,
             hits: 0,
             misses: 0,
-            where_is: HashMap::new(),
+            resident: 0,
         }
     }
 
@@ -112,11 +113,11 @@ impl Cache {
                 .enumerate()
                 .min_by_key(|(_, (_, s))| *s)
                 .expect("full set is nonempty");
-            let (old, _) = set.lines.swap_remove(lru_pos);
-            self.where_is.remove(&old);
+            set.lines.swap_remove(lru_pos);
+        } else {
+            self.resident += 1;
         }
         set.lines.push((line, stamp));
-        self.where_is.insert(line, idx);
         false
     }
 
@@ -128,12 +129,12 @@ impl Cache {
         let lines_per_page = (page.bytes() >> self.line_shift).max(1);
         let mut dropped = 0;
         for line in first_line..first_line + lines_per_page {
-            if let Some(idx) = self.where_is.remove(&line) {
-                let set = &mut self.sets[idx];
-                if let Some(pos) = set.lines.iter().position(|(a, _)| *a == line) {
-                    set.lines.swap_remove(pos);
-                    dropped += 1;
-                }
+            let idx = self.set_index(line);
+            let set = &mut self.sets[idx];
+            if let Some(pos) = set.lines.iter().position(|(a, _)| *a == line) {
+                set.lines.swap_remove(pos);
+                self.resident -= 1;
+                dropped += 1;
             }
         }
         dropped
@@ -144,17 +145,17 @@ impl Cache {
         for set in &mut self.sets {
             set.lines.clear();
         }
-        self.where_is.clear();
+        self.resident = 0;
     }
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.where_is.len()
+        self.resident
     }
 
     /// True if nothing is resident.
     pub fn is_empty(&self) -> bool {
-        self.where_is.is_empty()
+        self.resident == 0
     }
 
     /// (hits, misses) counters.
@@ -199,7 +200,8 @@ impl Restore for Cache {
                 self.sets.len()
             )));
         }
-        self.where_is.clear();
+        self.resident = 0;
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
         for idx in 0..n_sets {
             let n_lines = r.u16()? as usize;
             if n_lines > self.ways {
@@ -214,9 +216,10 @@ impl Restore for Cache {
                 let line = r.u64()?;
                 let stamp = r.u64()?;
                 set.lines.push((line, stamp));
-                if self.where_is.insert(line, idx).is_some() {
+                if !seen.insert(line) {
                     return Err(r.malformed(format!("line {line:#x} cached twice")));
                 }
+                self.resident += 1;
             }
         }
         Ok(())

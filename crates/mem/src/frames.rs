@@ -4,12 +4,34 @@
 //! (§VI-D of the paper) migrating a page into a full GPU first evicts the
 //! least-recently-used resident page back to the host. This structure tracks
 //! which virtual pages are resident on a device and in what recency order.
-
-use std::collections::{BTreeMap, HashMap};
+//!
+//! Recency lives in a slot arena threaded by an intrusive doubly-linked
+//! list (head = LRU, tail = MRU): `touch` is an O(1) unlink/relink instead
+//! of the ordered-map remove+insert it replaces, which matters because the
+//! simulator touches the allocator on every local access. Stamps are
+//! assigned monotonically and only ever at the list tail, so list order and
+//! stamp order are the same order — snapshots serialize the list front to
+//! back and produce exactly the stamp-sorted byte stream of the old layout.
 
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
+use oasis_engine::FxHashMap;
 
 use crate::types::Vpn;
+
+/// Null link in the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+/// One arena slot: a page this device has ever held, with its residency
+/// and LRU-list state. Slots are never freed — a page that loses residency
+/// keeps its slot (cheap: a few words) and reuses it if it returns.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    vpn: Vpn,
+    stamp: u64,
+    prev: u32,
+    next: u32,
+    resident: bool,
+}
 
 /// Tracks the set of pages resident in one device's memory, in LRU order.
 ///
@@ -28,10 +50,15 @@ use crate::types::Vpn;
 pub struct FrameAllocator {
     /// Maximum resident pages; `None` = unlimited (the host).
     capacity_pages: Option<u64>,
-    /// vpn -> recency stamp.
-    stamps: HashMap<Vpn, u64>,
-    /// recency stamp -> vpn (ordered; the smallest stamp is the LRU page).
-    by_stamp: BTreeMap<u64, Vpn>,
+    /// vpn -> slot id (persists across residency changes).
+    index: FxHashMap<Vpn, u32>,
+    /// The slot arena; resident slots are threaded onto the LRU list.
+    slots: Vec<Slot>,
+    /// LRU end of the list (first eviction victim); `NIL` when empty.
+    head: u32,
+    /// MRU end of the list; `NIL` when empty.
+    tail: u32,
+    resident_count: u64,
     next_stamp: u64,
     evictions: u64,
     /// Frames retired after ECC poisoning; each reduces the effective
@@ -45,8 +72,11 @@ impl FrameAllocator {
     pub fn new(capacity_pages: Option<u64>) -> Self {
         FrameAllocator {
             capacity_pages,
-            stamps: HashMap::new(),
-            by_stamp: BTreeMap::new(),
+            index: FxHashMap::default(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            resident_count: 0,
             next_stamp: 0,
             evictions: 0,
             quarantined: 0,
@@ -55,7 +85,7 @@ impl FrameAllocator {
 
     /// Number of currently resident pages.
     pub fn resident(&self) -> u64 {
-        self.stamps.len() as u64
+        self.resident_count
     }
 
     /// Configured capacity.
@@ -65,7 +95,9 @@ impl FrameAllocator {
 
     /// True if `vpn` is resident.
     pub fn contains(&self, vpn: Vpn) -> bool {
-        self.stamps.contains_key(&vpn)
+        self.index
+            .get(&vpn)
+            .is_some_and(|&s| self.slots[s as usize].resident)
     }
 
     /// Capacity after subtracting quarantined frames; `None` = unlimited.
@@ -108,52 +140,59 @@ impl FrameAllocator {
     /// the caller is responsible for migrating its data and fixing page
     /// tables.
     pub fn insert(&mut self, vpn: Vpn) -> Option<Vpn> {
-        if self.stamps.contains_key(&vpn) {
-            self.touch(vpn);
-            return None;
+        if let Some(&s) = self.index.get(&vpn) {
+            if self.slots[s as usize].resident {
+                self.refresh(s);
+                return None;
+            }
         }
-        let victim = if self.is_full() {
-            // `is_full` implies at least one resident page, but fall through
-            // gracefully rather than assert if the maps ever diverge.
-            self.by_stamp.pop_first().map(|(_, victim)| {
-                self.stamps.remove(&victim);
-                self.evictions += 1;
-                victim
-            })
+        let victim = if self.is_full() && self.head != NIL {
+            // A full device necessarily has a list head; the NIL check is
+            // the graceful fall-through for a zero-capacity allocator.
+            let h = self.head;
+            self.unlink(h);
+            self.slots[h as usize].resident = false;
+            self.resident_count -= 1;
+            self.evictions += 1;
+            Some(self.slots[h as usize].vpn)
         } else {
             None
         };
+        let s = self.slot_for(vpn);
         let stamp = self.bump();
-        self.stamps.insert(vpn, stamp);
-        self.by_stamp.insert(stamp, vpn);
+        self.slots[s as usize].stamp = stamp;
+        self.slots[s as usize].resident = true;
+        self.link_tail(s);
+        self.resident_count += 1;
         victim
     }
 
     /// Refreshes `vpn`'s recency (it was just accessed). No-op if absent.
     pub fn touch(&mut self, vpn: Vpn) {
-        if let Some(stamp) = self.stamps.get_mut(&vpn) {
-            self.by_stamp.remove(stamp);
-            let new_stamp = self.next_stamp;
-            self.next_stamp += 1;
-            *stamp = new_stamp;
-            self.by_stamp.insert(new_stamp, vpn);
+        if let Some(&s) = self.index.get(&vpn) {
+            if self.slots[s as usize].resident {
+                self.refresh(s);
+            }
         }
     }
 
     /// Removes `vpn` from residency (migrated away / freed). Returns whether
     /// it was present.
     pub fn remove(&mut self, vpn: Vpn) -> bool {
-        if let Some(stamp) = self.stamps.remove(&vpn) {
-            self.by_stamp.remove(&stamp);
-            true
-        } else {
-            false
+        if let Some(&s) = self.index.get(&vpn) {
+            if self.slots[s as usize].resident {
+                self.unlink(s);
+                self.slots[s as usize].resident = false;
+                self.resident_count -= 1;
+                return true;
+            }
         }
+        false
     }
 
     /// The current LRU page, if any.
     pub fn lru(&self) -> Option<Vpn> {
-        self.by_stamp.values().next().copied()
+        (self.head != NIL).then(|| self.slots[self.head as usize].vpn)
     }
 
     /// Number of capacity evictions performed so far.
@@ -164,14 +203,74 @@ impl FrameAllocator {
     /// Iterates over all resident pages (arbitrary order). Used by the
     /// sim-guard checker to reconcile allocator state with page tables.
     pub fn pages(&self) -> impl Iterator<Item = Vpn> + '_ {
-        self.stamps.keys().copied()
+        self.slots.iter().filter(|s| s.resident).map(|s| s.vpn)
     }
 
     /// Iterates over all resident pages in recency order (LRU first).
     /// Deterministic across runs, which makes it the index space for
     /// seed-driven ECC victim selection.
     pub fn pages_by_recency(&self) -> impl Iterator<Item = Vpn> + '_ {
-        self.by_stamp.values().copied()
+        std::iter::successors((self.head != NIL).then_some(self.head), move |&s| {
+            let n = self.slots[s as usize].next;
+            (n != NIL).then_some(n)
+        })
+        .map(move |s| self.slots[s as usize].vpn)
+    }
+
+    /// Re-stamps resident slot `s` as most recent: unlink, bump, relink at
+    /// the tail. O(1), replacing the old ordered-map remove+insert.
+    fn refresh(&mut self, s: u32) {
+        self.unlink(s);
+        let stamp = self.bump();
+        self.slots[s as usize].stamp = stamp;
+        self.link_tail(s);
+    }
+
+    /// The arena slot for `vpn`, allocating one on first sight.
+    fn slot_for(&mut self, vpn: Vpn) -> u32 {
+        if let Some(&s) = self.index.get(&vpn) {
+            return s;
+        }
+        let s = u32::try_from(self.slots.len()).expect("frame arena exceeds u32 slots");
+        self.slots.push(Slot {
+            vpn,
+            stamp: 0,
+            prev: NIL,
+            next: NIL,
+            resident: false,
+        });
+        self.index.insert(vpn, s);
+        s
+    }
+
+    fn unlink(&mut self, s: u32) {
+        let (p, n) = {
+            let slot = &self.slots[s as usize];
+            (slot.prev, slot.next)
+        };
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.slots[p as usize].next = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.slots[n as usize].prev = p;
+        }
+        self.slots[s as usize].prev = NIL;
+        self.slots[s as usize].next = NIL;
+    }
+
+    fn link_tail(&mut self, s: u32) {
+        self.slots[s as usize].prev = self.tail;
+        self.slots[s as usize].next = NIL;
+        if self.tail == NIL {
+            self.head = s;
+        } else {
+            self.slots[self.tail as usize].next = s;
+        }
+        self.tail = s;
     }
 
     fn bump(&mut self) -> u64 {
@@ -186,13 +285,17 @@ impl Snapshot for FrameAllocator {
         w.u64(self.next_stamp);
         w.u64(self.evictions);
         w.u64(self.quarantined);
-        // HashMap iteration order is nondeterministic; serialize by stamp so
-        // identical states always produce identical bytes. `by_stamp` holds
-        // the same (stamp, vpn) pairs as `stamps`, already ordered.
-        w.u64(self.by_stamp.len() as u64);
-        for (&stamp, &vpn) in &self.by_stamp {
-            w.u64(stamp);
-            w.u64(vpn.0);
+        // Stamps are only ever assigned at the list tail and increase
+        // monotonically, so walking the list front to back emits the
+        // (stamp, vpn) pairs in ascending stamp order — the exact byte
+        // stream the previous ordered-map layout produced.
+        w.u64(self.resident_count);
+        let mut s = self.head;
+        while s != NIL {
+            let slot = &self.slots[s as usize];
+            w.u64(slot.stamp);
+            w.u64(slot.vpn.0);
+            s = slot.next;
         }
     }
 }
@@ -212,9 +315,15 @@ impl Restore for FrameAllocator {
                 self.quarantined, self.capacity_pages
             )));
         }
-        self.stamps.clear();
-        self.by_stamp.clear();
+        self.index.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.resident_count = 0;
         let n = r.usize()?;
+        // Accept pairs in any order (matching the old map-based restore):
+        // collect, validate, then rebuild the list in ascending stamp order.
+        let mut pairs: Vec<(u64, Vpn)> = Vec::with_capacity(n);
         for _ in 0..n {
             let stamp = r.u64()?;
             let vpn = Vpn(r.u64()?);
@@ -224,11 +333,23 @@ impl Restore for FrameAllocator {
                     self.next_stamp
                 )));
             }
-            if self.stamps.insert(vpn, stamp).is_some()
-                || self.by_stamp.insert(stamp, vpn).is_some()
-            {
+            pairs.push((stamp, vpn));
+        }
+        pairs.sort_unstable_by_key(|&(stamp, _)| stamp);
+        for w in pairs.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(r.malformed(format!("duplicate resident page {:?}", w[1].1)));
+            }
+        }
+        for (stamp, vpn) in pairs {
+            if self.contains(vpn) {
                 return Err(r.malformed(format!("duplicate resident page {vpn:?}")));
             }
+            let s = self.slot_for(vpn);
+            self.slots[s as usize].stamp = stamp;
+            self.slots[s as usize].resident = true;
+            self.link_tail(s);
+            self.resident_count += 1;
         }
         if self
             .effective_capacity()
@@ -316,6 +437,21 @@ mod tests {
     }
 
     #[test]
+    fn recency_iteration_walks_lru_to_mru() {
+        let mut f = FrameAllocator::new(None);
+        f.insert(Vpn(1));
+        f.insert(Vpn(2));
+        f.insert(Vpn(3));
+        f.touch(Vpn(1));
+        let order: Vec<_> = f.pages_by_recency().collect();
+        assert_eq!(order, vec![Vpn(2), Vpn(3), Vpn(1)]);
+        // Removal splices the list without disturbing neighbors.
+        f.remove(Vpn(3));
+        let order: Vec<_> = f.pages_by_recency().collect();
+        assert_eq!(order, vec![Vpn(2), Vpn(1)]);
+    }
+
+    #[test]
     fn snapshot_preserves_lru_order_and_counters() {
         let mut f = FrameAllocator::new(Some(3));
         f.insert(Vpn(1));
@@ -351,6 +487,28 @@ mod tests {
         let mut b = ByteWriter::new();
         build().snapshot(&mut b);
         assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn restore_accepts_pairs_in_any_stream_order() {
+        // The map-based layout serialized ascending but restored from any
+        // order; the arena keeps that tolerance for hand-built streams.
+        let mut w = ByteWriter::new();
+        w.u64(10); // next_stamp
+        w.u64(0); // evictions
+        w.u64(0); // quarantined
+        w.u64(3); // count
+        for (stamp, vpn) in [(7u64, 3u64), (2, 1), (5, 2)] {
+            w.u64(stamp);
+            w.u64(vpn);
+        }
+        let buf = w.into_vec();
+        let mut f = FrameAllocator::new(None);
+        let mut r = ByteReader::new("frames", &buf);
+        f.restore(&mut r).expect("valid state");
+        let order: Vec<_> = f.pages_by_recency().collect();
+        assert_eq!(order, vec![Vpn(1), Vpn(2), Vpn(3)]);
+        assert_eq!(f.lru(), Some(Vpn(1)));
     }
 
     #[test]
@@ -412,5 +570,28 @@ mod tests {
         let mut tiny = FrameAllocator::new(Some(2));
         let mut r = ByteReader::new("frames", &buf);
         assert!(tiny.restore(&mut r).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_duplicate_pages_and_stamps() {
+        let encode = |pairs: &[(u64, u64)]| {
+            let mut w = ByteWriter::new();
+            w.u64(100);
+            w.u64(0);
+            w.u64(0);
+            w.u64(pairs.len() as u64);
+            for &(stamp, vpn) in pairs {
+                w.u64(stamp);
+                w.u64(vpn);
+            }
+            w.into_vec()
+        };
+        let mut f = FrameAllocator::new(None);
+        let buf = encode(&[(1, 10), (2, 10)]); // same page twice
+        let mut r = ByteReader::new("frames", &buf);
+        assert!(f.restore(&mut r).is_err());
+        let buf = encode(&[(3, 10), (3, 11)]); // same stamp twice
+        let mut r = ByteReader::new("frames", &buf);
+        assert!(f.restore(&mut r).is_err());
     }
 }

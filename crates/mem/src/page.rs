@@ -5,11 +5,18 @@
 //! (centralized) table is the UVM driver's source of truth: it records which
 //! device currently owns each page, which GPUs hold read-only duplicates,
 //! and the policy bits mirrored from the O-Table decision.
-
-use std::collections::HashMap;
+//!
+//! Both tables are slot arenas: a compact `Vpn -> slot` index (FxHash, no
+//! per-instance random state) plus dense parallel vectors holding the
+//! actual entries. Lookups on the access fast path hash once and land in a
+//! contiguous slot; invalidated pages leave a tombstone whose slot (and
+//! index entry) is reused if the page is mapped again, so the arena never
+//! churns allocation on migration ping-pong. Iteration and snapshots walk
+//! the dense vectors instead of hash buckets.
 
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::error::TableError;
+use oasis_engine::FxHashMap;
 
 use crate::types::{DeviceId, GpuId, Vpn};
 
@@ -82,7 +89,12 @@ pub struct Pte {
 /// One GPU's local page table (walked by its GMMU).
 #[derive(Debug, Clone, Default)]
 pub struct LocalPageTable {
-    map: HashMap<Vpn, Pte>,
+    /// `Vpn -> slot`. An index entry outlives invalidation (tombstone slot
+    /// reuse), so presence here does not imply a valid translation.
+    index: FxHashMap<Vpn, u32>,
+    vpns: Vec<Vpn>,
+    ptes: Vec<Option<Pte>>,
+    live: usize,
     /// Count of inserts + successful invalidations. Observational only:
     /// excluded from snapshots/digests (metrics must not perturb replay).
     updates: u64,
@@ -95,20 +107,42 @@ impl LocalPageTable {
     }
 
     /// The entry for `vpn`, if a valid translation exists.
+    #[inline]
     pub fn get(&self, vpn: Vpn) -> Option<&Pte> {
-        self.map.get(&vpn)
+        self.index
+            .get(&vpn)
+            .and_then(|&i| self.ptes[i as usize].as_ref())
     }
 
     /// Installs (or replaces) the translation for `vpn`.
     pub fn insert(&mut self, vpn: Vpn, pte: Pte) {
-        self.map.insert(vpn, pte);
+        match self.index.get(&vpn) {
+            Some(&i) => {
+                let slot = &mut self.ptes[i as usize];
+                if slot.is_none() {
+                    self.live += 1;
+                }
+                *slot = Some(pte);
+            }
+            None => {
+                let i = self.vpns.len() as u32;
+                self.index.insert(vpn, i);
+                self.vpns.push(vpn);
+                self.ptes.push(Some(pte));
+                self.live += 1;
+            }
+        }
         self.updates += 1;
     }
 
     /// Invalidates the translation for `vpn`. Returns the removed entry.
     pub fn invalidate(&mut self, vpn: Vpn) -> Option<Pte> {
-        let removed = self.map.remove(&vpn);
+        let removed = self
+            .index
+            .get(&vpn)
+            .and_then(|&i| self.ptes[i as usize].take());
         if removed.is_some() {
+            self.live -= 1;
             self.updates += 1;
         }
         removed
@@ -122,25 +156,36 @@ impl LocalPageTable {
 
     /// Number of valid translations.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.live
     }
 
     /// True if no translations are installed.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.live == 0
     }
 
-    /// Iterates over all valid translations.
+    /// Iterates over all valid translations (dense slot order).
     pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &Pte)> {
-        self.map.iter()
+        self.vpns
+            .iter()
+            .zip(self.ptes.iter())
+            .filter_map(|(vpn, pte)| pte.as_ref().map(|p| (vpn, p)))
+    }
+
+    fn clear(&mut self) {
+        self.index.clear();
+        self.vpns.clear();
+        self.ptes.clear();
+        self.live = 0;
     }
 }
 
 impl Snapshot for LocalPageTable {
     fn snapshot(&self, w: &mut ByteWriter) {
-        // Sort by VPN: HashMap iteration order is nondeterministic and the
-        // bytes feed both checkpoints and state digests.
-        let mut entries: Vec<(&Vpn, &Pte)> = self.map.iter().collect();
+        // Sort by VPN: slot order is insertion history, which is not part
+        // of the semantic state, and the bytes feed both checkpoints and
+        // state digests.
+        let mut entries: Vec<(&Vpn, &Pte)> = self.iter().collect();
         entries.sort_by_key(|(vpn, _)| **vpn);
         w.u64(entries.len() as u64);
         for (vpn, pte) in entries {
@@ -154,7 +199,7 @@ impl Snapshot for LocalPageTable {
 
 impl Restore for LocalPageTable {
     fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
-        self.map.clear();
+        self.clear();
         let n = r.usize()?;
         for _ in 0..n {
             let vpn = Vpn(r.u64()?);
@@ -163,20 +208,17 @@ impl Restore for LocalPageTable {
             let bits = r.u8()?;
             let policy = PolicyBits::from_bits(bits)
                 .ok_or_else(|| r.malformed(format!("reserved policy bits {bits:#04b}")))?;
-            if self
-                .map
-                .insert(
-                    vpn,
-                    Pte {
-                        location,
-                        writable,
-                        policy,
-                    },
-                )
-                .is_some()
-            {
+            let i = self.vpns.len() as u32;
+            if self.index.insert(vpn, i).is_some() {
                 return Err(r.malformed(format!("page {vpn:?} mapped twice")));
             }
+            self.vpns.push(vpn);
+            self.ptes.push(Some(Pte {
+                location,
+                writable,
+                policy,
+            }));
+            self.live += 1;
         }
         Ok(())
     }
@@ -295,7 +337,11 @@ impl HostEntry {
 /// The centralized page table maintained by the UVM driver on the host.
 #[derive(Debug, Clone, Default)]
 pub struct HostPageTable {
-    map: HashMap<Vpn, HostEntry>,
+    /// `Vpn -> slot`; survives unregistration so freed slots are reused.
+    index: FxHashMap<Vpn, u32>,
+    vpns: Vec<Vpn>,
+    entries: Vec<Option<HostEntry>>,
+    live: usize,
 }
 
 impl HostPageTable {
@@ -305,13 +351,20 @@ impl HostPageTable {
     }
 
     /// The entry for `vpn`, if the page has been allocated.
+    #[inline]
     pub fn get(&self, vpn: Vpn) -> Option<&HostEntry> {
-        self.map.get(&vpn)
+        self.index
+            .get(&vpn)
+            .and_then(|&i| self.entries[i as usize].as_ref())
     }
 
     /// Mutable access to the entry for `vpn`.
+    #[inline]
     pub fn get_mut(&mut self, vpn: Vpn) -> Option<&mut HostEntry> {
-        self.map.get_mut(&vpn)
+        match self.index.get(&vpn) {
+            Some(&i) => self.entries[i as usize].as_mut(),
+            None => None,
+        }
     }
 
     /// Registers a freshly allocated page.
@@ -319,37 +372,66 @@ impl HostPageTable {
     /// Refuses a page that is already registered (overlapping allocation)
     /// without modifying the existing entry.
     pub fn register(&mut self, vpn: Vpn, entry: HostEntry) -> Result<(), TableError> {
-        if self.map.contains_key(&vpn) {
-            return Err(TableError::DoubleRegistration { vpn: vpn.0 });
+        match self.index.get(&vpn) {
+            Some(&i) => {
+                let slot = &mut self.entries[i as usize];
+                if slot.is_some() {
+                    return Err(TableError::DoubleRegistration { vpn: vpn.0 });
+                }
+                *slot = Some(entry);
+            }
+            None => {
+                let i = self.vpns.len() as u32;
+                self.index.insert(vpn, i);
+                self.vpns.push(vpn);
+                self.entries.push(Some(entry));
+            }
         }
-        self.map.insert(vpn, entry);
+        self.live += 1;
         Ok(())
     }
 
     /// Removes a page (object freed). Returns its final entry.
     pub fn unregister(&mut self, vpn: Vpn) -> Option<HostEntry> {
-        self.map.remove(&vpn)
+        let removed = self
+            .index
+            .get(&vpn)
+            .and_then(|&i| self.entries[i as usize].take());
+        if removed.is_some() {
+            self.live -= 1;
+        }
+        removed
     }
 
     /// Number of registered pages.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.live
     }
 
     /// True if no pages are registered.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.live == 0
     }
 
-    /// Iterates over all registered pages.
+    /// Iterates over all registered pages (dense slot order).
     pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &HostEntry)> {
-        self.map.iter()
+        self.vpns
+            .iter()
+            .zip(self.entries.iter())
+            .filter_map(|(vpn, e)| e.as_ref().map(|e| (vpn, e)))
+    }
+
+    fn clear(&mut self) {
+        self.index.clear();
+        self.vpns.clear();
+        self.entries.clear();
+        self.live = 0;
     }
 }
 
 impl Snapshot for HostPageTable {
     fn snapshot(&self, w: &mut ByteWriter) {
-        let mut entries: Vec<(&Vpn, &HostEntry)> = self.map.iter().collect();
+        let mut entries: Vec<(&Vpn, &HostEntry)> = self.iter().collect();
         entries.sort_by_key(|(vpn, _)| **vpn);
         w.u64(entries.len() as u64);
         for (vpn, e) in entries {
@@ -365,7 +447,7 @@ impl Snapshot for HostPageTable {
 
 impl Restore for HostPageTable {
     fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
-        self.map.clear();
+        self.clear();
         let n = r.usize()?;
         for _ in 0..n {
             let vpn = Vpn(r.u64()?);
@@ -376,22 +458,19 @@ impl Restore for HostPageTable {
             let policy = PolicyBits::from_bits(bits)
                 .ok_or_else(|| r.malformed(format!("reserved policy bits {bits:#04b}")))?;
             let touched_by = r.u32()?;
-            if self
-                .map
-                .insert(
-                    vpn,
-                    HostEntry {
-                        owner,
-                        copy_mask,
-                        mapper_mask,
-                        policy,
-                        touched_by,
-                    },
-                )
-                .is_some()
-            {
+            let i = self.vpns.len() as u32;
+            if self.index.insert(vpn, i).is_some() {
                 return Err(r.malformed(format!("page {vpn:?} registered twice")));
             }
+            self.vpns.push(vpn);
+            self.entries.push(Some(HostEntry {
+                owner,
+                copy_mask,
+                mapper_mask,
+                policy,
+                touched_by,
+            }));
+            self.live += 1;
         }
         Ok(())
     }
@@ -429,6 +508,25 @@ mod tests {
         assert_eq!(pt.invalidate(Vpn(9)), Some(pte));
         assert!(pt.is_empty());
         assert_eq!(pt.invalidate(Vpn(9)), None);
+    }
+
+    #[test]
+    fn local_table_reuses_tombstoned_slots() {
+        let mut pt = LocalPageTable::new();
+        let pte = Pte {
+            location: DeviceId::Host,
+            writable: true,
+            policy: PolicyBits::OnTouch,
+        };
+        // Map/unmap the same page repeatedly (migration ping-pong): the
+        // arena must not grow a slot per round.
+        for _ in 0..100 {
+            pt.insert(Vpn(5), pte);
+            assert!(pt.invalidate(Vpn(5)).is_some());
+        }
+        assert!(pt.is_empty());
+        assert_eq!(pt.vpns.len(), 1);
+        assert_eq!(pt.updates(), 200);
     }
 
     #[test]
@@ -478,6 +576,19 @@ mod tests {
         assert!(ht.unregister(Vpn(1)).is_some());
         assert!(ht.get(Vpn(1)).is_none());
         assert!(!ht.is_empty());
+    }
+
+    #[test]
+    fn host_table_reregister_after_unregister() {
+        let mut ht = HostPageTable::new();
+        ht.register(Vpn(7), HostEntry::new_on_host()).unwrap();
+        assert!(ht.unregister(Vpn(7)).is_some());
+        // Freed slot is reused, and registration succeeds again.
+        ht.register(Vpn(7), HostEntry::new_at(DeviceId::Gpu(GpuId(1))))
+            .unwrap();
+        assert_eq!(ht.len(), 1);
+        assert_eq!(ht.vpns.len(), 1);
+        assert_eq!(ht.get(Vpn(7)).unwrap().owner, DeviceId::Gpu(GpuId(1)));
     }
 
     #[test]
@@ -533,6 +644,28 @@ mod tests {
         ht2.snapshot(&mut w2);
         lt2.snapshot(&mut w2);
         assert_eq!(w2.into_vec(), buf);
+    }
+
+    #[test]
+    fn snapshot_skips_tombstones() {
+        let mut lt = LocalPageTable::new();
+        let pte = Pte {
+            location: DeviceId::Host,
+            writable: true,
+            policy: PolicyBits::OnTouch,
+        };
+        lt.insert(Vpn(1), pte);
+        lt.insert(Vpn(2), pte);
+        lt.invalidate(Vpn(1));
+        let mut w = ByteWriter::new();
+        lt.snapshot(&mut w);
+        let buf = w.into_vec();
+        let mut fresh = LocalPageTable::new();
+        let mut r = ByteReader::new("local-table", &buf);
+        fresh.restore(&mut r).unwrap();
+        assert_eq!(fresh.len(), 1);
+        assert!(fresh.get(Vpn(1)).is_none());
+        assert_eq!(fresh.get(Vpn(2)), Some(&pte));
     }
 
     #[test]

@@ -4,19 +4,19 @@
 //! L2 TLB (512-entry, 16-way) of Table I. Only presence is modelled — the
 //! actual translation lives in the page tables — so a TLB entry is just a
 //! cached VPN plus LRU state.
-
-use std::collections::HashMap;
+//!
+//! Storage is a flat structure-of-arrays arena: all sets' lines live in
+//! two parallel vectors (`line_vpn`, `line_stamp`) sliced by set index, so
+//! a lookup is one multiply plus a short contiguous scan with no pointer
+//! chasing and no hashing. The reverse `where_is` map the old layout kept
+//! for shootdowns was pure redundancy — the target set of any VPN is
+//! directly computable — and is gone entirely.
 
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::error::SimError;
+use oasis_engine::FxHashSet;
 
 use crate::types::Vpn;
-
-#[derive(Debug, Clone)]
-struct Set {
-    /// (vpn, last-use stamp) pairs; at most `ways` of them.
-    lines: Vec<(Vpn, u64)>,
-}
 
 /// A set-associative TLB.
 ///
@@ -32,8 +32,14 @@ struct Set {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    sets: Vec<Set>,
+    /// `line_vpn[set * ways + i]` for `i < set_len[set]` are the cached
+    /// VPNs of `set`; `line_stamp` holds the matching last-use stamps.
+    line_vpn: Vec<Vpn>,
+    line_stamp: Vec<u64>,
+    set_len: Vec<u16>,
+    num_sets: usize,
     ways: usize,
+    cached: usize,
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -41,8 +47,13 @@ pub struct Tlb {
     /// deliberately excluded from snapshots/digests so enabling metrics
     /// cannot perturb replay.
     shootdowns: u64,
-    /// Reverse index so global invalidations don't scan every set.
-    where_is: HashMap<Vpn, usize>,
+    /// Last-hit memo: `line_vpn[memo_idx] == memo_vpn` while valid
+    /// (`memo_idx != u32::MAX`). Consecutive transactions land on the same
+    /// page (64 B transactions, 4 KB pages), so this short-circuits the
+    /// set scan. Pure cache — cleared by any mutation that moves lines,
+    /// never serialized.
+    memo_vpn: Vpn,
+    memo_idx: u32,
 }
 
 impl Tlb {
@@ -83,33 +94,53 @@ impl Tlb {
             ));
         }
         Ok(Tlb {
-            sets: (0..num_sets)
-                .map(|_| Set {
-                    lines: Vec::with_capacity(ways),
-                })
-                .collect(),
+            line_vpn: vec![Vpn(0); entries],
+            line_stamp: vec![0; entries],
+            set_len: vec![0; num_sets],
+            num_sets,
             ways,
+            cached: 0,
             stamp: 0,
             hits: 0,
             misses: 0,
             shootdowns: 0,
-            where_is: HashMap::new(),
+            memo_vpn: Vpn(0),
+            memo_idx: u32::MAX,
         })
     }
 
+    #[inline]
     fn set_index(&self, vpn: Vpn) -> usize {
-        (vpn.0 as usize) & (self.sets.len() - 1)
+        (vpn.0 as usize) & (self.num_sets - 1)
+    }
+
+    /// Position of `vpn` within its set's occupied lines, if cached.
+    #[inline]
+    fn find(&self, base: usize, len: usize, vpn: Vpn) -> Option<usize> {
+        self.line_vpn[base..base + len]
+            .iter()
+            .position(|&v| v == vpn)
     }
 
     /// Looks up `vpn`; on a hit, refreshes its LRU position. Returns whether
     /// it hit.
+    #[inline]
     pub fn access(&mut self, vpn: Vpn) -> bool {
         self.stamp += 1;
-        let idx = self.set_index(vpn);
-        let set = &mut self.sets[idx];
-        if let Some(line) = set.lines.iter_mut().find(|(v, _)| *v == vpn) {
-            line.1 = self.stamp;
+        if self.memo_idx != u32::MAX && vpn == self.memo_vpn {
+            // Same page as the last hit; the memoized line is still live.
+            // Identical effects to the scan path: stamp refresh + hit.
+            self.line_stamp[self.memo_idx as usize] = self.stamp;
             self.hits += 1;
+            return true;
+        }
+        let base = self.set_index(vpn) * self.ways;
+        let len = self.set_len[base / self.ways] as usize;
+        if let Some(pos) = self.find(base, len, vpn) {
+            self.line_stamp[base + pos] = self.stamp;
+            self.hits += 1;
+            self.memo_vpn = vpn;
+            self.memo_idx = (base + pos) as u32;
             true
         } else {
             self.misses += 1;
@@ -121,82 +152,98 @@ impl Tlb {
     /// if the set is full. Returns the evicted VPN, if any.
     pub fn fill(&mut self, vpn: Vpn) -> Option<Vpn> {
         self.stamp += 1;
-        let idx = self.set_index(vpn);
-        let ways = self.ways;
-        let stamp = self.stamp;
-        let set = &mut self.sets[idx];
-        if let Some(line) = set.lines.iter_mut().find(|(v, _)| *v == vpn) {
-            line.1 = stamp;
+        let set = self.set_index(vpn);
+        let base = set * self.ways;
+        let len = self.set_len[set] as usize;
+        if let Some(pos) = self.find(base, len, vpn) {
+            self.line_stamp[base + pos] = self.stamp;
             return None;
         }
-        let evicted = if set.lines.len() == ways {
-            // A full set is necessarily nonempty (ways > 0), so the min
-            // always exists; map instead of unwrapping all the same.
-            let lru_pos = set
-                .lines
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, s))| *s)
-                .map(|(pos, _)| pos);
-            lru_pos.map(|pos| {
-                let (old, _) = set.lines.swap_remove(pos);
-                self.where_is.remove(&old);
-                old
-            })
+        let evicted = if len == self.ways {
+            // A full set is necessarily nonempty (ways > 0). Evict the LRU
+            // line with swap-remove semantics (last line moves into the
+            // hole) — position ties are replacement-relevant, so this
+            // must match the historical Vec::swap_remove exactly.
+            let lru_pos = (0..len)
+                .min_by_key(|&i| self.line_stamp[base + i])
+                .expect("nonempty set");
+            let old = self.line_vpn[base + lru_pos];
+            self.line_vpn[base + lru_pos] = self.line_vpn[base + len - 1];
+            self.line_stamp[base + lru_pos] = self.line_stamp[base + len - 1];
+            self.set_len[set] -= 1;
+            self.cached -= 1;
+            self.memo_idx = u32::MAX; // lines moved
+            Some(old)
         } else {
             None
         };
-        set.lines.push((vpn, stamp));
-        self.where_is.insert(vpn, idx);
+        let len = self.set_len[set] as usize;
+        self.line_vpn[base + len] = vpn;
+        self.line_stamp[base + len] = self.stamp;
+        self.set_len[set] += 1;
+        self.cached += 1;
+        self.memo_vpn = vpn;
+        self.memo_idx = (base + len) as u32;
         evicted
     }
 
     /// Invalidates the entry for `vpn` (a TLB shootdown). Returns whether an
     /// entry was present.
     pub fn invalidate(&mut self, vpn: Vpn) -> bool {
-        if let Some(idx) = self.where_is.remove(&vpn) {
-            let set = &mut self.sets[idx];
-            if let Some(pos) = set.lines.iter().position(|(v, _)| *v == vpn) {
-                set.lines.swap_remove(pos);
-                self.shootdowns += 1;
-                return true;
-            }
+        let set = self.set_index(vpn);
+        let base = set * self.ways;
+        let len = self.set_len[set] as usize;
+        if let Some(pos) = self.find(base, len, vpn) {
+            self.line_vpn[base + pos] = self.line_vpn[base + len - 1];
+            self.line_stamp[base + pos] = self.line_stamp[base + len - 1];
+            self.set_len[set] -= 1;
+            self.cached -= 1;
+            self.shootdowns += 1;
+            self.memo_idx = u32::MAX; // removed or moved a line
+            true
+        } else {
+            false
         }
-        false
     }
 
     /// Drops every entry (full flush).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.lines.clear();
-        }
-        self.where_is.clear();
+        self.set_len.fill(0);
+        self.cached = 0;
+        self.memo_idx = u32::MAX;
     }
 
     /// True if `vpn` is currently cached (does not touch LRU state).
     pub fn contains(&self, vpn: Vpn) -> bool {
-        self.where_is.contains_key(&vpn)
+        let set = self.set_index(vpn);
+        let base = set * self.ways;
+        self.find(base, self.set_len[set] as usize, vpn).is_some()
     }
 
     /// Number of cached translations.
     pub fn len(&self) -> usize {
-        self.where_is.len()
+        self.cached
     }
 
     /// True if the TLB caches nothing.
     pub fn is_empty(&self) -> bool {
-        self.where_is.is_empty()
+        self.cached == 0
     }
 
     /// Total capacity in entries.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.num_sets * self.ways
     }
 
-    /// Iterates over every cached VPN (arbitrary order). Used by the
-    /// sim-guard checker to assert TLB entries only exist for mapped pages.
+    /// Iterates over every cached VPN (set order). Used by the sim-guard
+    /// checker to assert TLB entries only exist for mapped pages.
     pub fn cached_vpns(&self) -> impl Iterator<Item = Vpn> + '_ {
-        self.where_is.keys().copied()
+        (0..self.num_sets).flat_map(move |set| {
+            let base = set * self.ways;
+            self.line_vpn[base..base + self.set_len[set] as usize]
+                .iter()
+                .copied()
+        })
     }
 
     /// (hits, misses) counters.
@@ -222,16 +269,18 @@ impl Snapshot for Tlb {
         w.u64(self.stamp);
         w.u64(self.hits);
         w.u64(self.misses);
-        w.u64(self.sets.len() as u64);
+        w.u64(self.num_sets as u64);
         // Line order within a set is part of replacement behaviour
-        // (`swap_remove` ties on position), so it is preserved verbatim —
-        // and it is already deterministic, being driven only by the access
-        // stream.
-        for set in &self.sets {
-            w.u16(set.lines.len() as u16);
-            for &(vpn, stamp) in &set.lines {
-                w.u64(vpn.0);
-                w.u64(stamp);
+        // (swap-remove eviction ties on position), so it is preserved
+        // verbatim — and it is already deterministic, being driven only by
+        // the access stream.
+        for set in 0..self.num_sets {
+            let base = set * self.ways;
+            let len = self.set_len[set] as usize;
+            w.u16(len as u16);
+            for i in 0..len {
+                w.u64(self.line_vpn[base + i].0);
+                w.u64(self.line_stamp[base + i]);
             }
         }
     }
@@ -243,30 +292,34 @@ impl Restore for Tlb {
         self.hits = r.u64()?;
         self.misses = r.u64()?;
         let n_sets = r.usize()?;
-        if n_sets != self.sets.len() {
+        if n_sets != self.num_sets {
             return Err(r.malformed(format!(
                 "snapshot has {n_sets} sets, this TLB has {}",
-                self.sets.len()
+                self.num_sets
             )));
         }
-        self.where_is.clear();
-        for idx in 0..n_sets {
+        self.cached = 0;
+        self.memo_idx = u32::MAX;
+        let mut seen: FxHashSet<Vpn> = FxHashSet::default();
+        for set in 0..n_sets {
             let n_lines = r.u16()? as usize;
             if n_lines > self.ways {
                 return Err(r.malformed(format!(
-                    "set {idx} holds {n_lines} lines but associativity is {}",
+                    "set {set} holds {n_lines} lines but associativity is {}",
                     self.ways
                 )));
             }
-            let set = &mut self.sets[idx];
-            set.lines.clear();
-            for _ in 0..n_lines {
+            let base = set * self.ways;
+            self.set_len[set] = n_lines as u16;
+            for i in 0..n_lines {
                 let vpn = Vpn(r.u64()?);
                 let stamp = r.u64()?;
-                set.lines.push((vpn, stamp));
-                if self.where_is.insert(vpn, idx).is_some() {
+                self.line_vpn[base + i] = vpn;
+                self.line_stamp[base + i] = stamp;
+                if !seen.insert(vpn) {
                     return Err(r.malformed(format!("page {vpn:?} cached twice")));
                 }
+                self.cached += 1;
             }
         }
         Ok(())

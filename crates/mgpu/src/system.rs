@@ -8,14 +8,17 @@ use oasis_engine::codec::{
     fnv1a, ByteWriter, CheckpointReader, CheckpointWriter, CodecError, Restore, Snapshot,
 };
 use oasis_engine::error::{ErrorPolicy, FaultError, SimError, SimResult, TraceError};
-use oasis_engine::{Duration, Endpoint, EventQueue, Observer, Time, TraceEvent};
+use oasis_engine::{
+    CounterHandle, Duration, Endpoint, EventQueue, HistogramHandle, Observer, Time, TraceEvent,
+};
 use oasis_interconnect::Fabric;
 use oasis_mem::layout::AddressSpace;
 use oasis_mem::types::{DeviceId, GpuId, ObjectId, Va};
 use oasis_uvm::driver::{Outcome, UvmDriver};
 use oasis_uvm::fault::PageFault;
 use oasis_uvm::guard::check_mem_state;
-use oasis_workloads::trace::{Access, Trace};
+use oasis_workloads::compiled::{CompiledAccess, CompiledPhase, CompiledTrace};
+use oasis_workloads::trace::Trace;
 
 use crate::config::{GuardMode, Placement, Policy, SystemConfig};
 use crate::gpu::GpuModel;
@@ -88,6 +91,19 @@ pub struct System {
     trace_fingerprint: u64,
     /// Per-epoch state digests accumulated so far.
     digest_trail: Vec<u64>,
+    /// The trace pre-resolved against this system's address-space binding
+    /// (built lazily on the first `run_*` call, including after resume).
+    /// Taken out of the system for the duration of each epoch so the hot
+    /// loop can borrow it while mutating everything else.
+    compiled: Option<CompiledTrace>,
+    /// `OASIS_TRACE_SLOW` / `OASIS_SEG_DEBUG`, sampled once at
+    /// construction: a per-access `env::var_os` locks and allocates.
+    trace_slow: bool,
+    seg_debug: bool,
+    /// Pre-resolved metric slots for the per-access path.
+    m_local: CounterHandle,
+    m_remote: CounterHandle,
+    m_walk_ns: HistogramHandle,
     /// Host-side wall-clock measurements.
     instr: RunInstrumentation,
     /// Per-epoch activity deltas. Observational only: never snapshotted,
@@ -122,6 +138,10 @@ impl System {
         driver.counter_weight = config.counter_weight;
         driver.prefetch_group = config.prefetch_group;
         driver.obs = Observer::from_config(config.trace_capacity, config.metrics);
+        driver.bind_metric_handles();
+        let m_local = driver.obs.metrics.counter_handle("access.local");
+        let m_remote = driver.obs.metrics.counter_handle("access.remote");
+        let m_walk_ns = driver.obs.metrics.histogram_handle("tlb.walk_ns");
         System {
             gpus,
             fabric,
@@ -143,6 +163,12 @@ impl System {
             loaded: false,
             trace_fingerprint: 0,
             digest_trail: Vec::new(),
+            compiled: None,
+            trace_slow: std::env::var_os("OASIS_TRACE_SLOW").is_some(),
+            seg_debug: std::env::var_os("OASIS_SEG_DEBUG").is_some(),
+            m_local,
+            m_remote,
+            m_walk_ns,
             instr: RunInstrumentation::default(),
             epoch_rollups: Vec::new(),
             config,
@@ -203,65 +229,74 @@ impl System {
         Ok(())
     }
 
+    /// Compiles the trace against this system's object binding (once per
+    /// system; a resumed system compiles on its first `run_*` call). Must
+    /// run after `load`/`resume` populated `tagged_bases`.
+    fn ensure_compiled(&mut self, trace: &Trace) {
+        if self.compiled.is_some() {
+            return;
+        }
+        let sizes: Vec<u64> = (0..self.tagged_bases.len())
+            .map(|i| self.space.object(ObjectId(i as u16)).size)
+            .collect();
+        self.compiled = Some(CompiledTrace::compile(
+            trace,
+            &self.tagged_bases,
+            &sizes,
+            self.config.page_size,
+        ));
+    }
+
     fn apply_invalidations(&mut self, out: &Outcome) {
         for (g, vpn) in &out.invalidations {
             self.gpus[g.index()].invalidate(*vpn, self.config.page_size);
         }
     }
 
-    /// Executes one memory transaction, returning its total latency.
-    ///
-    /// Trace-level validation (known object, in-range offset) happens
-    /// before any state is touched, so a rejected access leaves no residue;
-    /// a fault-resolution failure cleans up the TLB fill it caused.
-    fn process_access(&mut self, now: Time, g: usize, a: &Access) -> SimResult<Duration> {
-        let obj = a.obj.0 as usize;
-        let Some(tagged_base) = self.tagged_bases.get(obj).copied() else {
-            return Err(TraceError::UnknownObject { object: a.obj.0 }.into());
-        };
-        let size = self.space.object(a.obj).size;
-        if a.offset >= size {
-            return Err(TraceError::OffsetOutOfRange {
+    /// Reconstructs the typed trace error for an access that failed to
+    /// compile — the same error, at the same step, the uncompiled path
+    /// raised when it validated per access.
+    #[cold]
+    fn trace_error(&self, a: &CompiledAccess) -> SimError {
+        if (a.obj.0 as usize) >= self.tagged_bases.len() {
+            TraceError::UnknownObject { object: a.obj.0 }.into()
+        } else {
+            TraceError::OffsetOutOfRange {
                 object: a.obj.0,
                 offset: a.offset,
-                size,
+                size: self.space.object(a.obj).size,
             }
-            .into());
+            .into()
         }
-        self.accesses += 1;
-        let va = Va(tagged_base.0 + a.offset);
-        let page = self.config.page_size;
-        let vpn = va.vpn(page);
+    }
+
+    /// Resolves an access whose first PTE probe did not yield a usable
+    /// translation: the driver services faults (far or protection) until
+    /// one exists, accumulating their latency. Outlined so the fast path
+    /// stays small.
+    fn resolve_via_faults(
+        &mut self,
+        now: Time,
+        g: usize,
+        a: &CompiledAccess,
+        latency: &mut Duration,
+    ) -> SimResult<oasis_mem::page::Pte> {
         let gpu_id = GpuId(g as u8);
-
-        let tlb = self.gpus[g].translate(vpn, &self.config);
-        let mut latency = tlb.latency;
-        if tlb.l2_miss {
-            self.driver.obs.metrics.observe("tlb.walk_ns", tlb.latency);
-            self.driver.obs.emit(now, || TraceEvent::WalkComplete {
-                gpu: g as u8,
-                vpn: vpn.0,
-                latency: tlb.latency,
-            });
-        }
-
-        // The local PTE is the source of truth for location and
-        // permissions (the TLB models timing only); faults are resolved by
-        // the driver until a usable translation exists.
+        let vpn = a.vpn;
         let mut rounds = 0u32;
-        let pte = loop {
+        loop {
             let pte = self.driver.state.local_tables[g].get(vpn).copied();
             let fault = match pte {
-                None => PageFault::far(gpu_id, va, vpn, a.kind),
+                None => PageFault::far(gpu_id, a.va, vpn, a.kind),
                 Some(p) if a.kind.is_write() && !p.writable => {
-                    PageFault::protection(gpu_id, va, vpn)
+                    PageFault::protection(gpu_id, a.va, vpn)
                 }
-                Some(p) => break p,
+                Some(p) => return Ok(p),
             };
             if rounds >= 4 {
                 // The speculative TLB fill from translate() must not
                 // outlive the failed access.
-                self.gpus[g].invalidate(vpn, page);
+                self.gpus[g].invalidate(vpn, self.config.page_size);
                 return Err(FaultError::Unresolvable {
                     vpn: vpn.0,
                     gpu: g as u8,
@@ -271,17 +306,58 @@ impl System {
             }
             let out = match self
                 .driver
-                .handle_fault(now + latency, &fault, &mut self.fabric)
+                .handle_fault(now + *latency, &fault, &mut self.fabric)
             {
                 Ok(out) => out,
                 Err(e) => {
-                    self.gpus[g].invalidate(vpn, page);
+                    self.gpus[g].invalidate(vpn, self.config.page_size);
                     return Err(e);
                 }
             };
-            latency += out.latency;
+            *latency += out.latency;
             self.apply_invalidations(&out);
             rounds += 1;
+        }
+    }
+
+    /// Executes one pre-resolved memory transaction, returning its total
+    /// latency.
+    ///
+    /// Trace-level validation happened at compile time, so an invalid
+    /// access fails here before any state is touched (no residue); a
+    /// fault-resolution failure cleans up the TLB fill it caused.
+    fn process_access(&mut self, now: Time, g: usize, a: &CompiledAccess) -> SimResult<Duration> {
+        if !a.valid {
+            return Err(self.trace_error(a));
+        }
+        self.accesses += 1;
+        let va = a.va;
+        let vpn = a.vpn;
+        let gpu_id = GpuId(g as u8);
+
+        let tlb = self.gpus[g].translate(vpn, &self.config);
+        let mut latency = tlb.latency;
+        if tlb.l2_miss {
+            self.driver
+                .obs
+                .metrics
+                .observe_in(self.m_walk_ns, tlb.latency);
+            self.driver.obs.emit(now, || TraceEvent::WalkComplete {
+                gpu: g as u8,
+                vpn: vpn.0,
+                latency: tlb.latency,
+            });
+        }
+
+        // The local PTE is the source of truth for location and
+        // permissions (the TLB models timing only). An L1 TLB hit on a
+        // sufficient translation takes the early exit below — one arena
+        // probe, no fault scaffolding, no policy or metrics state touched
+        // (policy-mix attribution and walk observation only exist on L2
+        // misses). Anything else drops into the fault-resolution loop.
+        let pte = match self.driver.state.local_tables[g].get(vpn) {
+            Some(&p) if !a.kind.is_write() || p.writable => p,
+            _ => self.resolve_via_faults(now, g, a, &mut latency)?,
         };
         if tlb.l2_miss {
             self.policy_mix[RunReport::mix_index(pte.policy)] += 1;
@@ -289,13 +365,13 @@ impl System {
 
         if pte.location == DeviceId::Gpu(gpu_id) {
             self.local_accesses += 1;
-            self.driver.obs.metrics.add("access.local", 1);
+            self.driver.obs.metrics.add_to(self.m_local, 1);
             latency +=
                 self.gpus[g].local_access(now + latency, va, u64::from(a.bytes), &self.config);
             self.driver.state.frames[g].touch(vpn);
         } else {
             self.remote_accesses += 1;
-            self.driver.obs.metrics.add("access.remote", 1);
+            self.driver.obs.metrics.add_to(self.m_remote, 1);
             // Request to the remote device, data back over the fabric.
             let depart = now + latency;
             let t = self.fabric.transfer(
@@ -326,7 +402,7 @@ impl System {
                 self.apply_invalidations(&out);
             }
         }
-        if std::env::var_os("OASIS_TRACE_SLOW").is_some() && latency > Duration::from_ms(20) {
+        if self.trace_slow && latency > Duration::from_ms(20) {
             eprintln!(
                 "slow access: {latency} at {now} gpu{g} vpn {vpn} kind {:?} pte {:?}",
                 a.kind,
@@ -410,9 +486,14 @@ impl System {
     fn run_until(&mut self, trace: &Trace, upto: u64) -> Result<(), RunError> {
         let t0 = Instant::now();
         self.ensure_loaded(trace)?;
+        self.ensure_compiled(trace);
         let mut result = Ok(());
         while self.next_epoch < upto {
-            result = self.run_epoch(trace);
+            // The compiled buffer moves out for the epoch so the hot loop
+            // can hold it while mutating the rest of the system.
+            let compiled = self.compiled.take().expect("compiled above");
+            result = self.run_epoch(trace, &compiled);
+            self.compiled = Some(compiled);
             if result.is_err() {
                 break;
             }
@@ -423,9 +504,10 @@ impl System {
 
     /// Executes the next epoch (one kernel launch / trace phase) and
     /// records its end-of-epoch state digest.
-    fn run_epoch(&mut self, trace: &Trace) -> Result<(), RunError> {
+    fn run_epoch(&mut self, trace: &Trace, compiled: &CompiledTrace) -> Result<(), RunError> {
         let epoch = self.next_epoch;
         let phase = &trace.phases[epoch as usize];
+        let cphase = &compiled.phases[epoch as usize];
         let epoch_start = self.global;
         let uvm_before = self.driver.stats;
         let accesses_before = self.accesses;
@@ -438,28 +520,33 @@ impl System {
         self.apply_scheduled_faults(epoch)?;
         // Grid-wide barriers split the kernel into synchronized
         // segments (in-kernel iteration boundaries). Unlike kernel
-        // launches, barriers do not notify the policy engine.
+        // launches, barriers do not notify the policy engine. Segments are
+        // described by index ranges into the per-GPU streams — no
+        // per-segment slice vectors.
         let n_barriers = phase.barriers.first().map(Vec::len).unwrap_or(0);
         for seg in 0..=n_barriers {
-            let slices: Vec<&[oasis_workloads::trace::Access]> = (0..self.config.gpu_count)
-                .map(|g| {
-                    let start = if seg == 0 {
-                        0
-                    } else {
-                        phase.barriers[g][seg - 1]
-                    };
-                    let end = if seg == n_barriers {
-                        phase.per_gpu[g].len()
-                    } else {
-                        phase.barriers[g][seg]
-                    };
-                    &phase.per_gpu[g][start..end]
-                })
-                .collect();
+            let bounds = |g: usize| {
+                let start = if seg == 0 {
+                    0
+                } else {
+                    phase.barriers[g][seg - 1]
+                };
+                let end = if seg == n_barriers {
+                    phase.per_gpu[g].len()
+                } else {
+                    phase.barriers[g][seg]
+                };
+                (start, end)
+            };
             let seg_start = self.global;
-            self.global = self.run_segment(seg_start, &slices)?;
-            if std::env::var_os("OASIS_SEG_DEBUG").is_some() {
-                let n: usize = slices.iter().map(|s| s.len()).sum();
+            self.global = self.run_segment(seg_start, cphase, &bounds)?;
+            if self.seg_debug {
+                let n: usize = (0..self.config.gpu_count)
+                    .map(|g| {
+                        let (s, e) = bounds(g);
+                        e - s
+                    })
+                    .sum();
                 eprintln!(
                     "[seg {seg}/{n_barriers} of {}] {n} accesses in {:.3} ms",
                     phase.name,
@@ -527,13 +614,23 @@ impl System {
     }
 
     /// Runs one synchronized segment of per-GPU streams starting at
-    /// `start`, returning the time all GPUs completed it.
-    fn run_segment(&mut self, start: Time, work: &[&[Access]]) -> Result<Time, RunError> {
+    /// `start`, returning the time all GPUs completed it. The segment is
+    /// `bounds(g)` index ranges into the phase's pre-resolved streams.
+    fn run_segment(
+        &mut self,
+        start: Time,
+        phase: &CompiledPhase,
+        bounds: &dyn Fn(usize) -> (usize, usize),
+    ) -> Result<Time, RunError> {
         let lanes = self.config.lanes_per_gpu.max(1);
         let mut queue: EventQueue<usize> = EventQueue::new();
-        let mut next = vec![0usize; work.len()];
-        for (g, stream) in work.iter().enumerate() {
-            for _ in 0..lanes.min(stream.len().max(1)) {
+        let mut next = vec![0usize; phase.per_gpu.len()];
+        let mut ends = vec![0usize; phase.per_gpu.len()];
+        for g in 0..phase.per_gpu.len() {
+            let (lo, hi) = bounds(g);
+            next[g] = lo;
+            ends[g] = hi;
+            for _ in 0..lanes.min((hi - lo).max(1)) {
                 queue.push(start, g);
             }
         }
@@ -546,13 +643,13 @@ impl System {
         while let Some(ev) = queue.pop() {
             let g = ev.payload;
             let idx = next[g];
-            if idx >= work[g].len() {
+            if idx >= ends[g] {
                 continue; // this lane retires
             }
             next[g] = idx + 1;
             self.step += 1;
-            let stats_before = self.driver.stats;
-            match self.process_access(ev.time, g, &work[g][idx]) {
+            let stats_before = self.driver.stats.progress_token();
+            match self.process_access(ev.time, g, &phase.per_gpu[g][idx]) {
                 Ok(latency) => {
                     stalled_events = 0;
                     let done = ev.time + latency;
@@ -560,7 +657,7 @@ impl System {
                     queue.push(done, g);
                 }
                 Err(e) => {
-                    if self.driver.stats == stats_before {
+                    if self.driver.stats.progress_token() == stats_before {
                         stalled_events += 1;
                         if stalled_events >= self.config.stall_window {
                             return Err(RunError {

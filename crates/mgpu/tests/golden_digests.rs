@@ -1,0 +1,105 @@
+//! Pinned golden digest trails: the bit-identity contract for the access
+//! fast path.
+//!
+//! Each trail below was captured from the simulator *before* the
+//! pre-resolved access pipeline landed (PR 8) and is asserted byte-for-byte
+//! since. The per-epoch digests hash the full snapshot byte stream
+//! (tracker, fabric, fault state, TLBs, caches, DRAM channels, driver
+//! tables, policy state), so any change to simulation semantics — an extra
+//! fault, a different eviction victim, a reordered shootdown — shows up
+//! here by name. Performance work must keep every one of these green.
+
+use oasis_mgpu::{simulate, Policy, SystemConfig};
+use oasis_workloads::{generate, App, WorkloadParams};
+
+fn trail(app: App, policy: Policy) -> Vec<u64> {
+    let trace = generate(app, &WorkloadParams::small(app, 4));
+    let report = simulate(&SystemConfig::default(), policy, &trace);
+    report.digest_trail
+}
+
+#[test]
+fn c2d_on_touch_trail_is_pinned() {
+    assert_eq!(
+        trail(App::C2d, Policy::OnTouch),
+        vec![
+            0x40b96e601bd36c95,
+            0x3ea16853d151722f,
+            0xad8c45b05a0db0f1,
+            0x66d55e065be71f3a,
+            0xb8c9700e6fbe7755,
+            0x7c9f710eec461662,
+            0xe71d643219203298,
+            0x5c6ad647bb250c4d,
+            0x61e7fb49f621ba43,
+        ]
+    );
+}
+
+#[test]
+fn c2d_access_counter_trail_is_pinned() {
+    assert_eq!(
+        trail(App::C2d, Policy::AccessCounter),
+        vec![
+            0x32a292a51fa43759,
+            0x57f15cd8df0dd9c0,
+            0xccb25dc477b643ab,
+            0xf8127348dbbd2d4e,
+            0x5f63319abc84ab14,
+            0xe970528867fb196c,
+            0x099e880c951b8e32,
+            0xdb7792c8ccb6f0d7,
+            0x109bc2b5f64d10fe,
+        ]
+    );
+}
+
+#[test]
+fn c2d_duplication_trail_is_pinned() {
+    assert_eq!(
+        trail(App::C2d, Policy::Duplication),
+        vec![
+            0x2247f4b65a83e6df,
+            0x029b99288e8f001e,
+            0xdbb5d95b13c7d4cc,
+            0x863b14422a60844f,
+            0x62a375c7e8fcd9cc,
+            0xd781aae41c308800,
+            0x70e821b75f71588c,
+            0xf6543f798193e71e,
+            0xa322f3dde7485ac4,
+        ]
+    );
+}
+
+#[test]
+fn c2d_oasis_trail_is_pinned() {
+    assert_eq!(
+        trail(App::C2d, Policy::oasis()),
+        vec![
+            0xed1264e858b97900,
+            0xbae9807e83af2b1c,
+            0x1e2683a92fa83443,
+            0xfb9bfd7938cde3e1,
+            0x6d478187a7e39218,
+            0x981b5af1b19a7727,
+            0xdf52ff9164b7c876,
+            0xf2e4e3ebf4a0812d,
+            0x7b7861cb80f1773b,
+        ]
+    );
+}
+
+#[test]
+fn mm_trails_are_pinned_for_all_four_policies() {
+    assert_eq!(trail(App::Mm, Policy::OnTouch), vec![0x640657b856e6a885]);
+    assert_eq!(
+        trail(App::Mm, Policy::AccessCounter),
+        vec![0x0f7ed771fdf07d5d]
+    );
+    assert_eq!(
+        trail(App::Mm, Policy::Duplication),
+        vec![0x11dc90e309892a4f]
+    );
+    assert_eq!(trail(App::Mm, Policy::oasis()), vec![0xb137fa2e4e5e3050]);
+}

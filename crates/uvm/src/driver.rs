@@ -12,11 +12,11 @@
 //! [`SimError`](oasis_engine::SimError) so callers can fail fast, record and
 //! continue, or feed the failure back to the fault-injection harness.
 
-use std::collections::HashMap;
-
 use oasis_engine::codec::{ByteReader, ByteWriter, CodecError, Restore, Snapshot};
 use oasis_engine::error::{EvictionError, FaultError, MigrationError, SimError, SimResult};
-use oasis_engine::{Duration, Endpoint, Observer, Time, TraceEvent};
+use oasis_engine::{
+    CounterHandle, Duration, Endpoint, FxHashMap, HistogramHandle, Observer, Time, TraceEvent,
+};
 use oasis_interconnect::Fabric;
 use oasis_mem::frames::FrameAllocator;
 use oasis_mem::page::{HostEntry, HostPageTable, LocalPageTable, PolicyBits, Pte};
@@ -194,16 +194,46 @@ pub struct UvmDriver {
     /// not isolate it); exposed for the ablation study.
     pub prefetch_group: bool,
     group_shift: u32,
-    counters: HashMap<(u8, u64), u32>,
+    counters: FxHashMap<(u8, u64), u32>,
     /// Per-page (migration count in window, window start) for thrash
     /// detection.
-    thrash: HashMap<Vpn, (u32, Time)>,
+    thrash: FxHashMap<Vpn, (u32, Time)>,
     /// When the serialized host fault-handling pipeline frees up.
     driver_free: Time,
     /// Observability sink (tracer + metrics). Purely observational:
     /// excluded from [`Snapshot`]/[`Restore`] and rebuilt from config on
     /// resume, so tracing cannot perturb replay.
     pub obs: Observer,
+    /// Pre-resolved metric slots for the per-fault observation path
+    /// (re-resolved by [`UvmDriver::bind_metric_handles`] whenever `obs`
+    /// is replaced).
+    mh: FaultMetricHandles,
+}
+
+/// Handles into `obs.metrics` for every metric the fault path updates per
+/// event, so servicing a fault never pays a name lookup. Handles from a
+/// disabled registry are inert, so binding is unconditional.
+#[derive(Debug, Clone, Copy)]
+struct FaultMetricHandles {
+    far: CounterHandle,
+    protection: CounterHandle,
+    service_ns: HistogramHandle,
+    queue_ns: HistogramHandle,
+    transfer_ns: HistogramHandle,
+    shootdown_ns: HistogramHandle,
+}
+
+impl FaultMetricHandles {
+    fn bind(m: &mut oasis_engine::MetricsRegistry) -> Self {
+        FaultMetricHandles {
+            far: m.counter_handle("uvm.fault.far"),
+            protection: m.counter_handle("uvm.fault.protection"),
+            service_ns: m.histogram_handle("uvm.fault.service_ns"),
+            queue_ns: m.histogram_handle("uvm.fault.queue_ns"),
+            transfer_ns: m.histogram_handle("uvm.fault.transfer_ns"),
+            shootdown_ns: m.histogram_handle("uvm.fault.shootdown_ns"),
+        }
+    }
 }
 
 impl std::fmt::Debug for UvmDriver {
@@ -235,13 +265,21 @@ impl UvmDriver {
             thrash_threshold: 4,
             thrash_window: Duration::from_ms(1),
             prefetch_group: false,
-            thrash: HashMap::new(),
+            thrash: FxHashMap::default(),
             stats: UvmStats::default(),
             group_shift: pages_per_group.trailing_zeros(),
-            counters: HashMap::new(),
+            counters: FxHashMap::default(),
             driver_free: Time::ZERO,
             obs: Observer::disabled(),
+            mh: FaultMetricHandles::bind(&mut oasis_engine::MetricsRegistry::disabled()),
         }
+    }
+
+    /// Re-resolves the fault path's metric handles against the current
+    /// `obs.metrics`. Must be called after replacing [`UvmDriver::obs`];
+    /// handles from a previous registry would index the wrong slots.
+    pub fn bind_metric_handles(&mut self) {
+        self.mh = FaultMetricHandles::bind(&mut self.obs.metrics);
     }
 
     /// The host-table entry for `vpn`, copied, or a migration error if the
@@ -816,21 +854,19 @@ impl UvmDriver {
     fn observe_fault(&mut self, now: Time, fault: &PageFault, out: &Outcome) {
         if self.obs.metrics.is_enabled() {
             match fault.fault_type {
-                FaultType::Far => self.obs.metrics.add("uvm.fault.far", 1),
-                FaultType::Protection => self.obs.metrics.add("uvm.fault.protection", 1),
+                FaultType::Far => self.obs.metrics.add_to(self.mh.far, 1),
+                FaultType::Protection => self.obs.metrics.add_to(self.mh.protection, 1),
             }
+            self.obs.metrics.observe_in(self.mh.service_ns, out.latency);
             self.obs
                 .metrics
-                .observe("uvm.fault.service_ns", out.latency);
+                .observe_in(self.mh.queue_ns, out.queue_wait);
             self.obs
                 .metrics
-                .observe("uvm.fault.queue_ns", out.queue_wait);
+                .observe_in(self.mh.transfer_ns, out.transfer_time);
             self.obs
                 .metrics
-                .observe("uvm.fault.transfer_ns", out.transfer_time);
-            self.obs
-                .metrics
-                .observe("uvm.fault.shootdown_ns", out.shootdown_time);
+                .observe_in(self.mh.shootdown_ns, out.shootdown_time);
         }
         self.obs.emit(now, || TraceEvent::FarFault {
             gpu: fault.gpu.0,
@@ -1325,7 +1361,7 @@ impl Restore for UvmDriver {
             self.state.frames[g].restore(r)?;
         }
         let n = r.usize()?;
-        self.counters = HashMap::with_capacity(n);
+        self.counters = FxHashMap::with_capacity_and_hasher(n, Default::default());
         for _ in 0..n {
             let gpu = r.u8()?;
             let group = r.u64()?;
@@ -1337,7 +1373,7 @@ impl Restore for UvmDriver {
             }
         }
         let n = r.usize()?;
-        self.thrash = HashMap::with_capacity(n);
+        self.thrash = FxHashMap::with_capacity_and_hasher(n, Default::default());
         for _ in 0..n {
             let vpn = Vpn(r.u64()?);
             let count = r.u32()?;

@@ -47,6 +47,28 @@ impl UvmStats {
         self.far_faults + self.protection_faults
     }
 
+    /// Cheap change detector: counters only ever increase, so the wrapping
+    /// sum of all fields changes iff any counter changed. Lets the run
+    /// loop's progress watchdog compare one word instead of copying the
+    /// whole struct on every access.
+    #[inline]
+    pub fn progress_token(&self) -> u64 {
+        self.far_faults
+            .wrapping_add(self.protection_faults)
+            .wrapping_add(self.migrations)
+            .wrapping_add(self.counter_migrations)
+            .wrapping_add(self.duplications)
+            .wrapping_add(self.collapses)
+            .wrapping_add(self.remote_maps)
+            .wrapping_add(self.ideal_copies)
+            .wrapping_add(self.evictions)
+            .wrapping_add(self.thrash_pins)
+            .wrapping_add(self.prefetches)
+            .wrapping_add(self.invalidations)
+            .wrapping_add(self.ecc_quarantines)
+            .wrapping_add(self.fault_retries)
+    }
+
     /// Total pages moved between devices for any reason.
     pub fn total_page_moves(&self) -> u64 {
         self.migrations

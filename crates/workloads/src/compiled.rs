@@ -1,0 +1,168 @@
+//! Pre-resolved access buffers: the trace compiled against a concrete
+//! address-space binding.
+//!
+//! `System::run` used to re-derive, for every access of every epoch, the
+//! object base (tagged-pointer lookup), the bounds check, the virtual
+//! address, and the page number — all of which are invariant for the whole
+//! run once objects are allocated. Compiling the trace performs that work
+//! exactly once per access up front, leaving the simulation loop a flat,
+//! cache-friendly buffer of fully resolved transactions.
+//!
+//! Compilation is semantically invisible: invalid accesses (unknown
+//! object, out-of-range offset) are carried through as marked entries so
+//! the simulator can raise the *same* typed error at the *same* step it
+//! always did, and the per-phase / per-GPU stream shapes are preserved so
+//! barrier indices keep their meaning.
+
+use oasis_mem::types::{AccessKind, ObjectId, PageSize, Va, Vpn};
+
+use crate::trace::Trace;
+
+/// One fully resolved memory transaction.
+///
+/// For a valid access, `va`/`vpn` are the final (tagged) virtual address
+/// and page number — the simulator consumes them directly. For an invalid
+/// access (`valid == false`) they are zero and the original `obj`/`offset`
+/// coordinates are used to reconstruct the typed trace error.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledAccess {
+    /// Tagged virtual address (base of the owning object + offset).
+    pub va: Va,
+    /// Virtual page number of `va` under the compiling page size.
+    pub vpn: Vpn,
+    /// Original intra-object byte offset (error reporting).
+    pub offset: u64,
+    /// Transaction size in bytes.
+    pub bytes: u32,
+    /// Original object id (error reporting).
+    pub obj: ObjectId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Whether the access resolved (known object, in-range offset).
+    pub valid: bool,
+}
+
+/// One trace phase's streams, pre-resolved. Stream lengths and ordering
+/// match the source [`Phase::per_gpu`](crate::trace::Phase::per_gpu)
+/// exactly, so the phase's barrier indices apply unchanged.
+#[derive(Debug, Clone)]
+pub struct CompiledPhase {
+    /// Per-GPU resolved access streams.
+    pub per_gpu: Vec<Vec<CompiledAccess>>,
+}
+
+/// A [`Trace`] compiled against one address-space binding (object bases
+/// and sizes) and page size. Valid only for the system that produced the
+/// binding; a different placement of objects needs a fresh compile.
+#[derive(Debug, Clone)]
+pub struct CompiledTrace {
+    /// Pre-resolved phases, index-aligned with the source trace's.
+    pub phases: Vec<CompiledPhase>,
+}
+
+impl CompiledTrace {
+    /// Resolves every access of `trace` against the object binding:
+    /// `bases[i]`/`sizes[i]` are the tagged base address and byte size of
+    /// object `i`. Accesses naming an object outside `bases` or an offset
+    /// at/past its size compile to invalid entries.
+    pub fn compile(trace: &Trace, bases: &[Va], sizes: &[u64], page: PageSize) -> Self {
+        let invalid = |a: &crate::trace::Access| CompiledAccess {
+            va: Va(0),
+            vpn: Vpn(0),
+            offset: a.offset,
+            bytes: a.bytes,
+            obj: a.obj,
+            kind: a.kind,
+            valid: false,
+        };
+        CompiledTrace {
+            phases: trace
+                .phases
+                .iter()
+                .map(|phase| CompiledPhase {
+                    per_gpu: phase
+                        .per_gpu
+                        .iter()
+                        .map(|stream| {
+                            stream
+                                .iter()
+                                .map(|a| {
+                                    let i = a.obj.0 as usize;
+                                    match bases.get(i) {
+                                        Some(base) if a.offset < sizes[i] => {
+                                            let va = Va(base.0 + a.offset);
+                                            CompiledAccess {
+                                                va,
+                                                vpn: va.vpn(page),
+                                                offset: a.offset,
+                                                bytes: a.bytes,
+                                                obj: a.obj,
+                                                kind: a.kind,
+                                                valid: true,
+                                            }
+                                        }
+                                        _ => invalid(a),
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{App, WorkloadParams};
+
+    #[test]
+    fn compile_preserves_stream_shapes_and_resolves_addresses() {
+        let trace = crate::generate(App::Mm, &WorkloadParams::small(App::Mm, 4));
+        let n_objects = trace.objects.len();
+        // A synthetic dense binding: object i based at i * 1 GiB.
+        let bases: Vec<Va> = (0..n_objects).map(|i| Va((i as u64) << 30)).collect();
+        let sizes: Vec<u64> = trace.objects.iter().map(|o| o.bytes).collect();
+        let page = PageSize::Small4K;
+        let compiled = CompiledTrace::compile(&trace, &bases, &sizes, page);
+        assert_eq!(compiled.phases.len(), trace.phases.len());
+        for (cp, p) in compiled.phases.iter().zip(trace.phases.iter()) {
+            assert_eq!(cp.per_gpu.len(), p.per_gpu.len());
+            for (cs, s) in cp.per_gpu.iter().zip(p.per_gpu.iter()) {
+                assert_eq!(cs.len(), s.len());
+                for (ca, a) in cs.iter().zip(s.iter()) {
+                    assert!(ca.valid);
+                    assert_eq!(ca.va.0, bases[a.obj.0 as usize].0 + a.offset);
+                    assert_eq!(ca.vpn, ca.va.vpn(page));
+                    assert_eq!(ca.bytes, a.bytes);
+                    assert_eq!(ca.kind, a.kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_binding_accesses_compile_to_invalid_entries() {
+        let mut trace = crate::generate(App::Mt, &WorkloadParams::small(App::Mt, 4));
+        trace.phases[0].per_gpu[0][0].obj = ObjectId(999); // unknown object
+        trace.phases[0].per_gpu[1][2].offset = u64::MAX / 2; // out of range
+        let bases: Vec<Va> = trace
+            .objects
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Va((i as u64) << 30))
+            .collect();
+        let sizes: Vec<u64> = trace.objects.iter().map(|o| o.bytes).collect();
+        let c = CompiledTrace::compile(&trace, &bases, &sizes, PageSize::Small4K);
+        let bad = &c.phases[0].per_gpu[0][0];
+        assert!(!bad.valid);
+        assert_eq!(bad.obj, ObjectId(999));
+        let bad2 = &c.phases[0].per_gpu[1][2];
+        assert!(!bad2.valid);
+        assert_eq!(bad2.offset, u64::MAX / 2);
+        // Everything else still resolves.
+        assert!(c.phases[0].per_gpu[0][1].valid);
+    }
+}

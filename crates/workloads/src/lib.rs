@@ -17,9 +17,11 @@
 //! on-chip caches is folded into the transaction count.
 
 pub mod apps;
+pub mod compiled;
 pub mod spec;
 pub mod trace;
 
+pub use compiled::{CompiledAccess, CompiledPhase, CompiledTrace};
 pub use spec::{App, Pattern, WorkloadParams, ALL_APPS};
 pub use trace::{Access, ObjectSpec, Phase, Trace, TraceBuilder};
 

@@ -12,7 +12,9 @@
 # bench-smoke throughput gate, three determinism audits (checkpoint
 # replay, byte-identical trace files, and byte-identical fuzz reports
 # at any --jobs count), a parallel corpus replay with skip-hardening and
-# failure-propagation probes, and — in strict mode — the
+# failure-propagation probes, and — in strict mode — the pinned
+# golden-digest gate (two fixed-seed scenarios cmp'd against fixtures in
+# tests/golden/, catching cross-version semantic drift), the
 # graceful-degradation matrix (every core policy must finish a run under
 # a fixed hardware-fault plan and report its recovery counters), a
 # bounded property-fuzz smoke over the differential policy oracle, and
@@ -72,6 +74,27 @@ trap 'rm -f "$T1" "$T2"' EXIT
     --trace-out "$T2" >/dev/null
 cmp "$T1" "$T2"
 echo "traces are byte-identical ($(wc -c <"$T1") bytes)"
+
+step "golden digest trails (pinned cross-version determinism fixtures)"
+if [ "$STRICT" = "1" ]; then
+    # Two fixed-seed scenarios re-run from scratch; their per-epoch FNV-1a
+    # digest trails must cmp byte-identical against fixtures pinned in
+    # tests/golden/. Unlike the same-binary determinism audits above, this
+    # gate spans versions: any semantic drift in the access pipeline —
+    # however subtle — shows up here even when the run still agrees with
+    # itself. Refreshing a fixture is a deliberate, reviewed act.
+    D1="$(mktemp)" D2="$(mktemp)"
+    ./target/release/oasis-sim run --app C2D --policy oasis --footprint-mb 4 \
+        --digest-out "$D1" >/dev/null
+    cmp "$D1" tests/golden/c2d-oasis.digests
+    ./target/release/oasis-sim run --app MM --policy duplication --footprint-mb 4 \
+        --digest-out "$D2" >/dev/null
+    cmp "$D2" tests/golden/mm-duplication.digests
+    rm -f "$D1" "$D2"
+    echo "digest trails match the pinned fixtures (C2D/oasis, MM/duplication)"
+else
+    echo "developer mode (CI_STRICT unset); skipping the golden digest gate"
+fi
 
 step "graceful degradation under a fixed fault plan (all four policies)"
 if [ "$STRICT" = "1" ]; then
@@ -186,7 +209,13 @@ rm -rf "$CORPUS_DIR"
 ./target/release/oasis-sim inject --seed 42 --jobs "$(nproc)" >/dev/null
 echo "failure propagation verified (bad replays nonzero, inject campaign clean)"
 
-step "bench-smoke throughput gate (best of 3)"
-./scripts/bench_smoke.sh
+step "bench-smoke throughput gate (quick matrix; the CI bench job runs full)"
+# The quick spot-check gates against the committed full-matrix result
+# without overwriting it (the result goes to a scratch file); the
+# dedicated CI bench job is what refreshes and uploads BENCH_pr8.json.
+BENCH_SCRATCH="$(mktemp)"
+BENCH_MATRIX="${BENCH_MATRIX:-quick}" BENCH_OUT="$BENCH_SCRATCH" \
+    BENCH_BASELINE="${BENCH_BASELINE:-BENCH_pr8.json}" ./scripts/bench_smoke.sh
+rm -f "$BENCH_SCRATCH"
 
 printf '\nCI: all gates passed.\n'

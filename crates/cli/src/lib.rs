@@ -475,6 +475,111 @@ fn fuzz(cli: &Cli, stop: Option<&StopHandle>) -> Result<String, CliError> {
     })
 }
 
+/// Runs the crash-durable sweep server until SIGINT/SIGTERM drains it.
+///
+/// The listening line goes straight to stdout (flushed) the moment the
+/// socket is live, because the normal return path only prints after the
+/// server exits — clients and the CI gates wait on that line to connect.
+/// A graceful drain is the *expected* way out, reported as
+/// [`CliError::Interrupted`] so the process exits `EX_TEMPFAIL` (75) with
+/// the resume hint; admitted-but-unfinished jobs stay in the journal and
+/// a restart with the same `--serve-state` finishes them.
+fn serve(cli: &Cli, stop: Option<&StopHandle>) -> Result<String, CliError> {
+    let state_dir = std::path::PathBuf::from(cli.serve_state.as_deref().unwrap_or(".oasis-serve"));
+    let mut cfg = oasis_serve::ServeConfig::new(state_dir.clone());
+    cfg.port = cli.port;
+    cfg.queue_depth = cli.queue_depth;
+    cfg.conn_inflight = cli.conn_inflight;
+    cfg.idle_timeout = std::time::Duration::from_secs(cli.idle_timeout_secs);
+    cfg.pool = pool_config(cli);
+    let stop = stop.cloned().unwrap_or_else(StopHandle::new);
+
+    let summary = oasis_serve::run_serve(cfg, stop, |port| {
+        println!("serve: listening on 127.0.0.1:{port}");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+    })
+    .map_err(CliError::Failure)?;
+
+    let mut counters = String::new();
+    for (key, value) in &summary.counters {
+        let _ = writeln!(counters, "  {key} = {value}");
+    }
+    Err(CliError::Interrupted(format!(
+        "serve: drained cleanly after {} adjudication(s); counters:\n{counters}\
+         restart with --serve-state {} to resume any journaled jobs",
+        summary.adjudicated,
+        state_dir.display(),
+    )))
+}
+
+/// Sends a batch of scenarios to a running sweep server and prints one
+/// deterministic result line per submission.
+///
+/// Scenarios come from `--replay` (a corpus file or directory) or are
+/// generated exactly the way `fuzz --seed N --cases K` would draw them,
+/// so a sweep can be reproduced locally or through the server
+/// interchangeably. Progress and the optional `--submit-stats` counter
+/// snapshot go to stderr; stdout carries only content-derived result
+/// lines, byte-identical across server restarts and cache hits.
+fn submit(cli: &Cli) -> Result<String, CliError> {
+    let scenarios: Vec<oasis_fuzz::Scenario> = match &cli.replay {
+        Some(path) => {
+            let p = std::path::Path::new(path);
+            if p.is_dir() {
+                let corpus = oasis_fuzz::load_dir(p).map_err(CliError::Failure)?;
+                for s in &corpus.skipped {
+                    eprintln!("submit: skipped {}: {}", s.path.display(), s.reason);
+                }
+                if corpus.is_empty() {
+                    return Err(CliError::Failure(format!(
+                        "--replay {path}: no corpus repros found"
+                    )));
+                }
+                corpus.entries.into_iter().map(|e| e.scenario).collect()
+            } else {
+                let text = std::fs::read_to_string(p)
+                    .map_err(|e| CliError::Failure(format!("--replay {path}: {e}")))?;
+                let (scenario, _recorded) = oasis_fuzz::from_json(&text)
+                    .map_err(|e| CliError::Failure(format!("--replay {path}: {e}")))?;
+                vec![scenario]
+            }
+        }
+        None => {
+            let seed = cli.seed.unwrap_or(0);
+            let mut master = oasis_engine::SimRng::seed_from_u64(seed);
+            (0..cli.cases)
+                .map(|_| oasis_fuzz::Scenario::generate(master.next_u64()))
+                .collect()
+        }
+    };
+
+    let outcome = oasis_serve::submit_batch(
+        cli.port,
+        &scenarios,
+        cli.submit_stats,
+        std::time::Duration::from_secs(cli.submit_timeout_secs),
+    )
+    .map_err(CliError::Failure)?;
+
+    for line in &outcome.progress {
+        eprintln!("submit: {line}");
+    }
+    if cli.submit_stats {
+        for (key, value) in &outcome.stats {
+            eprintln!("submit: stat {key} = {value}");
+        }
+    }
+    let body = outcome.results.join("\n");
+    if outcome.failed > 0 {
+        return Err(CliError::Failure(format!(
+            "{body}\nsubmit: {} of {} job(s) did not complete cleanly",
+            outcome.failed,
+            scenarios.len()
+        )));
+    }
+    Ok(body)
+}
+
 /// Executes a parsed invocation, returning the text to print or a
 /// human-readable failure (nonzero exit).
 ///
@@ -626,6 +731,8 @@ pub fn run_with_stop(cli: &Cli, stop: Option<StopHandle>) -> Result<String, CliE
         }
         Command::BenchSmoke => smoke::bench_smoke(cli)?,
         Command::Fuzz => fuzz(cli, stop)?,
+        Command::Serve => serve(cli, stop)?,
+        Command::Submit => submit(cli)?,
         Command::Help => args::USAGE.to_string(),
     })
 }

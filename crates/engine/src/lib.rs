@@ -23,6 +23,7 @@ pub mod codec;
 pub mod error;
 pub mod fsio;
 pub mod fxhash;
+pub mod hash;
 pub mod journal;
 pub mod metrics;
 pub mod obs;
@@ -34,8 +35,7 @@ pub mod trace;
 
 pub use channel::{Channel, Transfer};
 pub use codec::{
-    fnv1a, ByteReader, ByteWriter, CheckpointReader, CheckpointWriter, CodecError, Fnv1a, Restore,
-    Snapshot,
+    ByteReader, ByteWriter, CheckpointReader, CheckpointWriter, CodecError, Restore, Snapshot,
 };
 pub use error::{
     ErrorPolicy, EvictionError, FaultError, InvariantViolation, MigrationError, SimError,
@@ -43,6 +43,7 @@ pub use error::{
 };
 pub use fsio::atomic_write;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use hash::{fnv1a, Fnv1a};
 pub use journal::{
     recover, AdjudicatedOutcome, Adjudication, JournalError, JournalRecord, JournalWriter,
     Recovery, TailSalvage,

@@ -65,6 +65,44 @@ pub fn to_json(scenario: &Scenario, oracle: Option<OracleKind>) -> String {
     )
 }
 
+/// Serializes a scenario into its *canonical wire line*: the same flat
+/// object as [`to_json`] collapsed onto a single line, oracle always
+/// `"none"`, no trailing newline. This is the newline-JSON job payload of
+/// the sweep-server protocol and the preimage of [`scenario_digest`] —
+/// the byte sequence is a compatibility contract, so any change here
+/// invalidates every content-addressed result cache in the wild.
+pub fn to_json_line(scenario: &Scenario) -> String {
+    format!(
+        "{{\"schema\": \"{SCHEMA}\", \"oracle\": \"none\", \"seed\": {}, \"app\": \"{}\", \
+         \"gpu_count\": {}, \"footprint_mb\": {}, \"workload_seed\": {}, \"max_phases\": {}, \
+         \"large_pages\": {}, \"striped\": {}, \"lanes_per_gpu\": {}, \"counter_threshold\": {}, \
+         \"capacity_pages\": {}, \"fault_plan\": \"{}\"}}",
+        scenario.seed,
+        scenario.app.abbr(),
+        scenario.gpu_count,
+        scenario.footprint_mb,
+        scenario.workload_seed,
+        scenario.max_phases,
+        scenario.large_pages,
+        scenario.striped,
+        scenario.lanes_per_gpu,
+        scenario.counter_threshold,
+        scenario
+            .capacity_pages
+            .map_or_else(|| "null".to_string(), |c| c.to_string()),
+        scenario.fault_plan.to_spec(),
+    )
+}
+
+/// The scenario's content address: FNV-1a 64 over the canonical wire line
+/// ([`to_json_line`]). Two submissions of the same scenario — whatever
+/// whitespace or field order the submitter used — hash identically, so
+/// this is the sweep server's result-cache key and the digest printed in
+/// every protocol response.
+pub fn scenario_digest(scenario: &Scenario) -> u64 {
+    oasis_engine::fnv1a(to_json_line(scenario).as_bytes())
+}
+
 /// Parses a corpus file produced by [`to_json`].
 ///
 /// # Errors
@@ -284,17 +322,27 @@ pub fn load_dir(dir: &Path) -> Result<Corpus, String> {
 
 /// The scalar values the corpus format uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum JsonValue {
+pub enum JsonValue {
+    /// A double-quoted string (no escape sequences).
     Str(String),
+    /// A non-negative integer.
     Num(u64),
+    /// `true` or `false`.
     Bool(bool),
+    /// The `null` literal.
     Null,
 }
 
 /// Parses one flat JSON object of scalar fields. Not a general JSON
 /// parser: nesting and arrays are rejected, which doubles as corpus-file
-/// validation.
-fn parse_flat_object(text: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+/// validation. Public because the sweep-server wire protocol reuses this
+/// exact subset for its request and response lines — one parser, one
+/// grammar.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed construct.
+pub fn parse_flat_object(text: &str) -> Result<BTreeMap<String, JsonValue>, String> {
     let mut chars = text.chars().peekable();
     skip_ws(&mut chars);
     if chars.next() != Some('{') {
@@ -402,6 +450,27 @@ mod tests {
                 assert_eq!(kind, oracle, "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn wire_line_round_trips_and_digest_is_stable() {
+        for seed in 0..50u64 {
+            let s = Scenario::generate(seed);
+            let line = to_json_line(&s);
+            assert!(!line.contains('\n'), "wire line must be one line");
+            let (back, oracle) = from_json(&line)
+                .unwrap_or_else(|e| panic!("seed {seed}: wire line failed to parse: {e}\n{line}"));
+            assert_eq!(back, s, "seed {seed}");
+            assert_eq!(oracle, None, "wire lines carry no oracle verdict");
+            // The digest is a pure function of the scenario: pretty and
+            // wire forms of the same scenario share it.
+            assert_eq!(scenario_digest(&s), scenario_digest(&back));
+        }
+        // Distinct scenarios get distinct cache keys (for these seeds).
+        assert_ne!(
+            scenario_digest(&Scenario::generate(1)),
+            scenario_digest(&Scenario::generate(2))
+        );
     }
 
     #[test]

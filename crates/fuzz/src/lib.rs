@@ -41,7 +41,10 @@ use oasis_engine::pool::{
 };
 use oasis_engine::{fnv1a, SimRng};
 
-pub use corpus::{from_json, load_dir, to_json, write_repro, Corpus, CorpusEntry, SkippedFile};
+pub use corpus::{
+    from_json, load_dir, parse_flat_object, scenario_digest, to_json, to_json_line, write_repro,
+    Corpus, CorpusEntry, JsonValue, SkippedFile,
+};
 pub use oracle::{check, OracleKind, Violation};
 pub use scenario::{Scenario, FUZZ_APPS};
 pub use shrink::{shrink, ShrinkResult, DEFAULT_SHRINK_BUDGET};

@@ -1,0 +1,1099 @@
+//! The sweep server: accept loop, admission control, journaled queue,
+//! scheduler waves on the supervised pool, and graceful drain.
+//!
+//! # Lifecycle
+//!
+//! One [`run_serve`] call owns the whole server. It binds a localhost
+//! listener, opens (or resumes) the write-ahead queue journal and the
+//! content-addressed result cache under the state directory, spawns one
+//! scheduler thread plus one thread per connection, and runs until the
+//! [`StopHandle`] fires. On stop it closes the accept loop, refuses new
+//! admissions with a typed `draining` rejection, lets the pool adjudicate
+//! in-flight jobs (the pool's own stop handling bounds this), writes the
+//! journal's `Interrupted` trailer, and returns a [`ServeSummary`] whose
+//! `drained` flag tells the CLI to exit `EX_TEMPFAIL` with a resume hint.
+//!
+//! # Durability
+//!
+//! Admission is write-ahead: the scenario's canonical wire line is
+//! journaled as an `Enqueued` record *before* the job becomes visible to
+//! the scheduler, and every verdict is journaled as an `Adjudicated`
+//! record *before* the result is cached or streamed. A SIGKILL at any
+//! instant therefore loses at most replies, never admitted work: the
+//! restarted server salvages the journal prefix, backfills the cache from
+//! adjudicated records, and re-runs exactly the admitted-but-unadjudicated
+//! jobs. Because the job body is a pure function of the scenario, the
+//! verdicts a client re-collects after a crash are byte-identical to an
+//! uninterrupted run.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use oasis_engine::pool::{run_sweep_controlled, Job, JobOutcome, PoolConfig, SweepControl};
+use oasis_engine::{AdjudicatedOutcome, JournalWriter, MetricsRegistry, StopHandle};
+use oasis_fuzz::{check, from_json, scenario_digest, to_json_line, Scenario};
+use oasis_mgpu::{simulate, Policy};
+
+use crate::cache::{CacheRead, CachedResult, ResultCache};
+use crate::protocol::{
+    event_accepted, event_dispatched, event_error, event_pong, event_progress, event_rejected,
+    event_result, event_stats, parse_request, sanitize, LinePoll, LineReader, ProtocolError,
+    Request, MAX_LINE_BYTES,
+};
+
+/// The journal `Begin` tag for serve queues; a resume against a journal
+/// written by any other subsystem fails with a typed `TagMismatch`.
+pub fn queue_tag() -> u64 {
+    oasis_engine::fnv1a(b"oasis-serve-queue-v1")
+}
+
+/// Journal file name under the state directory.
+pub const JOURNAL_FILE: &str = "serve.jnl";
+/// Cache directory name under the state directory.
+pub const CACHE_DIR: &str = "cache";
+
+/// Everything the server needs to run. Defaults are production-shaped;
+/// tests and the CLI override per flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port on 127.0.0.1; `0` binds an ephemeral port (announced via
+    /// the `announce` callback).
+    pub port: u16,
+    /// State directory holding the queue journal and result cache.
+    pub state_dir: PathBuf,
+    /// Admission cap: pending + in-flight jobs beyond this are rejected
+    /// with a typed `overloaded` event instead of queued.
+    pub queue_depth: usize,
+    /// Per-connection cap on unresolved jobs; beyond it submissions are
+    /// rejected with `connection-inflight`.
+    pub conn_inflight: usize,
+    /// Concurrent connection cap; further accepts get a `busy` rejection
+    /// line and an immediate close.
+    pub max_connections: usize,
+    /// Idle cutoff for connections with no unresolved jobs.
+    pub idle_timeout: Duration,
+    /// Request-line byte cap.
+    pub max_line_bytes: usize,
+    /// Supervised-pool shape (workers, per-job deadline, retry budget).
+    pub pool: PoolConfig,
+}
+
+impl ServeConfig {
+    /// A config with production-shaped limits for `state_dir`.
+    pub fn new(state_dir: PathBuf) -> Self {
+        ServeConfig {
+            port: 0,
+            state_dir,
+            queue_depth: 256,
+            conn_inflight: 64,
+            max_connections: 32,
+            idle_timeout: Duration::from_secs(30),
+            max_line_bytes: MAX_LINE_BYTES,
+            pool: PoolConfig::with_workers(2),
+        }
+    }
+}
+
+/// What a serve run amounted to, for the CLI's exit path and logs.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// True when the run ended in a signal-initiated drain (the CLI maps
+    /// this to `EX_TEMPFAIL` and prints the resume hint).
+    pub drained: bool,
+    /// Port actually bound.
+    pub port: u16,
+    /// Final `serve.*` counter snapshot, sorted by key.
+    pub counters: Vec<(String, u64)>,
+    /// Jobs adjudicated during this run (resumed ones included).
+    pub adjudicated: u64,
+}
+
+/// What the oracle produced for one job, plus the deterministic activity
+/// counts streamed as `progress` (harvested for clean runs only; a
+/// violating scenario already has its verdict).
+struct JobResult {
+    verdict: String,
+    events: Option<[u64; 5]>,
+}
+
+/// One admitted, not-yet-adjudicated job.
+struct PendingJob {
+    job_id: u64,
+    digest: u64,
+    scenario: Scenario,
+}
+
+/// What the server pushes to a connection's event channel.
+enum ConnEvent {
+    /// An intermediate line (dispatched / progress) for a subscribed job.
+    Line(String),
+    /// The final `result` line; the connection drops its subscription.
+    Result { digest: u64, line: String },
+}
+
+/// Queue and subscription state, under one lock.
+struct QueueState {
+    pending: VecDeque<PendingJob>,
+    /// Digests of jobs handed to the scheduler and not yet adjudicated.
+    inflight_digests: BTreeSet<u64>,
+    inflight: usize,
+    /// digest -> subscribed connections (a digest queued twice coalesces
+    /// onto one job with several subscribers).
+    subscribers: BTreeMap<u64, Vec<Sender<ConnEvent>>>,
+    next_job_id: u64,
+    accepting: bool,
+    adjudicated: u64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    stop: StopHandle,
+    journal: Mutex<Option<JournalWriter>>,
+    /// First journal append failure; set once, fails the server loudly
+    /// rather than running with silent durability loss.
+    journal_failure: Mutex<Option<String>>,
+    cache: ResultCache,
+    metrics: Mutex<MetricsRegistry>,
+    state: Mutex<QueueState>,
+    work: Condvar,
+    connections: AtomicUsize,
+}
+
+impl Shared {
+    fn count(&self, key: &str, v: u64) {
+        self.metrics.lock().expect("metrics lock").add(key, v);
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        let m = self.metrics.lock().expect("metrics lock");
+        let mut out: Vec<(String, u64)> = m.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        out.sort();
+        out
+    }
+
+    /// Journals an append, converting failure into a server-wide stop so
+    /// the operator sees "journal broken", not silently volatile state.
+    fn journal_append(
+        &self,
+        op: impl FnOnce(&mut JournalWriter) -> Result<(), oasis_engine::JournalError>,
+    ) -> Result<(), String> {
+        let mut guard = self.journal.lock().expect("journal lock");
+        let Some(writer) = guard.as_mut() else {
+            return Err("journal already failed".to_string());
+        };
+        match op(writer) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let msg = format!("journal append failed: {e}");
+                *self.journal_failure.lock().expect("journal failure lock") = Some(msg.clone());
+                self.stop.stop();
+                self.work.notify_all();
+                Err(msg)
+            }
+        }
+    }
+}
+
+/// The verdict string for a supervised outcome — the one rendering every
+/// consumer (journal payload, cache entry, result event) shares.
+fn render_verdict(outcome: &JobOutcome<JobResult>) -> String {
+    match outcome {
+        JobOutcome::Completed(r) => r.verdict.clone(),
+        JobOutcome::Failed(e) | JobOutcome::Quarantined(e) => sanitize(&e.to_string()),
+    }
+}
+
+/// The deterministic job body: run the differential oracle; for a clean
+/// scenario, additionally run it once under the oasis policy to harvest
+/// the `TraceEvent`-taxonomy activity counts the `progress` event streams.
+fn run_job(scenario: &Scenario) -> Result<JobResult, String> {
+    match check(scenario) {
+        Some(violation) => Ok(JobResult {
+            verdict: sanitize(&format!(
+                "violation {}: {}",
+                violation.kind.as_str(),
+                violation.detail
+            )),
+            events: None,
+        }),
+        None => {
+            let report = simulate(&scenario.config(), Policy::oasis(), &scenario.trace());
+            let uvm = &report.uvm;
+            Ok(JobResult {
+                verdict: "clean".to_string(),
+                events: Some([
+                    uvm.far_faults,
+                    uvm.migrations,
+                    uvm.duplications,
+                    uvm.invalidations,
+                    uvm.evictions,
+                ]),
+            })
+        }
+    }
+}
+
+fn outcome_tag(outcome: &JobOutcome<JobResult>) -> AdjudicatedOutcome {
+    AdjudicatedOutcome::of(outcome)
+}
+
+/// Runs the sweep server until the stop handle fires.
+///
+/// `announce` is called exactly once with the bound port, after the
+/// listener is live — the CLI prints the "listening" line from it so
+/// clients (and the e2e test) can connect as soon as it appears.
+///
+/// # Errors
+///
+/// Returns a message for unrecoverable setup or runtime failures: bind
+/// errors, an unusable state directory, a journal that cannot be created,
+/// resumed, or appended to.
+pub fn run_serve(
+    cfg: ServeConfig,
+    stop: StopHandle,
+    announce: impl FnOnce(u16),
+) -> Result<ServeSummary, String> {
+    std::fs::create_dir_all(&cfg.state_dir).map_err(|e| {
+        format!(
+            "serve: cannot create state dir {}: {e}",
+            cfg.state_dir.display()
+        )
+    })?;
+    let cache = ResultCache::open(&cfg.state_dir.join(CACHE_DIR))?;
+    let journal_path = cfg.state_dir.join(JOURNAL_FILE);
+
+    let mut metrics = MetricsRegistry::enabled();
+    let mut resumed: Vec<PendingJob> = Vec::new();
+    let mut next_job_id = 0u64;
+    let mut preadjudicated = 0u64;
+
+    let journal = if journal_path.exists() {
+        let (writer, recovery) =
+            JournalWriter::resume(&journal_path, queue_tag()).map_err(|e| {
+                format!(
+                    "serve: cannot resume journal {}: {e}",
+                    journal_path.display()
+                )
+            })?;
+        for warning in recovery.warnings() {
+            eprintln!("serve: warning: {warning}");
+        }
+        // Backfill the result cache from journaled adjudications so
+        // already-decided jobs are cache hits after a crash even if the
+        // cache write itself was lost.
+        for (&job_id, adj) in &recovery.adjudicated {
+            preadjudicated += 1;
+            let Some(wire) = recovery.enqueued.get(&job_id) else {
+                eprintln!(
+                    "serve: warning: job {job_id} adjudicated without an Enqueued record; \
+                     cannot backfill its cache entry"
+                );
+                continue;
+            };
+            let digest = oasis_engine::fnv1a(wire);
+            if matches!(cache.read(digest), CacheRead::Hit(_)) {
+                continue;
+            }
+            let entry = CachedResult {
+                outcome: adj.outcome,
+                attempts: adj.attempts,
+                verdict: String::from_utf8_lossy(&adj.payload).into_owned(),
+            };
+            if let Err(e) = cache.write(digest, &entry) {
+                eprintln!("serve: warning: cache backfill for job {job_id}: {e}");
+            } else {
+                metrics.add("serve.cache_backfilled", 1);
+            }
+        }
+        // Rebuild the pending queue: admitted, never adjudicated.
+        for (job_id, wire) in recovery.pending() {
+            let text = match std::str::from_utf8(wire) {
+                Ok(t) => t,
+                Err(_) => {
+                    eprintln!(
+                        "serve: warning: journaled payload for job {job_id} is not UTF-8; dropped"
+                    );
+                    continue;
+                }
+            };
+            match from_json(text) {
+                Ok((scenario, _)) => {
+                    let digest = scenario_digest(&scenario);
+                    resumed.push(PendingJob {
+                        job_id,
+                        digest,
+                        scenario,
+                    });
+                    metrics.add("serve.resumed_pending", 1);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "serve: warning: journaled payload for job {job_id} does not parse \
+                         ({e}); dropped"
+                    );
+                }
+            }
+        }
+        next_job_id = recovery
+            .enqueued
+            .keys()
+            .max()
+            .map(|&id| id + 1)
+            .unwrap_or(0);
+        if !resumed.is_empty() {
+            eprintln!(
+                "serve: resuming {} admitted job(s) from {}",
+                resumed.len(),
+                journal_path.display()
+            );
+        }
+        writer
+    } else {
+        JournalWriter::create(&journal_path, queue_tag(), "serve queue").map_err(|e| {
+            format!(
+                "serve: cannot create journal {}: {e}",
+                journal_path.display()
+            )
+        })?
+    };
+
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))
+        .map_err(|e| format!("serve: cannot bind 127.0.0.1:{}: {e}", cfg.port))?;
+    let port = listener
+        .local_addr()
+        .map_err(|e| format!("serve: local_addr: {e}"))?
+        .port();
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("serve: set_nonblocking: {e}"))?;
+
+    let shared = Arc::new(Shared {
+        cfg,
+        stop: stop.clone(),
+        journal: Mutex::new(Some(journal)),
+        journal_failure: Mutex::new(None),
+        cache,
+        metrics: Mutex::new(metrics),
+        state: Mutex::new(QueueState {
+            pending: resumed.into(),
+            inflight_digests: BTreeSet::new(),
+            inflight: 0,
+            subscribers: BTreeMap::new(),
+            next_job_id,
+            accepting: true,
+            adjudicated: 0,
+        }),
+        work: Condvar::new(),
+        connections: AtomicUsize::new(0),
+    });
+    shared.work.notify_all();
+
+    let scheduler = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-scheduler".to_string())
+            .spawn(move || scheduler_loop(&shared))
+            .map_err(|e| format!("serve: cannot spawn scheduler: {e}"))?
+    };
+
+    announce(port);
+
+    let mut conn_threads = Vec::new();
+    while !stop.is_stopped() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let active = shared.connections.load(Ordering::Relaxed);
+                if active >= shared.cfg.max_connections {
+                    shared.count("serve.rejected_busy", 1);
+                    let mut s = stream;
+                    let _ = writeln!(
+                        s,
+                        "{}",
+                        event_rejected(0, "busy", "connection limit reached")
+                    );
+                    continue;
+                }
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                shared.count("serve.connections", 1);
+                let shared = Arc::clone(&shared);
+                match std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        connection_loop(&shared, stream);
+                        shared.connections.fetch_sub(1, Ordering::Relaxed);
+                    }) {
+                    Ok(h) => conn_threads.push(h),
+                    Err(e) => eprintln!("serve: warning: cannot spawn connection thread: {e}"),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                eprintln!("serve: warning: accept: {e}");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+
+    // Drain: stop admissions, wake the scheduler, let everyone finish.
+    {
+        let mut st = shared.state.lock().expect("state lock");
+        st.accepting = false;
+    }
+    shared.work.notify_all();
+    drop(listener);
+    let _ = scheduler.join();
+    for h in conn_threads {
+        let _ = h.join();
+    }
+
+    if let Some(msg) = shared
+        .journal_failure
+        .lock()
+        .expect("journal failure lock")
+        .clone()
+    {
+        return Err(format!("serve: {msg}"));
+    }
+
+    let adjudicated_now = shared.state.lock().expect("state lock").adjudicated;
+    shared.journal_append(|j| j.interrupted(preadjudicated + adjudicated_now))?;
+
+    Ok(ServeSummary {
+        drained: true,
+        port,
+        counters: shared.counters(),
+        adjudicated: adjudicated_now,
+    })
+}
+
+/// Scheduler: collect admitted jobs into waves and run each wave on the
+/// supervised pool, journaling dispatches and adjudications and fanning
+/// results out to subscribers.
+fn scheduler_loop(shared: &Arc<Shared>) {
+    loop {
+        let wave: Vec<PendingJob> = {
+            let mut st = shared.state.lock().expect("state lock");
+            loop {
+                if !st.pending.is_empty() {
+                    let wave: Vec<PendingJob> = st.pending.drain(..).collect();
+                    st.inflight += wave.len();
+                    break wave;
+                }
+                if shared.stop.is_stopped() {
+                    return;
+                }
+                let (guard, _timeout) = shared
+                    .work
+                    .wait_timeout(st, Duration::from_millis(100))
+                    .expect("state lock");
+                st = guard;
+            }
+        };
+
+        // Wave-local pool ids are 0..n in submission order; map them back
+        // to the server's stable job ids for journaling and fan-out.
+        let ids: Vec<u64> = wave.iter().map(|p| p.job_id).collect();
+        let digests: Vec<u64> = wave.iter().map(|p| p.digest).collect();
+        let jobs: Vec<Job<JobResult>> = wave
+            .iter()
+            .map(|p| {
+                let scenario = p.scenario.clone();
+                Job::new(format!("scenario-{:016x}", p.digest), move |_ctx| {
+                    run_job(&scenario)
+                })
+            })
+            .collect();
+
+        let mut on_dispatch = |local: u64, attempt: u32| {
+            let idx = local as usize;
+            let _ = shared.journal_append(|j| j.dispatched(ids[idx], attempt));
+            fan_out(
+                shared,
+                digests[idx],
+                ConnEvent::Line(event_dispatched(digests[idx], attempt)),
+            );
+        };
+        let mut on_adjudicated = |record: &oasis_engine::pool::JobRecord<JobResult>| {
+            let idx = record.id as usize;
+            let (job_id, digest) = (ids[idx], digests[idx]);
+            let verdict = render_verdict(&record.outcome);
+            let tag = outcome_tag(&record.outcome);
+            // Journal first: the verdict is durable before anyone sees it.
+            let _ = shared.journal_append(|j| {
+                j.adjudicated(job_id, tag, record.attempts, verdict.as_bytes())
+            });
+            let entry = CachedResult {
+                outcome: tag,
+                attempts: record.attempts,
+                verdict: verdict.clone(),
+            };
+            if let Err(e) = shared.cache.write(digest, &entry) {
+                eprintln!("serve: warning: {e}");
+            }
+            shared.count(&format!("serve.jobs_{}", record.outcome.kind()), 1);
+            if let JobOutcome::Completed(r) = &record.outcome {
+                if let Some([ff, mig, dup, sd, ev]) = r.events {
+                    fan_out(
+                        shared,
+                        digest,
+                        ConnEvent::Line(event_progress(digest, ff, mig, dup, sd, ev)),
+                    );
+                }
+            }
+            let line = event_result(digest, tag.kind(), &verdict, false, record.attempts);
+            {
+                let mut st = shared.state.lock().expect("state lock");
+                st.inflight -= 1;
+                st.inflight_digests.remove(&digest);
+                st.adjudicated += 1;
+                if let Some(subs) = st.subscribers.remove(&digest) {
+                    for tx in subs {
+                        let _ = tx.send(ConnEvent::Result {
+                            digest,
+                            line: line.clone(),
+                        });
+                    }
+                }
+            }
+        };
+
+        {
+            let mut st = shared.state.lock().expect("state lock");
+            for d in &digests {
+                st.inflight_digests.insert(*d);
+            }
+        }
+
+        let control = SweepControl {
+            stop: Some(shared.stop.clone()),
+            on_dispatch: Some(&mut on_dispatch),
+            on_adjudicated: Some(&mut on_adjudicated),
+        };
+        let report = run_sweep_controlled(&shared.cfg.pool, jobs, control);
+
+        // A stop mid-wave leaves unadjudicated jobs; they stay journaled
+        // as Enqueued-without-Adjudicated and a restart re-runs them. The
+        // in-memory accounting still has to release them.
+        if report.interrupted {
+            let adjudicated_ids: BTreeSet<u64> =
+                report.jobs.iter().map(|r| ids[r.id as usize]).collect();
+            let mut st = shared.state.lock().expect("state lock");
+            for (pos, id) in ids.iter().enumerate() {
+                if !adjudicated_ids.contains(id) {
+                    st.inflight -= 1;
+                    st.inflight_digests.remove(&digests[pos]);
+                    drain_notice(&mut st, digests[pos]);
+                }
+            }
+            // Jobs admitted before the stop that never made a wave stay
+            // journaled (a restart re-runs them); their waiters get the
+            // same terminal notice so no connection hangs on the drain.
+            let leftover: Vec<u64> = st.pending.drain(..).map(|p| p.digest).collect();
+            for digest in leftover {
+                drain_notice(&mut st, digest);
+            }
+            return;
+        }
+    }
+}
+
+/// Sends the terminal "draining" line to every waiter of a job the drain
+/// abandoned, so clients resolve instead of hanging; the job itself stays
+/// journaled for the restarted server.
+fn drain_notice(st: &mut QueueState, digest: u64) {
+    if let Some(subs) = st.subscribers.remove(&digest) {
+        let line = event_rejected(
+            digest,
+            "draining",
+            "server draining before this job finished; it stays journaled — restart the \
+             server with the same --serve-state to resume",
+        );
+        for tx in subs {
+            let _ = tx.send(ConnEvent::Result {
+                digest,
+                line: line.clone(),
+            });
+        }
+    }
+}
+
+/// Sends an intermediate event to every subscriber of a digest.
+fn fan_out(shared: &Shared, digest: u64, event: ConnEvent) {
+    let ConnEvent::Line(line) = event else { return };
+    let st = shared.state.lock().expect("state lock");
+    if let Some(subs) = st.subscribers.get(&digest) {
+        for tx in subs {
+            let _ = tx.send(ConnEvent::Line(line.clone()));
+        }
+    }
+}
+
+/// Admission verdict for one submission, decided under the state lock.
+enum Admission {
+    /// Freshly admitted (journaled, queued) with this job id.
+    Fresh(u64),
+    /// Coalesced onto an already queued/in-flight identical job.
+    Coalesced,
+    /// Shed: (reason, detail).
+    Rejected(&'static str, String),
+}
+
+/// Admits one scenario: cache check is done by the caller; this handles
+/// queue-depth and durability. The connection's event sender is
+/// subscribed to the digest on success.
+fn admit(
+    shared: &Shared,
+    scenario: Scenario,
+    tx: &Sender<ConnEvent>,
+    conn_inflight: usize,
+) -> Admission {
+    let digest = scenario_digest(&scenario);
+    let wire = to_json_line(&scenario);
+
+    let mut st = shared.state.lock().expect("state lock");
+    if !st.accepting || shared.stop.is_stopped() {
+        return Admission::Rejected(
+            "draining",
+            "server is draining; resubmit after restart".into(),
+        );
+    }
+    if conn_inflight >= shared.cfg.conn_inflight {
+        return Admission::Rejected(
+            "connection-inflight",
+            format!("connection already has {conn_inflight} unresolved job(s)"),
+        );
+    }
+    let already_queued =
+        st.inflight_digests.contains(&digest) || st.pending.iter().any(|p| p.digest == digest);
+    if already_queued {
+        st.subscribers.entry(digest).or_default().push(tx.clone());
+        return Admission::Coalesced;
+    }
+    let depth = st.pending.len() + st.inflight;
+    if depth >= shared.cfg.queue_depth {
+        return Admission::Rejected(
+            "overloaded",
+            format!("queue depth {depth} at limit {}", shared.cfg.queue_depth),
+        );
+    }
+    let job_id = st.next_job_id;
+    // Write-ahead: the admission is durable before it is visible. Holding
+    // the state lock across the append serializes journal order with
+    // queue order.
+    if let Err(e) = {
+        // journal_append takes its own lock; state lock is held — keep
+        // that ordering identical everywhere (state -> journal).
+        let mut guard = shared.journal.lock().expect("journal lock");
+        match guard.as_mut() {
+            Some(writer) => writer
+                .enqueued(job_id, wire.as_bytes())
+                .map_err(|e| format!("journal append failed: {e}")),
+            None => Err("journal already failed".to_string()),
+        }
+    } {
+        *shared.journal_failure.lock().expect("journal failure lock") = Some(e.clone());
+        shared.stop.stop();
+        shared.work.notify_all();
+        return Admission::Rejected("draining", format!("admission journal failed: {e}"));
+    }
+    st.next_job_id += 1;
+    st.subscribers.entry(digest).or_default().push(tx.clone());
+    st.pending.push_back(PendingJob {
+        job_id,
+        digest,
+        scenario,
+    });
+    drop(st);
+    shared.work.notify_all();
+    Admission::Fresh(job_id)
+}
+
+/// One connection: poll request lines and the event channel in turns,
+/// enforce the idle timeout, answer everything with typed lines.
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("serve: warning: cannot clone connection stream: {e}");
+            return;
+        }
+    };
+    let mut reader = LineReader::new(stream, shared.cfg.max_line_bytes);
+    let (tx, rx): (Sender<ConnEvent>, Receiver<ConnEvent>) = mpsc::channel();
+    // Digests this connection is waiting on (for the idle timeout and the
+    // per-connection in-flight cap).
+    let mut waiting: BTreeSet<u64> = BTreeSet::new();
+    let mut last_activity = Instant::now();
+
+    loop {
+        // Outbound first: drain queued events for this connection.
+        loop {
+            match rx.try_recv() {
+                Ok(ConnEvent::Line(line)) => {
+                    if writeln!(writer, "{line}").is_err() {
+                        return;
+                    }
+                }
+                Ok(ConnEvent::Result { digest, line }) => {
+                    waiting.remove(&digest);
+                    last_activity = Instant::now();
+                    if writeln!(writer, "{line}").is_err() {
+                        return;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+
+        // Drain: every outstanding job resolves (the scheduler sends a
+        // result or a terminal draining notice to each waiter), so once
+        // `waiting` is empty the conversation is over.
+        if shared.stop.is_stopped() && waiting.is_empty() {
+            return;
+        }
+
+        if waiting.is_empty() && last_activity.elapsed() >= shared.cfg.idle_timeout {
+            let err = ProtocolError::IdleTimeout {
+                secs: shared.cfg.idle_timeout.as_secs(),
+            };
+            shared.count("serve.rejected_protocol", 1);
+            let _ = writeln!(writer, "{}", event_error(&err));
+            return;
+        }
+
+        // Inbound: at most one read per iteration keeps outbound latency
+        // bounded by the read timeout.
+        match reader.poll_line() {
+            Ok(LinePoll::Pending) => {}
+            Ok(LinePoll::Eof) => return,
+            Err(err) => {
+                shared.count("serve.rejected_protocol", 1);
+                let _ = writeln!(writer, "{}", event_error(&err));
+                return; // only framing damage is fatal, and this is it
+            }
+            Ok(LinePoll::Line(raw)) => {
+                last_activity = Instant::now();
+                match parse_request(&raw) {
+                    Ok(None) => {}
+                    Ok(Some(Request::Ping)) => {
+                        if writeln!(writer, "{}", event_pong()).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Some(Request::Stats)) => {
+                        let line = event_stats(&shared.counters());
+                        if writeln!(writer, "{line}").is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Some(Request::Submit(scenario))) => {
+                        handle_submit(shared, *scenario, &tx, &mut waiting, &mut writer);
+                    }
+                    Err(err) => {
+                        shared.count("serve.rejected_protocol", 1);
+                        let fatal = err.fatal_to_connection();
+                        if writeln!(writer, "{}", event_error(&err)).is_err() || fatal {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Handles one submission end to end: cache fast path, then admission.
+fn handle_submit(
+    shared: &Arc<Shared>,
+    scenario: Scenario,
+    tx: &Sender<ConnEvent>,
+    waiting: &mut BTreeSet<u64>,
+    writer: &mut impl Write,
+) {
+    let digest = scenario_digest(&scenario);
+
+    // Content-addressed fast path: an identical scenario that has ever
+    // been adjudicated is answered from the cache with zero recompute.
+    match shared.cache.read(digest) {
+        CacheRead::Hit(cached) => {
+            shared.count("serve.cache_hits", 1);
+            let line = event_result(
+                digest,
+                cached.outcome.kind(),
+                &cached.verdict,
+                true,
+                cached.attempts,
+            );
+            let _ = writeln!(writer, "{line}");
+            return;
+        }
+        CacheRead::Miss => {
+            shared.count("serve.cache_misses", 1);
+        }
+        CacheRead::Corrupt(reason) => {
+            shared.count("serve.cache_corrupt", 1);
+            eprintln!(
+                "serve: warning: cache entry {digest:#018x} is corrupt ({reason}); recomputing"
+            );
+        }
+    }
+
+    if waiting.contains(&digest) {
+        // This connection already awaits this digest; acknowledge without
+        // a second subscription so it gets exactly one result line.
+        let _ = writeln!(writer, "{}", event_accepted(0, digest, true));
+        shared.count("serve.coalesced", 1);
+        return;
+    }
+
+    match admit(shared, scenario, tx, waiting.len()) {
+        Admission::Fresh(job_id) => {
+            shared.count("serve.accepted", 1);
+            waiting.insert(digest);
+            let _ = writeln!(writer, "{}", event_accepted(job_id, digest, false));
+        }
+        Admission::Coalesced => {
+            shared.count("serve.coalesced", 1);
+            waiting.insert(digest);
+            let _ = writeln!(writer, "{}", event_accepted(0, digest, true));
+        }
+        Admission::Rejected(reason, detail) => {
+            match reason {
+                "overloaded" => shared.count("serve.rejected_overload", 1),
+                "connection-inflight" => shared.count("serve.rejected_conn_inflight", 1),
+                _ => shared.count("serve.rejected_other", 1),
+            }
+            let _ = writeln!(writer, "{}", event_rejected(digest, reason, &detail));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+
+    fn temp_state(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("oasis-serve-state-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    struct Server {
+        stop: StopHandle,
+        port: u16,
+        handle: Option<std::thread::JoinHandle<Result<ServeSummary, String>>>,
+    }
+
+    impl Server {
+        fn start(mut cfg: ServeConfig) -> Server {
+            cfg.port = 0;
+            let stop = StopHandle::new();
+            let (ptx, prx) = mpsc::channel();
+            let stop2 = stop.clone();
+            let handle = std::thread::spawn(move || {
+                run_serve(cfg, stop2, move |port| {
+                    let _ = ptx.send(port);
+                })
+            });
+            let port = prx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("server announced its port");
+            Server {
+                stop,
+                port,
+                handle: Some(handle),
+            }
+        }
+
+        fn connect(&self) -> (BufReader<TcpStream>, TcpStream) {
+            let stream = TcpStream::connect(("127.0.0.1", self.port)).expect("connect");
+            let reader = BufReader::new(stream.try_clone().expect("clone"));
+            (reader, stream)
+        }
+
+        fn shutdown(mut self) -> ServeSummary {
+            self.stop.stop();
+            self.handle
+                .take()
+                .expect("handle")
+                .join()
+                .expect("server thread")
+                .expect("serve result")
+        }
+    }
+
+    fn read_event(reader: &mut BufReader<TcpStream>) -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read event line");
+        line.trim_end().to_string()
+    }
+
+    fn small_cfg(state: PathBuf) -> ServeConfig {
+        let mut cfg = ServeConfig::new(state);
+        cfg.pool = PoolConfig::with_workers(2);
+        cfg.idle_timeout = Duration::from_secs(120);
+        cfg
+    }
+
+    #[test]
+    fn ping_stats_and_garbage_share_a_connection() {
+        let server = Server::start(small_cfg(temp_state("ping")));
+        let (mut reader, mut stream) = server.connect();
+        writeln!(stream, "ping").unwrap();
+        assert_eq!(read_event(&mut reader), event_pong());
+        // Garbage gets a typed error and the connection survives...
+        writeln!(stream, "total garbage").unwrap();
+        let err = read_event(&mut reader);
+        assert!(err.contains("bad-request"), "{err}");
+        // ...as proven by the next request still working.
+        writeln!(stream, "stats").unwrap();
+        let stats = read_event(&mut reader);
+        assert!(stats.contains("\"serve\": \"stats\""), "{stats}");
+        drop(stream);
+        let summary = server.shutdown();
+        assert!(summary.drained);
+    }
+
+    #[test]
+    fn submit_computes_then_caches_and_coalesces() {
+        let server = Server::start(small_cfg(temp_state("cachehit")));
+        let (mut reader, mut stream) = server.connect();
+        let scenario = Scenario::generate(11);
+        let wire = to_json_line(&scenario);
+
+        writeln!(stream, "{wire}").unwrap();
+        let accepted = read_event(&mut reader);
+        assert!(accepted.contains("\"accepted\""), "{accepted}");
+        let result = loop {
+            let line = read_event(&mut reader);
+            if line.contains("\"result\"") {
+                break line;
+            }
+        };
+        assert!(result.contains("\"cached\": false"), "{result}");
+
+        // Resubmitting the identical scenario is a cache hit: the result
+        // line arrives immediately, marked cached, with no accept first.
+        writeln!(stream, "{wire}").unwrap();
+        let hit = read_event(&mut reader);
+        assert!(hit.contains("\"cached\": true"), "{hit}");
+        // Verdict bytes match the computed run exactly.
+        let verdict = |line: &str| {
+            line.split("\"verdict\": \"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(verdict(&result), verdict(&hit));
+
+        drop(stream);
+        let summary = server.shutdown();
+        let hits = summary
+            .counters
+            .iter()
+            .find(|(k, _)| k == "serve.cache_hits")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn overload_is_a_typed_rejection_not_a_hang() {
+        let mut cfg = small_cfg(temp_state("overload"));
+        cfg.queue_depth = 1;
+        cfg.pool.workers = 1;
+        let server = Server::start(cfg);
+        let (mut reader, mut stream) = server.connect();
+
+        // Burst distinct scenarios; with depth 1 at least one must be
+        // shed with the typed overloaded rejection.
+        for seed in 0..6u64 {
+            let wire = to_json_line(&Scenario::generate(seed));
+            writeln!(stream, "{wire}").unwrap();
+        }
+        let mut rejected = 0;
+        let mut results = 0;
+        let mut accepted = 0;
+        while results + rejected < 6 {
+            let line = read_event(&mut reader);
+            if line.contains("\"rejected\"") {
+                assert!(line.contains("overloaded"), "{line}");
+                rejected += 1;
+            } else if line.contains("\"result\"") {
+                results += 1;
+            } else if line.contains("\"accepted\"") {
+                accepted += 1;
+            }
+        }
+        assert!(rejected >= 1, "queue depth 1 must shed a 6-job burst");
+        assert_eq!(accepted, results);
+
+        drop(stream);
+        let summary = server.shutdown();
+        let shed = summary
+            .counters
+            .iter()
+            .find(|(k, _)| k == "serve.rejected_overload")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(shed >= 1);
+    }
+
+    #[test]
+    fn drain_mid_queue_resumes_pending_jobs_after_restart() {
+        let state = temp_state("resume");
+        let scenario = Scenario::generate(21);
+        let digest = scenario_digest(&scenario);
+
+        // First server: admit the job, then stop before reading results
+        // (the scheduler may or may not have finished it — both paths
+        // must converge after restart).
+        let mut cfg = small_cfg(state.clone());
+        cfg.pool.workers = 1;
+        let server = Server::start(cfg);
+        let (mut reader, mut stream) = server.connect();
+        writeln!(stream, "{}", to_json_line(&scenario)).unwrap();
+        let accepted = read_event(&mut reader);
+        assert!(accepted.contains("\"accepted\""), "{accepted}");
+        drop(stream);
+        drop(reader);
+        let _ = server.shutdown();
+
+        // Second server on the same state dir: the scenario is either in
+        // the backfilled cache (if it adjudicated) or re-run from the
+        // journaled queue; either way resubmission converges on the same
+        // verdict and the journal is intact.
+        let server = Server::start(small_cfg(state));
+        let (mut reader, mut stream) = server.connect();
+        writeln!(stream, "{}", to_json_line(&scenario)).unwrap();
+        let result = loop {
+            let line = read_event(&mut reader);
+            if line.contains("\"result\"") {
+                break line;
+            }
+        };
+        assert!(
+            result.contains(&crate::protocol::digest_hex(digest)),
+            "{result}"
+        );
+        drop(stream);
+        let _ = server.shutdown();
+    }
+}

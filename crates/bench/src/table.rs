@@ -3,6 +3,8 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+use oasis_engine::SimError;
+
 /// Geometric mean of strictly positive values (the paper's averaging
 /// convention for normalized speedups).
 pub fn geomean(values: &[f64]) -> f64 {
@@ -110,22 +112,35 @@ impl FigureTable {
     }
 
     /// Prints the table to stdout and writes `results/<name>.csv`.
+    ///
+    /// The CSV write runs under `RecordAndContinue`: a bench table is a
+    /// convenience artifact, so a storage failure is warned about (with
+    /// the typed error from [`write_csv`]) and the run keeps going —
+    /// the rendered table already went to stdout.
     pub fn emit(&self, name: &str) {
         println!("{}", self.render());
-        write_csv(name, &self.to_csv());
+        if let Err(e) = write_csv(name, &self.to_csv()) {
+            eprintln!("warning: {e}");
+        }
     }
 }
 
 /// Writes `contents` to `results/<name>.csv`, creating the directory.
 /// The write is atomic, so a crash never leaves a half-written table.
-pub fn write_csv(name: &str, contents: &str) {
+///
+/// # Errors
+///
+/// Returns a typed [`SimError::Io`] naming the artifact (or the failpoint
+/// site, when a chaos plan injected the failure). Callers choose the
+/// policy: [`FigureTable::emit`] records and continues, `FailFast`
+/// callers propagate.
+pub fn write_csv(name: &str, contents: &str) -> Result<(), SimError> {
     let dir = Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join(format!("{name}.csv"));
-        if let Err(e) = oasis_engine::atomic_write(&path, contents.as_bytes()) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        }
-    }
+    std::fs::create_dir_all(dir)
+        .map_err(|e| SimError::io(format!("bench-table {}", dir.display()), e))?;
+    let path = dir.join(format!("{name}.csv"));
+    oasis_engine::atomic_write(&path, contents.as_bytes())
+        .map_err(|e| SimError::io(format!("bench-table {}", path.display()), e))
 }
 
 #[cfg(test)]

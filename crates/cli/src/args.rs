@@ -37,6 +37,13 @@ COMMANDS:
     submit        send scenario jobs to a running sweep server, stream
                   progress to stderr, and print one deterministic result
                   line per job
+    chaos         storage-chaos audit: enumerate every failpoint site x
+                  fault kind (EIO, ENOSPC, short write, fsync/rename
+                  failure, torn append) against the checkpoint, journal,
+                  corpus, and serve durability surfaces and assert the
+                  invariant triad — no panic, no corrupt artifact read
+                  back as valid, post-fault recovery byte-identical or a
+                  typed error naming the site
     help          show this text
 
 OPTIONS:
@@ -124,6 +131,13 @@ OPTIONS:
                             after the batch and print it to stderr
     --submit-timeout-secs <S> submit: overall deadline for the batch
                                                            [default: 600]
+    --retries <N>           submit: extra attempts after a transient
+                            connect failure or a typed overloaded
+                            rejection (0 = fail fast)       [default: 0]
+    --retry-backoff-ms <MS> submit: first retry delay; doubles after
+                            every attempt                 [default: 100]
+    --chaos-filter <SUBSTR> chaos: run only the matrix cells whose
+                            workload/site/kind label contains SUBSTR
 
 EXAMPLES:
     oasis-sim run --app MM --policy duplication
@@ -146,6 +160,9 @@ EXAMPLES:
     oasis-sim serve --port 7077 --serve-state /tmp/sweepd --jobs 4
     oasis-sim submit --port 7077 --seed 7 --cases 20 --submit-stats
     oasis-sim submit --port 7077 --replay tests/corpus
+    oasis-sim submit --port 7077 --seed 7 --retries 3 --retry-backoff-ms 250
+    oasis-sim chaos --jobs 4
+    oasis-sim chaos --chaos-filter journal.append
     oasis-sim run --app C2D --policy oasis \\
         --fault-plan seed:7,down:0-1@2,ecc:0@3x2
 ";
@@ -173,6 +190,8 @@ pub enum Command {
     Serve,
     /// Client: send scenario jobs to a running sweep server.
     Submit,
+    /// Storage-chaos audit over the failpoint site x fault-kind matrix.
+    Chaos,
     /// Usage text.
     Help,
 }
@@ -269,6 +288,13 @@ pub struct Cli {
     pub submit_stats: bool,
     /// `submit`: overall batch deadline, seconds.
     pub submit_timeout_secs: u64,
+    /// `submit`: extra attempts after a transient connect failure or a
+    /// typed overloaded rejection. 0 keeps the classic fail-fast shape.
+    pub retries: u32,
+    /// `submit`: first retry delay in milliseconds; doubles per attempt.
+    pub retry_backoff_ms: u64,
+    /// `chaos`: run only the cells whose label contains this substring.
+    pub chaos_filter: Option<String>,
 }
 
 /// A parse failure with a human-readable message.
@@ -332,6 +358,7 @@ impl Cli {
             Some("fuzz") => Command::Fuzz,
             Some("serve") => Command::Serve,
             Some("submit") => Command::Submit,
+            Some("chaos") => Command::Chaos,
             Some("help") | Some("--help") | Some("-h") | None => Command::Help,
             Some(other) => return Err(ParseError(format!("unknown command '{other}'"))),
         };
@@ -377,6 +404,9 @@ impl Cli {
             idle_timeout_secs: 30,
             submit_stats: false,
             submit_timeout_secs: 600,
+            retries: 0,
+            retry_backoff_ms: 100,
+            chaos_filter: None,
         };
         let mut policy_name: Option<String> = None;
         while let Some(flag) = args.next() {
@@ -568,6 +598,17 @@ impl Cli {
                     cli.idle_timeout_secs = secs;
                 }
                 "--submit-stats" => cli.submit_stats = true,
+                "--retries" => {
+                    cli.retries = value("--retries")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--retries: {e}")))?;
+                }
+                "--retry-backoff-ms" => {
+                    cli.retry_backoff_ms = value("--retry-backoff-ms")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--retry-backoff-ms: {e}")))?;
+                }
+                "--chaos-filter" => cli.chaos_filter = Some(value("--chaos-filter")?),
                 "--submit-timeout-secs" => {
                     let secs: u64 = value("--submit-timeout-secs")?
                         .parse()
@@ -973,6 +1014,38 @@ mod tests {
         ] {
             assert!(parse(&bad).unwrap_err().0.contains("positive"), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn chaos_and_retry_flags_parse() {
+        let c = parse(&["chaos", "--jobs", "4", "--chaos-filter", "journal"]).unwrap();
+        assert_eq!(c.command, Command::Chaos);
+        assert_eq!(c.jobs, 4);
+        assert_eq!(c.chaos_filter.as_deref(), Some("journal"));
+        assert_eq!(parse(&["chaos"]).unwrap().chaos_filter, None);
+
+        let s = parse(&[
+            "submit",
+            "--port",
+            "7077",
+            "--retries",
+            "3",
+            "--retry-backoff-ms",
+            "250",
+        ])
+        .unwrap();
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.retry_backoff_ms, 250);
+
+        // Defaults keep the classic fail-fast client.
+        let d = parse(&["submit", "--port", "7077"]).unwrap();
+        assert_eq!(d.retries, 0);
+        assert_eq!(d.retry_backoff_ms, 100);
+
+        assert!(parse(&["submit", "--port", "7077", "--retries", "x"])
+            .unwrap_err()
+            .0
+            .contains("--retries"));
     }
 
     #[test]

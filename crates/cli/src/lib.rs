@@ -4,6 +4,7 @@
 //! `main.rs` is a thin shell around [`run`].
 
 pub mod args;
+mod chaos;
 pub mod render;
 pub mod signal;
 mod smoke;
@@ -25,6 +26,24 @@ use oasis_workloads::{generate, Trace};
 pub use args::{Cli, Command, ParseError};
 
 /// A failed invocation, split by exit contract.
+///
+/// The full exit-code taxonomy the binary commits to:
+///
+/// | exit | meaning                                                      |
+/// |------|--------------------------------------------------------------|
+/// | 0    | success — the command ran to completion with every gate held |
+/// | 1    | [`CliError::Failure`]: bad arguments, a failed simulation or |
+/// |      | gate, a violated chaos invariant, a degraded serve run (the  |
+/// |      | admission journal broke mid-run), or a `submit` batch whose  |
+/// |      | retry budget was exhausted                                   |
+/// | 75   | [`CliError::Interrupted`] (`EX_TEMPFAIL`): a journaled sweep |
+/// |      | or serve run drained cleanly on SIGINT/SIGTERM and can be    |
+/// |      | finished — resume with `--resume-sweep` / `--serve-state`    |
+///
+/// Typed *per-job* rejections (`overloaded`, `unavailable`,
+/// `connection-inflight`) are not process exits: they arrive as result
+/// lines, and `submit` maps any unresolved job onto exit 1 after its
+/// `--retries` budget is spent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CliError {
     /// Ordinary failure: message on stderr, exit code 1.
@@ -500,6 +519,16 @@ fn serve(cli: &Cli, stop: Option<&StopHandle>) -> Result<String, CliError> {
     })
     .map_err(CliError::Failure)?;
 
+    // A degraded run (broken admission journal) kept serving cached
+    // results but refused new work — that is exit 1, never a silent 75.
+    if let Some(err) = &summary.journal_error {
+        return Err(CliError::Failure(format!(
+            "serve: degraded and drained: {err}; restart with --serve-state {} to \
+             recover the journal and resume admissions",
+            state_dir.display(),
+        )));
+    }
+
     let mut counters = String::new();
     for (key, value) in &summary.counters {
         let _ = writeln!(counters, "  {key} = {value}");
@@ -553,11 +582,13 @@ fn submit(cli: &Cli) -> Result<String, CliError> {
         }
     };
 
-    let outcome = oasis_serve::submit_batch(
+    let outcome = oasis_serve::submit_batch_with_retry(
         cli.port,
         &scenarios,
         cli.submit_stats,
         std::time::Duration::from_secs(cli.submit_timeout_secs),
+        cli.retries,
+        std::time::Duration::from_millis(cli.retry_backoff_ms),
     )
     .map_err(CliError::Failure)?;
 
@@ -733,6 +764,7 @@ pub fn run_with_stop(cli: &Cli, stop: Option<StopHandle>) -> Result<String, CliE
         Command::Fuzz => fuzz(cli, stop)?,
         Command::Serve => serve(cli, stop)?,
         Command::Submit => submit(cli)?,
+        Command::Chaos => chaos::run_chaos(cli)?,
         Command::Help => args::USAGE.to_string(),
     })
 }
@@ -983,6 +1015,23 @@ mod tests {
         assert!(out.contains("uvm.fault.service_ns"), "{out}");
         assert!(out.contains("per-epoch rollups"), "{out}");
         assert!(out.contains("access.local"), "{out}");
+    }
+
+    #[test]
+    fn chaos_filtered_cells_hold_and_bad_filters_are_typed() {
+        // The corpus slice keeps this test cheap; the full 26-cell matrix
+        // runs in CI via `oasis-sim chaos` (scripts/ci.sh strict mode).
+        let out = run_ok(&["chaos", "--chaos-filter", "corpus", "--jobs", "2"]);
+        assert!(out.contains("corpus/corpus.write/eio"), "{out}");
+        assert!(out.contains("corpus/corpus.write/enospc"), "{out}");
+        assert!(
+            out.contains("all 2 cell(s) held the invariant triad"),
+            "{out}"
+        );
+
+        let err = run(&parse(&["chaos", "--chaos-filter", "no-such-cell"]))
+            .expect_err("an unmatched filter is a typed failure");
+        assert!(err.to_string().contains("matches no cell"), "{err}");
     }
 
     #[test]

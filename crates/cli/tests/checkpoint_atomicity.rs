@@ -8,6 +8,7 @@
 //! and proves the *visible* checkpoint is always complete and resumable.
 
 use oasis_cli::Cli;
+use oasis_engine::failpoint::{arm_thread, FailPlan, FaultKind};
 use oasis_engine::fsio::{atomic_write, staging_path};
 use oasis_mgpu::System;
 use oasis_workloads::generate;
@@ -73,6 +74,80 @@ fn a_kill_at_any_byte_offset_leaves_a_resumable_checkpoint() {
     let visible = std::fs::read(&path).expect("target readable");
     assert_eq!(visible, new);
     let sys = System::resume(&mut visible.as_slice(), &trace).expect("new checkpoint resumes");
+    assert_eq!(sys.next_epoch(), 4);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Injected storage faults on every `atomic_write` leg — create, write
+/// (outright and torn), fsync, rename — must error with the site name,
+/// keep the previous checkpoint both visible and resumable, and remove
+/// the staging temp file. This is the fault-driven twin of the
+/// kill-at-any-byte test above: there the process dies mid-protocol, here
+/// the OS says no and the process must clean up after itself.
+#[test]
+fn injected_write_faults_leave_the_old_checkpoint_and_no_temp() {
+    let cli = parse(&["run", "--app", "C2D", "--footprint-mb", "4"]);
+    let trace = generate(cli.app, &cli.workload_params());
+    let config = cli.system_config();
+    let checkpoint_at = |epoch: u64| {
+        let mut sys = System::new(config.clone(), &cli.policy);
+        sys.run_prefix(&trace, epoch).expect("prefix run");
+        let mut buf = Vec::new();
+        sys.checkpoint(&mut buf).expect("checkpoint");
+        buf
+    };
+    let old = checkpoint_at(2);
+    let new = checkpoint_at(4);
+
+    let dir = std::env::temp_dir().join(format!("oasis-ckpt-inject-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("C2D-oasis.ckpt");
+    atomic_write(&path, &old).expect("publish old checkpoint");
+
+    let cells = [
+        ("fsio.create", FaultKind::Eio),
+        ("fsio.create", FaultKind::Enospc),
+        ("fsio.write", FaultKind::Eio),
+        ("fsio.write", FaultKind::Enospc),
+        ("fsio.write", FaultKind::ShortWrite),
+        ("fsio.write", FaultKind::TornAppend),
+        ("fsio.fsync", FaultKind::FsyncFail),
+        ("fsio.fsync", FaultKind::Enospc),
+        ("fsio.rename", FaultKind::RenameFail),
+        ("fsio.rename", FaultKind::Eio),
+    ];
+    for (site, kind) in cells {
+        let scope = arm_thread(FailPlan::once(site, kind));
+        let err = atomic_write(&path, &new).expect_err("armed publish must fail");
+        assert_eq!(scope.fired(), 1, "cell {site}/{kind}");
+        drop(scope);
+        assert!(
+            err.to_string().contains(site),
+            "cell {site}/{kind}: error must name the site: {err}"
+        );
+
+        // No staging debris anywhere in the checkpoint directory.
+        let strays: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(strays.is_empty(), "cell {site}/{kind}: {strays:?}");
+
+        // The visible checkpoint is still the old one, byte for byte, and
+        // still resumable.
+        let visible = std::fs::read(&path).expect("target readable");
+        assert_eq!(visible, old, "cell {site}/{kind}: target corrupted");
+        let sys = System::resume(&mut visible.as_slice(), &trace).expect("old resumes");
+        assert_eq!(sys.next_epoch(), 2, "cell {site}/{kind}");
+    }
+
+    // Disarmed, the same publish succeeds and the new checkpoint resumes.
+    atomic_write(&path, &new).expect("clean publish");
+    let visible = std::fs::read(&path).expect("target readable");
+    assert_eq!(visible, new);
+    let sys = System::resume(&mut visible.as_slice(), &trace).expect("new resumes");
     assert_eq!(sys.next_epoch(), 4);
 
     std::fs::remove_dir_all(&dir).ok();

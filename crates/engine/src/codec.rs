@@ -30,8 +30,10 @@
 //! serialized — only mutable state does.
 
 use std::fmt;
+use std::io::Write;
 
 use crate::error::SimError;
+use crate::failpoint;
 
 /// File magic: identifies an OASIS checkpoint.
 pub const MAGIC: [u8; 8] = *b"OASISCKP";
@@ -376,6 +378,33 @@ impl CheckpointWriter {
         self.buf.extend_from_slice(&sum.to_le_bytes());
         self.buf
     }
+}
+
+/// Writes a sealed checkpoint image to `sink`, routed through the
+/// `codec.checkpoint` failpoint site so chaos campaigns can fail or
+/// truncate the emission. A truncating fault writes the short prefix to
+/// the sink for real — the resulting image must then fail validation on
+/// read-back, never parse as a valid checkpoint.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] naming the failure (the failpoint site when
+/// injected, the OS error otherwise).
+pub fn emit_checkpoint(sink: &mut dyn Write, bytes: &[u8]) -> Result<(), CodecError> {
+    match failpoint::on_write(
+        "codec.checkpoint",
+        std::path::Path::new("checkpoint"),
+        bytes.len(),
+    ) {
+        failpoint::WriteFault::Clear => {}
+        failpoint::WriteFault::Fail(e) => return Err(CodecError::Io(e.to_string())),
+        failpoint::WriteFault::Torn { cut, error } => {
+            let _ = sink.write_all(&bytes[..cut]);
+            return Err(CodecError::Io(error.to_string()));
+        }
+    }
+    sink.write_all(bytes)
+        .map_err(|e| CodecError::Io(e.to_string()))
 }
 
 /// Reads a checkpoint produced by [`CheckpointWriter`].

@@ -66,6 +66,16 @@ pub enum SimError {
         /// The configured no-progress window (in processed events).
         window: u64,
     },
+    /// An artifact write or read failed at the OS boundary (EIO, ENOSPC,
+    /// a failing fsync, ...). Carries the operation that failed — a
+    /// failpoint site name when injected, an artifact role otherwise — so
+    /// a storage failure is attributable without a backtrace.
+    Io {
+        /// What was being done (e.g. `"fsio.rename"`, `"bench-table"`).
+        op: String,
+        /// The stringified OS error.
+        detail: String,
+    },
     /// The hardware-fault layer exhausted its recovery budget: a page lost
     /// to ECC poisoning could not be re-serviced within the bounded
     /// retry/backoff budget (e.g. every frame on the GPU is quarantined).
@@ -198,6 +208,14 @@ impl SimError {
             detail: detail.into(),
         })
     }
+
+    /// Convenience constructor for a storage-layer failure.
+    pub fn io(op: impl Into<String>, err: impl fmt::Display) -> Self {
+        SimError::Io {
+            op: op.into(),
+            detail: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -218,6 +236,7 @@ impl fmt::Display for SimError {
                 f,
                 "determinism divergence at epoch {epoch}: expected digest {expected:#018x}, got {got:#018x}"
             ),
+            SimError::Io { op, detail } => write!(f, "i/o error during {op}: {detail}"),
             SimError::Stalled { step, window } => write!(
                 f,
                 "watchdog: no forward progress within a {window}-event window at step {step}"
@@ -377,6 +396,11 @@ mod tests {
 
         let e = SimError::Codec(crate::codec::CodecError::BadMagic);
         assert!(e.to_string().contains("checkpoint error"));
+
+        let e = SimError::io("fsio.rename", "injected rename failure");
+        let s = e.to_string();
+        assert!(s.contains("fsio.rename"), "{s}");
+        assert!(s.contains("injected rename failure"), "{s}");
 
         let e = SimError::HardwareExhausted {
             gpu: 2,

@@ -21,6 +21,8 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::failpoint;
+
 /// Process-wide counter so concurrent writers (pool workers, tests) never
 /// collide on a temp name even within one pid.
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -61,10 +63,24 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
 
 fn write_and_rename(tmp: &Path, path: &Path, bytes: &[u8]) -> io::Result<()> {
     {
+        failpoint::on_io("fsio.create", path)?;
         let mut f = File::create(tmp)?;
-        f.write_all(bytes)?;
+        match failpoint::on_write("fsio.write", path, bytes.len()) {
+            failpoint::WriteFault::Clear => f.write_all(bytes)?,
+            failpoint::WriteFault::Fail(e) => return Err(e),
+            failpoint::WriteFault::Torn { cut, error } => {
+                // Persist the short prefix for real so the staged file is
+                // genuinely torn, then report the failure; atomic_write
+                // removes the temp and the target never sees the prefix.
+                f.write_all(&bytes[..cut])?;
+                let _ = f.sync_all();
+                return Err(error);
+            }
+        }
+        failpoint::on_io("fsio.fsync", path)?;
         f.sync_all()?;
     }
+    failpoint::on_io("fsio.rename", path)?;
     std::fs::rename(tmp, path)?;
     sync_parent_dir(path);
     Ok(())
@@ -135,6 +151,54 @@ mod tests {
         let bad = dir.join("missing-subdir").join("artifact.bin");
         assert!(atomic_write(&bad, b"doomed").is_err());
         assert_eq!(std::fs::read(&target).unwrap(), b"good");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Every injectable leg — create, write (full and torn), fsync,
+    /// rename — must error with the site name, leave the previous target
+    /// intact, and leave zero staging debris.
+    #[test]
+    fn injected_faults_leave_no_stray_temp_and_previous_contents() {
+        use crate::failpoint::{arm_thread, FailPlan, FaultKind};
+        let dir = temp_dir("inject");
+        let target = dir.join("artifact.bin");
+        atomic_write(&target, b"good").expect("seed write");
+        let cells = [
+            ("fsio.create", FaultKind::Eio),
+            ("fsio.create", FaultKind::Enospc),
+            ("fsio.write", FaultKind::Eio),
+            ("fsio.write", FaultKind::ShortWrite),
+            ("fsio.write", FaultKind::TornAppend),
+            ("fsio.fsync", FaultKind::FsyncFail),
+            ("fsio.rename", FaultKind::RenameFail),
+        ];
+        for (site, kind) in cells {
+            let scope = arm_thread(FailPlan::once(site, kind));
+            let err =
+                atomic_write(&target, b"replacement payload").expect_err("armed write must fail");
+            assert!(
+                err.to_string().contains(site),
+                "error must name the site: {err} (cell {site}/{kind})"
+            );
+            assert_eq!(
+                std::fs::read(&target).unwrap(),
+                b"good",
+                "previous contents must survive cell {site}/{kind}"
+            );
+            let strays: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+                .collect();
+            assert!(
+                strays.is_empty(),
+                "staging debris after cell {site}/{kind}: {strays:?}"
+            );
+            drop(scope);
+        }
+        // Disarmed, the same write goes through.
+        atomic_write(&target, b"replacement payload").expect("clean write");
+        assert_eq!(std::fs::read(&target).unwrap(), b"replacement payload");
         std::fs::remove_dir_all(&dir).ok();
     }
 

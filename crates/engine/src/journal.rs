@@ -52,6 +52,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use crate::codec::{fnv1a, ByteReader, ByteWriter};
+use crate::failpoint;
 use crate::fsio::atomic_write;
 use crate::pool::JobOutcome;
 
@@ -577,6 +578,7 @@ impl JournalWriter {
         payload.u64(tag);
         payload.str(label);
         buf.extend_from_slice(&encode_record(KIND_BEGIN, payload.as_slice()));
+        failpoint::on_io("journal.begin", path)?;
         atomic_write(path, &buf)?;
         let file = OpenOptions::new().append(true).open(path)?;
         file.sync_data()?;
@@ -621,7 +623,19 @@ impl JournalWriter {
 
     fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), JournalError> {
         let rec = encode_record(kind, payload);
+        match failpoint::on_write("journal.append.write", &self.path, rec.len()) {
+            failpoint::WriteFault::Clear => {}
+            failpoint::WriteFault::Fail(e) => return Err(e.into()),
+            failpoint::WriteFault::Torn { cut, error } => {
+                // Persist the truncated record for real — this is exactly
+                // the torn tail the recovery scan must salvage around.
+                self.file.write_all(&rec[..cut])?;
+                let _ = self.file.sync_data();
+                return Err(error.into());
+            }
+        }
         self.file.write_all(&rec)?;
+        failpoint::on_io("journal.append.fsync", &self.path)?;
         self.file.sync_data()?;
         Ok(())
     }

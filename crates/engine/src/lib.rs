@@ -21,6 +21,7 @@
 pub mod channel;
 pub mod codec;
 pub mod error;
+pub mod failpoint;
 pub mod fsio;
 pub mod fxhash;
 pub mod hash;
@@ -35,12 +36,14 @@ pub mod trace;
 
 pub use channel::{Channel, Transfer};
 pub use codec::{
-    ByteReader, ByteWriter, CheckpointReader, CheckpointWriter, CodecError, Restore, Snapshot,
+    emit_checkpoint, ByteReader, ByteWriter, CheckpointReader, CheckpointWriter, CodecError,
+    Restore, Snapshot,
 };
 pub use error::{
     ErrorPolicy, EvictionError, FaultError, InvariantViolation, MigrationError, SimError,
     SimResult, TableError, TraceError,
 };
+pub use failpoint::{FailPlan, FailSpecError, FaultKind as IoFaultKind, Firing};
 pub use fsio::atomic_write;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hash::{fnv1a, Fnv1a};

@@ -209,6 +209,7 @@ pub fn write_repro(
         oracle.map_or("none", OracleKind::as_str)
     );
     let path = dir.join(name);
+    oasis_engine::failpoint::on_io("corpus.write", &path)?;
     // Atomic: a kill mid-write must never leave a torn repro for the
     // regression replay to choke on.
     oasis_engine::fsio::atomic_write(&path, to_json(scenario, oracle).as_bytes())?;

@@ -867,8 +867,7 @@ impl System {
         cw.snapshot("driver", &self.driver);
         cw.section("policy", |w| self.driver.policy.snapshot_state(w));
         let bytes = cw.finish();
-        sink.write_all(&bytes)
-            .map_err(|e| SimError::Codec(CodecError::Io(e.to_string())))?;
+        oasis_engine::emit_checkpoint(sink, &bytes).map_err(SimError::Codec)?;
         self.instr.checkpoint_write_us += t0.elapsed().as_micros() as u64;
         Ok(())
     }

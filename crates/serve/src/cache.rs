@@ -168,6 +168,9 @@ impl ResultCache {
     /// corrupt report, an absent file a [`CacheRead::Miss`].
     pub fn read(&self, digest: u64) -> CacheRead {
         let path = self.entry_path(digest);
+        if let Err(e) = oasis_engine::failpoint::on_io("serve.cache.read", &path) {
+            return CacheRead::Corrupt(format!("unreadable: {e}"));
+        }
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == ErrorKind::NotFound => return CacheRead::Miss,
@@ -188,7 +191,8 @@ impl ResultCache {
     /// durable adjudication.
     pub fn write(&self, digest: u64, result: &CachedResult) -> Result<(), String> {
         let path = self.entry_path(digest);
-        atomic_write(&path, &Self::encode(digest, result))
+        oasis_engine::failpoint::on_io("serve.cache.write", &path)
+            .and_then(|()| atomic_write(&path, &Self::encode(digest, result)))
             .map_err(|e| format!("cache: cannot write {}: {e}", path.display()))
     }
 }

@@ -9,7 +9,7 @@
 //! progress stream (the CLI prints it to stderr). That split is what lets
 //! the kill/restart gates `cmp` two runs byte for byte.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -247,6 +247,102 @@ pub fn submit_batch(
     })
 }
 
+/// [`submit_batch`] with bounded deterministic retry: transient connect
+/// failures retry the whole batch, typed `overloaded` rejections retry
+/// only the shed scenarios, each wait doubling from `backoff`. `retries`
+/// is the total extra-attempt budget shared by both cases; `0` makes this
+/// exactly [`submit_batch`].
+///
+/// Retried resolutions are spliced back into their original submission
+/// slots, so `results` keeps its one-line-per-scenario submission-order
+/// contract and two runs that converge produce byte-identical stdout.
+///
+/// # Errors
+///
+/// Returns the final attempt's message once the budget is exhausted —
+/// annotated with the attempt count for connect failures — so the caller's
+/// exit code is exactly what a retry-free run would have produced.
+pub fn submit_batch_with_retry(
+    port: u16,
+    scenarios: &[Scenario],
+    want_stats: bool,
+    timeout: Duration,
+    retries: u32,
+    backoff: Duration,
+) -> Result<SubmitOutcome, String> {
+    let mut attempt = 0u32;
+    let mut delay = backoff;
+    let mut pre_progress: Vec<String> = Vec::new();
+    let mut out = loop {
+        match submit_batch(port, scenarios, want_stats, timeout) {
+            Ok(out) => break out,
+            Err(e) if e.contains("cannot connect") => {
+                if attempt >= retries {
+                    return Err(format!("{e} (after {} attempt(s))", attempt + 1));
+                }
+                attempt += 1;
+                pre_progress.push(format!(
+                    "connect failed; retry {attempt}/{retries} in {}ms",
+                    delay.as_millis()
+                ));
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    if !pre_progress.is_empty() {
+        pre_progress.append(&mut out.progress);
+        out.progress = pre_progress;
+    }
+
+    loop {
+        let overloaded: Vec<usize> = out
+            .results
+            .iter()
+            .enumerate()
+            .filter(|(_, line)| line.contains(" rejected: overloaded: "))
+            .map(|(i, _)| i)
+            .collect();
+        if overloaded.is_empty() || attempt >= retries {
+            break;
+        }
+        attempt += 1;
+        // One resubmission per distinct shed digest; duplicates share it.
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let retry_scenarios: Vec<Scenario> = overloaded
+            .iter()
+            .filter(|&&i| seen.insert(scenario_digest(&scenarios[i])))
+            .map(|&i| scenarios[i].clone())
+            .collect();
+        out.progress.push(format!(
+            "{} scenario(s) shed as overloaded; retry {attempt}/{retries} in {}ms",
+            retry_scenarios.len(),
+            delay.as_millis()
+        ));
+        std::thread::sleep(delay);
+        delay = delay.saturating_mul(2);
+        let retry_out = submit_batch(port, &retry_scenarios, false, timeout)?;
+        let by_digest: BTreeMap<u64, &String> = retry_scenarios
+            .iter()
+            .map(scenario_digest)
+            .zip(&retry_out.results)
+            .collect();
+        for &i in &overloaded {
+            if let Some(line) = by_digest.get(&scenario_digest(&scenarios[i])) {
+                out.results[i] = (*line).clone();
+            }
+        }
+        out.progress.extend(retry_out.progress);
+    }
+    out.failed = out
+        .results
+        .iter()
+        .filter(|line| !line.contains(" completed: "))
+        .count();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,11 +351,19 @@ mod tests {
     use std::sync::mpsc;
 
     fn start_server(name: &str) -> (StopHandle, u16, std::thread::JoinHandle<()>) {
+        start_server_with(name, |_| {})
+    }
+
+    fn start_server_with(
+        name: &str,
+        tune: impl FnOnce(&mut ServeConfig),
+    ) -> (StopHandle, u16, std::thread::JoinHandle<()>) {
         let dir =
             std::env::temp_dir().join(format!("oasis-serve-client-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut cfg = ServeConfig::new(dir);
         cfg.pool = PoolConfig::with_workers(2);
+        tune(&mut cfg);
         let stop = StopHandle::new();
         let stop2 = stop.clone();
         let (ptx, prx) = mpsc::channel();
@@ -306,6 +410,75 @@ mod tests {
             .unwrap_or(0);
         assert!(hits >= 2, "expected cache hits on resubmission, got {hits}");
 
+        stop.stop();
+        handle.join().expect("server thread");
+    }
+
+    /// Connect-failure retry: the budget is consumed deterministically,
+    /// the backoff actually elapses, and exhaustion surfaces the original
+    /// connect error annotated with the attempt count — so the CLI's
+    /// failure exit is identical to a retry-free run's.
+    #[test]
+    fn connect_retry_exhaustion_preserves_the_error() {
+        // Bind then drop to get a port with nothing listening on it.
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind probe");
+        let port = listener.local_addr().expect("addr").port();
+        drop(listener);
+
+        let batch = vec![Scenario::generate(5)];
+        let t0 = Instant::now();
+        let err = submit_batch_with_retry(
+            port,
+            &batch,
+            false,
+            Duration::from_secs(5),
+            2,
+            Duration::from_millis(10),
+        )
+        .expect_err("no server must exhaust the retry budget");
+        assert!(err.contains("cannot connect"), "{err}");
+        assert!(err.contains("after 3 attempt(s)"), "{err}");
+        // 10ms + 20ms of doubling backoff must actually have elapsed.
+        assert!(
+            t0.elapsed() >= Duration::from_millis(30),
+            "{:?}",
+            t0.elapsed()
+        );
+    }
+
+    /// Overload shedding is recoverable: a burst against a depth-1 queue
+    /// sheds most of the batch, and the retry loop resubmits exactly the
+    /// shed scenarios until every submission slot holds a verdict.
+    #[test]
+    fn overloaded_shed_jobs_are_retried_to_completion() {
+        let (stop, port, handle) = start_server_with("overload-retry", |cfg| {
+            cfg.queue_depth = 1;
+            cfg.pool = PoolConfig::with_workers(1);
+        });
+        let batch: Vec<Scenario> = (50..56).map(Scenario::generate).collect();
+        let out = submit_batch_with_retry(
+            port,
+            &batch,
+            false,
+            Duration::from_secs(300),
+            10,
+            Duration::from_millis(50),
+        )
+        .expect("retried submit");
+        assert_eq!(out.results.len(), 6);
+        assert_eq!(out.failed, 0, "unresolved slots: {:#?}", out.results);
+        assert!(
+            out.results.iter().all(|l| l.contains(" completed: ")),
+            "{:#?}",
+            out.results
+        );
+        // Depth 1 against a 6-job burst must have shed something, so the
+        // retry loop must have narrated at least one resubmission.
+        assert!(
+            out.progress.iter().any(|l| l.contains("overloaded; retry")),
+            "{:#?}",
+            out.progress
+        );
         stop.stop();
         handle.join().expect("server thread");
     }

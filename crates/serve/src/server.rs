@@ -25,6 +25,19 @@
 //! jobs. Because the job body is a pure function of the scenario, the
 //! verdicts a client re-collects after a crash are byte-identical to an
 //! uninterrupted run.
+//!
+//! # Storage-fault degradation
+//!
+//! The durability path can itself fail (ENOSPC, EIO, a dying disk). The
+//! server degrades instead of corrupting or dying: a failed cache write is
+//! recorded (`serve.cache_write_failed`) and the result served uncached —
+//! the journal already holds the adjudication; a failed journal append
+//! flips the server into degraded mode where new admissions are refused
+//! with a typed `unavailable` rejection while cached results keep flowing
+//! and in-flight jobs finish. The failure surfaces in
+//! [`ServeSummary::journal_error`] so the CLI exits nonzero. Every one of
+//! these paths is exercised by the `chaos` subcommand's injected-fault
+//! matrix.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::Write;
@@ -112,6 +125,11 @@ pub struct ServeSummary {
     pub counters: Vec<(String, u64)>,
     /// Jobs adjudicated during this run (resumed ones included).
     pub adjudicated: u64,
+    /// The first journal append failure, if the run degraded. The server
+    /// kept serving (cached results, in-flight jobs) but refused new
+    /// admissions; the CLI maps this to a failure exit so the degradation
+    /// is never silent.
+    pub journal_error: Option<String>,
 }
 
 /// What the oracle produced for one job, plus the deterministic activity
@@ -155,8 +173,12 @@ struct Shared {
     cfg: ServeConfig,
     stop: StopHandle,
     journal: Mutex<Option<JournalWriter>>,
-    /// First journal append failure; set once, fails the server loudly
-    /// rather than running with silent durability loss.
+    /// First journal append failure; set once. A broken journal flips the
+    /// server into degraded mode: new admissions are refused with a typed
+    /// `unavailable` rejection (durability is gone for *new* work) while
+    /// cached results keep being served and in-flight jobs finish — the
+    /// server never trades a storage fault for an availability outage or,
+    /// worse, silently volatile state.
     journal_failure: Mutex<Option<String>>,
     cache: ResultCache,
     metrics: Mutex<MetricsRegistry>,
@@ -177,26 +199,58 @@ impl Shared {
         out
     }
 
-    /// Journals an append, converting failure into a server-wide stop so
-    /// the operator sees "journal broken", not silently volatile state.
+    /// True once any journal append has failed; the server is then in
+    /// degraded (admission-refusing) mode until restarted.
+    fn journal_broken(&self) -> bool {
+        self.journal_failure
+            .lock()
+            .expect("journal failure lock")
+            .is_some()
+    }
+
+    /// Records the first journal failure and switches the server into
+    /// degraded mode. Sticky: a journal that failed once is not trusted
+    /// again until an operator restarts (and thereby recovers) it.
+    fn mark_journal_broken(&self, msg: &str) {
+        let mut failure = self.journal_failure.lock().expect("journal failure lock");
+        if failure.is_none() {
+            *failure = Some(msg.to_string());
+            eprintln!(
+                "serve: warning: {msg}; refusing new admissions with a typed `unavailable` \
+                 rejection, still serving cached results and finishing in-flight jobs"
+            );
+            drop(failure);
+            self.count("serve.journal_failed", 1);
+        }
+        self.work.notify_all();
+    }
+
+    /// Journals an append. On failure the server degrades (see
+    /// [`Shared::journal_failure`]) instead of stopping: the caller gets
+    /// the typed message, new admissions get `unavailable`.
     fn journal_append(
         &self,
         op: impl FnOnce(&mut JournalWriter) -> Result<(), oasis_engine::JournalError>,
     ) -> Result<(), String> {
-        let mut guard = self.journal.lock().expect("journal lock");
-        let Some(writer) = guard.as_mut() else {
-            return Err("journal already failed".to_string());
-        };
-        match op(writer) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let msg = format!("journal append failed: {e}");
-                *self.journal_failure.lock().expect("journal failure lock") = Some(msg.clone());
-                self.stop.stop();
-                self.work.notify_all();
-                Err(msg)
-            }
+        if let Some(msg) = self
+            .journal_failure
+            .lock()
+            .expect("journal failure lock")
+            .clone()
+        {
+            return Err(msg);
         }
+        let result = {
+            let mut guard = self.journal.lock().expect("journal lock");
+            let Some(writer) = guard.as_mut() else {
+                return Err("journal already failed".to_string());
+            };
+            op(writer).map_err(|e| format!("journal append failed: {e}"))
+        };
+        if let Err(msg) = &result {
+            self.mark_journal_broken(msg);
+        }
+        result
     }
 }
 
@@ -454,23 +508,23 @@ pub fn run_serve(
         let _ = h.join();
     }
 
-    if let Some(msg) = shared
+    let adjudicated_now = shared.state.lock().expect("state lock").adjudicated;
+    // Best-effort trailer: on a broken journal this fails (and stays
+    // recorded); the summary still reports the drain so the operator gets
+    // counters plus the typed journal error, not an opaque abort.
+    let _ = shared.journal_append(|j| j.interrupted(preadjudicated + adjudicated_now));
+
+    let journal_error = shared
         .journal_failure
         .lock()
         .expect("journal failure lock")
-        .clone()
-    {
-        return Err(format!("serve: {msg}"));
-    }
-
-    let adjudicated_now = shared.state.lock().expect("state lock").adjudicated;
-    shared.journal_append(|j| j.interrupted(preadjudicated + adjudicated_now))?;
-
+        .clone();
     Ok(ServeSummary {
         drained: true,
         port,
         counters: shared.counters(),
         adjudicated: adjudicated_now,
+        journal_error,
     })
 }
 
@@ -536,7 +590,11 @@ fn scheduler_loop(shared: &Arc<Shared>) {
                 verdict: verdict.clone(),
             };
             if let Err(e) = shared.cache.write(digest, &entry) {
-                eprintln!("serve: warning: {e}");
+                // RecordAndContinue: the verdict is journaled (or at
+                // worst recomputable); losing the cache entry costs a
+                // recompute on resubmission, never the result.
+                shared.count("serve.cache_write_failed", 1);
+                eprintln!("serve: warning: {e}; serving the result uncached");
             }
             shared.count(&format!("serve.jobs_{}", record.outcome.kind()), 1);
             if let JobOutcome::Completed(r) = &record.outcome {
@@ -665,6 +723,15 @@ fn admit(
             "server is draining; resubmit after restart".into(),
         );
     }
+    if shared.journal_broken() {
+        // Degraded mode: admission cannot be made durable, so refusing is
+        // the only answer that never corrupts state. Typed `unavailable`
+        // (not `draining`): the server is up, the journal is not.
+        return Admission::Rejected(
+            "unavailable",
+            "admission journal is broken; restart the server to recover it".into(),
+        );
+    }
     if conn_inflight >= shared.cfg.conn_inflight {
         return Admission::Rejected(
             "connection-inflight",
@@ -699,10 +766,8 @@ fn admit(
             None => Err("journal already failed".to_string()),
         }
     } {
-        *shared.journal_failure.lock().expect("journal failure lock") = Some(e.clone());
-        shared.stop.stop();
-        shared.work.notify_all();
-        return Admission::Rejected("draining", format!("admission journal failed: {e}"));
+        shared.mark_journal_broken(&e);
+        return Admission::Rejected("unavailable", format!("admission journal failed: {e}"));
     }
     st.next_job_id += 1;
     st.subscribers.entry(digest).or_default().push(tx.clone());
@@ -872,6 +937,7 @@ fn handle_submit(
             match reason {
                 "overloaded" => shared.count("serve.rejected_overload", 1),
                 "connection-inflight" => shared.count("serve.rejected_conn_inflight", 1),
+                "unavailable" => shared.count("serve.rejected_unavailable", 1),
                 _ => shared.count("serve.rejected_other", 1),
             }
             let _ = writeln!(writer, "{}", event_rejected(digest, reason, &detail));
@@ -1054,6 +1120,134 @@ mod tests {
             .map(|(_, v)| *v)
             .unwrap_or(0);
         assert!(shed >= 1);
+    }
+
+    /// A cache write that fails on every attempt must cost recomputes,
+    /// never results: submissions still resolve, verdict bytes match, and
+    /// the failure is counted.
+    #[test]
+    fn cache_write_failure_degrades_to_recompute_and_serve() {
+        use oasis_engine::failpoint::{arm_process, FailPlan};
+        let state = temp_state("cachefail");
+        let state_tag = state.file_name().unwrap().to_string_lossy().into_owned();
+        let mut plan =
+            FailPlan::parse("site:serve.cache.write,kind:eio,after:0,count:*").expect("plan");
+        plan.path = Some(state_tag);
+        let scope = arm_process(plan);
+
+        let server = Server::start(small_cfg(state));
+        let (mut reader, mut stream) = server.connect();
+        let wire = to_json_line(&Scenario::generate(41));
+        writeln!(stream, "{wire}").unwrap();
+        let first = loop {
+            let line = read_event(&mut reader);
+            if line.contains("\"result\"") {
+                break line;
+            }
+        };
+        assert!(first.contains("\"cached\": false"), "{first}");
+
+        // Resubmit: the entry never landed, so this recomputes instead of
+        // hitting the cache — and still resolves with the same verdict.
+        writeln!(stream, "{wire}").unwrap();
+        let second = loop {
+            let line = read_event(&mut reader);
+            if line.contains("\"result\"") {
+                break line;
+            }
+        };
+        assert!(second.contains("\"cached\": false"), "{second}");
+        let verdict = |line: &str| {
+            line.split("\"verdict\": \"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(verdict(&first), verdict(&second));
+
+        drop(stream);
+        let summary = server.shutdown();
+        drop(scope);
+        let failed = summary
+            .counters
+            .iter()
+            .find(|(k, _)| k == "serve.cache_write_failed")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(failed >= 2, "both cache writes must be counted: {failed}");
+        assert!(summary.journal_error.is_none());
+    }
+
+    /// A broken journal must degrade, not kill: cached results keep
+    /// flowing, new admissions get the typed `unavailable` rejection, the
+    /// summary carries the error, and a restart on the same state dir
+    /// recovers full service.
+    #[test]
+    fn journal_failure_refuses_admissions_with_typed_unavailable() {
+        use oasis_engine::failpoint::{arm_process, FailPlan};
+        let state = temp_state("junavail");
+        let state_tag = state.file_name().unwrap().to_string_lossy().into_owned();
+        let a = Scenario::generate(42);
+        let b = Scenario::generate(43);
+
+        let server = Server::start(small_cfg(state.clone()));
+        let (mut reader, mut stream) = server.connect();
+        // Adjudicate A cleanly so it is cached before the journal breaks.
+        writeln!(stream, "{}", to_json_line(&a)).unwrap();
+        loop {
+            if read_event(&mut reader).contains("\"result\"") {
+                break;
+            }
+        }
+
+        let mut plan =
+            FailPlan::parse("site:journal.append.write,kind:eio,after:0,count:*").expect("plan");
+        plan.path = Some(state_tag);
+        let scope = arm_process(plan);
+
+        // Cached work is still served in degraded mode...
+        writeln!(stream, "{}", to_json_line(&a)).unwrap();
+        let hit = read_event(&mut reader);
+        assert!(hit.contains("\"cached\": true"), "{hit}");
+        // ...while new work is refused with the typed rejection.
+        writeln!(stream, "{}", to_json_line(&b)).unwrap();
+        let rejected = read_event(&mut reader);
+        assert!(rejected.contains("\"rejected\""), "{rejected}");
+        assert!(rejected.contains("unavailable"), "{rejected}");
+
+        drop(stream);
+        let summary = server.shutdown();
+        drop(scope);
+        let err = summary.journal_error.expect("journal error surfaces");
+        assert!(err.contains("journal append failed"), "{err}");
+        let refused = summary
+            .counters
+            .iter()
+            .find(|(k, _)| k == "serve.rejected_unavailable")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert_eq!(refused, 1);
+
+        // Restart on the same state dir, failpoint disarmed: B computes.
+        let server = Server::start(small_cfg(state));
+        let (mut reader, mut stream) = server.connect();
+        writeln!(stream, "{}", to_json_line(&b)).unwrap();
+        let result = loop {
+            let line = read_event(&mut reader);
+            if line.contains("\"result\"") {
+                break line;
+            }
+        };
+        assert!(
+            result.contains(&crate::protocol::digest_hex(scenario_digest(&b))),
+            "{result}"
+        );
+        drop(stream);
+        let summary = server.shutdown();
+        assert!(summary.journal_error.is_none());
     }
 
     #[test]

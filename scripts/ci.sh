@@ -19,10 +19,12 @@
 # a fixed hardware-fault plan and report its recovery counters), a
 # bounded property-fuzz smoke over the differential policy oracle, the
 # crash-durability gate (SIGKILL a journaled fuzz sweep partway, resume
-# it, and cmp the report against an uninterrupted run), and the sweep
+# it, and cmp the report against an uninterrupted run), the sweep
 # server smoke (duplicate batches served from the result cache, typed
 # overload rejections under a saturated queue, and a SIGKILLed server
-# restarted on the same state directory with byte-identical results).
+# restarted on the same state directory with byte-identical results),
+# and the storage chaos matrix (every failpoint site x fault kind, each
+# cell holding the no-panic/no-corruption/typed-recovery triad).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -280,6 +282,20 @@ if [ "$STRICT" = "1" ]; then
     rm -rf "$SRV_DIR"
 else
     echo "developer mode (CI_STRICT unset); skipping the sweep server smoke"
+fi
+
+step "storage chaos (failpoint matrix: every site x fault kind)"
+if [ "$STRICT" = "1" ]; then
+    # The full deterministic fault-injection audit against the release
+    # binary: every registered failpoint site crossed with every
+    # applicable fault kind (EIO, ENOSPC, short write, fsync failure,
+    # rename failure, torn append) across the checkpoint, journal,
+    # corpus, and serve surfaces. Each cell must hold the invariant
+    # triad — no panic, no corrupt artifact read back as valid, and
+    # recovery either byte-identical or a typed error naming the site.
+    ./target/release/oasis-sim chaos --jobs "$(nproc)"
+else
+    echo "developer mode (CI_STRICT unset); skipping the storage chaos matrix"
 fi
 
 step "supervised failures exit nonzero (inject/fuzz gate)"
